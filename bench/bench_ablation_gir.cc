@@ -1,0 +1,117 @@
+// Ablation study of GIR's design choices (DESIGN.md §6):
+//   * bound evaluation order: upper-first (Algorithm 1) vs fused L+U;
+//   * the shared Domin dominance buffer on/off;
+//   * grid resolution n = 8 / 32 / 128;
+//   * uniform vs quantile-adaptive grid (future-work extension 1);
+//   * dense vs sparse scan on sparse preferences (extension 2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/adaptive_grid.h"
+#include "grid/sparse_scan.h"
+
+namespace gir {
+namespace {
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("GIR ablations",
+                     "Design-choice ablations on UN data, d = 12, k = 100",
+                     scale);
+
+  const size_t n = ScaledCardinality(100000, scale);
+  const size_t m = ScaledCardinality(100000, scale);
+  const size_t d = 12;
+  const size_t k = 100;
+  const size_t num_queries = scale == BenchScale::kSmoke ? 1 : 2;
+
+  Dataset points = GenerateUniform(n, d, 2201);
+  Dataset weights = GenerateWeightsUniform(m, d, 2202);
+  auto queries = PickQueryIndices(n, num_queries, 2203);
+
+  TablePrinter table({"variant", "RKR (ms)", "filter rate (%)",
+                      "exact products / query", "dominated skips / query"});
+  auto add_variant = [&](const char* name, const GirIndex& index) {
+    QueryStats stats;
+    const double ms = bench::AvgRkrMs(index, points, queries, k, &stats);
+    table.AddRow(
+        {name, FormatDouble(ms, 2),
+         FormatDouble(100.0 * stats.FilterRate(), 1),
+         FormatCount(stats.inner_products / queries.size()),
+         FormatCount(stats.points_dominated / queries.size())});
+  };
+
+  {
+    GirOptions opts;  // library default: n = 32, exact-weight rows, Domin
+    auto index = GirIndex::Build(points, weights, opts).value();
+    add_variant("baseline (n=32, exact-weight rows, domin)", index);
+  }
+  {
+    GirOptions opts;
+    opts.bound_mode = BoundMode::kUpperFirst;
+    auto index = GirIndex::Build(points, weights, opts).value();
+    add_variant("paper 2-D grid, upper-first (Alg. 1)", index);
+  }
+  {
+    GirOptions opts;
+    opts.bound_mode = BoundMode::kFused;
+    auto index = GirIndex::Build(points, weights, opts).value();
+    add_variant("paper 2-D grid, fused L+U", index);
+  }
+  {
+    GirOptions opts;
+    opts.use_domin = false;
+    auto index = GirIndex::Build(points, weights, opts).value();
+    add_variant("no Domin buffer", index);
+  }
+  for (size_t parts : {8u, 128u}) {
+    GirOptions opts;
+    opts.partitions = parts;
+    auto index = GirIndex::Build(points, weights, opts).value();
+    add_variant(parts == 8 ? "n = 8" : "n = 128", index);
+  }
+  {
+    GirOptions opts;
+    auto index = BuildAdaptiveGir(points, weights, opts).value();
+    add_variant("adaptive (quantile) grid, n=32", index);
+  }
+  table.Print();
+
+  // Sparse-preference extension: dense GIR vs sparse-aware scan.
+  std::printf("\n-- Sparse preferences (30%% non-zero entries) --\n");
+  WeightGeneratorOptions wopts;
+  wopts.sparsity_nonzero_fraction = 0.3;
+  Dataset sparse_weights = GenerateWeightsSparse(m, d, 2204, wopts);
+  auto dense = GirIndex::Build(points, sparse_weights).value();
+  auto sparse = SparseGir::Build(points, sparse_weights).value();
+  TablePrinter sparse_table(
+      {"variant", "RKR (ms)", "multiplications / query"});
+  {
+    QueryStats stats;
+    const double ms = bench::AvgRkrMs(dense, points, queries, k, &stats);
+    sparse_table.AddRow({"dense GIR", FormatDouble(ms, 2),
+                         FormatCount(stats.multiplications / queries.size())});
+  }
+  {
+    QueryStats stats;
+    const double ms = bench::AvgRkrMs(sparse, points, queries, k, &stats);
+    sparse_table.AddRow({"sparse GIR", FormatDouble(ms, 2),
+                         FormatCount(stats.multiplications / queries.size())});
+  }
+  sparse_table.Print();
+  std::printf(
+      "\nReading: upper-first vs fused trades one extra pass against fewer\n"
+      "additions; Domin mainly helps poorly-ranked queries; larger n buys\n"
+      "filter rate with memory; the adaptive grid recovers the resolution\n"
+      "the simplex-concentrated weights lose on a uniform grid.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef GIR_BENCH_BENCH_COMMON_H_
+#define GIR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/bbr.h"
+#include "baselines/mpa.h"
+#include "bench_util/table.h"
+#include "bench_util/timer.h"
+#include "bench_util/workloads.h"
+#include "core/simple_scan.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/gir_queries.h"
+
+namespace gir {
+namespace bench {
+
+/// Prints the standard experiment banner: what is being reproduced and at
+/// which scale.
+inline void PrintHeader(const char* experiment, const char* description,
+                        BenchScale scale) {
+  std::printf("=== %s ===\n%s\nscale=%s (set GIR_BENCH_SCALE=smoke|quick|full)\n\n",
+              experiment, description, BenchScaleName(scale));
+}
+
+/// Times `fn` once and returns milliseconds.
+inline double TimeMs(const std::function<void()>& fn) {
+  WallTimer timer;
+  fn();
+  return timer.ElapsedMs();
+}
+
+/// Average milliseconds per query for an RTK algorithm.
+template <typename Algo>
+double AvgRtkMs(const Algo& algo, const Dataset& points,
+                const std::vector<size_t>& queries, size_t k,
+                QueryStats* stats = nullptr) {
+  WallTimer timer;
+  for (size_t qi : queries) algo.ReverseTopK(points.row(qi), k, stats);
+  return timer.ElapsedMs() / static_cast<double>(queries.size());
+}
+
+/// Average milliseconds per query for an RKR algorithm.
+template <typename Algo>
+double AvgRkrMs(const Algo& algo, const Dataset& points,
+                const std::vector<size_t>& queries, size_t k,
+                QueryStats* stats = nullptr) {
+  WallTimer timer;
+  for (size_t qi : queries) algo.ReverseKRanks(points.row(qi), k, stats);
+  return timer.ElapsedMs() / static_cast<double>(queries.size());
+}
+
+}  // namespace bench
+}  // namespace gir
+
+#endif  // GIR_BENCH_BENCH_COMMON_H_

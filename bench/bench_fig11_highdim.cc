@@ -1,0 +1,83 @@
+// Figure 11: high-dimensional sweep (d = 10..50): CPU time and the number
+// of pairwise computations for GIR, SIM and the tree-based baselines.
+// The tree methods blow up; GIR stays nearly flat and does the same number
+// of *exact* score computations as SIM while replacing the rest with
+// grid-bound additions.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace gir {
+namespace {
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Figure 11",
+                     "High-dimensional performance (d = 10..50), UN data, "
+                     "|P| = |W| = 100K, k = 100, n = 32",
+                     scale);
+
+  const size_t n = ScaledCardinality(100000, scale);
+  const size_t m = ScaledCardinality(100000, scale);
+  const size_t k = 100;
+  const size_t num_queries = scale == BenchScale::kSmoke ? 1 : 2;
+  std::vector<size_t> dims = {10, 20, 30, 40, 50};
+  if (scale == BenchScale::kSmoke) dims = {10, 30};
+
+  TablePrinter rtk({"d", "GIR (ms)", "SIM (ms)", "BBR (ms)",
+                    "GIR #pairwise", "SIM #pairwise", "BBR #pairwise"});
+  TablePrinter rkr({"d", "GIR (ms)", "SIM (ms)", "MPA (ms)",
+                    "GIR #pairwise", "SIM #pairwise", "MPA #pairwise"});
+  for (size_t d : dims) {
+    Dataset points = GenerateUniform(n, d, 1100 + d);
+    Dataset weights = GenerateWeightsUniform(m, d, 1200 + d);
+    auto queries = PickQueryIndices(n, num_queries, 1300 + d);
+
+    auto gir = GirIndex::Build(points, weights).value();
+    SimpleScan sim(points, weights);
+    auto bbr = BbrReverseTopK::Build(points, weights).value();
+    auto mpa = MpaReverseKRanks::Build(points, weights).value();
+
+    QueryStats gir_rtk, sim_rtk, bbr_rtk;
+    rtk.AddRow({std::to_string(d),
+                FormatDouble(bench::AvgRtkMs(gir, points, queries, k,
+                                             &gir_rtk), 2),
+                FormatDouble(bench::AvgRtkMs(sim, points, queries, k,
+                                             &sim_rtk), 2),
+                FormatDouble(bench::AvgRtkMs(bbr, points, queries, k,
+                                             &bbr_rtk), 2),
+                FormatCount(gir_rtk.inner_products / queries.size()),
+                FormatCount(sim_rtk.inner_products / queries.size()),
+                FormatCount(bbr_rtk.inner_products / queries.size())});
+
+    QueryStats gir_rkr, sim_rkr, mpa_rkr;
+    rkr.AddRow({std::to_string(d),
+                FormatDouble(bench::AvgRkrMs(gir, points, queries, k,
+                                             &gir_rkr), 2),
+                FormatDouble(bench::AvgRkrMs(sim, points, queries, k,
+                                             &sim_rkr), 2),
+                FormatDouble(bench::AvgRkrMs(mpa, points, queries, k,
+                                             &mpa_rkr), 2),
+                FormatCount(gir_rkr.inner_products / queries.size()),
+                FormatCount(sim_rkr.inner_products / queries.size()),
+                FormatCount(mpa_rkr.inner_products / queries.size())});
+  }
+  std::printf("-- Reverse top-k (Fig. 11a/11b) --\n");
+  rtk.Print();
+  std::printf("\n-- Reverse k-ranks (Fig. 11c/11d) --\n");
+  rkr.Print();
+  std::printf(
+      "\nExpected shape (paper): tree time rises sharply with d; GIR stays\n"
+      "flattest; GIR's exact inner products are far below SIM's visited\n"
+      "points (the grid resolves most of them with additions only).\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 13: scalability with growing |P| (a, b) and growing |W| (c, d),
+// d = 6, k = 100, n = 32, UN data. GIR's advantage over the trees and SIM
+// widens with cardinality.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace gir {
+namespace {
+
+void RunSweep(const char* title, const std::vector<size_t>& p_sizes,
+              const std::vector<size_t>& w_sizes, size_t num_queries) {
+  const size_t d = 6;
+  const size_t k = 100;
+  TablePrinter table({"|P|", "|W|", "GIR RTK (ms)", "BBR RTK (ms)",
+                      "SIM RTK (ms)", "GIR RKR (ms)", "MPA RKR (ms)",
+                      "SIM RKR (ms)"});
+  for (size_t i = 0; i < p_sizes.size(); ++i) {
+    const size_t n = p_sizes[i];
+    const size_t m = w_sizes[i];
+    Dataset points = GenerateUniform(n, d, 1300 + i);
+    Dataset weights = GenerateWeightsUniform(m, d, 1400 + i);
+    auto queries = PickQueryIndices(n, num_queries, 1500 + i);
+
+    auto gir = GirIndex::Build(points, weights).value();
+    SimpleScan sim(points, weights);
+    auto bbr = BbrReverseTopK::Build(points, weights).value();
+    auto mpa = MpaReverseKRanks::Build(points, weights).value();
+
+    table.AddRow({FormatCount(n), FormatCount(m),
+                  FormatDouble(bench::AvgRtkMs(gir, points, queries, k), 2),
+                  FormatDouble(bench::AvgRtkMs(bbr, points, queries, k), 2),
+                  FormatDouble(bench::AvgRtkMs(sim, points, queries, k), 2),
+                  FormatDouble(bench::AvgRkrMs(gir, points, queries, k), 2),
+                  FormatDouble(bench::AvgRkrMs(mpa, points, queries, k), 2),
+                  FormatDouble(bench::AvgRkrMs(sim, points, queries, k), 2)});
+  }
+  std::printf("%s\n", title);
+  table.Print();
+}
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Figure 13",
+                     "Scalability on |P| and |W|, d = 6, k = 100, n = 32, "
+                     "UN data",
+                     scale);
+  const size_t num_queries = scale == BenchScale::kSmoke ? 1 : 2;
+
+  std::vector<size_t> p_sweep, w_fixed, w_sweep, p_fixed;
+  switch (scale) {
+    case BenchScale::kFull:
+      p_sweep = {50000, 100000, 1000000, 2000000, 5000000};
+      w_sweep = {50000, 100000, 1000000, 2000000, 5000000};
+      break;
+    case BenchScale::kQuick:
+      p_sweep = {5000, 10000, 50000, 100000};
+      w_sweep = {5000, 10000, 50000, 100000};
+      break;
+    case BenchScale::kSmoke:
+      p_sweep = {1000, 4000};
+      w_sweep = {1000, 4000};
+      break;
+  }
+  const size_t fixed =
+      scale == BenchScale::kFull
+          ? 100000
+          : (scale == BenchScale::kQuick ? 10000 : 1000);
+  w_fixed.assign(p_sweep.size(), fixed);
+  p_fixed.assign(w_sweep.size(), fixed);
+
+  RunSweep("-- Varying |P| (Fig. 13a/13b) --", p_sweep, w_fixed, num_queries);
+  std::printf("\n");
+  RunSweep("-- Varying |W| (Fig. 13c/13d) --", p_fixed, w_sweep, num_queries);
+  std::printf(
+      "\nExpected shape (paper): all methods grow with cardinality; GIR\n"
+      "grows slowest and is increasingly superior at large |P| or |W|.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 14: effect of k (100..500) on all algorithms, UN data, d = 6,
+// n = 32. Everything should be nearly flat: k << |P|, |W|.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace gir {
+namespace {
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Figure 14",
+                     "Varying k = 100..500, UN data, d = 6, "
+                     "|P| = |W| = 100K, n = 32",
+                     scale);
+
+  const size_t n = ScaledCardinality(100000, scale);
+  const size_t m = ScaledCardinality(100000, scale);
+  const size_t d = 6;
+  const size_t num_queries = scale == BenchScale::kSmoke ? 1 : 2;
+  std::vector<size_t> ks = {100, 200, 300, 400, 500};
+  if (scale == BenchScale::kSmoke) ks = {100, 500};
+
+  Dataset points = GenerateUniform(n, d, 1401);
+  Dataset weights = GenerateWeightsUniform(m, d, 1402);
+  auto queries = PickQueryIndices(n, num_queries, 1403);
+
+  auto gir = GirIndex::Build(points, weights).value();
+  SimpleScan sim(points, weights);
+  auto bbr = BbrReverseTopK::Build(points, weights).value();
+  auto mpa = MpaReverseKRanks::Build(points, weights).value();
+
+  TablePrinter table({"k", "GIR RTK (ms)", "BBR RTK (ms)", "SIM RTK (ms)",
+                      "GIR RKR (ms)", "MPA RKR (ms)", "SIM RKR (ms)"});
+  for (size_t k : ks) {
+    table.AddRow({std::to_string(k),
+                  FormatDouble(bench::AvgRtkMs(gir, points, queries, k), 2),
+                  FormatDouble(bench::AvgRtkMs(bbr, points, queries, k), 2),
+                  FormatDouble(bench::AvgRtkMs(sim, points, queries, k), 2),
+                  FormatDouble(bench::AvgRkrMs(gir, points, queries, k), 2),
+                  FormatDouble(bench::AvgRkrMs(mpa, points, queries, k), 2),
+                  FormatDouble(bench::AvgRkrMs(sim, points, queries, k), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): all algorithms insensitive to k; GIR\n"
+      "fastest throughout.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

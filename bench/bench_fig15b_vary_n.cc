@@ -1,0 +1,83 @@
+// Figure 15b: percentage of points the Grid-index filters (resolves
+// without an exact score) for 20-d data across grid resolutions
+// n = 4..128, alongside the Theorem 1 model prediction.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/adaptive_grid.h"
+#include "grid/gin_topk.h"
+#include "stats/model.h"
+
+namespace gir {
+namespace {
+
+double MeasureFilterRate(const GirIndex& index, const Dataset& points,
+                         const Dataset& weights,
+                         const std::vector<size_t>& queries,
+                         size_t weight_sample) {
+  GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                 BoundMode::kUpperFirst};
+  GinScratch scratch;
+  QueryStats stats;
+  const int64_t cap = static_cast<int64_t>(points.size()) + 1;
+  const size_t step = std::max<size_t>(1, weights.size() / weight_sample);
+  for (size_t qi : queries) {
+    for (size_t wi = 0; wi < weights.size(); wi += step) {
+      GInTopK(ctx, weights.row(wi), index.weight_cells().row(wi),
+              points.row(qi), cap, nullptr, scratch, &stats);
+    }
+  }
+  return stats.FilterRate();
+}
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Figure 15b",
+                     "Grid filtering % vs partitions n, d = 20, UN data, "
+                     "|P| = |W| = 100K",
+                     scale);
+
+  const size_t n_points = ScaledCardinality(100000, scale);
+  const size_t m = ScaledCardinality(100000, scale);
+  const size_t d = 20;
+  const size_t weight_sample = scale == BenchScale::kSmoke ? 10 : 40;
+  Dataset points = GenerateUniform(n_points, d, 1801);
+  Dataset weights = GenerateWeightsUniform(m, d, 1802);
+  auto queries =
+      PickQueryIndices(n_points, scale == BenchScale::kSmoke ? 1 : 3, 1803);
+
+  TablePrinter table({"n", "filtered (uniform grid, %)",
+                      "filtered (adaptive grid, %)",
+                      "Theorem 1 model (%)"});
+  for (size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    GirOptions opts;
+    opts.partitions = n;
+    auto uniform = GirIndex::Build(points, weights, opts).value();
+    auto adaptive = BuildAdaptiveGir(points, weights, opts).value();
+    table.AddRow(
+        {std::to_string(n),
+         FormatDouble(100.0 * MeasureFilterRate(uniform, points, weights,
+                                                queries, weight_sample),
+                      1),
+         FormatDouble(100.0 * MeasureFilterRate(adaptive, points, weights,
+                                                queries, weight_sample),
+                      1),
+         FormatDouble(100.0 * WorstCaseFilterRate(d, n), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): filtering rises steeply with n and\n"
+      "saturates; the paper's model saturates by n = 32. The adaptive grid\n"
+      "(our future-work extension) reaches saturation earlier because the\n"
+      "simplex weights concentrate near 1/d.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

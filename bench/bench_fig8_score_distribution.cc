@@ -1,0 +1,100 @@
+// Figure 8: distribution of grid-approximated scores (d = 4, n = 4). The
+// paper plots the histogram of scores computed through the Grid-index and
+// observes it is already near-normal at d = 4 — the basis for Lemma 1
+// (central limit approximation) behind the Theorem 1 sizing rule.
+//
+// This harness prints an ASCII histogram of exact scores, the grid lower
+// bounds, and the N(mu', sigma') prediction from Lemma 1.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/bounds.h"
+#include "stats/normal.h"
+
+namespace gir {
+namespace {
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Figure 8",
+                     "Grid-index score distribution, d = 4, n = 4, UN data",
+                     scale);
+
+  const size_t n = ScaledCardinality(100000, scale);
+  const size_t m = std::min<size_t>(200, ScaledCardinality(100000, scale));
+  const size_t d = 4;
+  Dataset points = GenerateUniform(n, d, 801);
+  Dataset weights = GenerateWeightsUniform(m, d, 802);
+  GirOptions opts;
+  opts.partitions = 4;
+  auto index = GirIndex::Build(points, weights, opts).value();
+
+  // Sample scores and grid lower bounds over (p, w) pairs.
+  std::vector<double> exact, lower;
+  const size_t p_step = std::max<size_t>(1, points.size() / 2000);
+  for (size_t wi = 0; wi < weights.size(); wi += 10) {
+    for (size_t pi = 0; pi < points.size(); pi += p_step) {
+      exact.push_back(InnerProduct(weights.row(wi), points.row(pi)));
+      lower.push_back(ScoreLowerBound(index.grid(),
+                                      index.point_cells().row(pi),
+                                      index.weight_cells().row(wi), d));
+    }
+  }
+
+  double max_score = 0.0;
+  for (double s : exact) max_score = std::max(max_score, s);
+  const size_t buckets = 30;
+  std::vector<size_t> exact_hist(buckets, 0), lower_hist(buckets, 0);
+  for (double s : exact) {
+    const size_t b = std::min(
+        buckets - 1, static_cast<size_t>(s / max_score * buckets));
+    ++exact_hist[b];
+  }
+  for (double s : lower) {
+    const size_t b = std::min(
+        buckets - 1, static_cast<size_t>(std::max(0.0, s) / max_score *
+                                         buckets));
+    ++lower_hist[b];
+  }
+
+  // Lemma 1 prediction: scores ~ N(mu', sigma') with the moments estimated
+  // from the sample (the paper's uniform-product assumption fixes them
+  // analytically; real simplex weights shift both).
+  double mean = 0.0;
+  for (double s : exact) mean += s;
+  mean /= static_cast<double>(exact.size());
+  double var = 0.0;
+  for (double s : exact) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(exact.size());
+  const double sigma = std::sqrt(var);
+
+  TablePrinter table(
+      {"bucket", "exact scores", "grid lower bounds", "normal prediction"});
+  const double bucket_width = max_score / static_cast<double>(buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    const double center = (static_cast<double>(b) + 0.5) * bucket_width;
+    const double predicted =
+        NormalPdf((center - mean) / sigma) / sigma * bucket_width *
+        static_cast<double>(exact.size());
+    table.AddRow({FormatDouble(center, 0), FormatCount(exact_hist[b]),
+                  FormatCount(lower_hist[b]), FormatDouble(predicted, 0)});
+  }
+  table.Print();
+
+  std::printf("\nsample=%zu pairs  mean=%.1f  sigma=%.1f\n", exact.size(),
+              mean, sigma);
+  std::printf(
+      "Expected shape (paper): bell-shaped histogram well matched by the\n"
+      "normal prediction even at d = 4; grid bounds track the same shape.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) of the scan kernels the paper's
+// cost argument rests on: a full inner product (d multiplications +
+// d additions) vs a grid upper-bound accumulation (d table lookups +
+// d additions) vs decoding a bit-packed approximate vector.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/approx_vector.h"
+#include "grid/bit_packed.h"
+#include "grid/bounds.h"
+#include "grid/gir_queries.h"
+
+namespace gir {
+namespace {
+
+constexpr size_t kPoints = 4096;
+
+struct Fixture {
+  explicit Fixture(size_t d)
+      : points(GenerateUniform(kPoints, d, 31)),
+        weights(GenerateWeightsUniform(8, d, 32)),
+        index(GirIndex::Build(points, weights).value()) {}
+
+  Dataset points;
+  Dataset weights;
+  GirIndex index;
+};
+
+Fixture& GetFixture(size_t d) {
+  static Fixture* f6 = new Fixture(6);
+  static Fixture* f20 = new Fixture(20);
+  static Fixture* f50 = new Fixture(50);
+  switch (d) {
+    case 6:
+      return *f6;
+    case 20:
+      return *f20;
+    default:
+      return *f50;
+  }
+}
+
+void BM_InnerProduct(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  ConstRow w = f.weights.row(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InnerProduct(w, f.points.row(i)));
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InnerProduct)->Arg(6)->Arg(20)->Arg(50);
+
+void BM_GridUpperBound(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  const uint8_t* w_cells = f.index.weight_cells().row(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreUpperBound(
+        f.index.grid(), f.index.point_cells().row(i), w_cells, d));
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridUpperBound)->Arg(6)->Arg(20)->Arg(50);
+
+void BM_GridBothBounds(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  const uint8_t* w_cells = f.index.weight_cells().row(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const uint8_t* p_cells = f.index.point_cells().row(i);
+    benchmark::DoNotOptimize(
+        ScoreLowerBound(f.index.grid(), p_cells, w_cells, d));
+    benchmark::DoNotOptimize(
+        ScoreUpperBound(f.index.grid(), p_cells, w_cells, d));
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridBothBounds)->Arg(6)->Arg(20)->Arg(50);
+
+// The closed-form uniform-grid bound: (r/n) * sum_i w[i]*cell[i], a direct
+// FMA over the byte cells — the kernel the kExactWeight scan actually runs
+// on uniform grids (no gather).
+void BM_CellFmaBound(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  ConstRow w = f.weights.row(0);
+  const double cell_width =
+      f.index.grid().point_partitioner().Boundary(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const uint8_t* pc = f.index.point_cells().row(i);
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    size_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+      acc0 += w[j] * static_cast<double>(pc[j]);
+      acc1 += w[j + 1] * static_cast<double>(pc[j + 1]);
+      acc2 += w[j + 2] * static_cast<double>(pc[j + 2]);
+      acc3 += w[j + 3] * static_cast<double>(pc[j + 3]);
+    }
+    for (; j < d; ++j) acc0 += w[j] * static_cast<double>(pc[j]);
+    benchmark::DoNotOptimize(((acc0 + acc1) + (acc2 + acc3)) * cell_width);
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellFmaBound)->Arg(6)->Arg(20)->Arg(50);
+
+void BM_BitPackedDecode(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  auto packed = BitPackedVectors::Pack(f.index.point_cells(), 6).value();
+  std::vector<uint8_t> row(d);
+  size_t i = 0;
+  for (auto _ : state) {
+    packed.DecodeRow(i, row.data());
+    benchmark::DoNotOptimize(row.data());
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitPackedDecode)->Arg(6)->Arg(20)->Arg(50);
+
+void BM_GirReverseKRanks(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index.ReverseKRanks(f.points.row(qi), 10));
+    qi = (qi + 17) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GirReverseKRanks)->Arg(6)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace gir
+
+BENCHMARK_MAIN();

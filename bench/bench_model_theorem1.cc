@@ -1,0 +1,101 @@
+// §5.3 performance model: Theorem 1's predicted partition counts against
+// measured filtering, and the exact dice-problem distribution (Eq. 15)
+// against its normal approximation (Lemma 1).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/gin_topk.h"
+#include "stats/dice.h"
+#include "stats/model.h"
+#include "stats/normal.h"
+
+namespace gir {
+namespace {
+
+double MeasureFilterRate(const Dataset& points, const Dataset& weights,
+                         size_t partitions,
+                         const std::vector<size_t>& queries) {
+  GirOptions opts;
+  opts.partitions = partitions;
+  auto index = GirIndex::Build(points, weights, opts).value();
+  GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                 BoundMode::kUpperFirst};
+  GinScratch scratch;
+  QueryStats stats;
+  const int64_t cap = static_cast<int64_t>(points.size()) + 1;
+  const size_t step = std::max<size_t>(1, weights.size() / 30);
+  for (size_t qi : queries) {
+    for (size_t wi = 0; wi < weights.size(); wi += step) {
+      GInTopK(ctx, weights.row(wi), index.weight_cells().row(wi),
+              points.row(qi), cap, nullptr, scratch, &stats);
+    }
+  }
+  return stats.FilterRate();
+}
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Theorem 1 model",
+                     "Predicted partitions n(d, eps=1%) and worst-case "
+                     "filter rate vs measurement",
+                     scale);
+
+  const size_t n_points = ScaledCardinality(100000, scale);
+  const size_t m = std::min<size_t>(2000, ScaledCardinality(100000, scale));
+
+  TablePrinter table({"d", "n (Theorem 1)", "n (pow2)", "model F_worst (%)",
+                      "measured F at n_pow2 (%)", "grid table bytes"});
+  std::vector<size_t> dims = {4, 6, 10, 20, 35, 50};
+  if (scale == BenchScale::kSmoke) dims = {6, 20};
+  for (size_t d : dims) {
+    const size_t n_req = RequiredPartitions(d, 0.01).value();
+    const size_t n_pow2 = RequiredPartitionsPow2(d, 0.01).value();
+    Dataset points = GenerateUniform(n_points, d, 1900 + d);
+    Dataset weights = GenerateWeightsUniform(m, d, 2000 + d);
+    auto queries = PickQueryIndices(n_points, 2, 2100 + d);
+    const double measured =
+        MeasureFilterRate(points, weights, n_pow2, queries);
+    table.AddRow({std::to_string(d), std::to_string(n_req),
+                  std::to_string(n_pow2),
+                  FormatDouble(100.0 * WorstCaseFilterRate(d, n_pow2), 2),
+                  FormatDouble(100.0 * measured, 2),
+                  FormatCount(GridTableBytes(n_pow2))});
+  }
+  table.Print();
+
+  // Dice-problem exactness: Eq. 15 / DP distribution vs Lemma 1's normal.
+  std::printf("\n-- Dice-problem score distribution vs normal (Lemma 1) --\n");
+  TablePrinter dice({"d", "faces (n^2)", "exact mode prob",
+                     "normal peak approx", "relative error (%)"});
+  for (size_t d : {4u, 8u, 16u}) {
+    const size_t faces = 16 * 16;
+    const double exact = DiceSumModeProbability(d, faces);
+    const double sigma = std::sqrt(
+        static_cast<double>(d) *
+        (static_cast<double>(faces) * static_cast<double>(faces) - 1.0) /
+        12.0);
+    const double approx = 1.0 / (sigma * std::sqrt(2.0 * M_PI));
+    dice.AddRow({std::to_string(d), std::to_string(faces),
+                 FormatDouble(exact * 1e4, 3) + "e-4",
+                 FormatDouble(approx * 1e4, 3) + "e-4",
+                 FormatDouble(100.0 * std::abs(exact - approx) / exact, 2)});
+  }
+  dice.Print();
+  std::printf(
+      "\nReading: the model's F_worst assumes per-dimension products are\n"
+      "quantized into n^2 equal intervals; the implementable 2-D grid cell\n"
+      "is wider, so measured F trails the model at equal n (documented in\n"
+      "EXPERIMENTS.md). The dice/normal agreement validating Lemma 1 is\n"
+      "excellent already at d = 8.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

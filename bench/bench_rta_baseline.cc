@@ -1,0 +1,66 @@
+// RTA baseline study (beyond the paper's evaluation): the original
+// index-free reverse top-k algorithm ([13], ICDE 2010) against BBR, GIR
+// and SIM. RTA's buffer pruning rejects most weights with k inner
+// products each, independent of dimensionality — it is the strongest
+// scan-family baseline for RTK and puts the paper's BBR-only comparison
+// in context.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/rta.h"
+#include "bench/bench_common.h"
+
+namespace gir {
+namespace {
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("RTA baseline",
+                     "RTA vs BBR vs GIR vs SIM, reverse top-k, UN data, "
+                     "|P| = |W| = 100K, k = 100",
+                     scale);
+
+  const size_t n = ScaledCardinality(100000, scale);
+  const size_t m = ScaledCardinality(100000, scale);
+  const size_t k = 100;
+  const size_t num_queries = scale == BenchScale::kSmoke ? 1 : 2;
+  std::vector<size_t> dims = {2, 4, 6, 8, 12, 20};
+  if (scale == BenchScale::kSmoke) dims = {2, 8};
+
+  TablePrinter table({"d", "RTA (ms)", "BBR (ms)", "GIR (ms)", "SIM (ms)",
+                      "RTA full evals", "RTA pruned"});
+  for (size_t d : dims) {
+    Dataset points = GenerateUniform(n, d, 4100 + d);
+    Dataset weights = GenerateWeightsUniform(m, d, 4200 + d);
+    auto queries = PickQueryIndices(n, num_queries, 4300 + d);
+
+    auto rta = RtaReverseTopK::Build(points, weights).value();
+    auto bbr = BbrReverseTopK::Build(points, weights).value();
+    auto gir = GirIndex::Build(points, weights).value();
+    SimpleScan sim(points, weights);
+
+    QueryStats rta_stats;
+    const double rta_ms =
+        bench::AvgRtkMs(rta, points, queries, k, &rta_stats);
+    table.AddRow({std::to_string(d), FormatDouble(rta_ms, 2),
+                  FormatDouble(bench::AvgRtkMs(bbr, points, queries, k), 2),
+                  FormatDouble(bench::AvgRtkMs(gir, points, queries, k), 2),
+                  FormatDouble(bench::AvgRtkMs(sim, points, queries, k), 2),
+                  FormatCount(rta_stats.weights_evaluated / queries.size()),
+                  FormatCount(rta_stats.weights_pruned / queries.size())});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: RTA's buffer rejects the bulk of W at k inner products\n"
+      "per weight regardless of d; full top-k evaluations happen only on\n"
+      "buffer misses. It is the scan to beat for reverse top-k.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table 2: time to read data files vs time to process reverse rank queries
+// vs the share spent in pairwise computations (6-dimensional data).
+//
+// Demonstrates the paper's §1.2 point: RRQ processing is CPU-bound; I/O is
+// negligible, so the right optimization target is the scan's arithmetic.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "io/dataset_io.h"
+
+namespace gir {
+namespace {
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader(
+      "Table 2", "I/O vs CPU cost of reverse rank queries, d = 6, UN data",
+      scale);
+
+  std::vector<size_t> sizes;
+  switch (scale) {
+    case BenchScale::kFull:
+      sizes = {1000, 10000, 100000};
+      break;
+    case BenchScale::kQuick:
+      sizes = {1000, 5000, 20000};
+      break;
+    case BenchScale::kSmoke:
+      sizes = {500, 1000, 2000};
+      break;
+  }
+  const size_t d = 6;
+  const size_t k = 100;
+  const size_t num_queries = scale == BenchScale::kSmoke ? 1 : 2;
+
+  const auto dir = std::filesystem::temp_directory_path() / "gir_table2";
+  std::filesystem::create_directories(dir);
+
+  TablePrinter table({"data size", "read data (ms)", "process RRQ (ms)",
+                      "pairwise computations (ms)", "pairwise share (%)"});
+  for (size_t n : sizes) {
+    Dataset points = GenerateUniform(n, d, 1000 + n);
+    Dataset weights = GenerateWeightsUniform(n, d, 2000 + n);
+    const std::string p_path = (dir / ("p" + std::to_string(n))).string();
+    const std::string w_path = (dir / ("w" + std::to_string(n))).string();
+    if (!SaveDataset(p_path, points).ok() ||
+        !SaveDataset(w_path, weights).ok()) {
+      std::fprintf(stderr, "failed to write temp datasets\n");
+      return;
+    }
+
+    // Read time: load both files back.
+    const double read_ms = bench::TimeMs([&] {
+      auto p = LoadDataset(p_path);
+      auto w = LoadDataset(w_path);
+      if (!p.ok() || !w.ok()) std::abort();
+    });
+
+    // Processing time: SIM reverse k-ranks (the scan the paper profiles).
+    SimpleScan sim(points, weights);
+    auto queries = PickQueryIndices(n, num_queries, 42);
+    QueryStats stats;
+    const double process_ms =
+        bench::AvgRkrMs(sim, points, queries, k, &stats) *
+        static_cast<double>(queries.size());
+
+    // Pairwise share: re-run the same inner products in a tight loop.
+    const uint64_t products = stats.inner_products;
+    const double pairwise_ms = bench::TimeMs([&] {
+      volatile Score sink = 0.0;
+      uint64_t done = 0;
+      while (done < products) {
+        const size_t pi = done % points.size();
+        const size_t wi = done % weights.size();
+        sink = sink + InnerProduct(weights.row(wi), points.row(pi));
+        ++done;
+      }
+      (void)sink;
+    });
+
+    table.AddRow({FormatCount(n), FormatDouble(read_ms, 2),
+                  FormatDouble(process_ms, 2), FormatDouble(pairwise_ms, 2),
+                  FormatDouble(100.0 * pairwise_ms / process_ms, 1)});
+  }
+  table.Print();
+  std::filesystem::remove_all(dir);
+  std::printf(
+      "\nExpected shape (paper): reading is negligible next to processing;\n"
+      "pairwise computations dominate the processing time.\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 4: filtering performance of the Grid-index across combinations of
+// P and W distributions (uniform / normal / exponential), d = 6, n = 32.
+//
+// Filtering performance = fraction of scanned points resolved by the grid
+// bounds alone (Case 1 or Case 2), without computing an exact score.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/gin_topk.h"
+
+namespace gir {
+namespace {
+
+double MeasureFilterRate(const Dataset& points, const Dataset& weights,
+                         size_t partitions, size_t weight_sample,
+                         const std::vector<size_t>& queries) {
+  GirOptions opts;
+  opts.partitions = partitions;
+  auto index = GirIndex::Build(points, weights, opts).value();
+  GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                 BoundMode::kUpperFirst};
+  GinScratch scratch;
+  QueryStats stats;
+  const int64_t cap = static_cast<int64_t>(points.size()) + 1;
+  const size_t step = std::max<size_t>(1, weights.size() / weight_sample);
+  for (size_t qi : queries) {
+    for (size_t wi = 0; wi < weights.size(); wi += step) {
+      GInTopK(ctx, weights.row(wi), index.weight_cells().row(wi),
+              points.row(qi), cap, /*domin=*/nullptr, scratch, &stats);
+    }
+  }
+  return stats.FilterRate();
+}
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader("Table 4",
+                     "Grid-index filtering rate across P x W distributions, "
+                     "d = 6, n = 32",
+                     scale);
+
+  const size_t n = ScaledCardinality(100000, scale);
+  const size_t m = ScaledCardinality(100000, scale);
+  const size_t d = 6;
+  const size_t weight_sample = scale == BenchScale::kSmoke ? 20 : 50;
+  const auto queries =
+      PickQueryIndices(n, scale == BenchScale::kSmoke ? 1 : 3, 4242);
+
+  const std::vector<PointDistribution> p_dists = {
+      PointDistribution::kUniform, PointDistribution::kNormal,
+      PointDistribution::kExponential};
+  const std::vector<WeightDistribution> w_dists = {
+      WeightDistribution::kUniform, WeightDistribution::kNormal,
+      WeightDistribution::kExponential};
+
+  TablePrinter table({"W \\ P", "Uniform", "Normal", "Exponential"});
+  for (WeightDistribution wd : w_dists) {
+    std::vector<std::string> row{WeightDistributionName(wd)};
+    Dataset weights = GenerateWeights(wd, m, d, 555);
+    for (PointDistribution pd : p_dists) {
+      Dataset points = GeneratePoints(pd, n, d, 444);
+      const double rate =
+          MeasureFilterRate(points, weights, 32, weight_sample, queries);
+      row.push_back(FormatDouble(100.0 * rate, 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): high filtering everywhere, best on uniform\n"
+      "P, slightly lower on normal P. Paper reports 96.5-99.3%% under its\n"
+      "idealized model; the implementable 2-D cell bounds land lower at\n"
+      "n = 32 but preserve the ordering (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace
+}  // namespace gir
+
+int main() {
+  gir::Run();
+  return 0;
+}

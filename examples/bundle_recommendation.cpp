@@ -1,0 +1,79 @@
+// Bundle recommendation: aggregate reverse rank queries.
+//
+// Reverse top-k and reverse k-ranks target a single product, but sellers
+// bundle: a phone + earbuds + a charger. The aggregate reverse rank query
+// (the authors' DEXA'16 follow-up, implemented in grid/aggregate.h) finds
+// the customers whose preference ranks the *bundle as a whole* best —
+// the sum of the members' ranks.
+//
+// Build & run:  ./build/examples/bundle_recommendation
+
+#include <cstdio>
+#include <vector>
+
+#include "core/rank.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/aggregate.h"
+#include "grid/gir_queries.h"
+
+int main() {
+  using namespace gir;
+
+  // Product catalog: 5 normalized "badness" attributes (price, quality,
+  // weight, battery, compatibility); 30K products, 10K customers.
+  const size_t d = 5;
+  GeneratorOptions gen;
+  gen.range = 1.0;
+  Dataset catalog = GenerateClustered(30000, d, 101, gen);
+  Dataset customers = GenerateWeightsUniform(10000, d, 102);
+  auto index_result = GirIndex::Build(catalog, customers);
+  if (!index_result.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index_result.status().ToString().c_str());
+    return 1;
+  }
+  const GirIndex& index = index_result.value();
+
+  // The bundle: three catalog items sold together.
+  const std::vector<size_t> bundle_ids = {1234, 8765, 20000};
+  Dataset bundle(d);
+  std::printf("Bundle contents (attribute badness, lower = better):\n");
+  for (size_t id : bundle_ids) {
+    bundle.AppendUnchecked(catalog.row(id));
+    std::printf("  item %5zu:", id);
+    for (double v : catalog.row(id)) std::printf(" %.2f", v);
+    std::printf("\n");
+  }
+
+  // Top-10 customers for the bundle as a whole.
+  QueryStats stats;
+  auto targets = GirAggregateReverseRank(index, bundle, 10, &stats);
+  std::printf("\nBest 10 customers for the bundle (aggregate rank = sum of "
+              "the three items' ranks):\n");
+  for (const auto& t : targets) {
+    std::printf("  customer %5u  aggregate rank %6lld  (items rank:",
+                t.weight_id, static_cast<long long>(t.aggregate_rank));
+    for (size_t qi = 0; qi < bundle.size(); ++qi) {
+      std::printf(" %lld",
+                  static_cast<long long>(RankOfQuery(
+                      catalog, customers.row(t.weight_id), bundle.row(qi))));
+    }
+    std::printf(")\n");
+  }
+
+  // Contrast with single-item targeting: the best customers for item 1
+  // alone are usually not the best for the bundle.
+  auto single = index.ReverseKRanks(catalog.row(bundle_ids[0]), 10);
+  size_t overlap = 0;
+  for (const auto& s : single) {
+    for (const auto& t : targets) overlap += s.weight_id == t.weight_id;
+  }
+  std::printf("\nOverlap with the top-10 for item %zu alone: %zu of 10\n",
+              bundle_ids[0], overlap);
+  std::printf("Query cost: %llu exact inner products over a %zu x %zu x %zu "
+              "search space.\n",
+              static_cast<unsigned long long>(stats.inner_products),
+              catalog.size(), customers.size(), bundle.size());
+  return 0;
+}

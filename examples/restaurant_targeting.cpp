@@ -1,0 +1,83 @@
+// Restaurant targeting: the paper's DIANPING business-reviewing scenario.
+//
+// A review platform holds per-restaurant average scores on six aspects
+// (overall rate, flavor, cost, service, environment, waiting time) and
+// per-user preference profiles derived from their review histories. For a
+// given restaurant, reverse k-ranks finds the users who rank it best —
+// the audience a promotion should target — even if the restaurant is in
+// nobody's absolute top-k.
+//
+// Build & run:  ./build/examples/restaurant_targeting
+
+#include <cstdio>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "data/real_like.h"
+#include "grid/gir_queries.h"
+
+int main() {
+  using namespace gir;
+
+  // Synthetic stand-ins with the DIANPING schema (DESIGN.md §4); scaled
+  // down from the real 209K x 510K for an example that runs in seconds.
+  const size_t num_restaurants = 20000;
+  const size_t num_users = 50000;
+  Dataset restaurants = MakeDianpingRestaurantsLike(num_restaurants, 81);
+  Dataset users = MakeDianpingUsersLike(num_users, 82);
+  static const char* kAspects[] = {"rate",    "flavor",      "cost",
+                                   "service", "environment", "waiting"};
+
+  auto index_result = GirIndex::Build(restaurants, users);
+  if (!index_result.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index_result.status().ToString().c_str());
+    return 1;
+  }
+  const GirIndex& index = index_result.value();
+  std::printf("Indexed %zu restaurants x %zu users (GIR, n = %zu, %.1f KB)\n",
+              restaurants.size(), users.size(), index.options().partitions,
+              static_cast<double>(index.MemoryBytes()) / 1024.0);
+
+  // Pick a mid-pack restaurant (id 4242) and profile it.
+  const size_t rid = 4242;
+  ConstRow r = restaurants.row(rid);
+  std::printf("\nRestaurant #%zu aspect scores (0 = perfect, 5 = worst):\n ",
+              rid);
+  for (size_t i = 0; i < restaurants.dim(); ++i) {
+    std::printf(" %s=%.2f", kAspects[i], r[i]);
+  }
+  std::printf("\n");
+
+  // Reverse top-k: is it in anyone's top-50?
+  QueryStats rtk_stats;
+  auto fans = index.ReverseTopK(r, 50, &rtk_stats);
+  std::printf("\nUsers with this restaurant in their top-50: %zu\n",
+              fans.size());
+
+  // Reverse k-ranks never comes back empty: the 15 best-matched users.
+  QueryStats rkr_stats;
+  auto targets = index.ReverseKRanks(r, 15, &rkr_stats);
+  std::printf("\nBest 15 users to target (rank = #restaurants they'd "
+              "prefer):\n");
+  for (const RankedWeight& t : targets) {
+    ConstRow w = users.row(t.weight_id);
+    // The user's dominant aspect explains *why* they match.
+    size_t top_aspect = 0;
+    for (size_t i = 1; i < users.dim(); ++i) {
+      if (w[i] > w[top_aspect]) top_aspect = i;
+    }
+    std::printf("  user %6u  rank %5lld  (cares most about %s: %.2f)\n",
+                t.weight_id, static_cast<long long>(t.rank),
+                kAspects[top_aspect], w[top_aspect]);
+  }
+
+  std::printf("\nQuery work: RTK resolved %.2f%% of scanned points via the "
+              "grid;\nRKR refined only %llu of %llu visited points with "
+              "exact scores.\n",
+              100.0 * rtk_stats.FilterRate(),
+              static_cast<unsigned long long>(rkr_stats.points_refined),
+              static_cast<unsigned long long>(rkr_stats.points_visited));
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "baselines/bbr.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/tree_rank.h"
+
+namespace gir {
+
+BbrReverseTopK::BbrReverseTopK(const Dataset& points, const Dataset& weights,
+                               RTree p_tree, RTree w_tree)
+    : points_(&points),
+      weights_(&weights),
+      p_tree_(std::move(p_tree)),
+      w_tree_(std::move(w_tree)) {}
+
+Result<BbrReverseTopK> BbrReverseTopK::Build(const Dataset& points,
+                                             const Dataset& weights,
+                                             const Options& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument("dimension mismatch between P and W");
+  }
+  RTree::Options tree_options;
+  tree_options.max_entries = options.max_entries;
+  RTree p_tree = RTree::BulkLoad(points, tree_options);
+  RTree w_tree = RTree::BulkLoad(weights, tree_options);
+  return BbrReverseTopK(points, weights, std::move(p_tree),
+                        std::move(w_tree));
+}
+
+void BbrReverseTopK::CollectSubtreeWeights(const RTreeNode& node,
+                                           ReverseTopKResult* result) {
+  if (node.is_leaf) {
+    result->insert(result->end(), node.entries.begin(), node.entries.end());
+    return;
+  }
+  for (const auto& child : node.children) {
+    CollectSubtreeWeights(*child, result);
+  }
+}
+
+void BbrReverseTopK::ProcessWeightNode(const RTreeNode& node, ConstRow q,
+                                       size_t k, ReverseTopKResult* result,
+                                       QueryStats* stats) const {
+  const int64_t kk = static_cast<int64_t>(k);
+  const WeightBoxCounts counts = CountBetterForWeightBox(
+      p_tree_, q, node.mbr.lo(), node.mbr.hi(), /*stop_definite_at=*/kk,
+      stats);
+  if (counts.definitely_better >= kk) {
+    // Every weight in the box sees >= k better points: prune the subtree.
+    if (stats != nullptr) stats->weights_pruned += node.subtree_count;
+    return;
+  }
+  if (counts.possibly_better < kk) {
+    // No weight in the box can see k better points: accept the subtree.
+    if (stats != nullptr) stats->weights_pruned += node.subtree_count;
+    CollectSubtreeWeights(node, result);
+    return;
+  }
+  if (node.is_leaf) {
+    for (VectorId id : node.entries) {
+      ConstRow w = weights_->row(id);
+      const Score qs = InnerProduct(w, q);
+      if (stats != nullptr) {
+        ++stats->inner_products;
+        stats->multiplications += q.size();
+        ++stats->weights_evaluated;
+      }
+      if (TreeRank(p_tree_, w, qs, kk, stats) != kRankOverThreshold) {
+        result->push_back(id);
+      }
+    }
+    return;
+  }
+  for (const auto& child : node.children) {
+    ProcessWeightNode(*child, q, k, result, stats);
+  }
+}
+
+ReverseTopKResult BbrReverseTopK::ReverseTopK(ConstRow q, size_t k,
+                                              QueryStats* stats) const {
+  ReverseTopKResult result;
+  if (weights_->empty() || k == 0) return result;
+  ProcessWeightNode(*w_tree_.root(), q, k, &result, stats);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace gir

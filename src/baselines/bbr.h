@@ -1,0 +1,64 @@
+#ifndef GIR_BASELINES_BBR_H_
+#define GIR_BASELINES_BBR_H_
+
+#include <cstddef>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "rtree/rtree.h"
+
+namespace gir {
+
+/// BBR — the branch-and-bound reverse top-k baseline ([17], Vlachou et
+/// al., SIGMOD 2013): both P and W are indexed in R-trees. The W-tree is
+/// descended with group decisions against the P-tree:
+///   * if >= k points certainly out-rank q for every weight in a W-node's
+///     box, the whole subtree is pruned (none of its weights qualify);
+///   * if < k points can possibly out-rank q for any weight in the box,
+///     the whole subtree is accepted (all of its weights qualify);
+///   * otherwise the node is opened, and at the leaves each remaining
+///     weight is evaluated individually by branch-and-bound rank
+///     counting on the P-tree.
+/// Produces exactly the same result set as the naive oracle.
+struct BbrOptions {
+  size_t max_entries = 100;
+};
+
+class BbrReverseTopK {
+ public:
+  using Options = BbrOptions;
+
+  /// Builds R-trees on both datasets (STR bulk load); the datasets must
+  /// outlive this object. InvalidArgument on dimension mismatch/empty P.
+  static Result<BbrReverseTopK> Build(const Dataset& points,
+                                      const Dataset& weights,
+                                      const Options& options = {});
+
+  /// Reverse top-k of q (Definition 2).
+  ReverseTopKResult ReverseTopK(ConstRow q, size_t k,
+                                QueryStats* stats = nullptr) const;
+
+  const RTree& point_tree() const { return p_tree_; }
+  const RTree& weight_tree() const { return w_tree_; }
+
+ private:
+  BbrReverseTopK(const Dataset& points, const Dataset& weights, RTree p_tree,
+                 RTree w_tree);
+
+  void ProcessWeightNode(const RTreeNode& node, ConstRow q, size_t k,
+                         ReverseTopKResult* result, QueryStats* stats) const;
+
+  static void CollectSubtreeWeights(const RTreeNode& node,
+                                    ReverseTopKResult* result);
+
+  const Dataset* points_;
+  const Dataset* weights_;
+  RTree p_tree_;
+  RTree w_tree_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_BASELINES_BBR_H_

@@ -1,0 +1,58 @@
+#include "baselines/histogram.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gir {
+
+Result<WeightHistogram> WeightHistogram::Build(const Dataset& weights,
+                                               size_t intervals_per_dim) {
+  if (intervals_per_dim == 0) {
+    return Status::InvalidArgument("intervals_per_dim must be positive");
+  }
+  if (weights.empty()) {
+    return Status::InvalidArgument("weight set must be non-empty");
+  }
+  const size_t d = weights.dim();
+  const std::vector<double> lo = weights.PerDimMin();
+  const std::vector<double> hi = weights.PerDimMax();
+  std::vector<double> inv_width(d);
+  for (size_t i = 0; i < d; ++i) {
+    const double extent = hi[i] - lo[i];
+    inv_width[i] = extent > 0.0
+                       ? static_cast<double>(intervals_per_dim) / extent
+                       : 0.0;
+  }
+
+  // Deterministic grouping: ordered map keyed by the cell-id vector.
+  std::map<std::vector<uint16_t>, size_t> index;
+  std::vector<Bucket> buckets;
+  std::vector<uint16_t> key(d);
+  for (size_t w = 0; w < weights.size(); ++w) {
+    ConstRow row = weights.row(w);
+    for (size_t i = 0; i < d; ++i) {
+      size_t cell = inv_width[i] > 0.0
+                        ? static_cast<size_t>((row[i] - lo[i]) * inv_width[i])
+                        : 0;
+      cell = std::min(cell, intervals_per_dim - 1);
+      key[i] = static_cast<uint16_t>(cell);
+    }
+    auto [it, inserted] = index.try_emplace(key, buckets.size());
+    if (inserted) buckets.emplace_back(d);
+    Bucket& bucket = buckets[it->second];
+    bucket.bounds.Expand(row);
+    bucket.members.push_back(static_cast<VectorId>(w));
+  }
+  return WeightHistogram(intervals_per_dim, std::move(buckets));
+}
+
+size_t WeightHistogram::ConceptualBucketCount(size_t dim) const {
+  size_t total = 1;
+  for (size_t i = 0; i < dim; ++i) {
+    if (total > SIZE_MAX / intervals_per_dim_) return SIZE_MAX;
+    total *= intervals_per_dim_;
+  }
+  return total;
+}
+
+}  // namespace gir

@@ -1,0 +1,110 @@
+#include "baselines/mpa.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "baselines/tree_rank.h"
+
+namespace gir {
+
+MpaReverseKRanks::MpaReverseKRanks(const Dataset& points,
+                                   const Dataset& weights, RTree p_tree,
+                                   WeightHistogram histogram)
+    : points_(&points),
+      weights_(&weights),
+      p_tree_(std::move(p_tree)),
+      histogram_(std::move(histogram)) {}
+
+Result<MpaReverseKRanks> MpaReverseKRanks::Build(const Dataset& points,
+                                                 const Dataset& weights,
+                                                 const Options& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument("dimension mismatch between P and W");
+  }
+  auto histogram = WeightHistogram::Build(weights, options.intervals_per_dim);
+  if (!histogram.ok()) return histogram.status();
+  RTree::Options tree_options;
+  tree_options.max_entries = options.max_entries;
+  RTree p_tree = RTree::BulkLoad(points, tree_options);
+  return MpaReverseKRanks(points, weights, std::move(p_tree),
+                          std::move(histogram).value());
+}
+
+ReverseKRanksResult MpaReverseKRanks::ReverseKRanks(ConstRow q, size_t k,
+                                                    QueryStats* stats) const {
+  ReverseKRanksResult heap;  // max-heap on (rank, weight_id)
+  if (k == 0 || weights_->empty()) return heap;
+  heap.reserve(k + 1);
+  const size_t d = q.size();
+  const auto& buckets = histogram_.buckets();
+
+  // Visit order heuristic: ascending score of q under the bucket's box
+  // center. Buckets whose members rank q well come first, tightening the
+  // pruning threshold early.
+  std::vector<size_t> order(buckets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> center_score(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      s += 0.5 * (buckets[b].bounds.lo()[i] + buckets[b].bounds.hi()[i]) *
+           q[i];
+    }
+    center_score[b] = s;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return center_score[a] < center_score[b];
+  });
+
+  const int64_t no_threshold = static_cast<int64_t>(points_->size()) + 1;
+  for (size_t b : order) {
+    const WeightHistogram::Bucket& bucket = buckets[b];
+    const bool full = heap.size() == k;
+    // Strict (rank, id) tie-breaking: a later weight displaces the heap
+    // top on equal rank only with a smaller id, so scans must be able to
+    // report rank == top.rank exactly — the cap is top.rank + 1.
+    const int64_t threshold = full ? heap.front().rank + 1 : no_threshold;
+    if (full) {
+      // Group pruning ("marking"): a lower bound on every member's rank.
+      const WeightBoxCounts counts = CountBetterForWeightBox(
+          p_tree_, q, bucket.bounds.lo(), bucket.bounds.hi(),
+          /*stop_definite_at=*/threshold, stats);
+      if (counts.definitely_better >= threshold) {
+        if (stats != nullptr) stats->weights_pruned += bucket.members.size();
+        continue;
+      }
+    }
+    for (VectorId id : bucket.members) {
+      const int64_t member_threshold =
+          (heap.size() == k) ? heap.front().rank + 1 : no_threshold;
+      ConstRow w = weights_->row(id);
+      const Score qs = InnerProduct(w, q);
+      if (stats != nullptr) {
+        ++stats->inner_products;
+        stats->multiplications += d;
+        ++stats->weights_evaluated;
+      }
+      const int64_t rank =
+          TreeRank(p_tree_, w, qs, member_threshold, stats);
+      if (rank == kRankOverThreshold) continue;
+      RankedWeight entry{id, rank};
+      if (heap.size() < k) {
+        heap.push_back(entry);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (entry < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = entry;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+}  // namespace gir

@@ -1,0 +1,61 @@
+#ifndef GIR_BASELINES_MPA_H_
+#define GIR_BASELINES_MPA_H_
+
+#include <cstddef>
+
+#include "baselines/histogram.h"
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "rtree/rtree.h"
+
+namespace gir {
+
+/// MPA — the marked-pruning-approach reverse k-ranks baseline ([22], Zhang
+/// et al., VLDB 2014): W is grouped in a d-dimensional histogram and P is
+/// indexed in an R-tree. For each bucket a group lower bound on rank(w, q)
+/// (points better than q for every weight in the bucket's box) is computed
+/// by branch-and-bound over the P-tree; buckets whose bound cannot beat
+/// the current k-th best rank are "marked" and skipped wholesale, others
+/// are evaluated weight-by-weight with the same branch-and-bound rank.
+/// Buckets are visited in ascending order of the query's score under the
+/// bucket centroid — a heuristic order that tightens the threshold early
+/// (correctness does not depend on it).
+/// Produces exactly the same result set as the naive oracle.
+struct MpaOptions {
+  /// Histogram intervals per dimension; the paper's suggestion is c = 5.
+  size_t intervals_per_dim = 5;
+  size_t max_entries = 100;
+};
+
+class MpaReverseKRanks {
+ public:
+  using Options = MpaOptions;
+
+  /// Builds the histogram over W and the R-tree over P; the datasets must
+  /// outlive this object.
+  static Result<MpaReverseKRanks> Build(const Dataset& points,
+                                        const Dataset& weights,
+                                        const Options& options = {});
+
+  /// Reverse k-ranks of q (Definition 3).
+  ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  const WeightHistogram& histogram() const { return histogram_; }
+  const RTree& point_tree() const { return p_tree_; }
+
+ private:
+  MpaReverseKRanks(const Dataset& points, const Dataset& weights,
+                   RTree p_tree, WeightHistogram histogram);
+
+  const Dataset* points_;
+  const Dataset* weights_;
+  RTree p_tree_;
+  WeightHistogram histogram_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_BASELINES_MPA_H_

@@ -1,0 +1,87 @@
+#include "baselines/rta.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/topk.h"
+
+namespace gir {
+
+RtaReverseTopK::RtaReverseTopK(const Dataset& points, const Dataset& weights,
+                               std::vector<VectorId> order)
+    : points_(&points), weights_(&weights), order_(std::move(order)) {}
+
+Result<RtaReverseTopK> RtaReverseTopK::Build(const Dataset& points,
+                                             const Dataset& weights) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument("dimension mismatch between P and W");
+  }
+  // Similarity order: lexicographic sort keeps adjacent simplex vectors
+  // close, so consecutive weights share most of their top-k.
+  std::vector<VectorId> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VectorId a, VectorId b) {
+    ConstRow ra = weights.row(a);
+    ConstRow rb = weights.row(b);
+    return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(),
+                                        rb.end());
+  });
+  return RtaReverseTopK(points, weights, std::move(order));
+}
+
+ReverseTopKResult RtaReverseTopK::ReverseTopK(ConstRow q, size_t k,
+                                              QueryStats* stats) const {
+  ReverseTopKResult result;
+  if (k == 0 || weights_->empty()) return result;
+  const size_t d = points_->dim();
+
+  // Candidate buffer: the most recent full top-k answer's point ids.
+  std::vector<VectorId> buffer;
+  uint64_t inner_products = 0;
+  uint64_t weights_pruned = 0, weights_evaluated = 0;
+
+  for (VectorId wid : order_) {
+    ConstRow w = weights_->row(wid);
+    const Score qs = InnerProduct(w, q);
+    ++inner_products;
+
+    if (buffer.size() == k) {
+      // Threshold test: if every buffered point out-ranks q under the
+      // current weight, q cannot be in its top-k — reject for the cost of
+      // k inner products instead of a |P| scan.
+      size_t strictly_better = 0;
+      for (VectorId pid : buffer) {
+        ++inner_products;
+        if (InnerProduct(w, points_->row(pid)) < qs) ++strictly_better;
+      }
+      if (strictly_better >= k) {
+        ++weights_pruned;
+        continue;
+      }
+    }
+
+    // Full evaluation; refresh the buffer with this weight's exact top-k.
+    ++weights_evaluated;
+    auto topk = TopK(*points_, w, k, stats);
+    buffer.clear();
+    for (const ScoredPoint& sp : topk) buffer.push_back(sp.id);
+    // Definition 2: q qualifies iff f_w(q) <= the k-th best score.
+    if (topk.size() < k || qs <= topk.back().score) {
+      result.push_back(wid);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->inner_products += inner_products;
+    stats->multiplications += inner_products * d;
+    stats->weights_pruned += weights_pruned;
+    stats->weights_evaluated += weights_evaluated;
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace gir

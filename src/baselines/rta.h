@@ -1,0 +1,50 @@
+#ifndef GIR_BASELINES_RTA_H_
+#define GIR_BASELINES_RTA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace gir {
+
+/// RTA — the Reverse top-k Threshold Algorithm ([13], Vlachou et al.,
+/// ICDE 2010), the original index-free reverse top-k baseline the paper's
+/// related work describes. Weights are processed in a similarity order;
+/// the top-k answer of the previous weight is kept as a candidate buffer,
+/// and the current weight is *rejected without scanning P* whenever all k
+/// buffered points already out-rank the query under it (k inner products
+/// instead of |P|). Only weights the buffer cannot reject pay for a full
+/// top-k evaluation, which then refreshes the buffer.
+/// Produces exactly the same result set as the naive oracle.
+class RtaReverseTopK {
+ public:
+  /// Precomputes the similarity ordering of `weights` (sorted
+  /// lexicographically, so adjacent preferences are close on the
+  /// simplex). The datasets must outlive this object.
+  static Result<RtaReverseTopK> Build(const Dataset& points,
+                                      const Dataset& weights);
+
+  /// Reverse top-k of q (Definition 2).
+  ReverseTopKResult ReverseTopK(ConstRow q, size_t k,
+                                QueryStats* stats = nullptr) const;
+
+  /// The weight evaluation order (exposed for tests).
+  const std::vector<VectorId>& order() const { return order_; }
+
+ private:
+  RtaReverseTopK(const Dataset& points, const Dataset& weights,
+                 std::vector<VectorId> order);
+
+  const Dataset* points_;
+  const Dataset* weights_;
+  std::vector<VectorId> order_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_BASELINES_RTA_H_

@@ -1,0 +1,160 @@
+#include "baselines/tree_rank.h"
+
+#include <vector>
+
+namespace gir {
+
+namespace {
+
+/// Score bounds of an MBR under a single weight vector (w >= 0, so the
+/// extremes are attained at the corners).
+inline void MbrScoreBounds(const Mbr& box, ConstRow w, Score* lower,
+                           Score* upper) {
+  Score lo = 0.0, hi = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    lo += w[i] * box.lo()[i];
+    hi += w[i] * box.hi()[i];
+  }
+  *lower = lo;
+  *upper = hi;
+}
+
+}  // namespace
+
+int64_t TreeRank(const RTree& p_tree, ConstRow w, Score query_score,
+                 int64_t threshold, QueryStats* stats) {
+  const Dataset& points = p_tree.points();
+  int64_t rank = 0;
+  uint64_t nodes_visited = 0, nodes_pruned = 0;
+  uint64_t inner_products = 0, points_visited = 0;
+  bool over = false;
+
+  std::vector<const RTreeNode*> stack{p_tree.root()};
+  while (!stack.empty() && !over) {
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    ++nodes_visited;
+    Score lower, upper;
+    MbrScoreBounds(node->mbr, w, &lower, &upper);
+    // Bound evaluation costs 2d multiplications, the currency the paper
+    // counts: equivalent to 2 inner products.
+    inner_products += 2;
+    if (upper < query_score) {
+      // Every point below certainly out-ranks the query.
+      rank += static_cast<int64_t>(node->subtree_count);
+      ++nodes_pruned;
+      if (rank >= threshold) over = true;
+      continue;
+    }
+    if (lower >= query_score) {
+      // No point below can out-rank the query.
+      ++nodes_pruned;
+      continue;
+    }
+    if (node->is_leaf) {
+      for (VectorId id : node->entries) {
+        ++points_visited;
+        ++inner_products;
+        if (InnerProduct(w, points.row(id)) < query_score) {
+          if (++rank >= threshold) {
+            over = true;
+            break;
+          }
+        }
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_visited += nodes_visited;
+    stats->nodes_pruned += nodes_pruned;
+    stats->inner_products += inner_products;
+    stats->multiplications += inner_products * points.dim();
+    stats->points_visited += points_visited;
+  }
+  return over ? kRankOverThreshold : rank;
+}
+
+WeightBoxCounts CountBetterForWeightBox(const RTree& p_tree, ConstRow q,
+                                        ConstRow w_lo, ConstRow w_hi,
+                                        int64_t stop_definite_at,
+                                        QueryStats* stats) {
+  const Dataset& points = p_tree.points();
+  const size_t d = q.size();
+  WeightBoxCounts counts;
+  uint64_t nodes_visited = 0, nodes_pruned = 0;
+  uint64_t inner_products = 0, points_visited = 0;
+
+  // For a value vector x (a point or an MBR corner selection):
+  //   max over w in box of sum w[i]*(x[i]-q[i]) uses w_hi where the addend
+  //   is positive, w_lo where negative; min symmetrically.
+  auto max_delta = [&](const std::vector<double>& x_hi) {
+    Score s = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double delta = x_hi[i] - q[i];
+      s += delta * (delta > 0.0 ? w_hi[i] : w_lo[i]);
+    }
+    return s;
+  };
+  auto min_delta = [&](const std::vector<double>& x_lo) {
+    Score s = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double delta = x_lo[i] - q[i];
+      s += delta * (delta > 0.0 ? w_lo[i] : w_hi[i]);
+    }
+    return s;
+  };
+
+  std::vector<const RTreeNode*> stack{p_tree.root()};
+  std::vector<double> point_copy(d);
+  while (!stack.empty()) {
+    if (stop_definite_at >= 0 && counts.definitely_better >= stop_definite_at) {
+      break;
+    }
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    ++nodes_visited;
+    inner_products += 2;
+    // Worst point of the MBR (hi corner) still better for every w?
+    if (max_delta(node->mbr.hi()) < 0.0) {
+      counts.definitely_better += static_cast<int64_t>(node->subtree_count);
+      counts.possibly_better += static_cast<int64_t>(node->subtree_count);
+      ++nodes_pruned;
+      continue;
+    }
+    // Best point of the MBR (lo corner) not better for any w?
+    if (min_delta(node->mbr.lo()) >= 0.0) {
+      ++nodes_pruned;
+      continue;
+    }
+    if (node->is_leaf) {
+      for (VectorId id : node->entries) {
+        ++points_visited;
+        inner_products += 2;
+        ConstRow p = points.row(id);
+        point_copy.assign(p.begin(), p.end());
+        if (max_delta(point_copy) < 0.0) {
+          ++counts.definitely_better;
+          ++counts.possibly_better;
+        } else if (min_delta(point_copy) < 0.0) {
+          ++counts.possibly_better;
+        }
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_visited += nodes_visited;
+    stats->nodes_pruned += nodes_pruned;
+    stats->inner_products += inner_products;
+    stats->multiplications += inner_products * d;
+    stats->points_visited += points_visited;
+  }
+  return counts;
+}
+
+}  // namespace gir

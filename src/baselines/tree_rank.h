@@ -1,0 +1,52 @@
+#ifndef GIR_BASELINES_TREE_RANK_H_
+#define GIR_BASELINES_TREE_RANK_H_
+
+#include <cstdint>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/types.h"
+#include "rtree/rtree.h"
+
+namespace gir {
+
+/// Shared branch-and-bound primitives over an R-tree on the product set P,
+/// used by both tree-based baselines (BBR for reverse top-k, MPA for
+/// reverse k-ranks).
+
+/// Exact rank of a query with score `query_score` under weight w, counting
+/// whole subtrees through MBR score bounds: a node whose upper-bound score
+/// is below the query score contributes subtree_count without descent; a
+/// node whose lower bound is >= the query score is discarded. Returns the
+/// rank if < `threshold`, else kRankOverThreshold as soon as certain.
+int64_t TreeRank(const RTree& p_tree, ConstRow w, Score query_score,
+                 int64_t threshold, QueryStats* stats = nullptr);
+
+/// Counts over P classified against the whole weight box [w_lo, w_hi]
+/// (component-wise bounds of a group of preference vectors).
+struct WeightBoxCounts {
+  /// Points p with f_w(p) < f_w(q) for EVERY w in the box — a lower bound
+  /// on rank(w, q) valid for every member.
+  int64_t definitely_better = 0;
+  /// Points p with f_w(p) < f_w(q) for SOME w in the box — an upper bound
+  /// on rank(w, q) valid for every member.
+  int64_t possibly_better = 0;
+};
+
+/// One R-tree traversal computing both counts. Per-dimension weight choice
+/// makes the bounds exact for boxes:
+///   max_w sum w[i]*(p[i]-q[i]) picks w_hi[i] where p[i] > q[i] else w_lo[i]
+/// (and symmetrically for the min), so a subtree is counted or discarded
+/// wholesale whenever its MBR decides either predicate.
+///
+/// If `stop_definite_at` >= 0, traversal stops early once
+/// definitely_better >= stop_definite_at (possibly_better is then a partial
+/// count — callers use this mode only for pruning decisions).
+WeightBoxCounts CountBetterForWeightBox(const RTree& p_tree, ConstRow q,
+                                        ConstRow w_lo, ConstRow w_hi,
+                                        int64_t stop_definite_at = -1,
+                                        QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_BASELINES_TREE_RANK_H_

@@ -1,0 +1,44 @@
+#ifndef GIR_BENCH_UTIL_TABLE_H_
+#define GIR_BENCH_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gir {
+
+/// Aligned-text table printer for the experiment harnesses. Every bench
+/// binary prints the paper's rows through this (and a trailing CSV block
+/// for machine consumption).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; width must match the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the aligned table.
+  std::string ToText() const;
+
+  /// Renders header + rows as CSV lines.
+  std::string ToCsv() const;
+
+  /// Prints ToText() and, when `with_csv`, a "# CSV" block to stdout.
+  void Print(bool with_csv = true) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34").
+std::string FormatDouble(double value, int precision = 2);
+
+/// Human count formatting with thousands separators ("1,234,567").
+std::string FormatCount(uint64_t value);
+
+}  // namespace gir
+
+#endif  // GIR_BENCH_UTIL_TABLE_H_

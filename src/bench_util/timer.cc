@@ -1,0 +1,2 @@
+// WallTimer is header-only; this translation unit anchors the target.
+#include "bench_util/timer.h"

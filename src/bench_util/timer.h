@@ -1,0 +1,31 @@
+#ifndef GIR_BENCH_UTIL_TIMER_H_
+#define GIR_BENCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gir {
+
+/// Wall-clock stopwatch for the experiment harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Milliseconds since construction/Restart.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Seconds since construction/Restart.
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_BENCH_UTIL_TIMER_H_

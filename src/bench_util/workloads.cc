@@ -1,0 +1,84 @@
+#include "bench_util/workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util/timer.h"
+#include "data/rng.h"
+
+namespace gir {
+
+BenchScale ReadBenchScale() {
+  const char* env = std::getenv("GIR_BENCH_SCALE");
+  if (env == nullptr || env[0] == '\0') return BenchScale::kQuick;
+  if (std::strcmp(env, "smoke") == 0) return BenchScale::kSmoke;
+  if (std::strcmp(env, "quick") == 0) return BenchScale::kQuick;
+  if (std::strcmp(env, "full") == 0) return BenchScale::kFull;
+  std::fprintf(stderr,
+               "warning: unknown GIR_BENCH_SCALE '%s'; using 'quick'\n", env);
+  return BenchScale::kQuick;
+}
+
+const char* BenchScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kQuick:
+      return "quick";
+    case BenchScale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+size_t ScaledCardinality(size_t paper_value, BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kFull:
+      return paper_value;
+    case BenchScale::kQuick:
+      return std::max<size_t>(1000, paper_value / 10);
+    case BenchScale::kSmoke:
+      return std::max<size_t>(1000, paper_value / 100);
+  }
+  return paper_value;
+}
+
+size_t ScaledRepetitions(size_t paper_value, BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kFull:
+      return paper_value;
+    case BenchScale::kQuick:
+      return std::max<size_t>(3, paper_value / 10);
+    case BenchScale::kSmoke:
+      return 2;
+  }
+  return paper_value;
+}
+
+std::vector<size_t> PickQueryIndices(size_t dataset_size, size_t count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> indices(count);
+  for (size_t& idx : indices) idx = rng.NextIndex(dataset_size);
+  return indices;
+}
+
+TimedRun RunTimedQueries(
+    const std::vector<size_t>& query_indices,
+    const std::function<void(size_t, QueryStats*)>& fn) {
+  TimedRun run;
+  run.queries = query_indices.size();
+  WallTimer timer;
+  for (size_t idx : query_indices) {
+    fn(idx, &run.stats);
+  }
+  run.total_ms = timer.ElapsedMs();
+  run.avg_ms = run.queries > 0
+                   ? run.total_ms / static_cast<double>(run.queries)
+                   : 0.0;
+  return run;
+}
+
+}  // namespace gir

@@ -1,0 +1,57 @@
+#ifndef GIR_BENCH_UTIL_WORKLOADS_H_
+#define GIR_BENCH_UTIL_WORKLOADS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "data/generators.h"
+#include "data/weights.h"
+
+namespace gir {
+
+/// Benchmark scale knob, read from the GIR_BENCH_SCALE environment
+/// variable ("smoke", "quick", "full"; default quick). smoke keeps every
+/// bench to seconds for CI; quick reproduces every series at reduced
+/// cardinality/repetitions; full matches the paper's parameters.
+enum class BenchScale { kSmoke, kQuick, kFull };
+
+/// Reads GIR_BENCH_SCALE (defaults to kQuick; unknown values fall back to
+/// kQuick with a warning to stderr).
+BenchScale ReadBenchScale();
+
+const char* BenchScaleName(BenchScale scale);
+
+/// Scales a paper-default cardinality by the bench scale: full keeps it,
+/// quick divides by 10, smoke divides by 100 (minimum 1000).
+size_t ScaledCardinality(size_t paper_value, BenchScale scale);
+
+/// Scales repetition counts: full keeps, quick /10 (min 3), smoke -> 2.
+size_t ScaledRepetitions(size_t paper_value, BenchScale scale);
+
+/// Query workload: row indices into P used as query points (the paper
+/// selects q randomly from P).
+std::vector<size_t> PickQueryIndices(size_t dataset_size, size_t count,
+                                     uint64_t seed);
+
+/// Result of timing one algorithm over a set of queries.
+struct TimedRun {
+  double total_ms = 0.0;
+  double avg_ms = 0.0;
+  QueryStats stats;  // summed over queries
+  size_t queries = 0;
+};
+
+/// Runs `fn(query_index, &stats)` for every query index, timing the whole
+/// batch; `fn` must perform one full query evaluation.
+TimedRun RunTimedQueries(
+    const std::vector<size_t>& query_indices,
+    const std::function<void(size_t, QueryStats*)>& fn);
+
+}  // namespace gir
+
+#endif  // GIR_BENCH_UTIL_WORKLOADS_H_

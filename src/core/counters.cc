@@ -1,0 +1,52 @@
+#include "core/counters.h"
+
+#include <sstream>
+
+namespace gir {
+
+QueryStats& QueryStats::operator+=(const QueryStats& other) {
+  inner_products += other.inner_products;
+  multiplications += other.multiplications;
+  bound_evaluations += other.bound_evaluations;
+  points_visited += other.points_visited;
+  points_filtered += other.points_filtered;
+  points_refined += other.points_refined;
+  points_dominated += other.points_dominated;
+  nodes_visited += other.nodes_visited;
+  nodes_pruned += other.nodes_pruned;
+  weights_evaluated += other.weights_evaluated;
+  weights_pruned += other.weights_pruned;
+  return *this;
+}
+
+double QueryStats::FilterRate() const {
+  if (points_visited == 0) return 0.0;
+  return static_cast<double>(points_filtered) /
+         static_cast<double>(points_visited);
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  auto emit = [&os, first = true](const char* name, uint64_t v) mutable {
+    if (v == 0) return;
+    if (!first) os << " ";
+    first = false;
+    os << name << "=" << v;
+  };
+  emit("inner_products", inner_products);
+  emit("multiplications", multiplications);
+  emit("bound_evaluations", bound_evaluations);
+  emit("points_visited", points_visited);
+  emit("points_filtered", points_filtered);
+  emit("points_refined", points_refined);
+  emit("points_dominated", points_dominated);
+  emit("nodes_visited", nodes_visited);
+  emit("nodes_pruned", nodes_pruned);
+  emit("weights_evaluated", weights_evaluated);
+  emit("weights_pruned", weights_pruned);
+  std::string out = os.str();
+  if (out.empty()) out = "(all zero)";
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,39 @@
+#ifndef GIR_CORE_DOMIN_H_
+#define GIR_CORE_DOMIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gir {
+
+/// Per-query buffer of points known to dominate the query q (p[i] < q[i] on
+/// every dimension). Such points out-rank q under *every* preference vector,
+/// so once discovered during the scan for one weight they are skipped for
+/// all later weights and pre-counted into the rank (Algorithm 1's `Domin`).
+/// Shared by SIM and GIR.
+class DominBuffer {
+ public:
+  explicit DominBuffer(size_t num_points) : member_(num_points, 0) {}
+
+  /// Marks point i as dominating; idempotent.
+  void Add(size_t i) {
+    if (member_[i] == 0) {
+      member_[i] = 1;
+      ++count_;
+    }
+  }
+
+  bool Contains(size_t i) const { return member_[i] != 0; }
+
+  /// Number of distinct dominating points discovered so far.
+  int64_t count() const { return count_; }
+
+ private:
+  std::vector<char> member_;
+  int64_t count_ = 0;
+};
+
+}  // namespace gir
+
+#endif  // GIR_CORE_DOMIN_H_

@@ -1,0 +1,39 @@
+#include "core/naive.h"
+
+#include <algorithm>
+
+#include "core/rank.h"
+
+namespace gir {
+
+ReverseTopKResult NaiveReverseTopK(const Dataset& points,
+                                   const Dataset& weights, ConstRow q,
+                                   size_t k, QueryStats* stats) {
+  ReverseTopKResult result;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const int64_t rank = RankOfQuery(points, weights.row(i), q, stats);
+    if (rank < static_cast<int64_t>(k)) {
+      result.push_back(static_cast<VectorId>(i));
+    }
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  return result;
+}
+
+ReverseKRanksResult NaiveReverseKRanks(const Dataset& points,
+                                       const Dataset& weights, ConstRow q,
+                                       size_t k, QueryStats* stats) {
+  std::vector<RankedWeight> all;
+  all.reserve(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const int64_t rank = RankOfQuery(points, weights.row(i), q, stats);
+    all.push_back(RankedWeight{static_cast<VectorId>(i), rank});
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end());
+  all.resize(take);
+  return all;
+}
+
+}  // namespace gir

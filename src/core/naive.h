@@ -1,0 +1,28 @@
+#ifndef GIR_CORE_NAIVE_H_
+#define GIR_CORE_NAIVE_H_
+
+#include <cstddef>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+
+namespace gir {
+
+/// Exhaustive reverse top-k (Definition 2): computes rank(w, q) for every
+/// w in `weights` with a full scan of `points` and keeps w iff
+/// rank(w, q) < k. O(|P|·|W|·d); the correctness oracle for every other
+/// implementation in this library.
+ReverseTopKResult NaiveReverseTopK(const Dataset& points,
+                                   const Dataset& weights, ConstRow q,
+                                   size_t k, QueryStats* stats = nullptr);
+
+/// Exhaustive reverse k-ranks (Definition 3): computes every rank(w, q) and
+/// returns the k smallest under the (rank, weight_id) order.
+ReverseKRanksResult NaiveReverseKRanks(const Dataset& points,
+                                       const Dataset& weights, ConstRow q,
+                                       size_t k, QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_CORE_NAIVE_H_

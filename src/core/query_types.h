@@ -1,0 +1,35 @@
+#ifndef GIR_CORE_QUERY_TYPES_H_
+#define GIR_CORE_QUERY_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gir {
+
+/// Result of a reverse top-k query: ids of the qualifying weight vectors,
+/// always sorted ascending. Every algorithm in this library produces the
+/// identical set (they share one tie-breaking rule, DESIGN.md §2).
+using ReverseTopKResult = std::vector<VectorId>;
+
+/// One entry of a reverse k-ranks answer.
+struct RankedWeight {
+  VectorId weight_id = 0;
+  int64_t rank = 0;
+
+  friend bool operator==(const RankedWeight&, const RankedWeight&) = default;
+
+  /// Orders by (rank, weight_id): the library-wide deterministic tie rule.
+  friend bool operator<(const RankedWeight& a, const RankedWeight& b) {
+    return a.rank < b.rank || (a.rank == b.rank && a.weight_id < b.weight_id);
+  }
+};
+
+/// Result of a reverse k-ranks query: the k (or |W| if fewer) weights with
+/// the smallest (rank, weight_id), sorted ascending by that pair.
+using ReverseKRanksResult = std::vector<RankedWeight>;
+
+}  // namespace gir
+
+#endif  // GIR_CORE_QUERY_TYPES_H_

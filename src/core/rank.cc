@@ -1,0 +1,47 @@
+#include "core/rank.h"
+
+namespace gir {
+
+int64_t RankOfQuery(const Dataset& points, ConstRow w, ConstRow q,
+                    QueryStats* stats) {
+  const size_t n = points.size();
+  const Score qs = InnerProduct(w, q);
+  int64_t rank = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (InnerProduct(w, points.row(i)) < qs) ++rank;
+  }
+  if (stats != nullptr) {
+    stats->inner_products += n + 1;
+    stats->multiplications += (n + 1) * points.dim();
+    stats->points_visited += n;
+  }
+  return rank;
+}
+
+int64_t RankWithThreshold(const Dataset& points, ConstRow w, ConstRow q,
+                          int64_t threshold, QueryStats* stats) {
+  const size_t n = points.size();
+  const Score qs = InnerProduct(w, q);
+  int64_t rank = 0;
+  size_t visited = 0;
+  int64_t result = 0;
+  bool over = false;
+  for (size_t i = 0; i < n; ++i) {
+    ++visited;
+    if (InnerProduct(w, points.row(i)) < qs) {
+      if (++rank >= threshold) {
+        over = true;
+        break;
+      }
+    }
+  }
+  result = over ? kRankOverThreshold : rank;
+  if (stats != nullptr) {
+    stats->inner_products += visited + 1;
+    stats->multiplications += (visited + 1) * points.dim();
+    stats->points_visited += visited;
+  }
+  return result;
+}
+
+}  // namespace gir

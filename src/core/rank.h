@@ -1,0 +1,27 @@
+#ifndef GIR_CORE_RANK_H_
+#define GIR_CORE_RANK_H_
+
+#include <cstdint>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gir {
+
+/// rank(w, q): the number of points p in `points` with f_w(p) < f_w(q)
+/// (strict — ties with q do not out-rank it; see DESIGN.md §2).
+/// Computes every score; this is the exact oracle used by the naive
+/// algorithms and by tests.
+int64_t RankOfQuery(const Dataset& points, ConstRow w, ConstRow q,
+                    QueryStats* stats = nullptr);
+
+/// Like RankOfQuery but stops as soon as the running rank reaches
+/// `threshold` and returns kRankOverThreshold in that case. This is the
+/// inner loop of the SIM baseline (simple scan with early termination).
+int64_t RankWithThreshold(const Dataset& points, ConstRow w, ConstRow q,
+                          int64_t threshold, QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_CORE_RANK_H_

@@ -1,0 +1,102 @@
+#include "core/simple_scan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/domin.h"
+
+namespace gir {
+
+namespace {
+
+/// Scans P for one weight vector; returns the exact rank if it is below
+/// `threshold`, else kRankOverThreshold. Grows `domin` with any dominating
+/// point encountered before termination.
+int64_t ScanRank(const Dataset& points, ConstRow w, ConstRow q,
+                 int64_t threshold, DominBuffer& domin, QueryStats* stats) {
+  const size_t n = points.size();
+  const Score qs = InnerProduct(w, q);
+  int64_t rank = domin.count();
+  size_t visited = 0;
+  size_t skipped = 0;
+  bool over = rank >= threshold;
+  for (size_t i = 0; !over && i < n; ++i) {
+    if (domin.Contains(i)) {
+      ++skipped;
+      continue;
+    }
+    ++visited;
+    ConstRow p = points.row(i);
+    if (InnerProduct(w, p) < qs) {
+      if (Dominates(p, q)) domin.Add(i);
+      if (++rank >= threshold) over = true;
+    }
+  }
+  if (stats != nullptr) {
+    stats->inner_products += visited + 1;
+    stats->multiplications += (visited + 1) * points.dim();
+    stats->points_visited += visited;
+    stats->points_dominated += skipped;
+  }
+  return over ? kRankOverThreshold : rank;
+}
+
+}  // namespace
+
+SimpleScan::SimpleScan(const Dataset& points, const Dataset& weights)
+    : points_(points), weights_(weights) {}
+
+ReverseTopKResult SimpleScan::ReverseTopK(ConstRow q, size_t k,
+                                          QueryStats* stats) const {
+  ReverseTopKResult result;
+  DominBuffer domin(points_.size());
+  const int64_t threshold = static_cast<int64_t>(k);
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    const int64_t rank =
+        ScanRank(points_, weights_.row(i), q, threshold, domin, stats);
+    if (rank != kRankOverThreshold) {
+      result.push_back(static_cast<VectorId>(i));
+    }
+    if (domin.count() >= threshold) {
+      // At least k points dominate q, so q is outside every top-k
+      // (Algorithm 2, lines 7-8). Any earlier acceptance is impossible:
+      // dominating points out-rank q under every weight.
+      return {};
+    }
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights_.size();
+  return result;
+}
+
+ReverseKRanksResult SimpleScan::ReverseKRanks(ConstRow q, size_t k,
+                                              QueryStats* stats) const {
+  // Max-heap on (rank, weight_id); front is the current worst of the best k.
+  std::vector<RankedWeight> heap;
+  heap.reserve(k + 1);
+  DominBuffer domin(points_.size());
+  const int64_t no_threshold = static_cast<int64_t>(points_.size()) + 1;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    // Weights are processed in increasing id order, so a later weight beats
+    // the heap top only with a strictly smaller rank; the top's rank is a
+    // sound early-termination threshold (self-refining minRank, Alg. 3).
+    const int64_t threshold =
+        (heap.size() == k && k > 0) ? heap.front().rank : no_threshold;
+    const int64_t rank =
+        ScanRank(points_, weights_.row(i), q, threshold, domin, stats);
+    if (rank == kRankOverThreshold || k == 0) continue;
+    RankedWeight entry{static_cast<VectorId>(i), rank};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    } else {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights_.size();
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+}  // namespace gir

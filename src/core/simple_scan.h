@@ -1,0 +1,46 @@
+#ifndef GIR_CORE_SIMPLE_SCAN_H_
+#define GIR_CORE_SIMPLE_SCAN_H_
+
+#include <cstddef>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+
+namespace gir {
+
+/// SIM — the paper's optimized simple scan baseline (§6.1). For each weight
+/// vector it scans P computing exact scores, with two optimizations shared
+/// with GIR:
+///   * a per-query `Domin` buffer of points dominating q: such points rank
+///     better than q under every weight, so later scans skip them and start
+///     the rank counter at |Domin|;
+///   * early termination once the running rank reaches the decision
+///     threshold (k for RTK, the current k-th best rank for RKR).
+/// The only difference from GIR is that SIM computes every score exactly
+/// instead of filtering through Grid-index bounds.
+class SimpleScan {
+ public:
+  /// Both datasets must outlive this object. `weights` rows are assumed
+  /// normalized (checked by ValidateWeightDataset in debug paths).
+  SimpleScan(const Dataset& points, const Dataset& weights);
+
+  /// Reverse top-k of query point q (width dim()).
+  ReverseTopKResult ReverseTopK(ConstRow q, size_t k,
+                                QueryStats* stats = nullptr) const;
+
+  /// Reverse k-ranks of query point q.
+  ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  const Dataset& points() const { return points_; }
+  const Dataset& weights() const { return weights_; }
+
+ private:
+  const Dataset& points_;
+  const Dataset& weights_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_CORE_SIMPLE_SCAN_H_

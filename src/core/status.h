@@ -1,0 +1,104 @@
+#ifndef GIR_CORE_STATUS_H_
+#define GIR_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gir {
+
+/// Error categories used across the library. The library does not throw;
+/// fallible operations return Status (or Result<T> below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object in the RocksDB/Arrow style: a code plus an
+/// optional message. OK statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Use ok() to test, then
+/// value()/status() to access. Accessing the wrong alternative aborts in
+/// debug builds (std::get enforces it).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::IOError(...);` directly.
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : inner_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  const T& value() const& { return std::get<T>(inner_); }
+  T& value() & { return std::get<T>(inner_); }
+  T&& value() && { return std::get<T>(std::move(inner_)); }
+
+  /// Status of a failed result; Status::OK() if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(inner_);
+  }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_CORE_STATUS_H_

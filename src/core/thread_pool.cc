@@ -1,0 +1,84 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace gir {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--in_flight_ == 0) batch_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(1, grain);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (size_t chunk = begin; chunk < end; chunk += grain) {
+      const size_t chunk_end = std::min(end, chunk + grain);
+      tasks_.push([fn, chunk, chunk_end] { fn(chunk, chunk_end); });
+      ++in_flight_;
+    }
+  }
+  work_available_.notify_all();
+  // The caller helps drain the queue, then waits for stragglers.
+  while (RunOneTask()) {
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace gir

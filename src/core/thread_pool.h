@@ -1,0 +1,56 @@
+#ifndef GIR_CORE_THREAD_POOL_H_
+#define GIR_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gir {
+
+/// Minimal fixed-size worker pool for data-parallel scans. Reverse rank
+/// queries are embarrassingly parallel over W (each weight's rank
+/// computation is independent), so ParallelFor over weight stripes is all
+/// the machinery the library needs.
+class ThreadPool {
+ public:
+  /// `threads` == 0 uses std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end) into
+  /// chunks of at most `grain` items, on the pool's workers (the calling
+  /// thread also participates). Blocks until every chunk completes. fn must
+  /// be safe to invoke concurrently on disjoint ranges.
+  /// Not reentrant: issue one ParallelFor at a time per pool.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  /// Pops and runs one task; returns false if the queue was empty.
+  bool RunOneTask();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gir
+
+#endif  // GIR_CORE_THREAD_POOL_H_

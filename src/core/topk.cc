@@ -1,0 +1,37 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace gir {
+
+std::vector<ScoredPoint> TopK(const Dataset& points, ConstRow w, size_t k,
+                              QueryStats* stats) {
+  const size_t n = points.size();
+  const size_t d = points.dim();
+  std::vector<ScoredPoint> heap;  // max-heap on (score, id): worst at front
+  heap.reserve(k + 1);
+  auto worse = [](const ScoredPoint& a, const ScoredPoint& b) {
+    return a.score < b.score || (a.score == b.score && a.id < b.id);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const Score s = InnerProduct(w, points.row(i));
+    ScoredPoint sp{static_cast<VectorId>(i), s};
+    if (heap.size() < k) {
+      heap.push_back(sp);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (k > 0 && worse(sp, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = sp;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  if (stats != nullptr) {
+    stats->inner_products += n;
+    stats->multiplications += n * d;
+    stats->points_visited += n;
+  }
+  std::sort(heap.begin(), heap.end(), worse);
+  return heap;
+}
+
+}  // namespace gir

@@ -1,0 +1,31 @@
+#ifndef GIR_CORE_TOPK_H_
+#define GIR_CORE_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gir {
+
+/// One scored product in a top-k answer.
+struct ScoredPoint {
+  VectorId id = 0;
+  Score score = 0.0;
+
+  friend bool operator==(const ScoredPoint&, const ScoredPoint&) = default;
+};
+
+/// Top-k query (Definition 1): the k points of `points` with the smallest
+/// score f_w(p), ties broken by smaller id. Result is sorted ascending by
+/// (score, id). Returns fewer than k entries iff |points| < k.
+///
+/// `stats`, when non-null, accumulates one inner product per point.
+std::vector<ScoredPoint> TopK(const Dataset& points, ConstRow w, size_t k,
+                              QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_CORE_TOPK_H_

@@ -1,0 +1,26 @@
+#ifndef GIR_CORE_TYPES_H_
+#define GIR_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gir {
+
+/// Index of a point in the product set P or a weight vector in W.
+using VectorId = uint32_t;
+
+/// A read-only view over one d-dimensional row of a Dataset.
+using ConstRow = std::span<const double>;
+
+/// Scores are inner products of non-negative values; double keeps the
+/// accumulated error far below the grid-bound slack for d <= 50.
+using Score = double;
+
+/// Sentinel returned by rank-checking routines when the query's rank is
+/// already known to be >= the current threshold (the paper's "-1").
+inline constexpr int64_t kRankOverThreshold = -1;
+
+}  // namespace gir
+
+#endif  // GIR_CORE_TYPES_H_

@@ -1,0 +1,78 @@
+#ifndef GIR_DATA_GENERATORS_H_
+#define GIR_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace gir {
+
+/// Synthetic product-set distributions from the paper's evaluation (§6.1):
+/// UN (uniform), CL (clustered), AC (anti-correlated); NORMAL and
+/// EXPONENTIAL additionally appear in the Table 4 filtering study.
+enum class PointDistribution {
+  kUniform,
+  kClustered,
+  kAnticorrelated,
+  kNormal,
+  kExponential,
+};
+
+/// Parses "UN" / "CL" / "AC" / "NORMAL" / "EXP" (case-insensitive).
+Result<PointDistribution> ParsePointDistribution(const std::string& name);
+
+/// Short paper-style name ("UN", "CL", ...).
+const char* PointDistributionName(PointDistribution dist);
+
+/// Options shared by the synthetic generators. Defaults follow Table 5:
+/// attribute range [0, 10K), cbrt(n) clusters, sigma = 0.1 (relative to the
+/// range) for clustered data.
+struct GeneratorOptions {
+  /// Attribute values fall in [0, range).
+  double range = 10000.0;
+  /// Number of clusters for kClustered; 0 means cbrt(n) (Table 5).
+  size_t num_clusters = 0;
+  /// Cluster/normal standard deviation as a fraction of `range`.
+  double sigma_fraction = 0.1;
+  /// Rate of the exponential distribution (Table 4 uses lambda = 2, on
+  /// values scaled to the unit range before multiplying by `range`).
+  double exponential_lambda = 2.0;
+};
+
+/// n i.i.d. points uniform on [0, range)^d.
+Dataset GenerateUniform(size_t n, size_t d, uint64_t seed,
+                        const GeneratorOptions& opts = {});
+
+/// Gaussian clusters around uniformly placed centers, clamped to
+/// [0, range). Cluster count and sigma from `opts` (Table 5 defaults).
+Dataset GenerateClustered(size_t n, size_t d, uint64_t seed,
+                          const GeneratorOptions& opts = {});
+
+/// Anti-correlated data (the standard skyline-benchmark construction):
+/// points concentrate around the hyperplane sum(x) = d/2 so that good
+/// values in one dimension trade off against the others. Each point starts
+/// uniform, then is shifted along (1,...,1) so its coordinate sum matches a
+/// Gaussian sample centered at d/2, and clamped to [0, range).
+Dataset GenerateAnticorrelated(size_t n, size_t d, uint64_t seed,
+                               const GeneratorOptions& opts = {});
+
+/// i.i.d. Gaussian per dimension, mean range/2, stddev sigma_fraction*range,
+/// clamped to [0, range).
+Dataset GenerateNormal(size_t n, size_t d, uint64_t seed,
+                       const GeneratorOptions& opts = {});
+
+/// i.i.d. exponential per dimension with rate `exponential_lambda` on the
+/// unit scale, multiplied by `range` and clamped to [0, range).
+Dataset GenerateExponential(size_t n, size_t d, uint64_t seed,
+                            const GeneratorOptions& opts = {});
+
+/// Dispatch over PointDistribution.
+Dataset GeneratePoints(PointDistribution dist, size_t n, size_t d,
+                       uint64_t seed, const GeneratorOptions& opts = {});
+
+}  // namespace gir
+
+#endif  // GIR_DATA_GENERATORS_H_

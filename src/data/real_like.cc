@@ -1,0 +1,144 @@
+#include "data/real_like.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "data/rng.h"
+
+namespace gir {
+
+namespace {
+
+/// Dirichlet(alpha) sample via normalized Gamma draws; Gamma(shape < 1)
+/// handled with the Ahrens-Dieter boost, shape >= 1 with Marsaglia-Tsang.
+double SampleGamma(Rng& rng, double shape) {
+  if (shape < 1.0) {
+    const double u = rng.NextDouble();
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    return SampleGamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = rng.NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+void SampleDirichlet(Rng& rng, const double* alpha, size_t d,
+                     std::vector<double>& out) {
+  double sum = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    out[i] = SampleGamma(rng, alpha[i]);
+    sum += out[i];
+  }
+  for (size_t i = 0; i < d; ++i) out[i] /= sum;
+}
+
+}  // namespace
+
+Dataset MakeHouseLike(size_t n, uint64_t seed) {
+  // Concentration per category: gas, electricity, water, heating,
+  // insurance, property tax. Skew mirrors typical household budgets.
+  static constexpr std::array<double, kHouseDim> kBaseAlpha = {
+      2.0, 4.0, 1.2, 2.5, 5.0, 8.0};
+  Rng rng(seed);
+  Dataset ds(kHouseDim);
+  ds.Reserve(n);
+  std::vector<double> row(kHouseDim);
+  for (size_t i = 0; i < n; ++i) {
+    // Household-level heterogeneity: scale the whole concentration vector,
+    // sharper vectors produce the near-deterministic budget shapes that
+    // appear in the real data.
+    const double sharpness = 0.5 + 3.0 * rng.NextDouble();
+    std::array<double, kHouseDim> alpha;
+    for (size_t j = 0; j < kHouseDim; ++j) {
+      alpha[j] = kBaseAlpha[j] * sharpness;
+    }
+    SampleDirichlet(rng, alpha.data(), kHouseDim, row);
+    for (double& v : row) v *= 100.0;  // percentages
+    ds.AppendUnchecked(row);
+  }
+  return ds;
+}
+
+Dataset MakeColorLike(size_t n, uint64_t seed) {
+  constexpr size_t kComponents = 32;
+  Rng rng(seed);
+  // Component means in [0,1]^9 with correlated channels: a base brightness
+  // value shifts all moments of a component together.
+  std::vector<double> means(kComponents * kColorDim);
+  std::vector<double> sigmas(kComponents * kColorDim);
+  for (size_t c = 0; c < kComponents; ++c) {
+    const double brightness = rng.NextDouble();
+    for (size_t j = 0; j < kColorDim; ++j) {
+      const double channel_offset = 0.35 * (rng.NextDouble() - 0.5);
+      means[c * kColorDim + j] =
+          std::clamp(brightness + channel_offset, 0.02, 0.98);
+      sigmas[c * kColorDim + j] = 0.02 + 0.10 * rng.NextDouble();
+    }
+  }
+  Dataset ds(kColorDim);
+  ds.Reserve(n);
+  std::vector<double> row(kColorDim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(kComponents);
+    for (size_t j = 0; j < kColorDim; ++j) {
+      const double v = rng.NextGaussian(means[c * kColorDim + j],
+                                        sigmas[c * kColorDim + j]);
+      row[j] = std::clamp(v, 0.0, 1.0);
+    }
+    ds.AppendUnchecked(row);
+  }
+  return ds;
+}
+
+Dataset MakeDianpingRestaurantsLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(kDianpingDim);
+  ds.Reserve(n);
+  std::vector<double> row(kDianpingDim);
+  for (size_t i = 0; i < n; ++i) {
+    // Latent quality on a 0-5 star scale; most restaurants are mid-pack.
+    const double quality = std::clamp(rng.NextGaussian(3.6, 0.7), 0.5, 5.0);
+    // Review count controls how much averaging shrinks per-aspect noise.
+    const double reviews = 1.0 + rng.NextExponential(1.0 / 30.0);
+    const double noise = 1.1 / std::sqrt(reviews);
+    for (size_t j = 0; j < kDianpingDim; ++j) {
+      const double aspect_bias = 0.25 * (rng.NextDouble() - 0.5);
+      const double stars = std::clamp(
+          rng.NextGaussian(quality + aspect_bias, noise), 0.0, 5.0);
+      // Min-preferred convention: store "badness" = 5 - stars.
+      row[j] = 5.0 - stars;
+    }
+    ds.AppendUnchecked(row);
+  }
+  return ds;
+}
+
+Dataset MakeDianpingUsersLike(size_t n, uint64_t seed) {
+  // Average emphasis: rate, flavor, cost, service, environment, waiting.
+  static constexpr std::array<double, kDianpingDim> kBaseAlpha = {
+      3.0, 5.0, 4.0, 2.5, 2.0, 1.5};
+  Rng rng(seed);
+  Dataset ds(kDianpingDim);
+  ds.Reserve(n);
+  std::vector<double> row(kDianpingDim);
+  for (size_t i = 0; i < n; ++i) {
+    SampleDirichlet(rng, kBaseAlpha.data(), kDianpingDim, row);
+    ds.AppendUnchecked(row);
+  }
+  return ds;
+}
+
+}  // namespace gir

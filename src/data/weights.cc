@@ -1,0 +1,189 @@
+#include "data/weights.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "data/rng.h"
+
+namespace gir {
+
+namespace {
+
+size_t DefaultClusters(size_t n, size_t configured) {
+  if (configured > 0) return configured;
+  const size_t c = static_cast<size_t>(std::cbrt(static_cast<double>(n)));
+  return std::max<size_t>(1, c);
+}
+
+void SampleSimplexUniform(Rng& rng, std::vector<double>& w) {
+  // Normalized i.i.d. exponentials are Dirichlet(1,...,1): uniform on the
+  // simplex.
+  double sum = 0.0;
+  for (double& v : w) {
+    v = rng.NextExponential(1.0);
+    sum += v;
+  }
+  for (double& v : w) v /= sum;
+}
+
+void NormalizeNonNegative(std::vector<double>& w, Rng& rng) {
+  double sum = 0.0;
+  for (double& v : w) {
+    v = std::max(v, 0.0);
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw; fall back to a fresh uniform simplex sample.
+    SampleSimplexUniform(rng, w);
+    return;
+  }
+  for (double& v : w) v /= sum;
+}
+
+}  // namespace
+
+Result<WeightDistribution> ParseWeightDistribution(const std::string& name) {
+  std::string up;
+  up.reserve(name.size());
+  for (char c : name) up.push_back(static_cast<char>(std::toupper(c)));
+  if (up == "UN" || up == "UNIFORM") return WeightDistribution::kUniform;
+  if (up == "CL" || up == "CLUSTERED") return WeightDistribution::kClustered;
+  if (up == "NORMAL" || up == "NO") return WeightDistribution::kNormal;
+  if (up == "EXP" || up == "EXPONENTIAL") {
+    return WeightDistribution::kExponential;
+  }
+  if (up == "SPARSE") return WeightDistribution::kSparse;
+  return Status::InvalidArgument("unknown weight distribution: " + name);
+}
+
+const char* WeightDistributionName(WeightDistribution dist) {
+  switch (dist) {
+    case WeightDistribution::kUniform:
+      return "UN";
+    case WeightDistribution::kClustered:
+      return "CL";
+    case WeightDistribution::kNormal:
+      return "NORMAL";
+    case WeightDistribution::kExponential:
+      return "EXP";
+    case WeightDistribution::kSparse:
+      return "SPARSE";
+  }
+  return "?";
+}
+
+Dataset GenerateWeightsUniform(size_t n, size_t d, uint64_t seed,
+                               const WeightGeneratorOptions& /*opts*/) {
+  Rng rng(seed);
+  Dataset ds(d);
+  ds.Reserve(n);
+  std::vector<double> w(d);
+  for (size_t i = 0; i < n; ++i) {
+    SampleSimplexUniform(rng, w);
+    ds.AppendUnchecked(w);
+  }
+  return ds;
+}
+
+Dataset GenerateWeightsClustered(size_t n, size_t d, uint64_t seed,
+                                 const WeightGeneratorOptions& opts) {
+  Rng rng(seed);
+  const size_t clusters = DefaultClusters(n, opts.num_clusters);
+  std::vector<double> centers(clusters * d);
+  std::vector<double> w(d);
+  for (size_t c = 0; c < clusters; ++c) {
+    SampleSimplexUniform(rng, w);
+    std::copy(w.begin(), w.end(), centers.begin() + c * d);
+  }
+  Dataset ds(d);
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(clusters);
+    for (size_t j = 0; j < d; ++j) {
+      w[j] = centers[c * d + j] + rng.NextGaussian(0.0, opts.sigma);
+    }
+    NormalizeNonNegative(w, rng);
+    ds.AppendUnchecked(w);
+  }
+  return ds;
+}
+
+Dataset GenerateWeightsNormal(size_t n, size_t d, uint64_t seed,
+                              const WeightGeneratorOptions& /*opts*/) {
+  Rng rng(seed);
+  Dataset ds(d);
+  ds.Reserve(n);
+  std::vector<double> w(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      w[j] = std::abs(rng.NextGaussian(0.5, 0.1));
+    }
+    NormalizeNonNegative(w, rng);
+    ds.AppendUnchecked(w);
+  }
+  return ds;
+}
+
+Dataset GenerateWeightsExponential(size_t n, size_t d, uint64_t seed,
+                                   const WeightGeneratorOptions& opts) {
+  Rng rng(seed);
+  Dataset ds(d);
+  ds.Reserve(n);
+  std::vector<double> w(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      w[j] = rng.NextExponential(opts.exponential_lambda);
+    }
+    NormalizeNonNegative(w, rng);
+    ds.AppendUnchecked(w);
+  }
+  return ds;
+}
+
+Dataset GenerateWeightsSparse(size_t n, size_t d, uint64_t seed,
+                              const WeightGeneratorOptions& opts) {
+  Rng rng(seed);
+  Dataset ds(d);
+  ds.Reserve(n);
+  std::vector<double> w(d);
+  std::vector<size_t> support;
+  for (size_t i = 0; i < n; ++i) {
+    support.clear();
+    for (size_t j = 0; j < d; ++j) {
+      if (rng.NextDouble() < opts.sparsity_nonzero_fraction) {
+        support.push_back(j);
+      }
+    }
+    if (support.empty()) support.push_back(rng.NextIndex(d));
+    std::fill(w.begin(), w.end(), 0.0);
+    double sum = 0.0;
+    for (size_t j : support) {
+      w[j] = rng.NextExponential(1.0);
+      sum += w[j];
+    }
+    for (size_t j : support) w[j] /= sum;
+    ds.AppendUnchecked(w);
+  }
+  return ds;
+}
+
+Dataset GenerateWeights(WeightDistribution dist, size_t n, size_t d,
+                        uint64_t seed, const WeightGeneratorOptions& opts) {
+  switch (dist) {
+    case WeightDistribution::kUniform:
+      return GenerateWeightsUniform(n, d, seed, opts);
+    case WeightDistribution::kClustered:
+      return GenerateWeightsClustered(n, d, seed, opts);
+    case WeightDistribution::kNormal:
+      return GenerateWeightsNormal(n, d, seed, opts);
+    case WeightDistribution::kExponential:
+      return GenerateWeightsExponential(n, d, seed, opts);
+    case WeightDistribution::kSparse:
+      return GenerateWeightsSparse(n, d, seed, opts);
+  }
+  return Dataset(d);
+}
+
+}  // namespace gir

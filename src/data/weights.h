@@ -1,0 +1,73 @@
+#ifndef GIR_DATA_WEIGHTS_H_
+#define GIR_DATA_WEIGHTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace gir {
+
+/// Preference-set distributions used in the paper: UN and CL (Table 5) plus
+/// NORMAL/EXP for the Table 4 filtering study. All generators produce valid
+/// preference vectors: non-negative entries summing to 1.
+enum class WeightDistribution {
+  kUniform,
+  kClustered,
+  kNormal,
+  kExponential,
+  kSparse,
+};
+
+/// Parses "UN" / "CL" / "NORMAL" / "EXP" / "SPARSE" (case-insensitive).
+Result<WeightDistribution> ParseWeightDistribution(const std::string& name);
+
+/// Short paper-style name.
+const char* WeightDistributionName(WeightDistribution dist);
+
+struct WeightGeneratorOptions {
+  /// Number of clusters for kClustered; 0 means cbrt(n) (Table 5).
+  size_t num_clusters = 0;
+  /// Cluster noise before renormalization (absolute, on the simplex scale).
+  double sigma = 0.1;
+  /// Rate for kExponential raw values.
+  double exponential_lambda = 2.0;
+  /// For kSparse: expected fraction of non-zero entries (at least one entry
+  /// is always non-zero).
+  double sparsity_nonzero_fraction = 0.3;
+};
+
+/// n preference vectors uniform on the (d-1)-simplex (Dirichlet(1,...,1),
+/// sampled as normalized exponentials).
+Dataset GenerateWeightsUniform(size_t n, size_t d, uint64_t seed,
+                               const WeightGeneratorOptions& opts = {});
+
+/// Clustered preferences: cluster centers uniform on the simplex; members
+/// are centers plus Gaussian noise, clamped non-negative, renormalized.
+Dataset GenerateWeightsClustered(size_t n, size_t d, uint64_t seed,
+                                 const WeightGeneratorOptions& opts = {});
+
+/// Raw per-dimension |N(0.5, 0.1)| values, renormalized to sum 1.
+Dataset GenerateWeightsNormal(size_t n, size_t d, uint64_t seed,
+                              const WeightGeneratorOptions& opts = {});
+
+/// Raw per-dimension Exp(lambda) values, renormalized to sum 1.
+Dataset GenerateWeightsExponential(size_t n, size_t d, uint64_t seed,
+                                   const WeightGeneratorOptions& opts = {});
+
+/// Sparse preferences (§7 future work: users care about few attributes):
+/// each vector has a random non-empty support, uniform simplex weights on
+/// the support, exact zeros elsewhere.
+Dataset GenerateWeightsSparse(size_t n, size_t d, uint64_t seed,
+                              const WeightGeneratorOptions& opts = {});
+
+/// Dispatch over WeightDistribution.
+Dataset GenerateWeights(WeightDistribution dist, size_t n, size_t d,
+                        uint64_t seed,
+                        const WeightGeneratorOptions& opts = {});
+
+}  // namespace gir
+
+#endif  // GIR_DATA_WEIGHTS_H_

@@ -1,0 +1,77 @@
+#include "grid/adaptive_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "data/rng.h"
+
+namespace gir {
+
+Result<Partitioner> BuildQuantilePartitioner(const Dataset& dataset, size_t n,
+                                             size_t sample_cap) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot fit quantiles to an empty dataset");
+  }
+  if (n == 0 || n > Partitioner::kMaxPartitions) {
+    return Status::InvalidArgument("partition count must be in [1, 255]");
+  }
+  const std::vector<double>& flat = dataset.flat();
+  std::vector<double> sample;
+  if (sample_cap == 0 || flat.size() <= sample_cap) {
+    sample = flat;
+  } else {
+    // Deterministic stride-with-jitter subsample; seed fixed so index
+    // construction is reproducible.
+    Rng rng(0x9d1c1e5fULL ^ flat.size());
+    sample.reserve(sample_cap);
+    const double stride =
+        static_cast<double>(flat.size()) / static_cast<double>(sample_cap);
+    for (size_t i = 0; i < sample_cap; ++i) {
+      const size_t lo = static_cast<size_t>(stride * static_cast<double>(i));
+      const size_t hi = std::min(
+          flat.size() - 1,
+          static_cast<size_t>(stride * static_cast<double>(i + 1)));
+      const size_t idx = lo + (hi > lo ? rng.NextIndex(hi - lo + 1) : 0);
+      sample.push_back(flat[idx]);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+
+  const double max_value = dataset.MaxValue();
+  std::vector<double> boundaries(n + 1);
+  boundaries[0] = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t idx = std::min(
+        sample.size() - 1, (i * sample.size()) / n);
+    boundaries[i] = sample[idx];
+  }
+  // The top boundary must cover the true maximum (not just the sample's).
+  boundaries[n] = std::max(max_value, sample.back());
+  if (boundaries[n] <= 0.0) boundaries[n] = 1.0;  // all-zero degenerate data
+
+  // Enforce strict monotonicity: duplicate quantiles (heavy ties) are
+  // nudged by one ULP; the affected cells become empty rather than invalid.
+  for (size_t i = 1; i <= n; ++i) {
+    if (boundaries[i] <= boundaries[i - 1]) {
+      boundaries[i] = std::nextafter(boundaries[i - 1],
+                                     std::numeric_limits<double>::infinity());
+    }
+  }
+  return Partitioner::FromBoundaries(std::move(boundaries));
+}
+
+Result<GirIndex> BuildAdaptiveGir(const Dataset& points,
+                                  const Dataset& weights,
+                                  const GirOptions& options) {
+  auto pp = BuildQuantilePartitioner(points, options.partitions);
+  if (!pp.ok()) return pp.status();
+  auto wp = BuildQuantilePartitioner(weights, options.partitions);
+  if (!wp.ok()) return wp.status();
+  return GirIndex::BuildWithPartitioners(points, weights,
+                                         std::move(pp).value(),
+                                         std::move(wp).value(), options);
+}
+
+}  // namespace gir

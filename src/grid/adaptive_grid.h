@@ -1,0 +1,35 @@
+#ifndef GIR_GRID_ADAPTIVE_GRID_H_
+#define GIR_GRID_ADAPTIVE_GRID_H_
+
+#include <cstddef>
+
+#include "core/dataset.h"
+#include "core/status.h"
+#include "grid/gir_queries.h"
+#include "grid/partitioner.h"
+
+namespace gir {
+
+/// Non-equal-width Grid-index (the paper's first future-work extension,
+/// §7): partition boundaries are placed at value quantiles of the dataset
+/// instead of equal widths, so skewed data (e.g. normalized weights, whose
+/// mass concentrates near 1/d) gets full cell resolution where the values
+/// actually are. The Grid table and the GIR scan are unchanged — only the
+/// boundaries differ.
+
+/// Builds an equal-frequency partitioner from the pooled values of
+/// `dataset`: boundary i sits at the (i/n)-quantile, with duplicates nudged
+/// to keep boundaries strictly increasing and the ends pinned to 0 and the
+/// dataset maximum. `sample_cap` bounds the sorting cost on huge datasets
+/// (0 means use every value).
+Result<Partitioner> BuildQuantilePartitioner(const Dataset& dataset, size_t n,
+                                             size_t sample_cap = 1 << 20);
+
+/// GirIndex with quantile-adaptive partitioners on both P and W.
+Result<GirIndex> BuildAdaptiveGir(const Dataset& points,
+                                  const Dataset& weights,
+                                  const GirOptions& options = {});
+
+}  // namespace gir
+
+#endif  // GIR_GRID_ADAPTIVE_GRID_H_

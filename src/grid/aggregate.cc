@@ -1,0 +1,100 @@
+#include "grid/aggregate.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/domin.h"
+#include "core/rank.h"
+#include "grid/gin_topk.h"
+
+namespace gir {
+
+AggregateReverseRankResult NaiveAggregateReverseRank(
+    const Dataset& points, const Dataset& weights, const Dataset& queries,
+    size_t k, QueryStats* stats) {
+  std::vector<AggregateRankedWeight> all;
+  all.reserve(weights.size());
+  for (size_t wi = 0; wi < weights.size(); ++wi) {
+    int64_t aggregate = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      aggregate += RankOfQuery(points, weights.row(wi), queries.row(qi),
+                               stats);
+    }
+    all.push_back(
+        AggregateRankedWeight{static_cast<VectorId>(wi), aggregate});
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end());
+  all.resize(take);
+  return all;
+}
+
+AggregateReverseRankResult GirAggregateReverseRank(const GirIndex& index,
+                                                   const Dataset& queries,
+                                                   size_t k,
+                                                   QueryStats* stats) {
+  const Dataset& points = index.points();
+  const Dataset& weights = index.weights();
+  AggregateReverseRankResult heap;  // max-heap on (aggregate, id)
+  if (k == 0 || weights.empty() || queries.empty()) return heap;
+  heap.reserve(k + 1);
+  GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                 index.options().bound_mode};
+  GinScratch scratch;
+
+  // One Domin buffer per bundle member: dominance is relative to a
+  // specific query point but holds across all weights.
+  std::vector<std::unique_ptr<DominBuffer>> domin;
+  if (index.options().use_domin) {
+    domin.reserve(queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      domin.push_back(std::make_unique<DominBuffer>(points.size()));
+    }
+  }
+
+  const int64_t unbounded =
+      static_cast<int64_t>(points.size()) *
+          static_cast<int64_t>(queries.size()) +
+      1;
+  for (size_t wi = 0; wi < weights.size(); ++wi) {
+    // Weights processed in increasing id order: the heap top's aggregate
+    // is a sound strict cap (equal aggregates with larger ids lose).
+    const int64_t cap =
+        (heap.size() == k) ? heap.front().aggregate_rank : unbounded;
+    int64_t aggregate = 0;
+    bool over = false;
+    for (size_t qi = 0; qi < queries.size() && !over; ++qi) {
+      // The remaining budget for this and all later bundle members.
+      const int64_t budget = cap - aggregate;
+      if (budget <= 0) {
+        over = true;
+        break;
+      }
+      const int64_t rank = GInTopK(
+          ctx, weights.row(wi), index.weight_cells().row(wi),
+          queries.row(qi), budget,
+          domin.empty() ? nullptr : domin[qi].get(), scratch, stats);
+      if (rank == kRankOverThreshold) {
+        over = true;
+      } else {
+        aggregate += rank;
+      }
+    }
+    if (over) continue;
+    AggregateRankedWeight entry{static_cast<VectorId>(wi), aggregate};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (entry < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end());
+    }
+    if (stats != nullptr) ++stats->weights_evaluated;
+  }
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+}  // namespace gir

@@ -1,0 +1,55 @@
+#ifndef GIR_GRID_AGGREGATE_H_
+#define GIR_GRID_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/types.h"
+#include "grid/gir_queries.h"
+
+namespace gir {
+
+/// Aggregate reverse rank queries (Dong et al., DEXA 2016 — cited by the
+/// paper as [7]): reverse top-k and reverse k-ranks target one product,
+/// but a manufacturer bundles several. For a query *set* Q the aggregate
+/// rank of a preference w is sum_{q in Q} rank(w, q); the query returns
+/// the k preferences with the smallest aggregate (ties by weight id) —
+/// the customers who like the bundle as a whole.
+
+struct AggregateRankedWeight {
+  VectorId weight_id = 0;
+  int64_t aggregate_rank = 0;
+
+  friend bool operator==(const AggregateRankedWeight&,
+                         const AggregateRankedWeight&) = default;
+
+  /// Library-wide deterministic order: (aggregate rank, id).
+  friend bool operator<(const AggregateRankedWeight& a,
+                        const AggregateRankedWeight& b) {
+    return a.aggregate_rank < b.aggregate_rank ||
+           (a.aggregate_rank == b.aggregate_rank &&
+            a.weight_id < b.weight_id);
+  }
+};
+
+using AggregateReverseRankResult = std::vector<AggregateRankedWeight>;
+
+/// Exhaustive oracle: every rank computed with a full scan.
+/// `queries` rows are the bundle Q; must match the point dimension.
+AggregateReverseRankResult NaiveAggregateReverseRank(
+    const Dataset& points, const Dataset& weights, const Dataset& queries,
+    size_t k, QueryStats* stats = nullptr);
+
+/// Grid-index implementation: per weight, the per-query ranks are computed
+/// with GInTopK scans sharing per-query Domin buffers; a weight is
+/// abandoned as soon as its partial aggregate can no longer beat the
+/// current k-th best. Identical results to the oracle.
+AggregateReverseRankResult GirAggregateReverseRank(
+    const GirIndex& index, const Dataset& queries, size_t k,
+    QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_GRID_AGGREGATE_H_

@@ -1,0 +1,22 @@
+#include "grid/approx_vector.h"
+
+namespace gir {
+
+ApproxVectors ApproxVectors::Build(const Dataset& dataset,
+                                   const Partitioner& partitioner) {
+  const size_t n = dataset.size();
+  const size_t d = dataset.dim();
+  std::vector<uint8_t> cells(n * d);
+  const std::vector<double>& flat = dataset.flat();
+  for (size_t i = 0; i < flat.size(); ++i) {
+    cells[i] = partitioner.CellOf(flat[i]);
+  }
+  return ApproxVectors(d, std::move(cells));
+}
+
+ApproxVectors ApproxVectors::FromCells(size_t dim,
+                                       std::vector<uint8_t> cells) {
+  return ApproxVectors(dim, std::move(cells));
+}
+
+}  // namespace gir

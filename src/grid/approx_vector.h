@@ -1,0 +1,49 @@
+#ifndef GIR_GRID_APPROX_VECTOR_H_
+#define GIR_GRID_APPROX_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "grid/partitioner.h"
+
+namespace gir {
+
+/// The approximate vectors P^(A) / W^(A) (§3.1): every dataset value
+/// replaced by its partition cell id. Stored as contiguous row-major bytes,
+/// the representation the GIR scan reads; the storage-optimized b-bit
+/// packing of §3.2 lives in grid/bit_packed.h.
+class ApproxVectors {
+ public:
+  /// Quantizes every row of `dataset` through `partitioner`.
+  static ApproxVectors Build(const Dataset& dataset,
+                             const Partitioner& partitioner);
+
+  /// Adopts pre-computed cells (row-major, size % dim == 0). Used by the
+  /// bit-packed codec when decoding.
+  static ApproxVectors FromCells(size_t dim, std::vector<uint8_t> cells);
+
+  size_t size() const { return dim_ == 0 ? 0 : cells_.size() / dim_; }
+  size_t dim() const { return dim_; }
+
+  /// Cells of vector i; valid while this object lives.
+  const uint8_t* row(size_t i) const { return cells_.data() + i * dim_; }
+
+  std::span<const uint8_t> cells() const { return cells_; }
+
+  /// Bytes of the in-memory (1 byte per cell) representation.
+  size_t MemoryBytes() const { return cells_.size(); }
+
+ private:
+  ApproxVectors(size_t dim, std::vector<uint8_t> cells)
+      : dim_(dim), cells_(std::move(cells)) {}
+
+  size_t dim_;
+  std::vector<uint8_t> cells_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_APPROX_VECTOR_H_

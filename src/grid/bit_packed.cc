@@ -1,0 +1,78 @@
+#include "grid/bit_packed.h"
+
+#include <string>
+
+namespace gir {
+
+Result<BitPackedVectors> BitPackedVectors::Pack(const ApproxVectors& cells,
+                                                uint32_t bits_per_cell) {
+  if (bits_per_cell == 0 || bits_per_cell > 8) {
+    return Status::InvalidArgument("bits_per_cell must be in [1, 8]");
+  }
+  const uint32_t max_cell =
+      bits_per_cell == 8 ? 255u : ((1u << bits_per_cell) - 1);
+  const size_t dim = cells.dim();
+  const size_t count = cells.size();
+  const size_t bytes_per_vector = (bits_per_cell * dim + 7) / 8;
+  std::vector<uint8_t> payload(bytes_per_vector * count, 0);
+  for (size_t v = 0; v < count; ++v) {
+    const uint8_t* row = cells.row(v);
+    uint8_t* out = payload.data() + v * bytes_per_vector;
+    size_t bit_pos = 0;  // within this vector's bit string, MSB-first
+    for (size_t i = 0; i < dim; ++i) {
+      if (row[i] > max_cell) {
+        return Status::InvalidArgument(
+            "cell id " + std::to_string(row[i]) + " does not fit in " +
+            std::to_string(bits_per_cell) + " bits");
+      }
+      for (uint32_t b = 0; b < bits_per_cell; ++b, ++bit_pos) {
+        const uint32_t bit = (row[i] >> (bits_per_cell - 1 - b)) & 1u;
+        if (bit != 0) out[bit_pos / 8] |= static_cast<uint8_t>(0x80u >> (bit_pos % 8));
+      }
+    }
+  }
+  return BitPackedVectors(bits_per_cell, dim, count, std::move(payload));
+}
+
+Result<BitPackedVectors> BitPackedVectors::FromBlob(PackedBlob blob) {
+  if (blob.bits_per_cell == 0 || blob.bits_per_cell > 8 || blob.dim == 0) {
+    return Status::InvalidArgument("invalid packed blob parameters");
+  }
+  if (blob.payload.size() != blob.BytesPerVector() * blob.count) {
+    return Status::Corruption("packed blob payload size mismatch");
+  }
+  return BitPackedVectors(blob.bits_per_cell, blob.dim, blob.count,
+                          std::move(blob.payload));
+}
+
+PackedBlob BitPackedVectors::ToBlob() const {
+  PackedBlob blob;
+  blob.bits_per_cell = bits_;
+  blob.dim = static_cast<uint32_t>(dim_);
+  blob.count = count_;
+  blob.payload = payload_;
+  return blob;
+}
+
+void BitPackedVectors::DecodeRow(size_t i, uint8_t* out) const {
+  const uint8_t* in = payload_.data() + i * bytes_per_vector_;
+  size_t bit_pos = 0;
+  for (size_t j = 0; j < dim_; ++j) {
+    uint32_t cell = 0;
+    for (uint32_t b = 0; b < bits_; ++b, ++bit_pos) {
+      cell = (cell << 1) |
+             ((in[bit_pos / 8] >> (7 - bit_pos % 8)) & 1u);
+    }
+    out[j] = static_cast<uint8_t>(cell);
+  }
+}
+
+ApproxVectors BitPackedVectors::Unpack() const {
+  std::vector<uint8_t> cells(count_ * dim_);
+  for (size_t i = 0; i < count_; ++i) {
+    DecodeRow(i, cells.data() + i * dim_);
+  }
+  return ApproxVectors::FromCells(dim_, std::move(cells));
+}
+
+}  // namespace gir

@@ -1,0 +1,61 @@
+#ifndef GIR_GRID_BIT_PACKED_H_
+#define GIR_GRID_BIT_PACKED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "grid/approx_vector.h"
+#include "io/packed_io.h"
+
+namespace gir {
+
+/// The §3.2 bit-string compression of approximate vectors: with n = 2^b
+/// partitions each cell needs only b bits, so one vector packs into
+/// ceil(b*d/8) bytes — for b = 6 less than 1/10 of the original 64-bit
+/// float data. Cells are laid out most-significant-first within each
+/// vector's bit string, one byte-aligned row per vector.
+class BitPackedVectors {
+ public:
+  /// Packs `cells` using `bits_per_cell` (1..8). InvalidArgument if any
+  /// cell id needs more bits.
+  static Result<BitPackedVectors> Pack(const ApproxVectors& cells,
+                                       uint32_t bits_per_cell);
+
+  /// Reconstructs from a serialized blob (io/packed_io.h).
+  static Result<BitPackedVectors> FromBlob(PackedBlob blob);
+
+  /// Serializes (copies) into a blob for SavePackedBlob.
+  PackedBlob ToBlob() const;
+
+  /// Decodes everything back to 1-byte-per-cell form.
+  ApproxVectors Unpack() const;
+
+  /// Decodes vector i into out[0..dim). Precondition: i < size().
+  void DecodeRow(size_t i, uint8_t* out) const;
+
+  size_t size() const { return count_; }
+  size_t dim() const { return dim_; }
+  uint32_t bits_per_cell() const { return bits_; }
+
+  /// Bytes of the packed representation.
+  size_t MemoryBytes() const { return payload_.size(); }
+
+ private:
+  BitPackedVectors(uint32_t bits, size_t dim, size_t count,
+                   std::vector<uint8_t> payload)
+      : bits_(bits), dim_(dim), count_(count), payload_(std::move(payload)) {
+    bytes_per_vector_ = (bits_ * dim_ + 7) / 8;
+  }
+
+  uint32_t bits_;
+  size_t dim_;
+  size_t count_;
+  size_t bytes_per_vector_;
+  std::vector<uint8_t> payload_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_BIT_PACKED_H_

@@ -1,0 +1,59 @@
+#ifndef GIR_GRID_BOUNDS_H_
+#define GIR_GRID_BOUNDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+#include "grid/grid_index.h"
+
+namespace gir {
+
+/// Score-bound accumulation (Equations 3-4): L[f_w(p)] and U[f_w(p)] as
+/// sums of grid-cell corner products. These helpers are the readable form
+/// used by tests and filter-rate measurements; the GInTopK hot loop inlines
+/// the same arithmetic on raw pointers.
+
+/// Lower bound of f_w(p) from the cell rows of p and w (length d).
+inline Score ScoreLowerBound(const GridIndex& grid, const uint8_t* p_cells,
+                             const uint8_t* w_cells, size_t d) {
+  const double* g = grid.data();
+  const size_t stride = grid.stride();
+  Score s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    s += g[static_cast<size_t>(p_cells[i]) * stride + w_cells[i]];
+  }
+  return s;
+}
+
+/// Upper bound of f_w(p) from the cell rows of p and w (length d).
+inline Score ScoreUpperBound(const GridIndex& grid, const uint8_t* p_cells,
+                             const uint8_t* w_cells, size_t d) {
+  const double* g = grid.data();
+  const size_t stride = grid.stride();
+  const size_t up = grid.upper_offset();
+  Score s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    s += g[static_cast<size_t>(p_cells[i]) * stride + w_cells[i] + up];
+  }
+  return s;
+}
+
+/// Three-way classification of a scanned point against the query score
+/// (DESIGN.md §2 fixes the paper's boundary cases).
+enum class BoundCase {
+  kPrecedesQuery,   // Case 1: U < f_w(q) — p certainly out-ranks q
+  kExceedsQuery,    // Case 2: L >= f_w(q) — p certainly does not
+  kIncomparable,    // Case 3: bounds straddle f_w(q) — needs refinement
+};
+
+/// Classifies using both bounds.
+inline BoundCase ClassifyBounds(Score lower, Score upper, Score query_score) {
+  if (upper < query_score) return BoundCase::kPrecedesQuery;
+  if (lower >= query_score) return BoundCase::kExceedsQuery;
+  return BoundCase::kIncomparable;
+}
+
+}  // namespace gir
+
+#endif  // GIR_GRID_BOUNDS_H_

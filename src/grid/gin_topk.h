@@ -1,0 +1,78 @@
+#ifndef GIR_GRID_GIN_TOPK_H_
+#define GIR_GRID_GIN_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/domin.h"
+#include "core/types.h"
+#include "grid/approx_vector.h"
+#include "grid/grid_index.h"
+
+namespace gir {
+
+/// How GInTopK evaluates the grid bounds for each scanned point.
+enum class BoundMode {
+  /// The paper's Algorithm 1: both p and w quantized through the 2-D grid
+  /// table; compute U first (d additions) and only compute L for points U
+  /// fails to resolve; unresolved points refined in a batch after the scan.
+  kUpperFirst,
+  /// As kUpperFirst but accumulating L and U together in one pass.
+  /// Ablation alternative measured in bench_ablation_gir.
+  kFused,
+  /// Per-weight scaled grid row (this library's refinement of the paper's
+  /// index): before scanning for weight w, build T[i][c] = w[i] * alpha_p[c]
+  /// (d*(n+1) multiplications, amortized over the whole scan of P). Bounds
+  /// become L = sum T[i][pc[i]], U = sum T[i][pc[i]+1] — still
+  /// multiplication-free per scanned point, but the weight-side
+  /// quantization error disappears, so the bound width is r_p/n
+  /// independent of d (Σw = 1). Unresolved points are refined inline so
+  /// the rank counter advances exactly as in the exact scan, giving SIM's
+  /// early-termination behaviour. Strictly tighter than the 2-D modes for
+  /// normalized weights; results are identical. The ablation bench and
+  /// EXPERIMENTS.md quantify the difference.
+  kExactWeight,
+};
+
+/// Immutable inputs of a GInTopK scan over one product set.
+struct GinContext {
+  const Dataset* points = nullptr;
+  const ApproxVectors* point_cells = nullptr;
+  const GridIndex* grid = nullptr;
+  BoundMode bound_mode = BoundMode::kExactWeight;
+};
+
+/// Caller-provided reusable scratch buffers for GInTopK (cleared/rebuilt on
+/// entry; reuse across calls avoids per-weight allocation).
+struct GinScratch {
+  /// Case-3 points awaiting batch refinement (2-D grid modes only).
+  std::vector<VectorId> candidates;
+  /// Per-weight scaled grid row for kExactWeight, laid out
+  /// [i * (n+1) + c] = w[i] * alpha_p[c].
+  std::vector<double> weight_table;
+  /// Query point's cells, used to pre-filter dominance checks: a point
+  /// with any cell above q's cell cannot dominate q, so its original row
+  /// is never touched.
+  std::vector<uint8_t> query_cells;
+};
+
+/// Algorithm 1 (GInTop-k): the rank of query q under weight w, computed by
+/// scanning the approximate vectors and resolving points through grid
+/// bounds; only Case-3 points are refined with exact scores.
+///
+/// Returns the exact rank(w, q) if it is < `threshold`, otherwise
+/// kRankOverThreshold (the paper's -1) as soon as that is certain.
+///
+/// `w_cells` is w's approximate vector (length d; unused by kExactWeight).
+/// `domin`, when non-null, is the cross-weight dominance buffer: dominated
+/// points are skipped and pre-counted, and newly discovered dominating
+/// points are added.
+int64_t GInTopK(const GinContext& ctx, ConstRow w, const uint8_t* w_cells,
+                ConstRow q, int64_t threshold, DominBuffer* domin,
+                GinScratch& scratch, QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_GRID_GIN_TOPK_H_

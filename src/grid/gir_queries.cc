@@ -1,0 +1,172 @@
+#include "grid/gir_queries.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gir {
+
+GirIndex::GirIndex(const Dataset& points, const Dataset& weights,
+                   GridIndex grid, ApproxVectors point_cells,
+                   ApproxVectors weight_cells, GirOptions options)
+    : points_(&points),
+      weights_(&weights),
+      grid_(std::move(grid)),
+      point_cells_(std::move(point_cells)),
+      weight_cells_(std::move(weight_cells)),
+      options_(options) {}
+
+Result<GirIndex> GirIndex::Build(const Dataset& points, const Dataset& weights,
+                                 const GirOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  // A zero range (all-zero data) degenerates; use 1 so the grid is valid
+  // and every value lands in cell 0.
+  const double point_range = std::max(points.MaxValue(), 1e-300);
+  const double weight_range = std::max(weights.MaxValue(), 1e-300);
+  auto pp = Partitioner::Uniform(options.partitions, point_range);
+  if (!pp.ok()) return pp.status();
+  auto wp = Partitioner::Uniform(options.partitions, weight_range);
+  if (!wp.ok()) return wp.status();
+  return BuildWithPartitioners(points, weights, std::move(pp).value(),
+                               std::move(wp).value(), options);
+}
+
+Result<GirIndex> GirIndex::BuildWithPartitioners(
+    const Dataset& points, const Dataset& weights,
+    Partitioner point_partitioner, Partitioner weight_partitioner,
+    const GirOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument(
+        "dimension mismatch: points " + std::to_string(points.dim()) +
+        " vs weights " + std::to_string(weights.dim()));
+  }
+  if (point_partitioner.boundaries().back() < points.MaxValue()) {
+    return Status::InvalidArgument(
+        "point partitioner range does not cover the dataset maximum");
+  }
+  if (weight_partitioner.boundaries().back() < weights.MaxValue()) {
+    return Status::InvalidArgument(
+        "weight partitioner range does not cover the dataset maximum");
+  }
+  GridIndex grid = GridIndex::Make(std::move(point_partitioner),
+                                   std::move(weight_partitioner));
+  ApproxVectors pa = ApproxVectors::Build(points, grid.point_partitioner());
+  ApproxVectors wa = ApproxVectors::Build(weights, grid.weight_partitioner());
+  return GirIndex(points, weights, std::move(grid), std::move(pa),
+                  std::move(wa), options);
+}
+
+Result<GirIndex> GirIndex::Assemble(const Dataset& points,
+                                    const Dataset& weights,
+                                    Partitioner point_partitioner,
+                                    Partitioner weight_partitioner,
+                                    ApproxVectors point_cells,
+                                    ApproxVectors weight_cells,
+                                    const GirOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument("dimension mismatch between P and W");
+  }
+  if (point_cells.size() != points.size() ||
+      point_cells.dim() != points.dim()) {
+    return Status::InvalidArgument("point cells do not match the point set");
+  }
+  if (weight_cells.size() != weights.size() ||
+      weight_cells.dim() != weights.dim()) {
+    return Status::InvalidArgument(
+        "weight cells do not match the weight set");
+  }
+  if (point_partitioner.boundaries().back() < points.MaxValue() ||
+      weight_partitioner.boundaries().back() < weights.MaxValue()) {
+    return Status::InvalidArgument(
+        "partitioner ranges do not cover the datasets");
+  }
+  const size_t np = point_partitioner.partitions();
+  const size_t nw = weight_partitioner.partitions();
+  for (uint8_t cell : point_cells.cells()) {
+    if (cell >= np) {
+      return Status::Corruption("point cell id out of range");
+    }
+  }
+  for (uint8_t cell : weight_cells.cells()) {
+    if (cell >= nw) {
+      return Status::Corruption("weight cell id out of range");
+    }
+  }
+  GridIndex grid = GridIndex::Make(std::move(point_partitioner),
+                                   std::move(weight_partitioner));
+  return GirIndex(points, weights, std::move(grid), std::move(point_cells),
+                  std::move(weight_cells), options);
+}
+
+ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
+                                        QueryStats* stats) const {
+  GinContext ctx{points_, &point_cells_, &grid_, options_.bound_mode};
+  DominBuffer domin(points_->size());
+  DominBuffer* domin_ptr = options_.use_domin ? &domin : nullptr;
+  GinScratch scratch;
+  ReverseTopKResult result;
+  const int64_t threshold = static_cast<int64_t>(k);
+  for (size_t i = 0; i < weights_->size(); ++i) {
+    const int64_t rank = GInTopK(ctx, weights_->row(i), weight_cells_.row(i),
+                                 q, threshold, domin_ptr, scratch, stats);
+    if (rank != kRankOverThreshold) {
+      result.push_back(static_cast<VectorId>(i));
+    }
+    if (domin_ptr != nullptr && domin_ptr->count() >= threshold) {
+      // Algorithm 2 lines 7-8: k dominating points place q outside every
+      // preference's top-k.
+      return {};
+    }
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights_->size();
+  return result;
+}
+
+ReverseKRanksResult GirIndex::ReverseKRanks(ConstRow q, size_t k,
+                                            QueryStats* stats) const {
+  GinContext ctx{points_, &point_cells_, &grid_, options_.bound_mode};
+  DominBuffer domin(points_->size());
+  DominBuffer* domin_ptr = options_.use_domin ? &domin : nullptr;
+  GinScratch scratch;
+  // Max-heap on (rank, weight_id); front is the worst retained entry.
+  std::vector<RankedWeight> heap;
+  heap.reserve(k + 1);
+  const int64_t no_threshold = static_cast<int64_t>(points_->size()) + 1;
+  for (size_t i = 0; i < weights_->size(); ++i) {
+    // Weights are processed in increasing id order, so the heap top's rank
+    // is a sound strict threshold (Algorithm 3's self-refining minRank).
+    const int64_t threshold =
+        (heap.size() == k && k > 0) ? heap.front().rank : no_threshold;
+    const int64_t rank = GInTopK(ctx, weights_->row(i), weight_cells_.row(i),
+                                 q, threshold, domin_ptr, scratch, stats);
+    if (rank == kRankOverThreshold || k == 0) continue;
+    RankedWeight entry{static_cast<VectorId>(i), rank};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    } else {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  if (stats != nullptr) stats->weights_evaluated += weights_->size();
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+size_t GirIndex::MemoryBytes() const {
+  return grid_.TableBytes() + point_cells_.MemoryBytes() +
+         weight_cells_.MemoryBytes();
+}
+
+}  // namespace gir

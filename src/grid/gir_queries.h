@@ -1,0 +1,107 @@
+#ifndef GIR_GRID_GIR_QUERIES_H_
+#define GIR_GRID_GIR_QUERIES_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "grid/approx_vector.h"
+#include "grid/gin_topk.h"
+#include "grid/grid_index.h"
+
+namespace gir {
+
+/// Construction options for GirIndex. Defaults are the paper's defaults
+/// (Table 5: n = 32; Algorithm 1's upper-bound-first evaluation with the
+/// shared Domin buffer).
+struct GirOptions {
+  /// Number of value-range partitions n for both P and W. Theorem 1 gives
+  /// the n needed for a target filter rate (stats/model.h).
+  size_t partitions = 32;
+  /// Bound evaluation strategy. Default is the per-weight scaled grid row
+  /// (kExactWeight) — same results, strictly tighter bounds than the
+  /// paper's 2-D quantization for normalized weights; the paper-faithful
+  /// modes (kUpperFirst, kFused) remain available and are compared in
+  /// bench_ablation_gir.
+  BoundMode bound_mode = BoundMode::kExactWeight;
+  /// Maintain the cross-weight dominance buffer (Algorithm 1's Domin).
+  /// Disabled only by the ablation bench.
+  bool use_domin = true;
+};
+
+/// GIR — the paper's Grid-index reverse rank query processor. Owns the
+/// Grid-index table and the approximate vectors of P and W; answers
+/// reverse top-k (Algorithm 2) and reverse k-ranks (Algorithm 3) with the
+/// GInTopK filtered scan (Algorithm 1).
+///
+/// The referenced datasets must outlive the index and must not grow while
+/// it is in use (approximate vectors are built at construction).
+class GirIndex {
+ public:
+  /// Builds with uniform (equal-width) partitioners whose ranges are the
+  /// datasets' maxima. InvalidArgument on dimension mismatch, empty P, or
+  /// invalid options.
+  static Result<GirIndex> Build(const Dataset& points, const Dataset& weights,
+                                const GirOptions& options = {});
+
+  /// Builds with caller-supplied partitioners (used by the adaptive-grid
+  /// extension). Partitioner top boundaries must cover the dataset maxima,
+  /// otherwise the grid bounds would not contain the true products.
+  static Result<GirIndex> BuildWithPartitioners(const Dataset& points,
+                                                const Dataset& weights,
+                                                Partitioner point_partitioner,
+                                                Partitioner weight_partitioner,
+                                                const GirOptions& options = {});
+
+  /// Reassembles an index from previously built components (the
+  /// persistence path, grid/index_io.h) without re-quantizing. Validates
+  /// shapes and partitioner coverage; the caller is responsible for
+  /// passing the same datasets the cells were built from.
+  static Result<GirIndex> Assemble(const Dataset& points,
+                                   const Dataset& weights,
+                                   Partitioner point_partitioner,
+                                   Partitioner weight_partitioner,
+                                   ApproxVectors point_cells,
+                                   ApproxVectors weight_cells,
+                                   const GirOptions& options = {});
+
+  /// Reverse top-k (Algorithm 2, GIRTop-k). q must have width dim().
+  ReverseTopKResult ReverseTopK(ConstRow q, size_t k,
+                                QueryStats* stats = nullptr) const;
+
+  /// Reverse k-ranks (Algorithm 3, GIRk-Rank).
+  ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  const Dataset& points() const { return *points_; }
+  const Dataset& weights() const { return *weights_; }
+  const GridIndex& grid() const { return grid_; }
+  const ApproxVectors& point_cells() const { return point_cells_; }
+  const ApproxVectors& weight_cells() const { return weight_cells_; }
+  const GirOptions& options() const { return options_; }
+  size_t dim() const { return points_->dim(); }
+
+  /// Total index memory: grid table + both approximate-vector arrays.
+  /// (The bit-packed §3.2 representation is smaller still; this reports
+  /// the scan-time footprint.)
+  size_t MemoryBytes() const;
+
+ private:
+  GirIndex(const Dataset& points, const Dataset& weights, GridIndex grid,
+           ApproxVectors point_cells, ApproxVectors weight_cells,
+           GirOptions options);
+
+  const Dataset* points_;
+  const Dataset* weights_;
+  GridIndex grid_;
+  ApproxVectors point_cells_;
+  ApproxVectors weight_cells_;
+  GirOptions options_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_GIR_QUERIES_H_

@@ -1,0 +1,29 @@
+#include "grid/grid_index.h"
+
+#include <utility>
+
+namespace gir {
+
+GridIndex::GridIndex(Partitioner point_part, Partitioner weight_part)
+    : point_part_(std::move(point_part)),
+      weight_part_(std::move(weight_part)),
+      stride_(weight_part_.partitions() + 1),
+      upper_offset_(stride_ + 1) {
+  const size_t np = point_part_.partitions();
+  const size_t nw = weight_part_.partitions();
+  table_.resize((np + 1) * (nw + 1));
+  for (size_t i = 0; i <= np; ++i) {
+    const double bp = point_part_.Boundary(i);
+    for (size_t j = 0; j <= nw; ++j) {
+      table_[i * stride_ + j] = bp * weight_part_.Boundary(j);
+    }
+  }
+}
+
+GridIndex GridIndex::Make(Partitioner point_partitioner,
+                          Partitioner weight_partitioner) {
+  return GridIndex(std::move(point_partitioner),
+                   std::move(weight_partitioner));
+}
+
+}  // namespace gir

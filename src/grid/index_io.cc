@@ -1,0 +1,178 @@
+#include "grid/index_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "grid/bit_packed.h"
+
+namespace gir {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'I', 'R', 'I', 'D', 'X', '0', '1'};
+
+uint32_t BitsForPartitions(size_t n) {
+  uint32_t bits = 1;
+  while ((size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteDoubles(std::ofstream& out, const std::vector<double>& v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+bool ReadDoubles(std::ifstream& in, std::vector<double>* v) {
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) return false;
+  if (count > (1u << 20)) return false;  // boundaries are at most 256 long
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return static_cast<bool>(in);
+}
+
+Status WritePacked(std::ofstream& out, const ApproxVectors& cells,
+                   size_t partitions) {
+  auto packed = BitPackedVectors::Pack(cells, BitsForPartitions(partitions));
+  if (!packed.ok()) return packed.status();
+  const PackedBlob blob = packed.value().ToBlob();
+  WriteU32(out, blob.bits_per_cell);
+  WriteU32(out, blob.dim);
+  WriteU64(out, blob.count);
+  out.write(reinterpret_cast<const char*>(blob.payload.data()),
+            static_cast<std::streamsize>(blob.payload.size()));
+  return Status::OK();
+}
+
+Result<ApproxVectors> ReadPacked(std::ifstream& in) {
+  PackedBlob blob;
+  if (!ReadU32(in, &blob.bits_per_cell) || !ReadU32(in, &blob.dim) ||
+      !ReadU64(in, &blob.count)) {
+    return Status::Corruption("truncated packed header");
+  }
+  if (blob.bits_per_cell == 0 || blob.bits_per_cell > 8 || blob.dim == 0) {
+    return Status::Corruption("invalid packed parameters");
+  }
+  blob.payload.resize(blob.BytesPerVector() * blob.count);
+  in.read(reinterpret_cast<char*>(blob.payload.data()),
+          static_cast<std::streamsize>(blob.payload.size()));
+  if (!in) return Status::Corruption("truncated packed payload");
+  auto packed = BitPackedVectors::FromBlob(std::move(blob));
+  if (!packed.ok()) return packed.status();
+  return packed.value().Unpack();
+}
+
+}  // namespace
+
+Status SaveGirIndex(const std::string& path, const GirIndex& index) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const GirOptions& options = index.options();
+  WriteU32(out, static_cast<uint32_t>(options.partitions));
+  WriteU32(out, static_cast<uint32_t>(options.bound_mode));
+  WriteU32(out, options.use_domin ? 1 : 0);
+  WriteU32(out, index.grid().point_partitioner().is_uniform() ? 1 : 0);
+  WriteU32(out, index.grid().weight_partitioner().is_uniform() ? 1 : 0);
+  WriteDoubles(out, index.grid().point_partitioner().boundaries());
+  WriteDoubles(out, index.grid().weight_partitioner().boundaries());
+  Status s = WritePacked(out, index.point_cells(),
+                         index.grid().point_partitions());
+  if (!s.ok()) return s;
+  s = WritePacked(out, index.weight_cells(),
+                  index.grid().weight_partitions());
+  if (!s.ok()) return s;
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
+                              const Dataset& weights, bool verify_cells) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad index header: " + path);
+  }
+  uint32_t partitions = 0, bound_mode = 0, use_domin = 0;
+  uint32_t uniform_p = 0, uniform_w = 0;
+  if (!ReadU32(in, &partitions) || !ReadU32(in, &bound_mode) ||
+      !ReadU32(in, &use_domin) || !ReadU32(in, &uniform_p) ||
+      !ReadU32(in, &uniform_w)) {
+    return Status::Corruption("truncated index options: " + path);
+  }
+  if (bound_mode > static_cast<uint32_t>(BoundMode::kExactWeight)) {
+    return Status::Corruption("unknown bound mode: " + path);
+  }
+  std::vector<double> p_bounds, w_bounds;
+  if (!ReadDoubles(in, &p_bounds) || !ReadDoubles(in, &w_bounds)) {
+    return Status::Corruption("truncated boundaries: " + path);
+  }
+  auto MakePartitioner = [](const std::vector<double>& bounds,
+                            bool uniform) -> Result<Partitioner> {
+    if (uniform) {
+      if (bounds.size() < 2) {
+        return Status::Corruption("invalid boundary count");
+      }
+      return Partitioner::Uniform(bounds.size() - 1, bounds.back());
+    }
+    return Partitioner::FromBoundaries(bounds);
+  };
+  auto pp = MakePartitioner(p_bounds, uniform_p != 0);
+  if (!pp.ok()) return pp.status();
+  auto wp = MakePartitioner(w_bounds, uniform_w != 0);
+  if (!wp.ok()) return wp.status();
+
+  auto point_cells = ReadPacked(in);
+  if (!point_cells.ok()) return point_cells.status();
+  auto weight_cells = ReadPacked(in);
+  if (!weight_cells.ok()) return weight_cells.status();
+
+  if (verify_cells) {
+    auto check = [](const Dataset& data, const ApproxVectors& cells,
+                    const Partitioner& part) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        ConstRow row = data.row(i);
+        for (size_t j = 0; j < data.dim(); ++j) {
+          if (cells.row(i)[j] != part.CellOf(row[j])) return false;
+        }
+      }
+      return true;
+    };
+    if (!check(points, point_cells.value(), pp.value()) ||
+        !check(weights, weight_cells.value(), wp.value())) {
+      return Status::Corruption(
+          "persisted cells do not match the supplied datasets: " + path);
+    }
+  }
+
+  GirOptions options;
+  options.partitions = partitions;
+  options.bound_mode = static_cast<BoundMode>(bound_mode);
+  options.use_domin = use_domin != 0;
+  return GirIndex::Assemble(points, weights, std::move(pp).value(),
+                            std::move(wp).value(),
+                            std::move(point_cells).value(),
+                            std::move(weight_cells).value(), options);
+}
+
+}  // namespace gir

@@ -1,0 +1,34 @@
+#ifndef GIR_GRID_INDEX_IO_H_
+#define GIR_GRID_INDEX_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "grid/gir_queries.h"
+
+namespace gir {
+
+/// Persistence of a built GirIndex — the paper's §3.2 storage pipeline:
+/// the approximate vectors are written bit-packed (b bits per cell,
+/// b = ceil(log2(n))), so the on-disk index is a small fraction of the
+/// original data, and queries can start from the packed file instead of
+/// re-quantizing P and W.
+///
+/// File layout (little-endian): magic "GIRIDX01"; options (partitions,
+/// bound mode, use_domin); both partitioners' boundary arrays (so
+/// adaptive grids round-trip too); both cell arrays as bit-packed blobs.
+
+/// Writes `index` to `path`, replacing any existing file.
+Status SaveGirIndex(const std::string& path, const GirIndex& index);
+
+/// Loads an index previously written with SaveGirIndex and re-attaches it
+/// to `points` / `weights`, which must be the datasets the index was
+/// built from (shape and range are validated; cell contents are trusted —
+/// pass `verify_cells = true` to re-check every cell against the data).
+Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
+                              const Dataset& weights,
+                              bool verify_cells = false);
+
+}  // namespace gir
+
+#endif  // GIR_GRID_INDEX_IO_H_

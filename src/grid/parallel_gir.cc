@@ -1,0 +1,143 @@
+#include "grid/parallel_gir.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "core/domin.h"
+#include "grid/gin_topk.h"
+
+namespace gir {
+
+namespace {
+
+/// Lowers `bound` to `candidate` if smaller (atomic CAS-min).
+void AtomicMin(std::atomic<int64_t>& bound, int64_t candidate) {
+  int64_t current = bound.load(std::memory_order_relaxed);
+  while (candidate < current &&
+         !bound.compare_exchange_weak(current, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+size_t StripeGrain(size_t total, size_t threads) {
+  // A few stripes per worker balances load without shredding the Domin
+  // buffer's usefulness within a stripe.
+  const size_t target_stripes = std::max<size_t>(1, threads * 4);
+  return std::max<size_t>(1, (total + target_stripes - 1) / target_stripes);
+}
+
+}  // namespace
+
+ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
+                                      size_t k, ThreadPool& pool,
+                                      QueryStats* stats) {
+  const Dataset& points = index.points();
+  const Dataset& weights = index.weights();
+  const int64_t threshold = static_cast<int64_t>(k);
+  GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                 index.options().bound_mode};
+
+  std::mutex merge_mutex;
+  ReverseTopKResult result;
+  std::atomic<bool> abort_empty{false};  // >= k dominators found
+
+  pool.ParallelFor(
+      0, weights.size(), StripeGrain(weights.size(), pool.thread_count()),
+      [&](size_t begin, size_t end) {
+        if (abort_empty.load(std::memory_order_relaxed)) return;
+        DominBuffer domin(points.size());
+        DominBuffer* domin_ptr =
+            index.options().use_domin ? &domin : nullptr;
+        GinScratch scratch;
+        QueryStats local_stats;
+        ReverseTopKResult local;
+        for (size_t i = begin; i < end; ++i) {
+          const int64_t rank =
+              GInTopK(ctx, weights.row(i), index.weight_cells().row(i), q,
+                      threshold, domin_ptr, scratch,
+                      stats != nullptr ? &local_stats : nullptr);
+          if (rank != kRankOverThreshold) {
+            local.push_back(static_cast<VectorId>(i));
+          }
+          if (domin_ptr != nullptr && domin_ptr->count() >= threshold) {
+            // Algorithm 2 lines 7-8: q is dominated by >= k points, so the
+            // whole query's answer is empty regardless of stripe.
+            abort_empty.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.insert(result.end(), local.begin(), local.end());
+        if (stats != nullptr) *stats += local_stats;
+      });
+
+  if (abort_empty.load(std::memory_order_relaxed)) return {};
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+ReverseKRanksResult ParallelReverseKRanks(const GirIndex& index, ConstRow q,
+                                          size_t k, ThreadPool& pool,
+                                          QueryStats* stats) {
+  const Dataset& points = index.points();
+  const Dataset& weights = index.weights();
+  if (k == 0 || weights.empty()) return {};
+  GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                 index.options().bound_mode};
+
+  // Shared upper bound on the final k-th best rank. Once any worker holds
+  // k entries of rank <= r, the answer's k-th rank is <= r, so scans may
+  // be capped at r + 1 (keeping rank-r ties alive for the merge).
+  const int64_t no_bound = static_cast<int64_t>(points.size());
+  std::atomic<int64_t> global_bound{no_bound};
+
+  std::mutex merge_mutex;
+  std::vector<RankedWeight> merged;
+  pool.ParallelFor(
+      0, weights.size(), StripeGrain(weights.size(), pool.thread_count()),
+      [&](size_t begin, size_t end) {
+        DominBuffer domin(points.size());
+        DominBuffer* domin_ptr =
+            index.options().use_domin ? &domin : nullptr;
+        GinScratch scratch;
+        QueryStats local_stats;
+        // Private max-heap on (rank, id).
+        std::vector<RankedWeight> heap;
+        heap.reserve(k + 1);
+        for (size_t i = begin; i < end; ++i) {
+          const int64_t shared = global_bound.load(std::memory_order_relaxed);
+          const int64_t local_cap =
+              heap.size() == k ? heap.front().rank : no_bound;
+          const int64_t threshold = std::min(shared, local_cap) + 1;
+          const int64_t rank =
+              GInTopK(ctx, weights.row(i), index.weight_cells().row(i), q,
+                      threshold, domin_ptr, scratch,
+                      stats != nullptr ? &local_stats : nullptr);
+          if (rank == kRankOverThreshold) continue;
+          RankedWeight entry{static_cast<VectorId>(i), rank};
+          if (heap.size() < k) {
+            heap.push_back(entry);
+            std::push_heap(heap.begin(), heap.end());
+          } else if (entry < heap.front()) {
+            std::pop_heap(heap.begin(), heap.end());
+            heap.back() = entry;
+            std::push_heap(heap.begin(), heap.end());
+          }
+          if (heap.size() == k) AtomicMin(global_bound, heap.front().rank);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        merged.insert(merged.end(), heap.begin(), heap.end());
+        if (stats != nullptr) *stats += local_stats;
+      });
+
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  const size_t take = std::min(k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + take, merged.end());
+  merged.resize(take);
+  return merged;
+}
+
+}  // namespace gir

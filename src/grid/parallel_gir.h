@@ -1,0 +1,39 @@
+#ifndef GIR_GRID_PARALLEL_GIR_H_
+#define GIR_GRID_PARALLEL_GIR_H_
+
+#include <cstddef>
+
+#include "core/counters.h"
+#include "core/query_types.h"
+#include "core/thread_pool.h"
+#include "grid/gir_queries.h"
+
+namespace gir {
+
+/// Data-parallel execution of the GIR queries over stripes of W. Results
+/// are identical to the sequential GirIndex methods: each weight's rank is
+/// computed exactly, so the only cross-thread coordination is pruning
+/// state —
+///   * reverse top-k: each worker keeps a private Domin buffer (dominance
+///     facts are rediscovered per stripe rather than shared; soundness is
+///     unaffected);
+///   * reverse k-ranks: workers keep private (rank, id) heaps and share a
+///     monotone global rank bound through an atomic. Scans are capped at
+///     bound+1 so entries tying the final k-th rank survive to the merge,
+///     which resolves ties by the library-wide (rank, id) order.
+///
+/// `stats`, when non-null, receives the merged counters of all workers.
+
+/// Parallel Algorithm 2. q must have width index.dim().
+ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
+                                      size_t k, ThreadPool& pool,
+                                      QueryStats* stats = nullptr);
+
+/// Parallel Algorithm 3.
+ReverseKRanksResult ParallelReverseKRanks(const GirIndex& index, ConstRow q,
+                                          size_t k, ThreadPool& pool,
+                                          QueryStats* stats = nullptr);
+
+}  // namespace gir
+
+#endif  // GIR_GRID_PARALLEL_GIR_H_

@@ -1,0 +1,63 @@
+#include "grid/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace gir {
+
+Result<Partitioner> Partitioner::Uniform(size_t n, double range) {
+  if (n == 0 || n > kMaxPartitions) {
+    return Status::InvalidArgument("partition count must be in [1, 255], got " +
+                                   std::to_string(n));
+  }
+  if (!(range > 0.0) || !std::isfinite(range)) {
+    return Status::InvalidArgument("range must be positive and finite");
+  }
+  std::vector<double> boundaries(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    boundaries[i] = range * static_cast<double>(i) / static_cast<double>(n);
+  }
+  // Pin the top boundary to `range` exactly: range*n/n can round below
+  // range, which would leave the dataset maximum outside the grid.
+  boundaries[n] = range;
+  return Partitioner(std::move(boundaries), /*uniform=*/true);
+}
+
+Result<Partitioner> Partitioner::FromBoundaries(
+    std::vector<double> boundaries) {
+  if (boundaries.size() < 2 || boundaries.size() > kMaxPartitions + 1) {
+    return Status::InvalidArgument("need 2..256 boundaries, got " +
+                                   std::to_string(boundaries.size()));
+  }
+  if (boundaries.front() != 0.0) {
+    return Status::InvalidArgument("first boundary must be 0");
+  }
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    if (!std::isfinite(boundaries[i]) || boundaries[i] <= boundaries[i - 1]) {
+      return Status::InvalidArgument(
+          "boundaries must be finite and strictly increasing");
+    }
+  }
+  return Partitioner(std::move(boundaries), /*uniform=*/false);
+}
+
+uint8_t Partitioner::CellOf(double v) const {
+  const size_t n = partitions();
+  if (uniform_) {
+    double c = v * inv_width_;
+    if (c < 0.0) c = 0.0;
+    size_t cell = static_cast<size_t>(c);
+    if (cell >= n) cell = n - 1;
+    return static_cast<uint8_t>(cell);
+  }
+  // Last boundary <= v; boundaries_[0] == 0 handles v <= 0.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  size_t cell = (it == boundaries_.begin())
+                    ? 0
+                    : static_cast<size_t>(it - boundaries_.begin()) - 1;
+  if (cell >= n) cell = n - 1;
+  return static_cast<uint8_t>(cell);
+}
+
+}  // namespace gir

@@ -1,0 +1,69 @@
+#ifndef GIR_GRID_PARTITIONER_H_
+#define GIR_GRID_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace gir {
+
+/// Maps attribute values to partition cells (the paper's §3.1 value-range
+/// division). A partitioner owns the n+1 boundary values
+/// alpha[0] <= ... <= alpha[n]; value v belongs to cell c iff
+/// alpha[c] <= v < alpha[c+1] (the last cell also includes v == alpha[n]).
+///
+/// Two constructions:
+///   * Uniform(n, range): alpha[i] = i*range/n — the paper's equal-width
+///     grid, with O(1) cell lookup.
+///   * FromBoundaries: arbitrary strictly-increasing boundaries — the
+///     non-equal-width extension (§7 future work), O(log n) lookup.
+///
+/// Cell ids fit in uint8_t; n is limited to kMaxPartitions = 255.
+class Partitioner {
+ public:
+  static constexpr size_t kMaxPartitions = 255;
+
+  /// Equal-width partitioning of [0, range] into n cells.
+  /// InvalidArgument if n == 0, n > kMaxPartitions, or range <= 0.
+  static Result<Partitioner> Uniform(size_t n, double range);
+
+  /// General partitioning with the given boundaries (size n+1, strictly
+  /// increasing, boundaries[0] == 0 so non-negative values below
+  /// boundaries[1] land in cell 0).
+  static Result<Partitioner> FromBoundaries(std::vector<double> boundaries);
+
+  /// Number of cells n.
+  size_t partitions() const { return boundaries_.size() - 1; }
+
+  /// Boundary alpha[i], i in [0, partitions()].
+  double Boundary(size_t i) const { return boundaries_[i]; }
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Cell of value v, clamped into [0, partitions()-1]. Values above the
+  /// top boundary clamp into the last cell — callers must construct the
+  /// partitioner with range >= the dataset maximum for the grid bounds to
+  /// hold (GridIndex::Make checks datasets it is given).
+  uint8_t CellOf(double v) const;
+
+  /// True for the O(1) equal-width fast path.
+  bool is_uniform() const { return uniform_; }
+
+ private:
+  Partitioner(std::vector<double> boundaries, bool uniform)
+      : boundaries_(std::move(boundaries)), uniform_(uniform) {
+    if (uniform_) {
+      inv_width_ = static_cast<double>(partitions()) / boundaries_.back();
+    }
+  }
+
+  std::vector<double> boundaries_;
+  bool uniform_;
+  double inv_width_ = 0.0;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_PARTITIONER_H_

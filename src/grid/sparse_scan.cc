@@ -1,0 +1,188 @@
+#include "grid/sparse_scan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gir {
+
+SparseGir::SparseGir(const Dataset& points, const Dataset& weights,
+                     GridIndex grid, ApproxVectors point_cells,
+                     GirOptions options)
+    : points_(&points),
+      weights_(&weights),
+      grid_(std::move(grid)),
+      point_cells_(std::move(point_cells)),
+      options_(options) {}
+
+Result<SparseGir> SparseGir::Build(const Dataset& points,
+                                   const Dataset& weights,
+                                   const GirOptions& options,
+                                   double zero_threshold) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument("dimension mismatch between P and W");
+  }
+  const double point_range = std::max(points.MaxValue(), 1e-300);
+  const double weight_range = std::max(weights.MaxValue(), 1e-300);
+  auto pp = Partitioner::Uniform(options.partitions, point_range);
+  if (!pp.ok()) return pp.status();
+  auto wp = Partitioner::Uniform(options.partitions, weight_range);
+  if (!wp.ok()) return wp.status();
+  GridIndex grid =
+      GridIndex::Make(std::move(pp).value(), std::move(wp).value());
+  ApproxVectors pa = ApproxVectors::Build(points, grid.point_partitioner());
+
+  SparseGir index(points, weights, std::move(grid), std::move(pa), options);
+  const Partitioner& wpart = index.grid_.weight_partitioner();
+  index.row_offsets_.reserve(weights.size() + 1);
+  index.row_offsets_.push_back(0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    ConstRow w = weights.row(i);
+    for (size_t j = 0; j < w.size(); ++j) {
+      if (w[j] > zero_threshold) {
+        index.nz_dims_.push_back(static_cast<uint32_t>(j));
+        index.nz_values_.push_back(w[j]);
+        index.nz_cells_.push_back(wpart.CellOf(w[j]));
+      }
+    }
+    index.row_offsets_.push_back(index.nz_dims_.size());
+  }
+  return index;
+}
+
+Score SparseGir::SparseScore(size_t weight_row, ConstRow x) const {
+  Score s = 0.0;
+  for (size_t t = row_offsets_[weight_row]; t < row_offsets_[weight_row + 1];
+       ++t) {
+    s += nz_values_[t] * x[nz_dims_[t]];
+  }
+  return s;
+}
+
+int64_t SparseGir::SparseRank(size_t weight_row, Score query_score,
+                              int64_t threshold, DominBuffer* domin,
+                              std::vector<VectorId>& candidates, ConstRow q,
+                              QueryStats* stats) const {
+  const size_t n = points_->size();
+  const size_t nz_begin = row_offsets_[weight_row];
+  const size_t nz_end = row_offsets_[weight_row + 1];
+  const double* g = grid_.data();
+  const size_t stride = grid_.stride();
+  const size_t up_off = grid_.upper_offset();
+
+  candidates.clear();
+  uint64_t visited = 0, filtered = 0, refined = 0, dominated = 0;
+  uint64_t bound_evals = 0, inner_products = 0, mults = 0;
+
+  int64_t rank = (domin != nullptr) ? domin->count() : 0;
+  bool over = rank >= threshold;
+  for (size_t j = 0; !over && j < n; ++j) {
+    if (domin != nullptr && domin->Contains(j)) {
+      ++dominated;
+      continue;
+    }
+    ++visited;
+    const uint8_t* pc = point_cells_.row(j);
+    // Zero-weight dimensions contribute exactly 0 to both bounds.
+    Score lower = 0.0, upper = 0.0;
+    for (size_t t = nz_begin; t < nz_end; ++t) {
+      const size_t base =
+          static_cast<size_t>(pc[nz_dims_[t]]) * stride + nz_cells_[t];
+      lower += g[base];
+      upper += g[base + up_off];
+    }
+    bound_evals += 2;
+    if (upper < query_score) {
+      ++filtered;
+      if (domin != nullptr && Dominates(points_->row(j), q)) domin->Add(j);
+      if (++rank >= threshold) over = true;
+    } else if (lower < query_score) {
+      candidates.push_back(static_cast<VectorId>(j));
+    } else {
+      ++filtered;
+    }
+  }
+  if (!over) {
+    for (VectorId id : candidates) {
+      ++refined;
+      ++inner_products;
+      mults += nz_end - nz_begin;
+      if (SparseScore(weight_row, points_->row(id)) < query_score) {
+        if (++rank >= threshold) {
+          over = true;
+          break;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->points_visited += visited;
+    stats->points_filtered += filtered;
+    stats->points_refined += refined;
+    stats->points_dominated += dominated;
+    stats->bound_evaluations += bound_evals;
+    stats->inner_products += inner_products + 1;
+    stats->multiplications += mults + (nz_end - nz_begin);
+  }
+  return over ? kRankOverThreshold : rank;
+}
+
+ReverseTopKResult SparseGir::ReverseTopK(ConstRow q, size_t k,
+                                         QueryStats* stats) const {
+  DominBuffer domin(points_->size());
+  DominBuffer* domin_ptr = options_.use_domin ? &domin : nullptr;
+  std::vector<VectorId> scratch;
+  ReverseTopKResult result;
+  const int64_t threshold = static_cast<int64_t>(k);
+  for (size_t i = 0; i < weight_count(); ++i) {
+    const Score qs = SparseScore(i, q);
+    const int64_t rank =
+        SparseRank(i, qs, threshold, domin_ptr, scratch, q, stats);
+    if (rank != kRankOverThreshold) {
+      result.push_back(static_cast<VectorId>(i));
+    }
+    if (domin_ptr != nullptr && domin_ptr->count() >= threshold) return {};
+  }
+  if (stats != nullptr) stats->weights_evaluated += weight_count();
+  return result;
+}
+
+ReverseKRanksResult SparseGir::ReverseKRanks(ConstRow q, size_t k,
+                                             QueryStats* stats) const {
+  DominBuffer domin(points_->size());
+  DominBuffer* domin_ptr = options_.use_domin ? &domin : nullptr;
+  std::vector<VectorId> scratch;
+  std::vector<RankedWeight> heap;
+  heap.reserve(k + 1);
+  const int64_t no_threshold = static_cast<int64_t>(points_->size()) + 1;
+  for (size_t i = 0; i < weight_count(); ++i) {
+    const int64_t threshold =
+        (heap.size() == k && k > 0) ? heap.front().rank : no_threshold;
+    const Score qs = SparseScore(i, q);
+    const int64_t rank =
+        SparseRank(i, qs, threshold, domin_ptr, scratch, q, stats);
+    if (rank == kRankOverThreshold || k == 0) continue;
+    RankedWeight entry{static_cast<VectorId>(i), rank};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    } else {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  if (stats != nullptr) stats->weights_evaluated += weight_count();
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+double SparseGir::AverageNonZeros() const {
+  if (weight_count() == 0) return 0.0;
+  return static_cast<double>(nz_dims_.size()) /
+         static_cast<double>(weight_count());
+}
+
+}  // namespace gir

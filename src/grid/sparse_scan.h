@@ -1,0 +1,73 @@
+#ifndef GIR_GRID_SPARSE_SCAN_H_
+#define GIR_GRID_SPARSE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "grid/gir_queries.h"
+
+namespace gir {
+
+/// Sparse-preference GIR (the paper's second future-work extension, §7):
+/// when most users weight only a few attributes, W is stored in CSR form
+/// and both the exact scores and the grid bounds skip zero-weight
+/// dimensions entirely. Zero dimensions contribute exactly 0 to the score,
+/// which is *tighter* than the dense grid bound (whose upper corner for
+/// weight-cell 0 is alpha_p[pc+1] * alpha_w[1] > 0), so sparse bounds
+/// filter at least as well while doing less work.
+class SparseGir {
+ public:
+  /// Builds from a dense weight dataset; entries <= `zero_threshold` are
+  /// treated as exact zeros. The dense GIR options control partitions and
+  /// Domin use; bound_mode is ignored (the sparse scan always fuses L/U —
+  /// with few non-zeros the second pass would dominate).
+  static Result<SparseGir> Build(const Dataset& points, const Dataset& weights,
+                                 const GirOptions& options = {},
+                                 double zero_threshold = 0.0);
+
+  /// Reverse top-k; identical results to GirIndex::ReverseTopK.
+  ReverseTopKResult ReverseTopK(ConstRow q, size_t k,
+                                QueryStats* stats = nullptr) const;
+
+  /// Reverse k-ranks; identical results to GirIndex::ReverseKRanks.
+  ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  /// Average non-zero entries per weight vector.
+  double AverageNonZeros() const;
+
+  size_t dim() const { return points_->dim(); }
+  size_t weight_count() const { return row_offsets_.size() - 1; }
+
+ private:
+  SparseGir(const Dataset& points, const Dataset& weights, GridIndex grid,
+            ApproxVectors point_cells, GirOptions options);
+
+  /// Rank of q under sparse weight row i if < threshold, else
+  /// kRankOverThreshold.
+  int64_t SparseRank(size_t weight_row, Score query_score, int64_t threshold,
+                     DominBuffer* domin, std::vector<VectorId>& candidates,
+                     ConstRow q, QueryStats* stats) const;
+
+  Score SparseScore(size_t weight_row, ConstRow x) const;
+
+  const Dataset* points_;
+  const Dataset* weights_;
+  GridIndex grid_;
+  ApproxVectors point_cells_;
+  GirOptions options_;
+  // CSR storage of the non-zero weight entries.
+  std::vector<size_t> row_offsets_;
+  std::vector<uint32_t> nz_dims_;
+  std::vector<double> nz_values_;
+  std::vector<uint8_t> nz_cells_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_SPARSE_SCAN_H_

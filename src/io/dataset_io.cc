@@ -1,0 +1,56 @@
+#include "io/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace gir {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'I', 'R', 'D', 'A', 'T', 'A', '1'};
+
+}  // namespace
+
+Status SaveDataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const uint32_t dim = static_cast<uint32_t>(dataset.dim());
+  const uint64_t count = dataset.size();
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const auto& flat = dataset.flat();
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(double)));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad dataset header: " + path);
+  }
+  if (dim == 0) return Status::Corruption("zero dimensionality: " + path);
+  std::vector<double> values(static_cast<size_t>(count) * dim);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) return Status::Corruption("truncated dataset payload: " + path);
+  return Dataset::FromFlat(dim, std::move(values));
+}
+
+size_t DatasetFileBytes(const Dataset& dataset) {
+  return sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t) +
+         dataset.size() * dataset.dim() * sizeof(double);
+}
+
+}  // namespace gir

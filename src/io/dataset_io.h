@@ -1,0 +1,29 @@
+#ifndef GIR_IO_DATASET_IO_H_
+#define GIR_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace gir {
+
+/// Binary dataset file format (little-endian):
+///   8-byte magic "GIRDATA1", uint32 dim, uint64 count,
+///   count*dim float64 values (row-major).
+/// Used by the Table 2 experiment to compare raw read time against query
+/// CPU time, and generally to persist generated workloads.
+
+/// Writes `dataset` to `path`, replacing any existing file.
+Status SaveDataset(const std::string& path, const Dataset& dataset);
+
+/// Reads a dataset previously written with SaveDataset. Returns IOError if
+/// the file cannot be read and Corruption if the header or size is invalid.
+Result<Dataset> LoadDataset(const std::string& path);
+
+/// Size in bytes the file for `dataset` will occupy.
+size_t DatasetFileBytes(const Dataset& dataset);
+
+}  // namespace gir
+
+#endif  // GIR_IO_DATASET_IO_H_

@@ -1,0 +1,54 @@
+#include "io/packed_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace gir {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'I', 'R', 'A', 'P', 'P', 'X', '1'};
+
+}  // namespace
+
+Status SavePackedBlob(const std::string& path, const PackedBlob& blob) {
+  if (blob.payload.size() != blob.BytesPerVector() * blob.count) {
+    return Status::InvalidArgument("packed blob payload size mismatch");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&blob.bits_per_cell),
+            sizeof(blob.bits_per_cell));
+  out.write(reinterpret_cast<const char*>(&blob.dim), sizeof(blob.dim));
+  out.write(reinterpret_cast<const char*>(&blob.count), sizeof(blob.count));
+  out.write(reinterpret_cast<const char*>(blob.payload.data()),
+            static_cast<std::streamsize>(blob.payload.size()));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<PackedBlob> LoadPackedBlob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  PackedBlob blob;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&blob.bits_per_cell),
+          sizeof(blob.bits_per_cell));
+  in.read(reinterpret_cast<char*>(&blob.dim), sizeof(blob.dim));
+  in.read(reinterpret_cast<char*>(&blob.count), sizeof(blob.count));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad packed header: " + path);
+  }
+  if (blob.bits_per_cell == 0 || blob.bits_per_cell > 8 || blob.dim == 0) {
+    return Status::Corruption("invalid packed parameters: " + path);
+  }
+  blob.payload.resize(blob.BytesPerVector() * blob.count);
+  in.read(reinterpret_cast<char*>(blob.payload.data()),
+          static_cast<std::streamsize>(blob.payload.size()));
+  if (!in) return Status::Corruption("truncated packed payload: " + path);
+  return blob;
+}
+
+}  // namespace gir

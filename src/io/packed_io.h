@@ -1,0 +1,35 @@
+#ifndef GIR_IO_PACKED_IO_H_
+#define GIR_IO_PACKED_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace gir {
+
+/// Serialized form of a bit-packed approximate-vector array (§3.2): each of
+/// `count` vectors stores `dim` cells of `bits_per_cell` bits each,
+/// concatenated most-significant-cell-first per vector, padded to a byte
+/// boundary per vector (so rows stay independently addressable).
+struct PackedBlob {
+  uint32_t bits_per_cell = 0;
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  std::vector<uint8_t> payload;
+
+  /// Bytes one packed vector occupies.
+  size_t BytesPerVector() const { return (bits_per_cell * dim + 7) / 8; }
+};
+
+/// File format: 8-byte magic "GIRAPPX1", uint32 bits_per_cell, uint32 dim,
+/// uint64 count, payload bytes.
+Status SavePackedBlob(const std::string& path, const PackedBlob& blob);
+
+/// Reads a blob written with SavePackedBlob; validates header and size.
+Result<PackedBlob> LoadPackedBlob(const std::string& path);
+
+}  // namespace gir
+
+#endif  // GIR_IO_PACKED_IO_H_

@@ -1,0 +1,152 @@
+#include "rtree/mbr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gir {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Mbr::Mbr(size_t dim) : lo_(dim, kInf), hi_(dim, -kInf), empty_(true) {}
+
+Mbr::Mbr(ConstRow point)
+    : lo_(point.begin(), point.end()),
+      hi_(point.begin(), point.end()),
+      empty_(false) {}
+
+Mbr::Mbr(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)), empty_(false) {}
+
+void Mbr::Expand(ConstRow point) {
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo_[i] = std::min(lo_[i], point[i]);
+    hi_[i] = std::max(hi_[i], point[i]);
+  }
+  empty_ = false;
+}
+
+void Mbr::Expand(const Mbr& other) {
+  if (other.empty_) return;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+  empty_ = false;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  if (empty_ || other.empty_) return false;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (lo_[i] > other.hi_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(ConstRow point) const {
+  if (empty_) return false;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::ContainsMbr(const Mbr& other) const {
+  if (empty_ || other.empty_) return false;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+double Mbr::MinDistSquared(ConstRow point) const {
+  if (empty_) return kInf;
+  double sq = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    double delta = 0.0;
+    if (point[i] < lo_[i]) {
+      delta = lo_[i] - point[i];
+    } else if (point[i] > hi_[i]) {
+      delta = point[i] - hi_[i];
+    }
+    sq += delta * delta;
+  }
+  return sq;
+}
+
+double Mbr::DiagonalLength() const {
+  if (empty_) return 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double e = hi_[i] - lo_[i];
+    sq += e * e;
+  }
+  return std::sqrt(sq);
+}
+
+double Mbr::MarginSum() const {
+  if (empty_) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) sum += hi_[i] - lo_[i];
+  return sum;
+}
+
+double Mbr::Log10Volume() const {
+  if (empty_) return -kInf;
+  double log_v = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double e = hi_[i] - lo_[i];
+    if (e <= 0.0) return -kInf;
+    log_v += std::log10(e);
+  }
+  return log_v;
+}
+
+double Mbr::ShapeRatio() const {
+  if (empty_) return 1.0;
+  double shortest = kInf;
+  double longest = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double e = hi_[i] - lo_[i];
+    shortest = std::min(shortest, e);
+    longest = std::max(longest, e);
+  }
+  if (longest == 0.0) return 1.0;
+  if (shortest == 0.0) return kInf;
+  return longest / shortest;
+}
+
+double Mbr::OverlapLog10Volume(const Mbr& other) const {
+  if (empty_ || other.empty_) return -kInf;
+  double log_v = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double e =
+        std::min(hi_[i], other.hi_[i]) - std::max(lo_[i], other.lo_[i]);
+    if (e <= 0.0) return -kInf;
+    log_v += std::log10(e);
+  }
+  return log_v;
+}
+
+double Mbr::OverlapVolume(const Mbr& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  double v = 1.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double e =
+        std::min(hi_[i], other.hi_[i]) - std::max(lo_[i], other.lo_[i]);
+    if (e <= 0.0) return 0.0;
+    v *= e;
+  }
+  return v;
+}
+
+double Mbr::Volume() const {
+  if (empty_) return 0.0;
+  double v = 1.0;
+  for (size_t i = 0; i < lo_.size(); ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+}  // namespace gir

@@ -1,0 +1,83 @@
+#ifndef GIR_RTREE_MBR_H_
+#define GIR_RTREE_MBR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gir {
+
+/// Minimum bounding rectangle in d dimensions. Provides the geometric
+/// predicates the R-tree and the Table 3 observations need. High-d volumes
+/// overflow double (the paper reports volumes up to 1e93), so volume is
+/// exposed in log10 form.
+class Mbr {
+ public:
+  /// An "empty" MBR that expands to whatever is added first.
+  explicit Mbr(size_t dim);
+
+  /// MBR of a single point.
+  explicit Mbr(ConstRow point);
+
+  /// MBR with explicit corners. Precondition: lo[i] <= hi[i] for all i.
+  Mbr(std::vector<double> lo, std::vector<double> hi);
+
+  size_t dim() const { return lo_.size(); }
+  bool empty() const { return empty_; }
+
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+  /// Grows to cover `point` / `other`.
+  void Expand(ConstRow point);
+  void Expand(const Mbr& other);
+
+  /// True iff the closed boxes share at least one point.
+  bool Intersects(const Mbr& other) const;
+
+  /// True iff `point` lies inside (closed) this box.
+  bool Contains(ConstRow point) const;
+
+  /// True iff `other` lies entirely inside this box.
+  bool ContainsMbr(const Mbr& other) const;
+
+  /// Squared Euclidean distance from `point` to the nearest point of this
+  /// box (0 if inside). The standard R-tree MINDIST bound for kNN search.
+  double MinDistSquared(ConstRow point) const;
+
+  /// Euclidean length of the main diagonal.
+  double DiagonalLength() const;
+
+  /// Sum of edge lengths (the R*-split "margin").
+  double MarginSum() const;
+
+  /// log10 of the volume; -infinity if any edge has zero length.
+  double Log10Volume() const;
+
+  /// Ratio of the longest edge to the shortest (Table 3's "shape");
+  /// +infinity if the shortest edge is 0 and the longest is not, 1 for a
+  /// point.
+  double ShapeRatio() const;
+
+  /// Volume of the intersection with `other` in log10; -infinity when the
+  /// boxes do not overlap in some dimension. Used by the R*-style split.
+  double OverlapLog10Volume(const Mbr& other) const;
+
+  /// Plain overlap volume (not log); 0 when disjoint. Accurate only in low
+  /// dimensions — used by split decisions where d is moderate.
+  double OverlapVolume(const Mbr& other) const;
+
+  /// Plain volume; may overflow to +inf in high dimensions (callers that
+  /// care about high d use Log10Volume).
+  double Volume() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  bool empty_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_RTREE_MBR_H_

@@ -1,0 +1,437 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <string>
+
+namespace gir {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Volume growth of `box` if expanded to cover `added`; uses plain volume
+/// (split/choose heuristics only compare, so overflow to +inf in extreme
+/// dimensions still orders sensibly).
+double Enlargement(const Mbr& box, const Mbr& added) {
+  Mbr grown = box;
+  grown.Expand(added);
+  return grown.Volume() - box.Volume();
+}
+
+/// R*-style split of a set of boxes into two groups. Returns the index of
+/// the first entry of the second group after sorting; `order` receives the
+/// sorted permutation.
+size_t ChooseSplit(const std::vector<Mbr>& boxes, size_t min_entries,
+                   std::vector<size_t>* order) {
+  const size_t n = boxes.size();
+  const size_t d = boxes.front().dim();
+  const size_t distributions = n - 2 * min_entries + 1;
+
+  // Choose the split axis: minimal sum of group margins over all
+  // distributions, considering entries sorted by lower coordinate.
+  size_t best_axis = 0;
+  double best_axis_margin = kInf;
+  std::vector<size_t> idx(n);
+  for (size_t axis = 0; axis < d; ++axis) {
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return boxes[a].lo()[axis] < boxes[b].lo()[axis] ||
+             (boxes[a].lo()[axis] == boxes[b].lo()[axis] &&
+              boxes[a].hi()[axis] < boxes[b].hi()[axis]);
+    });
+    // Prefix/suffix MBRs for O(n) margin evaluation.
+    std::vector<Mbr> prefix(n, Mbr(d)), suffix(n, Mbr(d));
+    Mbr acc(d);
+    for (size_t i = 0; i < n; ++i) {
+      acc.Expand(boxes[idx[i]]);
+      prefix[i] = acc;
+    }
+    acc = Mbr(d);
+    for (size_t i = n; i-- > 0;) {
+      acc.Expand(boxes[idx[i]]);
+      suffix[i] = acc;
+    }
+    double margin = 0.0;
+    for (size_t k = 0; k < distributions; ++k) {
+      const size_t split = min_entries + k;
+      margin += prefix[split - 1].MarginSum() + suffix[split].MarginSum();
+    }
+    if (margin < best_axis_margin) {
+      best_axis_margin = margin;
+      best_axis = axis;
+    }
+  }
+
+  // On the chosen axis pick the distribution with minimal overlap volume,
+  // ties broken by total volume.
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return boxes[a].lo()[best_axis] < boxes[b].lo()[best_axis] ||
+           (boxes[a].lo()[best_axis] == boxes[b].lo()[best_axis] &&
+            boxes[a].hi()[best_axis] < boxes[b].hi()[best_axis]);
+  });
+  std::vector<Mbr> prefix(n, Mbr(d)), suffix(n, Mbr(d));
+  Mbr acc(d);
+  for (size_t i = 0; i < n; ++i) {
+    acc.Expand(boxes[idx[i]]);
+    prefix[i] = acc;
+  }
+  acc = Mbr(d);
+  for (size_t i = n; i-- > 0;) {
+    acc.Expand(boxes[idx[i]]);
+    suffix[i] = acc;
+  }
+  size_t best_split = min_entries;
+  double best_overlap = kInf;
+  double best_volume = kInf;
+  for (size_t k = 0; k < distributions; ++k) {
+    const size_t split = min_entries + k;
+    // Overlap compared in log form to stay meaningful in high dimensions.
+    const double overlap = prefix[split - 1].OverlapLog10Volume(suffix[split]);
+    const double volume =
+        prefix[split - 1].Log10Volume() + suffix[split].Log10Volume();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && volume < best_volume)) {
+      best_overlap = overlap;
+      best_volume = volume;
+      best_split = split;
+    }
+  }
+  *order = std::move(idx);
+  return best_split;
+}
+
+}  // namespace
+
+RTree::RTree(const Dataset& points, size_t max_entries, size_t min_entries)
+    : points_(&points),
+      max_entries_(std::max<size_t>(2, max_entries)),
+      min_entries_(min_entries) {
+  if (min_entries_ == 0) {
+    min_entries_ = std::max<size_t>(1, max_entries_ * 2 / 5);
+  }
+  min_entries_ = std::min(min_entries_, max_entries_ / 2);
+  min_entries_ = std::max<size_t>(1, min_entries_);
+  root_ = std::make_unique<RTreeNode>(points.dim(), /*leaf=*/true);
+}
+
+RTree RTree::CreateEmpty(const Dataset& points, const Options& options) {
+  return RTree(points, options.max_entries, options.min_entries);
+}
+
+RTree RTree::BulkLoad(const Dataset& points, const Options& options) {
+  RTree tree(points, options.max_entries, options.min_entries);
+  const size_t n = points.size();
+  if (n == 0) return tree;
+  const size_t d = points.dim();
+  const size_t cap = tree.max_entries_;
+
+  // Sort-Tile-Recursive on point ids: recursively slab-partition dimension
+  // by dimension, then chunk the final order into leaves.
+  std::vector<VectorId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  struct Tiler {
+    const Dataset& pts;
+    size_t cap;
+    size_t dims;
+    void operator()(std::vector<VectorId>::iterator begin,
+                    std::vector<VectorId>::iterator end, size_t dim_index) {
+      const size_t count = static_cast<size_t>(end - begin);
+      if (count <= cap || dim_index + 1 >= dims) {
+        std::sort(begin, end, [&](VectorId a, VectorId b) {
+          return pts.row(a)[dim_index] < pts.row(b)[dim_index];
+        });
+        return;
+      }
+      std::sort(begin, end, [&](VectorId a, VectorId b) {
+        return pts.row(a)[dim_index] < pts.row(b)[dim_index];
+      });
+      const size_t tiles = (count + cap - 1) / cap;
+      const size_t slabs = static_cast<size_t>(std::ceil(std::pow(
+          static_cast<double>(tiles),
+          1.0 / static_cast<double>(dims - dim_index))));
+      const size_t slab_size = (count + slabs - 1) / slabs;
+      for (size_t s = 0; s < slabs; ++s) {
+        auto slab_begin = begin + static_cast<ptrdiff_t>(
+                                      std::min(count, s * slab_size));
+        auto slab_end = begin + static_cast<ptrdiff_t>(
+                                    std::min(count, (s + 1) * slab_size));
+        if (slab_begin < slab_end) (*this)(slab_begin, slab_end, dim_index + 1);
+      }
+    }
+  };
+  Tiler{points, cap, d}(ids.begin(), ids.end(), 0);
+
+  // Pack leaves.
+  std::vector<std::unique_ptr<RTreeNode>> level;
+  for (size_t start = 0; start < n; start += cap) {
+    auto leaf = std::make_unique<RTreeNode>(d, /*leaf=*/true);
+    const size_t stop = std::min(n, start + cap);
+    for (size_t i = start; i < stop; ++i) {
+      leaf->entries.push_back(ids[i]);
+      leaf->mbr.Expand(points.row(ids[i]));
+    }
+    leaf->subtree_count = leaf->entries.size();
+    level.push_back(std::move(leaf));
+  }
+
+  // Pack upper levels until a single root remains. Nodes within a level
+  // are already in STR order, so consecutive grouping keeps locality.
+  size_t height = 1;
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<RTreeNode>> parents;
+    for (size_t start = 0; start < level.size(); start += cap) {
+      auto parent = std::make_unique<RTreeNode>(d, /*leaf=*/false);
+      const size_t stop = std::min(level.size(), start + cap);
+      for (size_t i = start; i < stop; ++i) {
+        parent->mbr.Expand(level[i]->mbr);
+        parent->subtree_count += level[i]->subtree_count;
+        parent->children.push_back(std::move(level[i]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+    ++height;
+  }
+  tree.root_ = std::move(level.front());
+  tree.height_ = height;
+  return tree;
+}
+
+RTreeNode* RTree::ChooseLeaf(ConstRow p, std::vector<RTreeNode*>* path) {
+  RTreeNode* node = root_.get();
+  path->push_back(node);
+  const Mbr point_box(p);
+  while (!node->is_leaf) {
+    RTreeNode* best = nullptr;
+    double best_enlargement = kInf;
+    double best_volume = kInf;
+    for (const auto& child : node->children) {
+      const double enl = Enlargement(child->mbr, point_box);
+      const double vol = child->mbr.Volume();
+      if (enl < best_enlargement ||
+          (enl == best_enlargement && vol < best_volume)) {
+        best_enlargement = enl;
+        best_volume = vol;
+        best = child.get();
+      }
+    }
+    node = best;
+    path->push_back(node);
+  }
+  return node;
+}
+
+void RTree::RecomputeMbr(RTreeNode* node) {
+  node->mbr = Mbr(points_->dim());
+  if (node->is_leaf) {
+    for (VectorId id : node->entries) node->mbr.Expand(Point(id));
+  } else {
+    for (const auto& child : node->children) node->mbr.Expand(child->mbr);
+  }
+}
+
+std::unique_ptr<RTreeNode> RTree::SplitNode(RTreeNode* node) {
+  const size_t d = points_->dim();
+  std::vector<Mbr> boxes;
+  if (node->is_leaf) {
+    boxes.reserve(node->entries.size());
+    for (VectorId id : node->entries) boxes.emplace_back(Point(id));
+  } else {
+    boxes.reserve(node->children.size());
+    for (const auto& child : node->children) boxes.push_back(child->mbr);
+  }
+  std::vector<size_t> order;
+  const size_t split = ChooseSplit(boxes, min_entries_, &order);
+
+  auto sibling = std::make_unique<RTreeNode>(d, node->is_leaf);
+  if (node->is_leaf) {
+    std::vector<VectorId> first, second;
+    for (size_t i = 0; i < order.size(); ++i) {
+      (i < split ? first : second).push_back(node->entries[order[i]]);
+    }
+    node->entries = std::move(first);
+    sibling->entries = std::move(second);
+    node->subtree_count = node->entries.size();
+    sibling->subtree_count = sibling->entries.size();
+  } else {
+    std::vector<std::unique_ptr<RTreeNode>> first, second;
+    for (size_t i = 0; i < order.size(); ++i) {
+      (i < split ? first : second)
+          .push_back(std::move(node->children[order[i]]));
+    }
+    node->children = std::move(first);
+    sibling->children = std::move(second);
+    node->subtree_count = 0;
+    for (const auto& c : node->children) node->subtree_count += c->subtree_count;
+    sibling->subtree_count = 0;
+    for (const auto& c : sibling->children) {
+      sibling->subtree_count += c->subtree_count;
+    }
+  }
+  RecomputeMbr(node);
+  RecomputeMbr(sibling.get());
+  return sibling;
+}
+
+Status RTree::Insert(VectorId id) {
+  if (id >= points_->size()) {
+    return Status::InvalidArgument("point id " + std::to_string(id) +
+                                   " out of range");
+  }
+  ConstRow p = Point(id);
+  std::vector<RTreeNode*> path;
+  RTreeNode* leaf = ChooseLeaf(p, &path);
+  leaf->entries.push_back(id);
+  for (RTreeNode* node : path) {
+    node->mbr.Expand(p);
+    ++node->subtree_count;
+  }
+
+  // Walk back up splitting overflowing nodes.
+  std::unique_ptr<RTreeNode> carried;  // new sibling of path[level]
+  for (size_t level = path.size(); level-- > 0;) {
+    RTreeNode* node = path[level];
+    if (carried != nullptr) {
+      node->children.push_back(std::move(carried));
+      // subtree_count already accounts for the inserted point; the sibling
+      // holds a subset of an existing child's points.
+    }
+    const size_t fill =
+        node->is_leaf ? node->entries.size() : node->children.size();
+    if (fill <= max_entries_) {
+      // Parent MBRs were already expanded on the way down; a split below
+      // may have shrunk a child but never grows it, so bounds stay valid.
+      continue;
+    }
+    std::unique_ptr<RTreeNode> sibling = SplitNode(node);
+    if (level == 0) {
+      // Root split: grow a new root.
+      auto new_root = std::make_unique<RTreeNode>(points_->dim(),
+                                                  /*leaf=*/false);
+      new_root->subtree_count =
+          node->subtree_count + sibling->subtree_count;
+      new_root->mbr = node->mbr;
+      new_root->mbr.Expand(sibling->mbr);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      root_ = std::move(new_root);
+      ++height_;
+      carried = nullptr;
+    } else {
+      carried = std::move(sibling);
+    }
+  }
+  // A non-root split carried to here is impossible: the loop attaches it to
+  // the parent in the next iteration, and level 0 handles the root.
+  return Status::OK();
+}
+
+void RTree::RangeQuery(const Mbr& box, std::vector<VectorId>* out,
+                       QueryStats* stats) const {
+  std::vector<const RTreeNode*> stack{root_.get()};
+  while (!stack.empty()) {
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (!node->mbr.Intersects(box)) {
+      if (stats != nullptr) ++stats->nodes_pruned;
+      continue;
+    }
+    if (node->is_leaf) {
+      for (VectorId id : node->entries) {
+        if (box.Contains(Point(id))) out->push_back(id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+}
+
+std::vector<RTree::Neighbor> RTree::NearestNeighbors(
+    ConstRow query, size_t k, QueryStats* stats) const {
+  std::vector<Neighbor> result;
+  if (k == 0 || size() == 0) return result;
+
+  // Best-first search: a min-heap of (MINDIST^2, node) frontiers plus a
+  // max-heap of the k best points found so far.
+  struct Frontier {
+    double min_dist_sq;
+    const RTreeNode* node;
+    bool operator>(const Frontier& other) const {
+      return min_dist_sq > other.min_dist_sq;
+    }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> open;
+  open.push({root_->mbr.MinDistSquared(query), root_.get()});
+
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.id < b.id);
+  };
+  std::vector<Neighbor> best;  // max-heap under `worse`
+  uint64_t nodes_visited = 0, nodes_pruned = 0, points_visited = 0;
+
+  while (!open.empty()) {
+    const Frontier frontier = open.top();
+    open.pop();
+    ++nodes_visited;
+    if (best.size() == k &&
+        frontier.min_dist_sq > best.front().distance * best.front().distance) {
+      ++nodes_pruned;
+      continue;  // every remaining frontier is at least this far
+    }
+    const RTreeNode* node = frontier.node;
+    if (node->is_leaf) {
+      for (VectorId id : node->entries) {
+        ++points_visited;
+        ConstRow p = Point(id);
+        double sq = 0.0;
+        for (size_t i = 0; i < p.size(); ++i) {
+          const double delta = p[i] - query[i];
+          sq += delta * delta;
+        }
+        Neighbor candidate{id, std::sqrt(sq)};
+        if (best.size() < k) {
+          best.push_back(candidate);
+          std::push_heap(best.begin(), best.end(), worse);
+        } else if (worse(candidate, best.front())) {
+          std::pop_heap(best.begin(), best.end(), worse);
+          best.back() = candidate;
+          std::push_heap(best.begin(), best.end(), worse);
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        open.push({child->mbr.MinDistSquared(query), child.get()});
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += nodes_visited;
+    stats->nodes_pruned += nodes_pruned;
+    stats->points_visited += points_visited;
+  }
+  std::sort(best.begin(), best.end(), worse);
+  return best;
+}
+
+size_t RTree::NodeCount() const {
+  size_t count = 0;
+  VisitNodes([&count](const RTreeNode&, size_t) { ++count; });
+  return count;
+}
+
+size_t RTree::LeafCount() const {
+  size_t count = 0;
+  VisitNodes([&count](const RTreeNode& node, size_t) {
+    if (node.is_leaf) ++count;
+  });
+  return count;
+}
+
+}  // namespace gir

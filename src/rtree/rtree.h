@@ -1,0 +1,128 @@
+#ifndef GIR_RTREE_RTREE_H_
+#define GIR_RTREE_RTREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "rtree/mbr.h"
+
+namespace gir {
+
+/// One R-tree node. Leaves hold point ids into the indexed dataset;
+/// internal nodes hold children. `subtree_count` caches the number of
+/// points below, which the reverse-rank baselines use to count whole
+/// subtrees without descending.
+struct RTreeNode {
+  explicit RTreeNode(size_t dim, bool leaf) : mbr(dim), is_leaf(leaf) {}
+
+  Mbr mbr;
+  bool is_leaf;
+  size_t subtree_count = 0;
+  std::vector<std::unique_ptr<RTreeNode>> children;  // internal nodes
+  std::vector<VectorId> entries;                     // leaves
+};
+
+/// R-tree over a Dataset, the substrate of the tree-based baselines (BBR
+/// and MPA) and of the Table 3 MBR observations. Supports STR bulk loading
+/// (how the benchmarks build it: height-balanced, ~full leaves) and
+/// R*-style incremental insertion (minimum-margin axis split, minimum
+/// overlap distribution; no forced reinsertion).
+struct RTreeOptions {
+  /// Paper's Table 3 setting: "each MBR has 100 entries".
+  size_t max_entries = 100;
+  /// 0 means 40% of max_entries.
+  size_t min_entries = 0;
+};
+
+class RTree {
+ public:
+  using Options = RTreeOptions;
+
+  /// Sort-Tile-Recursive bulk load of every point in `points`.
+  /// `points` must outlive the tree.
+  static RTree BulkLoad(const Dataset& points, const Options& options = {});
+
+  /// An empty tree over `points`; populate with Insert.
+  static RTree CreateEmpty(const Dataset& points, const Options& options = {});
+
+  /// Inserts points.row(id). InvalidArgument if id is out of range.
+  Status Insert(VectorId id);
+
+  /// Ids of all points inside `box` (closed). Appends to `out`.
+  /// `stats` counts visited/pruned nodes.
+  void RangeQuery(const Mbr& box, std::vector<VectorId>* out,
+                  QueryStats* stats = nullptr) const;
+
+  /// One kNN answer entry.
+  struct Neighbor {
+    VectorId id = 0;
+    double distance = 0.0;  // Euclidean
+
+    friend bool operator==(const Neighbor&, const Neighbor&) = default;
+  };
+
+  /// The k points nearest to `query` (Euclidean), sorted ascending by
+  /// (distance, id); fewer than k iff the tree holds fewer points.
+  /// Best-first search on MINDIST — included for substrate completeness
+  /// (the reverse-nearest-neighbor family the paper contrasts RRQ with).
+  std::vector<Neighbor> NearestNeighbors(ConstRow query, size_t k,
+                                         QueryStats* stats = nullptr) const;
+
+  const RTreeNode* root() const { return root_.get(); }
+  const Dataset& points() const { return *points_; }
+
+  /// Number of indexed points.
+  size_t size() const { return root_->subtree_count; }
+
+  size_t height() const { return height_; }
+  size_t max_entries() const { return max_entries_; }
+  size_t min_entries() const { return min_entries_; }
+
+  /// Total nodes / leaf nodes in the tree.
+  size_t NodeCount() const;
+  size_t LeafCount() const;
+
+  /// Calls visitor(node, depth) for every node, preorder, root depth 0.
+  template <typename Visitor>
+  void VisitNodes(Visitor&& visitor) const {
+    VisitNodesImpl(*root_, 0, visitor);
+  }
+
+ private:
+  RTree(const Dataset& points, size_t max_entries, size_t min_entries);
+
+  template <typename Visitor>
+  static void VisitNodesImpl(const RTreeNode& node, size_t depth,
+                             Visitor& visitor) {
+    visitor(node, depth);
+    for (const auto& child : node.children) {
+      VisitNodesImpl(*child, depth + 1, visitor);
+    }
+  }
+
+  ConstRow Point(VectorId id) const { return points_->row(id); }
+
+  /// Leaf reached by the R* ChooseSubtree descent; `path` gets every node
+  /// on the way down (root first).
+  RTreeNode* ChooseLeaf(ConstRow p, std::vector<RTreeNode*>* path);
+
+  /// Splits an overflowing node in place; returns the new sibling.
+  std::unique_ptr<RTreeNode> SplitNode(RTreeNode* node);
+
+  void RecomputeMbr(RTreeNode* node);
+
+  const Dataset* points_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t height_ = 1;
+  std::unique_ptr<RTreeNode> root_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_RTREE_RTREE_H_

@@ -1,0 +1,79 @@
+#include "rtree/rtree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/rng.h"
+
+namespace gir {
+
+MbrObservation ObserveLeafMbrs(const RTree& tree,
+                               double query_volume_fraction,
+                               size_t num_queries, uint64_t seed) {
+  MbrObservation obs;
+  obs.query_volume_fraction = query_volume_fraction;
+
+  std::vector<const RTreeNode*> leaves;
+  tree.VisitNodes([&leaves](const RTreeNode& node, size_t) {
+    if (node.is_leaf) leaves.push_back(&node);
+  });
+  obs.num_mbrs = leaves.size();
+  if (leaves.empty()) return obs;
+
+  double sum_diag = 0.0, sum_shape = 0.0, sum_logvol = 0.0;
+  size_t finite_shape = 0, finite_vol = 0;
+  for (const RTreeNode* leaf : leaves) {
+    sum_diag += leaf->mbr.DiagonalLength();
+    const double shape = leaf->mbr.ShapeRatio();
+    if (std::isfinite(shape)) {
+      sum_shape += shape;
+      ++finite_shape;
+    }
+    const double lv = leaf->mbr.Log10Volume();
+    if (std::isfinite(lv)) {
+      sum_logvol += lv;
+      ++finite_vol;
+    }
+  }
+  obs.avg_diagonal = sum_diag / static_cast<double>(leaves.size());
+  obs.avg_shape_ratio =
+      finite_shape > 0 ? sum_shape / static_cast<double>(finite_shape) : 0.0;
+  obs.avg_log10_volume =
+      finite_vol > 0 ? sum_logvol / static_cast<double>(finite_vol) : 0.0;
+
+  // Overlap probe: hyper-cube queries whose volume is `fraction` of the
+  // data-space bounding box, centered uniformly at random (clamped inside).
+  const size_t d = tree.points().dim();
+  const Mbr& space = tree.root()->mbr;
+  std::vector<double> extent(d);
+  for (size_t i = 0; i < d; ++i) extent[i] = space.hi()[i] - space.lo()[i];
+  const double side_fraction =
+      std::pow(query_volume_fraction, 1.0 / static_cast<double>(d));
+
+  Rng rng(seed);
+  size_t overlap_total = 0;
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    std::vector<double> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double side = extent[i] * side_fraction;
+      const double start =
+          space.lo()[i] + rng.NextDouble() * std::max(0.0, extent[i] - side);
+      lo[i] = start;
+      hi[i] = start + side;
+    }
+    const Mbr query(std::move(lo), std::move(hi));
+    for (const RTreeNode* leaf : leaves) {
+      if (leaf->mbr.Intersects(query)) ++overlap_total;
+    }
+  }
+  obs.overlap_fraction =
+      num_queries == 0
+          ? 0.0
+          : static_cast<double>(overlap_total) /
+                (static_cast<double>(num_queries) *
+                 static_cast<double>(leaves.size()));
+  return obs;
+}
+
+}  // namespace gir

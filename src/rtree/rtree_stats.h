@@ -1,0 +1,40 @@
+#ifndef GIR_RTREE_RTREE_STATS_H_
+#define GIR_RTREE_RTREE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rtree/rtree.h"
+
+namespace gir {
+
+/// Aggregate observations over the leaf MBRs of an R-tree — the quantities
+/// the paper reports in Table 3 to demonstrate why tree indexes degrade in
+/// high dimensions.
+struct MbrObservation {
+  /// Number of leaf MBRs observed.
+  size_t num_mbrs = 0;
+  /// Average Euclidean diagonal length of a leaf MBR.
+  double avg_diagonal = 0.0;
+  /// Average longest-edge / shortest-edge ratio ("Shape").
+  double avg_shape_ratio = 0.0;
+  /// Average log10 of the leaf MBR volume (the paper's Volume column,
+  /// which reaches 1e93 at d = 24 — hence log form).
+  double avg_log10_volume = 0.0;
+  /// Fraction of leaf MBRs intersecting an average range query covering
+  /// `query_volume_fraction` of the data space ("Overlaps in Query(1%)").
+  double overlap_fraction = 0.0;
+  /// The volume fraction used for the overlap probe.
+  double query_volume_fraction = 0.0;
+};
+
+/// Collects Table 3 observations for `tree`. Hyper-cube range queries with
+/// side length range * fraction^(1/d) (so they cover `query_volume_fraction`
+/// of the [0, range)^d data space) are dropped uniformly at random
+/// (`num_queries` of them, seeded) and tested against every leaf MBR.
+MbrObservation ObserveLeafMbrs(const RTree& tree, double query_volume_fraction,
+                               size_t num_queries, uint64_t seed);
+
+}  // namespace gir
+
+#endif  // GIR_RTREE_RTREE_STATS_H_

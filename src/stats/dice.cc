@@ -1,0 +1,67 @@
+#include "stats/dice.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gir {
+
+namespace {
+
+/// log C(a, b) for 0 <= b <= a via lgamma.
+long double LogChoose(long long a, long long b) {
+  return std::lgammal(static_cast<long double>(a) + 1.0L) -
+         std::lgammal(static_cast<long double>(b) + 1.0L) -
+         std::lgammal(static_cast<long double>(a - b) + 1.0L);
+}
+
+}  // namespace
+
+std::vector<double> DiceSumPmf(size_t d, size_t faces) {
+  // pmf over sums shifted so index 0 <-> sum = d (all dice show 1).
+  std::vector<double> pmf{1.0};
+  const double inv = 1.0 / static_cast<double>(faces);
+  for (size_t die = 0; die < d; ++die) {
+    // Convolution with a uniform kernel of length `faces`, as a sliding
+    // window sum: O(output) per die instead of O(output * faces).
+    std::vector<double> next(pmf.size() + faces - 1, 0.0);
+    double window = 0.0;
+    for (size_t j = 0; j < next.size(); ++j) {
+      if (j < pmf.size()) window += pmf[j];
+      if (j >= faces) window -= pmf[j - faces];
+      next[j] = window * inv;
+    }
+    pmf = std::move(next);
+  }
+  return pmf;
+}
+
+double DiceSumProbability(long long s, size_t d, size_t faces) {
+  const long long dd = static_cast<long long>(d);
+  const long long m = static_cast<long long>(faces);
+  if (s < dd || s > dd * m) return 0.0;
+  const long long kmax = (s - dd) / m;
+  // Signed accumulation of exp(log-term); terms alternate and can be large,
+  // so accumulate in long double relative to the largest term.
+  long double sum = 0.0L;
+  for (long long k = 0; k <= kmax && k <= dd; ++k) {
+    const long double log_term =
+        LogChoose(dd, k) + LogChoose(s - m * k - 1, dd - 1);
+    const long double term = expl(log_term);
+    sum += (k % 2 == 0) ? term : -term;
+  }
+  const long double log_norm =
+      static_cast<long double>(d) * logl(static_cast<long double>(m));
+  const long double p = sum * expl(-log_norm);
+  return std::max(0.0, static_cast<double>(p));
+}
+
+double DiceSumMean(size_t d, size_t faces) {
+  return static_cast<double>(d) * (static_cast<double>(faces) + 1.0) / 2.0;
+}
+
+double DiceSumModeProbability(size_t d, size_t faces) {
+  const std::vector<double> pmf = DiceSumPmf(d, faces);
+  return *std::max_element(pmf.begin(), pmf.end());
+}
+
+}  // namespace gir

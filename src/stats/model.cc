@@ -1,0 +1,46 @@
+#include "stats/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace gir {
+
+double WorstCaseFilterRate(size_t d, size_t n) {
+  const double dd = static_cast<double>(d);
+  const double nn = static_cast<double>(n);
+  const double z = std::sqrt(3.0 * dd) / (nn * nn);
+  return 2.0 * NormalTail(z);
+}
+
+Result<size_t> RequiredPartitions(size_t d, double epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (d == 0) return Status::InvalidArgument("d must be positive");
+  // Q(delta) = (1 - epsilon) / 2; epsilon in (0,1) keeps the argument in
+  // (0, 0.5) so delta > 0.
+  const double delta = InverseNormalTail((1.0 - epsilon) / 2.0);
+  const double n_real = std::sqrt(std::sqrt(3.0 * static_cast<double>(d)) /
+                                  delta);
+  size_t n = static_cast<size_t>(std::ceil(n_real));
+  n = std::max<size_t>(1, n);
+  return n;
+}
+
+Result<size_t> RequiredPartitionsPow2(size_t d, double epsilon) {
+  auto base = RequiredPartitions(d, epsilon);
+  if (!base.ok()) return base.status();
+  size_t n = 1;
+  while (n < base.value()) n <<= 1;
+  return n;
+}
+
+size_t GridTableBytes(size_t n) { return (n + 1) * (n + 1) * sizeof(double); }
+
+double WorstCaseUnresolvedRate(size_t d, size_t n) {
+  return 1.0 - WorstCaseFilterRate(d, n);
+}
+
+}  // namespace gir

@@ -1,0 +1,44 @@
+#ifndef GIR_STATS_MODEL_H_
+#define GIR_STATS_MODEL_H_
+
+#include <cstddef>
+
+#include "core/status.h"
+
+namespace gir {
+
+/// The §5.3 Grid-index performance model. Under the paper's assumption
+/// that per-dimension sub-scores w[i]*p[i] are i.i.d. uniform on [0, r),
+/// the total score is approximately N(mu', sigma') with mu' = r*d/2 and
+/// sigma' = sqrt(d)*r/(2*sqrt(3)) (Lemma 1), and the grid resolves a point
+/// unless its score lands within the Delta = r*d/n^2 uncertainty window
+/// around the query score. The worst case is a query score at the mode.
+
+/// Worst-case filtering performance F for d dimensions and n partitions:
+/// F_worst = 2*Q(sqrt(3d)/n^2) (Eq. 25, with Q the standard-normal upper
+/// tail — the paper's Φ).
+double WorstCaseFilterRate(size_t d, size_t n);
+
+/// Theorem 1: the smallest n whose worst-case filtering performance is at
+/// least 1 - epsilon. Solves Q(delta) = (1-epsilon)/2, then returns
+/// n = ceil(sqrt(sqrt(3d)/delta)). InvalidArgument unless
+/// 0 < epsilon < 1. (The paper's worked example — d = 20, epsilon = 1% —
+/// gives n = 25, i.e. 32 when rounded to the next power of two.)
+Result<size_t> RequiredPartitions(size_t d, double epsilon);
+
+/// Smallest power of two >= RequiredPartitions(d, epsilon); the form used
+/// throughout the paper (n = 2^b enables the §3.2 bit packing).
+Result<size_t> RequiredPartitionsPow2(size_t d, double epsilon);
+
+/// Memory of the (n+1)^2-entry grid table in bytes (the paper's "less
+/// than 8KB for n = 32" figure).
+size_t GridTableBytes(size_t n);
+
+/// Expected fraction of points the grid leaves unresolved (Case 3) for a
+/// query score at the distribution mode — 1 - WorstCaseFilterRate, exposed
+/// for the model-vs-measured bench.
+double WorstCaseUnresolvedRate(size_t d, size_t n);
+
+}  // namespace gir
+
+#endif  // GIR_STATS_MODEL_H_

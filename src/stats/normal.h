@@ -1,0 +1,30 @@
+#ifndef GIR_STATS_NORMAL_H_
+#define GIR_STATS_NORMAL_H_
+
+namespace gir {
+
+/// Standard-normal helpers used by the §5.3 performance model. The paper's
+/// "Φ(·)" is the upper-tail function Q (their worked example has
+/// Φ(0.0125) = 0.495); we expose both the CDF and the tail explicitly so
+/// no reader has to guess.
+
+/// Density of N(0, 1) at x.
+double NormalPdf(double x);
+
+/// P(Z <= x) for Z ~ N(0, 1).
+double NormalCdf(double x);
+
+/// Upper tail Q(x) = P(Z > x) = 1 - NormalCdf(x). This is the paper's Φ.
+double NormalTail(double x);
+
+/// Inverse of NormalCdf (quantile function), accurate to ~1e-9 over
+/// p in (0, 1) (Acklam's rational approximation + one Halley refinement).
+/// Returns +/-infinity at p = 1 / p = 0.
+double InverseNormalCdf(double p);
+
+/// Inverse of NormalTail: x such that Q(x) = p.
+double InverseNormalTail(double p);
+
+}  // namespace gir
+
+#endif  // GIR_STATS_NORMAL_H_

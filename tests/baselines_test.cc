@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/bbr.h"
+#include "baselines/histogram.h"
+#include "baselines/mpa.h"
+#include "baselines/rta.h"
+#include "baselines/tree_rank.h"
+#include "core/naive.h"
+#include "core/rank.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(WeightHistogramTest, EveryWeightInExactlyOneBucket) {
+  Dataset weights = GenerateWeightsUniform(500, 4, 1);
+  auto hist = WeightHistogram::Build(weights, 5).value();
+  std::vector<int> seen(weights.size(), 0);
+  for (const auto& bucket : hist.buckets()) {
+    EXPECT_FALSE(bucket.members.empty());
+    for (VectorId id : bucket.members) {
+      ASSERT_LT(id, weights.size());
+      ++seen[id];
+      EXPECT_TRUE(bucket.bounds.Contains(weights.row(id)));
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(WeightHistogramTest, BucketBoundsAreTight) {
+  Dataset weights = GenerateWeightsUniform(200, 3, 2);
+  auto hist = WeightHistogram::Build(weights, 4).value();
+  for (const auto& bucket : hist.buckets()) {
+    for (size_t i = 0; i < weights.dim(); ++i) {
+      double lo = 1e300, hi = -1e300;
+      for (VectorId id : bucket.members) {
+        lo = std::min(lo, weights.row(id)[i]);
+        hi = std::max(hi, weights.row(id)[i]);
+      }
+      EXPECT_DOUBLE_EQ(bucket.bounds.lo()[i], lo);
+      EXPECT_DOUBLE_EQ(bucket.bounds.hi()[i], hi);
+    }
+  }
+}
+
+TEST(WeightHistogramTest, NonEmptyBucketCountBounded) {
+  Dataset weights = GenerateWeightsUniform(300, 8, 3);
+  auto hist = WeightHistogram::Build(weights, 5).value();
+  EXPECT_LE(hist.size(), 300u);
+  // The conceptual count explodes: 5^8 = 390625 (the §5.1 argument).
+  EXPECT_EQ(hist.ConceptualBucketCount(8), 390625u);
+}
+
+TEST(WeightHistogramTest, ConceptualCountSaturates) {
+  Dataset weights = GenerateWeightsUniform(10, 50, 4);
+  auto hist = WeightHistogram::Build(weights, 5).value();
+  EXPECT_EQ(hist.ConceptualBucketCount(50), SIZE_MAX);
+}
+
+TEST(WeightHistogramTest, RejectsBadInputs) {
+  Dataset weights = GenerateWeightsUniform(10, 3, 5);
+  EXPECT_FALSE(WeightHistogram::Build(weights, 0).ok());
+  Dataset empty(3);
+  EXPECT_FALSE(WeightHistogram::Build(empty, 5).ok());
+}
+
+TEST(WeightHistogramTest, SingleWeightSingleBucket) {
+  Dataset weights = GenerateWeightsUniform(1, 4, 6);
+  auto hist = WeightHistogram::Build(weights, 5).value();
+  EXPECT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.buckets()[0].members.size(), 1u);
+}
+
+// ---------------------------------------------------------------- TreeRank
+
+TEST(TreeRankTest, MatchesLinearRank) {
+  Workload wl = MakeWorkload(800, 25, 5, 7);
+  RTree tree = RTree::BulkLoad(wl.points);
+  const int64_t cap = static_cast<int64_t>(wl.points.size()) + 1;
+  for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+    ConstRow w = wl.weights.row(wi);
+    const Score qs = InnerProduct(w, wl.points.row(17));
+    EXPECT_EQ(TreeRank(tree, w, qs, cap),
+              RankOfQuery(wl.points, w, wl.points.row(17)));
+  }
+}
+
+TEST(TreeRankTest, ThresholdEarlyExit) {
+  Workload wl = MakeWorkload(500, 5, 4, 8);
+  RTree tree = RTree::BulkLoad(wl.points);
+  ConstRow w = wl.weights.row(0);
+  const Score qs = InnerProduct(w, wl.points.row(0));
+  const int64_t exact = RankOfQuery(wl.points, w, wl.points.row(0));
+  EXPECT_EQ(TreeRank(tree, w, qs, exact + 1), exact);
+  if (exact > 0) {
+    EXPECT_EQ(TreeRank(tree, w, qs, exact), kRankOverThreshold);
+  }
+}
+
+TEST(TreeRankTest, SubtreeCountingPrunes) {
+  // Low-dimensional data: most subtrees resolve wholesale.
+  Workload wl = MakeWorkload(20000, 1, 2, 9);
+  RTree tree = RTree::BulkLoad(wl.points);
+  ConstRow w = wl.weights.row(0);
+  const Score qs = InnerProduct(w, wl.points.row(100));
+  QueryStats stats;
+  TreeRank(tree, w, qs, static_cast<int64_t>(wl.points.size()) + 1, &stats);
+  EXPECT_LT(stats.points_visited, 20000u / 2);
+  EXPECT_GT(stats.nodes_pruned, 0u);
+}
+
+TEST(CountBetterForWeightBoxTest, BoundsBracketEveryMemberRank) {
+  Workload wl = MakeWorkload(600, 40, 4, 10);
+  RTree tree = RTree::BulkLoad(wl.points);
+  auto hist = WeightHistogram::Build(wl.weights, 3).value();
+  ConstRow q = wl.points.row(11);
+  for (const auto& bucket : hist.buckets()) {
+    const WeightBoxCounts counts = CountBetterForWeightBox(
+        tree, q, bucket.bounds.lo(), bucket.bounds.hi());
+    for (VectorId id : bucket.members) {
+      const int64_t rank = RankOfQuery(wl.points, wl.weights.row(id), q);
+      EXPECT_LE(counts.definitely_better, rank);
+      EXPECT_GE(counts.possibly_better, rank);
+    }
+  }
+}
+
+TEST(CountBetterForWeightBoxTest, DegenerateBoxIsExact) {
+  // A box collapsed to a single weight: definite == possible == rank.
+  Workload wl = MakeWorkload(300, 5, 3, 11);
+  RTree tree = RTree::BulkLoad(wl.points);
+  ConstRow q = wl.points.row(3);
+  for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+    ConstRow w = wl.weights.row(wi);
+    const WeightBoxCounts counts = CountBetterForWeightBox(tree, q, w, w);
+    const int64_t rank = RankOfQuery(wl.points, w, q);
+    EXPECT_EQ(counts.definitely_better, rank);
+    // possibly_better may exceed rank only through score ties.
+    EXPECT_GE(counts.possibly_better, rank);
+    EXPECT_LE(counts.possibly_better, rank + 2);
+  }
+}
+
+TEST(CountBetterForWeightBoxTest, EarlyStopCapsDefiniteCount) {
+  Workload wl = MakeWorkload(5000, 1, 3, 12);
+  RTree tree = RTree::BulkLoad(wl.points);
+  // Query at the worst corner: nearly everything is definitely better.
+  std::vector<double> q(3, 9999.0);
+  const WeightBoxCounts counts = CountBetterForWeightBox(
+      tree, q, wl.weights.row(0), wl.weights.row(0), /*stop_definite_at=*/10);
+  EXPECT_GE(counts.definitely_better, 10);
+  EXPECT_LT(counts.definitely_better, 5000);
+}
+
+// ---------------------------------------------------------------- BBR
+
+struct BaselineCase {
+  size_t n, m, d, k;
+  uint64_t seed;
+};
+
+class BbrEquivalence : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BbrEquivalence, MatchesNaive) {
+  const BaselineCase& c = GetParam();
+  Workload wl = MakeWorkload(c.n, c.m, c.d, c.seed);
+  BbrOptions options;
+  options.max_entries = 16;
+  auto bbr = BbrReverseTopK::Build(wl.points, wl.weights, options).value();
+  for (size_t qi : {size_t{0}, c.n / 2, c.n - 1}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(bbr.ReverseTopK(q, c.k),
+              NaiveReverseTopK(wl.points, wl.weights, q, c.k))
+        << "query " << qi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BbrEquivalence,
+    ::testing::Values(BaselineCase{100, 50, 2, 5, 21},
+                      BaselineCase{400, 80, 3, 10, 22},
+                      BaselineCase{300, 60, 4, 20, 23},
+                      BaselineCase{200, 100, 6, 5, 24},
+                      BaselineCase{150, 40, 8, 3, 25},
+                      BaselineCase{500, 30, 5, 50, 26}));
+
+TEST(BbrTest, GroupAcceptanceTriggersOnGoodQuery) {
+  // The best point of P qualifies everywhere: whole W-subtrees accepted.
+  Workload wl = MakeWorkload(2000, 500, 3, 27);
+  // Find the point with the lowest coordinate sum (very likely top-ranked).
+  size_t best = 0;
+  double best_sum = 1e300;
+  for (size_t i = 0; i < wl.points.size(); ++i) {
+    double s = 0.0;
+    for (double v : wl.points.row(i)) s += v;
+    if (s < best_sum) {
+      best_sum = s;
+      best = i;
+    }
+  }
+  auto bbr = BbrReverseTopK::Build(wl.points, wl.weights).value();
+  QueryStats stats;
+  auto result = bbr.ReverseTopK(wl.points.row(best), 100, &stats);
+  EXPECT_EQ(result, NaiveReverseTopK(wl.points, wl.weights,
+                                     wl.points.row(best), 100));
+  EXPECT_GT(stats.weights_pruned, 0u);
+  EXPECT_LT(stats.weights_evaluated, wl.weights.size());
+}
+
+TEST(BbrTest, RejectsMismatchedBuild) {
+  Dataset points = GenerateUniform(10, 3, 28);
+  Dataset weights = GenerateWeightsUniform(5, 4, 29);
+  EXPECT_FALSE(BbrReverseTopK::Build(points, weights).ok());
+  Dataset empty(3);
+  EXPECT_FALSE(BbrReverseTopK::Build(empty, weights).ok());
+}
+
+TEST(BbrTest, KZeroGivesEmpty) {
+  Workload wl = MakeWorkload(50, 20, 3, 30);
+  auto bbr = BbrReverseTopK::Build(wl.points, wl.weights).value();
+  EXPECT_TRUE(bbr.ReverseTopK(wl.points.row(0), 0).empty());
+}
+
+// ---------------------------------------------------------------- MPA
+
+class MpaEquivalence : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(MpaEquivalence, MatchesNaive) {
+  const BaselineCase& c = GetParam();
+  Workload wl = MakeWorkload(c.n, c.m, c.d, c.seed);
+  MpaOptions options;
+  options.max_entries = 16;
+  auto mpa = MpaReverseKRanks::Build(wl.points, wl.weights, options).value();
+  for (size_t qi : {size_t{0}, c.n / 2, c.n - 1}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(mpa.ReverseKRanks(q, c.k),
+              NaiveReverseKRanks(wl.points, wl.weights, q, c.k))
+        << "query " << qi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpaEquivalence,
+    ::testing::Values(BaselineCase{100, 50, 2, 5, 41},
+                      BaselineCase{400, 80, 3, 10, 42},
+                      BaselineCase{300, 60, 4, 20, 43},
+                      BaselineCase{200, 100, 6, 5, 44},
+                      BaselineCase{150, 40, 8, 3, 45},
+                      BaselineCase{500, 30, 5, 25, 46}));
+
+TEST(MpaTest, BucketPruningTriggers) {
+  Workload wl = MakeWorkload(3000, 800, 4, 47);
+  auto mpa = MpaReverseKRanks::Build(wl.points, wl.weights).value();
+  QueryStats stats;
+  auto result = mpa.ReverseKRanks(wl.points.row(7), 5, &stats);
+  EXPECT_EQ(result, NaiveReverseKRanks(wl.points, wl.weights,
+                                       wl.points.row(7), 5));
+  EXPECT_GT(stats.weights_pruned, 0u);
+}
+
+TEST(MpaTest, KLargerThanWeights) {
+  Workload wl = MakeWorkload(100, 12, 3, 48);
+  auto mpa = MpaReverseKRanks::Build(wl.points, wl.weights).value();
+  auto result = mpa.ReverseKRanks(wl.points.row(0), 50);
+  EXPECT_EQ(result.size(), 12u);
+  EXPECT_EQ(result,
+            NaiveReverseKRanks(wl.points, wl.weights, wl.points.row(0), 50));
+}
+
+TEST(MpaTest, KZeroGivesEmpty) {
+  Workload wl = MakeWorkload(50, 20, 3, 49);
+  auto mpa = MpaReverseKRanks::Build(wl.points, wl.weights).value();
+  EXPECT_TRUE(mpa.ReverseKRanks(wl.points.row(0), 0).empty());
+}
+
+TEST(MpaTest, HistogramResolutionDoesNotAffectResults) {
+  Workload wl = MakeWorkload(300, 100, 5, 50);
+  for (size_t c : {1u, 2u, 5u, 9u}) {
+    MpaOptions options;
+    options.intervals_per_dim = c;
+    auto mpa = MpaReverseKRanks::Build(wl.points, wl.weights, options).value();
+    EXPECT_EQ(mpa.ReverseKRanks(wl.points.row(33), 10),
+              NaiveReverseKRanks(wl.points, wl.weights, wl.points.row(33), 10))
+        << "c=" << c;
+  }
+}
+
+
+// ---------------------------------------------------------------- RTA
+
+class RtaEquivalence : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(RtaEquivalence, MatchesNaive) {
+  const BaselineCase& c = GetParam();
+  Workload wl = MakeWorkload(c.n, c.m, c.d, c.seed);
+  auto rta = RtaReverseTopK::Build(wl.points, wl.weights).value();
+  for (size_t qi : {size_t{0}, c.n / 2, c.n - 1}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(rta.ReverseTopK(q, c.k),
+              NaiveReverseTopK(wl.points, wl.weights, q, c.k))
+        << "query " << qi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RtaEquivalence,
+    ::testing::Values(BaselineCase{100, 50, 2, 5, 61},
+                      BaselineCase{400, 80, 3, 10, 62},
+                      BaselineCase{300, 60, 6, 20, 63},
+                      BaselineCase{150, 40, 8, 3, 64},
+                      BaselineCase{500, 30, 5, 50, 65}));
+
+TEST(RtaTest, BufferPruningSavesFullScans) {
+  // A poorly-ranked query: consecutive similar weights reject it from the
+  // buffer alone, so far fewer than |W| full top-k evaluations happen.
+  Workload wl = MakeWorkload(3000, 500, 4, 66);
+  auto rta = RtaReverseTopK::Build(wl.points, wl.weights).value();
+  // Worst point under an arbitrary weight is a safely unpopular query.
+  size_t worst = 0;
+  double worst_score = -1.0;
+  for (size_t i = 0; i < wl.points.size(); ++i) {
+    const double s = InnerProduct(wl.weights.row(0), wl.points.row(i));
+    if (s > worst_score) {
+      worst_score = s;
+      worst = i;
+    }
+  }
+  QueryStats stats;
+  auto result = rta.ReverseTopK(wl.points.row(worst), 10, &stats);
+  EXPECT_EQ(result, NaiveReverseTopK(wl.points, wl.weights,
+                                     wl.points.row(worst), 10));
+  EXPECT_GT(stats.weights_pruned, wl.weights.size() / 2);
+}
+
+TEST(RtaTest, OrderCoversEveryWeightOnce) {
+  Workload wl = MakeWorkload(50, 120, 5, 67);
+  auto rta = RtaReverseTopK::Build(wl.points, wl.weights).value();
+  std::vector<int> seen(wl.weights.size(), 0);
+  for (VectorId id : rta.order()) ++seen[id];
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(RtaTest, KZeroAndBuildValidation) {
+  Workload wl = MakeWorkload(30, 10, 3, 68);
+  auto rta = RtaReverseTopK::Build(wl.points, wl.weights).value();
+  EXPECT_TRUE(rta.ReverseTopK(wl.points.row(0), 0).empty());
+  Dataset empty(3);
+  EXPECT_FALSE(RtaReverseTopK::Build(empty, wl.weights).ok());
+  Dataset mismatched = GenerateWeightsUniform(5, 4, 69);
+  EXPECT_FALSE(RtaReverseTopK::Build(wl.points, mismatched).ok());
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef GIR_CLI_PATH
+#error "GIR_CLI_PATH must be defined by the build"
+#endif
+
+namespace gir {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gir_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Runs the CLI with `args`, captures stdout into `output`, returns the
+  /// exit code.
+  int RunCli(const std::string& args, std::string* output = nullptr) {
+    const std::string out_file = Path("stdout.txt");
+    const std::string command = std::string(GIR_CLI_PATH) + " " + args +
+                                " > " + out_file + " 2>" + Path("stderr.txt");
+    const int status = std::system(command.c_str());
+    if (output != nullptr) {
+      std::ifstream in(out_file);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      *output = buffer.str();
+    }
+    return WEXITSTATUS(status);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  EXPECT_EQ(RunCli(""), 1);
+  EXPECT_EQ(RunCli("bogus-command"), 1);
+}
+
+TEST_F(CliTest, GenerateBuildsReadableDataset) {
+  std::string output;
+  ASSERT_EQ(RunCli("generate --kind points --dist UN --n 500 --d 3 --seed 9 "
+                   "--out " + Path("p.bin"), &output), 0);
+  EXPECT_NE(output.find("500 x 3-d"), std::string::npos);
+  ASSERT_EQ(RunCli("info --dataset " + Path("p.bin"), &output), 0);
+  EXPECT_NE(output.find("500 vectors, 3 dims"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsBadDistribution) {
+  EXPECT_NE(RunCli("generate --kind points --dist NOPE --n 10 --d 2 "
+                   "--out " + Path("x.bin")), 0);
+  EXPECT_NE(RunCli("generate --kind cheese --dist UN --n 10 --d 2 "
+                   "--out " + Path("x.bin")), 0);
+}
+
+TEST_F(CliTest, FullPipelineProducesConsistentAnswers) {
+  ASSERT_EQ(RunCli("generate --kind points --dist UN --n 800 --d 4 --seed 1 "
+                   "--out " + Path("p.bin")), 0);
+  ASSERT_EQ(RunCli("generate --kind weights --dist UN --n 200 --d 4 --seed 2 "
+                   "--out " + Path("w.bin")), 0);
+  ASSERT_EQ(RunCli("build-index --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --out " + Path("i.bin") +
+                   " --partitions 32"), 0);
+
+  // Query through the persisted index and by rebuilding: identical output.
+  std::string via_index, rebuilt;
+  ASSERT_EQ(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --index " + Path("i.bin") +
+                   " --type rkr --k 5 --query-row 17", &via_index), 0);
+  ASSERT_EQ(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --type rkr --k 5 --query-row 17",
+                   &rebuilt), 0);
+  EXPECT_EQ(via_index, rebuilt);
+  EXPECT_NE(via_index.find("rank"), std::string::npos);
+}
+
+TEST_F(CliTest, AdaptiveIndexRoundTrips) {
+  ASSERT_EQ(RunCli("generate --kind points --dist EXP --n 400 --d 3 --seed 5 "
+                   "--out " + Path("p.bin")), 0);
+  ASSERT_EQ(RunCli("generate --kind weights --dist UN --n 100 --d 3 --seed 6 "
+                   "--out " + Path("w.bin")), 0);
+  ASSERT_EQ(RunCli("build-index --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --out " + Path("i.bin") + " --adaptive"),
+            0);
+  std::string output;
+  ASSERT_EQ(RunCli("info --index " + Path("i.bin") + " --points " +
+                   Path("p.bin") + " --weights " + Path("w.bin"), &output),
+            0);
+  EXPECT_NE(output.find("adaptive"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryVectorLiteral) {
+  ASSERT_EQ(RunCli("generate --kind points --dist UN --n 300 --d 2 --seed 7 "
+                   "--out " + Path("p.bin")), 0);
+  ASSERT_EQ(RunCli("generate --kind weights --dist UN --n 50 --d 2 --seed 8 "
+                   "--out " + Path("w.bin")), 0);
+  std::string output;
+  ASSERT_EQ(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --type rtk --k 100 --query 1.0,2.0 "
+                   "--stats", &output), 0);
+  EXPECT_NE(output.find("matching preferences"), std::string::npos);
+  EXPECT_NE(output.find("# stats"), std::string::npos);
+  // Wrong width fails cleanly.
+  EXPECT_NE(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --type rtk --k 5 --query 1.0,2.0,3.0"),
+            0);
+}
+
+TEST_F(CliTest, TopKSubcommand) {
+  ASSERT_EQ(RunCli("generate --kind points --dist UN --n 300 --d 3 --seed 9 "
+                   "--out " + Path("p.bin")), 0);
+  ASSERT_EQ(RunCli("generate --kind weights --dist UN --n 10 --d 3 --seed 10 "
+                   "--out " + Path("w.bin")), 0);
+  std::string output;
+  ASSERT_EQ(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --type topk --k 5 --weight-row 3",
+                   &output), 0);
+  EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 5);
+}
+
+TEST_F(CliTest, MissingFilesFailGracefully) {
+  EXPECT_EQ(RunCli("query --points " + Path("no.bin") + " --weights " +
+                   Path("no2.bin") + " --type rkr --k 5 --query-row 0"), 2);
+  EXPECT_EQ(RunCli("info --dataset " + Path("missing.bin")), 2);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/domin.h"
+#include "core/rank.h"
+#include "core/status.h"
+#include "core/topk.h"
+#include "data/generators.h"
+#include "data/rng.h"
+#include "data/weights.h"
+
+namespace gir {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kIOError, StatusCode::kCorruption,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ---------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, FromRowsBasic) {
+  auto ds = Dataset::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().size(), 2u);
+  EXPECT_EQ(ds.value().dim(), 2u);
+  EXPECT_DOUBLE_EQ(ds.value().row(1)[0], 3.0);
+}
+
+TEST(DatasetTest, FromRowsRejectsRaggedRows) {
+  auto ds = Dataset::FromRows({{1.0, 2.0}, {3.0}});
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FromFlatRejectsShapeMismatch) {
+  auto ds = Dataset::FromFlat(3, {1.0, 2.0});
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(DatasetTest, FromFlatRejectsZeroDim) {
+  auto ds = Dataset::FromFlat(0, {});
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(DatasetTest, RejectsNegativeValues) {
+  auto ds = Dataset::FromRows({{1.0, -2.0}});
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(DatasetTest, RejectsNonFiniteValues) {
+  auto ds =
+      Dataset::FromRows({{1.0, std::numeric_limits<double>::infinity()}});
+  EXPECT_FALSE(ds.ok());
+  auto nan_ds =
+      Dataset::FromRows({{std::numeric_limits<double>::quiet_NaN(), 0.0}});
+  EXPECT_FALSE(nan_ds.ok());
+}
+
+TEST(DatasetTest, AppendValidatesWidth) {
+  Dataset ds(3);
+  std::vector<double> narrow{1.0, 2.0};
+  EXPECT_FALSE(ds.Append(narrow).ok());
+  std::vector<double> good{1.0, 2.0, 3.0};
+  EXPECT_TRUE(ds.Append(good).ok());
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(DatasetTest, MinMaxValues) {
+  auto ds = Dataset::FromRows({{1.0, 7.0}, {3.0, 0.5}}).value();
+  EXPECT_DOUBLE_EQ(ds.MaxValue(), 7.0);
+  EXPECT_DOUBLE_EQ(ds.MinValue(), 0.5);
+}
+
+TEST(DatasetTest, EmptyDatasetMinMaxIsZero) {
+  Dataset ds(4);
+  EXPECT_DOUBLE_EQ(ds.MaxValue(), 0.0);
+  EXPECT_DOUBLE_EQ(ds.MinValue(), 0.0);
+  EXPECT_EQ(ds.PerDimMin(), std::vector<double>(4, 0.0));
+}
+
+TEST(DatasetTest, PerDimMinMax) {
+  auto ds = Dataset::FromRows({{1.0, 7.0}, {3.0, 0.5}}).value();
+  EXPECT_EQ(ds.PerDimMin(), (std::vector<double>{1.0, 0.5}));
+  EXPECT_EQ(ds.PerDimMax(), (std::vector<double>{3.0, 7.0}));
+}
+
+TEST(DatasetTest, FlatIsRowMajor) {
+  auto ds = Dataset::FromRows({{1.0, 2.0}, {3.0, 4.0}}).value();
+  EXPECT_EQ(ds.flat(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+// ---------------------------------------------------------------- Weights
+
+TEST(WeightValidationTest, AcceptsSimplexVector) {
+  std::vector<double> w{0.25, 0.75};
+  EXPECT_TRUE(ValidateWeight(w).ok());
+}
+
+TEST(WeightValidationTest, RejectsBadSum) {
+  std::vector<double> w{0.25, 0.25};
+  EXPECT_FALSE(ValidateWeight(w).ok());
+}
+
+TEST(WeightValidationTest, RejectsNegative) {
+  std::vector<double> w{1.25, -0.25};
+  EXPECT_FALSE(ValidateWeight(w).ok());
+}
+
+TEST(WeightValidationTest, NormalizeRescalesToUnitSum) {
+  std::vector<double> w{2.0, 6.0};
+  ASSERT_TRUE(NormalizeWeight(w).ok());
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST(WeightValidationTest, NormalizeRejectsZeroSum) {
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_FALSE(NormalizeWeight(w).ok());
+}
+
+TEST(WeightValidationTest, ValidateDatasetReportsRow) {
+  auto weights = Dataset::FromRows({{0.5, 0.5}, {0.9, 0.9}}).value();
+  Status s = ValidateWeightDataset(weights);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("row 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Scoring
+
+TEST(InnerProductTest, MatchesManualComputation) {
+  std::vector<double> w{0.8, 0.2};
+  std::vector<double> p{0.6, 0.7};
+  EXPECT_DOUBLE_EQ(InnerProduct(w, p), 0.62);  // the paper's Fig. 1 example
+}
+
+TEST(DominatesTest, StrictAllDimensions) {
+  std::vector<double> p{1.0, 2.0};
+  std::vector<double> q{2.0, 3.0};
+  EXPECT_TRUE(Dominates(p, q));
+  EXPECT_FALSE(Dominates(q, p));
+  std::vector<double> tie{1.0, 3.0};  // ties on dim 1
+  EXPECT_FALSE(Dominates(tie, q));
+}
+
+TEST(DominatesTest, DominanceImpliesBetterScoreForAllWeights) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(4), q(4), w(4);
+    for (size_t i = 0; i < 4; ++i) {
+      q[i] = rng.NextDouble(0.1, 1.0);
+      p[i] = q[i] * rng.NextDouble(0.0, 0.999);
+      w[i] = rng.NextDouble();
+    }
+    NormalizeWeight(w).ok();
+    ASSERT_TRUE(Dominates(p, q));
+    EXPECT_LT(InnerProduct(w, p), InnerProduct(w, q));
+  }
+}
+
+// ---------------------------------------------------------------- Counters
+
+TEST(CountersTest, AccumulateAddsFieldwise) {
+  QueryStats a, b;
+  a.inner_products = 3;
+  a.points_visited = 5;
+  b.inner_products = 2;
+  b.nodes_pruned = 7;
+  a += b;
+  EXPECT_EQ(a.inner_products, 5u);
+  EXPECT_EQ(a.points_visited, 5u);
+  EXPECT_EQ(a.nodes_pruned, 7u);
+}
+
+TEST(CountersTest, FilterRate) {
+  QueryStats s;
+  EXPECT_DOUBLE_EQ(s.FilterRate(), 0.0);
+  s.points_visited = 100;
+  s.points_filtered = 99;
+  EXPECT_DOUBLE_EQ(s.FilterRate(), 0.99);
+}
+
+TEST(CountersTest, ToStringSkipsZeros) {
+  QueryStats s;
+  EXPECT_EQ(s.ToString(), "(all zero)");
+  s.inner_products = 4;
+  EXPECT_EQ(s.ToString(), "inner_products=4");
+}
+
+TEST(CountersTest, ResetClearsEverything) {
+  QueryStats s;
+  s.inner_products = 4;
+  s.weights_pruned = 2;
+  s.Reset();
+  EXPECT_EQ(s.ToString(), "(all zero)");
+}
+
+// ---------------------------------------------------------------- Domin
+
+TEST(DominBufferTest, AddIsIdempotent) {
+  DominBuffer domin(10);
+  EXPECT_EQ(domin.count(), 0);
+  domin.Add(3);
+  domin.Add(3);
+  EXPECT_EQ(domin.count(), 1);
+  EXPECT_TRUE(domin.Contains(3));
+  EXPECT_FALSE(domin.Contains(4));
+}
+
+// ---------------------------------------------------------------- TopK
+
+TEST(TopKTest, PaperFigure1Example) {
+  // Cell phones from Fig. 1(b): (smart, rating), min preferred.
+  auto phones = Dataset::FromRows({{0.6, 0.7},
+                                   {0.2, 0.3},
+                                   {0.1, 0.6},
+                                   {0.7, 0.5},
+                                   {0.8, 0.2}})
+                    .value();
+  std::vector<double> tom{0.8, 0.2};
+  auto top2 = TopK(phones, tom, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 2u);  // p3 in the paper's 1-based labels
+  EXPECT_EQ(top2[1].id, 1u);  // p2
+
+  std::vector<double> jerry{0.3, 0.7};
+  auto jerry_top2 = TopK(phones, jerry, 2);
+  EXPECT_EQ(jerry_top2[0].id, 1u);  // p2
+  EXPECT_EQ(jerry_top2[1].id, 4u);  // p5
+
+  std::vector<double> spike{0.9, 0.1};
+  auto spike_top2 = TopK(phones, spike, 2);
+  // Fig. 1(a) lists Spike's top-2 as "p2,p3" but the scores rank p3
+  // (0.9*0.1+0.1*0.6 = 0.15) ahead of p2 (0.21); Fig. 1(c) confirms p3 is
+  // Spike's rank-1. The figure's column is unordered.
+  EXPECT_EQ(spike_top2[0].id, 2u);  // p3
+  EXPECT_EQ(spike_top2[1].id, 1u);  // p2
+}
+
+TEST(TopKTest, KLargerThanDatasetReturnsAll) {
+  auto ds = Dataset::FromRows({{1.0}, {2.0}}).value();
+  std::vector<double> w{1.0};
+  auto top = TopK(ds, w, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKTest, KZeroReturnsEmpty) {
+  auto ds = Dataset::FromRows({{1.0}, {2.0}}).value();
+  std::vector<double> w{1.0};
+  EXPECT_TRUE(TopK(ds, w, 0).empty());
+}
+
+TEST(TopKTest, TieBrokenBySmallerId) {
+  auto ds = Dataset::FromRows({{2.0}, {1.0}, {1.0}}).value();
+  std::vector<double> w{1.0};
+  auto top = TopK(ds, w, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(TopKTest, ResultSortedAscendingByScore) {
+  Dataset ds = GenerateUniform(200, 3, 11);
+  Dataset ws = GenerateWeightsUniform(1, 3, 12);
+  auto top = TopK(ds, ws.row(0), 20);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(TopKTest, CountsInnerProducts) {
+  Dataset ds = GenerateUniform(100, 3, 13);
+  Dataset ws = GenerateWeightsUniform(1, 3, 14);
+  QueryStats stats;
+  TopK(ds, ws.row(0), 5, &stats);
+  EXPECT_EQ(stats.inner_products, 100u);
+  EXPECT_EQ(stats.multiplications, 300u);
+}
+
+// ---------------------------------------------------------------- Rank
+
+TEST(RankTest, StrictRankIgnoresTies) {
+  auto ds = Dataset::FromRows({{1.0}, {2.0}, {2.0}, {3.0}}).value();
+  std::vector<double> w{1.0};
+  std::vector<double> q{2.0};
+  EXPECT_EQ(RankOfQuery(ds, w, q), 1);  // only the 1.0 point is better
+}
+
+TEST(RankTest, QueryFromDatasetDoesNotCountItself) {
+  Dataset ds = GenerateUniform(50, 4, 21);
+  Dataset ws = GenerateWeightsUniform(1, 4, 22);
+  // q == row 10; its own equal score must not count.
+  const int64_t rank = RankOfQuery(ds, ws.row(0), ds.row(10));
+  EXPECT_GE(rank, 0);
+  EXPECT_LT(rank, 50);
+}
+
+TEST(RankTest, ThresholdVariantMatchesExactBelowThreshold) {
+  Dataset ds = GenerateUniform(300, 5, 31);
+  Dataset ws = GenerateWeightsUniform(10, 5, 32);
+  for (size_t wi = 0; wi < ws.size(); ++wi) {
+    const int64_t exact = RankOfQuery(ds, ws.row(wi), ds.row(0));
+    const int64_t capped =
+        RankWithThreshold(ds, ws.row(wi), ds.row(0), exact + 1);
+    EXPECT_EQ(capped, exact);
+    EXPECT_EQ(RankWithThreshold(ds, ws.row(wi), ds.row(0), exact),
+              kRankOverThreshold);
+  }
+}
+
+TEST(RankTest, ThresholdZeroAlwaysOver) {
+  Dataset ds = GenerateUniform(10, 2, 41);
+  Dataset ws = GenerateWeightsUniform(1, 2, 42);
+  EXPECT_EQ(RankWithThreshold(ds, ws.row(0), ds.row(0), 0),
+            kRankOverThreshold);
+}
+
+TEST(RankTest, EarlyTerminationVisitsFewerPoints) {
+  Dataset ds = GenerateUniform(10000, 4, 51);
+  Dataset ws = GenerateWeightsUniform(1, 4, 52);
+  // Pick the worst point (highest score) so nearly everything out-ranks it:
+  // threshold 10 must terminate long before the end.
+  size_t worst = 0;
+  double worst_score = -1.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const double s = InnerProduct(ws.row(0), ds.row(i));
+    if (s > worst_score) {
+      worst_score = s;
+      worst = i;
+    }
+  }
+  QueryStats stats;
+  EXPECT_EQ(RankWithThreshold(ds, ws.row(0), ds.row(worst), 10, &stats),
+            kRankOverThreshold);
+  EXPECT_LT(stats.points_visited, 5000u);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/dataset.h"
+#include "data/generators.h"
+#include "data/real_like.h"
+#include "data/rng.h"
+#include "data/weights.h"
+
+namespace gir {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(5.0, 6.5);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.5);
+  }
+}
+
+TEST(RngTest, NextIndexCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextIndex(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(12);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) equal += parent.NextU64() == child.NextU64();
+  EXPECT_LT(equal, 2);
+}
+
+// ---------------------------------------------------------------- Points
+
+TEST(GeneratorsTest, UniformShapeAndRange) {
+  Dataset ds = GenerateUniform(5000, 6, 21);
+  EXPECT_EQ(ds.size(), 5000u);
+  EXPECT_EQ(ds.dim(), 6u);
+  EXPECT_GE(ds.MinValue(), 0.0);
+  EXPECT_LT(ds.MaxValue(), 10000.0);
+  // Mean of each dimension ~ range/2.
+  for (size_t j = 0; j < 6; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < ds.size(); ++i) sum += ds.row(i)[j];
+    EXPECT_NEAR(sum / static_cast<double>(ds.size()), 5000.0, 300.0);
+  }
+}
+
+TEST(GeneratorsTest, UniformDeterministicPerSeed) {
+  Dataset a = GenerateUniform(100, 3, 5);
+  Dataset b = GenerateUniform(100, 3, 5);
+  Dataset c = GenerateUniform(100, 3, 6);
+  EXPECT_EQ(a.flat(), b.flat());
+  EXPECT_NE(a.flat(), c.flat());
+}
+
+TEST(GeneratorsTest, ClusteredStaysInRange) {
+  Dataset ds = GenerateClustered(5000, 4, 22);
+  EXPECT_GE(ds.MinValue(), 0.0);
+  EXPECT_LT(ds.MaxValue(), 10000.0);
+}
+
+TEST(GeneratorsTest, ClusteredIsMoreConcentratedThanUniform) {
+  // Nearest-cluster-center spread: clustered data has much lower average
+  // distance to its nearest neighbor than uniform data of the same size.
+  GeneratorOptions opts;
+  opts.num_clusters = 5;
+  opts.sigma_fraction = 0.02;
+  Dataset cl = GenerateClustered(500, 3, 23, opts);
+  Dataset un = GenerateUniform(500, 3, 23);
+  auto avg_nn = [](const Dataset& ds) {
+    double total = 0.0;
+    for (size_t i = 0; i < 100; ++i) {
+      double best = 1e300;
+      for (size_t j = 0; j < ds.size(); ++j) {
+        if (i == j) continue;
+        double d2 = 0.0;
+        for (size_t t = 0; t < ds.dim(); ++t) {
+          const double diff = ds.row(i)[t] - ds.row(j)[t];
+          d2 += diff * diff;
+        }
+        best = std::min(best, d2);
+      }
+      total += std::sqrt(best);
+    }
+    return total / 100.0;
+  };
+  EXPECT_LT(avg_nn(cl), avg_nn(un) * 0.8);
+}
+
+TEST(GeneratorsTest, AnticorrelatedSumsConcentrate) {
+  Dataset ds = GenerateAnticorrelated(5000, 6, 24);
+  EXPECT_GE(ds.MinValue(), 0.0);
+  EXPECT_LT(ds.MaxValue(), 10000.0);
+  // Coordinate sums cluster near d/2 * range; spread far below uniform's.
+  double mean_sum = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < ds.dim(); ++j) s += ds.row(i)[j];
+    mean_sum += s;
+  }
+  mean_sum /= static_cast<double>(ds.size());
+  EXPECT_NEAR(mean_sum, 3.0 * 10000.0, 600.0);
+
+  double var_sum = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < ds.dim(); ++j) s += ds.row(i)[j];
+    var_sum += (s - mean_sum) * (s - mean_sum);
+  }
+  var_sum /= static_cast<double>(ds.size());
+  // Uniform sum variance would be d * range^2 / 12 = 5e7; AC is far less.
+  EXPECT_LT(var_sum, 1e7);
+}
+
+TEST(GeneratorsTest, AnticorrelatedNegativelyCorrelatedDims) {
+  Dataset ds = GenerateAnticorrelated(20000, 2, 25);
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    mx += ds.row(i)[0];
+    my += ds.row(i)[1];
+  }
+  mx /= static_cast<double>(ds.size());
+  my /= static_cast<double>(ds.size());
+  double cov = 0, vx = 0, vy = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const double dx = ds.row(i)[0] - mx;
+    const double dy = ds.row(i)[1] - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_LT(corr, -0.5);
+}
+
+TEST(GeneratorsTest, NormalCentersAtHalfRange) {
+  Dataset ds = GenerateNormal(20000, 3, 26);
+  double mean = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) mean += ds.row(i)[0];
+  mean /= static_cast<double>(ds.size());
+  EXPECT_NEAR(mean, 5000.0, 100.0);
+}
+
+TEST(GeneratorsTest, ExponentialSkewsLow) {
+  Dataset ds = GenerateExponential(20000, 3, 27);
+  // Exp(2) on the unit scale: P(X < 0.5) = 1 - e^-1 = 0.632, far above the
+  // uniform's 0.5; and the median sits near 0.35 * range.
+  size_t below = 0;
+  for (double v : ds.flat()) below += v < 5000.0;
+  EXPECT_GT(static_cast<double>(below) / static_cast<double>(ds.flat().size()),
+            0.60);
+}
+
+TEST(GeneratorsTest, DispatchMatchesDirectCalls) {
+  EXPECT_EQ(GeneratePoints(PointDistribution::kUniform, 50, 3, 1).flat(),
+            GenerateUniform(50, 3, 1).flat());
+  EXPECT_EQ(GeneratePoints(PointDistribution::kClustered, 50, 3, 1).flat(),
+            GenerateClustered(50, 3, 1).flat());
+  EXPECT_EQ(
+      GeneratePoints(PointDistribution::kAnticorrelated, 50, 3, 1).flat(),
+      GenerateAnticorrelated(50, 3, 1).flat());
+}
+
+TEST(GeneratorsTest, ParseNames) {
+  EXPECT_TRUE(ParsePointDistribution("UN").ok());
+  EXPECT_TRUE(ParsePointDistribution("cl").ok());
+  EXPECT_TRUE(ParsePointDistribution("AC").ok());
+  EXPECT_TRUE(ParsePointDistribution("exp").ok());
+  EXPECT_FALSE(ParsePointDistribution("bogus").ok());
+  EXPECT_STREQ(PointDistributionName(PointDistribution::kUniform), "UN");
+}
+
+// ---------------------------------------------------------------- Weights
+
+TEST(WeightsTest, UniformRowsAreOnSimplex) {
+  Dataset ws = GenerateWeightsUniform(1000, 5, 31);
+  EXPECT_TRUE(ValidateWeightDataset(ws).ok());
+}
+
+TEST(WeightsTest, UniformSimplexIsSymmetric) {
+  Dataset ws = GenerateWeightsUniform(50000, 4, 32);
+  for (size_t j = 0; j < 4; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < ws.size(); ++i) mean += ws.row(i)[j];
+    mean /= static_cast<double>(ws.size());
+    EXPECT_NEAR(mean, 0.25, 0.005);
+  }
+}
+
+TEST(WeightsTest, ClusteredRowsAreOnSimplex) {
+  Dataset ws = GenerateWeightsClustered(1000, 6, 33);
+  EXPECT_TRUE(ValidateWeightDataset(ws).ok());
+}
+
+TEST(WeightsTest, NormalAndExponentialAreOnSimplex) {
+  EXPECT_TRUE(ValidateWeightDataset(GenerateWeightsNormal(500, 6, 34)).ok());
+  EXPECT_TRUE(
+      ValidateWeightDataset(GenerateWeightsExponential(500, 6, 35)).ok());
+}
+
+TEST(WeightsTest, SparseHasExactZeros) {
+  WeightGeneratorOptions opts;
+  opts.sparsity_nonzero_fraction = 0.3;
+  Dataset ws = GenerateWeightsSparse(500, 10, 36, opts);
+  EXPECT_TRUE(ValidateWeightDataset(ws).ok());
+  size_t zeros = 0;
+  for (double v : ws.flat()) zeros += v == 0.0;
+  const double zero_fraction =
+      static_cast<double>(zeros) / static_cast<double>(ws.flat().size());
+  EXPECT_GT(zero_fraction, 0.55);
+  EXPECT_LT(zero_fraction, 0.85);
+}
+
+TEST(WeightsTest, SparseAlwaysHasSupport) {
+  WeightGeneratorOptions opts;
+  opts.sparsity_nonzero_fraction = 0.01;  // forces the fallback path often
+  Dataset ws = GenerateWeightsSparse(300, 8, 37, opts);
+  for (size_t i = 0; i < ws.size(); ++i) {
+    double sum = 0.0;
+    for (double v : ws.row(i)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(WeightsTest, ParseNames) {
+  EXPECT_TRUE(ParseWeightDistribution("UN").ok());
+  EXPECT_TRUE(ParseWeightDistribution("SPARSE").ok());
+  EXPECT_FALSE(ParseWeightDistribution("zzz").ok());
+  EXPECT_STREQ(WeightDistributionName(WeightDistribution::kClustered), "CL");
+}
+
+// ---------------------------------------------------------------- Real-like
+
+TEST(RealLikeTest, HouseRowsArePercentages) {
+  Dataset house = MakeHouseLike(2000, 41);
+  EXPECT_EQ(house.dim(), kHouseDim);
+  for (size_t i = 0; i < house.size(); ++i) {
+    double sum = 0.0;
+    for (double v : house.row(i)) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+  }
+}
+
+TEST(RealLikeTest, HouseCategorySkewFollowsBudgetShape) {
+  Dataset house = MakeHouseLike(20000, 42);
+  std::vector<double> means(kHouseDim, 0.0);
+  for (size_t i = 0; i < house.size(); ++i) {
+    for (size_t j = 0; j < kHouseDim; ++j) means[j] += house.row(i)[j];
+  }
+  for (double& m : means) m /= static_cast<double>(house.size());
+  // Property tax (5) > insurance (4) > electricity (1) > water (2).
+  EXPECT_GT(means[5], means[4]);
+  EXPECT_GT(means[4], means[1]);
+  EXPECT_GT(means[1], means[2]);
+}
+
+TEST(RealLikeTest, ColorValuesInUnitCube) {
+  Dataset color = MakeColorLike(3000, 43);
+  EXPECT_EQ(color.dim(), kColorDim);
+  EXPECT_GE(color.MinValue(), 0.0);
+  EXPECT_LE(color.MaxValue(), 1.0);
+}
+
+TEST(RealLikeTest, ColorChannelsCorrelated) {
+  Dataset color = MakeColorLike(20000, 44);
+  // Channel 0 vs channel 1 share component brightness: correlation > 0.3.
+  double m0 = 0, m1 = 0;
+  for (size_t i = 0; i < color.size(); ++i) {
+    m0 += color.row(i)[0];
+    m1 += color.row(i)[1];
+  }
+  m0 /= static_cast<double>(color.size());
+  m1 /= static_cast<double>(color.size());
+  double cov = 0, v0 = 0, v1 = 0;
+  for (size_t i = 0; i < color.size(); ++i) {
+    const double d0 = color.row(i)[0] - m0;
+    const double d1 = color.row(i)[1] - m1;
+    cov += d0 * d1;
+    v0 += d0 * d0;
+    v1 += d1 * d1;
+  }
+  EXPECT_GT(cov / std::sqrt(v0 * v1), 0.3);
+}
+
+TEST(RealLikeTest, DianpingRestaurantsOnBadnessScale) {
+  Dataset rest = MakeDianpingRestaurantsLike(3000, 45);
+  EXPECT_EQ(rest.dim(), kDianpingDim);
+  EXPECT_GE(rest.MinValue(), 0.0);
+  EXPECT_LE(rest.MaxValue(), 5.0);
+  // Latent quality correlates the aspects within a restaurant: the
+  // between-restaurant variance of the row mean stays substantial.
+  double mean_of_means = 0.0;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    double m = 0.0;
+    for (double v : rest.row(i)) m += v;
+    mean_of_means += m / kDianpingDim;
+  }
+  mean_of_means /= static_cast<double>(rest.size());
+  EXPECT_GT(mean_of_means, 0.5);
+  EXPECT_LT(mean_of_means, 2.5);  // most restaurants are decent (low badness)
+}
+
+TEST(RealLikeTest, DianpingUsersAreValidPreferences) {
+  Dataset users = MakeDianpingUsersLike(2000, 46);
+  EXPECT_EQ(users.dim(), kDianpingDim);
+  EXPECT_TRUE(ValidateWeightDataset(users).ok());
+}
+
+TEST(RealLikeTest, DeterministicPerSeed) {
+  EXPECT_EQ(MakeHouseLike(100, 1).flat(), MakeHouseLike(100, 1).flat());
+  EXPECT_NE(MakeHouseLike(100, 1).flat(), MakeHouseLike(100, 2).flat());
+}
+
+}  // namespace
+}  // namespace gir

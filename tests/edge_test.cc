@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/bbr.h"
+#include "baselines/mpa.h"
+#include "core/naive.h"
+#include "core/simple_scan.h"
+#include "core/topk.h"
+#include "data/generators.h"
+#include "data/rng.h"
+#include "data/weights.h"
+#include "grid/adaptive_grid.h"
+#include "grid/gir_queries.h"
+#include "grid/sparse_scan.h"
+
+namespace gir {
+namespace {
+
+/// Lattice-valued workloads force exact score ties in double arithmetic —
+/// the hardest case for the strict-rank tie-breaking rule (DESIGN.md §2).
+/// Every algorithm must still agree bit-for-bit with the oracle.
+Dataset LatticePoints(size_t n, size_t d, uint64_t seed, int levels) {
+  Rng rng(seed);
+  Dataset ds(d);
+  ds.Reserve(n);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = static_cast<double>(rng.NextIndex(levels));
+    }
+    ds.AppendUnchecked(row);
+  }
+  return ds;
+}
+
+/// Weights with exactly representable values (multiples of 1/8, sum 1):
+/// weighted sums of lattice points collide exactly.
+Dataset LatticeWeights(size_t m, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(d);
+  ds.Reserve(m);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < m; ++i) {
+    // Distribute 8 eighths across d dimensions.
+    std::fill(row.begin(), row.end(), 0.0);
+    for (int unit = 0; unit < 8; ++unit) {
+      row[rng.NextIndex(d)] += 0.125;
+    }
+    ds.AppendUnchecked(row);
+  }
+  return ds;
+}
+
+struct TieCase {
+  size_t n, m, d, k;
+  int levels;
+  uint64_t seed;
+};
+
+class TieStress : public ::testing::TestWithParam<TieCase> {};
+
+TEST_P(TieStress, AllAlgorithmsAgreeUnderMassiveTies) {
+  const TieCase& c = GetParam();
+  Dataset points = LatticePoints(c.n, c.d, c.seed, c.levels);
+  Dataset weights = LatticeWeights(c.m, c.d, c.seed + 1);
+
+  SimpleScan sim(points, weights);
+  auto gir = GirIndex::Build(points, weights).value();
+  GirOptions paper_mode;
+  paper_mode.bound_mode = BoundMode::kUpperFirst;
+  auto gir2d = GirIndex::Build(points, weights, paper_mode).value();
+  auto adaptive = BuildAdaptiveGir(points, weights).value();
+  auto sparse = SparseGir::Build(points, weights).value();
+  BbrOptions bbr_options;
+  bbr_options.max_entries = 16;
+  auto bbr = BbrReverseTopK::Build(points, weights, bbr_options).value();
+  auto mpa = MpaReverseKRanks::Build(points, weights).value();
+
+  for (size_t qi : {size_t{0}, c.n / 2, c.n - 1}) {
+    ConstRow q = points.row(qi);
+    const auto rtk = NaiveReverseTopK(points, weights, q, c.k);
+    EXPECT_EQ(sim.ReverseTopK(q, c.k), rtk);
+    EXPECT_EQ(gir.ReverseTopK(q, c.k), rtk);
+    EXPECT_EQ(gir2d.ReverseTopK(q, c.k), rtk);
+    EXPECT_EQ(adaptive.ReverseTopK(q, c.k), rtk);
+    EXPECT_EQ(sparse.ReverseTopK(q, c.k), rtk);
+    EXPECT_EQ(bbr.ReverseTopK(q, c.k), rtk);
+
+    const auto rkr = NaiveReverseKRanks(points, weights, q, c.k);
+    EXPECT_EQ(sim.ReverseKRanks(q, c.k), rkr);
+    EXPECT_EQ(gir.ReverseKRanks(q, c.k), rkr);
+    EXPECT_EQ(gir2d.ReverseKRanks(q, c.k), rkr);
+    EXPECT_EQ(adaptive.ReverseKRanks(q, c.k), rkr);
+    EXPECT_EQ(sparse.ReverseKRanks(q, c.k), rkr);
+    EXPECT_EQ(mpa.ReverseKRanks(q, c.k), rkr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattices, TieStress,
+    ::testing::Values(TieCase{120, 40, 2, 5, 3, 1},   // massive ties, 2-d
+                      TieCase{200, 50, 3, 10, 2, 2},  // binary attributes
+                      TieCase{150, 30, 4, 7, 4, 3},
+                      TieCase{100, 60, 6, 15, 3, 4},
+                      TieCase{250, 20, 5, 3, 2, 5},
+                      TieCase{80, 80, 8, 9, 2, 6}));
+
+// --------------------------------------------------- degenerate shapes
+
+TEST(DegenerateTest, SinglePointSingleWeight) {
+  auto points = Dataset::FromRows({{1.0, 2.0}}).value();
+  auto weights = Dataset::FromRows({{0.5, 0.5}}).value();
+  auto gir = GirIndex::Build(points, weights).value();
+  // q == the only point: rank 0 < 1, so the weight qualifies.
+  EXPECT_EQ(gir.ReverseTopK(points.row(0), 1), (ReverseTopKResult{0}));
+  auto rkr = gir.ReverseKRanks(points.row(0), 1);
+  ASSERT_EQ(rkr.size(), 1u);
+  EXPECT_EQ(rkr[0].rank, 0);
+}
+
+TEST(DegenerateTest, OneDimensionalData) {
+  Dataset points = GenerateUniform(200, 1, 7);
+  auto weights = Dataset::FromRows({{1.0}}).value();
+  auto gir = GirIndex::Build(points, weights).value();
+  SimpleScan sim(points, weights);
+  for (size_t qi : {size_t{0}, size_t{100}}) {
+    EXPECT_EQ(gir.ReverseTopK(points.row(qi), 50),
+              NaiveReverseTopK(points, weights, points.row(qi), 50));
+    EXPECT_EQ(gir.ReverseKRanks(points.row(qi), 1),
+              sim.ReverseKRanks(points.row(qi), 1));
+  }
+}
+
+TEST(DegenerateTest, AllPointsIdentical) {
+  Dataset points(3);
+  std::vector<double> row{5.0, 5.0, 5.0};
+  for (int i = 0; i < 50; ++i) points.AppendUnchecked(row);
+  Dataset weights = GenerateWeightsUniform(10, 3, 8);
+  auto gir = GirIndex::Build(points, weights).value();
+  // Every point ties with q: rank 0 for every weight.
+  auto rtk = gir.ReverseTopK(points.row(0), 1);
+  EXPECT_EQ(rtk.size(), weights.size());
+  auto rkr = gir.ReverseKRanks(points.row(0), 5);
+  for (const auto& entry : rkr) EXPECT_EQ(entry.rank, 0);
+}
+
+TEST(DegenerateTest, ConstantDimension) {
+  // One dimension is constant across all points: its grid cells collapse.
+  Rng rng(9);
+  Dataset points(3);
+  std::vector<double> row(3);
+  for (int i = 0; i < 150; ++i) {
+    row[0] = rng.NextDouble(0.0, 100.0);
+    row[1] = 42.0;
+    row[2] = rng.NextDouble(0.0, 100.0);
+    points.AppendUnchecked(row);
+  }
+  Dataset weights = GenerateWeightsUniform(30, 3, 10);
+  auto gir = GirIndex::Build(points, weights).value();
+  ConstRow q = points.row(75);
+  EXPECT_EQ(gir.ReverseTopK(q, 10),
+            NaiveReverseTopK(points, weights, q, 10));
+  EXPECT_EQ(gir.ReverseKRanks(q, 10),
+            NaiveReverseKRanks(points, weights, q, 10));
+}
+
+TEST(DegenerateTest, QueryAtOrigin) {
+  // The origin is never out-ranked (strictly) by non-negative data.
+  Dataset points = GenerateUniform(100, 4, 11);
+  Dataset weights = GenerateWeightsUniform(20, 4, 12);
+  auto gir = GirIndex::Build(points, weights).value();
+  std::vector<double> origin(4, 0.0);
+  auto rtk = gir.ReverseTopK(origin, 1);
+  EXPECT_EQ(rtk.size(), weights.size());
+  auto rkr = gir.ReverseKRanks(origin, 3);
+  for (const auto& entry : rkr) EXPECT_EQ(entry.rank, 0);
+}
+
+TEST(DegenerateTest, KEqualsCardinalities) {
+  Dataset points = GenerateUniform(60, 3, 13);
+  Dataset weights = GenerateWeightsUniform(25, 3, 14);
+  auto gir = GirIndex::Build(points, weights).value();
+  ConstRow q = points.row(30);
+  // k = |P|: every weight ranks q within the top-|P|.
+  EXPECT_EQ(gir.ReverseTopK(q, points.size()).size(), weights.size());
+  // k = |W|: reverse k-ranks returns everything, sorted by (rank, id).
+  auto rkr = gir.ReverseKRanks(q, weights.size());
+  EXPECT_EQ(rkr.size(), weights.size());
+  EXPECT_EQ(rkr, NaiveReverseKRanks(points, weights, q, weights.size()));
+}
+
+TEST(DegenerateTest, ThresholdOneTopKQuery) {
+  // k = 1 RTK: only weights for which q is their single best product.
+  Dataset points = GenerateUniform(300, 5, 15);
+  Dataset weights = GenerateWeightsUniform(80, 5, 16);
+  auto gir = GirIndex::Build(points, weights).value();
+  // Find the globally best point under weight 0 and use it as q.
+  auto top1 = TopK(points, weights.row(0), 1);
+  ConstRow q = points.row(top1[0].id);
+  auto rtk = gir.ReverseTopK(q, 1);
+  EXPECT_EQ(rtk, NaiveReverseTopK(points, weights, q, 1));
+  EXPECT_TRUE(std::find(rtk.begin(), rtk.end(), 0u) != rtk.end());
+}
+
+TEST(DegenerateTest, HugeValuesSmallValuesMix) {
+  // 6 orders of magnitude within one dataset: grid cells must stay sound.
+  Rng rng(17);
+  Dataset points(2);
+  std::vector<double> row(2);
+  for (int i = 0; i < 200; ++i) {
+    row[0] = rng.NextDouble() < 0.5 ? rng.NextDouble(0.0, 0.01)
+                                    : rng.NextDouble(0.0, 10000.0);
+    row[1] = rng.NextDouble(0.0, 10000.0);
+    points.AppendUnchecked(row);
+  }
+  Dataset weights = GenerateWeightsUniform(40, 2, 18);
+  auto uniform = GirIndex::Build(points, weights).value();
+  auto adaptive = BuildAdaptiveGir(points, weights).value();
+  ConstRow q = points.row(50);
+  const auto expected = NaiveReverseKRanks(points, weights, q, 10);
+  EXPECT_EQ(uniform.ReverseKRanks(q, 10), expected);
+  EXPECT_EQ(adaptive.ReverseKRanks(q, 10), expected);
+}
+
+// --------------------------------------------------- randomized fuzzing
+
+TEST(FuzzAgreement, RandomSmallWorkloads) {
+  // Many small random configurations; any disagreement pinpoints the
+  // offending seed.
+  Rng meta(0xFADE);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 20 + meta.NextIndex(120);
+    const size_t m = 5 + meta.NextIndex(60);
+    const size_t d = 1 + meta.NextIndex(10);
+    const size_t k = 1 + meta.NextIndex(12);
+    const uint64_t seed = meta.NextU64();
+    Dataset points = GenerateUniform(n, d, seed);
+    Dataset weights = GenerateWeightsUniform(m, d, seed + 1);
+    GirOptions opts;
+    opts.partitions = 1 + meta.NextIndex(128);
+    auto gir = GirIndex::Build(points, weights, opts).value();
+    const size_t qi = meta.NextIndex(n);
+    ConstRow q = points.row(qi);
+    ASSERT_EQ(gir.ReverseTopK(q, k),
+              NaiveReverseTopK(points, weights, q, k))
+        << "trial " << trial << " n=" << n << " m=" << m << " d=" << d
+        << " k=" << k << " parts=" << opts.partitions << " seed=" << seed;
+    ASSERT_EQ(gir.ReverseKRanks(q, k),
+              NaiveReverseKRanks(points, weights, q, k))
+        << "trial " << trial << " seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gir

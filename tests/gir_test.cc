@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/naive.h"
+#include "core/rank.h"
+#include "core/simple_scan.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/gin_topk.h"
+#include "grid/gir_queries.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+// ---------------------------------------------------------------- GInTopK
+
+class GinTopKTest : public ::testing::Test {
+ protected:
+  void Init(size_t n, size_t m, size_t d, uint64_t seed, size_t partitions) {
+    wl_ = MakeWorkload(n, m, d, seed);
+    GirOptions opts;
+    opts.partitions = partitions;
+    index_.emplace(GirIndex::Build(wl_.points, wl_.weights, opts).value());
+  }
+
+  Workload wl_{Dataset(1), Dataset(1)};
+  std::optional<GirIndex> index_;
+};
+
+TEST_F(GinTopKTest, ExactRankBelowThreshold) {
+  Init(400, 30, 5, 1, 32);
+  GinContext ctx{&wl_.points, &index_->point_cells(), &index_->grid(),
+                 BoundMode::kUpperFirst};
+  GinScratch scratch;
+  for (size_t wi = 0; wi < wl_.weights.size(); ++wi) {
+    const int64_t exact = RankOfQuery(wl_.points, wl_.weights.row(wi),
+                                      wl_.points.row(3));
+    const int64_t got = GInTopK(ctx, wl_.weights.row(wi),
+                                index_->weight_cells().row(wi),
+                                wl_.points.row(3), exact + 1,
+                                /*domin=*/nullptr, scratch);
+    EXPECT_EQ(got, exact) << "weight " << wi;
+    const int64_t over = GInTopK(ctx, wl_.weights.row(wi),
+                                 index_->weight_cells().row(wi),
+                                 wl_.points.row(3), exact,
+                                 /*domin=*/nullptr, scratch);
+    EXPECT_EQ(over, kRankOverThreshold);
+  }
+}
+
+TEST_F(GinTopKTest, FusedModeGivesSameRanks) {
+  Init(300, 20, 6, 2, 16);
+  GinContext upper{&wl_.points, &index_->point_cells(), &index_->grid(),
+                   BoundMode::kUpperFirst};
+  GinContext fused{&wl_.points, &index_->point_cells(), &index_->grid(),
+                   BoundMode::kFused};
+  GinScratch scratch;
+  const int64_t cap = static_cast<int64_t>(wl_.points.size()) + 1;
+  for (size_t wi = 0; wi < wl_.weights.size(); ++wi) {
+    const int64_t a =
+        GInTopK(upper, wl_.weights.row(wi), index_->weight_cells().row(wi),
+                wl_.points.row(7), cap, nullptr, scratch);
+    const int64_t b =
+        GInTopK(fused, wl_.weights.row(wi), index_->weight_cells().row(wi),
+                wl_.points.row(7), cap, nullptr, scratch);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(GinTopKTest, DominBufferPreCountsAndSkips) {
+  Init(200, 10, 4, 3, 32);
+  GinContext ctx{&wl_.points, &index_->point_cells(), &index_->grid(),
+                 BoundMode::kUpperFirst};
+  DominBuffer domin(wl_.points.size());
+  GinScratch scratch;
+  const int64_t cap = static_cast<int64_t>(wl_.points.size()) + 1;
+  // Query near the maximum corner: many dominators.
+  std::vector<double> q(4, 9990.0);
+  const int64_t first = GInTopK(ctx, wl_.weights.row(0),
+                                index_->weight_cells().row(0), q, cap, &domin,
+                                scratch);
+  EXPECT_GT(domin.count(), 0);
+  QueryStats stats;
+  const int64_t second = GInTopK(ctx, wl_.weights.row(0),
+                                 index_->weight_cells().row(0), q, cap,
+                                 &domin, scratch, &stats);
+  EXPECT_EQ(first, second);  // same weight, same rank, dominators pre-counted
+  EXPECT_GT(stats.points_dominated, 0u);
+}
+
+TEST_F(GinTopKTest, StatsAccountForEveryVisitedPoint) {
+  Init(500, 5, 6, 4, 32);
+  GinContext ctx{&wl_.points, &index_->point_cells(), &index_->grid(),
+                 BoundMode::kUpperFirst};
+  GinScratch scratch;
+  QueryStats stats;
+  const int64_t cap = static_cast<int64_t>(wl_.points.size()) + 1;
+  GInTopK(ctx, wl_.weights.row(0), index_->weight_cells().row(0),
+          wl_.points.row(0), cap, nullptr, scratch, &stats);
+  EXPECT_EQ(stats.points_visited, 500u);
+  EXPECT_EQ(stats.points_filtered + stats.points_refined, 500u);
+  // Refinement inner products + the query score.
+  EXPECT_EQ(stats.inner_products, stats.points_refined + 1);
+}
+
+TEST_F(GinTopKTest, HighFilterRateAtPaperDefaults) {
+  // n = 32, d = 6 (Table 5 defaults). The paper's Theorem 1 promises >99%
+  // under its idealized product-interval model; the implementable 2-D cell
+  // bounds resolve ~88% here (see EXPERIMENTS.md, Table 4 discussion), and
+  // more partitions push it higher (asserted below).
+  Init(5000, 10, 6, 5, 32);
+  GinContext ctx{&wl_.points, &index_->point_cells(), &index_->grid(),
+                 BoundMode::kUpperFirst};
+  GinScratch scratch;
+  QueryStats stats;
+  const int64_t cap = static_cast<int64_t>(wl_.points.size()) + 1;
+  for (size_t wi = 0; wi < wl_.weights.size(); ++wi) {
+    GInTopK(ctx, wl_.weights.row(wi), index_->weight_cells().row(wi),
+            wl_.points.row(11), cap, nullptr, scratch, &stats);
+  }
+  EXPECT_GT(stats.FilterRate(), 0.85);
+
+  // n = 128 resolves substantially more.
+  GirOptions opts;
+  opts.partitions = 128;
+  auto fine = GirIndex::Build(wl_.points, wl_.weights, opts).value();
+  QueryStats fine_stats;
+  GinContext fine_ctx{&wl_.points, &fine.point_cells(), &fine.grid(),
+                      BoundMode::kUpperFirst};
+  for (size_t wi = 0; wi < wl_.weights.size(); ++wi) {
+    GInTopK(fine_ctx, wl_.weights.row(wi), fine.weight_cells().row(wi),
+            wl_.points.row(11), cap, nullptr, scratch, &fine_stats);
+  }
+  EXPECT_GT(fine_stats.FilterRate(), stats.FilterRate());
+  EXPECT_GT(fine_stats.FilterRate(), 0.95);
+}
+
+// ---------------------------------------------------------------- GirIndex
+
+TEST(GirIndexTest, BuildRejectsDimensionMismatch) {
+  Dataset points = GenerateUniform(10, 3, 1);
+  Dataset weights = GenerateWeightsUniform(10, 4, 2);
+  EXPECT_FALSE(GirIndex::Build(points, weights).ok());
+}
+
+TEST(GirIndexTest, BuildRejectsEmptyPoints) {
+  Dataset points(3);
+  Dataset weights = GenerateWeightsUniform(10, 3, 3);
+  EXPECT_FALSE(GirIndex::Build(points, weights).ok());
+}
+
+TEST(GirIndexTest, BuildRejectsPartitionerNotCoveringData) {
+  Dataset points = GenerateUniform(10, 3, 4);
+  Dataset weights = GenerateWeightsUniform(10, 3, 5);
+  auto small = Partitioner::Uniform(8, 1.0).value();  // points go to 10K
+  auto wp = Partitioner::Uniform(8, 1.0).value();
+  EXPECT_FALSE(
+      GirIndex::BuildWithPartitioners(points, weights, small, wp).ok());
+}
+
+TEST(GirIndexTest, MemoryBytesBreakdown) {
+  Dataset points = GenerateUniform(100, 6, 6);
+  Dataset weights = GenerateWeightsUniform(50, 6, 7);
+  GirOptions opts;
+  opts.partitions = 32;
+  auto index = GirIndex::Build(points, weights, opts).value();
+  EXPECT_EQ(index.MemoryBytes(),
+            33u * 33u * sizeof(double) + 100u * 6u + 50u * 6u);
+}
+
+TEST(GirIndexTest, AllZeroWeightRowHandled) {
+  // A zero row cannot be a valid preference, but the index must not choke
+  // when handed one (it scores everything 0).
+  Dataset points = GenerateUniform(50, 3, 8);
+  auto weights = Dataset::FromRows({{0.0, 0.0, 0.0}, {0.5, 0.25, 0.25}});
+  ASSERT_TRUE(weights.ok());
+  auto index = GirIndex::Build(points, weights.value());
+  ASSERT_TRUE(index.ok());
+  auto result = index.value().ReverseTopK(points.row(0), 5);
+  EXPECT_EQ(result, NaiveReverseTopK(points, weights.value(), points.row(0), 5));
+}
+
+struct GirCase {
+  size_t n, m, d, k, partitions;
+  PointDistribution p_dist;
+  WeightDistribution w_dist;
+  uint64_t seed;
+};
+
+std::string GirCaseName(const ::testing::TestParamInfo<GirCase>& info) {
+  const GirCase& c = info.param;
+  return "n" + std::to_string(c.n) + "m" + std::to_string(c.m) + "d" +
+         std::to_string(c.d) + "k" + std::to_string(c.k) + "part" +
+         std::to_string(c.partitions) + PointDistributionName(c.p_dist) +
+         WeightDistributionName(c.w_dist) + "s" + std::to_string(c.seed);
+}
+
+class GirEquivalence : public ::testing::TestWithParam<GirCase> {
+ protected:
+  void SetUp() override {
+    const GirCase& c = GetParam();
+    points_ = GeneratePoints(c.p_dist, c.n, c.d, c.seed);
+    weights_ = GenerateWeights(c.w_dist, c.m, c.d, c.seed + 1);
+    GirOptions opts;
+    opts.partitions = c.partitions;
+    index_.emplace(GirIndex::Build(points_, weights_, opts).value());
+  }
+
+  Dataset points_{1};
+  Dataset weights_{1};
+  std::optional<GirIndex> index_;
+};
+
+TEST_P(GirEquivalence, ReverseTopKMatchesNaive) {
+  const GirCase& c = GetParam();
+  for (size_t qi : {size_t{0}, c.n / 3, c.n - 1}) {
+    ConstRow q = points_.row(qi);
+    EXPECT_EQ(index_->ReverseTopK(q, c.k),
+              NaiveReverseTopK(points_, weights_, q, c.k))
+        << "query " << qi;
+  }
+}
+
+TEST_P(GirEquivalence, ReverseKRanksMatchesNaive) {
+  const GirCase& c = GetParam();
+  for (size_t qi : {size_t{0}, c.n / 3, c.n - 1}) {
+    ConstRow q = points_.row(qi);
+    EXPECT_EQ(index_->ReverseKRanks(q, c.k),
+              NaiveReverseKRanks(points_, weights_, q, c.k))
+        << "query " << qi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GirEquivalence,
+    ::testing::Values(
+        GirCase{60, 30, 2, 5, 4, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 11},
+        GirCase{200, 50, 3, 10, 8, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 12},
+        GirCase{300, 40, 6, 20, 32, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 13},
+        GirCase{150, 30, 6, 7, 32, PointDistribution::kClustered,
+                WeightDistribution::kUniform, 14},
+        GirCase{150, 30, 6, 7, 32, PointDistribution::kAnticorrelated,
+                WeightDistribution::kUniform, 15},
+        GirCase{150, 30, 6, 7, 32, PointDistribution::kUniform,
+                WeightDistribution::kClustered, 16},
+        GirCase{150, 30, 6, 7, 32, PointDistribution::kClustered,
+                WeightDistribution::kClustered, 17},
+        GirCase{120, 25, 10, 5, 32, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 18},
+        GirCase{100, 20, 16, 5, 64, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 19},
+        GirCase{80, 15, 24, 3, 64, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 20},
+        GirCase{200, 30, 4, 1, 128, PointDistribution::kNormal,
+                WeightDistribution::kNormal, 21},
+        GirCase{200, 30, 4, 15, 16, PointDistribution::kExponential,
+                WeightDistribution::kExponential, 22},
+        GirCase{500, 10, 6, 100, 32, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 23},
+        GirCase{50, 50, 8, 2, 2, PointDistribution::kUniform,
+                WeightDistribution::kUniform, 24}),
+    GirCaseName);
+
+TEST(GirIndexTest, MatchesSimpleScanOnLargerInstance) {
+  Workload wl = MakeWorkload(3000, 200, 6, 31);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  SimpleScan sim(wl.points, wl.weights);
+  ConstRow q = wl.points.row(123);
+  EXPECT_EQ(index.ReverseTopK(q, 50), sim.ReverseTopK(q, 50));
+  EXPECT_EQ(index.ReverseKRanks(q, 50), sim.ReverseKRanks(q, 50));
+}
+
+TEST(GirIndexTest, DominOffStillCorrect) {
+  Workload wl = MakeWorkload(400, 60, 5, 32);
+  GirOptions opts;
+  opts.use_domin = false;
+  auto index = GirIndex::Build(wl.points, wl.weights, opts).value();
+  ConstRow q = wl.points.row(9);
+  EXPECT_EQ(index.ReverseTopK(q, 10),
+            NaiveReverseTopK(wl.points, wl.weights, q, 10));
+  EXPECT_EQ(index.ReverseKRanks(q, 10),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 10));
+}
+
+class GirBoundModes : public ::testing::TestWithParam<BoundMode> {};
+
+TEST_P(GirBoundModes, AllModesMatchNaive) {
+  Workload wl = MakeWorkload(400, 60, 5, 33);
+  GirOptions opts;
+  opts.bound_mode = GetParam();
+  auto index = GirIndex::Build(wl.points, wl.weights, opts).value();
+  for (size_t qi : {size_t{0}, size_t{100}, size_t{399}}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(index.ReverseTopK(q, 10),
+              NaiveReverseTopK(wl.points, wl.weights, q, 10));
+    EXPECT_EQ(index.ReverseKRanks(q, 10),
+              NaiveReverseKRanks(wl.points, wl.weights, q, 10));
+  }
+}
+
+TEST_P(GirBoundModes, HighDimensionalCorrectness) {
+  Workload wl = MakeWorkload(150, 25, 20, 34);
+  GirOptions opts;
+  opts.bound_mode = GetParam();
+  auto index = GirIndex::Build(wl.points, wl.weights, opts).value();
+  ConstRow q = wl.points.row(75);
+  EXPECT_EQ(index.ReverseTopK(q, 5),
+            NaiveReverseTopK(wl.points, wl.weights, q, 5));
+  EXPECT_EQ(index.ReverseKRanks(q, 5),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, GirBoundModes,
+                         ::testing::Values(BoundMode::kUpperFirst,
+                                           BoundMode::kFused,
+                                           BoundMode::kExactWeight),
+                         [](const ::testing::TestParamInfo<BoundMode>& info) {
+                           switch (info.param) {
+                             case BoundMode::kUpperFirst:
+                               return "UpperFirst";
+                             case BoundMode::kFused:
+                               return "Fused";
+                             case BoundMode::kExactWeight:
+                               return "ExactWeight";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(GinTopKTest2, ExactWeightModeExactRanks) {
+  Workload wl = MakeWorkload(400, 30, 5, 36);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  GinContext ctx{&wl.points, &index.point_cells(), &index.grid(),
+                 BoundMode::kExactWeight};
+  GinScratch scratch;
+  for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+    const int64_t exact =
+        RankOfQuery(wl.points, wl.weights.row(wi), wl.points.row(3));
+    EXPECT_EQ(GInTopK(ctx, wl.weights.row(wi), index.weight_cells().row(wi),
+                      wl.points.row(3), exact + 1, nullptr, scratch),
+              exact);
+    EXPECT_EQ(GInTopK(ctx, wl.weights.row(wi), index.weight_cells().row(wi),
+                      wl.points.row(3), exact, nullptr, scratch),
+              kRankOverThreshold);
+  }
+}
+
+TEST(GinTopKTest2, ExactWeightFilterRateBeatsGrid2D) {
+  // The per-weight scaled row removes the weight-side quantization error:
+  // on normalized weights at d = 12 it must resolve far more points.
+  Workload wl = MakeWorkload(3000, 20, 12, 37);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  GinScratch scratch;
+  const int64_t cap = static_cast<int64_t>(wl.points.size()) + 1;
+  auto measure = [&](BoundMode mode) {
+    GinContext ctx{&wl.points, &index.point_cells(), &index.grid(), mode};
+    QueryStats stats;
+    for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+      GInTopK(ctx, wl.weights.row(wi), index.weight_cells().row(wi),
+              wl.points.row(9), cap, nullptr, scratch, &stats);
+    }
+    return stats.FilterRate();
+  };
+  const double grid2d = measure(BoundMode::kUpperFirst);
+  const double exact_weight = measure(BoundMode::kExactWeight);
+  EXPECT_GT(exact_weight, grid2d);
+  EXPECT_GT(exact_weight, 0.9);
+}
+
+TEST(GirIndexTest, EmptyResultWhenKDominatorsExist) {
+  auto points = Dataset::FromRows(
+                    {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {100.0, 100.0}})
+                    .value();
+  auto weights = Dataset::FromRows({{0.5, 0.5}, {0.2, 0.8}}).value();
+  auto index = GirIndex::Build(points, weights).value();
+  std::vector<double> q{50.0, 50.0};
+  EXPECT_TRUE(index.ReverseTopK(q, 3).empty());
+}
+
+TEST(GirIndexTest, KRanksSavesWorkViaThreshold) {
+  // With k << |W| most weights are rejected early; points visited per
+  // weight should be far below |P| * |W| on average.
+  Workload wl = MakeWorkload(5000, 200, 6, 34);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  QueryStats stats;
+  index.ReverseKRanks(wl.points.row(77), 5, &stats);
+  EXPECT_LT(stats.points_visited + stats.points_dominated,
+            uint64_t{5000} * 200);
+}
+
+TEST(GirIndexTest, QueryOutsideDataRangeStillCorrect) {
+  // q beyond the partitioner's top boundary: q is never grid-approximated,
+  // so results must still match the oracle.
+  Workload wl = MakeWorkload(200, 40, 4, 35);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  std::vector<double> q{20000.0, 15000.0, 30000.0, 12000.0};
+  EXPECT_EQ(index.ReverseTopK(q, 10),
+            NaiveReverseTopK(wl.points, wl.weights, q, 10));
+  EXPECT_EQ(index.ReverseKRanks(q, 10),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 10));
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/naive.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/adaptive_grid.h"
+#include "grid/bounds.h"
+#include "grid/sparse_scan.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+// -------------------------------------------------------- Adaptive grid
+
+TEST(QuantilePartitionerTest, BoundariesFollowQuantiles) {
+  // Heavily skewed data: most mass below 1, tail to 100.
+  Dataset ds(1);
+  for (int i = 0; i < 900; ++i) {
+    std::vector<double> row{static_cast<double>(i) / 1000.0};
+    ds.AppendUnchecked(row);
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> row{1.0 + static_cast<double>(i)};
+    ds.AppendUnchecked(row);
+  }
+  auto part = BuildQuantilePartitioner(ds, 10).value();
+  // 9 of 10 boundaries should sit in the dense sub-1 region.
+  size_t below_one = 0;
+  for (size_t i = 1; i < 10; ++i) below_one += part.Boundary(i) <= 1.0;
+  EXPECT_GE(below_one, 8u);
+  // Top boundary covers the maximum.
+  EXPECT_GE(part.Boundary(10), ds.MaxValue());
+}
+
+TEST(QuantilePartitionerTest, HandlesHeavyTies) {
+  Dataset ds(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> row{i < 990 ? 5.0 : static_cast<double>(i)};
+    ds.AppendUnchecked(row);
+  }
+  auto part = BuildQuantilePartitioner(ds, 16);
+  ASSERT_TRUE(part.ok());
+  // Strictly increasing despite 99% duplicates.
+  for (size_t i = 1; i <= 16; ++i) {
+    EXPECT_GT(part.value().Boundary(i), part.value().Boundary(i - 1));
+  }
+}
+
+TEST(QuantilePartitionerTest, RejectsEmptyAndBadN) {
+  Dataset empty(2);
+  EXPECT_FALSE(BuildQuantilePartitioner(empty, 8).ok());
+  Dataset ds = GenerateUniform(10, 2, 1);
+  EXPECT_FALSE(BuildQuantilePartitioner(ds, 0).ok());
+}
+
+TEST(QuantilePartitionerTest, SampleCapStillCoversMaximum) {
+  Dataset ds = GenerateUniform(5000, 3, 2);
+  auto part = BuildQuantilePartitioner(ds, 32, /*sample_cap=*/500).value();
+  EXPECT_GE(part.Boundary(32), ds.MaxValue());
+}
+
+TEST(AdaptiveGirTest, MatchesNaiveOracle) {
+  Workload wl = MakeWorkload(300, 60, 5, 3);
+  auto index = BuildAdaptiveGir(wl.points, wl.weights).value();
+  for (size_t qi : {size_t{0}, size_t{100}, size_t{299}}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(index.ReverseTopK(q, 10),
+              NaiveReverseTopK(wl.points, wl.weights, q, 10));
+    EXPECT_EQ(index.ReverseKRanks(q, 10),
+              NaiveReverseKRanks(wl.points, wl.weights, q, 10));
+  }
+}
+
+TEST(AdaptiveGirTest, MatchesNaiveOnSkewedData) {
+  Dataset points = GenerateExponential(400, 6, 4);
+  Dataset weights = GenerateWeightsExponential(50, 6, 5);
+  auto index = BuildAdaptiveGir(points, weights).value();
+  ConstRow q = points.row(42);
+  EXPECT_EQ(index.ReverseTopK(q, 10),
+            NaiveReverseTopK(points, weights, q, 10));
+  EXPECT_EQ(index.ReverseKRanks(q, 10),
+            NaiveReverseKRanks(points, weights, q, 10));
+}
+
+TEST(AdaptiveGirTest, BetterFilterRateThanUniformOnSkewedWeights) {
+  // Normalized weights concentrate near 1/d; the equal-width weight grid
+  // wastes most cells. The quantile grid should resolve more points.
+  const size_t d = 12;
+  Dataset points = GenerateExponential(4000, d, 6);
+  Dataset weights = GenerateWeightsUniform(30, d, 7);
+  GirOptions opts;
+  opts.partitions = 16;
+  auto uniform = GirIndex::Build(points, weights, opts).value();
+  auto adaptive = BuildAdaptiveGir(points, weights, opts).value();
+
+  auto filter_rate = [&](const GirIndex& index) {
+    QueryStats stats;
+    index.ReverseKRanks(points.row(1), 10, &stats);
+    return stats.FilterRate();
+  };
+  EXPECT_GT(filter_rate(adaptive), filter_rate(uniform));
+}
+
+// -------------------------------------------------------- Sparse scan
+
+TEST(SparseGirTest, MatchesDenseGirOnSparseWeights) {
+  const size_t d = 10;
+  Dataset points = GenerateUniform(400, d, 8);
+  WeightGeneratorOptions wopts;
+  wopts.sparsity_nonzero_fraction = 0.25;
+  Dataset weights = GenerateWeightsSparse(60, d, 9, wopts);
+  auto dense = GirIndex::Build(points, weights).value();
+  auto sparse = SparseGir::Build(points, weights).value();
+  for (size_t qi : {size_t{0}, size_t{200}, size_t{399}}) {
+    ConstRow q = points.row(qi);
+    EXPECT_EQ(sparse.ReverseTopK(q, 10), dense.ReverseTopK(q, 10));
+    EXPECT_EQ(sparse.ReverseKRanks(q, 10), dense.ReverseKRanks(q, 10));
+  }
+}
+
+TEST(SparseGirTest, MatchesNaiveOnDenseWeights) {
+  // Degenerate sparsity (all entries non-zero) must still be correct.
+  Workload wl = MakeWorkload(200, 30, 4, 10);
+  auto sparse = SparseGir::Build(wl.points, wl.weights).value();
+  ConstRow q = wl.points.row(50);
+  EXPECT_EQ(sparse.ReverseTopK(q, 5),
+            NaiveReverseTopK(wl.points, wl.weights, q, 5));
+  EXPECT_EQ(sparse.ReverseKRanks(q, 5),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 5));
+}
+
+TEST(SparseGirTest, AverageNonZerosReflectsSparsity) {
+  const size_t d = 20;
+  WeightGeneratorOptions wopts;
+  wopts.sparsity_nonzero_fraction = 0.2;
+  Dataset points = GenerateUniform(50, d, 11);
+  Dataset weights = GenerateWeightsSparse(500, d, 12, wopts);
+  auto sparse = SparseGir::Build(points, weights).value();
+  EXPECT_NEAR(sparse.AverageNonZeros(), 0.2 * d, 1.0);
+}
+
+TEST(SparseGirTest, ZeroThresholdTreatsTinyWeightsAsZero) {
+  Dataset points = GenerateUniform(100, 3, 13);
+  auto weights =
+      Dataset::FromRows({{0.5, 0.5, 0.0}, {1e-12, 0.4, 0.6 - 1e-12}}).value();
+  auto sparse = SparseGir::Build(points, weights, GirOptions{},
+                                 /*zero_threshold=*/1e-9)
+                    .value();
+  // Row 1's tiny entry is dropped; ~2 non-zeros per row on average.
+  EXPECT_NEAR(sparse.AverageNonZeros(), 2.0, 0.01);
+}
+
+TEST(SparseGirTest, FewerMultiplicationsThanDense) {
+  const size_t d = 16;
+  Dataset points = GenerateUniform(2000, d, 14);
+  WeightGeneratorOptions wopts;
+  wopts.sparsity_nonzero_fraction = 0.15;
+  Dataset weights = GenerateWeightsSparse(50, d, 15, wopts);
+  auto dense = GirIndex::Build(points, weights).value();
+  auto sparse = SparseGir::Build(points, weights).value();
+  QueryStats dense_stats, sparse_stats;
+  dense.ReverseKRanks(points.row(3), 10, &dense_stats);
+  sparse.ReverseKRanks(points.row(3), 10, &sparse_stats);
+  EXPECT_LT(sparse_stats.multiplications, dense_stats.multiplications);
+}
+
+TEST(SparseGirTest, BuildRejectsMismatch) {
+  Dataset points = GenerateUniform(10, 3, 16);
+  Dataset weights = GenerateWeightsUniform(5, 4, 17);
+  EXPECT_FALSE(SparseGir::Build(points, weights).ok());
+  Dataset empty(3);
+  EXPECT_FALSE(SparseGir::Build(empty, weights).ok());
+}
+
+}  // namespace
+}  // namespace gir

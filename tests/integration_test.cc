@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/bbr.h"
+#include "baselines/mpa.h"
+#include "bench_util/table.h"
+#include "bench_util/workloads.h"
+#include "core/naive.h"
+#include "core/simple_scan.h"
+#include "data/generators.h"
+#include "data/real_like.h"
+#include "data/weights.h"
+#include "grid/adaptive_grid.h"
+#include "grid/gir_queries.h"
+#include "grid/sparse_scan.h"
+
+namespace gir {
+namespace {
+
+/// Full-stack agreement: every RTK implementation (naive, SIM, GIR,
+/// adaptive GIR, sparse GIR, BBR) and every RKR implementation (naive,
+/// SIM, GIR, adaptive, sparse, MPA) must return identical results on the
+/// same workload. This is the repository's strongest single invariant.
+struct StackCase {
+  PointDistribution p_dist;
+  WeightDistribution w_dist;
+  size_t d;
+  uint64_t seed;
+};
+
+std::string StackCaseName(const ::testing::TestParamInfo<StackCase>& info) {
+  return std::string(PointDistributionName(info.param.p_dist)) +
+         WeightDistributionName(info.param.w_dist) + "d" +
+         std::to_string(info.param.d) + "s" + std::to_string(info.param.seed);
+}
+
+class FullStackAgreement : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(FullStackAgreement, AllAlgorithmsAgree) {
+  const StackCase& c = GetParam();
+  const size_t n = 600, m = 120, k = 15;
+  Dataset points = GeneratePoints(c.p_dist, n, c.d, c.seed);
+  Dataset weights = GenerateWeights(c.w_dist, m, c.d, c.seed + 1);
+
+  SimpleScan sim(points, weights);
+  auto gir = GirIndex::Build(points, weights).value();
+  auto adaptive = BuildAdaptiveGir(points, weights).value();
+  auto sparse = SparseGir::Build(points, weights).value();
+  BbrOptions bbr_options;
+  bbr_options.max_entries = 25;
+  auto bbr = BbrReverseTopK::Build(points, weights, bbr_options).value();
+  auto mpa = MpaReverseKRanks::Build(points, weights).value();
+
+  for (size_t qi : {size_t{1}, size_t{n / 2}}) {
+    ConstRow q = points.row(qi);
+    const auto expected_rtk = NaiveReverseTopK(points, weights, q, k);
+    EXPECT_EQ(sim.ReverseTopK(q, k), expected_rtk);
+    EXPECT_EQ(gir.ReverseTopK(q, k), expected_rtk);
+    EXPECT_EQ(adaptive.ReverseTopK(q, k), expected_rtk);
+    EXPECT_EQ(sparse.ReverseTopK(q, k), expected_rtk);
+    EXPECT_EQ(bbr.ReverseTopK(q, k), expected_rtk);
+
+    const auto expected_rkr = NaiveReverseKRanks(points, weights, q, k);
+    EXPECT_EQ(sim.ReverseKRanks(q, k), expected_rkr);
+    EXPECT_EQ(gir.ReverseKRanks(q, k), expected_rkr);
+    EXPECT_EQ(adaptive.ReverseKRanks(q, k), expected_rkr);
+    EXPECT_EQ(sparse.ReverseKRanks(q, k), expected_rkr);
+    EXPECT_EQ(mpa.ReverseKRanks(q, k), expected_rkr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FullStackAgreement,
+    ::testing::Values(
+        StackCase{PointDistribution::kUniform, WeightDistribution::kUniform,
+                  2, 100},
+        StackCase{PointDistribution::kUniform, WeightDistribution::kUniform,
+                  6, 101},
+        StackCase{PointDistribution::kClustered, WeightDistribution::kUniform,
+                  4, 102},
+        StackCase{PointDistribution::kAnticorrelated,
+                  WeightDistribution::kUniform, 5, 103},
+        StackCase{PointDistribution::kUniform, WeightDistribution::kClustered,
+                  6, 104},
+        StackCase{PointDistribution::kClustered,
+                  WeightDistribution::kClustered, 3, 105},
+        StackCase{PointDistribution::kNormal, WeightDistribution::kNormal, 6,
+                  106},
+        StackCase{PointDistribution::kExponential,
+                  WeightDistribution::kExponential, 4, 107},
+        StackCase{PointDistribution::kUniform, WeightDistribution::kSparse,
+                  8, 108},
+        StackCase{PointDistribution::kUniform, WeightDistribution::kUniform,
+                  12, 109}),
+    StackCaseName);
+
+TEST(RealLikeIntegration, DianpingWorkloadAgreesAcrossAlgorithms) {
+  Dataset restaurants = MakeDianpingRestaurantsLike(800, 201);
+  Dataset users = MakeDianpingUsersLike(150, 202);
+  SimpleScan sim(restaurants, users);
+  auto gir = GirIndex::Build(restaurants, users).value();
+  ConstRow q = restaurants.row(17);
+  EXPECT_EQ(gir.ReverseTopK(q, 10), sim.ReverseTopK(q, 10));
+  EXPECT_EQ(gir.ReverseKRanks(q, 10), sim.ReverseKRanks(q, 10));
+}
+
+TEST(RealLikeIntegration, HouseWorkloadAgrees) {
+  Dataset house = MakeHouseLike(700, 203);
+  Dataset users = GenerateWeightsUniform(120, kHouseDim, 204);
+  SimpleScan sim(house, users);
+  auto gir = GirIndex::Build(house, users).value();
+  auto mpa = MpaReverseKRanks::Build(house, users).value();
+  ConstRow q = house.row(3);
+  EXPECT_EQ(gir.ReverseKRanks(q, 8), sim.ReverseKRanks(q, 8));
+  EXPECT_EQ(mpa.ReverseKRanks(q, 8), sim.ReverseKRanks(q, 8));
+}
+
+TEST(RealLikeIntegration, ColorWorkloadAgrees) {
+  Dataset color = MakeColorLike(700, 205);
+  Dataset users = GenerateWeightsUniform(120, kColorDim, 206);
+  SimpleScan sim(color, users);
+  auto gir = GirIndex::Build(color, users).value();
+  BbrOptions options;
+  options.max_entries = 20;
+  auto bbr = BbrReverseTopK::Build(color, users, options).value();
+  ConstRow q = color.row(99);
+  EXPECT_EQ(gir.ReverseTopK(q, 8), sim.ReverseTopK(q, 8));
+  EXPECT_EQ(bbr.ReverseTopK(q, 8), sim.ReverseTopK(q, 8));
+}
+
+// ---------------------------------------------------------------- bench_util
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"d", "time"});
+  table.AddRow({"2", "1.5"});
+  table.AddRow({"20", "13.25"});
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("| d  | time  |"), std::string::npos);
+  EXPECT_NE(text.find("| 20 | 13.25 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.ToCsv(), "a,b,c\n1,,\n");
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+}
+
+TEST(FormatTest, Counts) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(WorkloadsTest, ScaledCardinality) {
+  EXPECT_EQ(ScaledCardinality(100000, BenchScale::kFull), 100000u);
+  EXPECT_EQ(ScaledCardinality(100000, BenchScale::kQuick), 10000u);
+  EXPECT_EQ(ScaledCardinality(100000, BenchScale::kSmoke), 1000u);
+  EXPECT_EQ(ScaledCardinality(5000, BenchScale::kSmoke), 1000u);
+}
+
+TEST(WorkloadsTest, ScaledRepetitions) {
+  EXPECT_EQ(ScaledRepetitions(1000, BenchScale::kFull), 1000u);
+  EXPECT_EQ(ScaledRepetitions(1000, BenchScale::kQuick), 100u);
+  EXPECT_EQ(ScaledRepetitions(1000, BenchScale::kSmoke), 2u);
+  EXPECT_EQ(ScaledRepetitions(10, BenchScale::kQuick), 3u);
+}
+
+TEST(WorkloadsTest, PickQueryIndicesDeterministic) {
+  auto a = PickQueryIndices(1000, 10, 5);
+  auto b = PickQueryIndices(1000, 10, 5);
+  EXPECT_EQ(a, b);
+  for (size_t idx : a) EXPECT_LT(idx, 1000u);
+}
+
+TEST(WorkloadsTest, RunTimedQueriesAggregates) {
+  auto queries = PickQueryIndices(100, 4, 6);
+  TimedRun run = RunTimedQueries(queries, [](size_t, QueryStats* stats) {
+    stats->inner_products += 10;
+  });
+  EXPECT_EQ(run.queries, 4u);
+  EXPECT_EQ(run.stats.inner_products, 40u);
+  EXPECT_GE(run.total_ms, 0.0);
+}
+
+TEST(WorkloadsTest, BenchScaleNames) {
+  EXPECT_STREQ(BenchScaleName(BenchScale::kSmoke), "smoke");
+  EXPECT_STREQ(BenchScaleName(BenchScale::kQuick), "quick");
+  EXPECT_STREQ(BenchScaleName(BenchScale::kFull), "full");
+}
+
+}  // namespace
+}  // namespace gir

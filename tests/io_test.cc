@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "data/generators.h"
+#include "io/dataset_io.h"
+#include "io/packed_io.h"
+
+namespace gir {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gir_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, DatasetRoundTrip) {
+  Dataset ds = GenerateUniform(500, 7, 1);
+  ASSERT_TRUE(SaveDataset(Path("ds.bin"), ds).ok());
+  auto loaded = LoadDataset(Path("ds.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().dim(), ds.dim());
+  EXPECT_EQ(loaded.value().size(), ds.size());
+  EXPECT_EQ(loaded.value().flat(), ds.flat());
+}
+
+TEST_F(IoTest, DatasetFileBytesMatchesActualSize) {
+  Dataset ds = GenerateUniform(100, 3, 2);
+  ASSERT_TRUE(SaveDataset(Path("ds.bin"), ds).ok());
+  EXPECT_EQ(std::filesystem::file_size(Path("ds.bin")), DatasetFileBytes(ds));
+}
+
+TEST_F(IoTest, LoadMissingFileIsIOError) {
+  auto loaded = LoadDataset(Path("nope.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, LoadRejectsBadMagic) {
+  std::ofstream out(Path("bad.bin"), std::ios::binary);
+  out << "NOTADATASETFILE_PADDING_PADDING";
+  out.close();
+  auto loaded = LoadDataset(Path("bad.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, LoadRejectsTruncatedPayload) {
+  Dataset ds = GenerateUniform(100, 3, 3);
+  ASSERT_TRUE(SaveDataset(Path("trunc.bin"), ds).ok());
+  std::filesystem::resize_file(Path("trunc.bin"),
+                               std::filesystem::file_size(Path("trunc.bin")) -
+                                   64);
+  auto loaded = LoadDataset(Path("trunc.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, EmptyDatasetRoundTrips) {
+  Dataset ds(5);
+  ASSERT_TRUE(SaveDataset(Path("empty.bin"), ds).ok());
+  auto loaded = LoadDataset(Path("empty.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  EXPECT_EQ(loaded.value().dim(), 5u);
+}
+
+TEST_F(IoTest, PackedBlobRoundTrip) {
+  PackedBlob blob;
+  blob.bits_per_cell = 6;
+  blob.dim = 5;
+  blob.count = 7;
+  blob.payload.assign(blob.BytesPerVector() * blob.count, 0xA5);
+  ASSERT_TRUE(SavePackedBlob(Path("p.bin"), blob).ok());
+  auto loaded = LoadPackedBlob(Path("p.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().bits_per_cell, 6u);
+  EXPECT_EQ(loaded.value().dim, 5u);
+  EXPECT_EQ(loaded.value().count, 7u);
+  EXPECT_EQ(loaded.value().payload, blob.payload);
+}
+
+TEST_F(IoTest, PackedBlobBytesPerVector) {
+  PackedBlob blob;
+  blob.bits_per_cell = 6;
+  blob.dim = 3;  // 18 bits -> 3 bytes (the paper's §3.2 example: 6-bit
+                 // string for 3 dims at 2 bits, here 6 bits per cell)
+  EXPECT_EQ(blob.BytesPerVector(), 3u);
+  blob.bits_per_cell = 2;
+  EXPECT_EQ(blob.BytesPerVector(), 1u);
+}
+
+TEST_F(IoTest, SavePackedRejectsSizeMismatch) {
+  PackedBlob blob;
+  blob.bits_per_cell = 4;
+  blob.dim = 4;
+  blob.count = 2;
+  blob.payload.assign(1, 0);  // wrong size
+  EXPECT_FALSE(SavePackedBlob(Path("x.bin"), blob).ok());
+}
+
+TEST_F(IoTest, LoadPackedRejectsBadParameters) {
+  PackedBlob blob;
+  blob.bits_per_cell = 6;
+  blob.dim = 2;
+  blob.count = 1;
+  blob.payload.assign(blob.BytesPerVector(), 0);
+  ASSERT_TRUE(SavePackedBlob(Path("p2.bin"), blob).ok());
+  // Corrupt the bits_per_cell field (offset 8..11) to 0.
+  {
+    std::fstream f(Path("p2.bin"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const uint32_t zero = 0;
+    f.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  }
+  auto loaded = LoadPackedBlob(Path("p2.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/bbr.h"
+#include "baselines/mpa.h"
+#include "core/naive.h"
+#include "core/status.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/gir_queries.h"
+#include "grid/partitioner.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_stats.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+TEST(ResultExtraTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(PartitionerExtraTest, NegativeValuesClampToCellZero) {
+  auto uniform = Partitioner::Uniform(8, 1.0).value();
+  EXPECT_EQ(uniform.CellOf(-0.5), 0);
+  auto general = Partitioner::FromBoundaries({0.0, 0.3, 1.0}).value();
+  EXPECT_EQ(general.CellOf(-0.5), 0);
+}
+
+TEST(PartitionerExtraTest, ValuesAboveRangeClampToLastCell) {
+  auto uniform = Partitioner::Uniform(8, 1.0).value();
+  EXPECT_EQ(uniform.CellOf(99.0), 7);
+  auto general = Partitioner::FromBoundaries({0.0, 0.3, 1.0}).value();
+  EXPECT_EQ(general.CellOf(99.0), 1);
+}
+
+TEST(PartitionerExtraTest, TopBoundaryIsExactRange) {
+  // range * n / n can round below range; the constructor must pin it.
+  for (double range : {10000.0, 0.9573684210526316, 3.3333333333333335}) {
+    for (size_t n : {3u, 7u, 32u, 128u}) {
+      auto part = Partitioner::Uniform(n, range).value();
+      EXPECT_EQ(part.Boundary(n), range) << "n=" << n << " range=" << range;
+    }
+  }
+}
+
+TEST(GirExtraTest, KLargerThanPointsAcceptsEveryWeight) {
+  Workload wl = MakeWorkload(40, 15, 3, 1);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  auto result = index.ReverseTopK(wl.points.row(0), wl.points.size() + 10);
+  EXPECT_EQ(result.size(), wl.weights.size());
+}
+
+TEST(GirExtraTest, RepeatedQueriesAreIndependent) {
+  // The same index must give identical answers across repeated calls (no
+  // leaking per-query state).
+  Workload wl = MakeWorkload(200, 40, 4, 2);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  const auto first = index.ReverseKRanks(wl.points.row(5), 8);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(index.ReverseKRanks(wl.points.row(5), 8), first);
+  }
+}
+
+TEST(GirExtraTest, PartitionCountOneStillCorrect) {
+  // n = 1: the grid is a single cell — everything unresolved, everything
+  // refined, still exact.
+  Workload wl = MakeWorkload(100, 20, 3, 3);
+  GirOptions opts;
+  opts.partitions = 1;
+  auto index = GirIndex::Build(wl.points, wl.weights, opts).value();
+  ConstRow q = wl.points.row(50);
+  EXPECT_EQ(index.ReverseTopK(q, 10),
+            NaiveReverseTopK(wl.points, wl.weights, q, 10));
+  EXPECT_EQ(index.ReverseKRanks(q, 10),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 10));
+}
+
+TEST(BbrExtraTest, TinyFanoutTree) {
+  Workload wl = MakeWorkload(150, 40, 3, 4);
+  BbrOptions options;
+  options.max_entries = 2;
+  auto bbr = BbrReverseTopK::Build(wl.points, wl.weights, options).value();
+  ConstRow q = wl.points.row(75);
+  EXPECT_EQ(bbr.ReverseTopK(q, 7),
+            NaiveReverseTopK(wl.points, wl.weights, q, 7));
+}
+
+TEST(MpaExtraTest, ManyIntervalsPerDim) {
+  Workload wl = MakeWorkload(200, 60, 3, 5);
+  MpaOptions options;
+  options.intervals_per_dim = 15;  // most buckets hold a single weight
+  auto mpa = MpaReverseKRanks::Build(wl.points, wl.weights, options).value();
+  ConstRow q = wl.points.row(3);
+  EXPECT_EQ(mpa.ReverseKRanks(q, 9),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 9));
+}
+
+TEST(RTreeStatsExtraTest, FullVolumeQueryOverlapsEverything) {
+  Dataset ds = GenerateUniform(3000, 4, 6);
+  RTree tree = RTree::BulkLoad(ds);
+  MbrObservation obs = ObserveLeafMbrs(tree, 1.0, 4, 7);
+  EXPECT_GT(obs.overlap_fraction, 0.99);
+}
+
+TEST(RTreeExtraTest, IncrementalTreeMatchesBulkLoad) {
+  Dataset ds = GenerateUniform(1000, 3, 8);
+  RTree::Options options;
+  options.max_entries = 16;
+  RTree tree = RTree::BulkLoad(ds, options);
+  // An incremental tree over the same data must answer identically.
+  RTree incremental = RTree::CreateEmpty(ds, options);
+  for (VectorId i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(incremental.Insert(i).ok());
+  }
+  Mbr probe({1000.0, 1000.0, 1000.0}, {4000.0, 4000.0, 4000.0});
+  std::vector<VectorId> bulk_hits, incr_hits;
+  tree.RangeQuery(probe, &bulk_hits);
+  incremental.RangeQuery(probe, &incr_hits);
+  std::sort(bulk_hits.begin(), bulk_hits.end());
+  std::sort(incr_hits.begin(), incr_hits.end());
+  EXPECT_EQ(bulk_hits, incr_hits);
+}
+
+TEST(WeightHistogramExtraTest, IdenticalWeightsShareOneBucket) {
+  Dataset weights(3);
+  std::vector<double> w{0.2, 0.3, 0.5};
+  for (int i = 0; i < 25; ++i) weights.AppendUnchecked(w);
+  auto hist = WeightHistogram::Build(weights, 5).value();
+  EXPECT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.buckets()[0].members.size(), 25u);
+  // Degenerate bounds: lo == hi == the weight itself.
+  EXPECT_EQ(hist.buckets()[0].bounds.lo(), hist.buckets()[0].bounds.hi());
+}
+
+TEST(NaiveExtraTest, StatsCountEveryPair) {
+  Workload wl = MakeWorkload(50, 20, 3, 9);
+  QueryStats stats;
+  NaiveReverseTopK(wl.points, wl.weights, wl.points.row(0), 5, &stats);
+  EXPECT_EQ(stats.points_visited, 50u * 20u);
+  // One score per point per weight plus one query score per weight.
+  EXPECT_EQ(stats.inner_products, (50u + 1u) * 20u);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/naive.h"
+#include "core/rank.h"
+#include "core/topk.h"
+#include "data/generators.h"
+#include "data/rng.h"
+#include "data/weights.h"
+#include "grid/aggregate.h"
+#include "grid/bit_packed.h"
+#include "grid/bounds.h"
+#include "grid/gir_queries.h"
+#include "stats/dice.h"
+#include "stats/normal.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+// Cross-cutting invariants of the query definitions and index structures,
+// exercised with randomized inputs.
+
+TEST(QueryProperties, TopKPrefixMonotoneInK) {
+  Dataset points = GenerateUniform(500, 4, 1);
+  Dataset weights = GenerateWeightsUniform(5, 4, 2);
+  for (size_t wi = 0; wi < weights.size(); ++wi) {
+    auto top20 = TopK(points, weights.row(wi), 20);
+    auto top10 = TopK(points, weights.row(wi), 10);
+    ASSERT_EQ(top10.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(top10[i], top20[i]) << "top-k must be a prefix of top-k'";
+    }
+  }
+}
+
+TEST(QueryProperties, ReverseTopKMonotoneInK) {
+  Workload wl = MakeWorkload(300, 60, 5, 3);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  ConstRow q = wl.points.row(123);
+  ReverseTopKResult previous;
+  for (size_t k : {1u, 5u, 20u, 100u, 300u}) {
+    auto current = index.ReverseTopK(q, k);
+    // Result sets grow with k.
+    EXPECT_TRUE(std::includes(current.begin(), current.end(),
+                              previous.begin(), previous.end()));
+    previous = std::move(current);
+  }
+}
+
+TEST(QueryProperties, ReverseKRanksPrefixMonotoneInK) {
+  Workload wl = MakeWorkload(250, 70, 4, 4);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  ConstRow q = wl.points.row(9);
+  auto big = index.ReverseKRanks(q, 30);
+  auto small = index.ReverseKRanks(q, 10);
+  ASSERT_EQ(small.size(), 10u);
+  for (size_t i = 0; i < small.size(); ++i) EXPECT_EQ(small[i], big[i]);
+}
+
+TEST(QueryProperties, RtkMembershipEquivalentToRankBelowK) {
+  Workload wl = MakeWorkload(200, 50, 4, 5);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  ConstRow q = wl.points.row(77);
+  const size_t k = 12;
+  auto rtk = index.ReverseTopK(q, k);
+  for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+    const bool member =
+        std::binary_search(rtk.begin(), rtk.end(), static_cast<VectorId>(wi));
+    const int64_t rank = RankOfQuery(wl.points, wl.weights.row(wi), q);
+    EXPECT_EQ(member, rank < static_cast<int64_t>(k)) << "weight " << wi;
+  }
+}
+
+TEST(QueryProperties, DominatedQueryRanksWorse) {
+  // If q1 dominates q2, then rank(w, q1) <= rank(w, q2) for every w.
+  Rng rng(6);
+  Dataset points = GenerateUniform(400, 3, 7);
+  Dataset weights = GenerateWeightsUniform(20, 3, 8);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q2(3), q1(3);
+    for (size_t i = 0; i < 3; ++i) {
+      q2[i] = rng.NextDouble(100.0, 10000.0);
+      q1[i] = q2[i] * rng.NextDouble(0.1, 0.999);
+    }
+    for (size_t wi = 0; wi < weights.size(); ++wi) {
+      EXPECT_LE(RankOfQuery(points, weights.row(wi), q1),
+                RankOfQuery(points, weights.row(wi), q2));
+    }
+  }
+}
+
+TEST(QueryProperties, AggregateOfDuplicatedBundleDoublesRanks) {
+  Workload wl = MakeWorkload(150, 30, 4, 9);
+  auto index = GirIndex::Build(wl.points, wl.weights).value();
+  Dataset single(4), doubled(4);
+  single.AppendUnchecked(wl.points.row(42));
+  doubled.AppendUnchecked(wl.points.row(42));
+  doubled.AppendUnchecked(wl.points.row(42));
+  auto one = GirAggregateReverseRank(index, single, 10);
+  auto two = GirAggregateReverseRank(index, doubled, 10);
+  ASSERT_EQ(one.size(), two.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(two[i].weight_id, one[i].weight_id);
+    EXPECT_EQ(two[i].aggregate_rank, 2 * one[i].aggregate_rank);
+  }
+}
+
+TEST(GridProperties, FinerUniformGridTightensBounds) {
+  // Doubling n on the same range nests the cells, so every bound pair can
+  // only tighten.
+  Dataset points = GenerateUniform(300, 5, 10);
+  Dataset weights = GenerateWeightsUniform(20, 5, 11);
+  const double pr = points.MaxValue();
+  const double wr = weights.MaxValue();
+  for (size_t n : {4u, 16u}) {
+    auto coarse_grid =
+        GridIndex::Make(Partitioner::Uniform(n, pr).value(),
+                        Partitioner::Uniform(n, wr).value());
+    auto fine_grid =
+        GridIndex::Make(Partitioner::Uniform(2 * n, pr).value(),
+                        Partitioner::Uniform(2 * n, wr).value());
+    ApproxVectors cp = ApproxVectors::Build(points, coarse_grid.point_partitioner());
+    ApproxVectors cw = ApproxVectors::Build(weights, coarse_grid.weight_partitioner());
+    ApproxVectors fp = ApproxVectors::Build(points, fine_grid.point_partitioner());
+    ApproxVectors fw = ApproxVectors::Build(weights, fine_grid.weight_partitioner());
+    for (size_t wi = 0; wi < weights.size(); wi += 3) {
+      for (size_t pi = 0; pi < points.size(); pi += 7) {
+        const Score cl = ScoreLowerBound(coarse_grid, cp.row(pi), cw.row(wi), 5);
+        const Score cu = ScoreUpperBound(coarse_grid, cp.row(pi), cw.row(wi), 5);
+        const Score fl = ScoreLowerBound(fine_grid, fp.row(pi), fw.row(wi), 5);
+        const Score fu = ScoreUpperBound(fine_grid, fp.row(pi), fw.row(wi), 5);
+        EXPECT_GE(fl, cl - 1e-9);
+        EXPECT_LE(fu, cu + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(GridProperties, BitPackRoundTripRandomCells) {
+  Rng rng(12);
+  for (uint32_t bits : {1u, 3u, 6u, 8u}) {
+    const uint32_t max_cell = bits == 8 ? 255u : ((1u << bits) - 1u);
+    for (size_t dim : {1u, 5u, 13u}) {
+      std::vector<uint8_t> cells(dim * 37);
+      for (auto& c : cells) {
+        c = static_cast<uint8_t>(rng.NextIndex(max_cell + 1));
+      }
+      ApproxVectors av = ApproxVectors::FromCells(dim, cells);
+      auto packed = BitPackedVectors::Pack(av, bits);
+      ASSERT_TRUE(packed.ok());
+      ApproxVectors back = packed.value().Unpack();
+      for (size_t i = 0; i < av.size(); ++i) {
+        for (size_t j = 0; j < dim; ++j) {
+          ASSERT_EQ(back.row(i)[j], av.row(i)[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(StatsProperties, DicePmfIsSymmetric) {
+  for (auto [d, faces] : {std::pair<size_t, size_t>{3, 6},
+                          std::pair<size_t, size_t>{5, 16}}) {
+    auto pmf = DiceSumPmf(d, faces);
+    for (size_t i = 0; i < pmf.size(); ++i) {
+      EXPECT_NEAR(pmf[i], pmf[pmf.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(StatsProperties, NormalCdfSymmetry) {
+  for (double x : {0.1, 0.7, 1.3, 2.9}) {
+    EXPECT_NEAR(NormalCdf(-x), 1.0 - NormalCdf(x), 1e-14);
+    EXPECT_NEAR(NormalTail(-x), 1.0 - NormalTail(x), 1e-14);
+  }
+}
+
+TEST(StatsProperties, NormalCdfMonotone) {
+  double previous = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double value = NormalCdf(x);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(QueryProperties, StatsNeverDoubleCountPoints) {
+  // filtered + refined == visited for the GIR scans, over whole queries.
+  Workload wl = MakeWorkload(600, 50, 6, 13);
+  for (BoundMode mode : {BoundMode::kUpperFirst, BoundMode::kFused,
+                         BoundMode::kExactWeight}) {
+    GirOptions opts;
+    opts.bound_mode = mode;
+    auto index = GirIndex::Build(wl.points, wl.weights, opts).value();
+    QueryStats stats;
+    index.ReverseKRanks(wl.points.row(5), 10, &stats);
+    // In 2-D modes an early-terminated scan may leave candidates
+    // unrefined, so refined <= visited - filtered; exact-weight refines
+    // inline, making it an equality.
+    EXPECT_LE(stats.points_filtered + stats.points_refined,
+              stats.points_visited);
+    if (mode == BoundMode::kExactWeight) {
+      EXPECT_EQ(stats.points_filtered + stats.points_refined,
+                stats.points_visited);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gir

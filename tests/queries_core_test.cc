@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/naive.h"
+#include "core/rank.h"
+#include "core/simple_scan.h"
+#include "core/topk.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+// ------------------------------------------------------------ Naive oracle
+
+TEST(NaiveReverseTopKTest, PaperFigure1RT2) {
+  // Fig. 1(b): the RT-2 result for each phone.
+  auto phones = Dataset::FromRows({{0.6, 0.7},
+                                   {0.2, 0.3},
+                                   {0.1, 0.6},
+                                   {0.7, 0.5},
+                                   {0.8, 0.2}})
+                    .value();
+  auto users =
+      Dataset::FromRows({{0.8, 0.2}, {0.3, 0.7}, {0.9, 0.1}}).value();
+  // p1: empty; p2: all three; p3: Tom, Spike; p4: empty; p5: Jerry.
+  EXPECT_TRUE(NaiveReverseTopK(phones, users, phones.row(0), 2).empty());
+  EXPECT_EQ(NaiveReverseTopK(phones, users, phones.row(1), 2),
+            (ReverseTopKResult{0, 1, 2}));
+  EXPECT_EQ(NaiveReverseTopK(phones, users, phones.row(2), 2),
+            (ReverseTopKResult{0, 2}));
+  EXPECT_TRUE(NaiveReverseTopK(phones, users, phones.row(3), 2).empty());
+  EXPECT_EQ(NaiveReverseTopK(phones, users, phones.row(4), 2),
+            (ReverseTopKResult{1}));
+}
+
+TEST(NaiveReverseKRanksTest, PaperFigure1R1Rank) {
+  auto phones = Dataset::FromRows({{0.6, 0.7},
+                                   {0.2, 0.3},
+                                   {0.1, 0.6},
+                                   {0.7, 0.5},
+                                   {0.8, 0.2}})
+                    .value();
+  auto users =
+      Dataset::FromRows({{0.8, 0.2}, {0.3, 0.7}, {0.9, 0.1}}).value();
+  // Fig. 1(c): R1-R of p1 is Tom (rank 2 zero-based; paper's rank 3 is
+  // 1-based). Tom's id 0 wins the (rank, id) tie against Spike's id 2.
+  auto r1 = NaiveReverseKRanks(phones, users, phones.row(0), 1);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].weight_id, 0u);
+  EXPECT_EQ(r1[0].rank, 2);
+
+  // p5's best user is Jerry (rank 1 in the paper's 1-based list).
+  auto r5 = NaiveReverseKRanks(phones, users, phones.row(4), 1);
+  ASSERT_EQ(r5.size(), 1u);
+  EXPECT_EQ(r5[0].weight_id, 1u);
+  EXPECT_EQ(r5[0].rank, 1);
+}
+
+TEST(NaiveReverseKRanksTest, DefinitionConsistentWithRankOfQuery) {
+  Workload wl = MakeWorkload(80, 40, 3, 101);
+  auto result = NaiveReverseKRanks(wl.points, wl.weights, wl.points.row(5), 7);
+  ASSERT_EQ(result.size(), 7u);
+  for (const auto& entry : result) {
+    EXPECT_EQ(entry.rank, RankOfQuery(wl.points, wl.weights.row(entry.weight_id),
+                                      wl.points.row(5)));
+  }
+  // Sorted by (rank, id) and no non-member beats a member.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_TRUE(result[i - 1] < result[i]);
+  }
+  for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+    bool in_result = false;
+    for (const auto& entry : result) in_result |= entry.weight_id == wi;
+    if (in_result) continue;
+    RankedWeight outsider{static_cast<VectorId>(wi),
+                          RankOfQuery(wl.points, wl.weights.row(wi),
+                                      wl.points.row(5))};
+    EXPECT_TRUE(result.back() < outsider);
+  }
+}
+
+TEST(NaiveReverseKRanksTest, KLargerThanWeightsReturnsAll) {
+  Workload wl = MakeWorkload(30, 8, 2, 103);
+  auto result =
+      NaiveReverseKRanks(wl.points, wl.weights, wl.points.row(0), 100);
+  EXPECT_EQ(result.size(), 8u);
+}
+
+TEST(NaiveReverseTopKTest, TopKMembershipMatchesDefinition) {
+  // Definition 2: w in result iff q scores <= the k-th best point.
+  Workload wl = MakeWorkload(60, 25, 4, 105);
+  const size_t k = 5;
+  ConstRow q = wl.points.row(3);
+  auto result = NaiveReverseTopK(wl.points, wl.weights, q, k);
+  for (size_t wi = 0; wi < wl.weights.size(); ++wi) {
+    auto topk = TopK(wl.points, wl.weights.row(wi), k);
+    const Score kth = topk.back().score;
+    const bool qualifies = InnerProduct(wl.weights.row(wi), q) <= kth;
+    const bool in_result =
+        std::find(result.begin(), result.end(), static_cast<VectorId>(wi)) !=
+        result.end();
+    EXPECT_EQ(qualifies, in_result) << "weight " << wi;
+  }
+}
+
+// ------------------------------------------------------------ SimpleScan
+
+struct SimCase {
+  size_t n, m, d, k;
+  uint64_t seed;
+};
+
+class SimpleScanEquivalence : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimpleScanEquivalence, ReverseTopKMatchesNaive) {
+  const SimCase& c = GetParam();
+  Workload wl = MakeWorkload(c.n, c.m, c.d, c.seed);
+  SimpleScan sim(wl.points, wl.weights);
+  for (size_t qi : {size_t{0}, c.n / 2, c.n - 1}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(sim.ReverseTopK(q, c.k),
+              NaiveReverseTopK(wl.points, wl.weights, q, c.k));
+  }
+}
+
+TEST_P(SimpleScanEquivalence, ReverseKRanksMatchesNaive) {
+  const SimCase& c = GetParam();
+  Workload wl = MakeWorkload(c.n, c.m, c.d, c.seed);
+  SimpleScan sim(wl.points, wl.weights);
+  for (size_t qi : {size_t{0}, c.n / 2, c.n - 1}) {
+    ConstRow q = wl.points.row(qi);
+    EXPECT_EQ(sim.ReverseKRanks(q, c.k),
+              NaiveReverseKRanks(wl.points, wl.weights, q, c.k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimpleScanEquivalence,
+    ::testing::Values(SimCase{50, 20, 2, 3, 1}, SimCase{200, 50, 3, 10, 2},
+                      SimCase{100, 100, 4, 5, 3}, SimCase{300, 30, 6, 20, 4},
+                      SimCase{150, 40, 8, 1, 5}, SimCase{80, 60, 10, 7, 6},
+                      SimCase{500, 20, 5, 50, 7}, SimCase{60, 10, 16, 4, 8}));
+
+TEST(SimpleScanTest, EmptyWeightsGivesEmptyResults) {
+  Dataset points = testing_util::SmallPoints(20, 3, 9);
+  Dataset weights(3);
+  SimpleScan sim(points, weights);
+  EXPECT_TRUE(sim.ReverseTopK(points.row(0), 5).empty());
+  EXPECT_TRUE(sim.ReverseKRanks(points.row(0), 5).empty());
+}
+
+TEST(SimpleScanTest, KZero) {
+  Workload wl = MakeWorkload(20, 10, 3, 10);
+  SimpleScan sim(wl.points, wl.weights);
+  // k = 0: no weight can rank q in its top-0; reverse k-ranks of size 0.
+  EXPECT_TRUE(sim.ReverseTopK(wl.points.row(0), 0).empty());
+  EXPECT_TRUE(sim.ReverseKRanks(wl.points.row(0), 0).empty());
+}
+
+TEST(SimpleScanTest, DominBufferReducesVisits) {
+  // A query point dominated by many points: the second and later weight
+  // scans skip the dominating points.
+  Dataset points = testing_util::SmallPoints(2000, 4, 11);
+  Dataset weights = testing_util::SmallWeights(50, 4, 12);
+  // Synthesize a clearly bad query: component-wise near the max.
+  std::vector<double> q(4, 9999.0);
+  SimpleScan sim(points, weights);
+  QueryStats stats;
+  sim.ReverseKRanks(q, 5, &stats);
+  EXPECT_GT(stats.points_dominated, 0u);
+}
+
+TEST(SimpleScanTest, ReverseTopKEmptyWhenKDominatorsExist) {
+  // q is dominated by >= k points => empty RTK result (Alg. 2 lines 7-8).
+  auto points = Dataset::FromRows(
+                    {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {10.0, 10.0}})
+                    .value();
+  auto weights = Dataset::FromRows({{0.5, 0.5}, {0.9, 0.1}}).value();
+  SimpleScan sim(points, weights);
+  std::vector<double> q{9.0, 9.0};
+  EXPECT_TRUE(sim.ReverseTopK(q, 2).empty());
+  EXPECT_EQ(NaiveReverseTopK(points, weights, q, 2), ReverseTopKResult{});
+}
+
+TEST(SimpleScanTest, QueryNotInDataset) {
+  Workload wl = MakeWorkload(100, 30, 3, 13);
+  std::vector<double> q{123.0, 4567.0, 89.0};
+  SimpleScan sim(wl.points, wl.weights);
+  EXPECT_EQ(sim.ReverseTopK(q, 10),
+            NaiveReverseTopK(wl.points, wl.weights, q, 10));
+  EXPECT_EQ(sim.ReverseKRanks(q, 10),
+            NaiveReverseKRanks(wl.points, wl.weights, q, 10));
+}
+
+TEST(SimpleScanTest, AllWeightsQualifyForBestPoint) {
+  // The origin out-ranks everything for every weight: rank 0 everywhere.
+  Dataset points(2);
+  std::vector<double> origin{0.0, 0.0};
+  ASSERT_TRUE(points.Append(origin).ok());
+  Dataset more = testing_util::SmallPoints(50, 2, 14);
+  for (size_t i = 0; i < more.size(); ++i) {
+    points.AppendUnchecked(more.row(i));
+  }
+  Dataset weights = testing_util::SmallWeights(10, 2, 15);
+  SimpleScan sim(points, weights);
+  auto result = sim.ReverseTopK(points.row(0), 1);
+  EXPECT_EQ(result.size(), weights.size());
+}
+
+}  // namespace
+}  // namespace gir

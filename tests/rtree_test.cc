@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/rng.h"
+#include "rtree/mbr.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_stats.h"
+
+namespace gir {
+namespace {
+
+// ---------------------------------------------------------------- Mbr
+
+TEST(MbrTest, ExpandFromEmpty) {
+  Mbr box(2);
+  EXPECT_TRUE(box.empty());
+  std::vector<double> p{1.0, 2.0};
+  box.Expand(p);
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(box.hi(), (std::vector<double>{1.0, 2.0}));
+  std::vector<double> p2{0.0, 5.0};
+  box.Expand(p2);
+  EXPECT_EQ(box.lo(), (std::vector<double>{0.0, 2.0}));
+  EXPECT_EQ(box.hi(), (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(MbrTest, ExpandWithMbr) {
+  Mbr a({0.0, 0.0}, {1.0, 1.0});
+  Mbr b({2.0, -1.0}, {3.0, 0.5});
+  a.Expand(b);
+  EXPECT_EQ(a.lo(), (std::vector<double>{0.0, -1.0}));
+  EXPECT_EQ(a.hi(), (std::vector<double>{3.0, 1.0}));
+}
+
+TEST(MbrTest, IntersectsAndContains) {
+  Mbr a({0.0, 0.0}, {2.0, 2.0});
+  Mbr b({1.0, 1.0}, {3.0, 3.0});
+  Mbr c({2.5, 2.5}, {4.0, 4.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  // Touching edges count as intersecting (closed boxes).
+  Mbr d({2.0, 0.0}, {3.0, 2.0});
+  EXPECT_TRUE(a.Intersects(d));
+  std::vector<double> inside{1.0, 1.5};
+  std::vector<double> outside{1.0, 2.5};
+  EXPECT_TRUE(a.Contains(inside));
+  EXPECT_FALSE(a.Contains(outside));
+  EXPECT_TRUE(a.ContainsMbr(Mbr({0.5, 0.5}, {1.5, 1.5})));
+  EXPECT_FALSE(a.ContainsMbr(b));
+}
+
+TEST(MbrTest, EmptyNeverIntersects) {
+  Mbr empty(2);
+  Mbr a({0.0, 0.0}, {5.0, 5.0});
+  EXPECT_FALSE(empty.Intersects(a));
+  EXPECT_FALSE(a.Intersects(empty));
+  std::vector<double> p{1.0, 1.0};
+  EXPECT_FALSE(empty.Contains(p));
+}
+
+TEST(MbrTest, Geometry) {
+  Mbr box({0.0, 0.0, 0.0}, {3.0, 4.0, 0.5});
+  EXPECT_DOUBLE_EQ(box.DiagonalLength(), std::sqrt(9.0 + 16.0 + 0.25));
+  EXPECT_DOUBLE_EQ(box.MarginSum(), 7.5);
+  EXPECT_DOUBLE_EQ(box.Volume(), 6.0);
+  EXPECT_NEAR(box.Log10Volume(), std::log10(6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(box.ShapeRatio(), 8.0);
+}
+
+TEST(MbrTest, DegenerateGeometry) {
+  Mbr point({1.0, 1.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(point.DiagonalLength(), 0.0);
+  EXPECT_DOUBLE_EQ(point.ShapeRatio(), 1.0);
+  EXPECT_TRUE(std::isinf(point.Log10Volume()));
+  Mbr slab({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_TRUE(std::isinf(slab.ShapeRatio()));
+}
+
+TEST(MbrTest, OverlapVolume) {
+  Mbr a({0.0, 0.0}, {2.0, 2.0});
+  Mbr b({1.0, 1.0}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_NEAR(a.OverlapLog10Volume(b), 0.0, 1e-12);
+  Mbr c({5.0, 5.0}, {6.0, 6.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+  EXPECT_TRUE(std::isinf(a.OverlapLog10Volume(c)));
+}
+
+TEST(MbrTest, HighDimensionalLogVolumeStable) {
+  // 24 dims of edge 10K: volume 1e96 overflows nothing in log form.
+  std::vector<double> lo(24, 0.0), hi(24, 10000.0);
+  Mbr box(lo, hi);
+  EXPECT_NEAR(box.Log10Volume(), 96.0, 1e-9);
+  EXPECT_TRUE(std::isinf(box.Volume()) || box.Volume() > 1e90);
+}
+
+// ---------------------------------------------------------------- RTree
+
+std::vector<VectorId> BruteForceRange(const Dataset& ds, const Mbr& box) {
+  std::vector<VectorId> out;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (box.Contains(ds.row(i))) out.push_back(static_cast<VectorId>(i));
+  }
+  return out;
+}
+
+void CheckTreeInvariants(const RTree& tree) {
+  const Dataset& ds = tree.points();
+  size_t total_points = 0;
+  std::set<VectorId> seen;
+  tree.VisitNodes([&](const RTreeNode& node, size_t depth) {
+    EXPECT_LE(depth, tree.height() - 1);
+    if (node.is_leaf) {
+      EXPECT_EQ(node.subtree_count, node.entries.size());
+      total_points += node.entries.size();
+      for (VectorId id : node.entries) {
+        EXPECT_TRUE(node.mbr.Contains(ds.row(id)))
+            << "leaf MBR must contain its points";
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+      }
+    } else {
+      EXPECT_FALSE(node.children.empty());
+      size_t child_total = 0;
+      for (const auto& child : node.children) {
+        EXPECT_TRUE(node.mbr.ContainsMbr(child->mbr))
+            << "parent MBR must contain child MBRs";
+        child_total += child->subtree_count;
+      }
+      EXPECT_EQ(node.subtree_count, child_total);
+    }
+  });
+  EXPECT_EQ(total_points, tree.size());
+}
+
+class RTreeBulkLoad
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(RTreeBulkLoad, InvariantsAndRangeQueries) {
+  const auto [n, d, cap] = GetParam();
+  Dataset ds = GenerateUniform(n, d, 31);
+  RTree::Options options;
+  options.max_entries = cap;
+  RTree tree = RTree::BulkLoad(ds, options);
+  EXPECT_EQ(tree.size(), n);
+  CheckTreeInvariants(tree);
+  // Leaves respect capacity.
+  tree.VisitNodes([&](const RTreeNode& node, size_t) {
+    if (node.is_leaf) {
+      EXPECT_LE(node.entries.size(), cap);
+    } else {
+      EXPECT_LE(node.children.size(), cap);
+    }
+  });
+  // Range queries agree with brute force.
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double a = rng.NextDouble(0.0, 10000.0);
+      const double b = rng.NextDouble(0.0, 10000.0);
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    Mbr box(lo, hi);
+    std::vector<VectorId> got;
+    tree.RangeQuery(box, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceRange(ds, box));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreeBulkLoad,
+    ::testing::Values(std::make_tuple(size_t{1}, size_t{2}, size_t{4}),
+                      std::make_tuple(size_t{100}, size_t{2}, size_t{4}),
+                      std::make_tuple(size_t{1000}, size_t{3}, size_t{10}),
+                      std::make_tuple(size_t{5000}, size_t{6}, size_t{100}),
+                      std::make_tuple(size_t{777}, size_t{9}, size_t{16}),
+                      std::make_tuple(size_t{2000}, size_t{4}, size_t{25})));
+
+TEST(RTreeTest, BulkLoadEmptyDataset) {
+  Dataset ds(3);
+  RTree tree = RTree::BulkLoad(ds);
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<VectorId> out;
+  tree.RangeQuery(Mbr({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Dataset ds = GenerateUniform(10000, 2, 33);
+  RTree::Options options;
+  options.max_entries = 10;
+  RTree tree = RTree::BulkLoad(ds, options);
+  // 10000 points at fanout 10: exactly 4 levels.
+  EXPECT_EQ(tree.height(), 4u);
+  EXPECT_GT(tree.NodeCount(), tree.LeafCount());
+  EXPECT_GE(tree.LeafCount(), 1000u);
+}
+
+TEST(RTreeTest, InsertBuildsValidTree) {
+  Dataset ds = GenerateUniform(2000, 3, 34);
+  RTree::Options options;
+  options.max_entries = 8;
+  RTree tree = RTree::CreateEmpty(ds, options);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<VectorId>(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  CheckTreeInvariants(tree);
+  Rng rng(35);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> lo(3), hi(3);
+    for (size_t i = 0; i < 3; ++i) {
+      const double a = rng.NextDouble(0.0, 10000.0);
+      const double b = rng.NextDouble(0.0, 10000.0);
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    Mbr box(lo, hi);
+    std::vector<VectorId> got;
+    tree.RangeQuery(box, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceRange(ds, box));
+  }
+}
+
+TEST(RTreeTest, InsertRejectsOutOfRangeId) {
+  Dataset ds = GenerateUniform(10, 2, 36);
+  RTree tree = RTree::CreateEmpty(ds);
+  EXPECT_FALSE(tree.Insert(10).ok());
+  EXPECT_TRUE(tree.Insert(9).ok());
+}
+
+TEST(RTreeTest, InsertDuplicatePointsSupported) {
+  auto ds = Dataset::FromRows({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}}).value();
+  RTree::Options options;
+  options.max_entries = 2;
+  RTree tree = RTree::CreateEmpty(ds, options);
+  for (VectorId i = 0; i < 3; ++i) ASSERT_TRUE(tree.Insert(i).ok());
+  CheckTreeInvariants(tree);
+  std::vector<VectorId> out;
+  tree.RangeQuery(Mbr({0.0, 0.0}, {2.0, 2.0}), &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(RTreeTest, RangeQueryCountsPrunedNodes) {
+  Dataset ds = GenerateUniform(5000, 4, 37);
+  RTree tree = RTree::BulkLoad(ds);
+  QueryStats stats;
+  std::vector<VectorId> out;
+  // Tiny box: most of the tree should be pruned.
+  tree.RangeQuery(Mbr({0.0, 0.0, 0.0, 0.0}, {10.0, 10.0, 10.0, 10.0}), &out,
+                  &stats);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.nodes_pruned, 0u);
+}
+
+// ------------------------------------------------------------- Stats
+
+TEST(RTreeStatsTest, ObservationShape) {
+  Dataset ds = GenerateUniform(20000, 6, 38);
+  RTree tree = RTree::BulkLoad(ds);
+  MbrObservation obs = ObserveLeafMbrs(tree, 0.01, 20, 39);
+  EXPECT_EQ(obs.num_mbrs, tree.LeafCount());
+  EXPECT_GT(obs.avg_diagonal, 0.0);
+  EXPECT_GE(obs.avg_shape_ratio, 1.0);
+  EXPECT_GT(obs.overlap_fraction, 0.0);
+  EXPECT_LE(obs.overlap_fraction, 1.0);
+}
+
+TEST(RTreeStatsTest, OverlapGrowsWithDimension) {
+  // The paper's Table 3: a 1%-volume query overlaps ~30% of MBRs at d = 3
+  // and ~100% at d >= 9.
+  double overlap_low = 0.0, overlap_high = 0.0;
+  {
+    Dataset ds = GenerateUniform(20000, 3, 40);
+    RTree tree = RTree::BulkLoad(ds);
+    overlap_low = ObserveLeafMbrs(tree, 0.01, 10, 41).overlap_fraction;
+  }
+  {
+    Dataset ds = GenerateUniform(20000, 12, 42);
+    RTree tree = RTree::BulkLoad(ds);
+    overlap_high = ObserveLeafMbrs(tree, 0.01, 10, 43).overlap_fraction;
+  }
+  EXPECT_LT(overlap_low, 0.9);
+  EXPECT_GT(overlap_high, 0.95);
+  EXPECT_GT(overlap_high, overlap_low);
+}
+
+TEST(RTreeStatsTest, EmptyTreeObservation) {
+  Dataset ds(2);
+  RTree tree = RTree::BulkLoad(ds);
+  MbrObservation obs = ObserveLeafMbrs(tree, 0.01, 5, 44);
+  // The empty tree has a single empty leaf (the root).
+  EXPECT_LE(obs.num_mbrs, 1u);
+  EXPECT_DOUBLE_EQ(obs.avg_diagonal, 0.0);
+}
+
+
+// ------------------------------------------------------------- kNN
+
+std::vector<RTree::Neighbor> BruteForceKnn(const Dataset& ds, ConstRow q,
+                                           size_t k) {
+  std::vector<RTree::Neighbor> all;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    double sq = 0.0;
+    for (size_t j = 0; j < ds.dim(); ++j) {
+      const double delta = ds.row(i)[j] - q[j];
+      sq += delta * delta;
+    }
+    all.push_back({static_cast<VectorId>(i), std::sqrt(sq)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RTree::Neighbor& a, const RTree::Neighbor& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.id < b.id);
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(MbrTest, MinDistSquared) {
+  Mbr box({1.0, 1.0}, {3.0, 3.0});
+  std::vector<double> inside{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(box.MinDistSquared(inside), 0.0);
+  std::vector<double> left{0.0, 2.0};
+  EXPECT_DOUBLE_EQ(box.MinDistSquared(left), 1.0);
+  std::vector<double> corner{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(box.MinDistSquared(corner), 2.0);
+  Mbr empty(2);
+  EXPECT_TRUE(std::isinf(empty.MinDistSquared(corner)));
+}
+
+TEST(RTreeKnnTest, MatchesBruteForce) {
+  Dataset ds = GenerateUniform(3000, 4, 51);
+  RTree::Options options;
+  options.max_entries = 20;
+  RTree tree = RTree::BulkLoad(ds, options);
+  Rng rng(52);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(4);
+    for (double& v : q) v = rng.NextDouble(0.0, 10000.0);
+    for (size_t k : {1u, 5u, 20u}) {
+      auto got = tree.NearestNeighbors(q, k);
+      auto expected = BruteForceKnn(ds, q, k);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "trial " << trial;
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST(RTreeKnnTest, KLargerThanTree) {
+  Dataset ds = GenerateUniform(7, 2, 53);
+  RTree tree = RTree::BulkLoad(ds);
+  std::vector<double> q{0.0, 0.0};
+  EXPECT_EQ(tree.NearestNeighbors(q, 100).size(), 7u);
+  EXPECT_TRUE(tree.NearestNeighbors(q, 0).empty());
+}
+
+TEST(RTreeKnnTest, EmptyTree) {
+  Dataset ds(3);
+  RTree tree = RTree::BulkLoad(ds);
+  std::vector<double> q{1.0, 2.0, 3.0};
+  EXPECT_TRUE(tree.NearestNeighbors(q, 5).empty());
+}
+
+TEST(RTreeKnnTest, PrunesNodesInLowDimensions) {
+  Dataset ds = GenerateUniform(20000, 2, 54);
+  RTree tree = RTree::BulkLoad(ds);
+  std::vector<double> q{5000.0, 5000.0};
+  QueryStats stats;
+  auto result = tree.NearestNeighbors(q, 10, &stats);
+  EXPECT_EQ(result.size(), 10u);
+  // Best-first search should touch a small fraction of the points.
+  EXPECT_LT(stats.points_visited, 2000u);
+}
+
+}  // namespace
+}  // namespace gir

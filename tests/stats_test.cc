@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "stats/dice.h"
+#include "stats/model.h"
+#include "stats/normal.h"
+
+namespace gir {
+namespace {
+
+// ---------------------------------------------------------------- Normal
+
+TEST(NormalTest, PdfAtZero) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-10);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalTest, TailComplementsCdf) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.5}) {
+    EXPECT_NEAR(NormalTail(x), 1.0 - NormalCdf(x), 1e-12);
+  }
+}
+
+TEST(NormalTest, PaperWorkedExampleTail) {
+  // §5.3: Φ(0.0125) = 0.495 (their Φ is the upper tail).
+  EXPECT_NEAR(NormalTail(0.0125), 0.495, 5e-4);
+}
+
+TEST(NormalTest, InverseCdfRoundTrip) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(InverseNormalCdf(p)), p, 1e-9) << "p " << p;
+  }
+}
+
+TEST(NormalTest, InverseTailRoundTrip) {
+  for (double p : {0.01, 0.495, 0.25}) {
+    EXPECT_NEAR(NormalTail(InverseNormalTail(p)), p, 1e-9);
+  }
+}
+
+TEST(NormalTest, InverseCdfExtremes) {
+  EXPECT_TRUE(std::isinf(InverseNormalCdf(0.0)));
+  EXPECT_TRUE(std::isinf(InverseNormalCdf(1.0)));
+  EXPECT_LT(InverseNormalCdf(0.0), 0.0);
+  EXPECT_GT(InverseNormalCdf(1.0), 0.0);
+}
+
+// ---------------------------------------------------------------- Dice
+
+TEST(DiceTest, SingleDieIsUniform) {
+  auto pmf = DiceSumPmf(1, 6);
+  ASSERT_EQ(pmf.size(), 6u);
+  for (double p : pmf) EXPECT_NEAR(p, 1.0 / 6.0, 1e-12);
+}
+
+TEST(DiceTest, TwoDiceTriangle) {
+  auto pmf = DiceSumPmf(2, 6);
+  ASSERT_EQ(pmf.size(), 11u);
+  EXPECT_NEAR(pmf[0], 1.0 / 36.0, 1e-12);   // sum 2
+  EXPECT_NEAR(pmf[5], 6.0 / 36.0, 1e-12);   // sum 7
+  EXPECT_NEAR(pmf[10], 1.0 / 36.0, 1e-12);  // sum 12
+}
+
+TEST(DiceTest, PmfSumsToOne) {
+  for (auto [d, faces] : {std::pair<size_t, size_t>{3, 4},
+                          std::pair<size_t, size_t>{6, 16},
+                          std::pair<size_t, size_t>{10, 64}}) {
+    auto pmf = DiceSumPmf(d, faces);
+    double total = 0.0;
+    for (double p : pmf) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << d << "d" << faces;
+  }
+}
+
+TEST(DiceTest, ClosedFormMatchesConvolution) {
+  for (auto [d, faces] : {std::pair<size_t, size_t>{2, 6},
+                          std::pair<size_t, size_t>{4, 8},
+                          std::pair<size_t, size_t>{6, 16}}) {
+    auto pmf = DiceSumPmf(d, faces);
+    for (size_t i = 0; i < pmf.size(); i += 3) {
+      const long long s = static_cast<long long>(d + i);
+      EXPECT_NEAR(DiceSumProbability(s, d, faces), pmf[i], 1e-9)
+          << "d=" << d << " faces=" << faces << " s=" << s;
+    }
+  }
+}
+
+TEST(DiceTest, ClosedFormOutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(DiceSumProbability(1, 2, 6), 0.0);
+  EXPECT_DOUBLE_EQ(DiceSumProbability(13, 2, 6), 0.0);
+}
+
+TEST(DiceTest, MeanMatchesFormula) {
+  EXPECT_DOUBLE_EQ(DiceSumMean(2, 6), 7.0);
+  auto pmf = DiceSumPmf(5, 9);
+  double mean = 0.0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    mean += pmf[i] * static_cast<double>(5 + i);
+  }
+  EXPECT_NEAR(mean, DiceSumMean(5, 9), 1e-9);
+}
+
+TEST(DiceTest, ModeProbabilityShrinksWithMorePartitions) {
+  // More grid partitions (faces = n^2) -> flatter score distribution ->
+  // smaller worst-case unresolved probability. This is Theorem 1's engine.
+  const size_t d = 6;
+  double previous = 1.0;
+  for (size_t n : {2u, 4u, 8u, 16u}) {
+    const double mode = DiceSumModeProbability(d, n * n);
+    EXPECT_LT(mode, previous);
+    previous = mode;
+  }
+}
+
+TEST(DiceTest, NormalApproximationHoldsForModerateD) {
+  // Lemma 1: the dice sum is approximately normal. Compare the mode
+  // probability with the normal density at the mean.
+  const size_t d = 8, faces = 16;
+  const double mode = DiceSumModeProbability(d, faces);
+  const double sigma =
+      std::sqrt(static_cast<double>(d) *
+                (static_cast<double>(faces * faces) - 1.0) / 12.0);
+  const double normal_peak = 1.0 / (sigma * std::sqrt(2.0 * M_PI));
+  EXPECT_NEAR(mode, normal_peak, 0.15 * normal_peak);
+}
+
+// ---------------------------------------------------------------- Model
+
+TEST(ModelTest, WorstCaseFilterRateIncreasesWithN) {
+  const size_t d = 20;
+  double previous = 0.0;
+  for (size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const double f = WorstCaseFilterRate(d, n);
+    EXPECT_GT(f, previous);
+    previous = f;
+  }
+  EXPECT_GT(previous, 0.99);
+}
+
+TEST(ModelTest, WorstCaseFilterRateDecreasesWithD) {
+  const size_t n = 32;
+  double previous = 1.0;
+  for (size_t d : {5u, 10u, 20u, 40u}) {
+    const double f = WorstCaseFilterRate(d, n);
+    EXPECT_LT(f, previous);
+    previous = f;
+  }
+}
+
+TEST(ModelTest, PaperWorkedExample) {
+  // d = 20, epsilon = 1%: the paper concludes n = 32 (next power of two of
+  // ~25) suffices for > 99% filtering.
+  auto n = RequiredPartitions(20, 0.01);
+  ASSERT_TRUE(n.ok());
+  EXPECT_GE(n.value(), 20u);
+  EXPECT_LE(n.value(), 32u);
+  auto pow2 = RequiredPartitionsPow2(20, 0.01);
+  ASSERT_TRUE(pow2.ok());
+  EXPECT_EQ(pow2.value(), 32u);
+  // And the promised rate holds at that n.
+  EXPECT_GT(WorstCaseFilterRate(20, pow2.value()), 0.99);
+}
+
+TEST(ModelTest, RequiredPartitionsMeetTarget) {
+  for (size_t d : {4u, 6u, 10u, 20u, 50u}) {
+    for (double eps : {0.05, 0.01, 0.001}) {
+      auto n = RequiredPartitions(d, eps);
+      ASSERT_TRUE(n.ok());
+      EXPECT_GE(WorstCaseFilterRate(d, n.value()), 1.0 - eps - 1e-9)
+          << "d=" << d << " eps=" << eps;
+      // Minimality: one partition fewer misses the target (when n > 1).
+      if (n.value() > 1) {
+        EXPECT_LT(WorstCaseFilterRate(d, n.value() - 1), 1.0 - eps + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ModelTest, RequiredPartitionsRejectsBadInputs) {
+  EXPECT_FALSE(RequiredPartitions(0, 0.01).ok());
+  EXPECT_FALSE(RequiredPartitions(10, 0.0).ok());
+  EXPECT_FALSE(RequiredPartitions(10, 1.0).ok());
+  EXPECT_FALSE(RequiredPartitions(10, -0.5).ok());
+}
+
+TEST(ModelTest, GridTableBytes) {
+  // §5.3 example: n = 32 -> less than ~9KB.
+  EXPECT_EQ(GridTableBytes(32), 33u * 33u * 8u);
+  EXPECT_LT(GridTableBytes(32), 10000u);
+}
+
+TEST(ModelTest, UnresolvedComplementsFilterRate) {
+  EXPECT_NEAR(WorstCaseFilterRate(10, 16) + WorstCaseUnresolvedRate(10, 16),
+              1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gir

@@ -1,0 +1,37 @@
+#ifndef GIR_TESTS_TEST_UTIL_H_
+#define GIR_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/dataset.h"
+#include "data/generators.h"
+#include "data/weights.h"
+
+namespace gir {
+namespace testing_util {
+
+/// Small uniform product set on [0, 10K)^d.
+inline Dataset SmallPoints(size_t n, size_t d, uint64_t seed) {
+  return GenerateUniform(n, d, seed);
+}
+
+/// Small uniform-simplex preference set.
+inline Dataset SmallWeights(size_t m, size_t d, uint64_t seed) {
+  return GenerateWeightsUniform(m, d, seed);
+}
+
+/// A (P, W) pair for equivalence tests.
+struct Workload {
+  Dataset points;
+  Dataset weights;
+};
+
+inline Workload MakeWorkload(size_t n, size_t m, size_t d, uint64_t seed) {
+  return Workload{SmallPoints(n, d, seed), SmallWeights(m, d, seed + 1)};
+}
+
+}  // namespace testing_util
+}  // namespace gir
+
+#endif  // GIR_TESTS_TEST_UTIL_H_

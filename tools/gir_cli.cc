@@ -1,0 +1,298 @@
+// gir_cli — command-line front end for the library.
+//
+//   gir_cli generate    --kind points|weights --dist UN --n 10000 --d 6
+//                       --seed 1 --out p.bin [--range 10000]
+//   gir_cli build-index --points p.bin --weights w.bin --out idx.bin
+//                       [--partitions 32] [--adaptive]
+//   gir_cli query       --points p.bin --weights w.bin --type rtk|rkr|topk
+//                       --k 10 (--query-row 7 | --query 1.5,2,3)
+//                       [--index idx.bin] [--stats]
+//   gir_cli info        --dataset p.bin | --index idx.bin --points p.bin
+//                       --weights w.bin
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/topk.h"
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/adaptive_grid.h"
+#include "grid/gir_queries.h"
+#include "grid/index_io.h"
+#include "io/dataset_io.h"
+
+namespace gir {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + key;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::optional<size_t> GetSize(const std::string& key) const {
+    auto v = Get(key);
+    if (!v.has_value()) return std::nullopt;
+    return static_cast<size_t>(std::strtoull(v->c_str(), nullptr, 10));
+  }
+
+  std::optional<double> GetDouble(const std::string& key) const {
+    auto v = Get(key);
+    if (!v.has_value()) return std::nullopt;
+    return std::strtod(v->c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: gir_cli <generate|build-index|query|info> [--flag value ...]\n"
+      "  generate    --kind points|weights --dist UN|CL|AC|NORMAL|EXP|SPARSE\n"
+      "              --n N --d D --seed S --out FILE [--range R]\n"
+      "  build-index --points FILE --weights FILE --out FILE\n"
+      "              [--partitions N] [--adaptive]\n"
+      "  query       --points FILE --weights FILE --type rtk|rkr|topk --k K\n"
+      "              (--query-row I | --query v1,v2,...) [--index FILE]\n"
+      "              [--stats]\n"
+      "  info        --dataset FILE | --index FILE --points FILE "
+      "--weights FILE\n");
+}
+
+int RunGenerate(const Args& args) {
+  const auto kind = args.Get("kind");
+  const auto dist = args.Get("dist");
+  const auto n = args.GetSize("n");
+  const auto d = args.GetSize("d");
+  const auto out = args.Get("out");
+  if (!kind || !dist || !n || !d || !out) {
+    return Fail("generate requires --kind --dist --n --d --out");
+  }
+  const uint64_t seed = args.GetSize("seed").value_or(1);
+  Dataset data(1);
+  if (*kind == "points") {
+    auto parsed = ParsePointDistribution(*dist);
+    if (!parsed.ok()) return FailStatus(parsed.status());
+    GeneratorOptions options;
+    options.range = args.GetDouble("range").value_or(10000.0);
+    data = GeneratePoints(parsed.value(), *n, *d, seed, options);
+  } else if (*kind == "weights") {
+    auto parsed = ParseWeightDistribution(*dist);
+    if (!parsed.ok()) return FailStatus(parsed.status());
+    data = GenerateWeights(parsed.value(), *n, *d, seed);
+  } else {
+    return Fail("--kind must be points or weights");
+  }
+  const Status s = SaveDataset(*out, data);
+  if (!s.ok()) return FailStatus(s);
+  std::printf("wrote %zu x %zu-d vectors to %s (%zu bytes)\n", data.size(),
+              data.dim(), out->c_str(), DatasetFileBytes(data));
+  return 0;
+}
+
+int RunBuildIndex(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto out = args.Get("out");
+  if (!points_path || !weights_path || !out) {
+    return Fail("build-index requires --points --weights --out");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+  GirOptions options;
+  options.partitions = args.GetSize("partitions").value_or(32);
+  Result<GirIndex> index =
+      args.Has("adaptive")
+          ? BuildAdaptiveGir(points.value(), weights.value(), options)
+          : GirIndex::Build(points.value(), weights.value(), options);
+  if (!index.ok()) return FailStatus(index.status());
+  const Status s = SaveGirIndex(*out, index.value());
+  if (!s.ok()) return FailStatus(s);
+  std::printf("indexed %zu points x %zu weights (n = %zu%s) -> %s\n",
+              points.value().size(), weights.value().size(),
+              options.partitions, args.Has("adaptive") ? ", adaptive" : "",
+              out->c_str());
+  return 0;
+}
+
+std::optional<std::vector<double>> ParseQueryVector(const std::string& text) {
+  std::vector<double> values;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    char* end = nullptr;
+    const std::string token = text.substr(pos, comma - pos);
+    values.push_back(std::strtod(token.c_str(), &end));
+    if (end == token.c_str()) return std::nullopt;
+    pos = comma + 1;
+  }
+  if (values.empty()) return std::nullopt;
+  return values;
+}
+
+int RunQuery(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto type = args.Get("type");
+  const auto k = args.GetSize("k");
+  if (!points_path || !weights_path || !type || !k) {
+    return Fail("query requires --points --weights --type --k");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+
+  std::vector<double> q;
+  if (const auto row = args.GetSize("query-row"); row.has_value()) {
+    if (*row >= points.value().size()) return Fail("--query-row out of range");
+    ConstRow r = points.value().row(*row);
+    q.assign(r.begin(), r.end());
+  } else if (const auto text = args.Get("query"); text.has_value()) {
+    auto parsed = ParseQueryVector(*text);
+    if (!parsed.has_value()) return Fail("cannot parse --query vector");
+    q = std::move(*parsed);
+  } else if (*type != "topk") {
+    return Fail("query requires --query-row or --query");
+  }
+  if (!q.empty() && q.size() != points.value().dim()) {
+    return Fail("query vector width does not match the dataset dimension");
+  }
+
+  if (*type == "topk") {
+    const auto wrow = args.GetSize("weight-row").value_or(0);
+    if (wrow >= weights.value().size()) return Fail("--weight-row out of range");
+    auto top = TopK(points.value(), weights.value().row(wrow), *k);
+    for (const auto& sp : top) {
+      std::printf("point %u score %.6f\n", sp.id, sp.score);
+    }
+    return 0;
+  }
+
+  Result<GirIndex> index = Status::Internal("unset");
+  if (const auto index_path = args.Get("index"); index_path.has_value()) {
+    index = LoadGirIndex(*index_path, points.value(), weights.value());
+  } else {
+    index = GirIndex::Build(points.value(), weights.value());
+  }
+  if (!index.ok()) return FailStatus(index.status());
+
+  QueryStats stats;
+  QueryStats* stats_ptr = args.Has("stats") ? &stats : nullptr;
+  if (*type == "rtk") {
+    auto result = index.value().ReverseTopK(q, *k, stats_ptr);
+    std::printf("%zu matching preferences\n", result.size());
+    for (VectorId id : result) std::printf("weight %u\n", id);
+  } else if (*type == "rkr") {
+    auto result = index.value().ReverseKRanks(q, *k, stats_ptr);
+    for (const auto& entry : result) {
+      std::printf("weight %u rank %lld\n", entry.weight_id,
+                  static_cast<long long>(entry.rank));
+    }
+  } else {
+    return Fail("--type must be rtk, rkr or topk");
+  }
+  if (stats_ptr != nullptr) {
+    std::printf("# stats: %s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  if (const auto dataset_path = args.Get("dataset"); dataset_path) {
+    auto data = LoadDataset(*dataset_path);
+    if (!data.ok()) return FailStatus(data.status());
+    std::printf("dataset %s: %zu vectors, %zu dims, values in [%g, %g]\n",
+                dataset_path->c_str(), data.value().size(),
+                data.value().dim(), data.value().MinValue(),
+                data.value().MaxValue());
+    return 0;
+  }
+  const auto index_path = args.Get("index");
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  if (!index_path || !points_path || !weights_path) {
+    return Fail("info requires --dataset, or --index with --points/--weights");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+  auto index = LoadGirIndex(*index_path, points.value(), weights.value());
+  if (!index.ok()) return FailStatus(index.status());
+  std::printf(
+      "index %s: n = %zu (%s grid), %zu points x %zu weights, "
+      "in-memory %zu bytes\n",
+      index_path->c_str(), index.value().options().partitions,
+      index.value().grid().point_partitioner().is_uniform() ? "uniform"
+                                                            : "adaptive",
+      points.value().size(), weights.value().size(),
+      index.value().MemoryBytes());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (!args.ok()) return Fail(args.error().c_str());
+  if (command == "generate") return RunGenerate(args);
+  if (command == "build-index") return RunBuildIndex(args);
+  if (command == "query") return RunQuery(args);
+  if (command == "info") return RunInfo(args);
+  PrintUsage();
+  return 1;
+}
+
+}  // namespace
+}  // namespace gir
+
+int main(int argc, char** argv) { return gir::Run(argc, argv); }
