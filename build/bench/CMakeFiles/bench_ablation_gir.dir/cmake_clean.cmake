@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gir.dir/bench_ablation_gir.cc.o"
+  "CMakeFiles/bench_ablation_gir.dir/bench_ablation_gir.cc.o.d"
+  "bench_ablation_gir"
+  "bench_ablation_gir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

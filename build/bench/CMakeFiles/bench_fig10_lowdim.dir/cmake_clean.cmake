@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lowdim.dir/bench_fig10_lowdim.cc.o"
+  "CMakeFiles/bench_fig10_lowdim.dir/bench_fig10_lowdim.cc.o.d"
+  "bench_fig10_lowdim"
+  "bench_fig10_lowdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lowdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

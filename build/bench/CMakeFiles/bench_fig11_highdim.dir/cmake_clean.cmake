@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_highdim.dir/bench_fig11_highdim.cc.o"
+  "CMakeFiles/bench_fig11_highdim.dir/bench_fig11_highdim.cc.o.d"
+  "bench_fig11_highdim"
+  "bench_fig11_highdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_highdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_realdata.dir/bench_fig12_realdata.cc.o"
+  "CMakeFiles/bench_fig12_realdata.dir/bench_fig12_realdata.cc.o.d"
+  "bench_fig12_realdata"
+  "bench_fig12_realdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_realdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

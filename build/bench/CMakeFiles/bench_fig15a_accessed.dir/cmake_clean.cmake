@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15a_accessed.dir/bench_fig15a_accessed.cc.o"
+  "CMakeFiles/bench_fig15a_accessed.dir/bench_fig15a_accessed.cc.o.d"
+  "bench_fig15a_accessed"
+  "bench_fig15a_accessed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15a_accessed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

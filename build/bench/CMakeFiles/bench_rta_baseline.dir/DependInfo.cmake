@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rta_baseline.cc" "bench/CMakeFiles/bench_rta_baseline.dir/bench_rta_baseline.cc.o" "gcc" "bench/CMakeFiles/bench_rta_baseline.dir/bench_rta_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gir_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

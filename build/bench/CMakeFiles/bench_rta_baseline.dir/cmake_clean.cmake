@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rta_baseline.dir/bench_rta_baseline.cc.o"
+  "CMakeFiles/bench_rta_baseline.dir/bench_rta_baseline.cc.o.d"
+  "bench_rta_baseline"
+  "bench_rta_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rta_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

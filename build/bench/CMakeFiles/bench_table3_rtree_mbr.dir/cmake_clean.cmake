@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rtree_mbr.dir/bench_table3_rtree_mbr.cc.o"
+  "CMakeFiles/bench_table3_rtree_mbr.dir/bench_table3_rtree_mbr.cc.o.d"
+  "bench_table3_rtree_mbr"
+  "bench_table3_rtree_mbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rtree_mbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

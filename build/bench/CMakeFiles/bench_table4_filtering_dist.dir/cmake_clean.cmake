@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_filtering_dist.dir/bench_table4_filtering_dist.cc.o"
+  "CMakeFiles/bench_table4_filtering_dist.dir/bench_table4_filtering_dist.cc.o.d"
+  "bench_table4_filtering_dist"
+  "bench_table4_filtering_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_filtering_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

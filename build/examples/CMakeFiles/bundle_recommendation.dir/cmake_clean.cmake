@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_recommendation.dir/bundle_recommendation.cpp.o"
+  "CMakeFiles/bundle_recommendation.dir/bundle_recommendation.cpp.o.d"
+  "bundle_recommendation"
+  "bundle_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

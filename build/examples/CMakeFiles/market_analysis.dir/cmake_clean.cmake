@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_analysis.dir/market_analysis.cpp.o"
+  "CMakeFiles/market_analysis.dir/market_analysis.cpp.o.d"
+  "market_analysis"
+  "market_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

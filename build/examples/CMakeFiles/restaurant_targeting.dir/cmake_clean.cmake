@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_targeting.dir/restaurant_targeting.cpp.o"
+  "CMakeFiles/restaurant_targeting.dir/restaurant_targeting.cpp.o.d"
+  "restaurant_targeting"
+  "restaurant_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bbr.cc" "src/CMakeFiles/gir_baselines.dir/baselines/bbr.cc.o" "gcc" "src/CMakeFiles/gir_baselines.dir/baselines/bbr.cc.o.d"
+  "/root/repo/src/baselines/histogram.cc" "src/CMakeFiles/gir_baselines.dir/baselines/histogram.cc.o" "gcc" "src/CMakeFiles/gir_baselines.dir/baselines/histogram.cc.o.d"
+  "/root/repo/src/baselines/mpa.cc" "src/CMakeFiles/gir_baselines.dir/baselines/mpa.cc.o" "gcc" "src/CMakeFiles/gir_baselines.dir/baselines/mpa.cc.o.d"
+  "/root/repo/src/baselines/rta.cc" "src/CMakeFiles/gir_baselines.dir/baselines/rta.cc.o" "gcc" "src/CMakeFiles/gir_baselines.dir/baselines/rta.cc.o.d"
+  "/root/repo/src/baselines/tree_rank.cc" "src/CMakeFiles/gir_baselines.dir/baselines/tree_rank.cc.o" "gcc" "src/CMakeFiles/gir_baselines.dir/baselines/tree_rank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_baselines.dir/baselines/bbr.cc.o"
+  "CMakeFiles/gir_baselines.dir/baselines/bbr.cc.o.d"
+  "CMakeFiles/gir_baselines.dir/baselines/histogram.cc.o"
+  "CMakeFiles/gir_baselines.dir/baselines/histogram.cc.o.d"
+  "CMakeFiles/gir_baselines.dir/baselines/mpa.cc.o"
+  "CMakeFiles/gir_baselines.dir/baselines/mpa.cc.o.d"
+  "CMakeFiles/gir_baselines.dir/baselines/rta.cc.o"
+  "CMakeFiles/gir_baselines.dir/baselines/rta.cc.o.d"
+  "CMakeFiles/gir_baselines.dir/baselines/tree_rank.cc.o"
+  "CMakeFiles/gir_baselines.dir/baselines/tree_rank.cc.o.d"
+  "libgir_baselines.a"
+  "libgir_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

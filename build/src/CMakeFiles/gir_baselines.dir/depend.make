@@ -1,0 +1,2 @@
+# Empty dependencies file for gir_baselines.
+# This may be replaced when dependencies are built.

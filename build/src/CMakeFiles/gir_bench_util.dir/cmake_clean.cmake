@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_bench_util.dir/bench_util/table.cc.o"
+  "CMakeFiles/gir_bench_util.dir/bench_util/table.cc.o.d"
+  "CMakeFiles/gir_bench_util.dir/bench_util/timer.cc.o"
+  "CMakeFiles/gir_bench_util.dir/bench_util/timer.cc.o.d"
+  "CMakeFiles/gir_bench_util.dir/bench_util/workloads.cc.o"
+  "CMakeFiles/gir_bench_util.dir/bench_util/workloads.cc.o.d"
+  "libgir_bench_util.a"
+  "libgir_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

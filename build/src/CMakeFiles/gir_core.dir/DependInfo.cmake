@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/counters.cc" "src/CMakeFiles/gir_core.dir/core/counters.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/counters.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/gir_core.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/CMakeFiles/gir_core.dir/core/naive.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/naive.cc.o.d"
+  "/root/repo/src/core/rank.cc" "src/CMakeFiles/gir_core.dir/core/rank.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/rank.cc.o.d"
+  "/root/repo/src/core/simple_scan.cc" "src/CMakeFiles/gir_core.dir/core/simple_scan.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/simple_scan.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/gir_core.dir/core/status.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/status.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/CMakeFiles/gir_core.dir/core/thread_pool.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/thread_pool.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/CMakeFiles/gir_core.dir/core/topk.cc.o" "gcc" "src/CMakeFiles/gir_core.dir/core/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

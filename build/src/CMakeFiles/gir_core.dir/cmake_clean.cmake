@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_core.dir/core/counters.cc.o"
+  "CMakeFiles/gir_core.dir/core/counters.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/dataset.cc.o"
+  "CMakeFiles/gir_core.dir/core/dataset.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/naive.cc.o"
+  "CMakeFiles/gir_core.dir/core/naive.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/rank.cc.o"
+  "CMakeFiles/gir_core.dir/core/rank.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/simple_scan.cc.o"
+  "CMakeFiles/gir_core.dir/core/simple_scan.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/status.cc.o"
+  "CMakeFiles/gir_core.dir/core/status.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/thread_pool.cc.o"
+  "CMakeFiles/gir_core.dir/core/thread_pool.cc.o.d"
+  "CMakeFiles/gir_core.dir/core/topk.cc.o"
+  "CMakeFiles/gir_core.dir/core/topk.cc.o.d"
+  "libgir_core.a"
+  "libgir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

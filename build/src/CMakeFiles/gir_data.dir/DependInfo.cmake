@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/gir_data.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/gir_data.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/real_like.cc" "src/CMakeFiles/gir_data.dir/data/real_like.cc.o" "gcc" "src/CMakeFiles/gir_data.dir/data/real_like.cc.o.d"
+  "/root/repo/src/data/rng.cc" "src/CMakeFiles/gir_data.dir/data/rng.cc.o" "gcc" "src/CMakeFiles/gir_data.dir/data/rng.cc.o.d"
+  "/root/repo/src/data/weights.cc" "src/CMakeFiles/gir_data.dir/data/weights.cc.o" "gcc" "src/CMakeFiles/gir_data.dir/data/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_data.dir/data/generators.cc.o"
+  "CMakeFiles/gir_data.dir/data/generators.cc.o.d"
+  "CMakeFiles/gir_data.dir/data/real_like.cc.o"
+  "CMakeFiles/gir_data.dir/data/real_like.cc.o.d"
+  "CMakeFiles/gir_data.dir/data/rng.cc.o"
+  "CMakeFiles/gir_data.dir/data/rng.cc.o.d"
+  "CMakeFiles/gir_data.dir/data/weights.cc.o"
+  "CMakeFiles/gir_data.dir/data/weights.cc.o.d"
+  "libgir_data.a"
+  "libgir_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

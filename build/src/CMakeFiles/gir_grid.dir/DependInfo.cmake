@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/adaptive_grid.cc" "src/CMakeFiles/gir_grid.dir/grid/adaptive_grid.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/adaptive_grid.cc.o.d"
+  "/root/repo/src/grid/aggregate.cc" "src/CMakeFiles/gir_grid.dir/grid/aggregate.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/aggregate.cc.o.d"
+  "/root/repo/src/grid/approx_vector.cc" "src/CMakeFiles/gir_grid.dir/grid/approx_vector.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/approx_vector.cc.o.d"
+  "/root/repo/src/grid/bit_packed.cc" "src/CMakeFiles/gir_grid.dir/grid/bit_packed.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/bit_packed.cc.o.d"
+  "/root/repo/src/grid/gin_topk.cc" "src/CMakeFiles/gir_grid.dir/grid/gin_topk.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/gin_topk.cc.o.d"
+  "/root/repo/src/grid/gir_queries.cc" "src/CMakeFiles/gir_grid.dir/grid/gir_queries.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/gir_queries.cc.o.d"
+  "/root/repo/src/grid/grid_index.cc" "src/CMakeFiles/gir_grid.dir/grid/grid_index.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/grid_index.cc.o.d"
+  "/root/repo/src/grid/index_io.cc" "src/CMakeFiles/gir_grid.dir/grid/index_io.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/index_io.cc.o.d"
+  "/root/repo/src/grid/parallel_gir.cc" "src/CMakeFiles/gir_grid.dir/grid/parallel_gir.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/parallel_gir.cc.o.d"
+  "/root/repo/src/grid/partitioner.cc" "src/CMakeFiles/gir_grid.dir/grid/partitioner.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/partitioner.cc.o.d"
+  "/root/repo/src/grid/sparse_scan.cc" "src/CMakeFiles/gir_grid.dir/grid/sparse_scan.cc.o" "gcc" "src/CMakeFiles/gir_grid.dir/grid/sparse_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_grid.dir/grid/adaptive_grid.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/adaptive_grid.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/aggregate.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/aggregate.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/approx_vector.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/approx_vector.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/bit_packed.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/bit_packed.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/gin_topk.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/gin_topk.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/gir_queries.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/gir_queries.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/grid_index.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/grid_index.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/index_io.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/index_io.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/parallel_gir.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/parallel_gir.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/partitioner.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/partitioner.cc.o.d"
+  "CMakeFiles/gir_grid.dir/grid/sparse_scan.cc.o"
+  "CMakeFiles/gir_grid.dir/grid/sparse_scan.cc.o.d"
+  "libgir_grid.a"
+  "libgir_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

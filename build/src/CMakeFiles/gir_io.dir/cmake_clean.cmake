@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_io.dir/io/dataset_io.cc.o"
+  "CMakeFiles/gir_io.dir/io/dataset_io.cc.o.d"
+  "CMakeFiles/gir_io.dir/io/packed_io.cc.o"
+  "CMakeFiles/gir_io.dir/io/packed_io.cc.o.d"
+  "libgir_io.a"
+  "libgir_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/mbr.cc" "src/CMakeFiles/gir_rtree.dir/rtree/mbr.cc.o" "gcc" "src/CMakeFiles/gir_rtree.dir/rtree/mbr.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/gir_rtree.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/gir_rtree.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/rtree/rtree_stats.cc" "src/CMakeFiles/gir_rtree.dir/rtree/rtree_stats.cc.o" "gcc" "src/CMakeFiles/gir_rtree.dir/rtree/rtree_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gir_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_rtree.dir/rtree/mbr.cc.o"
+  "CMakeFiles/gir_rtree.dir/rtree/mbr.cc.o.d"
+  "CMakeFiles/gir_rtree.dir/rtree/rtree.cc.o"
+  "CMakeFiles/gir_rtree.dir/rtree/rtree.cc.o.d"
+  "CMakeFiles/gir_rtree.dir/rtree/rtree_stats.cc.o"
+  "CMakeFiles/gir_rtree.dir/rtree/rtree_stats.cc.o.d"
+  "libgir_rtree.a"
+  "libgir_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/dice.cc" "src/CMakeFiles/gir_stats.dir/stats/dice.cc.o" "gcc" "src/CMakeFiles/gir_stats.dir/stats/dice.cc.o.d"
+  "/root/repo/src/stats/model.cc" "src/CMakeFiles/gir_stats.dir/stats/model.cc.o" "gcc" "src/CMakeFiles/gir_stats.dir/stats/model.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/CMakeFiles/gir_stats.dir/stats/normal.cc.o" "gcc" "src/CMakeFiles/gir_stats.dir/stats/normal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_stats.dir/stats/dice.cc.o"
+  "CMakeFiles/gir_stats.dir/stats/dice.cc.o.d"
+  "CMakeFiles/gir_stats.dir/stats/model.cc.o"
+  "CMakeFiles/gir_stats.dir/stats/model.cc.o.d"
+  "CMakeFiles/gir_stats.dir/stats/normal.cc.o"
+  "CMakeFiles/gir_stats.dir/stats/normal.cc.o.d"
+  "libgir_stats.a"
+  "libgir_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgir_stats.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_ext_test.dir/grid_ext_test.cc.o"
+  "CMakeFiles/grid_ext_test.dir/grid_ext_test.cc.o.d"
+  "grid_ext_test"
+  "grid_ext_test.pdb"
+  "grid_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queries_core_test.dir/queries_core_test.cc.o"
+  "CMakeFiles/queries_core_test.dir/queries_core_test.cc.o.d"
+  "queries_core_test"
+  "queries_core_test.pdb"
+  "queries_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queries_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_cli.dir/gir_cli.cc.o"
+  "CMakeFiles/gir_cli.dir/gir_cli.cc.o.d"
+  "gir_cli"
+  "gir_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
