@@ -1,17 +1,28 @@
 // Micro-benchmarks (google-benchmark) of the scan kernels the paper's
 // cost argument rests on: a full inner product (d multiplications +
 // d additions) vs a grid upper-bound accumulation (d table lookups +
-// d additions) vs decoding a bit-packed approximate vector.
+// d additions) vs decoding a bit-packed approximate vector — plus a
+// head-to-head comparison of the weight-at-a-time scan against the
+// blocked, weight-batched engine (grid/blocked_scan.h), emitted as
+// machine-readable JSON before the registered micro-benchmarks run so the
+// perf trajectory can be tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
+#include "bench_util/timer.h"
+#include "bench_util/workloads.h"
+#include "core/simd.h"
 #include "data/generators.h"
 #include "data/weights.h"
 #include "grid/approx_vector.h"
 #include "grid/bit_packed.h"
+#include "grid/blocked_scan.h"
 #include "grid/bounds.h"
+#include "grid/gin_topk.h"
 #include "grid/gir_queries.h"
 
 namespace gir {
@@ -116,6 +127,25 @@ void BM_CellFmaBound(benchmark::State& state) {
 }
 BENCHMARK(BM_CellFmaBound)->Arg(6)->Arg(20)->Arg(50);
 
+// The blocked engine's SoA column kernel over one block of points: the
+// per-(weight, dimension) unit of work the batched scan is built from.
+void BM_SimdScaledColumn(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture(d);
+  const ApproxVectors& cells = f.index.point_cells();
+  ConstRow w = f.weights.row(0);
+  std::vector<double> acc(cells.column_stride(), 0.0);
+  for (auto _ : state) {
+    for (size_t i = 0; i < d; ++i) {
+      simd::AccumulateScaledBytes(cells.column(i), w[i], acc.data(),
+                                  kPoints);
+    }
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kPoints);
+}
+BENCHMARK(BM_SimdScaledColumn)->Arg(6)->Arg(20)->Arg(50);
+
 void BM_BitPackedDecode(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   Fixture& f = GetFixture(d);
@@ -143,7 +173,117 @@ void BM_GirReverseKRanks(benchmark::State& state) {
 }
 BENCHMARK(BM_GirReverseKRanks)->Arg(6)->Arg(20)->Arg(50);
 
+// ----------------------------------------------------------------------
+// Blocked vs weight-at-a-time head-to-head. Full rank computations (no
+// threshold, no Domin) for every weight against every point, so both
+// engines do identical classification work and the measured difference is
+// the scan engine itself: per-weight cell streaming + scalar bounds vs
+// blocked SoA streaming + SIMD bounds. Emits one JSON line per
+// configuration on stdout.
+
+struct ComparisonResult {
+  double baseline_s = 0.0;
+  double blocked_s = 0.0;
+};
+
+ComparisonResult RunComparison(const Dataset& points, const Dataset& weights,
+                               const GirIndex& index, ConstRow q) {
+  const size_t n = points.size();
+  const size_t m = weights.size();
+  const int64_t cap = static_cast<int64_t>(n) + 1;
+  ComparisonResult r;
+
+  std::vector<int64_t> baseline_ranks(m);
+  {
+    GinContext ctx{&points, &index.point_cells(), &index.grid(),
+                   index.options().bound_mode};
+    GinScratch scratch;
+    WallTimer timer;
+    for (size_t wi = 0; wi < m; ++wi) {
+      baseline_ranks[wi] =
+          GInTopK(ctx, weights.row(wi), index.weight_cells().row(wi), q, cap,
+                  nullptr, scratch);
+    }
+    r.baseline_s = timer.ElapsedMs() / 1000.0;
+  }
+
+  std::vector<int64_t> blocked_ranks(m);
+  {
+    BlockedScanner scanner(points, index.point_cells(), weights,
+                           index.weight_cells(), index.grid(),
+                           index.options().bound_mode);
+    BlockedScanner::QueryContext qctx;  // no Domin: equal work on both sides
+    BlockedScratch scratch;
+    std::vector<int64_t> thresholds;
+    WallTimer timer;
+    for (size_t begin = 0; begin < m; begin += scanner.weight_batch()) {
+      const size_t end = std::min(begin + scanner.weight_batch(), m);
+      thresholds.assign(end - begin, cap);
+      scanner.RankBatch(q, qctx, begin, end, thresholds.data(),
+                        blocked_ranks.data() + begin, scratch, nullptr);
+    }
+    r.blocked_s = timer.ElapsedMs() / 1000.0;
+  }
+
+  for (size_t wi = 0; wi < m; ++wi) {
+    if (baseline_ranks[wi] != blocked_ranks[wi]) {
+      std::fprintf(stderr,
+                   "FATAL: blocked rank mismatch at weight %zu (%lld vs "
+                   "%lld)\n",
+                   wi, static_cast<long long>(baseline_ranks[wi]),
+                   static_cast<long long>(blocked_ranks[wi]));
+      std::abort();
+    }
+  }
+  return r;
+}
+
+void EmitComparisonJson(BenchScale scale) {
+  const size_t n = scale == BenchScale::kSmoke ? 10'000 : 100'000;
+  const size_t m = scale == BenchScale::kSmoke ? 1'000 : 10'000;
+  for (size_t d : {size_t{8}, size_t{16}}) {
+    Dataset points = GenerateUniform(n, d, 71);
+    Dataset weights = GenerateWeightsUniform(m, d, 72);
+    GirOptions opts;
+    opts.use_domin = false;
+    GirIndex index = GirIndex::Build(points, weights, opts).value();
+    BlockedScanner scanner(points, index.point_cells(), weights,
+                           index.weight_cells(), index.grid(),
+                           opts.bound_mode);
+    const ComparisonResult r =
+        RunComparison(points, weights, index, points.row(0));
+    const double wp = static_cast<double>(n) * static_cast<double>(m);
+    // Cell bytes streamed per weight: the baseline re-reads the whole
+    // n×d cell matrix for every weight; the blocked engine reads each
+    // block once per batch of B weights.
+    const double bytes_base = static_cast<double>(n) * d;
+    const double bytes_blocked =
+        bytes_base / static_cast<double>(scanner.weight_batch());
+    std::printf(
+        "{\"bench\":\"blocked_vs_weight_at_a_time\",\"scale\":\"%s\","
+        "\"mode\":\"exact_weight_uniform\",\"d\":%zu,\"n\":%zu,"
+        "\"num_weights\":%zu,\"weight_batch\":%zu,\"block_points\":%zu,"
+        "\"isa\":\"%s\",\"baseline_s\":%.4f,\"blocked_s\":%.4f,"
+        "\"baseline_weight_points_per_sec\":%.3e,"
+        "\"blocked_weight_points_per_sec\":%.3e,\"speedup\":%.2f,"
+        "\"cell_bytes_streamed_per_weight_baseline\":%.0f,"
+        "\"cell_bytes_streamed_per_weight_blocked\":%.0f}\n",
+        BenchScaleName(scale), d, n, m, scanner.weight_batch(),
+        scanner.block_points(), simd::IsaName(),
+        r.baseline_s, r.blocked_s, wp / r.baseline_s, wp / r.blocked_s,
+        r.baseline_s / r.blocked_s, bytes_base, bytes_blocked);
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 }  // namespace gir
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gir::EmitComparisonJson(gir::ReadBenchScale());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,344 @@
+#include "core/simd.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GIR_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GIR_SIMD_X86 0
+#endif
+
+namespace gir {
+namespace simd {
+
+namespace {
+
+// ------------------------------------------------------------- portable
+
+// Plain loops over byte columns; the independent iterations and lack of
+// aliasing (distinct element types) let the autovectorizer handle the
+// convert-and-fma pattern.
+void ScaledBytesPortable(const uint8_t* cells, double scale, double* acc,
+                         size_t count) {
+  for (size_t j = 0; j < count; ++j) {
+    acc[j] += scale * static_cast<double>(cells[j]);
+  }
+}
+
+void LookupBoundsPortable(const uint8_t* cells, const double* tlo,
+                          const double* thi, double* lo, double* hi,
+                          size_t count) {
+  size_t j = 0;
+  // 4-way unroll: the loads are data-dependent gathers the vectorizer
+  // won't form, so expose ILP explicitly instead.
+  for (; j + 4 <= count; j += 4) {
+    const uint8_t c0 = cells[j], c1 = cells[j + 1];
+    const uint8_t c2 = cells[j + 2], c3 = cells[j + 3];
+    lo[j] += tlo[c0];
+    lo[j + 1] += tlo[c1];
+    lo[j + 2] += tlo[c2];
+    lo[j + 3] += tlo[c3];
+    hi[j] += thi[c0];
+    hi[j + 1] += thi[c1];
+    hi[j + 2] += thi[c2];
+    hi[j + 3] += thi[c3];
+  }
+  for (; j < count; ++j) {
+    lo[j] += tlo[cells[j]];
+    hi[j] += thi[cells[j]];
+  }
+}
+
+ClassifyCounts ClassifyPortable(const double* lo, const double* hi,
+                                double t_case1, double t_case2,
+                                const uint8_t* skip, size_t count,
+                                uint32_t* band, size_t* band_count) {
+  ClassifyCounts r;
+  size_t bc = *band_count;
+  for (size_t j = 0; j < count; ++j) {
+    if (skip != nullptr && skip[j] != 0) {
+      ++r.skipped;
+    } else if (hi[j] < t_case1) {
+      ++r.case1;
+    } else if (lo[j] >= t_case2) {
+      ++r.case2;
+    } else {
+      band[bc++] = static_cast<uint32_t>(j);
+    }
+  }
+  *band_count = bc;
+  return r;
+}
+
+// ----------------------------------------------------------------- avx2
+
+#if GIR_SIMD_X86
+
+__attribute__((target("avx2,fma"))) inline __m256d LoadCellsPd(
+    const uint8_t* p) {
+  uint32_t word;
+  std::memcpy(&word, p, sizeof(word));  // unaligned 4-byte load, no UB
+  const __m128i bytes = _mm_cvtsi32_si128(static_cast<int>(word));
+  return _mm256_cvtepi32_pd(_mm_cvtepu8_epi32(bytes));
+}
+
+__attribute__((target("avx2,fma"))) void ScaledBytesAvx2(const uint8_t* cells,
+                                                         double scale,
+                                                         double* acc,
+                                                         size_t count) {
+  const __m256d vs = _mm256_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m256d v0 = LoadCellsPd(cells + j);
+    const __m256d v1 = LoadCellsPd(cells + j + 4);
+    const __m256d a0 =
+        _mm256_fmadd_pd(vs, v0, _mm256_loadu_pd(acc + j));
+    const __m256d a1 =
+        _mm256_fmadd_pd(vs, v1, _mm256_loadu_pd(acc + j + 4));
+    _mm256_storeu_pd(acc + j, a0);
+    _mm256_storeu_pd(acc + j + 4, a1);
+  }
+  for (; j + 4 <= count; j += 4) {
+    const __m256d a =
+        _mm256_fmadd_pd(vs, LoadCellsPd(cells + j), _mm256_loadu_pd(acc + j));
+    _mm256_storeu_pd(acc + j, a);
+  }
+  for (; j < count; ++j) acc[j] += scale * static_cast<double>(cells[j]);
+}
+
+__attribute__((target("avx2,fma"))) void LookupBoundsAvx2(
+    const uint8_t* cells, const double* tlo, const double* thi, double* lo,
+    double* hi, size_t count) {
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    uint32_t word;
+    std::memcpy(&word, cells + j, sizeof(word));
+    const __m128i idx =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(word)));
+    const __m256d vlo = _mm256_i32gather_pd(tlo, idx, sizeof(double));
+    const __m256d vhi = _mm256_i32gather_pd(thi, idx, sizeof(double));
+    _mm256_storeu_pd(lo + j, _mm256_add_pd(_mm256_loadu_pd(lo + j), vlo));
+    _mm256_storeu_pd(hi + j, _mm256_add_pd(_mm256_loadu_pd(hi + j), vhi));
+  }
+  for (; j < count; ++j) {
+    lo[j] += tlo[cells[j]];
+    hi[j] += thi[cells[j]];
+  }
+}
+
+/// Bit i set iff skip[i] != 0, for `lanes` <= 8 bytes starting at `skip`.
+inline unsigned SkipMaskBits(const uint8_t* skip, size_t lanes) {
+  unsigned bits = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    bits |= (skip[i] != 0 ? 1u : 0u) << i;
+  }
+  return bits;
+}
+
+__attribute__((target("avx2"))) ClassifyCounts ClassifyAvx2(
+    const double* lo, const double* hi, double t_case1, double t_case2,
+    const uint8_t* skip, size_t count, uint32_t* band, size_t* band_count) {
+  ClassifyCounts r;
+  size_t bc = *band_count;
+  const __m256d vt1 = _mm256_set1_pd(t_case1);
+  const __m256d vt2 = _mm256_set1_pd(t_case2);
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    unsigned m1 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(hi + j), vt1, _CMP_LT_OQ)));
+    unsigned m2 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(lo + j), vt2, _CMP_GE_OQ)));
+    const unsigned ms = skip != nullptr ? SkipMaskBits(skip + j, 4) : 0u;
+    m1 &= ~ms;
+    m2 &= ~(ms | m1);
+    r.case1 += static_cast<uint64_t>(__builtin_popcount(m1));
+    r.case2 += static_cast<uint64_t>(__builtin_popcount(m2));
+    r.skipped += static_cast<uint64_t>(__builtin_popcount(ms));
+    unsigned refine = ~(m1 | m2 | ms) & 0xFu;
+    while (refine != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(refine));
+      refine &= refine - 1;
+      band[bc++] = static_cast<uint32_t>(j + bit);
+    }
+  }
+  for (; j < count; ++j) {
+    if (skip != nullptr && skip[j] != 0) {
+      ++r.skipped;
+    } else if (hi[j] < t_case1) {
+      ++r.case1;
+    } else if (lo[j] >= t_case2) {
+      ++r.case2;
+    } else {
+      band[bc++] = static_cast<uint32_t>(j);
+    }
+  }
+  *band_count = bc;
+  return r;
+}
+
+// --------------------------------------------------------------- avx512
+
+__attribute__((target("avx512f"))) void ScaledBytesAvx512(
+    const uint8_t* cells, double scale, double* acc, size_t count) {
+  const __m512d vs = _mm512_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 16 <= count; j += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cells + j));
+    const __m512i ints = _mm512_cvtepu8_epi32(bytes);
+    const __m512d v0 = _mm512_cvtepi32_pd(_mm512_castsi512_si256(ints));
+    const __m512d v1 =
+        _mm512_cvtepi32_pd(_mm512_extracti64x4_epi64(ints, 1));
+    _mm512_storeu_pd(acc + j,
+                     _mm512_fmadd_pd(vs, v0, _mm512_loadu_pd(acc + j)));
+    _mm512_storeu_pd(acc + j + 8,
+                     _mm512_fmadd_pd(vs, v1, _mm512_loadu_pd(acc + j + 8)));
+  }
+  for (; j < count; ++j) acc[j] += scale * static_cast<double>(cells[j]);
+}
+
+__attribute__((target("avx512f"))) void LookupBoundsAvx512(
+    const uint8_t* cells, const double* tlo, const double* thi, double* lo,
+    double* hi, size_t count) {
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    uint64_t word;
+    std::memcpy(&word, cells + j, sizeof(word));
+    const __m256i idx = _mm256_cvtepu8_epi32(
+        _mm_cvtsi64_si128(static_cast<long long>(word)));
+    const __m512d vlo = _mm512_i32gather_pd(idx, tlo, sizeof(double));
+    const __m512d vhi = _mm512_i32gather_pd(idx, thi, sizeof(double));
+    _mm512_storeu_pd(lo + j, _mm512_add_pd(_mm512_loadu_pd(lo + j), vlo));
+    _mm512_storeu_pd(hi + j, _mm512_add_pd(_mm512_loadu_pd(hi + j), vhi));
+  }
+  for (; j < count; ++j) {
+    lo[j] += tlo[cells[j]];
+    hi[j] += thi[cells[j]];
+  }
+}
+
+__attribute__((target("avx512f"))) ClassifyCounts ClassifyAvx512(
+    const double* lo, const double* hi, double t_case1, double t_case2,
+    const uint8_t* skip, size_t count, uint32_t* band, size_t* band_count) {
+  ClassifyCounts r;
+  size_t bc = *band_count;
+  const __m512d vt1 = _mm512_set1_pd(t_case1);
+  const __m512d vt2 = _mm512_set1_pd(t_case2);
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    unsigned m1 = _mm512_cmp_pd_mask(_mm512_loadu_pd(hi + j), vt1,
+                                     _CMP_LT_OQ);
+    unsigned m2 = _mm512_cmp_pd_mask(_mm512_loadu_pd(lo + j), vt2,
+                                     _CMP_GE_OQ);
+    const unsigned ms = skip != nullptr ? SkipMaskBits(skip + j, 8) : 0u;
+    m1 &= ~ms;
+    m2 &= ~(ms | m1);
+    r.case1 += static_cast<uint64_t>(__builtin_popcount(m1));
+    r.case2 += static_cast<uint64_t>(__builtin_popcount(m2));
+    r.skipped += static_cast<uint64_t>(__builtin_popcount(ms));
+    unsigned refine = ~(m1 | m2 | ms) & 0xFFu;
+    while (refine != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(refine));
+      refine &= refine - 1;
+      band[bc++] = static_cast<uint32_t>(j + bit);
+    }
+  }
+  for (; j < count; ++j) {
+    if (skip != nullptr && skip[j] != 0) {
+      ++r.skipped;
+    } else if (hi[j] < t_case1) {
+      ++r.case1;
+    } else if (lo[j] >= t_case2) {
+      ++r.case2;
+    } else {
+      band[bc++] = static_cast<uint32_t>(j);
+    }
+  }
+  *band_count = bc;
+  return r;
+}
+
+bool DetectAvx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+bool DetectAvx512() {
+  return DetectAvx2() && __builtin_cpu_supports("avx512f");
+}
+
+#else
+
+bool DetectAvx2() { return false; }
+bool DetectAvx512() { return false; }
+
+#endif  // GIR_SIMD_X86
+
+using ScaledFn = void (*)(const uint8_t*, double, double*, size_t);
+using LookupFn = void (*)(const uint8_t*, const double*, const double*,
+                          double*, double*, size_t);
+using ClassifyFn = ClassifyCounts (*)(const double*, const double*, double,
+                                      double, const uint8_t*, size_t,
+                                      uint32_t*, size_t*);
+
+struct Dispatch {
+  const char* isa;
+  bool avx2;
+  bool avx512;
+  ScaledFn scaled;
+  LookupFn lookup;
+  ClassifyFn classify;
+};
+
+Dispatch MakeDispatch() {
+#if GIR_SIMD_X86
+  if (DetectAvx512()) {
+    return Dispatch{"avx512",        true,
+                    true,            &ScaledBytesAvx512,
+                    &LookupBoundsAvx512, &ClassifyAvx512};
+  }
+  if (DetectAvx2()) {
+    return Dispatch{"avx2",          true,
+                    false,           &ScaledBytesAvx2,
+                    &LookupBoundsAvx2, &ClassifyAvx2};
+  }
+#endif
+  return Dispatch{"portable",        false,
+                  false,             &ScaledBytesPortable,
+                  &LookupBoundsPortable, &ClassifyPortable};
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = MakeDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+bool HasAvx2() { return GetDispatch().avx2; }
+
+bool HasAvx512() { return GetDispatch().avx512; }
+
+const char* IsaName() { return GetDispatch().isa; }
+
+void AccumulateScaledBytes(const uint8_t* cells, double scale, double* acc,
+                           size_t count) {
+  GetDispatch().scaled(cells, scale, acc, count);
+}
+
+void AccumulateLookupBounds(const uint8_t* cells, const double* tlo,
+                            const double* thi, double* lo, double* hi,
+                            size_t count) {
+  GetDispatch().lookup(cells, tlo, thi, lo, hi, count);
+}
+
+ClassifyCounts ClassifyBounds(const double* lo, const double* hi,
+                              double t_case1, double t_case2,
+                              const uint8_t* skip, size_t count,
+                              uint32_t* band, size_t* band_count) {
+  return GetDispatch().classify(lo, hi, t_case1, t_case2, skip, count, band,
+                                band_count);
+}
+
+}  // namespace simd
+}  // namespace gir

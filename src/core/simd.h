@@ -1,0 +1,71 @@
+#ifndef GIR_CORE_SIMD_H_
+#define GIR_CORE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gir {
+namespace simd {
+
+/// Vectorized kernels for the blocked GIR scan. The accumulation kernels
+/// operate on one dimension-column of the SoA cell matrix
+/// (ApproxVectors::column) and a contiguous run of `count` points, updating
+/// per-point double accumulators; the classification kernel then resolves a
+/// whole block of bounds against a weight's thresholds in one pass.
+///
+/// Three implementations sit behind each symbol:
+///   * a portable C++ loop written so -O2/-O3 autovectorizes it,
+///   * an AVX2+FMA specialization, and
+///   * an AVX-512F specialization (twice the lane width),
+/// selected once at startup via cpuid (x86-64, GCC/Clang target attribute)
+/// — no special build flags needed. All produce the same values up to
+/// floating-point summation order; the blocked scan classifies through a
+/// conservative BoundMargin slack, so the difference can never change a
+/// query result.
+
+/// True if the AVX2+FMA specializations are compiled in and this CPU
+/// supports them (also true when the AVX-512 path is selected).
+bool HasAvx2();
+
+/// True if the AVX-512F specializations are compiled in and selected.
+bool HasAvx512();
+
+/// Name of the dispatched implementation: "avx512", "avx2" or "portable".
+const char* IsaName();
+
+/// acc[j] += scale * cells[j] for j in [0, count). The uniform-grid
+/// kExactWeight bound kernel: one call per dimension with
+/// scale = w[i] * cell_width, making acc the lower bound directly.
+void AccumulateScaledBytes(const uint8_t* cells, double scale, double* acc,
+                           size_t count);
+
+/// lo[j] += tlo[cells[j]]; hi[j] += thi[cells[j]] for j in [0, count).
+/// The table-lookup bound kernel (2-D grid modes and adaptive grids):
+/// tlo/thi are this dimension's per-cell lower/upper contribution rows.
+void AccumulateLookupBounds(const uint8_t* cells, const double* tlo,
+                            const double* thi, double* lo, double* hi,
+                            size_t count);
+
+/// Tallies from one ClassifyBounds pass over a block.
+struct ClassifyCounts {
+  uint64_t case1 = 0;    ///< hi[j] < t_case1: certainly outranks q.
+  uint64_t case2 = 0;    ///< lo[j] >= t_case2: certainly does not.
+  uint64_t skipped = 0;  ///< skip[j] != 0 (dominated, pre-counted).
+};
+
+/// Classifies `count` points given their accumulated bounds. Case-1 points
+/// (hi[j] < t_case1) are counted; Case-2 points (lo[j] >= t_case2) are
+/// counted separately; everything else lands in `band` (local indices j,
+/// caller-sized to `count`) for exact refinement. `skip`, when non-null,
+/// marks points to ignore entirely. Case 1 takes precedence if the
+/// thresholds ever overlap. `lo` and `hi` may alias (uniform grids pass the
+/// same array with t_case1 pre-shifted by the bound gap).
+ClassifyCounts ClassifyBounds(const double* lo, const double* hi,
+                              double t_case1, double t_case2,
+                              const uint8_t* skip, size_t count,
+                              uint32_t* band, size_t* band_count);
+
+}  // namespace simd
+}  // namespace gir
+
+#endif  // GIR_CORE_SIMD_H_

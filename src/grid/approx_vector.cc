@@ -2,6 +2,19 @@
 
 namespace gir {
 
+ApproxVectors::ApproxVectors(size_t dim, std::vector<uint8_t> cells)
+    : dim_(dim), cells_(std::move(cells)) {
+  const size_t n = size();
+  column_stride_ = (n + kColumnPad - 1) / kColumnPad * kColumnPad;
+  soa_.assign(dim_ * column_stride_, 0);
+  for (size_t j = 0; j < n; ++j) {
+    const uint8_t* src = cells_.data() + j * dim_;
+    for (size_t i = 0; i < dim_; ++i) {
+      soa_[i * column_stride_ + j] = src[i];
+    }
+  }
+}
+
 ApproxVectors ApproxVectors::Build(const Dataset& dataset,
                                    const Partitioner& partitioner) {
   const size_t n = dataset.size();

@@ -12,11 +12,17 @@
 namespace gir {
 
 /// The approximate vectors P^(A) / W^(A) (§3.1): every dataset value
-/// replaced by its partition cell id. Stored as contiguous row-major bytes,
-/// the representation the GIR scan reads; the storage-optimized b-bit
-/// packing of §3.2 lives in grid/bit_packed.h.
+/// replaced by its partition cell id. Stored as contiguous row-major bytes
+/// (the representation the weight-at-a-time GIR scan reads) plus a
+/// transposed column-major (SoA) mirror built once at construction, which
+/// the blocked scan's SIMD kernels stream one dimension at a time. The
+/// storage-optimized b-bit packing of §3.2 lives in grid/bit_packed.h.
 class ApproxVectors {
  public:
+  /// Column stride rounding: columns are padded to a multiple of this many
+  /// entries (with cell 0) so vector kernels see aligned, whole blocks.
+  static constexpr size_t kColumnPad = 64;
+
   /// Quantizes every row of `dataset` through `partitioner`.
   static ApproxVectors Build(const Dataset& dataset,
                              const Partitioner& partitioner);
@@ -33,15 +39,32 @@ class ApproxVectors {
 
   std::span<const uint8_t> cells() const { return cells_; }
 
-  /// Bytes of the in-memory (1 byte per cell) representation.
+  /// SoA access: cells of dimension i for every vector, contiguous.
+  /// column(i)[j] == row(j)[i] for j < size(); entries [size(),
+  /// column_stride()) are zero padding.
+  const uint8_t* column(size_t i) const {
+    return soa_.data() + i * column_stride_;
+  }
+
+  /// Padded length of each SoA column (size() rounded up to kColumnPad).
+  size_t column_stride() const { return column_stride_; }
+
+  /// Bytes of the in-memory (1 byte per cell) row-major representation,
+  /// the quantity the paper's index-size accounting uses. The SoA mirror
+  /// doubles this; SoaMemoryBytes() reports it separately.
   size_t MemoryBytes() const { return cells_.size(); }
 
+  /// Bytes of the transposed (column-major) mirror used by the blocked
+  /// scan, including padding.
+  size_t SoaMemoryBytes() const { return soa_.size(); }
+
  private:
-  ApproxVectors(size_t dim, std::vector<uint8_t> cells)
-      : dim_(dim), cells_(std::move(cells)) {}
+  ApproxVectors(size_t dim, std::vector<uint8_t> cells);
 
   size_t dim_;
   std::vector<uint8_t> cells_;
+  size_t column_stride_ = 0;
+  std::vector<uint8_t> soa_;
 };
 
 }  // namespace gir

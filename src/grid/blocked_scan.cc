@@ -1,0 +1,292 @@
+#include "grid/blocked_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/simd.h"
+#include "grid/bounds.h"
+
+namespace gir {
+
+namespace {
+
+/// Local counter block flushed to QueryStats once per batch; keeps the hot
+/// loops free of pointer-chasing increments (same scheme as GInTopK's).
+struct LocalCounters {
+  uint64_t visited = 0;
+  uint64_t filtered = 0;
+  uint64_t refined = 0;
+  uint64_t dominated = 0;
+  uint64_t bound_evals = 0;
+  uint64_t inner_products = 0;
+
+  void FlushTo(QueryStats* stats, size_t d) const {
+    if (stats == nullptr) return;
+    stats->points_visited += visited;
+    stats->points_filtered += filtered;
+    stats->points_refined += refined;
+    stats->points_dominated += dominated;
+    stats->bound_evaluations += bound_evals;
+    stats->inner_products += inner_products;
+    stats->multiplications += inner_products * d;
+  }
+};
+
+size_t RoundDownTo(size_t v, size_t multiple) {
+  return v / multiple * multiple;
+}
+
+}  // namespace
+
+BlockedScanner::BlockedScanner(const Dataset& points,
+                               const ApproxVectors& point_cells,
+                               const Dataset& weights,
+                               const ApproxVectors& weight_cells,
+                               const GridIndex& grid, BoundMode bound_mode,
+                               BlockedScanConfig config)
+    : points_(&points),
+      point_cells_(&point_cells),
+      weights_(&weights),
+      weight_cells_(&weight_cells),
+      grid_(&grid),
+      mode_(bound_mode),
+      config_(config) {
+  const Partitioner& part = grid.point_partitioner();
+  uniform_fma_ = mode_ == BoundMode::kExactWeight && part.is_uniform();
+  cell_width_ = part.Boundary(1) - part.Boundary(0);
+  const size_t d = std::max<size_t>(1, points.dim());
+  size_t bp = config_.target_block_bytes / d;
+  bp = std::clamp<size_t>(bp, 256, 8192);
+  block_points_ = std::max(ApproxVectors::kColumnPad,
+                           RoundDownTo(bp, ApproxVectors::kColumnPad));
+  if (config_.weight_batch == 0) config_.weight_batch = 1;
+}
+
+BlockedScanner::QueryContext BlockedScanner::MakeQueryContext(
+    ConstRow q, bool use_domin) const {
+  QueryContext ctx;
+  if (!use_domin) return ctx;
+  const size_t n = points_->size();
+  const size_t d = points_->dim();
+  const Partitioner& part = grid_->point_partitioner();
+  std::vector<uint8_t> qc(d);
+  for (size_t i = 0; i < d; ++i) qc[i] = part.CellOf(q[i]);
+  ctx.dominated.assign(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    const uint8_t* pc = point_cells_->row(j);
+    bool may = true;
+    for (size_t i = 0; i < d; ++i) {
+      // pc[i] > qc[i] implies p[i] >= alpha[pc[i]] >= alpha[qc[i]+1] > q[i],
+      // so p cannot dominate q; the original row is never touched.
+      if (pc[i] > qc[i]) {
+        may = false;
+        break;
+      }
+    }
+    if (may && Dominates(points_->row(j), q)) {
+      ctx.dominated[j] = 1;
+      ++ctx.dominator_count;
+    }
+  }
+  return ctx;
+}
+
+void BlockedScanner::PrepareBatch(size_t w_begin, size_t w_end,
+                                  BlockedScratch& scratch) const {
+  const size_t batch = w_end - w_begin;
+  const size_t d = points_->dim();
+  scratch.bound_caps.resize(batch);
+  if (uniform_fma_) {
+    // Closed-form uniform bounds (DESIGN.md §8): L = cell_width * Σ w[i] *
+    // pc[i] and U = L + cell_width * Σ w[i]; only the per-weight gap needs
+    // precomputing. The bound cap — cell_width * Σ|w[i]| * n_p — dominates
+    // |L| and |U| for every point, so one margin per weight covers the
+    // whole scan.
+    const size_t np = grid_->point_partitioner().partitions();
+    scratch.gaps.resize(batch);
+    for (size_t bi = 0; bi < batch; ++bi) {
+      ConstRow w = weights_->row(w_begin + bi);
+      double sum = 0.0;
+      double abs_sum = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        sum += w[i];
+        abs_sum += std::fabs(w[i]);
+      }
+      scratch.gaps[bi] = cell_width_ * sum;
+      scratch.bound_caps[bi] =
+          std::fabs(cell_width_) * abs_sum * static_cast<double>(np);
+    }
+    return;
+  }
+  // Table modes: one lower and one upper row of length n_p per (weight,
+  // dimension), indexed by the point's cell. For the 2-D grid modes the
+  // rows are slices of the Grid table at the weight's cell; for adaptive
+  // kExactWeight they are the per-weight scaled boundary rows
+  // T[i][c] = w[i] * alpha_p[c].
+  const Partitioner& part = grid_->point_partitioner();
+  const size_t np = part.partitions();
+  scratch.tables.resize(batch * d * 2 * np);
+  for (size_t bi = 0; bi < batch; ++bi) {
+    double cap = 0.0;  // Σ_i max_c max(|tlo|, |thi|) >= any |bound|
+    for (size_t i = 0; i < d; ++i) {
+      double* tlo = scratch.tables.data() + ((bi * d + i) * 2) * np;
+      double* thi = tlo + np;
+      if (mode_ == BoundMode::kExactWeight) {
+        const double wi = weights_->row(w_begin + bi)[i];
+        for (size_t c = 0; c < np; ++c) {
+          tlo[c] = wi * part.Boundary(c);
+          thi[c] = wi * part.Boundary(c + 1);
+        }
+      } else {
+        const uint8_t wc = weight_cells_->row(w_begin + bi)[i];
+        const double* g = grid_->data();
+        const size_t stride = grid_->stride();
+        const size_t up_off = grid_->upper_offset();
+        for (size_t c = 0; c < np; ++c) {
+          tlo[c] = g[c * stride + wc];
+          thi[c] = g[c * stride + wc + up_off];
+        }
+      }
+      double dim_max = 0.0;
+      for (size_t c = 0; c < np; ++c) {
+        dim_max = std::max(dim_max, std::fabs(tlo[c]));
+        dim_max = std::max(dim_max, std::fabs(thi[c]));
+      }
+      cap += dim_max;
+    }
+    scratch.bound_caps[bi] = cap;
+  }
+}
+
+void BlockedScanner::RankPrepared(ConstRow q, const QueryContext& qctx,
+                                  size_t w_begin, size_t w_end,
+                                  const int64_t* thresholds, int64_t* ranks,
+                                  BlockedScratch& scratch,
+                                  QueryStats* stats) const {
+  const size_t batch = w_end - w_begin;
+  const size_t n = points_->size();
+  const size_t d = points_->dim();
+  const uint8_t* dominated =
+      qctx.dominated.empty() ? nullptr : qctx.dominated.data();
+  LocalCounters c;
+
+  scratch.query_scores.resize(batch);
+  scratch.case1_cut.resize(batch);
+  scratch.case2_cut.resize(batch);
+  scratch.rank_acc.resize(batch);
+  scratch.active.clear();
+  for (size_t bi = 0; bi < batch; ++bi) {
+    const Score qs = InnerProduct(weights_->row(w_begin + bi), q);
+    scratch.query_scores[bi] = qs;
+    ++c.inner_products;
+    // One margin per weight, taken at the per-weight bound cap from
+    // PrepareBatch. It is at least as wide as the serial scan's per-point
+    // margin, so Case-1/2 classifications stay sound; the (slightly wider)
+    // band refines through exact inner products either way, keeping
+    // results identical. Hoisting it lets a whole block classify against
+    // two constants. The uniform FMA path accumulates L and adds the
+    // constant gap, so the gap folds into the Case-1 threshold instead of
+    // into every point.
+    const Score margin = BoundMargin(d, qs, scratch.bound_caps[bi]);
+    scratch.case1_cut[bi] =
+        uniform_fma_ ? qs - margin - scratch.gaps[bi] : qs - margin;
+    scratch.case2_cut[bi] = qs + margin;
+    scratch.rank_acc[bi] = qctx.dominator_count;
+    if (qctx.dominator_count >= thresholds[bi]) {
+      ranks[bi] = kRankOverThreshold;
+    } else {
+      scratch.active.push_back(static_cast<uint32_t>(bi));
+    }
+  }
+
+  scratch.lower.resize(block_points_);
+  scratch.upper.resize(block_points_);
+  scratch.band.resize(block_points_);
+  const Partitioner& part = grid_->point_partitioner();
+  const size_t np = part.partitions();
+
+  for (size_t b0 = 0; b0 < n && !scratch.active.empty();
+       b0 += block_points_) {
+    const size_t bp = std::min(block_points_, n - b0);
+    size_t out = 0;
+    for (const uint32_t bi : scratch.active) {
+      ConstRow w = weights_->row(w_begin + bi);
+      const Score qs = scratch.query_scores[bi];
+      const int64_t threshold = thresholds[bi];
+
+      double* lo = scratch.lower.data();
+      double* hi = scratch.upper.data();
+      if (uniform_fma_) {
+        // Scaling by w[i] * cell_width makes the accumulator the lower
+        // bound itself (U differs by the constant gap already folded into
+        // the Case-1 cut).
+        std::memset(lo, 0, bp * sizeof(double));
+        for (size_t i = 0; i < d; ++i) {
+          simd::AccumulateScaledBytes(point_cells_->column(i) + b0,
+                                      w[i] * cell_width_, lo, bp);
+        }
+        hi = lo;
+      } else {
+        std::memset(lo, 0, bp * sizeof(double));
+        std::memset(hi, 0, bp * sizeof(double));
+        const double* tables = scratch.tables.data();
+        for (size_t i = 0; i < d; ++i) {
+          const double* tlo = tables + ((bi * d + i) * 2) * np;
+          simd::AccumulateLookupBounds(point_cells_->column(i) + b0, tlo,
+                                       tlo + np, lo, hi, bp);
+        }
+      }
+
+      size_t band_count = 0;
+      const simd::ClassifyCounts cls = simd::ClassifyBounds(
+          lo, hi, scratch.case1_cut[bi], scratch.case2_cut[bi],
+          dominated != nullptr ? dominated + b0 : nullptr, bp,
+          scratch.band.data(), &band_count);
+      c.dominated += cls.skipped;
+      c.visited += bp - cls.skipped;
+      c.bound_evals += (bp - cls.skipped) * (uniform_fma_ ? 1 : 2);
+      c.filtered += cls.case1 + cls.case2;
+
+      // Case-3 band: refine with the exact score, so the rank is exact.
+      // Ranks only grow, so crossing the threshold at any point in the
+      // block settles the weight as over — same verdict the per-point
+      // scan reaches, decided at block granularity.
+      int64_t rank =
+          scratch.rank_acc[bi] + static_cast<int64_t>(cls.case1);
+      bool over = rank >= threshold;
+      for (size_t t = 0; t < band_count && !over; ++t) {
+        const size_t gj = b0 + scratch.band[t];
+        ++c.refined;
+        ++c.inner_products;
+        if (InnerProduct(w, points_->row(gj)) < qs && ++rank >= threshold) {
+          over = true;
+        }
+      }
+
+      if (over) {
+        ranks[bi] = kRankOverThreshold;
+      } else {
+        scratch.rank_acc[bi] = rank;
+        scratch.active[out++] = bi;
+      }
+    }
+    scratch.active.resize(out);
+  }
+
+  for (const uint32_t bi : scratch.active) {
+    ranks[bi] = scratch.rank_acc[bi];
+  }
+  c.FlushTo(stats, d);
+}
+
+void BlockedScanner::RankBatch(ConstRow q, const QueryContext& qctx,
+                               size_t w_begin, size_t w_end,
+                               const int64_t* thresholds, int64_t* ranks,
+                               BlockedScratch& scratch,
+                               QueryStats* stats) const {
+  PrepareBatch(w_begin, w_end, scratch);
+  RankPrepared(q, qctx, w_begin, w_end, thresholds, ranks, scratch, stats);
+}
+
+}  // namespace gir

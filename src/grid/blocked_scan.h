@@ -1,0 +1,123 @@
+#ifndef GIR_GRID_BLOCKED_SCAN_H_
+#define GIR_GRID_BLOCKED_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/types.h"
+#include "grid/approx_vector.h"
+#include "grid/gin_topk.h"
+#include "grid/grid_index.h"
+
+namespace gir {
+
+/// Tuning knobs of the blocked scan engine. Defaults target a shared L2:
+/// a block's cell rows (block_points * d bytes) stay resident while a
+/// batch of weights is evaluated against them, so each point-cell byte is
+/// streamed from memory once per `weight_batch` weights instead of once
+/// per weight.
+struct BlockedScanConfig {
+  /// Weights evaluated per pass over a point block (B).
+  size_t weight_batch = 16;
+  /// Approximate bytes of point cells per block; the per-block point count
+  /// is derived as target_block_bytes / d, clamped and rounded to
+  /// ApproxVectors::kColumnPad.
+  size_t target_block_bytes = 32 * 1024;
+};
+
+/// Reusable buffers for BlockedScanner calls (the blocked analogue of
+/// GinScratch). Reuse across batches avoids per-batch allocation; the
+/// contents are rebuilt on entry.
+struct BlockedScratch {
+  std::vector<double> lower;         // per-point lower-bound accumulators
+  std::vector<double> upper;         // per-point upper-bound accumulators
+  std::vector<double> tables;        // per-(weight, dim) bound rows
+  std::vector<double> gaps;          // per-weight U-L gap (uniform grids)
+  std::vector<double> bound_caps;    // per-weight max |bound| (for margins)
+  std::vector<double> query_scores;  // per-weight f_w(q)
+  std::vector<double> case1_cut;     // per-weight Case-1 threshold on hi
+  std::vector<double> case2_cut;     // per-weight Case-2 threshold on lo
+  std::vector<int64_t> rank_acc;     // per-weight running rank
+  std::vector<uint32_t> active;      // batch slots still scanning
+  std::vector<uint32_t> band;        // Case-3 indices within one block
+};
+
+/// The weight-batched, cache-blocked GIR scan engine. Where GInTopK
+/// re-streams the whole n×d cell matrix for every weight, this engine
+/// inverts the loop nest: points are processed in L2-sized blocks and a
+/// batch of B weights is evaluated against each block before moving on.
+/// Bounds are accumulated by the SIMD kernels in core/simd.h over the SoA
+/// (column-major) cell mirror that ApproxVectors builds at index time.
+///
+/// Results are identical to the weight-at-a-time scan: classification uses
+/// a per-weight BoundMargin slack (grid/bounds.h) taken at a conservative
+/// bound magnitude, so it is at least as wide as the serial scan's
+/// per-point slack — Case-1/2 decisions stay sound and the (slightly
+/// larger) remainder is refined inline with exact inner products, so every
+/// returned rank is exactly rank(w, q). A weight whose running rank
+/// crosses its threshold
+/// is masked out of the batch (reported as kRankOverThreshold) without
+/// disturbing the other weights.
+///
+/// The scanner holds pointers only; the index components must outlive it.
+class BlockedScanner {
+ public:
+  BlockedScanner(const Dataset& points, const ApproxVectors& point_cells,
+                 const Dataset& weights, const ApproxVectors& weight_cells,
+                 const GridIndex& grid, BoundMode bound_mode,
+                 BlockedScanConfig config = {});
+
+  /// Per-query precomputed state shared by every weight batch: the full
+  /// dominator set of q (Algorithm 1's Domin), found in one O(n·d) pass
+  /// and amortized over all |W| scans. Dominated points are skipped by the
+  /// scan and pre-counted into every weight's rank — the same facts the
+  /// weight-at-a-time scan discovers incrementally.
+  struct QueryContext {
+    std::vector<uint8_t> dominated;  // 1 byte per point; empty if unused
+    int64_t dominator_count = 0;
+  };
+
+  QueryContext MakeQueryContext(ConstRow q, bool use_domin) const;
+
+  /// Builds the per-weight bound state for weights [w_begin, w_end) into
+  /// `scratch` (lookup rows for table modes, U-L gaps for uniform
+  /// kExactWeight). Split from RankPrepared so multi-query entry points
+  /// amortize it across queries.
+  void PrepareBatch(size_t w_begin, size_t w_end,
+                    BlockedScratch& scratch) const;
+
+  /// Computes rank(w, q) for each prepared weight. ranks[i] receives the
+  /// exact rank of weight w_begin+i if it is < thresholds[i], otherwise
+  /// kRankOverThreshold — the same contract as GInTopK. Requires a
+  /// preceding PrepareBatch(w_begin, w_end, scratch).
+  void RankPrepared(ConstRow q, const QueryContext& qctx, size_t w_begin,
+                    size_t w_end, const int64_t* thresholds, int64_t* ranks,
+                    BlockedScratch& scratch, QueryStats* stats) const;
+
+  /// PrepareBatch + RankPrepared in one call (the single-query path).
+  void RankBatch(ConstRow q, const QueryContext& qctx, size_t w_begin,
+                 size_t w_end, const int64_t* thresholds, int64_t* ranks,
+                 BlockedScratch& scratch, QueryStats* stats) const;
+
+  size_t weight_batch() const { return config_.weight_batch; }
+  size_t block_points() const { return block_points_; }
+
+ private:
+  const Dataset* points_;
+  const ApproxVectors* point_cells_;
+  const Dataset* weights_;
+  const ApproxVectors* weight_cells_;
+  const GridIndex* grid_;
+  BoundMode mode_;
+  BlockedScanConfig config_;
+  size_t block_points_;
+  bool uniform_fma_;    // kExactWeight on a uniform partitioner: FMA kernel
+  double cell_width_;   // uniform grids: alpha[1] - alpha[0]
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_BLOCKED_SCAN_H_

@@ -1,8 +1,10 @@
 #ifndef GIR_GRID_BOUNDS_H_
 #define GIR_GRID_BOUNDS_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #include "core/types.h"
 #include "grid/grid_index.h"
@@ -52,6 +54,20 @@ inline BoundCase ClassifyBounds(Score lower, Score upper, Score query_score) {
   if (upper < query_score) return BoundCase::kPrecedesQuery;
   if (lower >= query_score) return BoundCase::kExceedsQuery;
   return BoundCase::kIncomparable;
+}
+
+/// Accumulated-rounding margin for bound classification, shared by every
+/// scan engine (weight-at-a-time and blocked). The bounds are sums of d
+/// rounded terms, possibly in a different order than the exact score's, so
+/// a computed bound can stray ~d*eps*magnitude from its real value.
+/// Classifying only outside this margin keeps Case 1/2 sound; the
+/// borderline sliver falls into Case 3 and is refined with the exact
+/// score, preserving bit-exact agreement with the oracle (DESIGN.md §2) no
+/// matter how the accumulation was ordered or vectorized.
+inline Score BoundMargin(size_t d, Score query_score, Score bound) {
+  constexpr double kEps = 16.0 * std::numeric_limits<double>::epsilon();
+  const double scale = std::fabs(query_score) + std::fabs(bound);
+  return kEps * static_cast<double>(d) * scale;
 }
 
 }  // namespace gir

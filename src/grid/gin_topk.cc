@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "grid/bounds.h"
+
 namespace gir {
 
 namespace {
@@ -46,18 +48,6 @@ bool MayDominateByCells(const uint8_t* pc, const uint8_t* qc, size_t d) {
     if (pc[i] > qc[i]) return false;
   }
   return true;
-}
-
-/// Accumulated-rounding margin for bound classification. The bounds are
-/// sums of d rounded terms, possibly in a different order than the exact
-/// score's, so a computed bound can stray ~d*eps*magnitude from its real
-/// value. Classifying only outside this margin keeps Case 1/2 sound; the
-/// borderline sliver falls into Case 3 and is refined with the exact
-/// score, preserving bit-exact agreement with the oracle (DESIGN.md §2).
-inline Score BoundMargin(size_t d, Score query_score, Score bound) {
-  constexpr double kEps = 16.0 * std::numeric_limits<double>::epsilon();
-  const double scale = std::fabs(query_score) + std::fabs(bound);
-  return kEps * static_cast<double>(d) * scale;
 }
 
 /// The paper's Algorithm 1: both sides quantized through the 2-D grid;

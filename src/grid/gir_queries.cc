@@ -5,7 +5,37 @@
 #include <utility>
 #include <vector>
 
+#include "grid/blocked_scan.h"
+
 namespace gir {
+
+namespace {
+
+/// Iterates weight batches of the scanner's batch width over [0, total),
+/// invoking fn(begin, end) for each.
+template <typename Fn>
+void ForEachWeightBatch(size_t total, size_t batch, Fn&& fn) {
+  for (size_t begin = 0; begin < total; begin += batch) {
+    fn(begin, std::min(begin + batch, total));
+  }
+}
+
+/// Pushes one RKR candidate through the shared (rank, id) max-heap logic.
+/// Identical to the sequential weight-at-a-time update, so blocked and
+/// serial engines keep bit-identical heaps when fed in id order.
+void PushRankedWeight(std::vector<RankedWeight>& heap, size_t k,
+                      RankedWeight entry) {
+  if (heap.size() < k) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (entry < heap.front()) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = entry;
+    std::push_heap(heap.begin(), heap.end());
+  }
+}
+
+}  // namespace
 
 GirIndex::GirIndex(const Dataset& points, const Dataset& weights,
                    GridIndex grid, ApproxVectors point_cells,
@@ -109,6 +139,9 @@ Result<GirIndex> GirIndex::Assemble(const Dataset& points,
 
 ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
                                         QueryStats* stats) const {
+  if (options_.scan_mode == ScanMode::kBlocked) {
+    return BlockedReverseTopK(q, k, stats);
+  }
   GinContext ctx{points_, &point_cells_, &grid_, options_.bound_mode};
   DominBuffer domin(points_->size());
   DominBuffer* domin_ptr = options_.use_domin ? &domin : nullptr;
@@ -123,7 +156,9 @@ ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
     }
     if (domin_ptr != nullptr && domin_ptr->count() >= threshold) {
       // Algorithm 2 lines 7-8: k dominating points place q outside every
-      // preference's top-k.
+      // preference's top-k. Weights i+1.. were never evaluated, so the
+      // stats reflect only the i+1 scans that actually ran.
+      if (stats != nullptr) stats->weights_evaluated += i + 1;
       return {};
     }
   }
@@ -131,8 +166,44 @@ ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
   return result;
 }
 
+ReverseTopKResult GirIndex::BlockedReverseTopK(ConstRow q, size_t k,
+                                               QueryStats* stats) const {
+  BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
+                         grid_, options_.bound_mode);
+  const BlockedScanner::QueryContext qctx =
+      scanner.MakeQueryContext(q, options_.use_domin);
+  const int64_t threshold = static_cast<int64_t>(k);
+  if (options_.use_domin && qctx.dominator_count >= threshold) {
+    // Algorithm 2 lines 7-8, decided upfront: the dominator pass found
+    // >= k points dominating q, so no weight retains it. No weights were
+    // evaluated.
+    return {};
+  }
+  BlockedScratch scratch;
+  std::vector<int64_t> thresholds;
+  std::vector<int64_t> ranks;
+  ReverseTopKResult result;
+  ForEachWeightBatch(
+      weights_->size(), scanner.weight_batch(), [&](size_t begin, size_t end) {
+        thresholds.assign(end - begin, threshold);
+        ranks.resize(end - begin);
+        scanner.RankBatch(q, qctx, begin, end, thresholds.data(),
+                          ranks.data(), scratch, stats);
+        for (size_t i = 0; i < end - begin; ++i) {
+          if (ranks[i] != kRankOverThreshold) {
+            result.push_back(static_cast<VectorId>(begin + i));
+          }
+        }
+      });
+  if (stats != nullptr) stats->weights_evaluated += weights_->size();
+  return result;
+}
+
 ReverseKRanksResult GirIndex::ReverseKRanks(ConstRow q, size_t k,
                                             QueryStats* stats) const {
+  if (options_.scan_mode == ScanMode::kBlocked) {
+    return BlockedReverseKRanks(q, k, stats);
+  }
   GinContext ctx{points_, &point_cells_, &grid_, options_.bound_mode};
   DominBuffer domin(points_->size());
   DominBuffer* domin_ptr = options_.use_domin ? &domin : nullptr;
@@ -162,6 +233,142 @@ ReverseKRanksResult GirIndex::ReverseKRanks(ConstRow q, size_t k,
   if (stats != nullptr) stats->weights_evaluated += weights_->size();
   std::sort(heap.begin(), heap.end());
   return heap;
+}
+
+ReverseKRanksResult GirIndex::BlockedReverseKRanks(ConstRow q, size_t k,
+                                                   QueryStats* stats) const {
+  if (k == 0 || weights_->empty()) return {};
+  BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
+                         grid_, options_.bound_mode);
+  const BlockedScanner::QueryContext qctx =
+      scanner.MakeQueryContext(q, options_.use_domin);
+  BlockedScratch scratch;
+  std::vector<int64_t> thresholds;
+  std::vector<int64_t> ranks;
+  std::vector<RankedWeight> heap;
+  heap.reserve(k + 1);
+  const int64_t no_threshold = static_cast<int64_t>(points_->size()) + 1;
+  ForEachWeightBatch(
+      weights_->size(), scanner.weight_batch(), [&](size_t begin, size_t end) {
+        // The heap bound refreshes at batch granularity instead of per
+        // weight. A looser (stale) threshold only turns some
+        // over-threshold verdicts into exact ranks; the heap update below
+        // rejects exactly the entries the per-weight threshold would have
+        // pruned, so the final heap is bit-identical to the serial scan's.
+        const int64_t threshold =
+            heap.size() == k ? heap.front().rank : no_threshold;
+        thresholds.assign(end - begin, threshold);
+        ranks.resize(end - begin);
+        scanner.RankBatch(q, qctx, begin, end, thresholds.data(),
+                          ranks.data(), scratch, stats);
+        for (size_t i = 0; i < end - begin; ++i) {
+          if (ranks[i] == kRankOverThreshold) continue;
+          PushRankedWeight(heap, k,
+                           RankedWeight{static_cast<VectorId>(begin + i),
+                                        ranks[i]});
+        }
+      });
+  if (stats != nullptr) stats->weights_evaluated += weights_->size();
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+std::vector<ReverseTopKResult> GirIndex::ReverseTopKBatch(
+    const Dataset& queries, size_t k, QueryStats* stats) const {
+  const size_t num_queries = queries.size();
+  std::vector<ReverseTopKResult> results(num_queries);
+  if (num_queries == 0) return results;
+  BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
+                         grid_, options_.bound_mode);
+  const int64_t threshold = static_cast<int64_t>(k);
+
+  std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
+  std::vector<uint8_t> alive(num_queries, 1);
+  size_t alive_count = 0;
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    qctxs[qi] = scanner.MakeQueryContext(queries.row(qi), options_.use_domin);
+    if (options_.use_domin && qctxs[qi].dominator_count >= threshold) {
+      alive[qi] = 0;  // >= k dominators: empty answer, no scans needed
+    } else {
+      ++alive_count;
+    }
+  }
+  if (alive_count == 0) return results;
+
+  BlockedScratch scratch;
+  std::vector<int64_t> thresholds;
+  std::vector<int64_t> ranks;
+  ForEachWeightBatch(
+      weights_->size(), scanner.weight_batch(), [&](size_t begin, size_t end) {
+        // One table build per weight batch serves every query — the
+        // amortization the batched entry point exists for.
+        scanner.PrepareBatch(begin, end, scratch);
+        for (size_t qi = 0; qi < num_queries; ++qi) {
+          if (alive[qi] == 0) continue;
+          thresholds.assign(end - begin, threshold);
+          ranks.resize(end - begin);
+          scanner.RankPrepared(queries.row(qi), qctxs[qi], begin, end,
+                               thresholds.data(), ranks.data(), scratch,
+                               stats);
+          for (size_t i = 0; i < end - begin; ++i) {
+            if (ranks[i] != kRankOverThreshold) {
+              results[qi].push_back(static_cast<VectorId>(begin + i));
+            }
+          }
+        }
+      });
+  if (stats != nullptr) {
+    stats->weights_evaluated += weights_->size() * alive_count;
+  }
+  return results;
+}
+
+std::vector<ReverseKRanksResult> GirIndex::ReverseKRanksBatch(
+    const Dataset& queries, size_t k, QueryStats* stats) const {
+  const size_t num_queries = queries.size();
+  std::vector<ReverseKRanksResult> results(num_queries);
+  if (num_queries == 0 || k == 0 || weights_->empty()) return results;
+  BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
+                         grid_, options_.bound_mode);
+  std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    qctxs[qi] = scanner.MakeQueryContext(queries.row(qi), options_.use_domin);
+  }
+  std::vector<std::vector<RankedWeight>> heaps(num_queries);
+  for (auto& heap : heaps) heap.reserve(k + 1);
+  const int64_t no_threshold = static_cast<int64_t>(points_->size()) + 1;
+
+  BlockedScratch scratch;
+  std::vector<int64_t> thresholds;
+  std::vector<int64_t> ranks;
+  ForEachWeightBatch(
+      weights_->size(), scanner.weight_batch(), [&](size_t begin, size_t end) {
+        scanner.PrepareBatch(begin, end, scratch);
+        for (size_t qi = 0; qi < num_queries; ++qi) {
+          std::vector<RankedWeight>& heap = heaps[qi];
+          const int64_t threshold =
+              heap.size() == k ? heap.front().rank : no_threshold;
+          thresholds.assign(end - begin, threshold);
+          ranks.resize(end - begin);
+          scanner.RankPrepared(queries.row(qi), qctxs[qi], begin, end,
+                               thresholds.data(), ranks.data(), scratch,
+                               stats);
+          for (size_t i = 0; i < end - begin; ++i) {
+            if (ranks[i] == kRankOverThreshold) continue;
+            PushRankedWeight(heap, k,
+                             RankedWeight{static_cast<VectorId>(begin + i),
+                                          ranks[i]});
+          }
+        }
+      });
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    std::sort(heaps[qi].begin(), heaps[qi].end());
+    results[qi] = std::move(heaps[qi]);
+  }
+  if (stats != nullptr) {
+    stats->weights_evaluated += weights_->size() * num_queries;
+  }
+  return results;
 }
 
 size_t GirIndex::MemoryBytes() const {

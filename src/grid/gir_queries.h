@@ -14,6 +14,19 @@
 
 namespace gir {
 
+/// How GirIndex executes a query's scan over (W × P).
+enum class ScanMode {
+  /// One GInTopK pass over all of P per weight (the paper's loop nest).
+  kWeightAtATime,
+  /// Weight-batched, cache-blocked engine (grid/blocked_scan.h): points
+  /// are processed in L2-sized blocks and a batch of weights is evaluated
+  /// against each block with the SIMD bound kernels, so each point-cell
+  /// byte is streamed once per batch instead of once per weight. Results
+  /// are identical to kWeightAtATime on every tie-breaking convention in
+  /// DESIGN.md §2.
+  kBlocked,
+};
+
 /// Construction options for GirIndex. Defaults are the paper's defaults
 /// (Table 5: n = 32; Algorithm 1's upper-bound-first evaluation with the
 /// shared Domin buffer).
@@ -30,6 +43,12 @@ struct GirOptions {
   /// Maintain the cross-weight dominance buffer (Algorithm 1's Domin).
   /// Disabled only by the ablation bench.
   bool use_domin = true;
+  /// Scan engine for ReverseTopK / ReverseKRanks (and their parallel
+  /// drivers). Default keeps the paper-faithful weight-at-a-time loop; the
+  /// batched multi-query entry points always use the blocked engine.
+  /// Not persisted by grid/index_io (it is an execution knob, not index
+  /// state); loaded indexes start at the default.
+  ScanMode scan_mode = ScanMode::kWeightAtATime;
 };
 
 /// GIR — the paper's Grid-index reverse rank query processor. Owns the
@@ -76,6 +95,19 @@ class GirIndex {
   ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
                                     QueryStats* stats = nullptr) const;
 
+  /// Batched reverse top-k: answers one query per row of `queries`
+  /// (each of width dim()) in a single blocked pass over W, amortizing
+  /// the per-weight-batch bound tables across all queries — the shape a
+  /// serving loop draining a request queue needs. results[i] equals
+  /// ReverseTopK(queries.row(i), k). Always uses the blocked engine.
+  std::vector<ReverseTopKResult> ReverseTopKBatch(
+      const Dataset& queries, size_t k, QueryStats* stats = nullptr) const;
+
+  /// Batched reverse k-ranks; results[i] equals
+  /// ReverseKRanks(queries.row(i), k).
+  std::vector<ReverseKRanksResult> ReverseKRanksBatch(
+      const Dataset& queries, size_t k, QueryStats* stats = nullptr) const;
+
   const Dataset& points() const { return *points_; }
   const Dataset& weights() const { return *weights_; }
   const GridIndex& grid() const { return grid_; }
@@ -93,6 +125,12 @@ class GirIndex {
   GirIndex(const Dataset& points, const Dataset& weights, GridIndex grid,
            ApproxVectors point_cells, ApproxVectors weight_cells,
            GirOptions options);
+
+  /// ScanMode::kBlocked implementations (grid/blocked_scan.h engine).
+  ReverseTopKResult BlockedReverseTopK(ConstRow q, size_t k,
+                                       QueryStats* stats) const;
+  ReverseKRanksResult BlockedReverseKRanks(ConstRow q, size_t k,
+                                           QueryStats* stats) const;
 
   const Dataset* points_;
   const Dataset* weights_;

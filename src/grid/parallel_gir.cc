@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/domin.h"
+#include "grid/blocked_scan.h"
 #include "grid/gin_topk.h"
 
 namespace gir {
@@ -28,11 +29,140 @@ size_t StripeGrain(size_t total, size_t threads) {
   return std::max<size_t>(1, (total + target_stripes - 1) / target_stripes);
 }
 
+/// Stripe grain for the blocked engine: a whole number of weight batches,
+/// so every stripe runs full-width batches against each point block.
+size_t BatchStripeGrain(size_t total, size_t threads, size_t batch) {
+  const size_t grain = StripeGrain(total, threads);
+  return (grain + batch - 1) / batch * batch;
+}
+
+ReverseTopKResult ParallelBlockedReverseTopK(const GirIndex& index,
+                                             ConstRow q, size_t k,
+                                             ThreadPool& pool,
+                                             QueryStats* stats) {
+  const Dataset& weights = index.weights();
+  const int64_t threshold = static_cast<int64_t>(k);
+  BlockedScanner scanner(index.points(), index.point_cells(), weights,
+                         index.weight_cells(), index.grid(),
+                         index.options().bound_mode);
+  // The dominator pass runs once, serially; every stripe shares the
+  // read-only context. With the full dominator set known upfront, the
+  // >= k abort is decided before any weight is scanned.
+  const BlockedScanner::QueryContext qctx =
+      scanner.MakeQueryContext(q, index.options().use_domin);
+  if (index.options().use_domin && qctx.dominator_count >= threshold) {
+    return {};
+  }
+
+  std::mutex merge_mutex;
+  ReverseTopKResult result;
+  pool.ParallelFor(
+      0, weights.size(),
+      BatchStripeGrain(weights.size(), pool.thread_count(),
+                       scanner.weight_batch()),
+      [&](size_t begin, size_t end) {
+        BlockedScratch scratch;
+        std::vector<int64_t> thresholds;
+        std::vector<int64_t> ranks;
+        QueryStats local_stats;
+        ReverseTopKResult local;
+        for (size_t b = begin; b < end; b += scanner.weight_batch()) {
+          const size_t e = std::min(b + scanner.weight_batch(), end);
+          thresholds.assign(e - b, threshold);
+          ranks.resize(e - b);
+          scanner.RankBatch(q, qctx, b, e, thresholds.data(), ranks.data(),
+                            scratch, stats != nullptr ? &local_stats : nullptr);
+          for (size_t i = 0; i < e - b; ++i) {
+            if (ranks[i] != kRankOverThreshold) {
+              local.push_back(static_cast<VectorId>(b + i));
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.insert(result.end(), local.begin(), local.end());
+        if (stats != nullptr) *stats += local_stats;
+      });
+
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+ReverseKRanksResult ParallelBlockedReverseKRanks(const GirIndex& index,
+                                                 ConstRow q, size_t k,
+                                                 ThreadPool& pool,
+                                                 QueryStats* stats) {
+  const Dataset& points = index.points();
+  const Dataset& weights = index.weights();
+  BlockedScanner scanner(points, index.point_cells(), weights,
+                         index.weight_cells(), index.grid(),
+                         index.options().bound_mode);
+  const BlockedScanner::QueryContext qctx =
+      scanner.MakeQueryContext(q, index.options().use_domin);
+
+  // Shared monotone bound on the final k-th rank, as in the
+  // weight-at-a-time parallel driver; refreshed at batch granularity. The
+  // +1 keeps rank-tying entries alive for the (rank, id) merge.
+  const int64_t no_bound = static_cast<int64_t>(points.size());
+  std::atomic<int64_t> global_bound{no_bound};
+
+  std::mutex merge_mutex;
+  std::vector<RankedWeight> merged;
+  pool.ParallelFor(
+      0, weights.size(),
+      BatchStripeGrain(weights.size(), pool.thread_count(),
+                       scanner.weight_batch()),
+      [&](size_t begin, size_t end) {
+        BlockedScratch scratch;
+        std::vector<int64_t> thresholds;
+        std::vector<int64_t> ranks;
+        QueryStats local_stats;
+        std::vector<RankedWeight> heap;
+        heap.reserve(k + 1);
+        for (size_t b = begin; b < end; b += scanner.weight_batch()) {
+          const size_t e = std::min(b + scanner.weight_batch(), end);
+          const int64_t shared = global_bound.load(std::memory_order_relaxed);
+          const int64_t local_cap =
+              heap.size() == k ? heap.front().rank : no_bound;
+          const int64_t threshold = std::min(shared, local_cap) + 1;
+          thresholds.assign(e - b, threshold);
+          ranks.resize(e - b);
+          scanner.RankBatch(q, qctx, b, e, thresholds.data(), ranks.data(),
+                            scratch, stats != nullptr ? &local_stats : nullptr);
+          for (size_t i = 0; i < e - b; ++i) {
+            if (ranks[i] == kRankOverThreshold) continue;
+            RankedWeight entry{static_cast<VectorId>(b + i), ranks[i]};
+            if (heap.size() < k) {
+              heap.push_back(entry);
+              std::push_heap(heap.begin(), heap.end());
+            } else if (entry < heap.front()) {
+              std::pop_heap(heap.begin(), heap.end());
+              heap.back() = entry;
+              std::push_heap(heap.begin(), heap.end());
+            }
+          }
+          if (heap.size() == k) AtomicMin(global_bound, heap.front().rank);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        merged.insert(merged.end(), heap.begin(), heap.end());
+        if (stats != nullptr) *stats += local_stats;
+      });
+
+  if (stats != nullptr) stats->weights_evaluated += weights.size();
+  const size_t take = std::min(k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + take, merged.end());
+  merged.resize(take);
+  return merged;
+}
+
 }  // namespace
 
 ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
                                       size_t k, ThreadPool& pool,
                                       QueryStats* stats) {
+  if (index.options().scan_mode == ScanMode::kBlocked) {
+    return ParallelBlockedReverseTopK(index, q, k, pool, stats);
+  }
   const Dataset& points = index.points();
   const Dataset& weights = index.weights();
   const int64_t threshold = static_cast<int64_t>(k);
@@ -58,6 +188,9 @@ ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
               GInTopK(ctx, weights.row(i), index.weight_cells().row(i), q,
                       threshold, domin_ptr, scratch,
                       stats != nullptr ? &local_stats : nullptr);
+          // Counted per weight (not per stripe) so aborted queries report
+          // the scans that actually ran.
+          local_stats.weights_evaluated += 1;
           if (rank != kRankOverThreshold) {
             local.push_back(static_cast<VectorId>(i));
           }
@@ -74,7 +207,6 @@ ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
       });
 
   if (abort_empty.load(std::memory_order_relaxed)) return {};
-  if (stats != nullptr) stats->weights_evaluated += weights.size();
   std::sort(result.begin(), result.end());
   return result;
 }
@@ -85,6 +217,9 @@ ReverseKRanksResult ParallelReverseKRanks(const GirIndex& index, ConstRow q,
   const Dataset& points = index.points();
   const Dataset& weights = index.weights();
   if (k == 0 || weights.empty()) return {};
+  if (index.options().scan_mode == ScanMode::kBlocked) {
+    return ParallelBlockedReverseKRanks(index, q, k, pool, stats);
+  }
   GinContext ctx{&points, &index.point_cells(), &index.grid(),
                  index.options().bound_mode};
 
