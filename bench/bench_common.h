@@ -1,9 +1,12 @@
 #ifndef GIR_BENCH_BENCH_COMMON_H_
 #define GIR_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/bbr.h"
@@ -53,6 +56,99 @@ double AvgRkrMs(const Algo& algo, const Dataset& points,
   for (size_t qi : queries) algo.ReverseKRanks(points.row(qi), k, stats);
   return timer.ElapsedMs() / static_cast<double>(queries.size());
 }
+
+/// One machine-readable benchmark record, serialized as a single-line JSON
+/// object with keys in insertion order — the same shape as the lines
+/// bench_micro_kernels prints (snake_case keys; "bench" and "scale"
+/// first).
+class JsonRecord {
+ public:
+  JsonRecord(const std::string& bench, BenchScale scale) {
+    Add("bench", bench);
+    Add("scale", BenchScaleName(scale));
+  }
+
+  JsonRecord& Add(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + Escape(value) + "\"");
+  }
+  JsonRecord& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonRecord& Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonRecord& Add(const std::string& key, size_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRecord& Add(const std::string& key, int64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << '{';
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '"' << fields_[i].first << "\":" << fields_[i].second;
+    }
+    out << '}';
+    return out.str();
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  JsonRecord& Raw(const std::string& key, const std::string& rendered) {
+    fields_.emplace_back(key, rendered);
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects JsonRecords into BENCH_<name>.json (one JSON object per line,
+/// truncating any previous run's file) and mirrors each line to stdout, so
+/// figure benches leave a machine-readable perf trajectory next to their
+/// human-readable tables. Failure to open the file degrades to
+/// stdout-only.
+class JsonLog {
+ public:
+  explicit JsonLog(const std::string& name)
+      : path_("BENCH_" + name + ".json"),
+        file_(std::fopen(path_.c_str(), "w")) {}
+
+  ~JsonLog() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  JsonLog(const JsonLog&) = delete;
+  JsonLog& operator=(const JsonLog&) = delete;
+
+  void Emit(const JsonRecord& record) {
+    const std::string line = record.ToString();
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line.c_str());
+      std::fflush(file_);
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+};
 
 }  // namespace bench
 }  // namespace gir

@@ -39,6 +39,7 @@ void Run() {
   TablePrinter table({"P/W", "d", "GIR RTK (ms)", "BBR RTK (ms)",
                       "SIM RTK (ms)", "GIR RKR (ms)", "MPA RKR (ms)",
                       "SIM RKR (ms)"});
+  bench::JsonLog json("fig10_lowdim");
   for (const Combo& combo : combos) {
     const std::string label = std::string(PointDistributionName(combo.p)) +
                               "/" + WeightDistributionName(combo.w);
@@ -52,14 +53,28 @@ void Run() {
       auto bbr = BbrReverseTopK::Build(points, weights).value();
       auto mpa = MpaReverseKRanks::Build(points, weights).value();
 
-      table.AddRow(
-          {label, std::to_string(d),
-           FormatDouble(bench::AvgRtkMs(gir, points, queries, k), 2),
-           FormatDouble(bench::AvgRtkMs(bbr, points, queries, k), 2),
-           FormatDouble(bench::AvgRtkMs(sim, points, queries, k), 2),
-           FormatDouble(bench::AvgRkrMs(gir, points, queries, k), 2),
-           FormatDouble(bench::AvgRkrMs(mpa, points, queries, k), 2),
-           FormatDouble(bench::AvgRkrMs(sim, points, queries, k), 2)});
+      const double gir_rtk = bench::AvgRtkMs(gir, points, queries, k);
+      const double bbr_rtk = bench::AvgRtkMs(bbr, points, queries, k);
+      const double sim_rtk = bench::AvgRtkMs(sim, points, queries, k);
+      const double gir_rkr = bench::AvgRkrMs(gir, points, queries, k);
+      const double mpa_rkr = bench::AvgRkrMs(mpa, points, queries, k);
+      const double sim_rkr = bench::AvgRkrMs(sim, points, queries, k);
+      table.AddRow({label, std::to_string(d), FormatDouble(gir_rtk, 2),
+                    FormatDouble(bbr_rtk, 2), FormatDouble(sim_rtk, 2),
+                    FormatDouble(gir_rkr, 2), FormatDouble(mpa_rkr, 2),
+                    FormatDouble(sim_rkr, 2)});
+      json.Emit(bench::JsonRecord("fig10_lowdim", scale)
+                    .Add("distributions", label)
+                    .Add("d", d)
+                    .Add("n", n)
+                    .Add("num_weights", m)
+                    .Add("k", k)
+                    .Add("gir_rtk_ms", gir_rtk)
+                    .Add("bbr_rtk_ms", bbr_rtk)
+                    .Add("sim_rtk_ms", sim_rtk)
+                    .Add("gir_rkr_ms", gir_rkr)
+                    .Add("mpa_rkr_ms", mpa_rkr)
+                    .Add("sim_rkr_ms", sim_rkr));
     }
   }
   table.Print();

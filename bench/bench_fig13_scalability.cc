@@ -10,8 +10,10 @@
 namespace gir {
 namespace {
 
-void RunSweep(const char* title, const std::vector<size_t>& p_sizes,
-              const std::vector<size_t>& w_sizes, size_t num_queries) {
+void RunSweep(const char* title, const char* sweep,
+              const std::vector<size_t>& p_sizes,
+              const std::vector<size_t>& w_sizes, size_t num_queries,
+              BenchScale scale, bench::JsonLog& json) {
   const size_t d = 6;
   const size_t k = 100;
   TablePrinter table({"|P|", "|W|", "GIR RTK (ms)", "BBR RTK (ms)",
@@ -29,13 +31,28 @@ void RunSweep(const char* title, const std::vector<size_t>& p_sizes,
     auto bbr = BbrReverseTopK::Build(points, weights).value();
     auto mpa = MpaReverseKRanks::Build(points, weights).value();
 
-    table.AddRow({FormatCount(n), FormatCount(m),
-                  FormatDouble(bench::AvgRtkMs(gir, points, queries, k), 2),
-                  FormatDouble(bench::AvgRtkMs(bbr, points, queries, k), 2),
-                  FormatDouble(bench::AvgRtkMs(sim, points, queries, k), 2),
-                  FormatDouble(bench::AvgRkrMs(gir, points, queries, k), 2),
-                  FormatDouble(bench::AvgRkrMs(mpa, points, queries, k), 2),
-                  FormatDouble(bench::AvgRkrMs(sim, points, queries, k), 2)});
+    const double gir_rtk = bench::AvgRtkMs(gir, points, queries, k);
+    const double bbr_rtk = bench::AvgRtkMs(bbr, points, queries, k);
+    const double sim_rtk = bench::AvgRtkMs(sim, points, queries, k);
+    const double gir_rkr = bench::AvgRkrMs(gir, points, queries, k);
+    const double mpa_rkr = bench::AvgRkrMs(mpa, points, queries, k);
+    const double sim_rkr = bench::AvgRkrMs(sim, points, queries, k);
+    table.AddRow({FormatCount(n), FormatCount(m), FormatDouble(gir_rtk, 2),
+                  FormatDouble(bbr_rtk, 2), FormatDouble(sim_rtk, 2),
+                  FormatDouble(gir_rkr, 2), FormatDouble(mpa_rkr, 2),
+                  FormatDouble(sim_rkr, 2)});
+    json.Emit(bench::JsonRecord("fig13_scalability", scale)
+                  .Add("sweep", sweep)
+                  .Add("d", d)
+                  .Add("n", n)
+                  .Add("num_weights", m)
+                  .Add("k", k)
+                  .Add("gir_rtk_ms", gir_rtk)
+                  .Add("bbr_rtk_ms", bbr_rtk)
+                  .Add("sim_rtk_ms", sim_rtk)
+                  .Add("gir_rkr_ms", gir_rkr)
+                  .Add("mpa_rkr_ms", mpa_rkr)
+                  .Add("sim_rkr_ms", sim_rkr));
   }
   std::printf("%s\n", title);
   table.Print();
@@ -71,9 +88,12 @@ void Run() {
   w_fixed.assign(p_sweep.size(), fixed);
   p_fixed.assign(w_sweep.size(), fixed);
 
-  RunSweep("-- Varying |P| (Fig. 13a/13b) --", p_sweep, w_fixed, num_queries);
+  bench::JsonLog json("fig13_scalability");
+  RunSweep("-- Varying |P| (Fig. 13a/13b) --", "vary_p", p_sweep, w_fixed,
+           num_queries, scale, json);
   std::printf("\n");
-  RunSweep("-- Varying |W| (Fig. 13c/13d) --", p_fixed, w_sweep, num_queries);
+  RunSweep("-- Varying |W| (Fig. 13c/13d) --", "vary_w", p_fixed, w_sweep,
+           num_queries, scale, json);
   std::printf(
       "\nExpected shape (paper): all methods grow with cardinality; GIR\n"
       "grows slowest and is increasingly superior at large |P| or |W|.\n");

@@ -50,6 +50,31 @@ void LookupBoundsPortable(const uint8_t* cells, const double* tlo,
   }
 }
 
+// Element-wise multiply-add over double columns. Written as separate `*`
+// and `+` because the result must round twice, exactly like the scalar
+// InnerProduct loop the rank oracle uses. Separate intrinsics alone do
+// not guarantee that — GCC lowers them to generic vector ops and
+// -ffp-contract=fast (the default) re-fuses them inside the
+// target("avx...") functions — so the build compiles this file with
+// -ffp-contract=off (see src/CMakeLists.txt).
+void ScaledDoublesPortable(const double* values, double scale, double* acc,
+                           size_t count) {
+  for (size_t j = 0; j < count; ++j) {
+    acc[j] += scale * values[j];
+  }
+}
+
+size_t SelectLessEqualPortable(const double* values, const double* thresholds,
+                               size_t count, uint32_t* out) {
+  size_t found = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if (values[j] <= thresholds[j]) {
+      out[found++] = static_cast<uint32_t>(j);
+    }
+  }
+  return found;
+}
+
 ClassifyCounts ClassifyPortable(const double* lo, const double* hi,
                                 double t_case1, double t_case2,
                                 const uint8_t* skip, size_t count,
@@ -125,6 +150,51 @@ __attribute__((target("avx2,fma"))) void LookupBoundsAvx2(
     lo[j] += tlo[cells[j]];
     hi[j] += thi[cells[j]];
   }
+}
+
+__attribute__((target("avx2"))) void ScaledDoublesAvx2(const double* values,
+                                                       double scale,
+                                                       double* acc,
+                                                       size_t count) {
+  const __m256d vs = _mm256_set1_pd(scale);
+  size_t j = 0;
+  // mul + add kept distinct (no _mm256_fmadd_pd): same double rounding as
+  // the scalar scoring loop, so cross-engine score comparisons stay exact.
+  for (; j + 8 <= count; j += 8) {
+    const __m256d p0 = _mm256_mul_pd(vs, _mm256_loadu_pd(values + j));
+    const __m256d p1 = _mm256_mul_pd(vs, _mm256_loadu_pd(values + j + 4));
+    _mm256_storeu_pd(acc + j, _mm256_add_pd(_mm256_loadu_pd(acc + j), p0));
+    _mm256_storeu_pd(acc + j + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(acc + j + 4), p1));
+  }
+  for (; j + 4 <= count; j += 4) {
+    const __m256d p = _mm256_mul_pd(vs, _mm256_loadu_pd(values + j));
+    _mm256_storeu_pd(acc + j, _mm256_add_pd(_mm256_loadu_pd(acc + j), p));
+  }
+  for (; j < count; ++j) acc[j] += scale * values[j];
+}
+
+__attribute__((target("avx2"))) size_t SelectLessEqualAvx2(
+    const double* values, const double* thresholds, size_t count,
+    uint32_t* out) {
+  size_t found = 0;
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(values + j),
+                      _mm256_loadu_pd(thresholds + j), _CMP_LE_OQ)));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      out[found++] = static_cast<uint32_t>(j + bit);
+    }
+  }
+  for (; j < count; ++j) {
+    if (values[j] <= thresholds[j]) {
+      out[found++] = static_cast<uint32_t>(j);
+    }
+  }
+  return found;
 }
 
 /// Bit i set iff skip[i] != 0, for `lanes` <= 8 bytes starting at `skip`.
@@ -218,6 +288,40 @@ __attribute__((target("avx512f"))) void LookupBoundsAvx512(
   }
 }
 
+__attribute__((target("avx512f"))) void ScaledDoublesAvx512(
+    const double* values, double scale, double* acc, size_t count) {
+  const __m512d vs = _mm512_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m512d p = _mm512_mul_pd(vs, _mm512_loadu_pd(values + j));
+    _mm512_storeu_pd(acc + j, _mm512_add_pd(_mm512_loadu_pd(acc + j), p));
+  }
+  for (; j < count; ++j) acc[j] += scale * values[j];
+}
+
+__attribute__((target("avx512f"))) size_t SelectLessEqualAvx512(
+    const double* values, const double* thresholds, size_t count,
+    uint32_t* out) {
+  size_t found = 0;
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    unsigned mask = _mm512_cmp_pd_mask(_mm512_loadu_pd(values + j),
+                                       _mm512_loadu_pd(thresholds + j),
+                                       _CMP_LE_OQ);
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      out[found++] = static_cast<uint32_t>(j + bit);
+    }
+  }
+  for (; j < count; ++j) {
+    if (values[j] <= thresholds[j]) {
+      out[found++] = static_cast<uint32_t>(j);
+    }
+  }
+  return found;
+}
+
 __attribute__((target("avx512f"))) ClassifyCounts ClassifyAvx512(
     const double* lo, const double* hi, double t_case1, double t_case2,
     const uint8_t* skip, size_t count, uint32_t* band, size_t* band_count) {
@@ -280,6 +384,8 @@ using LookupFn = void (*)(const uint8_t*, const double*, const double*,
 using ClassifyFn = ClassifyCounts (*)(const double*, const double*, double,
                                       double, const uint8_t*, size_t,
                                       uint32_t*, size_t*);
+using ScaledDoublesFn = void (*)(const double*, double, double*, size_t);
+using SelectFn = size_t (*)(const double*, const double*, size_t, uint32_t*);
 
 struct Dispatch {
   const char* isa;
@@ -288,6 +394,8 @@ struct Dispatch {
   ScaledFn scaled;
   LookupFn lookup;
   ClassifyFn classify;
+  ScaledDoublesFn scaled_doubles;
+  SelectFn select_le;
 };
 
 Dispatch MakeDispatch() {
@@ -295,17 +403,20 @@ Dispatch MakeDispatch() {
   if (DetectAvx512()) {
     return Dispatch{"avx512",        true,
                     true,            &ScaledBytesAvx512,
-                    &LookupBoundsAvx512, &ClassifyAvx512};
+                    &LookupBoundsAvx512, &ClassifyAvx512,
+                    &ScaledDoublesAvx512, &SelectLessEqualAvx512};
   }
   if (DetectAvx2()) {
     return Dispatch{"avx2",          true,
                     false,           &ScaledBytesAvx2,
-                    &LookupBoundsAvx2, &ClassifyAvx2};
+                    &LookupBoundsAvx2, &ClassifyAvx2,
+                    &ScaledDoublesAvx2, &SelectLessEqualAvx2};
   }
 #endif
   return Dispatch{"portable",        false,
                   false,             &ScaledBytesPortable,
-                  &LookupBoundsPortable, &ClassifyPortable};
+                  &LookupBoundsPortable, &ClassifyPortable,
+                  &ScaledDoublesPortable, &SelectLessEqualPortable};
 }
 
 const Dispatch& GetDispatch() {
@@ -330,6 +441,16 @@ void AccumulateLookupBounds(const uint8_t* cells, const double* tlo,
                             const double* thi, double* lo, double* hi,
                             size_t count) {
   GetDispatch().lookup(cells, tlo, thi, lo, hi, count);
+}
+
+void AccumulateScaledDoubles(const double* values, double scale, double* acc,
+                             size_t count) {
+  GetDispatch().scaled_doubles(values, scale, acc, count);
+}
+
+size_t SelectLessEqual(const double* values, const double* thresholds,
+                       size_t count, uint32_t* out) {
+  return GetDispatch().select_le(values, thresholds, count, out);
 }
 
 ClassifyCounts ClassifyBounds(const double* lo, const double* hi,

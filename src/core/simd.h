@@ -53,6 +53,23 @@ struct ClassifyCounts {
   uint64_t skipped = 0;  ///< skip[j] != 0 (dominated, pre-counted).
 };
 
+/// acc[j] += scale * values[j] for j in [0, count). The τ-index scoring
+/// kernel (grid/tau_index.h): one call per dimension over a double SoA
+/// column scores a whole run of vectors against one coefficient. Every
+/// implementation performs an IEEE multiply followed by an add (never a
+/// fused multiply-add), so the accumulated score is bit-identical to the
+/// scalar InnerProduct loop evaluating the dimensions in the same order —
+/// the property the τ-index's exact threshold comparisons rest on.
+void AccumulateScaledDoubles(const double* values, double scale, double* acc,
+                             size_t count);
+
+/// Writes the indices j in [0, count) with values[j] <= thresholds[j] to
+/// `out` (caller-sized to `count`) in ascending order and returns how many
+/// were written. The τ-index reverse top-k membership kernel: values are
+/// query scores f_w(q), thresholds the per-weight τ_k order statistics.
+size_t SelectLessEqual(const double* values, const double* thresholds,
+                       size_t count, uint32_t* out);
+
 /// Classifies `count` points given their accumulated bounds. Case-1 points
 /// (hi[j] < t_case1) are counted; Case-2 points (lo[j] >= t_case2) are
 /// counted separately; everything else lands in `band` (local indices j,

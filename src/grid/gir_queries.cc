@@ -1,10 +1,14 @@
 #include "grid/gir_queries.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "grid/blocked_scan.h"
 
 namespace gir {
@@ -33,6 +37,12 @@ void PushRankedWeight(std::vector<RankedWeight>& heap, size_t k,
     heap.back() = entry;
     std::push_heap(heap.begin(), heap.end());
   }
+}
+
+/// Stripe grain for pool-parallel τ passes: a few stripes per worker.
+size_t TauStripeGrain(size_t total, size_t threads) {
+  const size_t target_stripes = std::max<size_t>(1, threads * 4);
+  return std::max<size_t>(1, (total + target_stripes - 1) / target_stripes);
 }
 
 }  // namespace
@@ -88,8 +98,28 @@ Result<GirIndex> GirIndex::BuildWithPartitioners(
                                    std::move(weight_partitioner));
   ApproxVectors pa = ApproxVectors::Build(points, grid.point_partitioner());
   ApproxVectors wa = ApproxVectors::Build(weights, grid.weight_partitioner());
-  return GirIndex(points, weights, std::move(grid), std::move(pa),
-                  std::move(wa), options);
+  GirIndex index(points, weights, std::move(grid), std::move(pa),
+                 std::move(wa), options);
+  if (options.scan_mode == ScanMode::kTauIndex) {
+    auto tau = TauIndex::Build(points, weights, options.tau);
+    if (!tau.ok()) return tau.status();
+    index.tau_ = std::make_shared<const TauIndex>(std::move(tau).value());
+  }
+  return index;
+}
+
+Status GirIndex::AttachTauIndex(std::shared_ptr<const TauIndex> tau) {
+  if (tau == nullptr) {
+    return Status::InvalidArgument("tau index must be non-null");
+  }
+  if (tau->dim() != points_->dim() ||
+      tau->num_points() != points_->size() ||
+      tau->num_weights() != weights_->size()) {
+    return Status::InvalidArgument(
+        "tau index shape does not match this index's datasets");
+  }
+  tau_ = std::move(tau);
+  return Status::OK();
 }
 
 Result<GirIndex> GirIndex::Assemble(const Dataset& points,
@@ -139,6 +169,14 @@ Result<GirIndex> GirIndex::Assemble(const Dataset& points,
 
 ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
                                         QueryStats* stats) const {
+  if (options_.scan_mode == ScanMode::kTauIndex) {
+    if (tau_ != nullptr && tau_->CanAnswerTopK(k)) {
+      return TauReverseTopK(q, k, /*pool=*/nullptr, stats);
+    }
+    // No τ-index attached, or k in the band (k_cap, |P|] the τ vector
+    // cannot answer: the blocked engine computes the same result exactly.
+    return BlockedReverseTopK(q, k, stats);
+  }
   if (options_.scan_mode == ScanMode::kBlocked) {
     return BlockedReverseTopK(q, k, stats);
   }
@@ -201,6 +239,12 @@ ReverseTopKResult GirIndex::BlockedReverseTopK(ConstRow q, size_t k,
 
 ReverseKRanksResult GirIndex::ReverseKRanks(ConstRow q, size_t k,
                                             QueryStats* stats) const {
+  if (options_.scan_mode == ScanMode::kTauIndex) {
+    if (tau_ != nullptr) {
+      return TauReverseKRanks(q, k, /*pool=*/nullptr, stats);
+    }
+    return BlockedReverseKRanks(q, k, stats);
+  }
   if (options_.scan_mode == ScanMode::kBlocked) {
     return BlockedReverseKRanks(q, k, stats);
   }
@@ -278,6 +322,16 @@ std::vector<ReverseTopKResult> GirIndex::ReverseTopKBatch(
   const size_t num_queries = queries.size();
   std::vector<ReverseTopKResult> results(num_queries);
   if (num_queries == 0) return results;
+  if (options_.scan_mode == ScanMode::kTauIndex && tau_ != nullptr &&
+      tau_->CanAnswerTopK(k)) {
+    // Each τ answer is a self-contained O(|W|·d) pass; there is no
+    // per-weight-batch table to amortize, so the batch is just the loop.
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      results[qi] = TauReverseTopK(queries.row(qi), k, /*pool=*/nullptr,
+                                   stats);
+    }
+    return results;
+  }
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
                          grid_, options_.bound_mode);
   const int64_t threshold = static_cast<int64_t>(k);
@@ -328,6 +382,13 @@ std::vector<ReverseKRanksResult> GirIndex::ReverseKRanksBatch(
   const size_t num_queries = queries.size();
   std::vector<ReverseKRanksResult> results(num_queries);
   if (num_queries == 0 || k == 0 || weights_->empty()) return results;
+  if (options_.scan_mode == ScanMode::kTauIndex && tau_ != nullptr) {
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      results[qi] = TauReverseKRanks(queries.row(qi), k, /*pool=*/nullptr,
+                                     stats);
+    }
+    return results;
+  }
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
                          grid_, options_.bound_mode);
   std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
@@ -371,9 +432,206 @@ std::vector<ReverseKRanksResult> GirIndex::ReverseKRanksBatch(
   return results;
 }
 
+ReverseTopKResult GirIndex::TauReverseTopK(ConstRow q, size_t k,
+                                           ThreadPool* pool,
+                                           QueryStats* stats) const {
+  const TauIndex& tau = *tau_;
+  const size_t m = weights_->size();
+  ReverseTopKResult result;
+  if (pool == nullptr || pool->thread_count() <= 1 || m < 1024) {
+    tau.TopKRange(q, k, 0, m, result);
+  } else {
+    std::mutex merge_mutex;
+    pool->ParallelFor(
+        0, m, TauStripeGrain(m, pool->thread_count()),
+        [&](size_t begin, size_t end) {
+          ReverseTopKResult local;
+          tau.TopKRange(q, k, begin, end, local);
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          result.insert(result.end(), local.begin(), local.end());
+        });
+    std::sort(result.begin(), result.end());
+  }
+  if (stats != nullptr) {
+    stats->weights_evaluated += m;
+    stats->inner_products += m;
+    stats->multiplications += m * dim();
+  }
+  return result;
+}
+
+ReverseKRanksResult GirIndex::TauReverseKRanks(ConstRow q, size_t k,
+                                               ThreadPool* pool,
+                                               QueryStats* stats) const {
+  if (k == 0 || weights_->empty()) return {};
+  const TauIndex& tau = *tau_;
+  const size_t m = weights_->size();
+  const int64_t no_bound = static_cast<int64_t>(points_->size());
+
+  // Pass 1 — O(|W|·d): score q under every weight and bracket each rank
+  // with the τ vector + histogram. Exact whenever rank < k_cap or the
+  // score pins to a single-count bin.
+  std::vector<double> scores(m);
+  std::vector<int64_t> lo(m);
+  std::vector<int64_t> hi(m);
+  auto bound_stripe = [&](size_t begin, size_t end) {
+    tau.ScoreRange(q, begin, end, scores.data() + begin);
+    for (size_t w = begin; w < end; ++w) {
+      const TauRankBounds bounds = tau.BoundRank(w, scores[w]);
+      lo[w] = bounds.lo;
+      hi[w] = bounds.hi;
+    }
+  };
+  if (pool == nullptr || pool->thread_count() <= 1 || m < 1024) {
+    bound_stripe(0, m);
+  } else {
+    pool->ParallelFor(0, m, TauStripeGrain(m, pool->thread_count()),
+                      bound_stripe);
+  }
+  if (stats != nullptr) {
+    stats->weights_evaluated += m;
+    stats->inner_products += m;
+    stats->multiplications += m * dim();
+  }
+
+  // The k-th smallest upper bound caps the answer's k-th rank: at least k
+  // weights have rank <= kth_hi, so any weight with lo > kth_hi is
+  // provably outside the answer (even under (rank, id) tie-breaking, which
+  // only ever admits rank <= the k-th smallest rank <= kth_hi).
+  int64_t kth_hi = no_bound;
+  if (m > k) {
+    std::vector<int64_t> tmp(hi);
+    std::nth_element(tmp.begin(), tmp.begin() + (k - 1), tmp.end());
+    kth_hi = tmp[k - 1];
+  }
+
+  std::vector<RankedWeight> heap;
+  heap.reserve(k + 1);
+  std::vector<uint8_t> unresolved(m, 0);
+  size_t unresolved_count = 0;
+  for (size_t w = 0; w < m; ++w) {
+    if (lo[w] > kth_hi) continue;
+    if (lo[w] == hi[w]) {
+      PushRankedWeight(heap, k,
+                       RankedWeight{static_cast<VectorId>(w), lo[w]});
+    } else {
+      unresolved[w] = 1;
+      ++unresolved_count;
+    }
+  }
+
+  if (unresolved_count > 0) {
+    // Pass 2 — blocked-scan fallback over the unresolved band only.
+    // Thresholds are capped at (current k-th bound) + 1, so every rank
+    // that could still enter the heap — including (rank, id) ties at the
+    // bound — comes back exact; anything over threshold is provably
+    // outside the answer.
+    BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
+                           grid_, options_.bound_mode);
+    const BlockedScanner::QueryContext qctx =
+        scanner.MakeQueryContext(q, options_.use_domin);
+    const size_t batch = scanner.weight_batch();
+    std::vector<size_t> batch_starts;
+    for (size_t b = 0; b < m; b += batch) {
+      const size_t e = std::min(b + batch, m);
+      for (size_t w = b; w < e; ++w) {
+        if (unresolved[w] != 0) {
+          batch_starts.push_back(b);
+          break;
+        }
+      }
+    }
+
+    auto scan_batches = [&](size_t bi_begin, size_t bi_end,
+                            std::vector<RankedWeight>& local_heap,
+                            std::vector<RankedWeight>* collect,
+                            std::atomic<int64_t>* shared_bound,
+                            QueryStats* batch_stats) {
+      BlockedScratch scratch;
+      std::vector<int64_t> thresholds;
+      std::vector<int64_t> ranks;
+      for (size_t bi = bi_begin; bi < bi_end; ++bi) {
+        const size_t b = batch_starts[bi];
+        const size_t e = std::min(b + batch, m);
+        int64_t cap = kth_hi;
+        if (local_heap.size() == k) {
+          cap = std::min(cap, local_heap.front().rank);
+        }
+        if (shared_bound != nullptr) {
+          cap = std::min(cap,
+                         shared_bound->load(std::memory_order_relaxed));
+        }
+        thresholds.resize(e - b);
+        ranks.resize(e - b);
+        for (size_t i = 0; i < e - b; ++i) {
+          // Threshold 0 masks resolved slots instantly (the dominator
+          // count is always >= 0), so only the unresolved slots cost.
+          thresholds[i] = unresolved[b + i] != 0 ? cap + 1 : 0;
+        }
+        scanner.RankBatch(q, qctx, b, e, thresholds.data(), ranks.data(),
+                          scratch, batch_stats);
+        for (size_t i = 0; i < e - b; ++i) {
+          if (unresolved[b + i] == 0 || ranks[i] == kRankOverThreshold) {
+            continue;
+          }
+          const RankedWeight entry{static_cast<VectorId>(b + i), ranks[i]};
+          PushRankedWeight(local_heap, k, entry);
+          if (collect != nullptr) collect->push_back(entry);
+        }
+        if (shared_bound != nullptr && local_heap.size() == k) {
+          int64_t current = shared_bound->load(std::memory_order_relaxed);
+          const int64_t candidate = local_heap.front().rank;
+          while (candidate < current &&
+                 !shared_bound->compare_exchange_weak(
+                     current, candidate, std::memory_order_relaxed)) {
+          }
+        }
+      }
+    };
+
+    if (pool == nullptr || pool->thread_count() <= 1 ||
+        batch_starts.size() < 8) {
+      scan_batches(0, batch_starts.size(), heap, nullptr, nullptr, stats);
+    } else {
+      std::atomic<int64_t> shared_bound{
+          heap.size() == k ? std::min(kth_hi, heap.front().rank) : kth_hi};
+      std::mutex merge_mutex;
+      std::vector<RankedWeight> found;
+      pool->ParallelFor(
+          0, batch_starts.size(),
+          TauStripeGrain(batch_starts.size(), pool->thread_count()),
+          [&](size_t begin, size_t end) {
+            // Each worker tightens a private copy of the exact-bound heap
+            // (pruning only); every exact rank it uncovers is collected
+            // and merged below — the k smallest of a multiset are
+            // insertion-order independent, so the merged heap matches the
+            // serial one.
+            std::vector<RankedWeight> local_heap = heap;
+            std::vector<RankedWeight> local_found;
+            QueryStats local_stats;
+            scan_batches(begin, end, local_heap, &local_found,
+                         &shared_bound,
+                         stats != nullptr ? &local_stats : nullptr);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            found.insert(found.end(), local_found.begin(),
+                         local_found.end());
+            if (stats != nullptr) *stats += local_stats;
+          });
+      for (const RankedWeight& entry : found) {
+        PushRankedWeight(heap, k, entry);
+      }
+    }
+  }
+
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
 size_t GirIndex::MemoryBytes() const {
-  return grid_.TableBytes() + point_cells_.MemoryBytes() +
-         weight_cells_.MemoryBytes();
+  size_t bytes = grid_.TableBytes() + point_cells_.MemoryBytes() +
+                 weight_cells_.MemoryBytes();
+  if (tau_ != nullptr) bytes += tau_->MemoryBytes();
+  return bytes;
 }
 
 }  // namespace gir

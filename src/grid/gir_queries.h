@@ -11,8 +11,11 @@
 #include "grid/approx_vector.h"
 #include "grid/gin_topk.h"
 #include "grid/grid_index.h"
+#include "grid/tau_index.h"
 
 namespace gir {
+
+class ThreadPool;
 
 /// How GirIndex executes a query's scan over (W × P).
 enum class ScanMode {
@@ -25,6 +28,15 @@ enum class ScanMode {
   /// are identical to kWeightAtATime on every tie-breaking convention in
   /// DESIGN.md §2.
   kBlocked,
+  /// Preference-side τ-index (grid/tau_index.h): reverse top-k for
+  /// k <= GirOptions::tau.k_max is a single O(|W|·d) threshold pass with
+  /// no product scan; reverse k-ranks brackets every rank with the score
+  /// histograms and falls back to the blocked engine only for the
+  /// unresolved band. Results remain bit-identical to the other modes
+  /// (DESIGN.md §10). Queries the τ vector cannot answer (k_max < k <=
+  /// |P| reverse top-k), or issued before a τ-index is built or attached,
+  /// run on the blocked engine.
+  kTauIndex,
 };
 
 /// Construction options for GirIndex. Defaults are the paper's defaults
@@ -49,6 +61,10 @@ struct GirOptions {
   /// Not persisted by grid/index_io (it is an execution knob, not index
   /// state); loaded indexes start at the default.
   ScanMode scan_mode = ScanMode::kWeightAtATime;
+  /// τ-index build knobs, used when scan_mode == kTauIndex: Build() then
+  /// also scores P × W once and materializes the thresholds + histograms
+  /// (grid/tau_index.h). Ignored by the other modes.
+  TauIndexOptions tau;
 };
 
 /// GIR — the paper's Grid-index reverse rank query processor. Owns the
@@ -116,6 +132,20 @@ class GirIndex {
   const GirOptions& options() const { return options_; }
   size_t dim() const { return points_->dim(); }
 
+  /// The attached τ-index, or nullptr if none was built/attached.
+  const TauIndex* tau_index() const { return tau_.get(); }
+
+  /// Attaches a τ-index built or loaded separately (the persistence path:
+  /// LoadTauIndex + AttachTauIndex). InvalidArgument unless its shape
+  /// matches this index's datasets. Does not change scan_mode.
+  Status AttachTauIndex(std::shared_ptr<const TauIndex> tau);
+
+  /// Switches the scan engine after construction (scan_mode is an
+  /// execution knob, not persisted index state). Selecting kTauIndex
+  /// without an attached τ-index is allowed — queries then run on the
+  /// blocked engine until one is attached.
+  void set_scan_mode(ScanMode mode) { options_.scan_mode = mode; }
+
   /// Total index memory: grid table + both approximate-vector arrays.
   /// (The bit-packed §3.2 representation is smaller still; this reports
   /// the scan-time footprint.)
@@ -132,12 +162,32 @@ class GirIndex {
   ReverseKRanksResult BlockedReverseKRanks(ConstRow q, size_t k,
                                            QueryStats* stats) const;
 
+  /// ScanMode::kTauIndex implementations. `pool` != nullptr stripes the
+  /// O(|W|) passes over its workers (the parallel_gir drivers); nullptr
+  /// runs on the calling thread. TauReverseTopK requires
+  /// tau_->CanAnswerTopK(k) — the dispatchers route the remaining band to
+  /// the blocked engine.
+  ReverseTopKResult TauReverseTopK(ConstRow q, size_t k, ThreadPool* pool,
+                                   QueryStats* stats) const;
+  ReverseKRanksResult TauReverseKRanks(ConstRow q, size_t k, ThreadPool* pool,
+                                       QueryStats* stats) const;
+
+  friend ReverseTopKResult ParallelReverseTopK(const GirIndex& index,
+                                               ConstRow q, size_t k,
+                                               ThreadPool& pool,
+                                               QueryStats* stats);
+  friend ReverseKRanksResult ParallelReverseKRanks(const GirIndex& index,
+                                                   ConstRow q, size_t k,
+                                                   ThreadPool& pool,
+                                                   QueryStats* stats);
+
   const Dataset* points_;
   const Dataset* weights_;
   GridIndex grid_;
   ApproxVectors point_cells_;
   ApproxVectors weight_cells_;
   GirOptions options_;
+  std::shared_ptr<const TauIndex> tau_;
 };
 
 }  // namespace gir

@@ -12,6 +12,7 @@ namespace gir {
 namespace {
 
 constexpr char kMagic[8] = {'G', 'I', 'R', 'I', 'D', 'X', '0', '1'};
+constexpr char kTauMagic[8] = {'G', 'I', 'R', 'T', 'A', 'U', '0', '1'};
 
 uint32_t BitsForPartitions(size_t n) {
   uint32_t bits = 1;
@@ -78,6 +79,17 @@ Result<ApproxVectors> ReadPacked(std::ifstream& in) {
   auto packed = BitPackedVectors::FromBlob(std::move(blob));
   if (!packed.ok()) return packed.status();
   return packed.value().Unpack();
+}
+
+/// Reads exactly `count` elements of a raw array whose size the header
+/// implies (unlike ReadDoubles there is no embedded count — τ components
+/// can far exceed the boundary-array cap).
+template <typename T>
+bool ReadArray(std::ifstream& in, size_t count, std::vector<T>* v) {
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
 }
 
 }  // namespace
@@ -173,6 +185,68 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
                             std::move(wp).value(),
                             std::move(point_cells).value(),
                             std::move(weight_cells).value(), options);
+}
+
+Status SaveTauIndex(const std::string& path, const TauIndex& index) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kTauMagic, sizeof(kTauMagic));
+  WriteU32(out, static_cast<uint32_t>(index.k_cap()));
+  WriteU32(out, static_cast<uint32_t>(index.bins()));
+  WriteU32(out, static_cast<uint32_t>(index.dim()));
+  WriteU64(out, index.num_weights());
+  WriteU64(out, index.num_points());
+  const std::vector<double>& tau = index.tau();
+  const std::vector<double>& score_max = index.score_max();
+  const std::vector<uint32_t>& hist = index.hist_prefix();
+  out.write(reinterpret_cast<const char*>(tau.data()),
+            static_cast<std::streamsize>(tau.size() * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(score_max.data()),
+            static_cast<std::streamsize>(score_max.size() * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(hist.data()),
+            static_cast<std::streamsize>(hist.size() * sizeof(uint32_t)));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<TauIndex> LoadTauIndex(const std::string& path,
+                              const Dataset& weights) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTauMagic, sizeof(kTauMagic)) != 0) {
+    return Status::Corruption("bad tau index header: " + path);
+  }
+  uint32_t k_cap = 0, bins = 0, dim = 0;
+  uint64_t num_weights = 0, num_points = 0;
+  if (!ReadU32(in, &k_cap) || !ReadU32(in, &bins) || !ReadU32(in, &dim) ||
+      !ReadU64(in, &num_weights) || !ReadU64(in, &num_points)) {
+    return Status::Corruption("truncated tau index header: " + path);
+  }
+  if (k_cap == 0 || num_points == 0 || k_cap > num_points || bins < 2 ||
+      bins > (1u << 20)) {
+    return Status::Corruption("invalid tau index parameters: " + path);
+  }
+  if (dim != weights.dim() || num_weights != weights.size()) {
+    return Status::Corruption(
+        "tau index shape does not match the supplied weights: " + path);
+  }
+  std::vector<double> tau;
+  std::vector<double> score_max;
+  std::vector<uint32_t> hist;
+  if (!ReadArray(in, size_t{k_cap} * num_weights, &tau) ||
+      !ReadArray(in, num_weights, &score_max) ||
+      !ReadArray(in, size_t{bins} * num_weights, &hist)) {
+    return Status::Corruption("truncated tau index payload: " + path);
+  }
+  char extra;
+  if (in.read(&extra, 1)) {
+    return Status::Corruption("trailing bytes after tau index: " + path);
+  }
+  return TauIndex::FromParts(weights, num_points, k_cap, bins,
+                             std::move(tau), std::move(score_max),
+                             std::move(hist));
 }
 
 }  // namespace gir

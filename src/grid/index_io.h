@@ -29,6 +29,22 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
                               const Dataset& weights,
                               bool verify_cells = false);
 
+/// Persistence of a τ-index (grid/tau_index.h). File layout
+/// (little-endian): magic "GIRTAU01"; k_cap, bins, dim as u32; |W|, |P| as
+/// u64; then the raw component arrays — τ (k_cap·|W| doubles, k-major),
+/// per-weight max scores (|W| doubles), prefix-summed histograms
+/// (|W|·bins u32). Sizes are implied by the header, so truncation and
+/// trailing garbage are both detected, and the loader re-validates the
+/// arrays' internal invariants (sorted τ rows, monotone prefixes summing
+/// to |P|) before accepting the file.
+Status SaveTauIndex(const std::string& path, const TauIndex& index);
+
+/// Loads a τ-index written with SaveTauIndex. `weights` must be the
+/// preference set it was built from (the column mirror is rebuilt from
+/// it); shape mismatches are rejected as Corruption.
+Result<TauIndex> LoadTauIndex(const std::string& path,
+                              const Dataset& weights);
+
 }  // namespace gir
 
 #endif  // GIR_GRID_INDEX_IO_H_

@@ -160,6 +160,12 @@ ReverseKRanksResult ParallelBlockedReverseKRanks(const GirIndex& index,
 ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
                                       size_t k, ThreadPool& pool,
                                       QueryStats* stats) {
+  if (index.options().scan_mode == ScanMode::kTauIndex) {
+    if (index.tau_index() != nullptr && index.tau_index()->CanAnswerTopK(k)) {
+      return index.TauReverseTopK(q, k, &pool, stats);
+    }
+    return ParallelBlockedReverseTopK(index, q, k, pool, stats);
+  }
   if (index.options().scan_mode == ScanMode::kBlocked) {
     return ParallelBlockedReverseTopK(index, q, k, pool, stats);
   }
@@ -217,6 +223,12 @@ ReverseKRanksResult ParallelReverseKRanks(const GirIndex& index, ConstRow q,
   const Dataset& points = index.points();
   const Dataset& weights = index.weights();
   if (k == 0 || weights.empty()) return {};
+  if (index.options().scan_mode == ScanMode::kTauIndex) {
+    if (index.tau_index() != nullptr) {
+      return index.TauReverseKRanks(q, k, &pool, stats);
+    }
+    return ParallelBlockedReverseKRanks(index, q, k, pool, stats);
+  }
   if (index.options().scan_mode == ScanMode::kBlocked) {
     return ParallelBlockedReverseKRanks(index, q, k, pool, stats);
   }

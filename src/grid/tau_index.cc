@@ -1,0 +1,286 @@
+#include "grid/tau_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "core/simd.h"
+#include "core/thread_pool.h"
+
+namespace gir {
+
+namespace {
+
+/// Weights (or points, at build) scored per kernel chunk: small enough
+/// that the chunk's accumulators stay L1-resident across the d passes.
+constexpr size_t kScoreChunk = 4096;
+
+/// Histogram bin of score `s` for a weight with lower edge `lo` and
+/// precomputed inverse width `inv` = bins / (max - min). Only monotonicity
+/// in `s` matters for the rank bounds (DESIGN.md §10), and subtraction,
+/// multiplication by a positive constant and truncation are all monotone —
+/// the bin edges themselves need not be exact. Build and query both bin
+/// through this one function, so a score always lands in the same bin.
+size_t BinOf(double s, double lo, double inv, size_t bins) {
+  const double t = (s - lo) * inv;
+  if (!(t > 0.0)) return 0;
+  const size_t b = static_cast<size_t>(t);
+  return b >= bins ? bins - 1 : b;
+}
+
+}  // namespace
+
+Result<TauIndex> TauIndex::Build(const Dataset& points, const Dataset& weights,
+                                 const TauIndexOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("point set must be non-empty");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument(
+        "dimension mismatch: points " + std::to_string(points.dim()) +
+        " vs weights " + std::to_string(weights.dim()));
+  }
+  if (options.k_max == 0) {
+    return Status::InvalidArgument("tau k_max must be >= 1");
+  }
+  if (options.bins < 2 || options.bins > (size_t{1} << 20)) {
+    return Status::InvalidArgument("tau bins must be in [2, 2^20]");
+  }
+  const size_t n = points.size();
+  const size_t m = weights.size();
+  const size_t d = points.dim();
+
+  TauIndex index;
+  index.dim_ = d;
+  index.num_points_ = n;
+  index.num_weights_ = m;
+  index.k_cap_ = std::min(options.k_max, n);
+  index.bins_ = options.bins;
+  index.tau_.resize(index.k_cap_ * m);
+  index.score_max_.resize(m);
+  index.hist_prefix_.resize(m * index.bins_);
+  index.BuildWeightColumns(weights);
+
+  // Transient column-major mirror of P: the build streams each dimension
+  // column once per weight, the same SoA shape the blocked scan reads.
+  std::vector<double> pcol(n * d);
+  for (size_t j = 0; j < n; ++j) {
+    ConstRow row = points.row(j);
+    for (size_t i = 0; i < d; ++i) pcol[i * n + j] = row[i];
+  }
+
+  auto score_stripe = [&](size_t w_begin, size_t w_end) {
+    std::vector<double> scores(n);
+    for (size_t w = w_begin; w < w_end; ++w) {
+      ConstRow wrow = weights.row(w);
+      // Chunked accumulation: f_w(p) for every p, dimension-at-a-time in
+      // ascending order — bit-identical to InnerProduct(w, p).
+      for (size_t b0 = 0; b0 < n; b0 += kScoreChunk) {
+        const size_t len = std::min(kScoreChunk, n - b0);
+        double* acc = scores.data() + b0;
+        std::memset(acc, 0, len * sizeof(double));
+        for (size_t i = 0; i < d; ++i) {
+          simd::AccumulateScaledDoubles(pcol.data() + i * n + b0, wrow[i],
+                                        acc, len);
+        }
+      }
+      index.Materialize(w, scores);
+    }
+  };
+
+  if (options.threads == 1 || m <= 1) {
+    score_stripe(0, m);
+  } else {
+    ThreadPool pool(options.threads);
+    const size_t stripes = std::max<size_t>(1, pool.thread_count() * 4);
+    const size_t grain = std::max<size_t>(1, (m + stripes - 1) / stripes);
+    pool.ParallelFor(0, m, grain, score_stripe);
+  }
+  return index;
+}
+
+void TauIndex::BuildWeightColumns(const Dataset& weights) {
+  const size_t m = num_weights_;
+  wcol_.resize(dim_ * m);
+  for (size_t w = 0; w < m; ++w) {
+    ConstRow row = weights.row(w);
+    for (size_t i = 0; i < dim_; ++i) wcol_[i * m + w] = row[i];
+  }
+}
+
+void TauIndex::Materialize(size_t w, std::vector<double>& scores) {
+  const size_t n = num_points_;
+  const size_t m = num_weights_;
+  // Exact order statistics: nth_element + sort of the head is O(n + K log
+  // K). The scores vector is reordered, which the histogram below does not
+  // care about.
+  std::nth_element(scores.begin(), scores.begin() + (k_cap_ - 1),
+                   scores.end());
+  std::sort(scores.begin(), scores.begin() + k_cap_);
+  for (size_t j = 0; j < k_cap_; ++j) tau_[j * m + w] = scores[j];
+  // After nth_element every element at or past position k_cap_ - 1 is >=
+  // the pivot, so the maximum lives in that suffix.
+  double mx = scores[k_cap_ - 1];
+  for (size_t j = k_cap_; j < n; ++j) mx = std::max(mx, scores[j]);
+  score_max_[w] = mx;
+
+  const double mn = scores[0];  // == τ_1(w)
+  const double inv =
+      mx > mn ? static_cast<double>(bins_) / (mx - mn) : 0.0;
+  uint32_t* pre = hist_prefix_.data() + w * bins_;
+  std::memset(pre, 0, bins_ * sizeof(uint32_t));
+  for (size_t j = 0; j < n; ++j) {
+    ++pre[BinOf(scores[j], mn, inv, bins_)];
+  }
+  uint32_t run = 0;
+  for (size_t b = 0; b < bins_; ++b) {
+    run += pre[b];
+    pre[b] = run;
+  }
+}
+
+Result<TauIndex> TauIndex::FromParts(const Dataset& weights, size_t num_points,
+                                     size_t k_cap, size_t bins,
+                                     std::vector<double> tau,
+                                     std::vector<double> score_max,
+                                     std::vector<uint32_t> hist_prefix) {
+  const size_t m = weights.size();
+  if (weights.dim() == 0) {
+    return Status::InvalidArgument("weights must have dim >= 1");
+  }
+  if (num_points == 0 || k_cap == 0 || k_cap > num_points) {
+    return Status::Corruption("tau index k_cap/num_points out of range");
+  }
+  if (bins < 2 || bins > (size_t{1} << 20)) {
+    return Status::Corruption("tau index bin count out of range");
+  }
+  if (tau.size() != k_cap * m || score_max.size() != m ||
+      hist_prefix.size() != m * bins) {
+    return Status::Corruption("tau index component sizes do not match W");
+  }
+  for (size_t w = 0; w < m; ++w) {
+    // τ rows must be non-decreasing in k and bounded by the max score;
+    // prefix counts must be non-decreasing and end at |P|. Violations mean
+    // the file does not describe any score multiset.
+    for (size_t j = 1; j < k_cap; ++j) {
+      if (tau[j * m + w] < tau[(j - 1) * m + w]) {
+        return Status::Corruption("tau thresholds are not sorted");
+      }
+    }
+    if (score_max[w] < tau[(k_cap - 1) * m + w]) {
+      return Status::Corruption("tau max score below k-th threshold");
+    }
+    const uint32_t* pre = hist_prefix.data() + w * bins;
+    for (size_t b = 1; b < bins; ++b) {
+      if (pre[b] < pre[b - 1]) {
+        return Status::Corruption("tau histogram prefix not monotone");
+      }
+    }
+    if (pre[bins - 1] != num_points) {
+      return Status::Corruption("tau histogram does not sum to |P|");
+    }
+  }
+  TauIndex index;
+  index.dim_ = weights.dim();
+  index.num_points_ = num_points;
+  index.num_weights_ = m;
+  index.k_cap_ = k_cap;
+  index.bins_ = bins;
+  index.tau_ = std::move(tau);
+  index.score_max_ = std::move(score_max);
+  index.hist_prefix_ = std::move(hist_prefix);
+  index.BuildWeightColumns(weights);
+  return index;
+}
+
+void TauIndex::ScoreRange(ConstRow q, size_t w_begin, size_t w_end,
+                          double* scores) const {
+  const size_t m = num_weights_;
+  for (size_t c0 = w_begin; c0 < w_end; c0 += kScoreChunk) {
+    const size_t len = std::min(kScoreChunk, w_end - c0);
+    double* acc = scores + (c0 - w_begin);
+    std::memset(acc, 0, len * sizeof(double));
+    for (size_t i = 0; i < dim_; ++i) {
+      // q[i] * w[i] rounds identically to w[i] * q[i], so these scores
+      // match InnerProduct(w, q) bit-for-bit.
+      simd::AccumulateScaledDoubles(wcol_.data() + i * m + c0, q[i], acc,
+                                    len);
+    }
+  }
+}
+
+void TauIndex::TopKRange(ConstRow q, size_t k, size_t w_begin, size_t w_end,
+                         ReverseTopKResult& out) const {
+  if (k == 0 || w_begin >= w_end) return;
+  if (k > num_points_) {
+    // Every rank is <= |P| < k: all weights retain q.
+    for (size_t w = w_begin; w < w_end; ++w) {
+      out.push_back(static_cast<VectorId>(w));
+    }
+    return;
+  }
+  const double* tau_k = tau_.data() + (k - 1) * num_weights_;
+  double scores[kScoreChunk];
+  uint32_t selected[kScoreChunk];
+  for (size_t c0 = w_begin; c0 < w_end; c0 += kScoreChunk) {
+    const size_t len = std::min(kScoreChunk, w_end - c0);
+    ScoreRange(q, c0, c0 + len, scores);
+    const size_t cnt =
+        simd::SelectLessEqual(scores, tau_k + c0, len, selected);
+    for (size_t t = 0; t < cnt; ++t) {
+      out.push_back(static_cast<VectorId>(c0 + selected[t]));
+    }
+  }
+}
+
+ReverseTopKResult TauIndex::ReverseTopK(ConstRow q, size_t k,
+                                        QueryStats* stats) const {
+  ReverseTopKResult result;
+  TopKRange(q, k, 0, num_weights_, result);
+  if (stats != nullptr) {
+    stats->weights_evaluated += num_weights_;
+    stats->inner_products += num_weights_;
+    stats->multiplications += num_weights_ * dim_;
+  }
+  return result;
+}
+
+TauRankBounds TauIndex::BoundRank(size_t w, double score) const {
+  const size_t m = num_weights_;
+  // Count of τ_j(w) < score by binary search over the k-major columns:
+  // rank(w, q) >= j ⟺ τ_j(w) < f_w(q), so the count IS the rank whenever
+  // it stops short of k_cap.
+  size_t lo = 0;
+  size_t hi = k_cap_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (tau_[mid * m + w] < score) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < k_cap_) {
+    return TauRankBounds{static_cast<int64_t>(lo), static_cast<int64_t>(lo)};
+  }
+  const int64_t n = static_cast<int64_t>(num_points_);
+  const double mn = tau_[w];  // τ_1(w), the histogram's lower edge
+  const double mx = score_max_[w];
+  if (score <= mn) return TauRankBounds{0, 0};
+  if (score > mx) return TauRankBounds{n, n};
+  const double inv = static_cast<double>(bins_) / (mx - mn);
+  const uint32_t* pre = hist_prefix_.data() + w * bins_;
+  const size_t b = BinOf(score, mn, inv, bins_);
+  const int64_t upper = static_cast<int64_t>(pre[b]);
+  int64_t lower = b == 0 ? 0 : static_cast<int64_t>(pre[b - 1]);
+  lower = std::max(lower, static_cast<int64_t>(k_cap_));
+  return TauRankBounds{std::min(lower, upper), upper};
+}
+
+size_t TauIndex::MemoryBytes() const {
+  return tau_.size() * sizeof(double) + score_max_.size() * sizeof(double) +
+         hist_prefix_.size() * sizeof(uint32_t) +
+         wcol_.size() * sizeof(double);
+}
+
+}  // namespace gir

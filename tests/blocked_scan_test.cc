@@ -26,25 +26,9 @@
 namespace gir {
 namespace {
 
+using testing_util::MakeTieHeavy;
 using testing_util::MakeWorkload;
 using testing_util::Workload;
-
-// Snaps every value to a coarse lattice and duplicates rows, so exact
-// scores tie constantly — the adversarial case for bound classification
-// and (rank, id) tie-breaking.
-Dataset MakeTieHeavy(size_t n, size_t d, uint64_t seed) {
-  Dataset base = GenerateUniform(n, d, seed);
-  std::vector<double> flat = base.flat();
-  for (double& v : flat) v = std::floor(v / 2000.0) * 2000.0;
-  // Duplicate the first quarter of the rows over the last quarter.
-  const size_t quarter = n / 4;
-  for (size_t i = 0; i < quarter; ++i) {
-    for (size_t j = 0; j < d; ++j) {
-      flat[(n - 1 - i) * d + j] = flat[i * d + j];
-    }
-  }
-  return Dataset::FromFlat(d, std::move(flat)).value();
-}
 
 struct Case {
   size_t d;

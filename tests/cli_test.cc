@@ -133,6 +133,53 @@ TEST_F(CliTest, TopKSubcommand) {
   EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 5);
 }
 
+TEST_F(CliTest, TauPipelineBuildsQueriesAndInspects) {
+  ASSERT_EQ(RunCli("generate --kind points --dist UN --n 600 --d 4 --seed 21 "
+                   "--out " + Path("p.bin")), 0);
+  ASSERT_EQ(RunCli("generate --kind weights --dist UN --n 150 --d 4 --seed 22 "
+                   "--out " + Path("w.bin")), 0);
+
+  std::string output;
+  ASSERT_EQ(RunCli("tau build --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --out " + Path("t.bin") +
+                   " --k-max 16 --bins 8", &output), 0);
+  EXPECT_NE(output.find("k_cap"), std::string::npos);
+
+  ASSERT_EQ(RunCli("tau info --tau " + Path("t.bin") + " --weights " +
+                   Path("w.bin"), &output), 0);
+  EXPECT_NE(output.find("16"), std::string::npos);
+
+  // Queries through the loaded tau-index match the plain query command.
+  std::string via_tau, via_scan;
+  ASSERT_EQ(RunCli("tau query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --tau " + Path("t.bin") +
+                   " --type rtk --k 5 --query-row 13", &via_tau), 0);
+  ASSERT_EQ(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --type rtk --k 5 --query-row 13",
+                   &via_scan), 0);
+  EXPECT_EQ(via_tau, via_scan);
+
+  ASSERT_EQ(RunCli("tau query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --tau " + Path("t.bin") +
+                   " --type rkr --k 5 --query-row 13", &via_tau), 0);
+  ASSERT_EQ(RunCli("query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --type rkr --k 5 --query-row 13",
+                   &via_scan), 0);
+  EXPECT_EQ(via_tau, via_scan);
+
+  // Corrupt tau file fails cleanly, as does a missing one.
+  {
+    std::ofstream out(Path("t.bin"),
+                      std::ios::binary | std::ios::app);
+    out << "garbage";
+  }
+  EXPECT_NE(RunCli("tau query --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --tau " + Path("t.bin") +
+                   " --type rtk --k 5 --query-row 0"), 0);
+  EXPECT_NE(RunCli("tau info --tau " + Path("absent.bin") + " --weights " +
+                   Path("w.bin")), 0);
+}
+
 TEST_F(CliTest, MissingFilesFailGracefully) {
   EXPECT_EQ(RunCli("query --points " + Path("no.bin") + " --weights " +
                    Path("no2.bin") + " --type rkr --k 5 --query-row 0"), 2);

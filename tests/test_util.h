@@ -1,8 +1,10 @@
 #ifndef GIR_TESTS_TEST_UTIL_H_
 #define GIR_TESTS_TEST_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/dataset.h"
 #include "data/generators.h"
@@ -29,6 +31,23 @@ struct Workload {
 
 inline Workload MakeWorkload(size_t n, size_t m, size_t d, uint64_t seed) {
   return Workload{SmallPoints(n, d, seed), SmallWeights(m, d, seed + 1)};
+}
+
+/// Snaps every value to a coarse lattice and duplicates rows, so exact
+/// scores tie constantly — the adversarial case for bound classification,
+/// (rank, id) tie-breaking and the τ-index's inclusive threshold test.
+inline Dataset MakeTieHeavy(size_t n, size_t d, uint64_t seed) {
+  Dataset base = GenerateUniform(n, d, seed);
+  std::vector<double> flat = base.flat();
+  for (double& v : flat) v = std::floor(v / 2000.0) * 2000.0;
+  // Duplicate the first quarter of the rows over the last quarter.
+  const size_t quarter = n / 4;
+  for (size_t i = 0; i < quarter; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      flat[(n - 1 - i) * d + j] = flat[i * d + j];
+    }
+  }
+  return Dataset::FromFlat(d, std::move(flat)).value();
 }
 
 }  // namespace testing_util

@@ -9,14 +9,23 @@
 //                       [--index idx.bin] [--stats]
 //   gir_cli info        --dataset p.bin | --index idx.bin --points p.bin
 //                       --weights w.bin
+//   gir_cli tau build   --points p.bin --weights w.bin --out tau.bin
+//                       [--k-max 64] [--bins 64] [--threads 0]
+//   gir_cli tau query   --points p.bin --weights w.bin --tau tau.bin
+//                       --type rtk|rkr --k 10 (--query-row 7 | --query ...)
+//                       [--stats]
+//   gir_cli tau info    --tau tau.bin --weights w.bin
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/topk.h"
@@ -89,7 +98,8 @@ int FailStatus(const Status& status) {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: gir_cli <generate|build-index|query|info> [--flag value ...]\n"
+      "usage: gir_cli <generate|build-index|query|info|tau> "
+      "[--flag value ...]\n"
       "  generate    --kind points|weights --dist UN|CL|AC|NORMAL|EXP|SPARSE\n"
       "              --n N --d D --seed S --out FILE [--range R]\n"
       "  build-index --points FILE --weights FILE --out FILE\n"
@@ -98,7 +108,13 @@ void PrintUsage() {
       "              (--query-row I | --query v1,v2,...) [--index FILE]\n"
       "              [--stats]\n"
       "  info        --dataset FILE | --index FILE --points FILE "
-      "--weights FILE\n");
+      "--weights FILE\n"
+      "  tau build   --points FILE --weights FILE --out FILE\n"
+      "              [--k-max K] [--bins B] [--threads T]\n"
+      "  tau query   --points FILE --weights FILE --tau FILE\n"
+      "              --type rtk|rkr --k K (--query-row I | --query v,...)\n"
+      "              [--stats]\n"
+      "  tau info    --tau FILE --weights FILE\n");
 }
 
 int RunGenerate(const Args& args) {
@@ -276,12 +292,146 @@ int RunInfo(const Args& args) {
   return 0;
 }
 
+int RunTauBuild(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto out = args.Get("out");
+  if (!points_path || !weights_path || !out) {
+    return Fail("tau build requires --points --weights --out");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+  TauIndexOptions options;
+  options.k_max = args.GetSize("k-max").value_or(options.k_max);
+  options.bins = args.GetSize("bins").value_or(options.bins);
+  options.threads = args.GetSize("threads").value_or(options.threads);
+  const auto start = std::chrono::steady_clock::now();
+  auto tau = TauIndex::Build(points.value(), weights.value(), options);
+  if (!tau.ok()) return FailStatus(tau.status());
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  const Status s = SaveTauIndex(*out, tau.value());
+  if (!s.ok()) return FailStatus(s);
+  std::printf(
+      "tau index: %zu points x %zu weights, k_cap %zu, %zu bins, "
+      "built in %.1f ms, %zu bytes in memory -> %s\n",
+      tau.value().num_points(), tau.value().num_weights(),
+      tau.value().k_cap(), tau.value().bins(), build_ms,
+      tau.value().MemoryBytes(), out->c_str());
+  return 0;
+}
+
+int RunTauQuery(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto tau_path = args.Get("tau");
+  const auto type = args.Get("type");
+  const auto k = args.GetSize("k");
+  if (!points_path || !weights_path || !tau_path || !type || !k) {
+    return Fail("tau query requires --points --weights --tau --type --k");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+
+  std::vector<double> q;
+  if (const auto row = args.GetSize("query-row"); row.has_value()) {
+    if (*row >= points.value().size()) return Fail("--query-row out of range");
+    ConstRow r = points.value().row(*row);
+    q.assign(r.begin(), r.end());
+  } else if (const auto text = args.Get("query"); text.has_value()) {
+    auto parsed = ParseQueryVector(*text);
+    if (!parsed.has_value()) return Fail("cannot parse --query vector");
+    q = std::move(*parsed);
+  } else {
+    return Fail("tau query requires --query-row or --query");
+  }
+  if (q.size() != points.value().dim()) {
+    return Fail("query vector width does not match the dataset dimension");
+  }
+
+  auto tau = LoadTauIndex(*tau_path, weights.value());
+  if (!tau.ok()) return FailStatus(tau.status());
+  // Build() with scan_mode kTauIndex would re-score P x W; build with the
+  // default mode (only the cheap grid quantization runs), then attach the
+  // loaded τ-index and switch modes.
+  auto index = GirIndex::Build(points.value(), weights.value());
+  if (!index.ok()) return FailStatus(index.status());
+  const Status attach = index.value().AttachTauIndex(
+      std::make_shared<const TauIndex>(std::move(tau).value()));
+  if (!attach.ok()) return FailStatus(attach);
+  index.value().set_scan_mode(ScanMode::kTauIndex);
+
+  QueryStats stats;
+  QueryStats* stats_ptr = args.Has("stats") ? &stats : nullptr;
+  if (*type == "rtk") {
+    auto result = index.value().ReverseTopK(q, *k, stats_ptr);
+    std::printf("%zu matching preferences\n", result.size());
+    for (VectorId id : result) std::printf("weight %u\n", id);
+  } else if (*type == "rkr") {
+    auto result = index.value().ReverseKRanks(q, *k, stats_ptr);
+    for (const auto& entry : result) {
+      std::printf("weight %u rank %lld\n", entry.weight_id,
+                  static_cast<long long>(entry.rank));
+    }
+  } else {
+    return Fail("--type must be rtk or rkr");
+  }
+  if (stats_ptr != nullptr) {
+    std::printf("# stats: %s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int RunTauInfo(const Args& args) {
+  const auto tau_path = args.Get("tau");
+  const auto weights_path = args.Get("weights");
+  if (!tau_path || !weights_path) {
+    return Fail("tau info requires --tau --weights");
+  }
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+  auto tau = LoadTauIndex(*tau_path, weights.value());
+  if (!tau.ok()) return FailStatus(tau.status());
+  std::printf(
+      "tau index %s: %zu points x %zu weights (%zu-d), k_cap %zu, "
+      "%zu bins, in-memory %zu bytes\n",
+      tau_path->c_str(), tau.value().num_points(), tau.value().num_weights(),
+      tau.value().dim(), tau.value().k_cap(), tau.value().bins(),
+      tau.value().MemoryBytes());
+  return 0;
+}
+
+int RunTau(int argc, char** argv) {
+  if (argc < 3) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string action = argv[2];
+  // Shift by one so Args' fixed "--flags start at index 2" skips the
+  // action word.
+  Args args(argc - 1, argv + 1);
+  if (!args.ok()) return Fail(args.error().c_str());
+  if (action == "build") return RunTauBuild(args);
+  if (action == "query") return RunTauQuery(args);
+  if (action == "info") return RunTauInfo(args);
+  PrintUsage();
+  return 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     PrintUsage();
     return 1;
   }
   const std::string command = argv[1];
+  // `tau` carries an action word Args would reject; dispatch it first.
+  if (command == "tau") return RunTau(argc, argv);
   Args args(argc, argv);
   if (!args.ok()) return Fail(args.error().c_str());
   if (command == "generate") return RunGenerate(args);
