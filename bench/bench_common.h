@@ -1,11 +1,14 @@
 #ifndef GIR_BENCH_BENCH_COMMON_H_
 #define GIR_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "bench_util/table.h"
 #include "bench_util/timer.h"
 #include "bench_util/workloads.h"
+#include "core/simd.h"
 #include "core/simple_scan.h"
 #include "data/generators.h"
 #include "data/weights.h"
@@ -21,6 +25,42 @@
 
 namespace gir {
 namespace bench {
+
+/// Thread count this bench process runs with. 1 until ParseThreadsFlag
+/// records the invocation's value; stamped into every JsonRecord so logs
+/// from different machines/invocations stay comparable.
+inline size_t& BenchThreads() {
+  static size_t threads = 1;
+  return threads;
+}
+
+/// Consumes a "--threads N" / "--threads=N" flag from argv (so benches
+/// that forward the remaining arguments — e.g. to google-benchmark — never
+/// see it) and records the result in BenchThreads(). Defaults to the
+/// hardware concurrency when the flag is absent; a parsed value of 0 also
+/// means hardware concurrency.
+inline size_t ParseThreadsFlag(int* argc, char** argv) {
+  const size_t hw =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t threads = hw;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < *argc) {
+      threads = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      ++i;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<size_t>(
+          std::strtoull(arg.c_str() + sizeof("--threads=") - 1, nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  if (threads == 0) threads = hw;
+  BenchThreads() = threads;
+  return threads;
+}
 
 /// Prints the standard experiment banner: what is being reproduced and at
 /// which scale.
@@ -66,11 +106,36 @@ class JsonRecord {
   JsonRecord(const std::string& bench, BenchScale scale) {
     Add("bench", bench);
     Add("scale", BenchScaleName(scale));
+    // Provenance stamps: enough to reproduce (or distrust) any line on its
+    // own — the commit, the compiler, the tuning flags, the SIMD level the
+    // dispatcher actually picked, and the invocation's thread count.
+#ifdef GIR_GIT_SHA
+    Add("git_sha", GIR_GIT_SHA);
+#else
+    Add("git_sha", "unknown");
+#endif
+#ifdef __VERSION__
+    Add("compiler", __VERSION__);
+#else
+    Add("compiler", "unknown");
+#endif
+#if defined(GIR_MARCH_NATIVE_BUILD) && GIR_MARCH_NATIVE_BUILD
+    Add("march_native", size_t{1});
+#else
+    Add("march_native", size_t{0});
+#endif
+    Add("isa", simd::IsaName());
+    Add("threads", BenchThreads());
   }
 
   JsonRecord& Add(const std::string& key, const std::string& value) {
     return Raw(key, "\"" + Escape(value) + "\"");
   }
+
+  /// JSON null — for metrics that do not exist at a configuration (e.g. a
+  /// break-even point that is never reached), where 0.0 would read as a
+  /// (suspiciously good) measurement.
+  JsonRecord& AddNull(const std::string& key) { return Raw(key, "null"); }
   JsonRecord& Add(const std::string& key, const char* value) {
     return Add(key, std::string(value));
   }

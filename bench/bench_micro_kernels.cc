@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "bench_util/timer.h"
 #include "bench_util/workloads.h"
 #include "core/simd.h"
@@ -241,6 +242,7 @@ ComparisonResult RunComparison(const Dataset& points, const Dataset& weights,
 void EmitComparisonJson(BenchScale scale) {
   const size_t n = scale == BenchScale::kSmoke ? 10'000 : 100'000;
   const size_t m = scale == BenchScale::kSmoke ? 1'000 : 10'000;
+  bench::JsonLog json("micro_kernels");
   for (size_t d : {size_t{8}, size_t{16}}) {
     Dataset points = GenerateUniform(n, d, 71);
     Dataset weights = GenerateWeightsUniform(m, d, 72);
@@ -259,20 +261,21 @@ void EmitComparisonJson(BenchScale scale) {
     const double bytes_base = static_cast<double>(n) * d;
     const double bytes_blocked =
         bytes_base / static_cast<double>(scanner.weight_batch());
-    std::printf(
-        "{\"bench\":\"blocked_vs_weight_at_a_time\",\"scale\":\"%s\","
-        "\"mode\":\"exact_weight_uniform\",\"d\":%zu,\"n\":%zu,"
-        "\"num_weights\":%zu,\"weight_batch\":%zu,\"block_points\":%zu,"
-        "\"isa\":\"%s\",\"baseline_s\":%.4f,\"blocked_s\":%.4f,"
-        "\"baseline_weight_points_per_sec\":%.3e,"
-        "\"blocked_weight_points_per_sec\":%.3e,\"speedup\":%.2f,"
-        "\"cell_bytes_streamed_per_weight_baseline\":%.0f,"
-        "\"cell_bytes_streamed_per_weight_blocked\":%.0f}\n",
-        BenchScaleName(scale), d, n, m, scanner.weight_batch(),
-        scanner.block_points(), simd::IsaName(),
-        r.baseline_s, r.blocked_s, wp / r.baseline_s, wp / r.blocked_s,
-        r.baseline_s / r.blocked_s, bytes_base, bytes_blocked);
-    std::fflush(stdout);
+    json.Emit(bench::JsonRecord("blocked_vs_weight_at_a_time", scale)
+                  .Add("mode", "exact_weight_uniform")
+                  .Add("d", d)
+                  .Add("n", n)
+                  .Add("num_weights", m)
+                  .Add("weight_batch", scanner.weight_batch())
+                  .Add("block_points", scanner.block_points())
+                  .Add("baseline_s", r.baseline_s)
+                  .Add("blocked_s", r.blocked_s)
+                  .Add("baseline_weight_points_per_sec", wp / r.baseline_s)
+                  .Add("blocked_weight_points_per_sec", wp / r.blocked_s)
+                  .Add("speedup", r.baseline_s / r.blocked_s)
+                  .Add("cell_bytes_streamed_per_weight_baseline", bytes_base)
+                  .Add("cell_bytes_streamed_per_weight_blocked",
+                       bytes_blocked));
   }
 }
 
@@ -280,6 +283,10 @@ void EmitComparisonJson(BenchScale scale) {
 }  // namespace gir
 
 int main(int argc, char** argv) {
+  // The kernels here are single-threaded; the flag still records the
+  // invocation's thread count into the JSON stamps (and keeps the flag
+  // away from google-benchmark's parser).
+  gir::bench::ParseThreadsFlag(&argc, argv);
   gir::EmitComparisonJson(gir::ReadBenchScale());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -49,8 +49,8 @@ void RequireEqualRkr(const ReverseKRanksResult& expect,
   }
 }
 
-void RunConfig(const Config& config, size_t k, BenchScale scale,
-               bench::JsonLog& json) {
+void RunConfig(const Config& config, size_t k, size_t threads,
+               BenchScale scale, bench::JsonLog& json) {
   Dataset points = GenerateUniform(config.n, config.d, 4100 + config.d);
   Dataset weights =
       GenerateWeightsUniform(config.m, config.d, 4200 + config.d);
@@ -64,6 +64,7 @@ void RunConfig(const Config& config, size_t k, BenchScale scale,
   GirIndex index = GirIndex::Build(points, weights, options).value();
 
   TauIndexOptions tau_options;
+  tau_options.threads = threads;
   const double tau_build_ms = bench::TimeMs([&] {
     auto tau = TauIndex::Build(points, weights, tau_options);
     index.AttachTauIndex(
@@ -103,31 +104,45 @@ void RunConfig(const Config& config, size_t k, BenchScale scale,
   const double rtk_speedup = blocked_rtk_ms / tau_rtk_ms;
   const double rkr_speedup = blocked_rkr_ms / tau_rkr_ms;
   // Queries after which the τ build has paid for itself vs the blocked
-  // engine (RTK); 0 means the per-query saving is non-positive.
+  // engine (RTK). When the per-query saving is non-positive there is no
+  // such count: the record carries null (not 0, which would read as
+  // "immediately amortized") and a one-line explanation follows.
   const double saving = blocked_rtk_ms - tau_rtk_ms;
-  const double break_even = saving > 0.0 ? tau_build_ms / saving : 0.0;
 
-  json.Emit(bench::JsonRecord("tau_index", scale)
-                .Add("d", config.d)
-                .Add("n", config.n)
-                .Add("num_weights", config.m)
-                .Add("k", k)
-                .Add("k_cap", index.tau_index()->k_cap())
-                .Add("bins", index.tau_index()->bins())
-                .Add("tau_build_ms", tau_build_ms)
-                .Add("tau_bytes", index.tau_index()->MemoryBytes())
-                .Add("serial_rtk_ms", serial_rtk_ms)
-                .Add("blocked_rtk_ms", blocked_rtk_ms)
-                .Add("tau_rtk_ms", tau_rtk_ms)
-                .Add("serial_rkr_ms", serial_rkr_ms)
-                .Add("blocked_rkr_ms", blocked_rkr_ms)
-                .Add("tau_rkr_ms", tau_rkr_ms)
-                .Add("rtk_speedup_vs_blocked", rtk_speedup)
-                .Add("rkr_speedup_vs_blocked", rkr_speedup)
-                .Add("rtk_break_even_queries", break_even));
+  bench::JsonRecord record =
+      bench::JsonRecord("tau_index", scale)
+          .Add("d", config.d)
+          .Add("n", config.n)
+          .Add("num_weights", config.m)
+          .Add("k", k)
+          .Add("k_cap", index.tau_index()->k_cap())
+          .Add("bins", index.tau_index()->bins())
+          .Add("tau_build_ms", tau_build_ms)
+          .Add("tau_bytes", index.tau_index()->MemoryBytes())
+          .Add("serial_rtk_ms", serial_rtk_ms)
+          .Add("blocked_rtk_ms", blocked_rtk_ms)
+          .Add("tau_rtk_ms", tau_rtk_ms)
+          .Add("serial_rkr_ms", serial_rkr_ms)
+          .Add("blocked_rkr_ms", blocked_rkr_ms)
+          .Add("tau_rkr_ms", tau_rkr_ms)
+          .Add("rtk_speedup_vs_blocked", rtk_speedup)
+          .Add("rkr_speedup_vs_blocked", rkr_speedup);
+  if (saving > 0.0) {
+    record.Add("rtk_break_even_queries", tau_build_ms / saving);
+  } else {
+    record.AddNull("rtk_break_even_queries");
+  }
+  json.Emit(record);
+  if (!(saving > 0.0)) {
+    std::printf(
+        "# d=%zu: rtk_break_even_queries is null — tau RTK (%.4f ms/query) "
+        "is not faster than the blocked engine (%.4f ms/query) here, so "
+        "the %.1f ms build cost never amortizes on RTK alone.\n",
+        config.d, tau_rtk_ms, blocked_rtk_ms, tau_build_ms);
+  }
 }
 
-void Run() {
+void Run(size_t threads) {
   const BenchScale scale = ReadBenchScale();
   bench::PrintHeader(
       "tau-index",
@@ -159,7 +174,7 @@ void Run() {
 
   bench::JsonLog json("tau_index");
   for (const Config& config : configs) {
-    RunConfig(config, k, scale, json);
+    RunConfig(config, k, threads, scale, json);
   }
   std::printf(
       "\nExpected shape: tau RTK is a single O(|W| d) pass, >= 5x faster\n"
@@ -171,7 +186,7 @@ void Run() {
 }  // namespace
 }  // namespace gir
 
-int main() {
-  gir::Run();
+int main(int argc, char** argv) {
+  gir::Run(gir::bench::ParseThreadsFlag(&argc, argv));
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/simd.h"
 
+#include <algorithm>
 #include <cstring>
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -61,6 +62,122 @@ void ScaledDoublesPortable(const double* values, double scale, double* acc,
                            size_t count) {
   for (size_t j = 0; j < count; ++j) {
     acc[j] += scale * values[j];
+  }
+}
+
+// Scalar bin computation shared by every BinDoubles remainder. Must stay
+// expression-identical to TauIndex's BinOf (grid/tau_index.cc): the
+// histogram the build writes is probed at query time through that scalar
+// path, so build and query must agree on every bin.
+inline uint32_t BinOfScalar(double s, double lo, double inv, uint32_t bins) {
+  const double t = (s - lo) * inv;
+  if (!(t > 0.0)) return 0;
+  const uint64_t b = static_cast<uint64_t>(t);
+  return b >= bins ? bins - 1 : static_cast<uint32_t>(b);
+}
+
+void MinMaxDoublesPortable(const double* values, size_t count, double* min_out,
+                           double* max_out) {
+  double mn = values[0];
+  double mx = values[0];
+  for (size_t j = 1; j < count; ++j) {
+    mn = std::min(mn, values[j]);
+    mx = std::max(mx, values[j]);
+  }
+  *min_out = mn;
+  *max_out = mx;
+}
+
+void BinDoublesPortable(const double* scores, size_t count, double lo,
+                        double inv, uint32_t bins, uint32_t* out) {
+  for (size_t j = 0; j < count; ++j) {
+    out[j] = BinOfScalar(scores[j], lo, inv, bins);
+  }
+}
+
+// --------------------------------------------------- tiled scoring kernel
+//
+// Shared scalar paths for the register-tiled kernel's remainders. Every
+// variant — including these — accumulates with an unfused multiply-then-add
+// in ascending dimension order (this file builds with -ffp-contract=off),
+// so a value computed by a tile body, a tile remainder and the scalar
+// InnerProduct loop are all the same double.
+
+// Scores rows [0, num_rows) against columns [j_begin, count) one element
+// at a time. Handles whatever the vector tiles leave over.
+void ScoreColsScalar(const double* cols, size_t col_stride, size_t j_begin,
+                     size_t count, const double* const* coeff_rows,
+                     size_t num_rows, size_t d, double* out,
+                     size_t out_stride) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const double* w = coeff_rows[r];
+    double* o = out + r * out_stride;
+    for (size_t j = j_begin; j < count; ++j) {
+      double s = 0.0;
+      for (size_t i = 0; i < d; ++i) s += w[i] * cols[i * col_stride + j];
+      o[j] = s;
+    }
+  }
+}
+
+constexpr size_t kTileRows = 4;           // U: coefficient rows per tile.
+constexpr size_t kTileColsPortable = 16;  // T: two cache lines of doubles.
+
+// Single-row fallback for the portable path (num_rows % kTileRows tail).
+void ScoreTileRowPortable(const double* cols, size_t col_stride, size_t count,
+                          const double* w, size_t d, double* out) {
+  size_t j = 0;
+  for (; j + kTileColsPortable <= count; j += kTileColsPortable) {
+    double acc[kTileColsPortable] = {};
+    for (size_t i = 0; i < d; ++i) {
+      const double c = w[i];
+      const double* col = cols + i * col_stride + j;
+      for (size_t t = 0; t < kTileColsPortable; ++t) acc[t] += c * col[t];
+    }
+    for (size_t t = 0; t < kTileColsPortable; ++t) out[j + t] = acc[t];
+  }
+  const double* row = w;
+  ScoreColsScalar(cols, col_stride, j, count, &row, 1, d, out, count);
+}
+
+void ScoreTilePortable(const double* cols, size_t col_stride, size_t count,
+                       const double* const* coeff_rows, size_t num_rows,
+                       size_t d, double* out, size_t out_stride) {
+  size_t r = 0;
+  for (; r + kTileRows <= num_rows; r += kTileRows) {
+    const double* w0 = coeff_rows[r];
+    const double* w1 = coeff_rows[r + 1];
+    const double* w2 = coeff_rows[r + 2];
+    const double* w3 = coeff_rows[r + 3];
+    double* o0 = out + r * out_stride;
+    double* o1 = o0 + out_stride;
+    double* o2 = o1 + out_stride;
+    double* o3 = o2 + out_stride;
+    size_t j = 0;
+    for (; j + kTileColsPortable <= count; j += kTileColsPortable) {
+      double a0[kTileColsPortable] = {};
+      double a1[kTileColsPortable] = {};
+      double a2[kTileColsPortable] = {};
+      double a3[kTileColsPortable] = {};
+      for (size_t i = 0; i < d; ++i) {
+        const double* col = cols + i * col_stride + j;
+        const double c0 = w0[i], c1 = w1[i], c2 = w2[i], c3 = w3[i];
+        for (size_t t = 0; t < kTileColsPortable; ++t) a0[t] += c0 * col[t];
+        for (size_t t = 0; t < kTileColsPortable; ++t) a1[t] += c1 * col[t];
+        for (size_t t = 0; t < kTileColsPortable; ++t) a2[t] += c2 * col[t];
+        for (size_t t = 0; t < kTileColsPortable; ++t) a3[t] += c3 * col[t];
+      }
+      for (size_t t = 0; t < kTileColsPortable; ++t) o0[j + t] = a0[t];
+      for (size_t t = 0; t < kTileColsPortable; ++t) o1[j + t] = a1[t];
+      for (size_t t = 0; t < kTileColsPortable; ++t) o2[j + t] = a2[t];
+      for (size_t t = 0; t < kTileColsPortable; ++t) o3[j + t] = a3[t];
+    }
+    ScoreColsScalar(cols, col_stride, j, count, coeff_rows + r, kTileRows, d,
+                    out + r * out_stride, out_stride);
+  }
+  for (; r < num_rows; ++r) {
+    ScoreTileRowPortable(cols, col_stride, count, coeff_rows[r], d,
+                         out + r * out_stride);
   }
 }
 
@@ -172,6 +289,157 @@ __attribute__((target("avx2"))) void ScaledDoublesAvx2(const double* values,
     _mm256_storeu_pd(acc + j, _mm256_add_pd(_mm256_loadu_pd(acc + j), p));
   }
   for (; j < count; ++j) acc[j] += scale * values[j];
+}
+
+// 4 coefficient rows x 8 columns per tile: 8 ymm accumulators plus two
+// column vectors and one broadcast stay inside the 16 vector registers.
+// mul + add kept distinct (no fmadd): see ScaledDoublesAvx2.
+__attribute__((target("avx2"))) void ScoreTileAvx2(
+    const double* cols, size_t col_stride, size_t count,
+    const double* const* coeff_rows, size_t num_rows, size_t d, double* out,
+    size_t out_stride) {
+  size_t r = 0;
+  for (; r + kTileRows <= num_rows; r += kTileRows) {
+    const double* w0 = coeff_rows[r];
+    const double* w1 = coeff_rows[r + 1];
+    const double* w2 = coeff_rows[r + 2];
+    const double* w3 = coeff_rows[r + 3];
+    double* o0 = out + r * out_stride;
+    double* o1 = o0 + out_stride;
+    double* o2 = o1 + out_stride;
+    double* o3 = o2 + out_stride;
+    size_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+      __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+      __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+      __m256d a20 = _mm256_setzero_pd(), a21 = _mm256_setzero_pd();
+      __m256d a30 = _mm256_setzero_pd(), a31 = _mm256_setzero_pd();
+      for (size_t i = 0; i < d; ++i) {
+        const double* col = cols + i * col_stride + j;
+        const __m256d v0 = _mm256_loadu_pd(col);
+        const __m256d v1 = _mm256_loadu_pd(col + 4);
+        __m256d c = _mm256_set1_pd(w0[i]);
+        a00 = _mm256_add_pd(a00, _mm256_mul_pd(c, v0));
+        a01 = _mm256_add_pd(a01, _mm256_mul_pd(c, v1));
+        c = _mm256_set1_pd(w1[i]);
+        a10 = _mm256_add_pd(a10, _mm256_mul_pd(c, v0));
+        a11 = _mm256_add_pd(a11, _mm256_mul_pd(c, v1));
+        c = _mm256_set1_pd(w2[i]);
+        a20 = _mm256_add_pd(a20, _mm256_mul_pd(c, v0));
+        a21 = _mm256_add_pd(a21, _mm256_mul_pd(c, v1));
+        c = _mm256_set1_pd(w3[i]);
+        a30 = _mm256_add_pd(a30, _mm256_mul_pd(c, v0));
+        a31 = _mm256_add_pd(a31, _mm256_mul_pd(c, v1));
+      }
+      _mm256_storeu_pd(o0 + j, a00);
+      _mm256_storeu_pd(o0 + j + 4, a01);
+      _mm256_storeu_pd(o1 + j, a10);
+      _mm256_storeu_pd(o1 + j + 4, a11);
+      _mm256_storeu_pd(o2 + j, a20);
+      _mm256_storeu_pd(o2 + j + 4, a21);
+      _mm256_storeu_pd(o3 + j, a30);
+      _mm256_storeu_pd(o3 + j + 4, a31);
+    }
+    for (; j + 4 <= count; j += 4) {
+      __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+      __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+      for (size_t i = 0; i < d; ++i) {
+        const __m256d v = _mm256_loadu_pd(cols + i * col_stride + j);
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_set1_pd(w0[i]), v));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_set1_pd(w1[i]), v));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_set1_pd(w2[i]), v));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_set1_pd(w3[i]), v));
+      }
+      _mm256_storeu_pd(o0 + j, a0);
+      _mm256_storeu_pd(o1 + j, a1);
+      _mm256_storeu_pd(o2 + j, a2);
+      _mm256_storeu_pd(o3 + j, a3);
+    }
+    ScoreColsScalar(cols, col_stride, j, count, coeff_rows + r, kTileRows, d,
+                    out + r * out_stride, out_stride);
+  }
+  // Row tail: one row, two vector accumulators.
+  for (; r < num_rows; ++r) {
+    const double* w = coeff_rows[r];
+    double* o = out + r * out_stride;
+    size_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+      __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+      for (size_t i = 0; i < d; ++i) {
+        const double* col = cols + i * col_stride + j;
+        const __m256d c = _mm256_set1_pd(w[i]);
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(c, _mm256_loadu_pd(col)));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(c, _mm256_loadu_pd(col + 4)));
+      }
+      _mm256_storeu_pd(o + j, a0);
+      _mm256_storeu_pd(o + j + 4, a1);
+    }
+    ScoreColsScalar(cols, col_stride, j, count, coeff_rows + r, 1, d, o,
+                    out_stride);
+  }
+}
+
+__attribute__((target("avx2"))) void MinMaxDoublesAvx2(const double* values,
+                                                       size_t count,
+                                                       double* min_out,
+                                                       double* max_out) {
+  if (count < 8) {
+    MinMaxDoublesPortable(values, count, min_out, max_out);
+    return;
+  }
+  __m256d mn0 = _mm256_loadu_pd(values);
+  __m256d mx0 = mn0;
+  __m256d mn1 = _mm256_loadu_pd(values + 4);
+  __m256d mx1 = mn1;
+  size_t j = 8;
+  for (; j + 8 <= count; j += 8) {
+    const __m256d v0 = _mm256_loadu_pd(values + j);
+    const __m256d v1 = _mm256_loadu_pd(values + j + 4);
+    mn0 = _mm256_min_pd(mn0, v0);
+    mx0 = _mm256_max_pd(mx0, v0);
+    mn1 = _mm256_min_pd(mn1, v1);
+    mx1 = _mm256_max_pd(mx1, v1);
+  }
+  mn0 = _mm256_min_pd(mn0, mn1);
+  mx0 = _mm256_max_pd(mx0, mx1);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, mn0);
+  double mn = std::min(std::min(lanes[0], lanes[1]),
+                       std::min(lanes[2], lanes[3]));
+  _mm256_storeu_pd(lanes, mx0);
+  double mx = std::max(std::max(lanes[0], lanes[1]),
+                       std::max(lanes[2], lanes[3]));
+  for (; j < count; ++j) {
+    mn = std::min(mn, values[j]);
+    mx = std::max(mx, values[j]);
+  }
+  *min_out = mn;
+  *max_out = mx;
+}
+
+// Branch-free BinOf: max(t, 0) replaces the !(t > 0) test (maxpd returns
+// its second operand on NaN, so NaN products clamp to bin 0 exactly like
+// the scalar path), truncating cvt matches the C cast, and the upper clamp
+// is an *unsigned* min so cvt's 0x80000000 out-of-range sentinel — only
+// reachable for products past int32, i.e. way past `bins` — also lands on
+// bins - 1, as the scalar path's size_t comparison does.
+__attribute__((target("avx2"))) void BinDoublesAvx2(const double* scores,
+                                                    size_t count, double lo,
+                                                    double inv, uint32_t bins,
+                                                    uint32_t* out) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vinv = _mm256_set1_pd(inv);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m128i vcap = _mm_set1_epi32(static_cast<int>(bins - 1));
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    __m256d t = _mm256_mul_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(scores + j), vlo), vinv);
+    t = _mm256_max_pd(t, vzero);
+    const __m128i b = _mm_min_epu32(_mm256_cvttpd_epi32(t), vcap);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j), b);
+  }
+  for (; j < count; ++j) out[j] = BinOfScalar(scores[j], lo, inv, bins);
 }
 
 __attribute__((target("avx2"))) size_t SelectLessEqualAvx2(
@@ -299,6 +567,141 @@ __attribute__((target("avx512f"))) void ScaledDoublesAvx512(
   for (; j < count; ++j) acc[j] += scale * values[j];
 }
 
+// 4 coefficient rows x 16 columns per tile (two zmm vectors per row);
+// remainders drop to one zmm, then scalar. Unfused mul + add throughout.
+__attribute__((target("avx512f"))) void ScoreTileAvx512(
+    const double* cols, size_t col_stride, size_t count,
+    const double* const* coeff_rows, size_t num_rows, size_t d, double* out,
+    size_t out_stride) {
+  size_t r = 0;
+  for (; r + kTileRows <= num_rows; r += kTileRows) {
+    const double* w0 = coeff_rows[r];
+    const double* w1 = coeff_rows[r + 1];
+    const double* w2 = coeff_rows[r + 2];
+    const double* w3 = coeff_rows[r + 3];
+    double* o0 = out + r * out_stride;
+    double* o1 = o0 + out_stride;
+    double* o2 = o1 + out_stride;
+    double* o3 = o2 + out_stride;
+    size_t j = 0;
+    for (; j + 16 <= count; j += 16) {
+      __m512d a00 = _mm512_setzero_pd(), a01 = _mm512_setzero_pd();
+      __m512d a10 = _mm512_setzero_pd(), a11 = _mm512_setzero_pd();
+      __m512d a20 = _mm512_setzero_pd(), a21 = _mm512_setzero_pd();
+      __m512d a30 = _mm512_setzero_pd(), a31 = _mm512_setzero_pd();
+      for (size_t i = 0; i < d; ++i) {
+        const double* col = cols + i * col_stride + j;
+        const __m512d v0 = _mm512_loadu_pd(col);
+        const __m512d v1 = _mm512_loadu_pd(col + 8);
+        __m512d c = _mm512_set1_pd(w0[i]);
+        a00 = _mm512_add_pd(a00, _mm512_mul_pd(c, v0));
+        a01 = _mm512_add_pd(a01, _mm512_mul_pd(c, v1));
+        c = _mm512_set1_pd(w1[i]);
+        a10 = _mm512_add_pd(a10, _mm512_mul_pd(c, v0));
+        a11 = _mm512_add_pd(a11, _mm512_mul_pd(c, v1));
+        c = _mm512_set1_pd(w2[i]);
+        a20 = _mm512_add_pd(a20, _mm512_mul_pd(c, v0));
+        a21 = _mm512_add_pd(a21, _mm512_mul_pd(c, v1));
+        c = _mm512_set1_pd(w3[i]);
+        a30 = _mm512_add_pd(a30, _mm512_mul_pd(c, v0));
+        a31 = _mm512_add_pd(a31, _mm512_mul_pd(c, v1));
+      }
+      _mm512_storeu_pd(o0 + j, a00);
+      _mm512_storeu_pd(o0 + j + 8, a01);
+      _mm512_storeu_pd(o1 + j, a10);
+      _mm512_storeu_pd(o1 + j + 8, a11);
+      _mm512_storeu_pd(o2 + j, a20);
+      _mm512_storeu_pd(o2 + j + 8, a21);
+      _mm512_storeu_pd(o3 + j, a30);
+      _mm512_storeu_pd(o3 + j + 8, a31);
+    }
+    for (; j + 8 <= count; j += 8) {
+      __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+      __m512d a2 = _mm512_setzero_pd(), a3 = _mm512_setzero_pd();
+      for (size_t i = 0; i < d; ++i) {
+        const __m512d v = _mm512_loadu_pd(cols + i * col_stride + j);
+        a0 = _mm512_add_pd(a0, _mm512_mul_pd(_mm512_set1_pd(w0[i]), v));
+        a1 = _mm512_add_pd(a1, _mm512_mul_pd(_mm512_set1_pd(w1[i]), v));
+        a2 = _mm512_add_pd(a2, _mm512_mul_pd(_mm512_set1_pd(w2[i]), v));
+        a3 = _mm512_add_pd(a3, _mm512_mul_pd(_mm512_set1_pd(w3[i]), v));
+      }
+      _mm512_storeu_pd(o0 + j, a0);
+      _mm512_storeu_pd(o1 + j, a1);
+      _mm512_storeu_pd(o2 + j, a2);
+      _mm512_storeu_pd(o3 + j, a3);
+    }
+    ScoreColsScalar(cols, col_stride, j, count, coeff_rows + r, kTileRows, d,
+                    out + r * out_stride, out_stride);
+  }
+  for (; r < num_rows; ++r) {
+    const double* w = coeff_rows[r];
+    double* o = out + r * out_stride;
+    size_t j = 0;
+    for (; j + 16 <= count; j += 16) {
+      __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+      for (size_t i = 0; i < d; ++i) {
+        const double* col = cols + i * col_stride + j;
+        const __m512d c = _mm512_set1_pd(w[i]);
+        a0 = _mm512_add_pd(a0, _mm512_mul_pd(c, _mm512_loadu_pd(col)));
+        a1 = _mm512_add_pd(a1, _mm512_mul_pd(c, _mm512_loadu_pd(col + 8)));
+      }
+      _mm512_storeu_pd(o + j, a0);
+      _mm512_storeu_pd(o + j + 8, a1);
+    }
+    ScoreColsScalar(cols, col_stride, j, count, coeff_rows + r, 1, d, o,
+                    out_stride);
+  }
+}
+
+__attribute__((target("avx512f"))) void MinMaxDoublesAvx512(
+    const double* values, size_t count, double* min_out, double* max_out) {
+  if (count < 16) {
+    MinMaxDoublesPortable(values, count, min_out, max_out);
+    return;
+  }
+  __m512d mn0 = _mm512_loadu_pd(values);
+  __m512d mx0 = mn0;
+  __m512d mn1 = _mm512_loadu_pd(values + 8);
+  __m512d mx1 = mn1;
+  size_t j = 16;
+  for (; j + 16 <= count; j += 16) {
+    const __m512d v0 = _mm512_loadu_pd(values + j);
+    const __m512d v1 = _mm512_loadu_pd(values + j + 8);
+    mn0 = _mm512_min_pd(mn0, v0);
+    mx0 = _mm512_max_pd(mx0, v0);
+    mn1 = _mm512_min_pd(mn1, v1);
+    mx1 = _mm512_max_pd(mx1, v1);
+  }
+  double mn = _mm512_reduce_min_pd(_mm512_min_pd(mn0, mn1));
+  double mx = _mm512_reduce_max_pd(_mm512_max_pd(mx0, mx1));
+  for (; j < count; ++j) {
+    mn = std::min(mn, values[j]);
+    mx = std::max(mx, values[j]);
+  }
+  *min_out = mn;
+  *max_out = mx;
+}
+
+// See BinDoublesAvx2 for why max + truncating cvt + unsigned clamp equals
+// the scalar BinOf on every input.
+__attribute__((target("avx512f"))) void BinDoublesAvx512(
+    const double* scores, size_t count, double lo, double inv, uint32_t bins,
+    uint32_t* out) {
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vinv = _mm512_set1_pd(inv);
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m256i vcap = _mm256_set1_epi32(static_cast<int>(bins - 1));
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    __m512d t = _mm512_mul_pd(
+        _mm512_sub_pd(_mm512_loadu_pd(scores + j), vlo), vinv);
+    t = _mm512_max_pd(t, vzero);
+    const __m256i b = _mm256_min_epu32(_mm512_cvttpd_epi32(t), vcap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j), b);
+  }
+  for (; j < count; ++j) out[j] = BinOfScalar(scores[j], lo, inv, bins);
+}
+
 __attribute__((target("avx512f"))) size_t SelectLessEqualAvx512(
     const double* values, const double* thresholds, size_t count,
     uint32_t* out) {
@@ -386,6 +789,12 @@ using ClassifyFn = ClassifyCounts (*)(const double*, const double*, double,
                                       uint32_t*, size_t*);
 using ScaledDoublesFn = void (*)(const double*, double, double*, size_t);
 using SelectFn = size_t (*)(const double*, const double*, size_t, uint32_t*);
+using ScoreTileFn = void (*)(const double*, size_t, size_t,
+                             const double* const*, size_t, size_t, double*,
+                             size_t);
+using MinMaxFn = void (*)(const double*, size_t, double*, double*);
+using BinFn = void (*)(const double*, size_t, double, double, uint32_t,
+                       uint32_t*);
 
 struct Dispatch {
   const char* isa;
@@ -396,6 +805,9 @@ struct Dispatch {
   ClassifyFn classify;
   ScaledDoublesFn scaled_doubles;
   SelectFn select_le;
+  ScoreTileFn score_tile;
+  MinMaxFn min_max;
+  BinFn bin;
 };
 
 Dispatch MakeDispatch() {
@@ -404,19 +816,25 @@ Dispatch MakeDispatch() {
     return Dispatch{"avx512",        true,
                     true,            &ScaledBytesAvx512,
                     &LookupBoundsAvx512, &ClassifyAvx512,
-                    &ScaledDoublesAvx512, &SelectLessEqualAvx512};
+                    &ScaledDoublesAvx512, &SelectLessEqualAvx512,
+                    &ScoreTileAvx512, &MinMaxDoublesAvx512,
+                    &BinDoublesAvx512};
   }
   if (DetectAvx2()) {
     return Dispatch{"avx2",          true,
                     false,           &ScaledBytesAvx2,
                     &LookupBoundsAvx2, &ClassifyAvx2,
-                    &ScaledDoublesAvx2, &SelectLessEqualAvx2};
+                    &ScaledDoublesAvx2, &SelectLessEqualAvx2,
+                    &ScoreTileAvx2, &MinMaxDoublesAvx2,
+                    &BinDoublesAvx2};
   }
 #endif
   return Dispatch{"portable",        false,
                   false,             &ScaledBytesPortable,
                   &LookupBoundsPortable, &ClassifyPortable,
-                  &ScaledDoublesPortable, &SelectLessEqualPortable};
+                  &ScaledDoublesPortable, &SelectLessEqualPortable,
+                  &ScoreTilePortable, &MinMaxDoublesPortable,
+                  &BinDoublesPortable};
 }
 
 const Dispatch& GetDispatch() {
@@ -451,6 +869,23 @@ void AccumulateScaledDoubles(const double* values, double scale, double* acc,
 size_t SelectLessEqual(const double* values, const double* thresholds,
                        size_t count, uint32_t* out) {
   return GetDispatch().select_le(values, thresholds, count, out);
+}
+
+void MinMaxDoubles(const double* values, size_t count, double* min_out,
+                   double* max_out) {
+  GetDispatch().min_max(values, count, min_out, max_out);
+}
+
+void BinDoubles(const double* scores, size_t count, double lo, double inv,
+                uint32_t bins, uint32_t* out) {
+  GetDispatch().bin(scores, count, lo, inv, bins, out);
+}
+
+void ScoreTileColumns(const double* cols, size_t col_stride, size_t count,
+                      const double* const* coeff_rows, size_t num_rows,
+                      size_t d, double* out, size_t out_stride) {
+  GetDispatch().score_tile(cols, col_stride, count, coeff_rows, num_rows, d,
+                           out, out_stride);
 }
 
 ClassifyCounts ClassifyBounds(const double* lo, const double* hi,

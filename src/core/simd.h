@@ -63,6 +63,47 @@ struct ClassifyCounts {
 void AccumulateScaledDoubles(const double* values, double scale, double* acc,
                              size_t count);
 
+/// Register-tiled multi-row scoring kernel (GEMM-lite). Computes
+///
+///   out[r * out_stride + j] = sum_i coeff_rows[r][i] * cols[i * col_stride + j]
+///
+/// for r in [0, num_rows), j in [0, count), i in [0, d): `cols` is a
+/// column-major SoA matrix (dimension i at cols + i * col_stride) and each
+/// coeff_rows[r] a dense row of d coefficients. Implementations hold a
+/// T-column x U-row accumulator tile in registers and stream each column
+/// value through all U rows of the tile, so memory traffic drops by ~U
+/// versus scoring one coefficient row at a time with
+/// AccumulateScaledDoubles. Every accumulator update is an IEEE multiply
+/// followed by an add (never fused) applied in ascending dimension order,
+/// so each output is bit-identical to the scalar InnerProduct loop — the
+/// contract the τ-index and the batch engines' exact comparisons rest on.
+/// Arbitrary num_rows/count are handled internally (tile remainders fall
+/// back to narrower tiles, then scalar).
+void ScoreTileColumns(const double* cols, size_t col_stride, size_t count,
+                      const double* const* coeff_rows, size_t num_rows,
+                      size_t d, double* out, size_t out_stride);
+
+/// Writes the minimum and maximum of values[0, count) to *min_out /
+/// *max_out. Requires count >= 1 and finite values (no NaNs). The τ-index
+/// build's histogram-edge pass: min/max over a multiset is independent of
+/// evaluation order, so every implementation returns the same values as
+/// the scalar two-accumulator loop.
+void MinMaxDoubles(const double* values, size_t count, double* min_out,
+                   double* max_out);
+
+/// out[j] = the histogram bin of scores[j] for an equal-width histogram
+/// with lower edge `lo` and inverse bin width `inv` (= bins / range):
+///
+///   t = (scores[j] - lo) * inv;  bin = !(t > 0) ? 0 : min((uint)t, bins-1)
+///
+/// Every implementation computes exactly this expression — one IEEE
+/// subtract, one multiply, truncation — so the bins match TauIndex's
+/// scalar BinOf for every input, including the clamp cases (t <= 0 or NaN
+/// products map to bin 0, overlarge ones to bins - 1). Requires
+/// bins <= 2^20 (TauIndexOptions' cap), so in-range products fit int32.
+void BinDoubles(const double* scores, size_t count, double lo, double inv,
+                uint32_t bins, uint32_t* out);
+
 /// Writes the indices j in [0, count) with values[j] <= thresholds[j] to
 /// `out` (caller-sized to `count`) in ascending order and returns how many
 /// were written. The τ-index reverse top-k membership kernel: values are

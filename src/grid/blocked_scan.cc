@@ -37,6 +37,14 @@ size_t RoundDownTo(size_t v, size_t multiple) {
   return v / multiple * multiple;
 }
 
+/// Block-aggregate tuning for RankPreparedMulti. Aggregates (min/max bound
+/// and an upper-bound histogram per (block, weight)) cost ~3 extra SIMD
+/// passes over the block, paid once per query batch; each alive slot they
+/// resolve saves a full ClassifyBounds pass. Only worth it when enough
+/// queries share the weight.
+constexpr uint32_t kAggBins = 64;
+constexpr uint32_t kAggMinAlive = 8;
+
 }  // namespace
 
 BlockedScanner::BlockedScanner(const Dataset& points,
@@ -73,6 +81,7 @@ BlockedScanner::QueryContext BlockedScanner::MakeQueryContext(
   std::vector<uint8_t> qc(d);
   for (size_t i = 0; i < d; ++i) qc[i] = part.CellOf(q[i]);
   ctx.dominated.assign(n, 0);
+  ctx.block_dominated.assign((n + block_points_ - 1) / block_points_, 0);
   for (size_t j = 0; j < n; ++j) {
     const uint8_t* pc = point_cells_->row(j);
     bool may = true;
@@ -86,6 +95,7 @@ BlockedScanner::QueryContext BlockedScanner::MakeQueryContext(
     }
     if (may && Dominates(points_->row(j), q)) {
       ctx.dominated[j] = 1;
+      ++ctx.block_dominated[j / block_points_];
       ++ctx.dominator_count;
     }
   }
@@ -276,6 +286,374 @@ void BlockedScanner::RankPrepared(ConstRow q, const QueryContext& qctx,
 
   for (const uint32_t bi : scratch.active) {
     ranks[bi] = scratch.rank_acc[bi];
+  }
+  c.FlushTo(stats, d);
+}
+
+void BlockedScanner::RankPreparedMulti(const ConstRow* queries,
+                                       const QueryContext* qctxs,
+                                       size_t num_queries, size_t w_begin,
+                                       size_t w_end,
+                                       const int64_t* thresholds,
+                                       int64_t* ranks,
+                                       BlockedScratch& scratch,
+                                       QueryStats* stats) const {
+  const size_t batch = w_end - w_begin;
+  const size_t n = points_->size();
+  const size_t d = points_->dim();
+  LocalCounters c;
+
+  // Per-slot state, slot s = r * batch + bi. The cuts replay the exact
+  // single-query computation (same margin at the same bound cap), so each
+  // slot classifies precisely as its RankPrepared counterpart would.
+  const size_t slots = num_queries * batch;
+  scratch.query_scores.resize(slots);
+  scratch.case1_cut.resize(slots);
+  scratch.case2_cut.resize(slots);
+  scratch.rank_acc.resize(slots);
+  scratch.alive.assign(slots, 0);
+  scratch.alive_counts.assign(batch, 0);
+  scratch.active.clear();
+  for (size_t bi = 0; bi < batch; ++bi) {
+    ConstRow w = weights_->row(w_begin + bi);
+    for (size_t r = 0; r < num_queries; ++r) {
+      const size_t s = r * batch + bi;
+      const Score qs = InnerProduct(w, queries[r]);
+      ++c.inner_products;
+      scratch.query_scores[s] = qs;
+      const Score margin = BoundMargin(d, qs, scratch.bound_caps[bi]);
+      scratch.case1_cut[s] =
+          uniform_fma_ ? qs - margin - scratch.gaps[bi] : qs - margin;
+      scratch.case2_cut[s] = qs + margin;
+      scratch.rank_acc[s] = qctxs[r].dominator_count;
+      if (qctxs[r].dominator_count >= thresholds[s]) {
+        ranks[s] = kRankOverThreshold;
+      } else {
+        scratch.alive[s] = 1;
+        ++scratch.alive_counts[bi];
+      }
+    }
+    if (scratch.alive_counts[bi] > 0) {
+      scratch.active.push_back(static_cast<uint32_t>(bi));
+    }
+  }
+
+  scratch.lower.resize(block_points_);
+  scratch.upper.resize(block_points_);
+  scratch.band.resize(block_points_);
+  scratch.exact.resize(block_points_);
+  scratch.exact_valid.resize(block_points_);
+  const size_t np = grid_->point_partitioner().partitions();
+
+  for (size_t b0 = 0; b0 < n && !scratch.active.empty();
+       b0 += block_points_) {
+    const size_t bp = std::min(block_points_, n - b0);
+    size_t out = 0;
+    for (const uint32_t bi : scratch.active) {
+      ConstRow w = weights_->row(w_begin + bi);
+      // Bounds for this (block, weight) pair: query-independent, so one
+      // accumulation serves the whole query block.
+      double* lo = scratch.lower.data();
+      double* hi = scratch.upper.data();
+      if (uniform_fma_) {
+        std::memset(lo, 0, bp * sizeof(double));
+        for (size_t i = 0; i < d; ++i) {
+          simd::AccumulateScaledBytes(point_cells_->column(i) + b0,
+                                      w[i] * cell_width_, lo, bp);
+        }
+        hi = lo;
+      } else {
+        std::memset(lo, 0, bp * sizeof(double));
+        std::memset(hi, 0, bp * sizeof(double));
+        const double* tables = scratch.tables.data();
+        for (size_t i = 0; i < d; ++i) {
+          const double* tlo = tables + ((bi * d + i) * 2) * np;
+          simd::AccumulateLookupBounds(point_cells_->column(i) + b0, tlo,
+                                       tlo + np, lo, hi, bp);
+        }
+      }
+      c.bound_evals += bp * (uniform_fma_ ? 1 : 2);
+      std::memset(scratch.exact_valid.data(), 0, bp);
+
+      // Block aggregates, shared by every alive query of this weight. The
+      // extremes settle blocks that are entirely Case 1 or Case 2 for a
+      // slot exactly (the per-point classification is implied); the
+      // histogram gives a sound lower bound on the Case-1 count — a point
+      // binned strictly below bin(case1_cut) certainly has hi < the cut —
+      // which is usually enough to prove rank >= threshold without
+      // touching the per-point bounds at all.
+      const bool use_agg = scratch.alive_counts[bi] >= kAggMinAlive;
+      double min_lo = 0.0, max_lo = 0.0, min_hi = 0.0, max_hi = 0.0;
+      double agg_inv = 0.0;
+      if (use_agg) {
+        simd::MinMaxDoubles(lo, bp, &min_lo, &max_lo);
+        if (hi == lo) {
+          min_hi = min_lo;
+          max_hi = max_lo;
+        } else {
+          simd::MinMaxDoubles(hi, bp, &min_hi, &max_hi);
+        }
+        agg_inv = max_hi > min_hi ? kAggBins / (max_hi - min_hi) : 0.0;
+        scratch.agg_bins.resize(block_points_);
+        scratch.agg_hist.assign(kAggBins, 0);
+        simd::BinDoubles(hi, bp, min_hi, agg_inv, kAggBins,
+                         scratch.agg_bins.data());
+        for (size_t j = 0; j < bp; ++j) ++scratch.agg_hist[scratch.agg_bins[j]];
+        for (size_t b = 1; b < kAggBins; ++b) {
+          scratch.agg_hist[b] += scratch.agg_hist[b - 1];
+        }
+      }
+      const size_t blk = b0 / block_points_;
+
+      for (size_t r = 0; r < num_queries; ++r) {
+        const size_t s = r * batch + bi;
+        if (scratch.alive[s] == 0) continue;
+        if (use_agg) {
+          const uint32_t dom_b = qctxs[r].block_dominated.empty()
+                                     ? 0
+                                     : qctxs[r].block_dominated[blk];
+          const double cut1 = scratch.case1_cut[s];
+          if (max_hi < cut1) {
+            // Every point classifies Case 1; the dominated ones are
+            // skipped and pre-counted, exactly as ClassifyBounds would.
+            c.dominated += dom_b;
+            c.visited += bp - dom_b;
+            c.filtered += bp - dom_b;
+            const int64_t rank =
+                scratch.rank_acc[s] + static_cast<int64_t>(bp - dom_b);
+            if (rank >= thresholds[s]) {
+              ranks[s] = kRankOverThreshold;
+              scratch.alive[s] = 0;
+              --scratch.alive_counts[bi];
+            } else {
+              scratch.rank_acc[s] = rank;
+            }
+            continue;
+          }
+          if (min_lo >= scratch.case2_cut[s]) {
+            // Every point classifies Case 2: the rank is untouched.
+            c.dominated += dom_b;
+            c.visited += bp - dom_b;
+            c.filtered += bp - dom_b;
+            continue;
+          }
+          if (agg_inv > 0.0 && cut1 > min_hi) {
+            const double t = (cut1 - min_hi) * agg_inv;
+            const uint32_t bc = t >= kAggBins ? kAggBins - 1
+                                              : static_cast<uint32_t>(t);
+            if (bc > 0) {
+              // Sound Case-1 undercount: every point in bins < bc has
+              // hi < cut1; at most dom_b of them are skipped dominators.
+              const int64_t lb =
+                  static_cast<int64_t>(scratch.agg_hist[bc - 1]) -
+                  static_cast<int64_t>(dom_b);
+              if (scratch.rank_acc[s] + lb >= thresholds[s]) {
+                c.dominated += dom_b;
+                c.visited += bp - dom_b;
+                c.filtered += bp - dom_b;
+                ranks[s] = kRankOverThreshold;
+                scratch.alive[s] = 0;
+                --scratch.alive_counts[bi];
+                continue;
+              }
+            }
+          }
+        }
+        const uint8_t* dominated =
+            qctxs[r].dominated.empty() ? nullptr : qctxs[r].dominated.data();
+        size_t band_count = 0;
+        const simd::ClassifyCounts cls = simd::ClassifyBounds(
+            lo, hi, scratch.case1_cut[s], scratch.case2_cut[s],
+            dominated != nullptr ? dominated + b0 : nullptr, bp,
+            scratch.band.data(), &band_count);
+        c.dominated += cls.skipped;
+        c.visited += bp - cls.skipped;
+        c.filtered += cls.case1 + cls.case2;
+
+        const Score qs = scratch.query_scores[s];
+        const int64_t threshold = thresholds[s];
+        int64_t rank =
+            scratch.rank_acc[s] + static_cast<int64_t>(cls.case1);
+        bool over = rank >= threshold;
+        for (size_t t = 0; t < band_count && !over; ++t) {
+          const size_t lj = scratch.band[t];
+          // f_w(p) does not depend on the query: compute it for the first
+          // query whose band reaches p, reuse it for the rest.
+          if (scratch.exact_valid[lj] == 0) {
+            scratch.exact[lj] = InnerProduct(w, points_->row(b0 + lj));
+            scratch.exact_valid[lj] = 1;
+            ++c.inner_products;
+          }
+          ++c.refined;
+          if (scratch.exact[lj] < qs && ++rank >= threshold) over = true;
+        }
+
+        if (over) {
+          ranks[s] = kRankOverThreshold;
+          scratch.alive[s] = 0;
+          --scratch.alive_counts[bi];
+        } else {
+          scratch.rank_acc[s] = rank;
+        }
+      }
+      if (scratch.alive_counts[bi] > 0) scratch.active[out++] = bi;
+    }
+    scratch.active.resize(out);
+  }
+
+  for (size_t s = 0; s < slots; ++s) {
+    if (scratch.alive[s] != 0) ranks[s] = scratch.rank_acc[s];
+  }
+  c.FlushTo(stats, d);
+}
+
+void BlockedScanner::BracketRanksMulti(const ConstRow* queries,
+                                       const QueryContext* qctxs,
+                                       size_t num_queries, size_t w_begin,
+                                       size_t w_end, int64_t* lb, int64_t* ub,
+                                       size_t row_stride,
+                                       BlockedScratch& scratch,
+                                       QueryStats* stats) const {
+  const size_t batch = w_end - w_begin;
+  const size_t n = points_->size();
+  const size_t d = points_->dim();
+  LocalCounters c;
+
+  const size_t slots = num_queries * batch;
+  scratch.query_scores.resize(slots);
+  scratch.case1_cut.resize(slots);
+  scratch.case2_cut.resize(slots);
+  for (size_t bi = 0; bi < batch; ++bi) {
+    ConstRow w = weights_->row(w_begin + bi);
+    for (size_t r = 0; r < num_queries; ++r) {
+      const size_t s = r * batch + bi;
+      const Score qs = InnerProduct(w, queries[r]);
+      ++c.inner_products;
+      scratch.query_scores[s] = qs;
+      const Score margin = BoundMargin(d, qs, scratch.bound_caps[bi]);
+      scratch.case1_cut[s] =
+          uniform_fma_ ? qs - margin - scratch.gaps[bi] : qs - margin;
+      scratch.case2_cut[s] = qs + margin;
+      // Dominators are counted into the rank up front, exactly as the
+      // scanning paths do; the per-block terms below cover only the rest.
+      lb[r * row_stride + bi] = qctxs[r].dominator_count;
+      ub[r * row_stride + bi] = qctxs[r].dominator_count;
+    }
+  }
+
+  scratch.lower.resize(block_points_);
+  scratch.upper.resize(block_points_);
+  scratch.agg_bins.resize(block_points_);
+  const size_t np = grid_->point_partitioner().partitions();
+
+  for (size_t b0 = 0; b0 < n; b0 += block_points_) {
+    const size_t bp = std::min(block_points_, n - b0);
+    const size_t blk = b0 / block_points_;
+    for (size_t bi = 0; bi < batch; ++bi) {
+      double* lo = scratch.lower.data();
+      double* hi = scratch.upper.data();
+      if (uniform_fma_) {
+        std::memset(lo, 0, bp * sizeof(double));
+        for (size_t i = 0; i < d; ++i) {
+          simd::AccumulateScaledBytes(point_cells_->column(i) + b0,
+                                      weights_->row(w_begin + bi)[i] *
+                                          cell_width_,
+                                      lo, bp);
+        }
+        hi = lo;
+      } else {
+        std::memset(lo, 0, bp * sizeof(double));
+        std::memset(hi, 0, bp * sizeof(double));
+        const double* tables = scratch.tables.data();
+        for (size_t i = 0; i < d; ++i) {
+          const double* tlo = tables + ((bi * d + i) * 2) * np;
+          simd::AccumulateLookupBounds(point_cells_->column(i) + b0, tlo,
+                                       tlo + np, lo, hi, bp);
+        }
+      }
+      c.bound_evals += bp * (uniform_fma_ ? 1 : 2);
+
+      // Histograms of both bound arrays (one serves both when aliased).
+      // Binning is monotone — a point in bin b has b <= t < b + 1 for
+      // t = (value - min) * inv, clamped to [0, kAggBins - 1] — so bin
+      // comparisons against a cut's bin give certain inequalities.
+      double min_lo = 0.0, max_lo = 0.0, min_hi = 0.0, max_hi = 0.0;
+      simd::MinMaxDoubles(lo, bp, &min_lo, &max_lo);
+      if (hi == lo) {
+        min_hi = min_lo;
+        max_hi = max_lo;
+      } else {
+        simd::MinMaxDoubles(hi, bp, &min_hi, &max_hi);
+      }
+      const double inv_hi =
+          max_hi > min_hi ? kAggBins / (max_hi - min_hi) : 0.0;
+      scratch.agg_hist.assign(kAggBins, 0);
+      simd::BinDoubles(hi, bp, min_hi, inv_hi, kAggBins,
+                       scratch.agg_bins.data());
+      for (size_t j = 0; j < bp; ++j) ++scratch.agg_hist[scratch.agg_bins[j]];
+      for (size_t b = 1; b < kAggBins; ++b) {
+        scratch.agg_hist[b] += scratch.agg_hist[b - 1];
+      }
+      const uint32_t* hist_hi = scratch.agg_hist.data();
+      double inv_lo = inv_hi;
+      const uint32_t* hist_lo = hist_hi;
+      if (hi != lo) {
+        inv_lo = max_lo > min_lo ? kAggBins / (max_lo - min_lo) : 0.0;
+        scratch.agg_hist_lo.assign(kAggBins, 0);
+        simd::BinDoubles(lo, bp, min_lo, inv_lo, kAggBins,
+                         scratch.agg_bins.data());
+        for (size_t j = 0; j < bp; ++j) {
+          ++scratch.agg_hist_lo[scratch.agg_bins[j]];
+        }
+        for (size_t b = 1; b < kAggBins; ++b) {
+          scratch.agg_hist_lo[b] += scratch.agg_hist_lo[b - 1];
+        }
+        hist_lo = scratch.agg_hist_lo.data();
+      }
+
+      for (size_t r = 0; r < num_queries; ++r) {
+        const size_t s = r * batch + bi;
+        const size_t g = r * row_stride + bi;
+        const int64_t dom_b = qctxs[r].block_dominated.empty()
+                                  ? 0
+                                  : qctxs[r].block_dominated[blk];
+        // Certain Case-1 count: a point binned strictly below the cut's
+        // bin has hi < cut1, hence f_w(p) < f_w(q_r). Up to dom_b of
+        // those may be skipped dominators already counted above, so
+        // subtracting dom_b keeps the lower bound sound.
+        const double cut1 = scratch.case1_cut[s];
+        int64_t c1 = 0;
+        if (max_hi < cut1) {
+          c1 = static_cast<int64_t>(bp);
+        } else if (inv_hi > 0.0 && cut1 > min_hi) {
+          const double t = (cut1 - min_hi) * inv_hi;
+          const uint32_t bc =
+              t >= kAggBins ? kAggBins - 1 : static_cast<uint32_t>(t);
+          if (bc > 0) c1 = static_cast<int64_t>(hist_hi[bc - 1]);
+        }
+        lb[g] += std::max<int64_t>(0, c1 - dom_b);
+        // Certain Case-2 count: a point binned at or above ceil((cut2 -
+        // min_lo) * inv_lo) has lo >= cut2, hence f_w(p) >= f_w(q_r) and
+        // cannot outrank. Dominators never certainly classify Case 2 by
+        // this test alone, but assuming up to dom_b of them do keeps the
+        // upper bound sound.
+        const double cut2 = scratch.case2_cut[s];
+        int64_t c2 = 0;
+        if (min_lo >= cut2) {
+          c2 = static_cast<int64_t>(bp);
+        } else if (inv_lo > 0.0) {
+          const double t2 = std::ceil((cut2 - min_lo) * inv_lo);
+          if (t2 < kAggBins) {
+            // t2 >= 1 here: the whole-block branch handled cut2 <= min_lo.
+            const uint32_t bc2 = static_cast<uint32_t>(t2);
+            c2 = static_cast<int64_t>(bp) -
+                 static_cast<int64_t>(hist_lo[bc2 - 1]);
+          }
+        }
+        ub[g] += static_cast<int64_t>(bp) - dom_b -
+                 std::max<int64_t>(0, c2 - dom_b);
+      }
+    }
   }
   c.FlushTo(stats, d);
 }

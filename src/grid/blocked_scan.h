@@ -43,6 +43,19 @@ struct BlockedScratch {
   std::vector<int64_t> rank_acc;     // per-weight running rank
   std::vector<uint32_t> active;      // batch slots still scanning
   std::vector<uint32_t> band;        // Case-3 indices within one block
+  // RankPreparedMulti extensions: per-(query, weight) slot liveness and
+  // the per-block exact-score cache shared across the query block.
+  std::vector<uint8_t> alive;          // slot still scanning
+  std::vector<uint32_t> alive_counts;  // per-weight alive-query tally
+  std::vector<double> exact;           // cached f_w(p) within one block
+  std::vector<uint8_t> exact_valid;    // 1 iff exact[j] is filled
+  // Per-(block, weight) bound aggregates, computed once per query batch:
+  // the upper-bound histogram (agg_bins is the per-point scratch, agg_hist
+  // the prefix-summed counts) lets a slot prove rank >= threshold — or a
+  // whole block Case-1/Case-2 — in O(1) instead of classifying bp points.
+  std::vector<uint32_t> agg_bins;  // per-point histogram bin scratch
+  std::vector<uint32_t> agg_hist;  // hi prefix counts: #points in bins <= b
+  std::vector<uint32_t> agg_hist_lo;  // lo prefix counts (BracketRanksMulti)
 };
 
 /// The weight-batched, cache-blocked GIR scan engine. Where GInTopK
@@ -78,6 +91,11 @@ class BlockedScanner {
   struct QueryContext {
     std::vector<uint8_t> dominated;  // 1 byte per point; empty if unused
     int64_t dominator_count = 0;
+    /// Dominated-point count per scan block (block_points() points each;
+    /// empty iff `dominated` is). Lets RankPreparedMulti's block-aggregate
+    /// fast paths account for skipped points without touching the byte
+    /// mask.
+    std::vector<uint32_t> block_dominated;
   };
 
   QueryContext MakeQueryContext(ConstRow q, bool use_domin) const;
@@ -101,6 +119,41 @@ class BlockedScanner {
   void RankBatch(ConstRow q, const QueryContext& qctx, size_t w_begin,
                  size_t w_end, const int64_t* thresholds, int64_t* ranks,
                  BlockedScratch& scratch, QueryStats* stats) const;
+
+  /// Multi-query analogue of RankPrepared: resolves a whole block of
+  /// `num_queries` queries against the prepared weights in one pass over
+  /// the point blocks. Each (block, weight) bound accumulation — the
+  /// scan's dominant cost — runs once per query *batch* instead of once
+  /// per query, and exact scores computed while refining one query's band
+  /// are cached and reused by the rest of the block. `queries[r]` /
+  /// `qctxs[r]` describe the r-th query; `thresholds` and `ranks` are
+  /// row-major num_queries x (w_end - w_begin). ranks[r * batch + i]
+  /// receives the exact rank(w_begin+i, q_r) if < thresholds[r * batch +
+  /// i], else kRankOverThreshold; a threshold <= qctxs[r].dominator_count
+  /// (e.g. 0) masks its slot at no scan cost. Per query, every verdict is
+  /// identical to a RankPrepared call with the same thresholds. Requires
+  /// a preceding PrepareBatch(w_begin, w_end, scratch).
+  void RankPreparedMulti(const ConstRow* queries, const QueryContext* qctxs,
+                         size_t num_queries, size_t w_begin, size_t w_end,
+                         const int64_t* thresholds, int64_t* ranks,
+                         BlockedScratch& scratch, QueryStats* stats) const;
+
+  /// Bounds-only bracketing pre-pass for multi-query k-ranks: writes a
+  /// sound bracket lb <= rank(w_begin+i, q_r) <= ub for every slot,
+  /// derived purely from the per-(block, weight) bound aggregates (min /
+  /// max and 64-bin histograms of the lower and upper bounds) — no
+  /// per-point classification and no exact scores. One sweep over all
+  /// point blocks costs roughly one bound accumulation per (block,
+  /// weight) plus O(1) per slot per block. `lb` / `ub` are row-major with
+  /// `row_stride` (entry r * row_stride + i) and are overwritten. A
+  /// k-ranks driver uses the k-th smallest ub per query as a sound cap on
+  /// the query's final k-th rank: any weight with lb above the cap is
+  /// provably outside the answer and can be masked from the exact pass.
+  /// Requires a preceding PrepareBatch(w_begin, w_end, scratch).
+  void BracketRanksMulti(const ConstRow* queries, const QueryContext* qctxs,
+                         size_t num_queries, size_t w_begin, size_t w_end,
+                         int64_t* lb, int64_t* ub, size_t row_stride,
+                         BlockedScratch& scratch, QueryStats* stats) const;
 
   size_t weight_batch() const { return config_.weight_batch; }
   size_t block_points() const { return block_points_; }

@@ -324,23 +324,20 @@ std::vector<ReverseTopKResult> GirIndex::ReverseTopKBatch(
   if (num_queries == 0) return results;
   if (options_.scan_mode == ScanMode::kTauIndex && tau_ != nullptr &&
       tau_->CanAnswerTopK(k)) {
-    // Each τ answer is a self-contained O(|W|·d) pass; there is no
-    // per-weight-batch table to amortize, so the batch is just the loop.
-    for (size_t qi = 0; qi < num_queries; ++qi) {
-      results[qi] = TauReverseTopK(queries.row(qi), k, /*pool=*/nullptr,
-                                   stats);
-    }
-    return results;
+    return TauReverseTopKBatch(queries, k, /*pool=*/nullptr, stats);
   }
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
                          grid_, options_.bound_mode);
   const int64_t threshold = static_cast<int64_t>(k);
 
   std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
+  std::vector<ConstRow> rows;
+  rows.reserve(num_queries);
   std::vector<uint8_t> alive(num_queries, 1);
   size_t alive_count = 0;
   for (size_t qi = 0; qi < num_queries; ++qi) {
-    qctxs[qi] = scanner.MakeQueryContext(queries.row(qi), options_.use_domin);
+    rows.push_back(queries.row(qi));
+    qctxs[qi] = scanner.MakeQueryContext(rows[qi], options_.use_domin);
     if (options_.use_domin && qctxs[qi].dominator_count >= threshold) {
       alive[qi] = 0;  // >= k dominators: empty answer, no scans needed
     } else {
@@ -354,18 +351,25 @@ std::vector<ReverseTopKResult> GirIndex::ReverseTopKBatch(
   std::vector<int64_t> ranks;
   ForEachWeightBatch(
       weights_->size(), scanner.weight_batch(), [&](size_t begin, size_t end) {
-        // One table build per weight batch serves every query — the
-        // amortization the batched entry point exists for.
+        // One table build per weight batch serves every query, and
+        // RankPreparedMulti streams each point block (and accumulates
+        // each weight's bounds) once for the whole query block.
+        const size_t bl = end - begin;
+        thresholds.resize(num_queries * bl);
+        ranks.resize(num_queries * bl);
+        for (size_t qi = 0; qi < num_queries; ++qi) {
+          // Threshold 0 masks a settled query's slots at no scan cost.
+          std::fill_n(thresholds.begin() + qi * bl, bl,
+                      alive[qi] != 0 ? threshold : 0);
+        }
         scanner.PrepareBatch(begin, end, scratch);
+        scanner.RankPreparedMulti(rows.data(), qctxs.data(), num_queries,
+                                  begin, end, thresholds.data(), ranks.data(),
+                                  scratch, stats);
         for (size_t qi = 0; qi < num_queries; ++qi) {
           if (alive[qi] == 0) continue;
-          thresholds.assign(end - begin, threshold);
-          ranks.resize(end - begin);
-          scanner.RankPrepared(queries.row(qi), qctxs[qi], begin, end,
-                               thresholds.data(), ranks.data(), scratch,
-                               stats);
-          for (size_t i = 0; i < end - begin; ++i) {
-            if (ranks[i] != kRankOverThreshold) {
+          for (size_t i = 0; i < bl; ++i) {
+            if (ranks[qi * bl + i] != kRankOverThreshold) {
               results[qi].push_back(static_cast<VectorId>(begin + i));
             }
           }
@@ -383,42 +387,89 @@ std::vector<ReverseKRanksResult> GirIndex::ReverseKRanksBatch(
   std::vector<ReverseKRanksResult> results(num_queries);
   if (num_queries == 0 || k == 0 || weights_->empty()) return results;
   if (options_.scan_mode == ScanMode::kTauIndex && tau_ != nullptr) {
-    for (size_t qi = 0; qi < num_queries; ++qi) {
-      results[qi] = TauReverseKRanks(queries.row(qi), k, /*pool=*/nullptr,
-                                     stats);
-    }
-    return results;
+    return TauReverseKRanksBatch(queries, k, /*pool=*/nullptr, stats);
   }
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
                          grid_, options_.bound_mode);
   std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
+  std::vector<ConstRow> rows;
+  rows.reserve(num_queries);
   for (size_t qi = 0; qi < num_queries; ++qi) {
-    qctxs[qi] = scanner.MakeQueryContext(queries.row(qi), options_.use_domin);
+    rows.push_back(queries.row(qi));
+    qctxs[qi] = scanner.MakeQueryContext(rows[qi], options_.use_domin);
   }
   std::vector<std::vector<RankedWeight>> heaps(num_queries);
   for (auto& heap : heaps) heap.reserve(k + 1);
   const int64_t no_threshold = static_cast<int64_t>(points_->size()) + 1;
+  const size_t m = weights_->size();
 
   BlockedScratch scratch;
   std::vector<int64_t> thresholds;
   std::vector<int64_t> ranks;
+
+  // Bracketing pre-pass (DESIGN.md §11): one bounds-only sweep brackets
+  // every (query, weight) rank. The k-th smallest upper bound per query
+  // caps that query's final k-th rank — at least k weights have exact
+  // ranks no larger — so a weight whose lower bound exceeds the cap is
+  // provably outside the answer and is masked from the exact pass, and
+  // every surviving slot starts with a tight death threshold instead of
+  // an unbounded one. Answer members always survive (rank <= cap < cap +
+  // 1), so the final heaps match the per-query scan exactly.
+  const bool bracket = num_queries >= 2 && m > k;
+  std::vector<int64_t> rank_lb;
+  std::vector<int64_t> caps(num_queries, no_threshold - 1);
+  if (bracket) {
+    rank_lb.resize(num_queries * m);
+    std::vector<int64_t> rank_ub(num_queries * m);
+    ForEachWeightBatch(m, scanner.weight_batch(),
+                       [&](size_t begin, size_t end) {
+                         scanner.PrepareBatch(begin, end, scratch);
+                         scanner.BracketRanksMulti(
+                             rows.data(), qctxs.data(), num_queries, begin,
+                             end, rank_lb.data() + begin,
+                             rank_ub.data() + begin, m, scratch, stats);
+                       });
+    std::vector<int64_t> row(m);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      std::copy_n(rank_ub.begin() + qi * m, m, row.begin());
+      std::nth_element(row.begin(), row.begin() + (k - 1), row.end());
+      caps[qi] = row[k - 1];
+    }
+  }
+
   ForEachWeightBatch(
       weights_->size(), scanner.weight_batch(), [&](size_t begin, size_t end) {
-        scanner.PrepareBatch(begin, end, scratch);
+        // Each query's heap bound refreshes at batch granularity, exactly
+        // as the single-query blocked path does; RankPreparedMulti then
+        // resolves the whole query block against this batch in one pass
+        // over the point blocks.
+        const size_t bl = end - begin;
+        thresholds.resize(num_queries * bl);
+        ranks.resize(num_queries * bl);
         for (size_t qi = 0; qi < num_queries; ++qi) {
-          std::vector<RankedWeight>& heap = heaps[qi];
-          const int64_t threshold =
-              heap.size() == k ? heap.front().rank : no_threshold;
-          thresholds.assign(end - begin, threshold);
-          ranks.resize(end - begin);
-          scanner.RankPrepared(queries.row(qi), qctxs[qi], begin, end,
-                               thresholds.data(), ranks.data(), scratch,
-                               stats);
-          for (size_t i = 0; i < end - begin; ++i) {
-            if (ranks[i] == kRankOverThreshold) continue;
-            PushRankedWeight(heap, k,
+          const int64_t heap_cap =
+              heaps[qi].size() == k ? heaps[qi].front().rank : no_threshold;
+          const int64_t threshold = std::min(heap_cap, caps[qi] + 1);
+          if (!bracket) {
+            std::fill_n(thresholds.begin() + qi * bl, bl, threshold);
+            continue;
+          }
+          for (size_t i = 0; i < bl; ++i) {
+            // Threshold 0 masks a provably-out weight at no scan cost.
+            thresholds[qi * bl + i] =
+                rank_lb[qi * m + begin + i] > caps[qi] ? 0 : threshold;
+          }
+        }
+        scanner.PrepareBatch(begin, end, scratch);
+        scanner.RankPreparedMulti(rows.data(), qctxs.data(), num_queries,
+                                  begin, end, thresholds.data(), ranks.data(),
+                                  scratch, stats);
+        for (size_t qi = 0; qi < num_queries; ++qi) {
+          for (size_t i = 0; i < bl; ++i) {
+            if (ranks[qi * bl + i] == kRankOverThreshold) continue;
+            PushRankedWeight(heaps[qi], k,
                              RankedWeight{static_cast<VectorId>(begin + i),
-                                          ranks[i]});
+                                          ranks[qi * bl + i]});
           }
         }
       });
@@ -625,6 +676,232 @@ ReverseKRanksResult GirIndex::TauReverseKRanks(ConstRow q, size_t k,
 
   std::sort(heap.begin(), heap.end());
   return heap;
+}
+
+std::vector<ReverseTopKResult> GirIndex::TauReverseTopKBatch(
+    const Dataset& queries, size_t k, ThreadPool* pool,
+    QueryStats* stats) const {
+  const TauIndex& tau = *tau_;
+  const size_t num_queries = queries.size();
+  const size_t m = weights_->size();
+  std::vector<ReverseTopKResult> results(num_queries);
+  if (num_queries == 0) return results;
+  std::vector<const double*> qrows(num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    qrows[qi] = queries.row(qi).data();
+  }
+  if (pool == nullptr || pool->thread_count() <= 1 || m < 1024) {
+    tau.TopKBatchRange(qrows.data(), num_queries, k, 0, m, results.data());
+  } else {
+    std::mutex merge_mutex;
+    pool->ParallelFor(
+        0, m, TauStripeGrain(m, pool->thread_count()),
+        [&](size_t begin, size_t end) {
+          std::vector<ReverseTopKResult> local(num_queries);
+          tau.TopKBatchRange(qrows.data(), num_queries, k, begin, end,
+                             local.data());
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          for (size_t qi = 0; qi < num_queries; ++qi) {
+            results[qi].insert(results[qi].end(), local[qi].begin(),
+                               local[qi].end());
+          }
+        });
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      std::sort(results[qi].begin(), results[qi].end());
+    }
+  }
+  if (stats != nullptr) {
+    stats->weights_evaluated += m * num_queries;
+    stats->inner_products += m * num_queries;
+    stats->multiplications += m * num_queries * dim();
+  }
+  return results;
+}
+
+std::vector<ReverseKRanksResult> GirIndex::TauReverseKRanksBatch(
+    const Dataset& queries, size_t k, ThreadPool* pool,
+    QueryStats* stats) const {
+  const size_t num_queries = queries.size();
+  std::vector<ReverseKRanksResult> results(num_queries);
+  if (num_queries == 0 || k == 0 || weights_->empty()) return results;
+  const TauIndex& tau = *tau_;
+  const size_t m = weights_->size();
+  const int64_t no_bound = static_cast<int64_t>(points_->size());
+
+  // Pass 1 — one tiled Q x W sweep scores every query under every weight,
+  // then the τ vector + histogram bracket each (query, weight) rank.
+  std::vector<const double*> qrows(num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    qrows[qi] = queries.row(qi).data();
+  }
+  std::vector<double> scores(num_queries * m);
+  std::vector<int64_t> lo(num_queries * m);
+  std::vector<int64_t> hi(num_queries * m);
+  auto bound_stripe = [&](size_t begin, size_t end) {
+    tau.ScoreBlock(qrows.data(), num_queries, begin, end,
+                   scores.data() + begin, m);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      for (size_t w = begin; w < end; ++w) {
+        const TauRankBounds bounds = tau.BoundRank(w, scores[qi * m + w]);
+        lo[qi * m + w] = bounds.lo;
+        hi[qi * m + w] = bounds.hi;
+      }
+    }
+  };
+  if (pool == nullptr || pool->thread_count() <= 1 || m < 1024) {
+    bound_stripe(0, m);
+  } else {
+    pool->ParallelFor(0, m, TauStripeGrain(m, pool->thread_count()),
+                      bound_stripe);
+  }
+  if (stats != nullptr) {
+    stats->weights_evaluated += m * num_queries;
+    stats->inner_products += m * num_queries;
+    stats->multiplications += m * num_queries * dim();
+  }
+
+  // Per query: seed the heap with the exactly-bounded ranks and cap the
+  // fallback at (k-th upper bound, heap bound) as in TauReverseKRanks.
+  // The caps stay fixed for the whole fallback (instead of self-refining
+  // per batch): a looser threshold only converts over-threshold verdicts
+  // into exact ranks, and any rank >= cap + 1 is provably outside the
+  // final heap, so the answer is unchanged.
+  std::vector<std::vector<RankedWeight>> heaps(num_queries);
+  std::vector<uint8_t> unresolved(num_queries * m, 0);
+  std::vector<int64_t> caps(num_queries);
+  size_t unresolved_count = 0;
+  std::vector<int64_t> tmp;
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    int64_t kth_hi = no_bound;
+    if (m > k) {
+      tmp.assign(hi.begin() + qi * m, hi.begin() + (qi + 1) * m);
+      std::nth_element(tmp.begin(), tmp.begin() + (k - 1), tmp.end());
+      kth_hi = tmp[k - 1];
+    }
+    std::vector<RankedWeight>& heap = heaps[qi];
+    heap.reserve(k + 1);
+    for (size_t w = 0; w < m; ++w) {
+      if (lo[qi * m + w] > kth_hi) continue;
+      if (lo[qi * m + w] == hi[qi * m + w]) {
+        PushRankedWeight(
+            heap, k, RankedWeight{static_cast<VectorId>(w), lo[qi * m + w]});
+      } else {
+        unresolved[qi * m + w] = 1;
+        ++unresolved_count;
+      }
+    }
+    caps[qi] = heap.size() == k ? std::min(kth_hi, heap.front().rank)
+                                : kth_hi;
+  }
+
+  if (unresolved_count > 0) {
+    // Pass 2 — one shared blocked fallback: every weight batch with any
+    // unresolved (query, weight) slot runs once through
+    // RankPreparedMulti; resolved slots are masked with threshold 0.
+    BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
+                           grid_, options_.bound_mode);
+    std::vector<ConstRow> rows;
+    rows.reserve(num_queries);
+    std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      rows.push_back(queries.row(qi));
+      qctxs[qi] = scanner.MakeQueryContext(rows[qi], options_.use_domin);
+    }
+    const size_t batch = scanner.weight_batch();
+    std::vector<size_t> batch_starts;
+    for (size_t b = 0; b < m; b += batch) {
+      const size_t e = std::min(b + batch, m);
+      bool any = false;
+      for (size_t qi = 0; qi < num_queries && !any; ++qi) {
+        for (size_t w = b; w < e; ++w) {
+          if (unresolved[qi * m + w] != 0) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (any) batch_starts.push_back(b);
+    }
+
+    // Workers refine private copies of the heaps/caps (pruning only) and
+    // collect every exact rank they uncover; the k smallest of a multiset
+    // are insertion-order independent, so merging reproduces the serial
+    // per-query answer.
+    auto scan_batches = [&](size_t bi_begin, size_t bi_end,
+                            std::vector<std::vector<RankedWeight>>& lheaps,
+                            std::vector<int64_t>& lcaps,
+                            std::vector<std::pair<size_t, RankedWeight>>*
+                                collect,
+                            QueryStats* batch_stats) {
+      BlockedScratch scratch;
+      std::vector<int64_t> thresholds;
+      std::vector<int64_t> ranks;
+      for (size_t bi = bi_begin; bi < bi_end; ++bi) {
+        const size_t b = batch_starts[bi];
+        const size_t e = std::min(b + batch, m);
+        const size_t bl = e - b;
+        thresholds.resize(num_queries * bl);
+        ranks.resize(num_queries * bl);
+        for (size_t qi = 0; qi < num_queries; ++qi) {
+          for (size_t i = 0; i < bl; ++i) {
+            thresholds[qi * bl + i] =
+                unresolved[qi * m + b + i] != 0 ? lcaps[qi] + 1 : 0;
+          }
+        }
+        scanner.PrepareBatch(b, e, scratch);
+        scanner.RankPreparedMulti(rows.data(), qctxs.data(), num_queries, b,
+                                  e, thresholds.data(), ranks.data(),
+                                  scratch, batch_stats);
+        for (size_t qi = 0; qi < num_queries; ++qi) {
+          for (size_t i = 0; i < bl; ++i) {
+            if (unresolved[qi * m + b + i] == 0 ||
+                ranks[qi * bl + i] == kRankOverThreshold) {
+              continue;
+            }
+            const RankedWeight entry{static_cast<VectorId>(b + i),
+                                     ranks[qi * bl + i]};
+            PushRankedWeight(lheaps[qi], k, entry);
+            if (collect != nullptr) collect->emplace_back(qi, entry);
+          }
+          if (lheaps[qi].size() == k) {
+            lcaps[qi] = std::min(lcaps[qi], lheaps[qi].front().rank);
+          }
+        }
+      }
+    };
+
+    if (pool == nullptr || pool->thread_count() <= 1 ||
+        batch_starts.size() < 8) {
+      scan_batches(0, batch_starts.size(), heaps, caps, nullptr, stats);
+    } else {
+      std::mutex merge_mutex;
+      std::vector<std::pair<size_t, RankedWeight>> found;
+      pool->ParallelFor(
+          0, batch_starts.size(),
+          TauStripeGrain(batch_starts.size(), pool->thread_count()),
+          [&](size_t begin, size_t end) {
+            std::vector<std::vector<RankedWeight>> local_heaps = heaps;
+            std::vector<int64_t> local_caps = caps;
+            std::vector<std::pair<size_t, RankedWeight>> local_found;
+            QueryStats local_stats;
+            scan_batches(begin, end, local_heaps, local_caps, &local_found,
+                         stats != nullptr ? &local_stats : nullptr);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            found.insert(found.end(), local_found.begin(),
+                         local_found.end());
+            if (stats != nullptr) *stats += local_stats;
+          });
+      for (const auto& [qi, entry] : found) {
+        PushRankedWeight(heaps[qi], k, entry);
+      }
+    }
+  }
+
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    std::sort(heaps[qi].begin(), heaps[qi].end());
+    results[qi] = std::move(heaps[qi]);
+  }
+  return results;
 }
 
 size_t GirIndex::MemoryBytes() const {

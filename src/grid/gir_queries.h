@@ -111,16 +111,22 @@ class GirIndex {
   ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
                                     QueryStats* stats = nullptr) const;
 
-  /// Batched reverse top-k: answers one query per row of `queries`
-  /// (each of width dim()) in a single blocked pass over W, amortizing
-  /// the per-weight-batch bound tables across all queries — the shape a
-  /// serving loop draining a request queue needs. results[i] equals
-  /// ReverseTopK(queries.row(i), k). Always uses the blocked engine.
+  /// Batched reverse top-k: answers one query per row of `queries` (each
+  /// of width dim()) as one multi-query execution — the shape a serving
+  /// loop draining a request queue needs. results[i] equals
+  /// ReverseTopK(queries.row(i), k). Under kTauIndex (with an attached
+  /// τ-index that answers k) the whole query block is scored against W in
+  /// register-tiled sweeps (TauIndex::TopKBatchRange); otherwise the
+  /// blocked engine resolves the block via RankPreparedMulti, streaming
+  /// each point block and accumulating each weight's bounds once per
+  /// query batch instead of once per query.
   std::vector<ReverseTopKResult> ReverseTopKBatch(
       const Dataset& queries, size_t k, QueryStats* stats = nullptr) const;
 
   /// Batched reverse k-ranks; results[i] equals
-  /// ReverseKRanks(queries.row(i), k).
+  /// ReverseKRanks(queries.row(i), k). Same engine selection as
+  /// ReverseTopKBatch: tiled τ bounding pass + shared blocked fallback
+  /// under kTauIndex, RankPreparedMulti otherwise.
   std::vector<ReverseKRanksResult> ReverseKRanksBatch(
       const Dataset& queries, size_t k, QueryStats* stats = nullptr) const;
 
@@ -172,6 +178,18 @@ class GirIndex {
   ReverseKRanksResult TauReverseKRanks(ConstRow q, size_t k, ThreadPool* pool,
                                        QueryStats* stats) const;
 
+  /// Batch τ paths: one tiled Q x W scoring sweep instead of Q passes.
+  /// TauReverseTopKBatch requires tau_->CanAnswerTopK(k);
+  /// TauReverseKRanksBatch routes each query's unresolved band through one
+  /// shared RankPreparedMulti fallback.
+  std::vector<ReverseTopKResult> TauReverseTopKBatch(const Dataset& queries,
+                                                     size_t k,
+                                                     ThreadPool* pool,
+                                                     QueryStats* stats) const;
+  std::vector<ReverseKRanksResult> TauReverseKRanksBatch(
+      const Dataset& queries, size_t k, ThreadPool* pool,
+      QueryStats* stats) const;
+
   friend ReverseTopKResult ParallelReverseTopK(const GirIndex& index,
                                                ConstRow q, size_t k,
                                                ThreadPool& pool,
@@ -180,6 +198,12 @@ class GirIndex {
                                                    ConstRow q, size_t k,
                                                    ThreadPool& pool,
                                                    QueryStats* stats);
+  friend std::vector<ReverseTopKResult> ParallelReverseTopKBatch(
+      const GirIndex& index, const Dataset& queries, size_t k,
+      ThreadPool& pool, QueryStats* stats);
+  friend std::vector<ReverseKRanksResult> ParallelReverseKRanksBatch(
+      const GirIndex& index, const Dataset& queries, size_t k,
+      ThreadPool& pool, QueryStats* stats);
 
   const Dataset* points_;
   const Dataset* weights_;

@@ -34,6 +34,26 @@ ReverseKRanksResult ParallelReverseKRanks(const GirIndex& index, ConstRow q,
                                           size_t k, ThreadPool& pool,
                                           QueryStats* stats = nullptr);
 
+/// Parallel multi-query reverse top-k: results[i] equals
+/// index.ReverseTopK(queries.row(i), k). Workers stripe W (whole weight
+/// batches under the blocked engine, τ chunks under kTauIndex) and every
+/// stripe resolves the entire query block at once via RankPreparedMulti /
+/// TopKBatchRange, so the per-(block, weight) bound accumulation runs once
+/// per query batch per stripe — the multi-query analogue of
+/// ParallelReverseTopK's layout.
+std::vector<ReverseTopKResult> ParallelReverseTopKBatch(
+    const GirIndex& index, const Dataset& queries, size_t k, ThreadPool& pool,
+    QueryStats* stats = nullptr);
+
+/// Parallel multi-query reverse k-ranks: results[i] equals
+/// index.ReverseKRanks(queries.row(i), k). Workers keep private per-query
+/// (rank, id) heaps and share one monotone rank bound per query through an
+/// atomic; scans are capped at bound + 1 so rank-tying entries survive to
+/// the per-query merge, which restores the library-wide (rank, id) order.
+std::vector<ReverseKRanksResult> ParallelReverseKRanksBatch(
+    const GirIndex& index, const Dataset& queries, size_t k, ThreadPool& pool,
+    QueryStats* stats = nullptr);
+
 }  // namespace gir
 
 #endif  // GIR_GRID_PARALLEL_GIR_H_

@@ -15,6 +15,13 @@ namespace {
 /// that the chunk's accumulators stay L1-resident across the d passes.
 constexpr size_t kScoreChunk = 4096;
 
+/// Weight rows scored together per tiled build sweep: each P column value
+/// loaded from memory feeds this many accumulator rows, cutting the
+/// build's column traffic by the same factor versus one-weight-at-a-time
+/// streaming. Two tiles of the 4-row kernel; the group's n-score rows
+/// (8 x 100k doubles = 6.4 MB at the quick config) stay L2/L3-resident.
+constexpr size_t kBuildWeightGroup = 8;
+
 /// Histogram bin of score `s` for a weight with lower edge `lo` and
 /// precomputed inverse width `inv` = bins / (max - min). Only monotonicity
 /// in `s` matters for the rank bounds (DESIGN.md §10), and subtraction,
@@ -62,7 +69,8 @@ Result<TauIndex> TauIndex::Build(const Dataset& points, const Dataset& weights,
   index.BuildWeightColumns(weights);
 
   // Transient column-major mirror of P: the build streams each dimension
-  // column once per weight, the same SoA shape the blocked scan reads.
+  // column once per weight *group*, the same SoA shape the blocked scan
+  // reads.
   std::vector<double> pcol(n * d);
   for (size_t j = 0; j < n; ++j) {
     ConstRow row = points.row(j);
@@ -70,21 +78,20 @@ Result<TauIndex> TauIndex::Build(const Dataset& points, const Dataset& weights,
   }
 
   auto score_stripe = [&](size_t w_begin, size_t w_end) {
-    std::vector<double> scores(n);
-    for (size_t w = w_begin; w < w_end; ++w) {
-      ConstRow wrow = weights.row(w);
-      // Chunked accumulation: f_w(p) for every p, dimension-at-a-time in
-      // ascending order — bit-identical to InnerProduct(w, p).
-      for (size_t b0 = 0; b0 < n; b0 += kScoreChunk) {
-        const size_t len = std::min(kScoreChunk, n - b0);
-        double* acc = scores.data() + b0;
-        std::memset(acc, 0, len * sizeof(double));
-        for (size_t i = 0; i < d; ++i) {
-          simd::AccumulateScaledDoubles(pcol.data() + i * n + b0, wrow[i],
-                                        acc, len);
-        }
+    std::vector<double> scores(kBuildWeightGroup * n);
+    MaterializeScratch scratch;
+    const double* rows[kBuildWeightGroup];
+    for (size_t g0 = w_begin; g0 < w_end; g0 += kBuildWeightGroup) {
+      const size_t gs = std::min(kBuildWeightGroup, w_end - g0);
+      for (size_t g = 0; g < gs; ++g) rows[g] = weights.row(g0 + g).data();
+      // One register-tiled sweep scores the whole weight group against
+      // every point: f_w(p) accumulated dimension-at-a-time in ascending
+      // order — bit-identical to InnerProduct(w, p).
+      simd::ScoreTileColumns(pcol.data(), n, n, rows, gs, d, scores.data(),
+                             n);
+      for (size_t g = 0; g < gs; ++g) {
+        index.Materialize(g0 + g, scores.data() + g * n, scratch);
       }
-      index.Materialize(w, scores);
     }
   };
 
@@ -108,30 +115,70 @@ void TauIndex::BuildWeightColumns(const Dataset& weights) {
   }
 }
 
-void TauIndex::Materialize(size_t w, std::vector<double>& scores) {
+void TauIndex::Materialize(size_t w, const double* scores,
+                           MaterializeScratch& scratch) {
   const size_t n = num_points_;
   const size_t m = num_weights_;
-  // Exact order statistics: nth_element + sort of the head is O(n + K log
-  // K). The scores vector is reordered, which the histogram below does not
-  // care about.
-  std::nth_element(scores.begin(), scores.begin() + (k_cap_ - 1),
-                   scores.end());
-  std::sort(scores.begin(), scores.begin() + k_cap_);
-  for (size_t j = 0; j < k_cap_; ++j) tau_[j * m + w] = scores[j];
-  // After nth_element every element at or past position k_cap_ - 1 is >=
-  // the pivot, so the maximum lives in that suffix.
-  double mx = scores[k_cap_ - 1];
-  for (size_t j = k_cap_; j < n; ++j) mx = std::max(mx, scores[j]);
+  double mn;
+  double mx;
+  simd::MinMaxDoubles(scores, n, &mn, &mx);
   score_max_[w] = mx;
 
-  const double mn = scores[0];  // == τ_1(w)
+  // Bin every score once (mn == τ_1(w), the multiset minimum, so the edges
+  // and counts are identical to binning the selected order statistics).
+  // simd::BinDoubles computes exactly BinOf per element, and the bin
+  // vector then feeds the histogram and the selection band without
+  // recomputing the float path.
   const double inv =
       mx > mn ? static_cast<double>(bins_) / (mx - mn) : 0.0;
+  scratch.bins.resize(n);
+  uint32_t* bins = scratch.bins.data();
+  simd::BinDoubles(scores, n, mn, inv, static_cast<uint32_t>(bins_), bins);
+
+  // Four partial histograms hide the increment's store-to-load latency on
+  // runs of same-bin scores (concentrated score distributions are the
+  // common case); pre accumulates partial 0 in place.
   uint32_t* pre = hist_prefix_.data() + w * bins_;
   std::memset(pre, 0, bins_ * sizeof(uint32_t));
-  for (size_t j = 0; j < n; ++j) {
-    ++pre[BinOf(scores[j], mn, inv, bins_)];
+  scratch.partial.assign(3 * bins_, 0);
+  uint32_t* h1 = scratch.partial.data();
+  uint32_t* h2 = h1 + bins_;
+  uint32_t* h3 = h2 + bins_;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    ++pre[bins[j]];
+    ++h1[bins[j + 1]];
+    ++h2[bins[j + 2]];
+    ++h3[bins[j + 3]];
   }
+  for (; j < n; ++j) ++pre[bins[j]];
+  for (size_t b = 0; b < bins_; ++b) pre[b] += h1[b] + h2[b] + h3[b];
+
+  // Histogram-guided selection: the K smallest scores all live in the
+  // bin prefix [0, b*], where b* is the first bin whose cumulative count
+  // reaches K — BinOf is monotone in the score, so anything binned past
+  // b* is strictly greater than at least K scores binned at or before it
+  // and can never be an order statistic τ_1..τ_K. Selecting within that
+  // prefix (usually a small fraction of n for K << n) yields exactly the
+  // same K values as selecting over all n scores.
+  size_t bstar = bins_ - 1;
+  uint32_t cum = 0;
+  for (size_t b = 0; b < bins_; ++b) {
+    cum += pre[b];
+    if (cum >= k_cap_) {
+      bstar = b;
+      break;
+    }
+  }
+  std::vector<double>& band = scratch.band;
+  band.clear();
+  for (j = 0; j < n; ++j) {
+    if (bins[j] <= bstar) band.push_back(scores[j]);
+  }
+  std::nth_element(band.begin(), band.begin() + (k_cap_ - 1), band.end());
+  std::sort(band.begin(), band.begin() + k_cap_);
+  for (j = 0; j < k_cap_; ++j) tau_[j * m + w] = band[j];
+
   uint32_t run = 0;
   for (size_t b = 0; b < bins_; ++b) {
     run += pre[b];
@@ -205,6 +252,47 @@ void TauIndex::ScoreRange(ConstRow q, size_t w_begin, size_t w_end,
       // match InnerProduct(w, q) bit-for-bit.
       simd::AccumulateScaledDoubles(wcol_.data() + i * m + c0, q[i], acc,
                                     len);
+    }
+  }
+}
+
+void TauIndex::ScoreBlock(const double* const* queries, size_t num_queries,
+                          size_t w_begin, size_t w_end, double* scores,
+                          size_t stride) const {
+  // The sub-range view of the mirror starts at column w_begin with the
+  // same row pitch; q[i] * w[i] rounds identically to w[i] * q[i], so
+  // these scores match InnerProduct(w, q) bit-for-bit.
+  simd::ScoreTileColumns(wcol_.data() + w_begin, num_weights_,
+                         w_end - w_begin, queries, num_queries, dim_, scores,
+                         stride);
+}
+
+void TauIndex::TopKBatchRange(const double* const* queries,
+                              size_t num_queries, size_t k, size_t w_begin,
+                              size_t w_end,
+                              ReverseTopKResult* results) const {
+  if (k == 0 || w_begin >= w_end || num_queries == 0) return;
+  if (k > num_points_) {
+    for (size_t r = 0; r < num_queries; ++r) {
+      for (size_t w = w_begin; w < w_end; ++w) {
+        results[r].push_back(static_cast<VectorId>(w));
+      }
+    }
+    return;
+  }
+  const double* tau_k = tau_.data() + (k - 1) * num_weights_;
+  const size_t chunk = std::min(kScoreChunk, w_end - w_begin);
+  std::vector<double> scores(num_queries * chunk);
+  std::vector<uint32_t> selected(chunk);
+  for (size_t c0 = w_begin; c0 < w_end; c0 += chunk) {
+    const size_t len = std::min(chunk, w_end - c0);
+    ScoreBlock(queries, num_queries, c0, c0 + len, scores.data(), chunk);
+    for (size_t r = 0; r < num_queries; ++r) {
+      const size_t cnt = simd::SelectLessEqual(
+          scores.data() + r * chunk, tau_k + c0, len, selected.data());
+      for (size_t t = 0; t < cnt; ++t) {
+        results[r].push_back(static_cast<VectorId>(c0 + selected[t]));
+      }
     }
   }
 }

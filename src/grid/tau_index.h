@@ -105,6 +105,23 @@ class TauIndex {
   void ScoreRange(ConstRow q, size_t w_begin, size_t w_end,
                   double* scores) const;
 
+  /// Multi-query scoring: scores[r * stride + i] = f_{w_begin+i}(q_r) for
+  /// each of the `num_queries` rows in `queries`, one register-tiled sweep
+  /// over the column mirror of W (core/simd.h ScoreTileColumns) so every
+  /// weight column loaded feeds the whole query block. Same rounding as
+  /// ScoreRange — bit-identical to InnerProduct(w, q).
+  void ScoreBlock(const double* const* queries, size_t num_queries,
+                  size_t w_begin, size_t w_end, double* scores,
+                  size_t stride) const;
+
+  /// Batch analogue of TopKRange: resolves the whole query block against
+  /// weights [w_begin, w_end) chunk by chunk — one tiled scoring sweep,
+  /// then the τ_k membership test per query row — appending qualifying
+  /// ids to results[r] in ascending order. Precondition: CanAnswerTopK(k).
+  void TopKBatchRange(const double* const* queries, size_t num_queries,
+                      size_t k, size_t w_begin, size_t w_end,
+                      ReverseTopKResult* results) const;
+
   /// Brackets rank(w, q) given score = f_w(q): exact (lo == hi) whenever
   /// rank < k_cap() or the histogram pins it; sound in all cases.
   TauRankBounds BoundRank(size_t w, double score) const;
@@ -134,8 +151,18 @@ class TauIndex {
   /// Builds the column-major double mirror of W the scoring kernels read.
   void BuildWeightColumns(const Dataset& weights);
 
+  /// Reusable per-stripe buffers for Materialize: the per-score bin
+  /// vector, the extra partial histograms that break the scatter's
+  /// store-to-load dependency, and the histogram-guided selection band.
+  struct MaterializeScratch {
+    std::vector<uint32_t> bins;
+    std::vector<uint32_t> partial;
+    std::vector<double> band;
+  };
+
   /// Thresholds/histogram extraction for one weight, given its n scores.
-  void Materialize(size_t w, std::vector<double>& scores);
+  void Materialize(size_t w, const double* scores,
+                   MaterializeScratch& scratch);
 
   size_t dim_ = 0;
   size_t num_points_ = 0;

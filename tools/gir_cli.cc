@@ -15,6 +15,9 @@
 //                       --type rtk|rkr --k 10 (--query-row 7 | --query ...)
 //                       [--stats]
 //   gir_cli tau info    --tau tau.bin --weights w.bin
+//   gir_cli batch-query --points p.bin --weights w.bin --type rtk|rkr --k 10
+//                       (--queries q.bin | --query-row 0 --num-queries 64)
+//                       [--tau tau.bin] [--threads N] [--stats] [--verbose]
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
@@ -28,12 +31,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "core/topk.h"
 #include "data/generators.h"
 #include "data/weights.h"
 #include "grid/adaptive_grid.h"
 #include "grid/gir_queries.h"
 #include "grid/index_io.h"
+#include "grid/parallel_gir.h"
 #include "io/dataset_io.h"
 
 namespace gir {
@@ -114,7 +119,10 @@ void PrintUsage() {
       "  tau query   --points FILE --weights FILE --tau FILE\n"
       "              --type rtk|rkr --k K (--query-row I | --query v,...)\n"
       "              [--stats]\n"
-      "  tau info    --tau FILE --weights FILE\n");
+      "  tau info    --tau FILE --weights FILE\n"
+      "  batch-query --points FILE --weights FILE --type rtk|rkr --k K\n"
+      "              (--queries FILE | --query-row I --num-queries Q)\n"
+      "              [--tau FILE] [--threads N] [--stats] [--verbose]\n");
 }
 
 int RunGenerate(const Args& args) {
@@ -388,6 +396,118 @@ int RunTauQuery(const Args& args) {
   return 0;
 }
 
+int RunBatchQuery(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto type = args.Get("type");
+  const auto k = args.GetSize("k");
+  if (!points_path || !weights_path || !type || !k) {
+    return Fail("batch-query requires --points --weights --type --k");
+  }
+  if (*type != "rtk" && *type != "rkr") {
+    return Fail("--type must be rtk or rkr");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+
+  // The query block: either a dataset of its own, or a run of point rows.
+  Dataset queries(points.value().dim());
+  if (const auto queries_path = args.Get("queries"); queries_path) {
+    auto loaded = LoadDataset(*queries_path);
+    if (!loaded.ok()) return FailStatus(loaded.status());
+    if (loaded.value().dim() != points.value().dim()) {
+      return Fail("query dataset width does not match the point dimension");
+    }
+    queries = std::move(loaded).value();
+  } else {
+    const size_t begin = args.GetSize("query-row").value_or(0);
+    const size_t count =
+        args.GetSize("num-queries")
+            .value_or(std::min<size_t>(64, points.value().size()));
+    if (count == 0 || begin + count > points.value().size()) {
+      return Fail("--query-row/--num-queries out of range");
+    }
+    for (size_t i = begin; i < begin + count; ++i) {
+      queries.AppendUnchecked(points.value().row(i));
+    }
+  }
+
+  auto index = GirIndex::Build(points.value(), weights.value());
+  if (!index.ok()) return FailStatus(index.status());
+  if (const auto tau_path = args.Get("tau"); tau_path) {
+    auto tau = LoadTauIndex(*tau_path, weights.value());
+    if (!tau.ok()) return FailStatus(tau.status());
+    const Status attach = index.value().AttachTauIndex(
+        std::make_shared<const TauIndex>(std::move(tau).value()));
+    if (!attach.ok()) return FailStatus(attach);
+    index.value().set_scan_mode(ScanMode::kTauIndex);
+  } else {
+    index.value().set_scan_mode(ScanMode::kBlocked);
+  }
+
+  const size_t threads = args.GetSize("threads").value_or(1);
+  QueryStats stats;
+  QueryStats* stats_ptr = args.Has("stats") ? &stats : nullptr;
+  const size_t num_queries = queries.size();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ReverseTopKResult> rtk_results;
+  std::vector<ReverseKRanksResult> rkr_results;
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    if (*type == "rtk") {
+      rtk_results = ParallelReverseTopKBatch(index.value(), queries, *k, pool,
+                                             stats_ptr);
+    } else {
+      rkr_results = ParallelReverseKRanksBatch(index.value(), queries, *k,
+                                               pool, stats_ptr);
+    }
+  } else if (*type == "rtk") {
+    rtk_results = index.value().ReverseTopKBatch(queries, *k, stats_ptr);
+  } else {
+    rkr_results = index.value().ReverseKRanksBatch(queries, *k, stats_ptr);
+  }
+  const double batch_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  if (*type == "rtk") {
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      std::printf("query %zu: %zu matching preferences\n", qi,
+                  rtk_results[qi].size());
+      if (args.Has("verbose")) {
+        for (VectorId id : rtk_results[qi]) std::printf("  weight %u\n", id);
+      }
+    }
+  } else {
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      std::printf("query %zu: %zu ranked preferences\n", qi,
+                  rkr_results[qi].size());
+      if (args.Has("verbose")) {
+        for (const auto& entry : rkr_results[qi]) {
+          std::printf("  weight %u rank %lld\n", entry.weight_id,
+                      static_cast<long long>(entry.rank));
+        }
+      }
+    }
+  }
+  std::printf("answered %zu queries in %.1f ms (%.1f queries/s, %s engine, "
+              "%zu thread%s)\n",
+              num_queries, batch_ms,
+              batch_ms > 0.0 ? 1000.0 * static_cast<double>(num_queries) /
+                                   batch_ms
+                             : 0.0,
+              index.value().options().scan_mode == ScanMode::kTauIndex
+                  ? "tau"
+                  : "blocked",
+              threads, threads == 1 ? "" : "s");
+  if (stats_ptr != nullptr) {
+    std::printf("# stats: %s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
 int RunTauInfo(const Args& args) {
   const auto tau_path = args.Get("tau");
   const auto weights_path = args.Get("weights");
@@ -437,6 +557,7 @@ int Run(int argc, char** argv) {
   if (command == "generate") return RunGenerate(args);
   if (command == "build-index") return RunBuildIndex(args);
   if (command == "query") return RunQuery(args);
+  if (command == "batch-query") return RunBatchQuery(args);
   if (command == "info") return RunInfo(args);
   PrintUsage();
   return 1;
