@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,24 +35,52 @@ inline size_t& BenchThreads() {
   return threads;
 }
 
+/// Parses a --threads value: digits only, no sign, no trailing junk.
+/// Returns false for anything else — "-3" must not round-trip through an
+/// unsigned parse into a huge count, and "foo" must not silently parse as
+/// 0 (which would mean hardware concurrency).
+inline bool ParseThreadsValue(const char* text, size_t* threads) {
+  if (text == nullptr || *text == '\0') return false;
+  size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const size_t digit = static_cast<size_t>(*p - '0');
+    if (value > (std::numeric_limits<size_t>::max() - digit) / 10) {
+      return false;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  *threads = value;
+  return true;
+}
+
 /// Consumes a "--threads N" / "--threads=N" flag from argv (so benches
 /// that forward the remaining arguments — e.g. to google-benchmark — never
 /// see it) and records the result in BenchThreads(). Defaults to the
 /// hardware concurrency when the flag is absent; a parsed value of 0 also
-/// means hardware concurrency.
+/// means hardware concurrency. Invalid values (negative, non-numeric,
+/// overflowing, or a missing argument) print an error and exit(2).
 inline size_t ParseThreadsFlag(int* argc, char** argv) {
   const size_t hw =
       std::max<size_t>(1, std::thread::hardware_concurrency());
   size_t threads = hw;
+  auto reject = [](const char* value) {
+    std::fprintf(stderr,
+                 "error: --threads expects a non-negative integer, got "
+                 "'%s'\n",
+                 value);
+    std::exit(2);
+  };
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads" && i + 1 < *argc) {
-      threads = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    if (arg == "--threads") {
+      if (i + 1 >= *argc) reject("<missing>");
+      if (!ParseThreadsValue(argv[i + 1], &threads)) reject(argv[i + 1]);
       ++i;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = static_cast<size_t>(
-          std::strtoull(arg.c_str() + sizeof("--threads=") - 1, nullptr, 10));
+      const char* value = arg.c_str() + sizeof("--threads=") - 1;
+      if (!ParseThreadsValue(value, &threads)) reject(value);
     } else {
       argv[kept++] = argv[i];
     }

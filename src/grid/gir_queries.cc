@@ -169,6 +169,9 @@ Result<GirIndex> GirIndex::Assemble(const Dataset& points,
 
 ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
                                         QueryStats* stats) const {
+  // rank < 0 is unsatisfiable: answer empty without scanning (and without
+  // counting scans), identically across every engine and batch shape.
+  if (k == 0 || weights_->empty()) return {};
   if (options_.scan_mode == ScanMode::kTauIndex) {
     if (tau_ != nullptr && tau_->CanAnswerTopK(k)) {
       return TauReverseTopK(q, k, /*pool=*/nullptr, stats);
@@ -206,6 +209,7 @@ ReverseTopKResult GirIndex::ReverseTopK(ConstRow q, size_t k,
 
 ReverseTopKResult GirIndex::BlockedReverseTopK(ConstRow q, size_t k,
                                                QueryStats* stats) const {
+  if (k == 0 || weights_->empty()) return {};
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
                          grid_, options_.bound_mode);
   const BlockedScanner::QueryContext qctx =
@@ -239,6 +243,7 @@ ReverseTopKResult GirIndex::BlockedReverseTopK(ConstRow q, size_t k,
 
 ReverseKRanksResult GirIndex::ReverseKRanks(ConstRow q, size_t k,
                                             QueryStats* stats) const {
+  if (k == 0 || weights_->empty()) return {};
   if (options_.scan_mode == ScanMode::kTauIndex) {
     if (tau_ != nullptr) {
       return TauReverseKRanks(q, k, /*pool=*/nullptr, stats);
@@ -321,7 +326,10 @@ std::vector<ReverseTopKResult> GirIndex::ReverseTopKBatch(
     const Dataset& queries, size_t k, QueryStats* stats) const {
   const size_t num_queries = queries.size();
   std::vector<ReverseTopKResult> results(num_queries);
-  if (num_queries == 0) return results;
+  // Same degenerate-query policy as the per-query entry point: k == 0
+  // answers empty with zero scans, so batch counters stay equal to the
+  // sum of the equivalent per-query runs.
+  if (num_queries == 0 || k == 0 || weights_->empty()) return results;
   if (options_.scan_mode == ScanMode::kTauIndex && tau_ != nullptr &&
       tau_->CanAnswerTopK(k)) {
     return TauReverseTopKBatch(queries, k, /*pool=*/nullptr, stats);

@@ -3,6 +3,11 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <utility>
 #include <vector>
 
 #include "grid/bit_packed.h"
@@ -13,6 +18,7 @@ namespace {
 
 constexpr char kMagic[8] = {'G', 'I', 'R', 'I', 'D', 'X', '0', '1'};
 constexpr char kTauMagic[8] = {'G', 'I', 'R', 'T', 'A', 'U', '0', '1'};
+constexpr char kDynMagic[8] = {'G', 'I', 'R', 'D', 'Y', 'N', '0', '1'};
 
 uint32_t BitsForPartitions(size_t n) {
   uint32_t bits = 1;
@@ -20,27 +26,34 @@ uint32_t BitsForPartitions(size_t n) {
   return bits;
 }
 
-void WriteU32(std::ofstream& out, uint32_t v) {
+void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-void WriteU64(std::ofstream& out, uint64_t v) {
+void WriteU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-void WriteDoubles(std::ofstream& out, const std::vector<double>& v) {
+void WriteDouble(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteDoubles(std::ostream& out, const std::vector<double>& v) {
   WriteU64(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(double)));
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
+bool ReadU32(std::istream& in, uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return static_cast<bool>(in);
 }
-bool ReadU64(std::ifstream& in, uint64_t* v) {
+bool ReadU64(std::istream& in, uint64_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return static_cast<bool>(in);
 }
-bool ReadDoubles(std::ifstream& in, std::vector<double>* v) {
+bool ReadDouble(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+bool ReadDoubles(std::istream& in, std::vector<double>* v) {
   uint64_t count = 0;
   if (!ReadU64(in, &count)) return false;
   if (count > (1u << 20)) return false;  // boundaries are at most 256 long
@@ -50,7 +63,58 @@ bool ReadDoubles(std::ifstream& in, std::vector<double>* v) {
   return static_cast<bool>(in);
 }
 
-Status WritePacked(std::ofstream& out, const ApproxVectors& cells,
+/// Bytes between the current read position and end of stream. Used to
+/// vet header-implied payload sizes before allocating: a hostile header
+/// cannot make the loader reserve more than the file actually holds.
+uint64_t RemainingBytes(std::istream& in) {
+  const std::streampos pos = in.tellg();
+  if (pos < 0) return 0;
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(pos);
+  if (end < pos) return 0;
+  return static_cast<uint64_t>(end - pos);
+}
+
+/// Re-wraps `s` with the file path appended, preserving the code.
+Status WithPath(const Status& s, const std::string& path) {
+  const std::string msg = s.message() + ": " + path;
+  switch (s.code()) {
+    case StatusCode::kCorruption:
+      return Status::Corruption(msg);
+    case StatusCode::kIOError:
+      return Status::IOError(msg);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+/// elems * elem_size without silent wraparound; false on overflow.
+bool CheckedPayloadBytes(uint64_t elems, uint64_t elem_size,
+                         uint64_t* bytes) {
+  if (elem_size != 0 &&
+      elems > std::numeric_limits<uint64_t>::max() / elem_size) {
+    return false;
+  }
+  *bytes = elems * elem_size;
+  return true;
+}
+
+/// Reads exactly `count` elements of a raw array whose size the header
+/// implies (unlike ReadDoubles there is no embedded count — τ components
+/// can far exceed the boundary-array cap). Callers must have vetted
+/// `count` against RemainingBytes first.
+template <typename T>
+bool ReadArray(std::istream& in, size_t count, std::vector<T>* v) {
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+Status WritePacked(std::ostream& out, const ApproxVectors& cells,
                    size_t partitions) {
   auto packed = BitPackedVectors::Pack(cells, BitsForPartitions(partitions));
   if (!packed.ok()) return packed.status();
@@ -63,7 +127,13 @@ Status WritePacked(std::ofstream& out, const ApproxVectors& cells,
   return Status::OK();
 }
 
-Result<ApproxVectors> ReadPacked(std::ifstream& in) {
+/// `expected_count` / `expected_dim` come from the dataset the caller is
+/// re-attaching to; a header that disagrees is rejected before the
+/// payload size it implies is ever trusted (a forged count whose
+/// BytesPerVector product wraps around would otherwise under-allocate and
+/// let the unpack index out of range).
+Result<ApproxVectors> ReadPacked(std::istream& in, size_t expected_count,
+                                 size_t expected_dim) {
   PackedBlob blob;
   if (!ReadU32(in, &blob.bits_per_cell) || !ReadU32(in, &blob.dim) ||
       !ReadU64(in, &blob.count)) {
@@ -72,7 +142,16 @@ Result<ApproxVectors> ReadPacked(std::ifstream& in) {
   if (blob.bits_per_cell == 0 || blob.bits_per_cell > 8 || blob.dim == 0) {
     return Status::Corruption("invalid packed parameters");
   }
-  blob.payload.resize(blob.BytesPerVector() * blob.count);
+  if (blob.count != expected_count || blob.dim != expected_dim) {
+    return Status::Corruption("packed shape does not match the dataset");
+  }
+  uint64_t payload_bytes = 0;
+  if (!CheckedPayloadBytes(blob.count, blob.BytesPerVector(),
+                           &payload_bytes) ||
+      payload_bytes > RemainingBytes(in)) {
+    return Status::Corruption("packed payload exceeds the file size");
+  }
+  blob.payload.resize(payload_bytes);
   in.read(reinterpret_cast<char*>(blob.payload.data()),
           static_cast<std::streamsize>(blob.payload.size()));
   if (!in) return Status::Corruption("truncated packed payload");
@@ -81,15 +160,107 @@ Result<ApproxVectors> ReadPacked(std::ifstream& in) {
   return packed.value().Unpack();
 }
 
-/// Reads exactly `count` elements of a raw array whose size the header
-/// implies (unlike ReadDoubles there is no embedded count — τ components
-/// can far exceed the boundary-array cap).
-template <typename T>
-bool ReadArray(std::ifstream& in, size_t count, std::vector<T>* v) {
-  v->resize(count);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  return static_cast<bool>(in);
+Status SaveTauIndexToStream(std::ostream& out, const TauIndex& index) {
+  out.write(kTauMagic, sizeof(kTauMagic));
+  WriteU32(out, static_cast<uint32_t>(index.k_cap()));
+  WriteU32(out, static_cast<uint32_t>(index.bins()));
+  WriteU32(out, static_cast<uint32_t>(index.dim()));
+  WriteU64(out, index.num_weights());
+  WriteU64(out, index.num_points());
+  const std::vector<double>& tau = index.tau();
+  const std::vector<double>& score_max = index.score_max();
+  const std::vector<uint32_t>& hist = index.hist_prefix();
+  out.write(reinterpret_cast<const char*>(tau.data()),
+            static_cast<std::streamsize>(tau.size() * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(score_max.data()),
+            static_cast<std::streamsize>(score_max.size() * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(hist.data()),
+            static_cast<std::streamsize>(hist.size() * sizeof(uint32_t)));
+  return Status::OK();
+}
+
+/// `embedded` loads a GIRTAU01 section inside a larger envelope: payloads
+/// may be followed by more envelope sections, so the no-trailing-bytes
+/// check is skipped (the envelope loader does its own).
+Result<TauIndex> LoadTauIndexFromStream(std::istream& in,
+                                        const Dataset& weights,
+                                        bool embedded) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTauMagic, sizeof(kTauMagic)) != 0) {
+    return Status::Corruption("bad tau index header");
+  }
+  uint32_t k_cap = 0, bins = 0, dim = 0;
+  uint64_t num_weights = 0, num_points = 0;
+  if (!ReadU32(in, &k_cap) || !ReadU32(in, &bins) || !ReadU32(in, &dim) ||
+      !ReadU64(in, &num_weights) || !ReadU64(in, &num_points)) {
+    return Status::Corruption("truncated tau index header");
+  }
+  if (k_cap == 0 || num_points == 0 || k_cap > num_points || bins < 2 ||
+      bins > (1u << 20)) {
+    return Status::Corruption("invalid tau index parameters");
+  }
+  if (dim != weights.dim() || num_weights != weights.size()) {
+    return Status::Corruption(
+        "tau index shape does not match the supplied weights");
+  }
+  // Vet the header-implied payload against the bytes actually present
+  // before any allocation: k_cap and num_points are attacker-controlled,
+  // and their products can reach allocation-bomb or wraparound territory.
+  uint64_t tau_bytes = 0, max_bytes = 0, hist_bytes = 0;
+  if (!CheckedPayloadBytes(uint64_t{k_cap} * num_weights, sizeof(double),
+                           &tau_bytes) ||
+      !CheckedPayloadBytes(num_weights, sizeof(double), &max_bytes) ||
+      !CheckedPayloadBytes(uint64_t{bins} * num_weights, sizeof(uint32_t),
+                           &hist_bytes)) {
+    return Status::Corruption("tau index payload size overflows");
+  }
+  const uint64_t remaining = RemainingBytes(in);
+  if (tau_bytes > remaining || max_bytes > remaining - tau_bytes ||
+      hist_bytes > remaining - tau_bytes - max_bytes) {
+    return Status::Corruption("tau index payload exceeds the file size");
+  }
+  std::vector<double> tau;
+  std::vector<double> score_max;
+  std::vector<uint32_t> hist;
+  if (!ReadArray(in, size_t{k_cap} * num_weights, &tau) ||
+      !ReadArray(in, num_weights, &score_max) ||
+      !ReadArray(in, size_t{bins} * num_weights, &hist)) {
+    return Status::Corruption("truncated tau index payload");
+  }
+  if (!embedded) {
+    char extra;
+    if (in.read(&extra, 1)) {
+      return Status::Corruption("trailing bytes after tau index");
+    }
+  }
+  return TauIndex::FromParts(weights, num_points, k_cap, bins,
+                             std::move(tau), std::move(score_max),
+                             std::move(hist));
+}
+
+void WriteDataset(std::ostream& out, const Dataset& data) {
+  WriteU64(out, data.size());
+  out.write(reinterpret_cast<const char*>(data.flat().data()),
+            static_cast<std::streamsize>(data.flat().size() *
+                                         sizeof(double)));
+}
+
+Result<Dataset> ReadDataset(std::istream& in, size_t dim) {
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) {
+    return Status::Corruption("truncated dataset header");
+  }
+  uint64_t bytes = 0;
+  if (!CheckedPayloadBytes(count, uint64_t{dim} * sizeof(double), &bytes) ||
+      bytes > RemainingBytes(in)) {
+    return Status::Corruption("dataset payload exceeds the file size");
+  }
+  std::vector<double> flat;
+  if (!ReadArray(in, static_cast<size_t>(count) * dim, &flat)) {
+    return Status::Corruption("truncated dataset payload");
+  }
+  return Dataset::FromFlat(dim, std::move(flat));
 }
 
 }  // namespace
@@ -132,12 +303,19 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
       !ReadU32(in, &uniform_w)) {
     return Status::Corruption("truncated index options: " + path);
   }
+  if (partitions == 0 || partitions > Partitioner::kMaxPartitions) {
+    return Status::Corruption("partition count out of range: " + path);
+  }
   if (bound_mode > static_cast<uint32_t>(BoundMode::kExactWeight)) {
     return Status::Corruption("unknown bound mode: " + path);
   }
   std::vector<double> p_bounds, w_bounds;
   if (!ReadDoubles(in, &p_bounds) || !ReadDoubles(in, &w_bounds)) {
     return Status::Corruption("truncated boundaries: " + path);
+  }
+  if (p_bounds.size() > Partitioner::kMaxPartitions + 1 ||
+      w_bounds.size() > Partitioner::kMaxPartitions + 1) {
+    return Status::Corruption("boundary count out of range: " + path);
   }
   auto MakePartitioner = [](const std::vector<double>& bounds,
                             bool uniform) -> Result<Partitioner> {
@@ -154,9 +332,9 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
   auto wp = MakePartitioner(w_bounds, uniform_w != 0);
   if (!wp.ok()) return wp.status();
 
-  auto point_cells = ReadPacked(in);
+  auto point_cells = ReadPacked(in, points.size(), points.dim());
   if (!point_cells.ok()) return point_cells.status();
-  auto weight_cells = ReadPacked(in);
+  auto weight_cells = ReadPacked(in, weights.size(), weights.dim());
   if (!weight_cells.ok()) return weight_cells.status();
 
   if (verify_cells) {
@@ -190,21 +368,8 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
 Status SaveTauIndex(const std::string& path, const TauIndex& index) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(kTauMagic, sizeof(kTauMagic));
-  WriteU32(out, static_cast<uint32_t>(index.k_cap()));
-  WriteU32(out, static_cast<uint32_t>(index.bins()));
-  WriteU32(out, static_cast<uint32_t>(index.dim()));
-  WriteU64(out, index.num_weights());
-  WriteU64(out, index.num_points());
-  const std::vector<double>& tau = index.tau();
-  const std::vector<double>& score_max = index.score_max();
-  const std::vector<uint32_t>& hist = index.hist_prefix();
-  out.write(reinterpret_cast<const char*>(tau.data()),
-            static_cast<std::streamsize>(tau.size() * sizeof(double)));
-  out.write(reinterpret_cast<const char*>(score_max.data()),
-            static_cast<std::streamsize>(score_max.size() * sizeof(double)));
-  out.write(reinterpret_cast<const char*>(hist.data()),
-            static_cast<std::streamsize>(hist.size() * sizeof(uint32_t)));
+  Status s = SaveTauIndexToStream(out, index);
+  if (!s.ok()) return s;
   if (!out) return Status::IOError("short write: " + path);
   return Status::OK();
 }
@@ -213,40 +378,163 @@ Result<TauIndex> LoadTauIndex(const std::string& path,
                               const Dataset& weights) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
+  auto loaded = LoadTauIndexFromStream(in, weights, /*embedded=*/false);
+  if (!loaded.ok()) {
+    return WithPath(loaded.status(), path);
+  }
+  return loaded;
+}
+
+Status SaveDynamicIndex(const std::string& path,
+                        const DynamicGirIndex& index) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const DynamicIndexOptions& options = index.options();
+  const TauIndex* tau = index.base().tau_index();
+  const bool save_tau =
+      options.gir.scan_mode == ScanMode::kTauIndex && tau != nullptr;
+  out.write(kDynMagic, sizeof(kDynMagic));
+  WriteU64(out, index.generation());
+  WriteU32(out, static_cast<uint32_t>(index.dim()));
+  WriteU32(out, save_tau ? 1 : 0);
+  WriteU32(out, static_cast<uint32_t>(options.gir.partitions));
+  WriteU32(out, static_cast<uint32_t>(options.gir.bound_mode));
+  WriteU32(out, options.gir.use_domin ? 1 : 0);
+  WriteU32(out, static_cast<uint32_t>(options.gir.scan_mode));
+  WriteU32(out, static_cast<uint32_t>(options.gir.tau.k_max));
+  WriteU32(out, static_cast<uint32_t>(options.gir.tau.bins));
+  WriteDouble(out, options.compact_threshold);
+  WriteU32(out, options.auto_compact ? 1 : 0);
+  WriteDataset(out, index.base_points());
+  WriteDataset(out, index.base_weights());
+  WriteDataset(out, index.delta_points());
+  WriteDataset(out, index.delta_weights());
+  auto write_bitmap = [&out](const std::vector<uint8_t>& bitmap) {
+    out.write(reinterpret_cast<const char*>(bitmap.data()),
+              static_cast<std::streamsize>(bitmap.size()));
+  };
+  write_bitmap(index.base_point_alive());
+  write_bitmap(index.base_weight_alive());
+  write_bitmap(index.delta_point_alive());
+  write_bitmap(index.delta_weight_alive());
+  if (save_tau) {
+    Status s = SaveTauIndexToStream(out, *tau);
+    if (!s.ok()) return s;
+  }
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kTauMagic, sizeof(kTauMagic)) != 0) {
-    return Status::Corruption("bad tau index header: " + path);
+  if (!in || std::memcmp(magic, kDynMagic, sizeof(kDynMagic)) != 0) {
+    return Status::Corruption("bad dynamic index header: " + path);
   }
-  uint32_t k_cap = 0, bins = 0, dim = 0;
-  uint64_t num_weights = 0, num_points = 0;
-  if (!ReadU32(in, &k_cap) || !ReadU32(in, &bins) || !ReadU32(in, &dim) ||
-      !ReadU64(in, &num_weights) || !ReadU64(in, &num_points)) {
-    return Status::Corruption("truncated tau index header: " + path);
+  uint64_t generation = 0;
+  uint32_t dim = 0, flags = 0;
+  uint32_t partitions = 0, bound_mode = 0, use_domin = 0, scan_mode = 0;
+  uint32_t tau_k_max = 0, tau_bins = 0;
+  double compact_threshold = 0.0;
+  uint32_t auto_compact = 0;
+  if (!ReadU64(in, &generation) || !ReadU32(in, &dim) ||
+      !ReadU32(in, &flags) || !ReadU32(in, &partitions) ||
+      !ReadU32(in, &bound_mode) || !ReadU32(in, &use_domin) ||
+      !ReadU32(in, &scan_mode) || !ReadU32(in, &tau_k_max) ||
+      !ReadU32(in, &tau_bins) || !ReadDouble(in, &compact_threshold) ||
+      !ReadU32(in, &auto_compact)) {
+    return Status::Corruption("truncated dynamic index header: " + path);
   }
-  if (k_cap == 0 || num_points == 0 || k_cap > num_points || bins < 2 ||
-      bins > (1u << 20)) {
-    return Status::Corruption("invalid tau index parameters: " + path);
+  if (dim == 0 || dim > (1u << 16)) {
+    return Status::Corruption("dimension out of range: " + path);
   }
-  if (dim != weights.dim() || num_weights != weights.size()) {
-    return Status::Corruption(
-        "tau index shape does not match the supplied weights: " + path);
+  if (flags > 1) {
+    return Status::Corruption("unknown dynamic index flags: " + path);
   }
-  std::vector<double> tau;
-  std::vector<double> score_max;
-  std::vector<uint32_t> hist;
-  if (!ReadArray(in, size_t{k_cap} * num_weights, &tau) ||
-      !ReadArray(in, num_weights, &score_max) ||
-      !ReadArray(in, size_t{bins} * num_weights, &hist)) {
-    return Status::Corruption("truncated tau index payload: " + path);
+  if (partitions == 0 || partitions > Partitioner::kMaxPartitions) {
+    return Status::Corruption("partition count out of range: " + path);
+  }
+  if (bound_mode > static_cast<uint32_t>(BoundMode::kExactWeight)) {
+    return Status::Corruption("unknown bound mode: " + path);
+  }
+  if (scan_mode > static_cast<uint32_t>(ScanMode::kTauIndex)) {
+    return Status::Corruption("unknown scan mode: " + path);
+  }
+  if (!(compact_threshold > 0.0) || compact_threshold > 1e6) {
+    return Status::Corruption("compact threshold out of range: " + path);
+  }
+  DynamicIndexOptions options;
+  options.gir.partitions = partitions;
+  options.gir.bound_mode = static_cast<BoundMode>(bound_mode);
+  options.gir.use_domin = use_domin != 0;
+  options.gir.scan_mode = static_cast<ScanMode>(scan_mode);
+  options.gir.tau.k_max = tau_k_max;
+  options.gir.tau.bins = tau_bins;
+  options.compact_threshold = compact_threshold;
+  options.auto_compact = auto_compact != 0;
+
+  auto base_points = ReadDataset(in, dim);
+  if (!base_points.ok()) {
+    return WithPath(base_points.status(), path);
+  }
+  auto base_weights = ReadDataset(in, dim);
+  if (!base_weights.ok()) {
+    return WithPath(base_weights.status(), path);
+  }
+  auto delta_points = ReadDataset(in, dim);
+  if (!delta_points.ok()) {
+    return WithPath(delta_points.status(), path);
+  }
+  auto delta_weights = ReadDataset(in, dim);
+  if (!delta_weights.ok()) {
+    return WithPath(delta_weights.status(), path);
+  }
+  const uint64_t bitmap_bytes =
+      base_points.value().size() + base_weights.value().size() +
+      delta_points.value().size() + delta_weights.value().size();
+  if (bitmap_bytes > RemainingBytes(in)) {
+    return Status::Corruption("alive bitmaps exceed the file size: " + path);
+  }
+  std::vector<uint8_t> bp_alive, bw_alive, dp_alive, dw_alive;
+  if (!ReadArray(in, base_points.value().size(), &bp_alive) ||
+      !ReadArray(in, base_weights.value().size(), &bw_alive) ||
+      !ReadArray(in, delta_points.value().size(), &dp_alive) ||
+      !ReadArray(in, delta_weights.value().size(), &dw_alive)) {
+    return Status::Corruption("truncated alive bitmaps: " + path);
+  }
+  std::shared_ptr<const TauIndex> tau;
+  if ((flags & 1) != 0) {
+    if (options.gir.scan_mode != ScanMode::kTauIndex) {
+      return Status::Corruption(
+          "tau blob present but scan mode is not tau: " + path);
+    }
+    auto loaded =
+        LoadTauIndexFromStream(in, base_weights.value(), /*embedded=*/true);
+    if (!loaded.ok()) {
+      return WithPath(loaded.status(), path);
+    }
+    tau = std::make_shared<const TauIndex>(std::move(loaded).value());
   }
   char extra;
   if (in.read(&extra, 1)) {
-    return Status::Corruption("trailing bytes after tau index: " + path);
+    return Status::Corruption("trailing bytes after dynamic index: " + path);
   }
-  return TauIndex::FromParts(weights, num_points, k_cap, bins,
-                             std::move(tau), std::move(score_max),
-                             std::move(hist));
+  auto index = DynamicGirIndex::FromParts(
+      options, generation, std::move(base_points).value(),
+      std::move(base_weights).value(), std::move(bp_alive),
+      std::move(bw_alive), std::move(delta_points).value(),
+      std::move(delta_weights).value(), std::move(dp_alive),
+      std::move(dw_alive), std::move(tau));
+  if (!index.ok()) {
+    // A structurally well-formed file whose contents violate the index
+    // invariants (bad bitmap bytes, dead shapes) is still corruption from
+    // the loader's point of view.
+    return Status::Corruption("invalid dynamic index contents (" +
+                              index.status().message() + "): " + path);
+  }
+  return index;
 }
 
 }  // namespace gir

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/status.h"
+#include "grid/dynamic_index.h"
 #include "grid/gir_queries.h"
 
 namespace gir {
@@ -25,6 +26,9 @@ Status SaveGirIndex(const std::string& path, const GirIndex& index);
 /// to `points` / `weights`, which must be the datasets the index was
 /// built from (shape and range are validated; cell contents are trusted —
 /// pass `verify_cells = true` to re-check every cell against the data).
+/// Hostile headers (shape mismatches, payload sizes that disagree with
+/// the file size, out-of-range partition counts) are rejected as
+/// Corruption before anything is allocated from them.
 Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
                               const Dataset& weights,
                               bool verify_cells = false);
@@ -33,10 +37,12 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
 /// (little-endian): magic "GIRTAU01"; k_cap, bins, dim as u32; |W|, |P| as
 /// u64; then the raw component arrays — τ (k_cap·|W| doubles, k-major),
 /// per-weight max scores (|W| doubles), prefix-summed histograms
-/// (|W|·bins u32). Sizes are implied by the header, so truncation and
-/// trailing garbage are both detected, and the loader re-validates the
-/// arrays' internal invariants (sorted τ rows, monotone prefixes summing
-/// to |P|) before accepting the file.
+/// (|W|·bins u32). Sizes are implied by the header; the loader checks the
+/// implied payload (computed overflow-safely) against the actual file
+/// size before allocating, so truncation, trailing garbage and
+/// allocation-bomb headers are all rejected, and the arrays' internal
+/// invariants (sorted τ rows, monotone prefixes summing to |P|) are
+/// re-validated before accepting the file.
 Status SaveTauIndex(const std::string& path, const TauIndex& index);
 
 /// Loads a τ-index written with SaveTauIndex. `weights` must be the
@@ -44,6 +50,24 @@ Status SaveTauIndex(const std::string& path, const TauIndex& index);
 /// it); shape mismatches are rejected as Corruption.
 Result<TauIndex> LoadTauIndex(const std::string& path,
                               const Dataset& weights);
+
+/// Persistence of a DynamicGirIndex — the generation-stamped "GIRDYN01"
+/// envelope. Unlike GIRIDX01, the envelope embeds the datasets themselves
+/// (a churned index has no external file to re-attach to): magic; u64
+/// generation; u32 dim; u32 flags (bit 0: τ blob present); the options
+/// block; the four datasets (base/delta × points/weights, each u64 count
+/// + raw doubles); the four alive bitmaps (raw bytes, sizes implied); and,
+/// when the index runs in τ mode, the base generation's τ-index as an
+/// embedded GIRTAU01 section so loading skips the P×W sweep. The grid and
+/// the delta correction structures are deterministic functions of the
+/// payload and are rebuilt at load.
+Status SaveDynamicIndex(const std::string& path,
+                        const DynamicGirIndex& index);
+
+/// Loads an index written with SaveDynamicIndex. The result answers
+/// queries bit-identically to the saved instance (same base generation,
+/// same delta buffer, same tombstones).
+Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path);
 
 }  // namespace gir
 

@@ -353,6 +353,7 @@ std::vector<ReverseKRanksResult> ParallelBlockedReverseKRanksBatch(
 ReverseTopKResult ParallelReverseTopK(const GirIndex& index, ConstRow q,
                                       size_t k, ThreadPool& pool,
                                       QueryStats* stats) {
+  if (k == 0 || index.weights().empty()) return {};
   if (index.options().scan_mode == ScanMode::kTauIndex) {
     if (index.tau_index() != nullptr && index.tau_index()->CanAnswerTopK(k)) {
       return index.TauReverseTopK(q, k, &pool, stats);
@@ -484,6 +485,9 @@ std::vector<ReverseTopKResult> ParallelReverseTopKBatch(
     const GirIndex& index, const Dataset& queries, size_t k, ThreadPool& pool,
     QueryStats* stats) {
   if (queries.size() == 0) return {};
+  if (k == 0 || index.weights().empty()) {
+    return std::vector<ReverseTopKResult>(queries.size());
+  }
   if (index.options().scan_mode == ScanMode::kTauIndex &&
       index.tau_index() != nullptr && index.tau_index()->CanAnswerTopK(k)) {
     return index.TauReverseTopKBatch(queries, k, &pool, stats);

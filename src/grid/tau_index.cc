@@ -333,6 +333,17 @@ ReverseTopKResult TauIndex::ReverseTopK(ConstRow q, size_t k,
   return result;
 }
 
+int64_t TauIndex::RankLowerBound(size_t w, double score) const {
+  const double mn = tau_[w];  // τ_1(w), the histogram's lower edge
+  if (score <= mn) return 0;
+  const double mx = score_max_[w];
+  if (score > mx) return static_cast<int64_t>(num_points_);
+  const double inv = static_cast<double>(bins_) / (mx - mn);
+  const size_t b = BinOf(score, mn, inv, bins_);
+  return b == 0 ? 0
+               : static_cast<int64_t>(hist_prefix_[w * bins_ + b - 1]);
+}
+
 TauRankBounds TauIndex::BoundRank(size_t w, double score) const {
   const size_t m = num_weights_;
   // Count of τ_j(w) < score by binary search over the k-major columns:

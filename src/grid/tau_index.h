@@ -126,6 +126,13 @@ class TauIndex {
   /// rank < k_cap() or the histogram pins it; sound in all cases.
   TauRankBounds BoundRank(size_t w, double score) const;
 
+  /// O(1) lower bound on rank(w, q) from the histogram alone — the prefix
+  /// count of full bins strictly below `score`, with no τ-column binary
+  /// search. Looser than BoundRank().lo but touches only w-contiguous
+  /// rows, so a pass over all weights streams; the dynamic index's
+  /// correction-free reject test (DESIGN.md §12) is built on it.
+  int64_t RankLowerBound(size_t w, double score) const;
+
   /// τ_k(w), the k-th smallest product score under w. 1 <= k <= k_cap().
   double Threshold(size_t w, size_t k) const {
     return tau_[(k - 1) * num_weights_ + w];

@@ -18,6 +18,17 @@
 //   gir_cli batch-query --points p.bin --weights w.bin --type rtk|rkr --k 10
 //                       (--queries q.bin | --query-row 0 --num-queries 64)
 //                       [--tau tau.bin] [--threads N] [--stats] [--verbose]
+//   gir_cli update init    --points p.bin --weights w.bin --out dyn.bin
+//                          [--partitions 32] [--scan-mode wat|blocked|tau]
+//                          [--compact-threshold 0.25] [--no-auto-compact]
+//   gir_cli update insert  --index dyn.bin --kind point|weight
+//                          --values v1,v2,... [--out FILE]
+//   gir_cli update delete  --index dyn.bin --kind point|weight --id N
+//                          [--out FILE]
+//   gir_cli update compact --index dyn.bin [--out FILE]
+//   gir_cli update info    --index dyn.bin
+//   gir_cli update query   --index dyn.bin --type rtk|rkr --k 10
+//                          --query v1,v2,... [--stats]
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
@@ -36,6 +47,7 @@
 #include "data/generators.h"
 #include "data/weights.h"
 #include "grid/adaptive_grid.h"
+#include "grid/dynamic_index.h"
 #include "grid/gir_queries.h"
 #include "grid/index_io.h"
 #include "grid/parallel_gir.h"
@@ -103,7 +115,7 @@ int FailStatus(const Status& status) {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: gir_cli <generate|build-index|query|info|tau> "
+      "usage: gir_cli <generate|build-index|query|info|tau|update> "
       "[--flag value ...]\n"
       "  generate    --kind points|weights --dist UN|CL|AC|NORMAL|EXP|SPARSE\n"
       "              --n N --d D --seed S --out FILE [--range R]\n"
@@ -122,7 +134,17 @@ void PrintUsage() {
       "  tau info    --tau FILE --weights FILE\n"
       "  batch-query --points FILE --weights FILE --type rtk|rkr --k K\n"
       "              (--queries FILE | --query-row I --num-queries Q)\n"
-      "              [--tau FILE] [--threads N] [--stats] [--verbose]\n");
+      "              [--tau FILE] [--threads N] [--stats] [--verbose]\n"
+      "  update init    --points FILE --weights FILE --out FILE\n"
+      "                 [--partitions N] [--scan-mode wat|blocked|tau]\n"
+      "                 [--compact-threshold F] [--no-auto-compact]\n"
+      "  update insert  --index FILE --kind point|weight --values v1,v2,...\n"
+      "                 [--out FILE]\n"
+      "  update delete  --index FILE --kind point|weight --id N [--out FILE]\n"
+      "  update compact --index FILE [--out FILE]\n"
+      "  update info    --index FILE\n"
+      "  update query   --index FILE --type rtk|rkr --k K --query v1,v2,...\n"
+      "                 [--stats]\n");
 }
 
 int RunGenerate(const Args& args) {
@@ -544,14 +566,179 @@ int RunTau(int argc, char** argv) {
   return 1;
 }
 
+// ---- `update` — dynamic-index maintenance (grid/dynamic_index.h) ----------
+
+void PrintDynamicSummary(const char* path, const DynamicGirIndex& index) {
+  std::printf(
+      "dynamic index %s: generation %llu, %zu live points x %zu live "
+      "weights (%zu-d), churn %.1f%%%s\n",
+      path, static_cast<unsigned long long>(index.generation()),
+      index.live_point_count(), index.live_weight_count(), index.dim(),
+      100.0 * index.ChurnFraction(), index.dirty() ? " (dirty)" : "");
+}
+
+int RunUpdateInit(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto out = args.Get("out");
+  if (!points_path || !weights_path || !out) {
+    return Fail("update init requires --points --weights --out");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+  DynamicIndexOptions options;
+  options.gir.partitions = args.GetSize("partitions").value_or(32);
+  const std::string mode = args.Get("scan-mode").value_or("blocked");
+  if (mode == "wat") {
+    options.gir.scan_mode = ScanMode::kWeightAtATime;
+  } else if (mode == "blocked") {
+    options.gir.scan_mode = ScanMode::kBlocked;
+  } else if (mode == "tau") {
+    options.gir.scan_mode = ScanMode::kTauIndex;
+    options.gir.tau.k_max = args.GetSize("k-max").value_or(
+        options.gir.tau.k_max);
+    options.gir.tau.bins = args.GetSize("bins").value_or(options.gir.tau.bins);
+  } else {
+    return Fail("--scan-mode must be wat, blocked or tau");
+  }
+  options.compact_threshold =
+      args.GetDouble("compact-threshold").value_or(options.compact_threshold);
+  options.auto_compact = !args.Has("no-auto-compact");
+  auto index = DynamicGirIndex::Build(points.value(), weights.value(), options);
+  if (!index.ok()) return FailStatus(index.status());
+  const Status s = SaveDynamicIndex(*out, index.value());
+  if (!s.ok()) return FailStatus(s);
+  PrintDynamicSummary(out->c_str(), index.value());
+  return 0;
+}
+
+int RunUpdateMutate(const Args& args, const std::string& action) {
+  const auto index_path = args.Get("index");
+  if (!index_path) return Fail("update requires --index");
+  auto loaded = LoadDynamicIndex(*index_path);
+  if (!loaded.ok()) return FailStatus(loaded.status());
+  DynamicGirIndex index = std::move(loaded).value();
+
+  if (action == "compact") {
+    const Status s = index.Compact();
+    if (!s.ok()) return FailStatus(s);
+  } else {
+    const std::string kind = args.Get("kind").value_or("point");
+    if (kind != "point" && kind != "weight") {
+      return Fail("--kind must be point or weight");
+    }
+    if (action == "insert") {
+      const auto text = args.Get("values");
+      if (!text) return Fail("update insert requires --values v1,v2,...");
+      auto values = ParseQueryVector(*text);
+      if (!values.has_value()) return Fail("cannot parse --values vector");
+      ConstRow row(values->data(), values->size());
+      const Status s =
+          kind == "point" ? index.InsertPoint(row) : index.InsertWeight(row);
+      if (!s.ok()) return FailStatus(s);
+    } else {  // delete
+      const auto id = args.GetSize("id");
+      if (!id) return Fail("update delete requires --id");
+      const VectorId live_id = static_cast<VectorId>(*id);
+      const Status s = kind == "point" ? index.DeletePoint(live_id)
+                                       : index.DeleteWeight(live_id);
+      if (!s.ok()) return FailStatus(s);
+    }
+  }
+  const std::string out = args.Get("out").value_or(*index_path);
+  const Status s = SaveDynamicIndex(out, index);
+  if (!s.ok()) return FailStatus(s);
+  PrintDynamicSummary(out.c_str(), index);
+  return 0;
+}
+
+int RunUpdateInfo(const Args& args) {
+  const auto index_path = args.Get("index");
+  if (!index_path) return Fail("update info requires --index");
+  auto loaded = LoadDynamicIndex(*index_path);
+  if (!loaded.ok()) return FailStatus(loaded.status());
+  const DynamicGirIndex& index = loaded.value();
+  PrintDynamicSummary(index_path->c_str(), index);
+  std::printf(
+      "  base %zu points x %zu weights, delta +%zu points +%zu weights, "
+      "compact at %.0f%% churn (%s)\n",
+      index.base_points().size(), index.base_weights().size(),
+      index.delta_points().size(), index.delta_weights().size(),
+      100.0 * index.options().compact_threshold,
+      index.options().auto_compact ? "auto" : "manual");
+  return 0;
+}
+
+int RunUpdateQuery(const Args& args) {
+  const auto index_path = args.Get("index");
+  const auto type = args.Get("type");
+  const auto k = args.GetSize("k");
+  const auto text = args.Get("query");
+  if (!index_path || !type || !k || !text) {
+    return Fail("update query requires --index --type --k --query v1,v2,...");
+  }
+  auto loaded = LoadDynamicIndex(*index_path);
+  if (!loaded.ok()) return FailStatus(loaded.status());
+  const DynamicGirIndex& index = loaded.value();
+  auto q = ParseQueryVector(*text);
+  if (!q.has_value()) return Fail("cannot parse --query vector");
+  if (q->size() != index.dim()) {
+    return Fail("query vector width does not match the index dimension");
+  }
+  QueryStats stats;
+  QueryStats* stats_ptr = args.Has("stats") ? &stats : nullptr;
+  ConstRow row(q->data(), q->size());
+  if (*type == "rtk") {
+    auto result = index.ReverseTopK(row, *k, stats_ptr);
+    std::printf("%zu matching preferences\n", result.size());
+    for (VectorId id : result) std::printf("weight %u\n", id);
+  } else if (*type == "rkr") {
+    auto result = index.ReverseKRanks(row, *k, stats_ptr);
+    for (const auto& entry : result) {
+      std::printf("weight %u rank %lld\n", entry.weight_id,
+                  static_cast<long long>(entry.rank));
+    }
+  } else {
+    return Fail("--type must be rtk or rkr");
+  }
+  if (stats_ptr != nullptr) {
+    std::printf("# stats: %s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int RunUpdate(int argc, char** argv) {
+  if (argc < 3) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string action = argv[2];
+  // Shift by one so Args' fixed "--flags start at index 2" skips the
+  // action word.
+  Args args(argc - 1, argv + 1);
+  if (!args.ok()) return Fail(args.error().c_str());
+  if (action == "init") return RunUpdateInit(args);
+  if (action == "insert" || action == "delete" || action == "compact") {
+    return RunUpdateMutate(args, action);
+  }
+  if (action == "info") return RunUpdateInfo(args);
+  if (action == "query") return RunUpdateQuery(args);
+  PrintUsage();
+  return 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     PrintUsage();
     return 1;
   }
   const std::string command = argv[1];
-  // `tau` carries an action word Args would reject; dispatch it first.
+  // `tau` and `update` carry an action word Args would reject; dispatch
+  // them first.
   if (command == "tau") return RunTau(argc, argv);
+  if (command == "update") return RunUpdate(argc, argv);
   Args args(argc, argv);
   if (!args.ok()) return Fail(args.error().c_str());
   if (command == "generate") return RunGenerate(args);
