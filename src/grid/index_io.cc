@@ -1,16 +1,15 @@
 #include "grid/index_io.h"
 
 #include <cstdint>
-#include <cstring>
 #include <fstream>
 #include <istream>
-#include <limits>
 #include <memory>
 #include <ostream>
 #include <utility>
 #include <vector>
 
 #include "grid/bit_packed.h"
+#include "io/checked_reader.h"
 
 namespace gir {
 
@@ -19,6 +18,10 @@ namespace {
 constexpr char kMagic[8] = {'G', 'I', 'R', 'I', 'D', 'X', '0', '1'};
 constexpr char kTauMagic[8] = {'G', 'I', 'R', 'T', 'A', 'U', '0', '1'};
 constexpr char kDynMagic[8] = {'G', 'I', 'R', 'D', 'Y', 'N', '0', '1'};
+
+/// Partitioner boundary arrays are structurally capped far below this;
+/// the embedded-count reads reject anything larger before allocating.
+constexpr uint64_t kMaxBoundaryCount = 1u << 20;
 
 uint32_t BitsForPartitions(size_t n) {
   uint32_t bits = 1;
@@ -41,41 +44,6 @@ void WriteDoubles(std::ostream& out, const std::vector<double>& v) {
             static_cast<std::streamsize>(v.size() * sizeof(double)));
 }
 
-bool ReadU32(std::istream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-bool ReadU64(std::istream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-bool ReadDouble(std::istream& in, double* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-bool ReadDoubles(std::istream& in, std::vector<double>* v) {
-  uint64_t count = 0;
-  if (!ReadU64(in, &count)) return false;
-  if (count > (1u << 20)) return false;  // boundaries are at most 256 long
-  v->resize(count);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(count * sizeof(double)));
-  return static_cast<bool>(in);
-}
-
-/// Bytes between the current read position and end of stream. Used to
-/// vet header-implied payload sizes before allocating: a hostile header
-/// cannot make the loader reserve more than the file actually holds.
-uint64_t RemainingBytes(std::istream& in) {
-  const std::streampos pos = in.tellg();
-  if (pos < 0) return 0;
-  in.seekg(0, std::ios::end);
-  const std::streampos end = in.tellg();
-  in.seekg(pos);
-  if (end < pos) return 0;
-  return static_cast<uint64_t>(end - pos);
-}
-
 /// Re-wraps `s` with the file path appended, preserving the code.
 Status WithPath(const Status& s, const std::string& path) {
   const std::string msg = s.message() + ": " + path;
@@ -89,29 +57,6 @@ Status WithPath(const Status& s, const std::string& path) {
     default:
       return Status::Internal(msg);
   }
-}
-
-/// elems * elem_size without silent wraparound; false on overflow.
-bool CheckedPayloadBytes(uint64_t elems, uint64_t elem_size,
-                         uint64_t* bytes) {
-  if (elem_size != 0 &&
-      elems > std::numeric_limits<uint64_t>::max() / elem_size) {
-    return false;
-  }
-  *bytes = elems * elem_size;
-  return true;
-}
-
-/// Reads exactly `count` elements of a raw array whose size the header
-/// implies (unlike ReadDoubles there is no embedded count — τ components
-/// can far exceed the boundary-array cap). Callers must have vetted
-/// `count` against RemainingBytes first.
-template <typename T>
-bool ReadArray(std::istream& in, size_t count, std::vector<T>* v) {
-  v->resize(count);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  return static_cast<bool>(in);
 }
 
 Status WritePacked(std::ostream& out, const ApproxVectors& cells,
@@ -132,11 +77,11 @@ Status WritePacked(std::ostream& out, const ApproxVectors& cells,
 /// payload size it implies is ever trusted (a forged count whose
 /// BytesPerVector product wraps around would otherwise under-allocate and
 /// let the unpack index out of range).
-Result<ApproxVectors> ReadPacked(std::istream& in, size_t expected_count,
+Result<ApproxVectors> ReadPacked(CheckedReader& reader, size_t expected_count,
                                  size_t expected_dim) {
   PackedBlob blob;
-  if (!ReadU32(in, &blob.bits_per_cell) || !ReadU32(in, &blob.dim) ||
-      !ReadU64(in, &blob.count)) {
+  if (!reader.ReadU32(&blob.bits_per_cell) || !reader.ReadU32(&blob.dim) ||
+      !reader.ReadU64(&blob.count)) {
     return Status::Corruption("truncated packed header");
   }
   if (blob.bits_per_cell == 0 || blob.bits_per_cell > 8 || blob.dim == 0) {
@@ -146,15 +91,14 @@ Result<ApproxVectors> ReadPacked(std::istream& in, size_t expected_count,
     return Status::Corruption("packed shape does not match the dataset");
   }
   uint64_t payload_bytes = 0;
-  if (!CheckedPayloadBytes(blob.count, blob.BytesPerVector(),
-                           &payload_bytes) ||
-      payload_bytes > RemainingBytes(in)) {
+  if (!CheckedReader::CheckedPayloadBytes(blob.count, blob.BytesPerVector(),
+                                          &payload_bytes) ||
+      payload_bytes > reader.Remaining()) {
     return Status::Corruption("packed payload exceeds the file size");
   }
-  blob.payload.resize(payload_bytes);
-  in.read(reinterpret_cast<char*>(blob.payload.data()),
-          static_cast<std::streamsize>(blob.payload.size()));
-  if (!in) return Status::Corruption("truncated packed payload");
+  if (!reader.ReadArray(static_cast<size_t>(payload_bytes), &blob.payload)) {
+    return Status::Corruption("truncated packed payload");
+  }
   auto packed = BitPackedVectors::FromBlob(std::move(blob));
   if (!packed.ok()) return packed.status();
   return packed.value().Unpack();
@@ -182,18 +126,17 @@ Status SaveTauIndexToStream(std::ostream& out, const TauIndex& index) {
 /// `embedded` loads a GIRTAU01 section inside a larger envelope: payloads
 /// may be followed by more envelope sections, so the no-trailing-bytes
 /// check is skipped (the envelope loader does its own).
-Result<TauIndex> LoadTauIndexFromStream(std::istream& in,
+Result<TauIndex> LoadTauIndexFromStream(CheckedReader& reader,
                                         const Dataset& weights,
                                         bool embedded) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kTauMagic, sizeof(kTauMagic)) != 0) {
+  if (!reader.ReadMagic(kTauMagic)) {
     return Status::Corruption("bad tau index header");
   }
   uint32_t k_cap = 0, bins = 0, dim = 0;
   uint64_t num_weights = 0, num_points = 0;
-  if (!ReadU32(in, &k_cap) || !ReadU32(in, &bins) || !ReadU32(in, &dim) ||
-      !ReadU64(in, &num_weights) || !ReadU64(in, &num_points)) {
+  if (!reader.ReadU32(&k_cap) || !reader.ReadU32(&bins) ||
+      !reader.ReadU32(&dim) || !reader.ReadU64(&num_weights) ||
+      !reader.ReadU64(&num_points)) {
     return Status::Corruption("truncated tau index header");
   }
   if (k_cap == 0 || num_points == 0 || k_cap > num_points || bins < 2 ||
@@ -208,14 +151,15 @@ Result<TauIndex> LoadTauIndexFromStream(std::istream& in,
   // before any allocation: k_cap and num_points are attacker-controlled,
   // and their products can reach allocation-bomb or wraparound territory.
   uint64_t tau_bytes = 0, max_bytes = 0, hist_bytes = 0;
-  if (!CheckedPayloadBytes(uint64_t{k_cap} * num_weights, sizeof(double),
-                           &tau_bytes) ||
-      !CheckedPayloadBytes(num_weights, sizeof(double), &max_bytes) ||
-      !CheckedPayloadBytes(uint64_t{bins} * num_weights, sizeof(uint32_t),
-                           &hist_bytes)) {
+  if (!CheckedReader::CheckedPayloadBytes(uint64_t{k_cap} * num_weights,
+                                          sizeof(double), &tau_bytes) ||
+      !CheckedReader::CheckedPayloadBytes(num_weights, sizeof(double),
+                                          &max_bytes) ||
+      !CheckedReader::CheckedPayloadBytes(uint64_t{bins} * num_weights,
+                                          sizeof(uint32_t), &hist_bytes)) {
     return Status::Corruption("tau index payload size overflows");
   }
-  const uint64_t remaining = RemainingBytes(in);
+  const uint64_t remaining = reader.Remaining();
   if (tau_bytes > remaining || max_bytes > remaining - tau_bytes ||
       hist_bytes > remaining - tau_bytes - max_bytes) {
     return Status::Corruption("tau index payload exceeds the file size");
@@ -223,16 +167,13 @@ Result<TauIndex> LoadTauIndexFromStream(std::istream& in,
   std::vector<double> tau;
   std::vector<double> score_max;
   std::vector<uint32_t> hist;
-  if (!ReadArray(in, size_t{k_cap} * num_weights, &tau) ||
-      !ReadArray(in, num_weights, &score_max) ||
-      !ReadArray(in, size_t{bins} * num_weights, &hist)) {
+  if (!reader.ReadArray(size_t{k_cap} * num_weights, &tau) ||
+      !reader.ReadArray(num_weights, &score_max) ||
+      !reader.ReadArray(size_t{bins} * num_weights, &hist)) {
     return Status::Corruption("truncated tau index payload");
   }
-  if (!embedded) {
-    char extra;
-    if (in.read(&extra, 1)) {
-      return Status::Corruption("trailing bytes after tau index");
-    }
+  if (!embedded && !reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after tau index");
   }
   return TauIndex::FromParts(weights, num_points, k_cap, bins,
                              std::move(tau), std::move(score_max),
@@ -246,18 +187,19 @@ void WriteDataset(std::ostream& out, const Dataset& data) {
                                          sizeof(double)));
 }
 
-Result<Dataset> ReadDataset(std::istream& in, size_t dim) {
+Result<Dataset> ReadDataset(CheckedReader& reader, size_t dim) {
   uint64_t count = 0;
-  if (!ReadU64(in, &count)) {
+  if (!reader.ReadU64(&count)) {
     return Status::Corruption("truncated dataset header");
   }
   uint64_t bytes = 0;
-  if (!CheckedPayloadBytes(count, uint64_t{dim} * sizeof(double), &bytes) ||
-      bytes > RemainingBytes(in)) {
+  if (!CheckedReader::CheckedPayloadBytes(count, uint64_t{dim} * sizeof(double),
+                                          &bytes) ||
+      bytes > reader.Remaining()) {
     return Status::Corruption("dataset payload exceeds the file size");
   }
   std::vector<double> flat;
-  if (!ReadArray(in, static_cast<size_t>(count) * dim, &flat)) {
+  if (!reader.ReadArray(static_cast<size_t>(count) * dim, &flat)) {
     return Status::Corruption("truncated dataset payload");
   }
   return Dataset::FromFlat(dim, std::move(flat));
@@ -291,16 +233,15 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
                               const Dataset& weights, bool verify_cells) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  CheckedReader reader(in);
+  if (!reader.ReadMagic(kMagic)) {
     return Status::Corruption("bad index header: " + path);
   }
   uint32_t partitions = 0, bound_mode = 0, use_domin = 0;
   uint32_t uniform_p = 0, uniform_w = 0;
-  if (!ReadU32(in, &partitions) || !ReadU32(in, &bound_mode) ||
-      !ReadU32(in, &use_domin) || !ReadU32(in, &uniform_p) ||
-      !ReadU32(in, &uniform_w)) {
+  if (!reader.ReadU32(&partitions) || !reader.ReadU32(&bound_mode) ||
+      !reader.ReadU32(&use_domin) || !reader.ReadU32(&uniform_p) ||
+      !reader.ReadU32(&uniform_w)) {
     return Status::Corruption("truncated index options: " + path);
   }
   if (partitions == 0 || partitions > Partitioner::kMaxPartitions) {
@@ -310,7 +251,8 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
     return Status::Corruption("unknown bound mode: " + path);
   }
   std::vector<double> p_bounds, w_bounds;
-  if (!ReadDoubles(in, &p_bounds) || !ReadDoubles(in, &w_bounds)) {
+  if (!reader.ReadCountedDoubles(&p_bounds, kMaxBoundaryCount) ||
+      !reader.ReadCountedDoubles(&w_bounds, kMaxBoundaryCount)) {
     return Status::Corruption("truncated boundaries: " + path);
   }
   if (p_bounds.size() > Partitioner::kMaxPartitions + 1 ||
@@ -332,9 +274,9 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
   auto wp = MakePartitioner(w_bounds, uniform_w != 0);
   if (!wp.ok()) return wp.status();
 
-  auto point_cells = ReadPacked(in, points.size(), points.dim());
+  auto point_cells = ReadPacked(reader, points.size(), points.dim());
   if (!point_cells.ok()) return point_cells.status();
-  auto weight_cells = ReadPacked(in, weights.size(), weights.dim());
+  auto weight_cells = ReadPacked(reader, weights.size(), weights.dim());
   if (!weight_cells.ok()) return weight_cells.status();
 
   if (verify_cells) {
@@ -378,7 +320,8 @@ Result<TauIndex> LoadTauIndex(const std::string& path,
                               const Dataset& weights) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  auto loaded = LoadTauIndexFromStream(in, weights, /*embedded=*/false);
+  CheckedReader reader(in);
+  auto loaded = LoadTauIndexFromStream(reader, weights, /*embedded=*/false);
   if (!loaded.ok()) {
     return WithPath(loaded.status(), path);
   }
@@ -428,9 +371,8 @@ Status SaveDynamicIndex(const std::string& path,
 Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kDynMagic, sizeof(kDynMagic)) != 0) {
+  CheckedReader reader(in);
+  if (!reader.ReadMagic(kDynMagic)) {
     return Status::Corruption("bad dynamic index header: " + path);
   }
   uint64_t generation = 0;
@@ -439,12 +381,12 @@ Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
   uint32_t tau_k_max = 0, tau_bins = 0;
   double compact_threshold = 0.0;
   uint32_t auto_compact = 0;
-  if (!ReadU64(in, &generation) || !ReadU32(in, &dim) ||
-      !ReadU32(in, &flags) || !ReadU32(in, &partitions) ||
-      !ReadU32(in, &bound_mode) || !ReadU32(in, &use_domin) ||
-      !ReadU32(in, &scan_mode) || !ReadU32(in, &tau_k_max) ||
-      !ReadU32(in, &tau_bins) || !ReadDouble(in, &compact_threshold) ||
-      !ReadU32(in, &auto_compact)) {
+  if (!reader.ReadU64(&generation) || !reader.ReadU32(&dim) ||
+      !reader.ReadU32(&flags) || !reader.ReadU32(&partitions) ||
+      !reader.ReadU32(&bound_mode) || !reader.ReadU32(&use_domin) ||
+      !reader.ReadU32(&scan_mode) || !reader.ReadU32(&tau_k_max) ||
+      !reader.ReadU32(&tau_bins) || !reader.ReadDouble(&compact_threshold) ||
+      !reader.ReadU32(&auto_compact)) {
     return Status::Corruption("truncated dynamic index header: " + path);
   }
   if (dim == 0 || dim > (1u << 16)) {
@@ -475,33 +417,33 @@ Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
   options.compact_threshold = compact_threshold;
   options.auto_compact = auto_compact != 0;
 
-  auto base_points = ReadDataset(in, dim);
+  auto base_points = ReadDataset(reader, dim);
   if (!base_points.ok()) {
     return WithPath(base_points.status(), path);
   }
-  auto base_weights = ReadDataset(in, dim);
+  auto base_weights = ReadDataset(reader, dim);
   if (!base_weights.ok()) {
     return WithPath(base_weights.status(), path);
   }
-  auto delta_points = ReadDataset(in, dim);
+  auto delta_points = ReadDataset(reader, dim);
   if (!delta_points.ok()) {
     return WithPath(delta_points.status(), path);
   }
-  auto delta_weights = ReadDataset(in, dim);
+  auto delta_weights = ReadDataset(reader, dim);
   if (!delta_weights.ok()) {
     return WithPath(delta_weights.status(), path);
   }
   const uint64_t bitmap_bytes =
       base_points.value().size() + base_weights.value().size() +
       delta_points.value().size() + delta_weights.value().size();
-  if (bitmap_bytes > RemainingBytes(in)) {
+  if (bitmap_bytes > reader.Remaining()) {
     return Status::Corruption("alive bitmaps exceed the file size: " + path);
   }
   std::vector<uint8_t> bp_alive, bw_alive, dp_alive, dw_alive;
-  if (!ReadArray(in, base_points.value().size(), &bp_alive) ||
-      !ReadArray(in, base_weights.value().size(), &bw_alive) ||
-      !ReadArray(in, delta_points.value().size(), &dp_alive) ||
-      !ReadArray(in, delta_weights.value().size(), &dw_alive)) {
+  if (!reader.ReadArray(base_points.value().size(), &bp_alive) ||
+      !reader.ReadArray(base_weights.value().size(), &bw_alive) ||
+      !reader.ReadArray(delta_points.value().size(), &dp_alive) ||
+      !reader.ReadArray(delta_weights.value().size(), &dw_alive)) {
     return Status::Corruption("truncated alive bitmaps: " + path);
   }
   std::shared_ptr<const TauIndex> tau;
@@ -510,15 +452,14 @@ Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
       return Status::Corruption(
           "tau blob present but scan mode is not tau: " + path);
     }
-    auto loaded =
-        LoadTauIndexFromStream(in, base_weights.value(), /*embedded=*/true);
+    auto loaded = LoadTauIndexFromStream(reader, base_weights.value(),
+                                         /*embedded=*/true);
     if (!loaded.ok()) {
       return WithPath(loaded.status(), path);
     }
     tau = std::make_shared<const TauIndex>(std::move(loaded).value());
   }
-  char extra;
-  if (in.read(&extra, 1)) {
+  if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after dynamic index: " + path);
   }
   auto index = DynamicGirIndex::FromParts(

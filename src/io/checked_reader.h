@@ -1,0 +1,123 @@
+#ifndef GIR_IO_CHECKED_READER_H_
+#define GIR_IO_CHECKED_READER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <vector>
+
+namespace gir {
+
+/// CheckedReader — the one code path through which every hostile binary
+/// envelope in this library is parsed: the GIRIDX01 / GIRTAU01 / GIRDYN01
+/// index files (grid/index_io.cc) and GIRNET01 network frames
+/// (server/protocol.cc). It wraps an std::istream with primitives that
+/// make the loaders' safety rules hard to forget:
+///
+///   * fixed-width little-endian scalar reads that report truncation;
+///   * `Remaining()` — bytes between the cursor and end-of-stream — so a
+///     header-implied payload size is vetted against the bytes actually
+///     present *before* anything is allocated from it (a forged count
+///     cannot become an allocation bomb);
+///   * `CheckedPayloadBytes` — elems × elem_size without silent u64
+///     wraparound (a forged count cannot under-allocate via overflow and
+///     let a later unpack index out of range);
+///   * `AtEnd()` — the trailing-garbage check every top-level envelope
+///     ends with.
+///
+/// Callers own the policy (which sizes to vet, which invariants to
+/// re-validate); this class owns the mechanics.
+class CheckedReader {
+ public:
+  explicit CheckedReader(std::istream& in) : in_(in) {}
+
+  CheckedReader(const CheckedReader&) = delete;
+  CheckedReader& operator=(const CheckedReader&) = delete;
+
+  /// Reads 8 bytes and compares them to `expected`. False on short read
+  /// or mismatch.
+  bool ReadMagic(const char expected[8]) {
+    char magic[8];
+    in_.read(magic, sizeof(magic));
+    return static_cast<bool>(in_) &&
+           std::memcmp(magic, expected, sizeof(magic)) == 0;
+  }
+
+  bool ReadU8(uint8_t* v) { return ReadScalar(v); }
+  bool ReadU16(uint16_t* v) { return ReadScalar(v); }
+  bool ReadU32(uint32_t* v) { return ReadScalar(v); }
+  bool ReadU64(uint64_t* v) { return ReadScalar(v); }
+  bool ReadI64(int64_t* v) { return ReadScalar(v); }
+  bool ReadDouble(double* v) { return ReadScalar(v); }
+
+  /// Reads exactly `count` elements of a raw array whose size the header
+  /// implies. The caller must have vetted `count` (via Remaining /
+  /// CheckedPayloadBytes) before calling — this resizes first.
+  template <typename T>
+  bool ReadArray(size_t count, std::vector<T>* v) {
+    v->resize(count);
+    in_.read(reinterpret_cast<char*>(v->data()),
+             static_cast<std::streamsize>(count * sizeof(T)));
+    return static_cast<bool>(in_);
+  }
+
+  /// Reads a u64 element count followed by that many doubles, rejecting
+  /// counts above `max_count` (for arrays with a structural cap, e.g.
+  /// partitioner boundaries) or beyond the remaining bytes.
+  bool ReadCountedDoubles(std::vector<double>* v, uint64_t max_count) {
+    uint64_t count = 0;
+    if (!ReadU64(&count)) return false;
+    if (count > max_count) return false;
+    uint64_t bytes = 0;
+    if (!CheckedPayloadBytes(count, sizeof(double), &bytes) ||
+        bytes > Remaining()) {
+      return false;
+    }
+    return ReadArray(static_cast<size_t>(count), v);
+  }
+
+  /// Bytes between the current read position and end of stream. Used to
+  /// vet header-implied payload sizes before allocating: a hostile header
+  /// cannot make the loader reserve more than the input actually holds.
+  uint64_t Remaining() {
+    const std::streampos pos = in_.tellg();
+    if (pos < 0) return 0;
+    in_.seekg(0, std::ios::end);
+    const std::streampos end = in_.tellg();
+    in_.seekg(pos);
+    if (end < pos) return 0;
+    return static_cast<uint64_t>(end - pos);
+  }
+
+  /// True iff no bytes remain — the trailing-garbage rejection every
+  /// top-level envelope performs after its last section.
+  bool AtEnd() {
+    char extra;
+    return !in_.read(&extra, 1);
+  }
+
+  /// elems * elem_size without silent wraparound; false on overflow.
+  static bool CheckedPayloadBytes(uint64_t elems, uint64_t elem_size,
+                                  uint64_t* bytes) {
+    if (elem_size != 0 &&
+        elems > std::numeric_limits<uint64_t>::max() / elem_size) {
+      return false;
+    }
+    *bytes = elems * elem_size;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  bool ReadScalar(T* v) {
+    in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in_);
+  }
+
+  std::istream& in_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_IO_CHECKED_READER_H_

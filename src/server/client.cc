@@ -1,0 +1,222 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gir {
+
+namespace {
+
+Status MapNetStatus(NetStatus status, const std::string& message) {
+  const std::string text =
+      std::string(NetStatusName(status)) + ": " + message;
+  switch (status) {
+    case NetStatus::kOk:
+      return Status::OK();
+    case NetStatus::kMalformed:
+      return Status::Corruption(text);
+    case NetStatus::kInvalidArgument:
+      return Status::InvalidArgument(text);
+    case NetStatus::kOverloaded:
+    case NetStatus::kDeadlineExceeded:
+      return Status::OutOfRange(text);
+    case NetStatus::kShuttingDown:
+      return Status::IOError(text);
+    case NetStatus::kInternal:
+      return Status::Internal(text);
+  }
+  return Status::Internal(text);
+}
+
+}  // namespace
+
+Result<RemoteClient> RemoteClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s =
+        Status::IOError(std::string("connect: ") + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  Status s = SendMagic(fd);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return RemoteClient(fd);
+}
+
+RemoteClient::RemoteClient(RemoteClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      deadline_us_(other.deadline_us_),
+      last_net_status_(other.last_net_status_),
+      last_index_version_(other.last_index_version_) {}
+
+RemoteClient& RemoteClient::operator=(RemoteClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    deadline_us_ = other.deadline_us_;
+    last_net_status_ = other.last_net_status_;
+    last_index_version_ = other.last_index_version_;
+  }
+  return *this;
+}
+
+RemoteClient::~RemoteClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<NetResponse> RemoteClient::RoundTrip(NetRequest request) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  request.request_id = next_request_id_++;
+  request.deadline_us = deadline_us_;
+  Status s = SendFrame(fd_, EncodeRequestBody(request));
+  if (!s.ok()) return s;
+  std::string body;
+  s = ReadFrameBody(fd_, kMaxFrameBytes, &body);
+  if (!s.ok()) return s;
+  NetResponse response;
+  if (!DecodeResponseBody(body, &response)) {
+    return Status::Corruption("undecodable response frame");
+  }
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response for a different request id");
+  }
+  last_net_status_ = response.status;
+  last_index_version_ = response.index_version;
+  if (response.status != NetStatus::kOk) {
+    return MapNetStatus(response.status, response.error);
+  }
+  if (response.verb != request.verb) {
+    return Status::Corruption("response verb does not match the request");
+  }
+  return response;
+}
+
+NetRequest RemoteClient::QueryRequest(NetVerb verb, uint32_t k,
+                                      uint32_t num_queries, uint32_t dim,
+                                      const double* values) {
+  NetRequest request;
+  request.verb = verb;
+  request.k = k;
+  request.num_queries = num_queries;
+  request.dim = dim;
+  request.values.assign(values, values + size_t{num_queries} * dim);
+  return request;
+}
+
+Status RemoteClient::Ping() {
+  NetRequest request;
+  request.verb = NetVerb::kPing;
+  return RoundTrip(std::move(request)).status();
+}
+
+Result<NetInfo> RemoteClient::Info() {
+  NetRequest request;
+  request.verb = NetVerb::kInfo;
+  Result<NetResponse> response = RoundTrip(std::move(request));
+  if (!response.ok()) return response.status();
+  return response.value().info;
+}
+
+Result<std::string> RemoteClient::Stats() {
+  NetRequest request;
+  request.verb = NetVerb::kStats;
+  Result<NetResponse> response = RoundTrip(std::move(request));
+  if (!response.ok()) return response.status();
+  return std::move(response.value().text);
+}
+
+Result<ReverseTopKResult> RemoteClient::ReverseTopK(ConstRow q, uint32_t k) {
+  Result<NetResponse> response =
+      RoundTrip(QueryRequest(NetVerb::kReverseTopK, k, 1,
+                             static_cast<uint32_t>(q.size()), q.data()));
+  if (!response.ok()) return response.status();
+  return std::move(response.value().topk);
+}
+
+Result<ReverseKRanksResult> RemoteClient::ReverseKRanks(ConstRow q,
+                                                        uint32_t k) {
+  Result<NetResponse> response =
+      RoundTrip(QueryRequest(NetVerb::kReverseKRanks, k, 1,
+                             static_cast<uint32_t>(q.size()), q.data()));
+  if (!response.ok()) return response.status();
+  return std::move(response.value().kranks);
+}
+
+Result<std::vector<ReverseTopKResult>> RemoteClient::ReverseTopKBatch(
+    const Dataset& queries, uint32_t k) {
+  Result<NetResponse> response = RoundTrip(QueryRequest(
+      NetVerb::kReverseTopKBatch, k, static_cast<uint32_t>(queries.size()),
+      static_cast<uint32_t>(queries.dim()), queries.flat().data()));
+  if (!response.ok()) return response.status();
+  return std::move(response.value().topk_batch);
+}
+
+Result<std::vector<ReverseKRanksResult>> RemoteClient::ReverseKRanksBatch(
+    const Dataset& queries, uint32_t k) {
+  Result<NetResponse> response = RoundTrip(QueryRequest(
+      NetVerb::kReverseKRanksBatch, k, static_cast<uint32_t>(queries.size()),
+      static_cast<uint32_t>(queries.dim()), queries.flat().data()));
+  if (!response.ok()) return response.status();
+  return std::move(response.value().kranks_batch);
+}
+
+Status RemoteClient::InsertPoint(ConstRow p) {
+  NetRequest request;
+  request.verb = NetVerb::kInsertPoint;
+  request.dim = static_cast<uint32_t>(p.size());
+  request.values.assign(p.begin(), p.end());
+  return RoundTrip(std::move(request)).status();
+}
+
+Status RemoteClient::InsertWeight(ConstRow w) {
+  NetRequest request;
+  request.verb = NetVerb::kInsertWeight;
+  request.dim = static_cast<uint32_t>(w.size());
+  request.values.assign(w.begin(), w.end());
+  return RoundTrip(std::move(request)).status();
+}
+
+Status RemoteClient::DeletePoint(uint64_t live_id) {
+  NetRequest request;
+  request.verb = NetVerb::kDeletePoint;
+  request.target_id = live_id;
+  return RoundTrip(std::move(request)).status();
+}
+
+Status RemoteClient::DeleteWeight(uint64_t live_id) {
+  NetRequest request;
+  request.verb = NetVerb::kDeleteWeight;
+  request.target_id = live_id;
+  return RoundTrip(std::move(request)).status();
+}
+
+Status RemoteClient::Compact() {
+  NetRequest request;
+  request.verb = NetVerb::kCompact;
+  return RoundTrip(std::move(request)).status();
+}
+
+}  // namespace gir

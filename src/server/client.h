@@ -1,0 +1,83 @@
+#ifndef GIR_SERVER_CLIENT_H_
+#define GIR_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "server/protocol.h"
+
+namespace gir {
+
+/// RemoteClient — a blocking GIRNET01 client over one TCP connection,
+/// shared by `gir_cli remote`, the server bench and the end-to-end tests.
+/// One request in flight at a time; methods are not thread-safe (open one
+/// client per thread — connections are cheap and the server batches
+/// across them).
+///
+/// Server-side rejections surface as non-OK Status; last_net_status()
+/// additionally exposes the wire status of the most recent round trip so
+/// callers can distinguish kOverloaded from kDeadlineExceeded precisely,
+/// and last_index_version() the version stamp of the most recent
+/// response (the serial-replay hooks the concurrency tests use).
+class RemoteClient {
+ public:
+  static Result<RemoteClient> Connect(const std::string& host, uint16_t port);
+
+  RemoteClient(RemoteClient&& other) noexcept;
+  RemoteClient& operator=(RemoteClient&& other) noexcept;
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+  ~RemoteClient();
+
+  /// Relative deadline attached to subsequent requests; 0 disables.
+  void set_deadline_us(uint32_t us) { deadline_us_ = us; }
+
+  Status Ping();
+  Result<NetInfo> Info();
+  /// The plaintext metrics snapshot (STATS verb).
+  Result<std::string> Stats();
+
+  Result<ReverseTopKResult> ReverseTopK(ConstRow q, uint32_t k);
+  Result<ReverseKRanksResult> ReverseKRanks(ConstRow q, uint32_t k);
+  Result<std::vector<ReverseTopKResult>> ReverseTopKBatch(
+      const Dataset& queries, uint32_t k);
+  Result<std::vector<ReverseKRanksResult>> ReverseKRanksBatch(
+      const Dataset& queries, uint32_t k);
+
+  Status InsertPoint(ConstRow p);
+  Status InsertWeight(ConstRow w);
+  Status DeletePoint(uint64_t live_id);
+  Status DeleteWeight(uint64_t live_id);
+  Status Compact();
+
+  /// Wire status of the most recent completed round trip.
+  NetStatus last_net_status() const { return last_net_status_; }
+  /// index_version stamped on the most recent response.
+  uint64_t last_index_version() const { return last_index_version_; }
+
+ private:
+  explicit RemoteClient(int fd) : fd_(fd) {}
+
+  /// Sends one request frame and reads one response frame, validating the
+  /// echoed request id and verb. On a non-OK wire status returns the
+  /// mapped Status (message prefixed with the wire status name).
+  Result<NetResponse> RoundTrip(NetRequest request);
+
+  NetRequest QueryRequest(NetVerb verb, uint32_t k, uint32_t num_queries,
+                          uint32_t dim, const double* values);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint32_t deadline_us_ = 0;
+  NetStatus last_net_status_ = NetStatus::kOk;
+  uint64_t last_index_version_ = 0;
+};
+
+}  // namespace gir
+
+#endif  // GIR_SERVER_CLIENT_H_

@@ -1,0 +1,82 @@
+#include "server/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gir {
+
+namespace {
+
+void AppendLine(std::string* out, const char* key, uint64_t value) {
+  char line[128];
+  std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", key, value);
+  out->append(line);
+}
+
+void AppendHistogram(std::string* out, const char* name,
+                     const std::atomic<uint64_t>* hist, int buckets) {
+  for (int b = 0; b < buckets; ++b) {
+    const uint64_t count = hist[b].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s[%" PRIu64 ",%" PRIu64 ") %" PRIu64
+                  "\n",
+                  name, uint64_t{1} << b, uint64_t{1} << (b + 1), count);
+    out->append(line);
+  }
+}
+
+}  // namespace
+
+uint64_t ServerMetrics::Quantile(const std::atomic<uint64_t>* hist,
+                                 double q) {
+  uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    total += hist[b].load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += hist[b].load(std::memory_order_relaxed);
+    if (seen > target) return uint64_t{1} << (b + 1);
+  }
+  return uint64_t{1} << kBuckets;
+}
+
+std::string ServerMetrics::Render() const {
+  const auto uptime = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - start_)
+                          .count();
+  const uint64_t completed = completed_requests_.load(kRelaxed);
+  const uint64_t batches = batches_.load(kRelaxed);
+  const uint64_t queries = completed_queries_.load(kRelaxed);
+
+  std::string out;
+  out.reserve(1024);
+  AppendLine(&out, "uptime_us", static_cast<uint64_t>(uptime));
+  AppendLine(&out, "connections_accepted", connections_.load(kRelaxed));
+  AppendLine(&out, "requests_received", requests_.load(kRelaxed));
+  AppendLine(&out, "requests_completed", completed);
+  AppendLine(&out, "queries_completed", queries);
+  AppendLine(&out, "batches_dispatched", batches);
+  AppendLine(&out, "rejected_overload", rejected_overload_.load(kRelaxed));
+  AppendLine(&out, "rejected_shutdown", rejected_shutdown_.load(kRelaxed));
+  AppendLine(&out, "deadline_expired", deadline_expired_.load(kRelaxed));
+  AppendLine(&out, "malformed_frames", malformed_.load(kRelaxed));
+  AppendLine(&out, "mutations_applied", mutations_.load(kRelaxed));
+  AppendLine(&out, "compactions", compactions_.load(kRelaxed));
+  AppendLine(&out, "queue_depth", queue_depth_.load(kRelaxed));
+  AppendLine(&out, "qps",
+             uptime > 0 ? completed * 1000000u /
+                              static_cast<uint64_t>(uptime)
+                        : 0);
+  AppendLine(&out, "mean_batch_queries", batches > 0 ? queries / batches : 0);
+  AppendLine(&out, "latency_p50_us_le", Quantile(latency_hist_, 0.50));
+  AppendLine(&out, "latency_p99_us_le", Quantile(latency_hist_, 0.99));
+  AppendHistogram(&out, "batch_queries", batch_hist_, kBuckets);
+  AppendHistogram(&out, "latency_us", latency_hist_, kBuckets);
+  return out;
+}
+
+}  // namespace gir

@@ -1,0 +1,92 @@
+#ifndef GIR_SERVER_METRICS_H_
+#define GIR_SERVER_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gir {
+
+/// ServerMetrics — lock-free counters behind the STATS verb. Writers are
+/// the connection and scheduler threads (relaxed atomics; the metrics are
+/// observational, never part of a correctness decision); the reader
+/// renders a plaintext snapshot in the `key value` style of
+/// QueryStats::ToString().
+///
+/// Histograms use power-of-two buckets: bucket b counts samples in
+/// [2^b, 2^(b+1)). That is exact for the batch sizes the scheduler
+/// actually forms (it caps at a power of two) and gives latency
+/// quantiles within a factor of two, which is all a smoke-level p99
+/// needs without per-request allocation.
+class ServerMetrics {
+ public:
+  static constexpr int kBuckets = 32;
+
+  ServerMetrics() : start_(Clock::now()) {}
+
+  void RecordAccepted() { connections_.fetch_add(1, kRelaxed); }
+  void RecordRequest() { requests_.fetch_add(1, kRelaxed); }
+  void RecordMalformed() { malformed_.fetch_add(1, kRelaxed); }
+  void RecordRejectedOverload() { rejected_overload_.fetch_add(1, kRelaxed); }
+  void RecordRejectedShutdown() { rejected_shutdown_.fetch_add(1, kRelaxed); }
+  void RecordDeadlineExpired() { deadline_expired_.fetch_add(1, kRelaxed); }
+  void RecordMutation() { mutations_.fetch_add(1, kRelaxed); }
+  void RecordCompaction() { compactions_.fetch_add(1, kRelaxed); }
+
+  /// One scheduler dispatch of `batch_queries` coalesced query rows
+  /// answering `batch_requests` wire requests.
+  void RecordBatch(uint64_t batch_requests, uint64_t batch_queries) {
+    batches_.fetch_add(1, kRelaxed);
+    completed_requests_.fetch_add(batch_requests, kRelaxed);
+    completed_queries_.fetch_add(batch_queries, kRelaxed);
+    batch_hist_[Bucket(batch_queries)].fetch_add(1, kRelaxed);
+  }
+
+  void RecordLatencyUs(uint64_t us) {
+    latency_hist_[Bucket(us)].fetch_add(1, kRelaxed);
+  }
+
+  void SetQueueDepth(uint64_t depth) { queue_depth_.store(depth, kRelaxed); }
+
+  /// Renders the snapshot served by the STATS verb: one `key value` pair
+  /// per line, then the two histograms as `name[lo,hi) count` lines.
+  std::string Render() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+  static int Bucket(uint64_t v) {
+    int b = 0;
+    while (v > 1 && b < kBuckets - 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  /// Value below which a fraction `q` of histogram samples fall, taken as
+  /// the upper edge of the bucket containing the q-th sample.
+  static uint64_t Quantile(const std::atomic<uint64_t>* hist, double q);
+
+  Clock::time_point start_;
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> completed_requests_{0};
+  std::atomic<uint64_t> completed_queries_{0};
+  std::atomic<uint64_t> queue_depth_{0};
+  std::atomic<uint64_t> batch_hist_[kBuckets] = {};
+  std::atomic<uint64_t> latency_hist_[kBuckets] = {};
+};
+
+}  // namespace gir
+
+#endif  // GIR_SERVER_METRICS_H_

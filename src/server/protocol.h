@@ -1,0 +1,174 @@
+#ifndef GIR_SERVER_PROTOCOL_H_
+#define GIR_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query_types.h"
+#include "core/status.h"
+
+namespace gir {
+
+/// GIRNET01 — the query server's length-prefixed binary wire protocol
+/// (DESIGN.md §13). A connection starts with the 8-byte magic
+/// "GIRNET01" from the client; after that each direction is a sequence
+/// of frames:
+///
+///     u32 body_len          (little-endian; body_len <= kMaxFrameBytes)
+///     body_len bytes of body
+///
+/// Request body:
+///     u8  verb (NetVerb)    u8 0   u16 0
+///     u32 deadline_us       (0 = no deadline, relative to server receipt)
+///     u64 request_id        (echoed verbatim in the response)
+///     verb-specific payload (see NetRequest)
+///
+/// Response body:
+///     u8  verb (echo)       u8 status (NetStatus)   u16 0   u32 0
+///     u64 request_id        u64 index_version
+///     on kOk: verb-specific payload; otherwise u32 msg_len + message
+///
+/// `index_version` is the server's mutation counter at the moment the
+/// request executed (mutations increment it under the writer lock), so a
+/// client can replay a mutation log serially and check any query answer
+/// bit-for-bit — the concurrency tests do exactly that.
+///
+/// Frame bodies are parsed through io/checked_reader.h — the same
+/// hostile-input code path as the GIRIDX01/GIRTAU01/GIRDYN01 file
+/// loaders — so truncation, trailing garbage and forged counts are
+/// rejected identically on disk and on the wire.
+
+inline constexpr char kNetMagic[8] = {'G', 'I', 'R', 'N', 'E', 'T', '0', '1'};
+
+/// Hard cap on a frame body. Large enough for a 4096-query batch at
+/// d = 64; small enough that a hostile length prefix cannot balloon
+/// server memory.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class NetVerb : uint8_t {
+  kPing = 1,
+  kInfo = 2,
+  kStats = 3,
+  kReverseTopK = 4,
+  kReverseKRanks = 5,
+  kReverseTopKBatch = 6,
+  kReverseKRanksBatch = 7,
+  kInsertPoint = 8,
+  kInsertWeight = 9,
+  kDeletePoint = 10,
+  kDeleteWeight = 11,
+  kCompact = 12,
+};
+
+enum class NetStatus : uint8_t {
+  kOk = 0,
+  /// Frame failed to parse (bad verb, truncated payload, trailing bytes,
+  /// forged count). The server answers then closes the connection.
+  kMalformed = 1,
+  /// Parsed but semantically invalid (dimension mismatch, k = 0, bad id).
+  kInvalidArgument = 2,
+  /// Admission control: the bounded request queue is full.
+  kOverloaded = 3,
+  /// The request's deadline expired before execution started.
+  kDeadlineExceeded = 4,
+  /// The server is draining; the request was not admitted.
+  kShuttingDown = 5,
+  kInternal = 6,
+};
+
+const char* NetStatusName(NetStatus status);
+
+/// A decoded request frame. For query verbs `values` holds
+/// num_queries * dim doubles row-major (num_queries == 1 for the single
+/// forms); for the insert verbs it holds one row of `dim` doubles.
+struct NetRequest {
+  NetVerb verb = NetVerb::kPing;
+  uint64_t request_id = 0;
+  uint32_t deadline_us = 0;
+  uint32_t k = 0;
+  uint32_t dim = 0;
+  uint32_t num_queries = 0;
+  std::vector<double> values;
+  uint64_t target_id = 0;  // kDeletePoint / kDeleteWeight
+};
+
+/// kInfo response payload.
+struct NetInfo {
+  uint32_t dim = 0;
+  uint64_t live_points = 0;
+  uint64_t live_weights = 0;
+  uint64_t generation = 0;
+  uint8_t dirty = 0;
+  uint8_t scan_mode = 0;
+};
+
+/// A decoded response frame; exactly one payload member is meaningful,
+/// selected by (verb, status).
+struct NetResponse {
+  NetVerb verb = NetVerb::kPing;
+  NetStatus status = NetStatus::kOk;
+  uint64_t request_id = 0;
+  uint64_t index_version = 0;
+  std::string error;  // status != kOk
+  ReverseTopKResult topk;
+  std::vector<ReverseTopKResult> topk_batch;
+  ReverseKRanksResult kranks;
+  std::vector<ReverseKRanksResult> kranks_batch;
+  NetInfo info;
+  std::string text;  // kStats
+};
+
+// ---- Body encoding (the u32 length prefix is added by SendFrame) -------
+
+std::string EncodeRequestBody(const NetRequest& request);
+
+std::string EncodeErrorResponseBody(NetVerb verb, NetStatus status,
+                                    uint64_t request_id, uint64_t version,
+                                    const std::string& message);
+std::string EncodeAckResponseBody(NetVerb verb, uint64_t request_id,
+                                  uint64_t version);
+std::string EncodeTopKResponseBody(uint64_t request_id, uint64_t version,
+                                   const ReverseTopKResult& result);
+std::string EncodeTopKBatchResponseBody(
+    uint64_t request_id, uint64_t version,
+    const std::vector<ReverseTopKResult>& results);
+std::string EncodeKRanksResponseBody(uint64_t request_id, uint64_t version,
+                                     const ReverseKRanksResult& result);
+std::string EncodeKRanksBatchResponseBody(
+    uint64_t request_id, uint64_t version,
+    const std::vector<ReverseKRanksResult>& results);
+std::string EncodeInfoResponseBody(uint64_t request_id, uint64_t version,
+                                   const NetInfo& info);
+std::string EncodeStatsResponseBody(uint64_t request_id, uint64_t version,
+                                    const std::string& text);
+
+// ---- Body decoding (CheckedReader underneath) --------------------------
+
+/// Decodes a request body. Returns kOk and fills `out`, or kMalformed
+/// with a one-line reason in `error`. Structural checks only — semantic
+/// validation (dimension match, k bounds) is the server's job.
+NetStatus DecodeRequestBody(const std::string& body, NetRequest* out,
+                            std::string* error);
+
+/// Decodes a response body (the client side). False on any structural
+/// violation.
+bool DecodeResponseBody(const std::string& body, NetResponse* out);
+
+// ---- Framed socket IO --------------------------------------------------
+
+/// Writes the 8-byte protocol magic / validates it on the server side.
+Status SendMagic(int fd);
+Status ExpectMagic(int fd);
+
+/// Writes one `u32 len + body` frame. IOError on short write.
+Status SendFrame(int fd, const std::string& body);
+
+/// Reads one frame body. NotFound("connection closed") on clean EOF at a
+/// frame boundary; Corruption on an oversized length prefix (> max_bytes)
+/// or a length the peer never delivers; IOError on socket errors.
+Status ReadFrameBody(int fd, uint32_t max_bytes, std::string* body);
+
+}  // namespace gir
+
+#endif  // GIR_SERVER_PROTOCOL_H_

@@ -1,0 +1,514 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gir {
+
+namespace {
+
+bool IsRkrVerb(NetVerb verb) {
+  return verb == NetVerb::kReverseKRanks ||
+         verb == NetVerb::kReverseKRanksBatch;
+}
+
+/// Query rows must be finite and non-negative — the same contract
+/// Dataset::FromFlat enforces for indexed data — so rows can be appended
+/// unchecked into the coalesced batch dataset.
+bool ValidQueryValues(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v) || v < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+QueryServer::QueryServer(DynamicGirIndex* index, ServerOptions options)
+    : index_(index), options_(std::move(options)), dim_(index->dim()) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::Internal("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host address: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError(std::string("bind: ") + strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::IOError(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) < 0) {
+    return Status::IOError(std::string("listen: ") + strerror(errno));
+  }
+  scheduler_thread_ = std::thread(&QueryServer::SchedulerLoop, this);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void QueryServer::Shutdown() {
+  if (!started_.load() || shutdown_done_.exchange(true)) return;
+
+  // Stop admitting: connections racing in see kShuttingDown, and the
+  // scheduler switches to drain mode.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+
+  // Unblock accept(); no new connections after this join.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every reader's recv(). Only the read side closes — queued
+  // requests still get their responses written during the drain.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const std::weak_ptr<Connection>& weak : connections_) {
+      if (std::shared_ptr<Connection> conn = weak.lock()) {
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+    }
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+
+  // The scheduler exits once the queue is drained and every admitted
+  // request has been answered.
+  if (scheduler_thread_.joinable()) scheduler_thread_.join();
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown(listen_fd_) during Shutdown() lands here.
+      return;
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    metrics_.RecordAccepted();
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(conn);
+    reader_threads_.emplace_back(&QueryServer::ReaderLoop, this,
+                                 std::move(conn));
+  }
+}
+
+void QueryServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  if (ExpectMagic(conn->fd).ok()) {
+    std::string body;
+    for (;;) {
+      const Status s = ReadFrameBody(conn->fd, kMaxFrameBytes, &body);
+      if (!s.ok()) {
+        if (s.code() == StatusCode::kCorruption) {
+          // Oversized length prefix or a frame the peer never finished:
+          // answer once, then drop the connection.
+          metrics_.RecordMalformed();
+          SendError(conn, NetVerb::kPing, NetStatus::kMalformed, 0,
+                    s.message());
+        }
+        break;
+      }
+      metrics_.RecordRequest();
+      NetRequest request;
+      std::string error;
+      if (DecodeRequestBody(body, &request, &error) != NetStatus::kOk) {
+        metrics_.RecordMalformed();
+        SendError(conn, NetVerb::kPing, NetStatus::kMalformed,
+                  request.request_id, error);
+        break;
+      }
+      Dispatch(conn, request);
+    }
+  }
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
+                           const NetRequest& request) {
+  switch (request.verb) {
+    case NetVerb::kPing:
+      SendBody(conn, EncodeAckResponseBody(NetVerb::kPing, request.request_id,
+                                           index_version()));
+      return;
+    case NetVerb::kStats:
+      SendBody(conn, EncodeStatsResponseBody(request.request_id,
+                                             index_version(),
+                                             metrics_.Render()));
+      return;
+    case NetVerb::kInfo: {
+      NetInfo info;
+      uint64_t version = 0;
+      {
+        std::shared_lock<std::shared_mutex> lock(index_mu_);
+        info.dim = static_cast<uint32_t>(index_->dim());
+        info.live_points = index_->live_point_count();
+        info.live_weights = index_->live_weight_count();
+        info.generation = index_->generation();
+        info.dirty = index_->dirty() ? 1 : 0;
+        info.scan_mode =
+            static_cast<uint8_t>(index_->options().gir.scan_mode);
+        version = index_version();
+      }
+      SendBody(conn,
+               EncodeInfoResponseBody(request.request_id, version, info));
+      return;
+    }
+    case NetVerb::kReverseTopK:
+    case NetVerb::kReverseKRanks:
+    case NetVerb::kReverseTopKBatch:
+    case NetVerb::kReverseKRanksBatch:
+      AdmitQuery(conn, request);
+      return;
+    case NetVerb::kInsertPoint:
+    case NetVerb::kInsertWeight:
+    case NetVerb::kDeletePoint:
+    case NetVerb::kDeleteWeight:
+    case NetVerb::kCompact:
+      HandleMutation(conn, request);
+      return;
+  }
+}
+
+void QueryServer::HandleMutation(const std::shared_ptr<Connection>& conn,
+                                 const NetRequest& request) {
+  if ((request.verb == NetVerb::kInsertPoint ||
+       request.verb == NetVerb::kInsertWeight) &&
+      request.dim != dim_) {
+    SendError(conn, request.verb, NetStatus::kInvalidArgument,
+              request.request_id, "row dimension does not match the index");
+    return;
+  }
+  if ((request.verb == NetVerb::kDeletePoint ||
+       request.verb == NetVerb::kDeleteWeight) &&
+      request.target_id > std::numeric_limits<VectorId>::max()) {
+    SendError(conn, request.verb, NetStatus::kInvalidArgument,
+              request.request_id, "id out of the VectorId range");
+    return;
+  }
+  bool rejected_shutdown;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    rejected_shutdown = stopping_;
+    if (rejected_shutdown) metrics_.RecordRejectedShutdown();
+  }
+  if (rejected_shutdown) {
+    SendError(conn, request.verb, NetStatus::kShuttingDown,
+              request.request_id, "server is draining");
+    return;
+  }
+
+  Status s = Status::OK();
+  uint64_t version = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    switch (request.verb) {
+      case NetVerb::kInsertPoint:
+        s = index_->InsertPoint(
+            ConstRow(request.values.data(), request.values.size()));
+        break;
+      case NetVerb::kInsertWeight:
+        s = index_->InsertWeight(
+            ConstRow(request.values.data(), request.values.size()));
+        break;
+      case NetVerb::kDeletePoint:
+        s = index_->DeletePoint(static_cast<VectorId>(request.target_id));
+        break;
+      case NetVerb::kDeleteWeight:
+        s = index_->DeleteWeight(static_cast<VectorId>(request.target_id));
+        break;
+      case NetVerb::kCompact:
+        s = index_->Compact();
+        break;
+      default:
+        s = Status::Internal("non-mutation verb in the mutation path");
+        break;
+    }
+    if (s.ok()) {
+      version = index_version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    } else {
+      version = index_version();
+    }
+  }
+  if (!s.ok()) {
+    const NetStatus net = s.code() == StatusCode::kInvalidArgument
+                              ? NetStatus::kInvalidArgument
+                              : NetStatus::kInternal;
+    SendError(conn, request.verb, net, request.request_id, s.message());
+    return;
+  }
+  if (request.verb == NetVerb::kCompact) {
+    metrics_.RecordCompaction();
+  } else {
+    metrics_.RecordMutation();
+  }
+  SendBody(conn,
+           EncodeAckResponseBody(request.verb, request.request_id, version));
+}
+
+void QueryServer::AdmitQuery(const std::shared_ptr<Connection>& conn,
+                             const NetRequest& request) {
+  if (request.k == 0) {
+    SendError(conn, request.verb, NetStatus::kInvalidArgument,
+              request.request_id, "k must be positive");
+    return;
+  }
+  if (request.num_queries == 0) {
+    SendError(conn, request.verb, NetStatus::kInvalidArgument,
+              request.request_id, "empty query batch");
+    return;
+  }
+  if (request.dim != dim_) {
+    SendError(conn, request.verb, NetStatus::kInvalidArgument,
+              request.request_id,
+              "query dimension does not match the index");
+    return;
+  }
+  if (!ValidQueryValues(request.values)) {
+    SendError(conn, request.verb, NetStatus::kInvalidArgument,
+              request.request_id,
+              "query values must be finite and non-negative");
+    return;
+  }
+
+  PendingGroup group;
+  group.conn = conn;
+  group.verb = request.verb;
+  group.request_id = request.request_id;
+  group.k = request.k;
+  group.num_queries = request.num_queries;
+  group.values = request.values;
+  group.enqueue_time = Clock::now();
+  if (request.deadline_us > 0) {
+    group.has_deadline = true;
+    group.deadline =
+        group.enqueue_time + std::chrono::microseconds(request.deadline_us);
+  }
+  group.is_rkr = IsRkrVerb(request.verb);
+
+  NetStatus admit = NetStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      admit = NetStatus::kShuttingDown;
+      metrics_.RecordRejectedShutdown();
+    } else if (queued_queries_ + group.num_queries > options_.queue_limit) {
+      admit = NetStatus::kOverloaded;
+      metrics_.RecordRejectedOverload();
+    } else {
+      queued_queries_ += group.num_queries;
+      metrics_.SetQueueDepth(queued_queries_);
+      queue_.push_back(std::move(group));
+    }
+  }
+  if (admit == NetStatus::kOk) {
+    queue_cv_.notify_all();
+  } else {
+    SendError(conn, request.verb, admit, request.request_id,
+              admit == NetStatus::kShuttingDown ? "server is draining"
+                                                : "request queue is full");
+  }
+}
+
+size_t QueryServer::MatchingQueriesLocked(bool is_rkr, uint32_t k) const {
+  size_t total = 0;
+  for (const PendingGroup& group : queue_) {
+    if (group.is_rkr == is_rkr && group.k == k) total += group.num_queries;
+  }
+  return total;
+}
+
+void QueryServer::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // The oldest pending request defines the batch key; younger
+    // compatible requests ride along.
+    const bool is_rkr = queue_.front().is_rkr;
+    const uint32_t k = queue_.front().k;
+    const Clock::time_point fill_deadline =
+        queue_.front().enqueue_time +
+        std::chrono::microseconds(options_.batch_wait_us);
+    while (!stopping_ &&
+           MatchingQueriesLocked(is_rkr, k) < options_.max_batch) {
+      if (queue_cv_.wait_until(lock, fill_deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+      if (queue_.empty()) break;
+    }
+    if (queue_.empty()) continue;
+
+    // Extract whole groups while the batch has room; the front group is
+    // always taken even if it alone exceeds max_batch (wire batches are
+    // never split).
+    std::vector<PendingGroup> batch;
+    size_t total = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->is_rkr == is_rkr && it->k == k &&
+          (batch.empty() || total + it->num_queries <= options_.max_batch)) {
+        total += it->num_queries;
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+        if (total >= options_.max_batch) break;
+      } else {
+        ++it;
+      }
+    }
+    queued_queries_ -= total;
+    metrics_.SetQueueDepth(queued_queries_);
+
+    lock.unlock();
+    ExecuteBatch(is_rkr, k, std::move(batch));
+    lock.lock();
+  }
+}
+
+void QueryServer::ExecuteBatch(bool is_rkr, uint32_t k,
+                               std::vector<PendingGroup> batch) {
+  const Clock::time_point start = Clock::now();
+
+  // Deadline admission happens at execution start: a request whose
+  // deadline lapsed while queued is answered without paying for the scan.
+  std::vector<PendingGroup> live;
+  live.reserve(batch.size());
+  for (PendingGroup& group : batch) {
+    if (group.has_deadline && group.deadline < start) {
+      metrics_.RecordDeadlineExpired();
+      SendError(group.conn, group.verb, NetStatus::kDeadlineExceeded,
+                group.request_id, "deadline expired before execution");
+    } else {
+      live.push_back(std::move(group));
+    }
+  }
+  if (live.empty()) return;
+
+  size_t total = 0;
+  for (const PendingGroup& group : live) total += group.num_queries;
+  Dataset queries(dim_);
+  queries.Reserve(total);
+  for (const PendingGroup& group : live) {
+    for (uint32_t i = 0; i < group.num_queries; ++i) {
+      queries.AppendUnchecked(
+          ConstRow(group.values.data() + size_t{i} * dim_, dim_));
+    }
+  }
+
+  // One shared-lock acquisition per micro-batch: every query in it
+  // observes the same index state and the same version stamp.
+  std::vector<ReverseTopKResult> topk;
+  std::vector<ReverseKRanksResult> kranks;
+  uint64_t version = 0;
+  {
+    std::shared_lock<std::shared_mutex> guard(index_mu_);
+    version = index_version();
+    if (is_rkr) {
+      kranks = index_->ReverseKRanksBatch(queries, k);
+    } else {
+      topk = index_->ReverseTopKBatch(queries, k);
+    }
+  }
+
+  size_t offset = 0;
+  for (const PendingGroup& group : live) {
+    std::string body;
+    if (group.verb == NetVerb::kReverseTopK) {
+      body = EncodeTopKResponseBody(group.request_id, version, topk[offset]);
+    } else if (group.verb == NetVerb::kReverseTopKBatch) {
+      std::vector<ReverseTopKResult> slice(
+          topk.begin() + offset, topk.begin() + offset + group.num_queries);
+      body = EncodeTopKBatchResponseBody(group.request_id, version, slice);
+    } else if (group.verb == NetVerb::kReverseKRanks) {
+      body =
+          EncodeKRanksResponseBody(group.request_id, version, kranks[offset]);
+    } else {
+      std::vector<ReverseKRanksResult> slice(
+          kranks.begin() + offset,
+          kranks.begin() + offset + group.num_queries);
+      body = EncodeKRanksBatchResponseBody(group.request_id, version, slice);
+    }
+    offset += group.num_queries;
+    SendBody(group.conn, body);
+    metrics_.RecordLatencyUs(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              group.enqueue_time)
+            .count()));
+  }
+  metrics_.RecordBatch(live.size(), total);
+}
+
+void QueryServer::SendBody(const std::shared_ptr<Connection>& conn,
+                           const std::string& body) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A peer that already hung up is not an error worth reporting; the
+  // reader loop notices independently.
+  (void)SendFrame(conn->fd, body);
+}
+
+void QueryServer::SendError(const std::shared_ptr<Connection>& conn,
+                            NetVerb verb, NetStatus status,
+                            uint64_t request_id, const std::string& message) {
+  SendBody(conn, EncodeErrorResponseBody(verb, status, request_id,
+                                         index_version(), message));
+}
+
+}  // namespace gir

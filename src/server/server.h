@@ -1,0 +1,188 @@
+#ifndef GIR_SERVER_SERVER_H_
+#define GIR_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "grid/dynamic_index.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace gir {
+
+/// Tuning knobs of the query server (DESIGN.md §13).
+struct ServerOptions {
+  /// Address to bind. Tests and the benches stay on loopback.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Micro-batch target Q_max: the scheduler dispatches once the pending
+  /// queries compatible with the oldest request reach this many rows. A
+  /// single wire batch larger than this still executes whole — a wire
+  /// batch is never split across micro-batches, so each response
+  /// corresponds to exactly one serial execution point.
+  uint32_t max_batch = 64;
+  /// How long the oldest pending request may wait for co-batchable
+  /// traffic before the scheduler dispatches it undersized.
+  uint32_t batch_wait_us = 200;
+  /// Admission control: maximum queued query rows across all pending
+  /// requests. Beyond it requests are answered kOverloaded immediately —
+  /// queue memory stays bounded no matter how fast clients push.
+  uint32_t queue_limit = 4096;
+  /// Connections beyond this are accepted and immediately closed.
+  uint32_t max_connections = 256;
+};
+
+/// QueryServer — a multi-threaded TCP front end over one DynamicGirIndex
+/// speaking GIRNET01 (server/protocol.h).
+///
+/// Thread model. One accept thread; one reader thread per connection; one
+/// scheduler thread. Readers parse and validate frames, then either
+/// answer inline (ping/info/stats and all mutations) or enqueue query
+/// requests for the scheduler. The scheduler coalesces compatible pending
+/// requests — same query family and k — into a single
+/// ReverseTopKBatch/ReverseKRanksBatch sweep (the amortization ISSUE 3
+/// measured), waiting at most batch_wait_us for the batch to fill.
+///
+/// Consistency. DynamicGirIndex queries are const and concurrently safe,
+/// but mutations are not safe against queries, so the server wraps the
+/// index in a reader/writer lock: micro-batches execute under the shared
+/// side, mutations under the exclusive side. Every mutation bumps a
+/// version counter and every response carries the version it executed
+/// at, so any interleaving observed over the wire maps to one serial
+/// history — replaying mutations serially and re-running a query at its
+/// stamped version must reproduce the response bit-for-bit (the
+/// concurrency tests do exactly that).
+///
+/// Shutdown() drains gracefully: new requests are refused with
+/// kShuttingDown, already-admitted requests are executed and answered,
+/// then threads are joined. Safe to call twice; the destructor calls it.
+class QueryServer {
+ public:
+  /// The index must outlive the server. The server takes over all
+  /// synchronization — no other thread may mutate the index while the
+  /// server runs.
+  QueryServer(DynamicGirIndex* index, ServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens and spawns the accept + scheduler threads.
+  Status Start();
+
+  /// The bound TCP port (after Start(); useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; blocks until all threads are joined. Idempotent.
+  void Shutdown();
+
+  /// Mutation counter: bumped by every successful mutation. Responses
+  /// carry the value current when they executed.
+  uint64_t index_version() const {
+    return index_version_.load(std::memory_order_acquire);
+  }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Shared between the reader thread and the scheduler (which answers
+  /// queued requests after the reader may have exited). The fd closes
+  /// when the last reference drops.
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mu;
+  };
+
+  /// One admitted query request (single or wire-batch form) awaiting the
+  /// scheduler. `values` holds num_queries rows of dim doubles.
+  struct PendingGroup {
+    std::shared_ptr<Connection> conn;
+    NetVerb verb = NetVerb::kReverseTopK;
+    uint64_t request_id = 0;
+    uint32_t k = 0;
+    uint32_t num_queries = 0;
+    std::vector<double> values;
+    Clock::time_point enqueue_time;
+    /// Zero-initialized epoch when the request carries no deadline.
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+    bool is_rkr = false;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void SchedulerLoop();
+
+  /// Routes one decoded, well-formed request.
+  void Dispatch(const std::shared_ptr<Connection>& conn,
+                const NetRequest& request);
+  void HandleMutation(const std::shared_ptr<Connection>& conn,
+                      const NetRequest& request);
+  /// Validates and admits a query request; replies immediately on
+  /// rejection (invalid, overloaded, shutting down).
+  void AdmitQuery(const std::shared_ptr<Connection>& conn,
+                  const NetRequest& request);
+
+  /// Executes one micro-batch outside the queue lock: drops expired
+  /// groups, runs the batched sweep under the shared index lock, slices
+  /// and sends per-request responses.
+  void ExecuteBatch(bool is_rkr, uint32_t k, std::vector<PendingGroup> batch);
+
+  void SendBody(const std::shared_ptr<Connection>& conn,
+                const std::string& body);
+  void SendError(const std::shared_ptr<Connection>& conn, NetVerb verb,
+                 NetStatus status, uint64_t request_id,
+                 const std::string& message);
+
+  /// Pending query rows compatible with the (is_rkr, k) batch key.
+  size_t MatchingQueriesLocked(bool is_rkr, uint32_t k) const;
+
+  DynamicGirIndex* index_;
+  ServerOptions options_;
+  size_t dim_ = 0;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  /// Readers/scheduler take shared, mutations exclusive. index_version_
+  /// is written only under the exclusive side; the atomic lets error
+  /// paths stamp responses without touching the lock.
+  std::shared_mutex index_mu_;
+  std::atomic<uint64_t> index_version_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingGroup> queue_;
+  size_t queued_queries_ = 0;
+  bool stopping_ = false;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::atomic<uint32_t> open_connections_{0};
+
+  std::thread accept_thread_;
+  std::thread scheduler_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutdown_done_{false};
+
+  ServerMetrics metrics_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_SERVER_SERVER_H_

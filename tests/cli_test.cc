@@ -28,18 +28,26 @@ class CliTest : public ::testing::Test {
     return (dir_ / name).string();
   }
 
-  /// Runs the CLI with `args`, captures stdout into `output`, returns the
-  /// exit code.
-  int RunCli(const std::string& args, std::string* output = nullptr) {
+  /// Runs the CLI with `args`, captures stdout into `output` and stderr
+  /// into `errors`, returns the exit code.
+  int RunCli(const std::string& args, std::string* output = nullptr,
+             std::string* errors = nullptr) {
     const std::string out_file = Path("stdout.txt");
+    const std::string err_file = Path("stderr.txt");
     const std::string command = std::string(GIR_CLI_PATH) + " " + args +
-                                " > " + out_file + " 2>" + Path("stderr.txt");
+                                " > " + out_file + " 2>" + err_file;
     const int status = std::system(command.c_str());
     if (output != nullptr) {
       std::ifstream in(out_file);
       std::ostringstream buffer;
       buffer << in.rdbuf();
       *output = buffer.str();
+    }
+    if (errors != nullptr) {
+      std::ifstream in(err_file);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      *errors = buffer.str();
     }
     return WEXITSTATUS(status);
   }
@@ -50,6 +58,56 @@ class CliTest : public ::testing::Test {
 TEST_F(CliTest, NoArgumentsPrintsUsage) {
   EXPECT_EQ(RunCli(""), 1);
   EXPECT_EQ(RunCli("bogus-command"), 1);
+}
+
+TEST_F(CliTest, EveryUsageFailurePrintsOneErrorLineAndExits1) {
+  // Exit-code contract: 1 for usage errors, 2 for runtime failures, and
+  // every failure path leads with exactly one `error: ...` stderr line.
+  std::string errors;
+  EXPECT_EQ(RunCli("", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: missing command", 0), 0u) << errors;
+
+  EXPECT_EQ(RunCli("bogus-command", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: unknown command: bogus-command", 0), 0u);
+
+  EXPECT_EQ(RunCli("tau", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: tau requires an action", 0), 0u);
+
+  EXPECT_EQ(RunCli("tau shred --points x", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: unknown tau action: shred", 0), 0u);
+
+  EXPECT_EQ(RunCli("update", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: update requires an action", 0), 0u);
+
+  EXPECT_EQ(RunCli("update explode", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: unknown update action: explode", 0), 0u);
+
+  EXPECT_EQ(RunCli("remote", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: remote requires an action", 0), 0u);
+
+  EXPECT_EQ(RunCli("remote shout --port 1", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: unknown remote action: shout", 0), 0u);
+
+  EXPECT_EQ(RunCli("remote ping", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: remote requires --port", 0), 0u);
+
+  EXPECT_EQ(RunCli("generate --kind points --dist UN", nullptr, &errors), 1);
+  EXPECT_EQ(errors.rfind("error: generate requires", 0), 0u);
+}
+
+TEST_F(CliTest, RuntimeFailuresPrintOneErrorLineAndExit2) {
+  std::string errors;
+  EXPECT_EQ(RunCli("info --dataset " + Path("absent.bin"), nullptr, &errors),
+            2);
+  EXPECT_EQ(errors.rfind("error: ", 0), 0u) << errors;
+  EXPECT_EQ(std::count(errors.begin(), errors.end(), '\n'), 1) << errors;
+
+  // A remote command against a port nothing listens on is a runtime
+  // failure, not a usage one.
+  EXPECT_EQ(RunCli("remote ping --port 1 --host 127.0.0.1", nullptr,
+                   &errors),
+            2);
+  EXPECT_EQ(errors.rfind("error: ", 0), 0u) << errors;
 }
 
 TEST_F(CliTest, GenerateBuildsReadableDataset) {

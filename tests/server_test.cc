@@ -1,0 +1,593 @@
+// End-to-end tests of the GIRNET01 query server (server/server.h): a real
+// QueryServer on a loopback ephemeral port, driven through RemoteClient
+// and — for the hostile-frame cases — a raw socket. Covers answer
+// equality with local execution, micro-batch coalescing, admission
+// control under overload, malformed/hostile frames, deadline expiry,
+// graceful drain, and churn-vs-query bit-identity via serial replay of
+// the version stamps.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/dynamic_index.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace gir {
+namespace {
+
+Dataset MakePoints(size_t n, size_t d, uint64_t seed) {
+  return GeneratePoints(PointDistribution::kUniform, n, d, seed);
+}
+
+Dataset MakeWeights(size_t m, size_t d, uint64_t seed) {
+  return GenerateWeights(WeightDistribution::kUniform, m, d, seed);
+}
+
+DynamicGirIndex BuildIndex(const Dataset& points, const Dataset& weights,
+                           ScanMode mode = ScanMode::kBlocked) {
+  DynamicIndexOptions options;
+  options.gir.scan_mode = mode;
+  auto index = DynamicGirIndex::Build(points, weights, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+RemoteClient MustConnect(const QueryServer& server) {
+  auto client = RemoteClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+/// Raw TCP connection for the hostile-frame tests; sends whatever bytes
+/// the test forges, bypassing the client's well-formed encoders.
+class RawConnection {
+ public:
+  explicit RawConnection(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+  int fd() const { return fd_; }
+
+  void SendRaw(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Reads one response frame and decodes it; false once the server has
+  /// hung up.
+  bool ReadResponse(NetResponse* response) {
+    std::string body;
+    if (!ReadFrameBody(fd_, kMaxFrameBytes, &body).ok()) return false;
+    return DecodeResponseBody(body, response);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(QueryServerTest, StartsOnEphemeralPortAndStopsTwice) {
+  const Dataset points = MakePoints(200, 3, 1);
+  const Dataset weights = MakeWeights(50, 3, 2);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  QueryServer server(&index, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+}
+
+TEST(QueryServerTest, PingInfoAndStatsRoundTrip) {
+  const Dataset points = MakePoints(300, 4, 3);
+  const Dataset weights = MakeWeights(80, 4, 4);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  QueryServer server(&index, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteClient client = MustConnect(server);
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.last_index_version(), 0u);
+
+  auto info = client.Info();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().dim, 4u);
+  EXPECT_EQ(info.value().live_points, 300u);
+  EXPECT_EQ(info.value().live_weights, 80u);
+  EXPECT_EQ(info.value().generation, 0u);
+  EXPECT_EQ(info.value().dirty, 0u);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("requests_received"), std::string::npos);
+  EXPECT_NE(stats.value().find("qps"), std::string::npos);
+  EXPECT_NE(stats.value().find("latency_p99_us_le"), std::string::npos);
+}
+
+TEST(QueryServerTest, SingleQueriesMatchLocalExecution) {
+  const Dataset points = MakePoints(500, 4, 5);
+  const Dataset weights = MakeWeights(120, 4, 6);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  QueryServer server(&index, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  RemoteClient client = MustConnect(server);
+
+  for (size_t row = 0; row < 20; ++row) {
+    for (uint32_t k : {1u, 5u, 16u}) {
+      auto remote_rtk = client.ReverseTopK(points.row(row), k);
+      ASSERT_TRUE(remote_rtk.ok()) << remote_rtk.status().ToString();
+      EXPECT_EQ(remote_rtk.value(), index.ReverseTopK(points.row(row), k));
+
+      auto remote_rkr = client.ReverseKRanks(points.row(row), k);
+      ASSERT_TRUE(remote_rkr.ok());
+      const auto local = index.ReverseKRanks(points.row(row), k);
+      ASSERT_EQ(remote_rkr.value().size(), local.size());
+      for (size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ(remote_rkr.value()[i].weight_id, local[i].weight_id);
+        EXPECT_EQ(remote_rkr.value()[i].rank, local[i].rank);
+      }
+    }
+  }
+}
+
+TEST(QueryServerTest, WireBatchLargerThanMicroBatchIsNeverSplit) {
+  const Dataset points = MakePoints(400, 3, 7);
+  const Dataset weights = MakeWeights(90, 3, 8);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  ServerOptions options;
+  options.max_batch = 16;  // far below the wire batch below
+  QueryServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+  RemoteClient client = MustConnect(server);
+
+  Dataset queries(points.dim());
+  for (size_t i = 0; i < 200; ++i) queries.AppendUnchecked(points.row(i));
+  auto remote = client.ReverseTopKBatch(queries, 8);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote.value(), index.ReverseTopKBatch(queries, 8));
+
+  auto remote_rkr = client.ReverseKRanksBatch(queries, 4);
+  ASSERT_TRUE(remote_rkr.ok());
+  const auto local = index.ReverseKRanksBatch(queries, 4);
+  ASSERT_EQ(remote_rkr.value().size(), local.size());
+  for (size_t q = 0; q < local.size(); ++q) {
+    ASSERT_EQ(remote_rkr.value()[q].size(), local[q].size());
+    for (size_t i = 0; i < local[q].size(); ++i) {
+      EXPECT_EQ(remote_rkr.value()[q][i].weight_id, local[q][i].weight_id);
+      EXPECT_EQ(remote_rkr.value()[q][i].rank, local[q][i].rank);
+    }
+  }
+}
+
+TEST(QueryServerTest, ConcurrentClientsCoalesceIntoMicroBatches) {
+  const Dataset points = MakePoints(600, 4, 9);
+  const Dataset weights = MakeWeights(150, 4, 10);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  ServerOptions options;
+  options.batch_wait_us = 3000;  // wide window so peers always co-batch
+  QueryServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 25;
+  constexpr uint32_t kK = 8;
+  std::vector<ReverseTopKResult> expected(points.size());
+  for (size_t i = 0; i < 64; ++i) {
+    expected[i] = index.ReverseTopK(points.row(i), kK);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RemoteClient client = MustConnect(server);
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t row = (t * kRounds + round) % 64;
+        auto result = client.ReverseTopK(points.row(row), kK);
+        if (!result.ok() || result.value() != expected[row]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // With 8 blocked round-trip clients and a 3 ms fill window, the
+  // scheduler must have merged requests: strictly fewer dispatches than
+  // wire requests.
+  RemoteClient client = MustConnect(server);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  const std::string& text = stats.value();
+  const auto value_of = [&](const std::string& key) {
+    const size_t pos = text.find(key + " ");
+    EXPECT_NE(pos, std::string::npos) << key;
+    return std::strtoull(text.c_str() + pos + key.size() + 1, nullptr, 10);
+  };
+  const uint64_t requests = value_of("requests_completed");
+  const uint64_t batches = value_of("batches_dispatched");
+  EXPECT_EQ(requests, kThreads * kRounds);
+  EXPECT_LT(batches, requests);
+}
+
+TEST(QueryServerTest, OverloadRejectsBeyondQueueLimitAndStaysBounded) {
+  const Dataset points = MakePoints(300, 3, 11);
+  const Dataset weights = MakeWeights(60, 3, 12);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  ServerOptions options;
+  options.queue_limit = 4;
+  options.max_batch = 4;
+  options.batch_wait_us = 100000;  // hold the queue full for 100 ms
+  QueryServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 24;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> wrong{0};
+  const ReverseTopKResult expected = index.ReverseTopK(points.row(0), 4);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      RemoteClient client = MustConnect(server);
+      auto result = client.ReverseTopK(points.row(0), 4);
+      if (result.ok()) {
+        ok_count.fetch_add(1);
+        if (result.value() != expected) wrong.fetch_add(1);
+      } else if (client.last_net_status() == NetStatus::kOverloaded) {
+        overloaded.fetch_add(1);
+      } else {
+        wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(overloaded.load(), 0);  // admission control actually rejected
+  EXPECT_GT(ok_count.load(), 0);    // and admitted work still completed
+  EXPECT_EQ(ok_count.load() + overloaded.load(),
+            static_cast<int>(kClients));
+  EXPECT_EQ(server.metrics().Render().find("rejected_overload 0"),
+            std::string::npos);
+}
+
+TEST(QueryServerTest, DeadlineExpiresWhileQueuedBehindTheFillWindow) {
+  const Dataset points = MakePoints(200, 3, 13);
+  const Dataset weights = MakeWeights(40, 3, 14);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  ServerOptions options;
+  options.batch_wait_us = 50000;  // 50 ms fill window
+  QueryServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteClient client = MustConnect(server);
+  client.set_deadline_us(1);  // expires long before the window closes
+  auto result = client.ReverseTopK(points.row(0), 4);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(client.last_net_status(), NetStatus::kDeadlineExceeded);
+
+  // The connection stays usable after a deadline rejection.
+  client.set_deadline_us(0);
+  auto retry = client.ReverseTopK(points.row(0), 4);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.value(), index.ReverseTopK(points.row(0), 4));
+}
+
+TEST(QueryServerTest, MalformedFramesAreRejectedAndServerSurvives) {
+  const Dataset points = MakePoints(200, 3, 15);
+  const Dataset weights = MakeWeights(40, 3, 16);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  QueryServer server(&index, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto frame = [](const std::string& body) {
+    const uint32_t len = static_cast<uint32_t>(body.size());
+    std::string bytes(reinterpret_cast<const char*>(&len), sizeof(len));
+    return bytes + body;
+  };
+  const std::string magic(kNetMagic, sizeof(kNetMagic));
+
+  {
+    // Unknown verb byte.
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.SendRaw(magic + frame(std::string(16, '\xff')));
+    NetResponse response;
+    ASSERT_TRUE(raw.ReadResponse(&response));
+    EXPECT_EQ(response.status, NetStatus::kMalformed);
+    EXPECT_FALSE(raw.ReadResponse(&response));  // connection closed after
+  }
+  {
+    // Truncated header: fewer bytes than the fixed request prefix.
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.SendRaw(magic + frame(std::string(3, '\x01')));
+    NetResponse response;
+    ASSERT_TRUE(raw.ReadResponse(&response));
+    EXPECT_EQ(response.status, NetStatus::kMalformed);
+  }
+  {
+    // Forged count: a reverse top-k whose num_queries*dim implies far
+    // more payload than the frame carries.
+    NetRequest req;
+    req.verb = NetVerb::kReverseTopKBatch;
+    req.k = 4;
+    req.num_queries = 1u << 30;
+    req.dim = 3;
+    std::string body = EncodeRequestBody(req);  // encodes zero doubles
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.SendRaw(magic + frame(body));
+    NetResponse response;
+    ASSERT_TRUE(raw.ReadResponse(&response));
+    EXPECT_EQ(response.status, NetStatus::kMalformed);
+  }
+  {
+    // Trailing garbage after a well-formed request body.
+    NetRequest req;
+    req.verb = NetVerb::kPing;
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.SendRaw(magic + frame(EncodeRequestBody(req) + "JUNK"));
+    NetResponse response;
+    ASSERT_TRUE(raw.ReadResponse(&response));
+    EXPECT_EQ(response.status, NetStatus::kMalformed);
+  }
+  {
+    // Hostile length prefix beyond the frame cap.
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    const uint32_t huge = kMaxFrameBytes + 1;
+    std::string bytes(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    raw.SendRaw(magic + bytes);
+    NetResponse response;
+    ASSERT_TRUE(raw.ReadResponse(&response));
+    EXPECT_EQ(response.status, NetStatus::kMalformed);
+  }
+  {
+    // Bad protocol magic: dropped without a reply.
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.SendRaw("NOTGIRNE");
+    NetResponse response;
+    EXPECT_FALSE(raw.ReadResponse(&response));
+  }
+  {
+    // A frame the peer abandons mid-body must not wedge the server.
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    const uint32_t len = 64;
+    std::string bytes(reinterpret_cast<const char*>(&len), sizeof(len));
+    raw.SendRaw(magic + bytes + "only-ten-b");
+  }
+
+  // After every attack the server still answers a well-formed client.
+  RemoteClient client = MustConnect(server);
+  auto result = client.ReverseTopK(points.row(0), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), index.ReverseTopK(points.row(0), 4));
+  const std::string stats = server.metrics().Render();
+  EXPECT_EQ(stats.find("malformed_frames 0"), std::string::npos);
+}
+
+TEST(QueryServerTest, SemanticallyInvalidRequestsGetInvalidArgument) {
+  const Dataset points = MakePoints(200, 3, 17);
+  const Dataset weights = MakeWeights(40, 3, 18);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  QueryServer server(&index, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  RemoteClient client = MustConnect(server);
+
+  const std::vector<double> wrong_dim = {1.0, 2.0};
+  auto result = client.ReverseTopK(ConstRow(wrong_dim.data(), 2), 4);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(client.last_net_status(), NetStatus::kInvalidArgument);
+
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  result = client.ReverseTopK(ConstRow(q.data(), 3), 0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(client.last_net_status(), NetStatus::kInvalidArgument);
+
+  // Inserting a weight that is not a distribution is the index's call.
+  EXPECT_FALSE(client.InsertWeight(ConstRow(q.data(), 3)).ok());
+  EXPECT_EQ(client.last_net_status(), NetStatus::kInvalidArgument);
+
+  // The connection survives semantic rejections.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(QueryServerTest, GracefulShutdownAnswersAdmittedRequests) {
+  const Dataset points = MakePoints(300, 3, 19);
+  const Dataset weights = MakeWeights(60, 3, 20);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  ServerOptions options;
+  options.batch_wait_us = 30000;  // requests sit queued when drain starts
+  QueryServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const ReverseTopKResult expected = index.ReverseTopK(points.row(1), 4);
+  std::atomic<int> answered{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      RemoteClient client = MustConnect(server);
+      auto result = client.ReverseTopK(points.row(1), 4);
+      if (result.ok()) {
+        answered.fetch_add(1);
+        if (result.value() != expected) wrong.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Shutdown();  // while the 30 ms fill window still holds them
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(answered.load(), 4);  // drain answered every admitted request
+  EXPECT_FALSE(RemoteClient::Connect("127.0.0.1", server.port()).ok());
+}
+
+TEST(QueryServerTest, ChurnVersusQueriesReplaysToBitIdenticalAnswers) {
+  const size_t kDim = 4;
+  const Dataset points = MakePoints(300, kDim, 21);
+  const Dataset weights = MakeWeights(80, kDim, 22);
+  DynamicGirIndex index = BuildIndex(points, weights);
+  ServerOptions options;
+  options.batch_wait_us = 500;
+  QueryServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The mutation log: op o was applied at version o+1. Queries record the
+  // version their response was stamped with.
+  struct Mutation {
+    bool insert = false;
+    bool point = false;
+    std::vector<double> values;
+    uint64_t id = 0;
+  };
+  std::vector<Mutation> mutations;
+  struct Observation {
+    std::vector<double> query;
+    uint32_t k;
+    uint64_t version;
+    ReverseTopKResult rtk;
+    ReverseKRanksResult rkr;
+    bool is_rkr;
+  };
+  std::vector<Observation> observations[2];
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> query_threads;
+  for (int t = 0; t < 2; ++t) {
+    query_threads.emplace_back([&, t] {
+      RemoteClient client = MustConnect(server);
+      std::mt19937_64 rng(1000 + t);
+      while (!stop.load()) {
+        Observation obs;
+        const size_t row = rng() % points.size();
+        obs.query.assign(points.row(row).begin(), points.row(row).end());
+        obs.k = 1 + static_cast<uint32_t>(rng() % 8);
+        obs.is_rkr = (t == 1);
+        const ConstRow q(obs.query.data(), obs.query.size());
+        if (obs.is_rkr) {
+          auto result = client.ReverseKRanks(q, obs.k);
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          obs.rkr = std::move(result).value();
+        } else {
+          auto result = client.ReverseTopK(q, obs.k);
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          obs.rtk = std::move(result).value();
+        }
+        obs.version = client.last_index_version();
+        observations[t].push_back(std::move(obs));
+      }
+    });
+  }
+
+  // One mutating client: inserts and deletes racing the query batches.
+  {
+    RemoteClient client = MustConnect(server);
+    std::mt19937_64 rng(77);
+    std::uniform_real_distribution<double> value(0.0, 10000.0);
+    size_t live_points = points.size();
+    for (int op = 0; op < 40; ++op) {
+      Mutation m;
+      m.point = true;
+      m.insert = live_points < 150 || (rng() % 2 == 0);
+      if (m.insert) {
+        for (size_t i = 0; i < kDim; ++i) m.values.push_back(value(rng));
+        ASSERT_TRUE(
+            client.InsertPoint(ConstRow(m.values.data(), kDim)).ok());
+        ++live_points;
+      } else {
+        m.id = rng() % live_points;
+        ASSERT_TRUE(client.DeletePoint(m.id).ok());
+        --live_points;
+      }
+      ASSERT_EQ(client.last_index_version(),
+                static_cast<uint64_t>(op + 1));
+      mutations.push_back(std::move(m));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : query_threads) t.join();
+  server.Shutdown();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Serial replay: a fresh index stepped through the mutation log; every
+  // observation re-executed at its stamped version must be bit-identical.
+  DynamicGirIndex replay = BuildIndex(points, weights);
+  std::vector<Observation> all;
+  for (auto& per_thread : observations) {
+    for (auto& obs : per_thread) all.push_back(std::move(obs));
+  }
+  size_t checked = 0;
+  for (uint64_t version = 0; version <= mutations.size(); ++version) {
+    if (version > 0) {
+      const Mutation& m = mutations[version - 1];
+      if (m.insert) {
+        ASSERT_TRUE(
+            replay.InsertPoint(ConstRow(m.values.data(), kDim)).ok());
+      } else {
+        ASSERT_TRUE(
+            replay.DeletePoint(static_cast<VectorId>(m.id)).ok());
+      }
+    }
+    for (const Observation& obs : all) {
+      if (obs.version != version) continue;
+      ++checked;
+      const ConstRow q(obs.query.data(), obs.query.size());
+      if (obs.is_rkr) {
+        const auto serial = replay.ReverseKRanks(q, obs.k);
+        ASSERT_EQ(obs.rkr.size(), serial.size()) << "version " << version;
+        for (size_t i = 0; i < serial.size(); ++i) {
+          EXPECT_EQ(obs.rkr[i].weight_id, serial[i].weight_id);
+          EXPECT_EQ(obs.rkr[i].rank, serial[i].rank);
+        }
+      } else {
+        EXPECT_EQ(obs.rtk, replay.ReverseTopK(q, obs.k))
+            << "version " << version;
+      }
+    }
+  }
+  EXPECT_EQ(checked, all.size());
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace gir

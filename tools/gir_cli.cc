@@ -29,8 +29,15 @@
 //   gir_cli update info    --index dyn.bin
 //   gir_cli update query   --index dyn.bin --type rtk|rkr --k 10
 //                          --query v1,v2,... [--stats]
+//   gir_cli remote ping|info|stats|compact --port P [--host H]
+//   gir_cli remote query   --port P --type rtk|rkr --k 10 --query v1,v2,...
+//                          [--deadline-us N]
+//   gir_cli remote insert  --port P --kind point|weight --values v1,v2,...
+//   gir_cli remote delete  --port P --kind point|weight --id N
 //
-// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures. Every
+// failure path prints a one-line `error: ...` to stderr (cli_test asserts
+// both conventions).
 
 #include <chrono>
 #include <cstdio>
@@ -52,6 +59,7 @@
 #include "grid/index_io.h"
 #include "grid/parallel_gir.h"
 #include "io/dataset_io.h"
+#include "server/client.h"
 
 namespace gir {
 namespace {
@@ -112,6 +120,17 @@ int FailStatus(const Status& status) {
   return 2;
 }
 
+void PrintUsage();
+
+/// Usage-level failure with the full usage text attached: one `error:`
+/// line first (so scripts always have a parseable reason), then the
+/// usage block, exit code 1.
+int FailUsage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  PrintUsage();
+  return 1;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
@@ -144,7 +163,12 @@ void PrintUsage() {
       "  update compact --index FILE [--out FILE]\n"
       "  update info    --index FILE\n"
       "  update query   --index FILE --type rtk|rkr --k K --query v1,v2,...\n"
-      "                 [--stats]\n");
+      "                 [--stats]\n"
+      "  remote ping|info|stats|compact --port P [--host H]\n"
+      "  remote query   --port P --type rtk|rkr --k K --query v1,v2,...\n"
+      "                 [--deadline-us N]\n"
+      "  remote insert  --port P --kind point|weight --values v1,v2,...\n"
+      "  remote delete  --port P --kind point|weight --id N\n");
 }
 
 int RunGenerate(const Args& args) {
@@ -551,8 +575,7 @@ int RunTauInfo(const Args& args) {
 
 int RunTau(int argc, char** argv) {
   if (argc < 3) {
-    PrintUsage();
-    return 1;
+    return FailUsage("tau requires an action (build|query|info)");
   }
   const std::string action = argv[2];
   // Shift by one so Args' fixed "--flags start at index 2" skips the
@@ -562,8 +585,7 @@ int RunTau(int argc, char** argv) {
   if (action == "build") return RunTauBuild(args);
   if (action == "query") return RunTauQuery(args);
   if (action == "info") return RunTauInfo(args);
-  PrintUsage();
-  return 1;
+  return FailUsage("unknown tau action: " + action);
 }
 
 // ---- `update` — dynamic-index maintenance (grid/dynamic_index.h) ----------
@@ -711,8 +733,8 @@ int RunUpdateQuery(const Args& args) {
 
 int RunUpdate(int argc, char** argv) {
   if (argc < 3) {
-    PrintUsage();
-    return 1;
+    return FailUsage(
+        "update requires an action (init|insert|delete|compact|info|query)");
   }
   const std::string action = argv[2];
   // Shift by one so Args' fixed "--flags start at index 2" skips the
@@ -725,20 +747,144 @@ int RunUpdate(int argc, char** argv) {
   }
   if (action == "info") return RunUpdateInfo(args);
   if (action == "query") return RunUpdateQuery(args);
-  PrintUsage();
-  return 1;
+  return FailUsage("unknown update action: " + action);
+}
+
+// ---- `remote` — talk to a running gir_serve (server/client.h) --------------
+
+int RunRemoteQuery(RemoteClient& client, const Args& args) {
+  const auto type = args.Get("type");
+  const auto k = args.GetSize("k");
+  const auto text = args.Get("query");
+  if (!type || !k || !text) {
+    return Fail("remote query requires --type --k --query v1,v2,...");
+  }
+  auto q = ParseQueryVector(*text);
+  if (!q.has_value()) return Fail("cannot parse --query vector");
+  ConstRow row(q->data(), q->size());
+  if (*type == "rtk") {
+    auto result = client.ReverseTopK(row, static_cast<uint32_t>(*k));
+    if (!result.ok()) return FailStatus(result.status());
+    std::printf("%zu matching preferences (index version %llu)\n",
+                result.value().size(),
+                static_cast<unsigned long long>(client.last_index_version()));
+    for (VectorId id : result.value()) std::printf("weight %u\n", id);
+  } else if (*type == "rkr") {
+    auto result = client.ReverseKRanks(row, static_cast<uint32_t>(*k));
+    if (!result.ok()) return FailStatus(result.status());
+    for (const auto& entry : result.value()) {
+      std::printf("weight %u rank %lld\n", entry.weight_id,
+                  static_cast<long long>(entry.rank));
+    }
+  } else {
+    return Fail("--type must be rtk or rkr");
+  }
+  return 0;
+}
+
+int RunRemoteMutate(RemoteClient& client, const Args& args,
+                    const std::string& action) {
+  const std::string kind = args.Get("kind").value_or("point");
+  if (kind != "point" && kind != "weight") {
+    return Fail("--kind must be point or weight");
+  }
+  Status s = Status::OK();
+  if (action == "insert") {
+    const auto text = args.Get("values");
+    if (!text) return Fail("remote insert requires --values v1,v2,...");
+    auto values = ParseQueryVector(*text);
+    if (!values.has_value()) return Fail("cannot parse --values vector");
+    ConstRow row(values->data(), values->size());
+    s = kind == "point" ? client.InsertPoint(row) : client.InsertWeight(row);
+  } else {  // delete
+    const auto id = args.GetSize("id");
+    if (!id) return Fail("remote delete requires --id");
+    s = kind == "point" ? client.DeletePoint(*id) : client.DeleteWeight(*id);
+  }
+  if (!s.ok()) return FailStatus(s);
+  std::printf("%s %s (index version %llu)\n",
+              action == "insert" ? "inserted" : "deleted", kind.c_str(),
+              static_cast<unsigned long long>(client.last_index_version()));
+  return 0;
+}
+
+int RunRemote(int argc, char** argv) {
+  if (argc < 3) {
+    return FailUsage(
+        "remote requires an action "
+        "(ping|info|stats|query|insert|delete|compact)");
+  }
+  const std::string action = argv[2];
+  // Shift by one so Args' fixed "--flags start at index 2" skips the
+  // action word.
+  Args args(argc - 1, argv + 1);
+  if (!args.ok()) return Fail(args.error().c_str());
+  if (action != "ping" && action != "info" && action != "stats" &&
+      action != "query" && action != "insert" && action != "delete" &&
+      action != "compact") {
+    return FailUsage("unknown remote action: " + action);
+  }
+  const auto port = args.GetSize("port");
+  if (!port || *port == 0 || *port > 65535) {
+    return Fail("remote requires --port (1-65535)");
+  }
+  const std::string host = args.Get("host").value_or("127.0.0.1");
+  auto connected = RemoteClient::Connect(host, static_cast<uint16_t>(*port));
+  if (!connected.ok()) return FailStatus(connected.status());
+  RemoteClient client = std::move(connected).value();
+  if (const auto deadline = args.GetSize("deadline-us"); deadline) {
+    client.set_deadline_us(static_cast<uint32_t>(*deadline));
+  }
+
+  if (action == "ping") {
+    const Status s = client.Ping();
+    if (!s.ok()) return FailStatus(s);
+    std::printf("pong (index version %llu)\n",
+                static_cast<unsigned long long>(client.last_index_version()));
+    return 0;
+  }
+  if (action == "info") {
+    auto info = client.Info();
+    if (!info.ok()) return FailStatus(info.status());
+    std::printf(
+        "remote index %s:%zu: generation %llu, %llu live points x %llu live "
+        "weights (%u-d), scan mode %u%s, version %llu\n",
+        host.c_str(), *port,
+        static_cast<unsigned long long>(info.value().generation),
+        static_cast<unsigned long long>(info.value().live_points),
+        static_cast<unsigned long long>(info.value().live_weights),
+        info.value().dim, info.value().scan_mode,
+        info.value().dirty != 0 ? " (dirty)" : "",
+        static_cast<unsigned long long>(client.last_index_version()));
+    return 0;
+  }
+  if (action == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return FailStatus(stats.status());
+    std::fputs(stats.value().c_str(), stdout);
+    return 0;
+  }
+  if (action == "compact") {
+    const Status s = client.Compact();
+    if (!s.ok()) return FailStatus(s);
+    std::printf("compacted (index version %llu)\n",
+                static_cast<unsigned long long>(client.last_index_version()));
+    return 0;
+  }
+  if (action == "query") return RunRemoteQuery(client, args);
+  return RunRemoteMutate(client, args, action);
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) {
-    PrintUsage();
-    return 1;
+    return FailUsage("missing command");
   }
   const std::string command = argv[1];
-  // `tau` and `update` carry an action word Args would reject; dispatch
-  // them first.
+  // `tau`, `update` and `remote` carry an action word Args would reject;
+  // dispatch them first.
   if (command == "tau") return RunTau(argc, argv);
   if (command == "update") return RunUpdate(argc, argv);
+  if (command == "remote") return RunRemote(argc, argv);
   Args args(argc, argv);
   if (!args.ok()) return Fail(args.error().c_str());
   if (command == "generate") return RunGenerate(args);
@@ -746,8 +892,7 @@ int Run(int argc, char** argv) {
   if (command == "query") return RunQuery(args);
   if (command == "batch-query") return RunBatchQuery(args);
   if (command == "info") return RunInfo(args);
-  PrintUsage();
-  return 1;
+  return FailUsage("unknown command: " + command);
 }
 
 }  // namespace

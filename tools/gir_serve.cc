@@ -1,0 +1,173 @@
+// gir_serve — standalone GIRNET01 query server (DESIGN.md §13).
+//
+//   gir_serve --points p.bin --weights w.bin
+//             [--host 127.0.0.1] [--port 0] [--port-file FILE]
+//             [--scan-mode wat|blocked|tau] [--partitions N]
+//             [--max-batch N] [--batch-wait-us N] [--queue-limit N]
+//             [--max-connections N]
+//   gir_serve --index dyn.bin [server flags as above]
+//
+// Binds (port 0 = ephemeral; the bound port is printed and, with
+// --port-file, written to a file for scripted callers), serves until
+// SIGTERM/SIGINT, then drains gracefully: admitted requests are answered,
+// new ones are refused with shutting-down, and the process exits 0.
+//
+// Exit code 0 on clean drain, 1 on usage errors, 2 on runtime failures.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "grid/dynamic_index.h"
+#include "grid/index_io.h"
+#include "io/dataset_io.h"
+#include "server/server.h"
+
+namespace gir {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + key;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::optional<size_t> GetSize(const std::string& key) const {
+    auto v = Get(key);
+    if (!v.has_value()) return std::nullopt;
+    return static_cast<size_t>(std::strtoull(v->c_str(), nullptr, 10));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  Args args(argc, argv);
+  if (!args.ok()) return Fail(args.error().c_str());
+
+  // SIGTERM/SIGINT are blocked before any thread spawns so every server
+  // thread inherits the mask and the main thread alone takes the signal
+  // via sigwait — the drain runs in ordinary code, not a handler.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    return FailStatus(Status::Internal("pthread_sigmask failed"));
+  }
+
+  Result<DynamicGirIndex> index = Status::Internal("unset");
+  if (const auto index_path = args.Get("index"); index_path.has_value()) {
+    index = LoadDynamicIndex(*index_path);
+  } else {
+    const auto points_path = args.Get("points");
+    const auto weights_path = args.Get("weights");
+    if (!points_path || !weights_path) {
+      return Fail("gir_serve requires --index, or --points with --weights");
+    }
+    auto points = LoadDataset(*points_path);
+    if (!points.ok()) return FailStatus(points.status());
+    auto weights = LoadDataset(*weights_path);
+    if (!weights.ok()) return FailStatus(weights.status());
+    DynamicIndexOptions options;
+    options.gir.partitions = args.GetSize("partitions").value_or(32);
+    const std::string mode = args.Get("scan-mode").value_or("blocked");
+    if (mode == "wat") {
+      options.gir.scan_mode = ScanMode::kWeightAtATime;
+    } else if (mode == "blocked") {
+      options.gir.scan_mode = ScanMode::kBlocked;
+    } else if (mode == "tau") {
+      options.gir.scan_mode = ScanMode::kTauIndex;
+    } else {
+      return Fail("--scan-mode must be wat, blocked or tau");
+    }
+    index = DynamicGirIndex::Build(points.value(), weights.value(), options);
+  }
+  if (!index.ok()) return FailStatus(index.status());
+
+  ServerOptions options;
+  options.host = args.Get("host").value_or(options.host);
+  options.port = static_cast<uint16_t>(args.GetSize("port").value_or(0));
+  options.max_batch = static_cast<uint32_t>(
+      args.GetSize("max-batch").value_or(options.max_batch));
+  options.batch_wait_us = static_cast<uint32_t>(
+      args.GetSize("batch-wait-us").value_or(options.batch_wait_us));
+  options.queue_limit = static_cast<uint32_t>(
+      args.GetSize("queue-limit").value_or(options.queue_limit));
+  options.max_connections = static_cast<uint32_t>(
+      args.GetSize("max-connections").value_or(options.max_connections));
+
+  QueryServer server(&index.value(), options);
+  const Status started = server.Start();
+  if (!started.ok()) return FailStatus(started);
+
+  std::printf(
+      "serving %zu points x %zu weights on %s:%u "
+      "(max-batch %u, batch-wait %u us, queue-limit %u)\n",
+      index.value().live_point_count(), index.value().live_weight_count(),
+      options.host.c_str(), server.port(), options.max_batch,
+      options.batch_wait_us, options.queue_limit);
+  std::fflush(stdout);
+
+  if (const auto port_file = args.Get("port-file"); port_file.has_value()) {
+    std::FILE* f = std::fopen(port_file->c_str(), "w");
+    if (f == nullptr) {
+      return FailStatus(Status::IOError("cannot write " + *port_file));
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  std::printf("received %s, draining\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("drained cleanly at index version %llu\n%s",
+              static_cast<unsigned long long>(server.index_version()),
+              server.metrics().Render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gir
+
+int main(int argc, char** argv) { return gir::Run(argc, argv); }
