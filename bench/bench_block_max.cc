@@ -1,0 +1,203 @@
+// Block-max cursor pruning: wall-clock and points-evaluated reduction of
+// the blocked engine with the persistent BlockMaxIndex armed vs disarmed
+// (ISSUE 6). The workload is the cursor's target shape — a correlated
+// "ramp" product set where every dimension grows with the row index, so
+// scan blocks are score-homogeneous and most (block, weight) pairs
+// resolve from the quantized block bounds alone. (Uniform data is the
+// anti-workload: per-dimension block ranges stay near the global range
+// and nearly every block descends; the cursor is designed to win on
+// sorted/clustered corpora, not to pretend uniform data skips.)
+//
+// Every measurement is equality-gated: RTK and RKR answers with the
+// cursor on must be bit-identical to the cursor-off engine before any
+// number is emitted, and the process exits non-zero if the gate fails or
+// if the cursor fails to skip on this layout — CI runs the smoke scale as
+// a regression assert, not just a chart.
+//
+// Also emits the footprint comparison for the compressed index layouts:
+// the 16-bit fixed-point block-max entries vs the raw-double equivalent,
+// as bytes and bytes-per-point.
+//
+// Scales: smoke n=20K |W|=2K Q=8; quick n=100K |W|=10K Q=16 (the ISSUE
+// acceptance config); full n=500K |W|=20K Q=32. d=8, k=10.
+//
+// Flags: --threads N (provenance stamp; the timed entry points are
+// serial).
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/block_max.h"
+
+namespace gir {
+namespace {
+
+struct Config {
+  size_t n;
+  size_t m;
+  size_t d;
+  size_t q;
+};
+
+/// Correlated ramp points: row j's coordinates cluster around
+/// 9000 * j / n. Blocks get narrow per-dimension ranges — the layout a
+/// time-ordered or pre-sorted corpus gives the scan.
+Dataset RampPoints(size_t n, size_t d, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> noise(0.0, 250.0);
+  std::vector<double> flat(n * d);
+  for (size_t j = 0; j < n; ++j) {
+    const double base =
+        9000.0 * static_cast<double>(j) / static_cast<double>(n);
+    for (size_t i = 0; i < d; ++i) flat[j * d + i] = base + noise(rng);
+  }
+  return Dataset::FromFlat(d, std::move(flat)).value();
+}
+
+GirIndex BuildEngine(const Dataset& points, const Dataset& weights,
+                     bool use_block_max) {
+  GirOptions options;
+  options.scan_mode = ScanMode::kBlocked;
+  options.use_block_max = use_block_max;
+  auto built = GirIndex::Build(points, weights, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "FATAL: build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+void Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader(
+      "block-max",
+      "Blocked-engine pruning with the persistent block-max index:\n"
+      "points evaluated, wall-clock, and compressed-layout footprint,\n"
+      "equality-gated against the cursor-off engine",
+      scale);
+  // Smoke keeps 10 full blocks (BlockPointsFor(8) = 4096) so the skip
+  // structure has real granularity even in CI's fast lane.
+  Config config{100000, 10000, 8, 16};
+  if (scale == BenchScale::kSmoke) config = {40960, 4000, 8, 8};
+  if (scale == BenchScale::kFull) config = {500000, 20000, 8, 32};
+  const size_t k = 10;
+
+  const Dataset points = RampPoints(config.n, config.d, 6100);
+  const Dataset weights =
+      GenerateWeightsUniform(config.m, config.d, 6200);
+  const std::vector<size_t> query_rows =
+      PickQueryIndices(config.n, config.q, 6300);
+
+  const GirIndex on = BuildEngine(points, weights, /*use_block_max=*/true);
+  const GirIndex off = BuildEngine(points, weights, /*use_block_max=*/false);
+
+  // Equality gate before any timing: the cursor is a pruning proof, so a
+  // single differing answer disqualifies every number below.
+  for (size_t qi : query_rows) {
+    ConstRow q = points.row(qi);
+    if (on.ReverseTopK(q, k) != off.ReverseTopK(q, k) ||
+        on.ReverseKRanks(q, k) != off.ReverseKRanks(q, k)) {
+      std::fprintf(stderr,
+                   "FATAL: cursor-on answers differ from cursor-off at "
+                   "query row %zu\n",
+                   qi);
+      std::exit(1);
+    }
+  }
+
+  QueryStats stats_on, stats_off;
+  // Warm-up pass, then timed RKR sweeps (the rank accumulation path the
+  // cursor prunes; RTK spends its time in the same scan).
+  bench::AvgRkrMs(on, points, query_rows, k);
+  bench::AvgRkrMs(off, points, query_rows, k);
+  const double on_ms = bench::AvgRkrMs(on, points, query_rows, k, &stats_on);
+  const double off_ms =
+      bench::AvgRkrMs(off, points, query_rows, k, &stats_off);
+
+  if (stats_on.points_skipped == 0 || stats_on.blocks_skipped == 0) {
+    std::fprintf(stderr,
+                 "FATAL: block-max cursor skipped nothing on the ramp "
+                 "workload — the skip structure is dead\n");
+    std::exit(1);
+  }
+  // "Points evaluated" is points_streamed: every point of a block the
+  // per-point engine ran its bound accumulators over (the off engine
+  // streams the whole block's cell bytes even for points the dominator
+  // grid pre-counted). A skipped pair streams nothing, so the on/off
+  // streamed ratio is exactly the work the cursor removed.
+  const double reduction =
+      static_cast<double>(stats_off.points_streamed) /
+      static_cast<double>(stats_on.points_streamed > 0
+                              ? stats_on.points_streamed
+                              : 1);
+  const double skip_rate =
+      static_cast<double>(stats_on.points_skipped) /
+      static_cast<double>(stats_on.points_skipped + stats_on.points_visited);
+
+  // Compressed-layout footprint: the quantized u16 entries vs the raw
+  // double min/max pairs they replace (per (block, dimension)).
+  const BlockMaxIndex& bmx = *on.block_max();
+  const size_t bmx_u16_bytes = bmx.MemoryBytes();
+  const size_t bmx_f64_bytes =
+      2 * bmx.dim() * bmx.num_blocks() * sizeof(double) +
+      2 * bmx.dim() * sizeof(double);
+
+  bench::JsonRecord record =
+      bench::JsonRecord("block_max", scale)
+          .Add("d", config.d)
+          .Add("n", config.n)
+          .Add("num_weights", config.m)
+          .Add("num_queries", config.q)
+          .Add("k", k)
+          .Add("num_blocks", bmx.num_blocks())
+          .Add("rkr_ms_cursor_on", on_ms)
+          .Add("rkr_ms_cursor_off", off_ms)
+          .Add("rkr_speedup", on_ms > 0.0 ? off_ms / on_ms : 0.0)
+          .Add("points_streamed_on", stats_on.points_streamed)
+          .Add("points_streamed_off", stats_off.points_streamed)
+          .Add("points_visited_on", stats_on.points_visited)
+          .Add("points_visited_off", stats_off.points_visited)
+          .Add("points_skipped", stats_on.points_skipped)
+          .Add("blocks_skipped", stats_on.blocks_skipped)
+          .Add("blocks_descended", stats_on.blocks_descended)
+          .Add("points_eval_reduction", reduction)
+          .Add("skip_rate", skip_rate)
+          .Add("bmx_bytes_u16", bmx_u16_bytes)
+          .Add("bmx_bytes_f64_equiv", bmx_f64_bytes)
+          .Add("bmx_bytes_per_point_u16",
+               static_cast<double>(bmx_u16_bytes) /
+                   static_cast<double>(config.n))
+          .Add("bmx_bytes_per_point_f64_equiv",
+               static_cast<double>(bmx_f64_bytes) /
+                   static_cast<double>(config.n));
+  bench::AddFootprint(record, on.MemoryBytes(), config.n);
+  bench::JsonLog json("block_max");
+  json.Emit(record);
+
+  if (reduction < 3.0) {
+    std::fprintf(stderr,
+                 "FATAL: points-evaluated reduction %.2fx is below the 3x "
+                 "acceptance floor on the ramp workload\n",
+                 reduction);
+    std::exit(1);
+  }
+  std::printf(
+      "\ncursor: %.2fx fewer points evaluated, %.2fx wall-clock, "
+      "skip rate %.1f%%; block-max metadata %zu bytes (u16) vs %zu (f64)\n",
+      reduction, on_ms > 0.0 ? off_ms / on_ms : 0.0, 100.0 * skip_rate,
+      bmx_u16_bytes, bmx_f64_bytes);
+}
+
+}  // namespace
+}  // namespace gir
+
+int main(int argc, char** argv) {
+  gir::bench::ParseThreadsFlag(&argc, argv);
+  gir::Run();
+  return 0;
+}

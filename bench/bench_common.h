@@ -209,6 +209,19 @@ class JsonRecord {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Stamps the standard footprint keys: the resident index size and its
+/// per-point amortization, so BENCH_*.json lines from compressed and
+/// uncompressed layouts compare directly.
+inline JsonRecord& AddFootprint(JsonRecord& record, size_t index_bytes_total,
+                                size_t num_points) {
+  record.Add("index_bytes_total", index_bytes_total);
+  record.Add("bytes_per_point",
+             num_points > 0 ? static_cast<double>(index_bytes_total) /
+                                  static_cast<double>(num_points)
+                            : 0.0);
+  return record;
+}
+
 /// Collects JsonRecords into BENCH_<name>.json (one JSON object per line,
 /// truncating any previous run's file) and mirrors each line to stdout, so
 /// figure benches leave a machine-readable perf trajectory next to their

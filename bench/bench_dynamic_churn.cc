@@ -155,9 +155,10 @@ Measurement Measure(const DynamicGirIndex& dyn, const Dataset& queries,
 }
 
 void EmitRecord(bench::JsonLog& json, BenchScale scale, const Config& config,
-                const char* engine, const char* phase, double fill,
-                size_t ops, size_t k, const Measurement& m,
-                const Measurement& clean, double compact_ms) {
+                const DynamicGirIndex& dyn, const char* engine,
+                const char* phase, double fill, size_t ops, size_t k,
+                const Measurement& m, const Measurement& clean,
+                double compact_ms) {
   bench::JsonRecord record =
       bench::JsonRecord("dynamic_churn", scale)
           .Add("engine", engine)
@@ -186,6 +187,13 @@ void EmitRecord(bench::JsonLog& json, BenchScale scale, const Config& config,
   } else {
     record.AddNull("compact_ms");
   }
+  // Footprint at this measurement point: the succinct structures (packed
+  // tombstone bitmaps, delta-coded score arrays) show up here as fewer
+  // bytes per live point.
+  const DynamicGirIndex::MemoryBreakdown mb = dyn.MemoryBytes();
+  bench::AddFootprint(record, mb.total(), dyn.live_point_count());
+  record.Add("bitmap_bytes", mb.bitmap_bytes);
+  record.Add("delta_bytes", mb.delta_bytes);
   json.Emit(record);
 }
 
@@ -211,7 +219,7 @@ void RunEngine(const char* engine, ScanMode mode, const Config& config,
   DynamicGirIndex dyn = std::move(built).value();
 
   const Measurement clean = Measure(dyn, queries, k);
-  EmitRecord(json, scale, config, engine, "clean", 0.0, 0, k, clean, clean,
+  EmitRecord(json, scale, config, dyn, engine, "clean", 0.0, 0, k, clean, clean,
              -1.0);
 
   Rng rng(900 + config.d);
@@ -220,7 +228,7 @@ void RunEngine(const char* engine, ScanMode mode, const Config& config,
     total_ops += ChurnToFill(dyn, fill, rng);
     RequireMatchesRebuild(dyn, queries, k, engine);
     const Measurement dirty = Measure(dyn, queries, k);
-    EmitRecord(json, scale, config, engine, "churn", fill, total_ops, k,
+    EmitRecord(json, scale, config, dyn, engine, "churn", fill, total_ops, k,
                dirty, clean, -1.0);
   }
 
@@ -234,7 +242,7 @@ void RunEngine(const char* engine, ScanMode mode, const Config& config,
   });
   RequireMatchesRebuild(dyn, queries, k, "post-compact");
   const Measurement compacted = Measure(dyn, queries, k);
-  EmitRecord(json, scale, config, engine, "post_compact", 0.0, total_ops, k,
+  EmitRecord(json, scale, config, dyn, engine, "post_compact", 0.0, total_ops, k,
              compacted, clean, compact_ms);
 }
 

@@ -127,6 +127,7 @@ void RunConfig(const Config& config, size_t k, size_t threads,
           .Add("tau_rkr_ms", tau_rkr_ms)
           .Add("rtk_speedup_vs_blocked", rtk_speedup)
           .Add("rkr_speedup_vs_blocked", rkr_speedup);
+  bench::AddFootprint(record, index.MemoryBytes(), config.n);
   if (saving > 0.0) {
     record.Add("rtk_break_even_queries", tau_build_ms / saving);
   } else {

@@ -12,6 +12,10 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   points_filtered += other.points_filtered;
   points_refined += other.points_refined;
   points_dominated += other.points_dominated;
+  points_skipped += other.points_skipped;
+  points_streamed += other.points_streamed;
+  blocks_skipped += other.blocks_skipped;
+  blocks_descended += other.blocks_descended;
   nodes_visited += other.nodes_visited;
   nodes_pruned += other.nodes_pruned;
   weights_evaluated += other.weights_evaluated;
@@ -40,6 +44,10 @@ std::string QueryStats::ToString() const {
   emit("points_filtered", points_filtered);
   emit("points_refined", points_refined);
   emit("points_dominated", points_dominated);
+  emit("points_skipped", points_skipped);
+  emit("points_streamed", points_streamed);
+  emit("blocks_skipped", blocks_skipped);
+  emit("blocks_descended", blocks_descended);
   emit("nodes_visited", nodes_visited);
   emit("nodes_pruned", nodes_pruned);
   emit("weights_evaluated", weights_evaluated);

@@ -29,6 +29,22 @@ struct QueryStats {
   uint64_t points_refined = 0;
   /// Points skipped because they were in the Domin buffer.
   uint64_t points_dominated = 0;
+  /// Points settled without any per-point work — their whole block was
+  /// resolved by a block-max bound (grid/block_max.h). Disjoint from
+  /// points_visited: a point is either evaluated (visited) or skipped.
+  uint64_t points_skipped = 0;
+  /// Points streamed through the blocked engine's bound accumulators:
+  /// every point of a block the per-point engine ran on, dominated or
+  /// not (the SIMD accumulation touches the whole block's cell bytes).
+  /// This is the work a block-max skip avoids — a skipped (block,
+  /// weight) pair streams nothing — so streamed(off) / streamed(on) is
+  /// the cursor's points-evaluated reduction.
+  uint64_t points_streamed = 0;
+  /// (block, weight-slot) pairs the block-max cursor resolved outright.
+  uint64_t blocks_skipped = 0;
+  /// (block, weight-slot) pairs that descended to the per-point engine
+  /// with an active block-max index attached.
+  uint64_t blocks_descended = 0;
   /// R-tree nodes whose MBR was examined.
   uint64_t nodes_visited = 0;
   /// R-tree nodes pruned (subtree counted or discarded wholesale).

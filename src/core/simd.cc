@@ -27,6 +27,13 @@ void ScaledBytesPortable(const uint8_t* cells, double scale, double* acc,
   }
 }
 
+void ScaledU16Portable(const uint16_t* codes, double scale, double* acc,
+                       size_t count) {
+  for (size_t j = 0; j < count; ++j) {
+    acc[j] += scale * static_cast<double>(codes[j]);
+  }
+}
+
 void LookupBoundsPortable(const uint8_t* cells, const double* tlo,
                           const double* thi, double* lo, double* hi,
                           size_t count) {
@@ -247,6 +254,27 @@ __attribute__((target("avx2,fma"))) void ScaledBytesAvx2(const uint8_t* cells,
     _mm256_storeu_pd(acc + j, a);
   }
   for (; j < count; ++j) acc[j] += scale * static_cast<double>(cells[j]);
+}
+
+__attribute__((target("avx2,fma"))) void ScaledU16Avx2(const uint16_t* codes,
+                                                       double scale,
+                                                       double* acc,
+                                                       size_t count) {
+  const __m256d vs = _mm256_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m128i words =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
+    const __m256d v0 = _mm256_cvtepi32_pd(_mm256_castsi256_si128(
+        _mm256_cvtepu16_epi32(words)));
+    const __m256d v1 = _mm256_cvtepi32_pd(_mm256_extracti128_si256(
+        _mm256_cvtepu16_epi32(words), 1));
+    _mm256_storeu_pd(acc + j,
+                     _mm256_fmadd_pd(vs, v0, _mm256_loadu_pd(acc + j)));
+    _mm256_storeu_pd(acc + j + 4,
+                     _mm256_fmadd_pd(vs, v1, _mm256_loadu_pd(acc + j + 4)));
+  }
+  for (; j < count; ++j) acc[j] += scale * static_cast<double>(codes[j]);
 }
 
 __attribute__((target("avx2,fma"))) void LookupBoundsAvx2(
@@ -536,6 +564,22 @@ __attribute__((target("avx512f"))) void ScaledBytesAvx512(
   for (; j < count; ++j) acc[j] += scale * static_cast<double>(cells[j]);
 }
 
+__attribute__((target("avx512f"))) void ScaledU16Avx512(const uint16_t* codes,
+                                                        double scale,
+                                                        double* acc,
+                                                        size_t count) {
+  const __m512d vs = _mm512_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m128i words =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
+    const __m512d v = _mm512_cvtepi32_pd(_mm256_cvtepu16_epi32(words));
+    _mm512_storeu_pd(acc + j,
+                     _mm512_fmadd_pd(vs, v, _mm512_loadu_pd(acc + j)));
+  }
+  for (; j < count; ++j) acc[j] += scale * static_cast<double>(codes[j]);
+}
+
 __attribute__((target("avx512f"))) void LookupBoundsAvx512(
     const uint8_t* cells, const double* tlo, const double* thi, double* lo,
     double* hi, size_t count) {
@@ -782,6 +826,7 @@ bool DetectAvx512() { return false; }
 #endif  // GIR_SIMD_X86
 
 using ScaledFn = void (*)(const uint8_t*, double, double*, size_t);
+using ScaledU16Fn = void (*)(const uint16_t*, double, double*, size_t);
 using LookupFn = void (*)(const uint8_t*, const double*, const double*,
                           double*, double*, size_t);
 using ClassifyFn = ClassifyCounts (*)(const double*, const double*, double,
@@ -801,6 +846,7 @@ struct Dispatch {
   bool avx2;
   bool avx512;
   ScaledFn scaled;
+  ScaledU16Fn scaled_u16;
   LookupFn lookup;
   ClassifyFn classify;
   ScaledDoublesFn scaled_doubles;
@@ -815,6 +861,7 @@ Dispatch MakeDispatch() {
   if (DetectAvx512()) {
     return Dispatch{"avx512",        true,
                     true,            &ScaledBytesAvx512,
+                    &ScaledU16Avx512,
                     &LookupBoundsAvx512, &ClassifyAvx512,
                     &ScaledDoublesAvx512, &SelectLessEqualAvx512,
                     &ScoreTileAvx512, &MinMaxDoublesAvx512,
@@ -823,6 +870,7 @@ Dispatch MakeDispatch() {
   if (DetectAvx2()) {
     return Dispatch{"avx2",          true,
                     false,           &ScaledBytesAvx2,
+                    &ScaledU16Avx2,
                     &LookupBoundsAvx2, &ClassifyAvx2,
                     &ScaledDoublesAvx2, &SelectLessEqualAvx2,
                     &ScoreTileAvx2, &MinMaxDoublesAvx2,
@@ -831,6 +879,7 @@ Dispatch MakeDispatch() {
 #endif
   return Dispatch{"portable",        false,
                   false,             &ScaledBytesPortable,
+                  &ScaledU16Portable,
                   &LookupBoundsPortable, &ClassifyPortable,
                   &ScaledDoublesPortable, &SelectLessEqualPortable,
                   &ScoreTilePortable, &MinMaxDoublesPortable,
@@ -853,6 +902,11 @@ const char* IsaName() { return GetDispatch().isa; }
 void AccumulateScaledBytes(const uint8_t* cells, double scale, double* acc,
                            size_t count) {
   GetDispatch().scaled(cells, scale, acc, count);
+}
+
+void AccumulateScaledU16(const uint16_t* codes, double scale, double* acc,
+                         size_t count) {
+  GetDispatch().scaled_u16(codes, scale, acc, count);
 }
 
 void AccumulateLookupBounds(const uint8_t* cells, const double* tlo,

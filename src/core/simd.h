@@ -39,6 +39,17 @@ const char* IsaName();
 void AccumulateScaledBytes(const uint8_t* cells, double scale, double* acc,
                            size_t count);
 
+/// acc[j] += scale * codes[j] for j in [0, count) over 16-bit codes. The
+/// block-max bound kernel (grid/block_max.h): a quantized per-block
+/// extreme dequantizes as lo + code * step, so accumulating
+/// scale = w[i] * step_i over the code column (after seeding the
+/// accumulators with sum_i w[i] * lo_i) yields every block's score bound
+/// for one weight in a single pass per dimension. Bounds only — the
+/// blocked scan classifies them through a BoundMargin slack, so FMA
+/// contraction here cannot change a query result.
+void AccumulateScaledU16(const uint16_t* codes, double scale, double* acc,
+                         size_t count);
+
 /// lo[j] += tlo[cells[j]]; hi[j] += thi[cells[j]] for j in [0, count).
 /// The table-lookup bound kernel (2-D grid modes and adaptive grids):
 /// tlo/thi are this dimension's per-cell lower/upper contribution rows.

@@ -1,0 +1,203 @@
+#include "grid/block_max.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/simd.h"
+
+namespace gir {
+
+namespace {
+
+constexpr double kMaxCode = 65535.0;
+
+/// True block extremes of dimension `i` over rows [b0, b0 + bp).
+void BlockExtremes(const Dataset& points, size_t i, size_t b0, size_t bp,
+                   double* vmin, double* vmax) {
+  double mn = points.row(b0)[i];
+  double mx = mn;
+  for (size_t j = 1; j < bp; ++j) {
+    const double v = points.row(b0 + j)[i];
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+  }
+  *vmin = mn;
+  *vmax = mx;
+}
+
+}  // namespace
+
+void BlockMaxIndex::ComputeSteps() {
+  step_.resize(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    step_[i] = (dim_hi_[i] - dim_lo_[i]) / kMaxCode;
+  }
+}
+
+Result<BlockMaxIndex> BlockMaxIndex::Build(const Dataset& points,
+                                           size_t block_points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("block-max index needs a non-empty set");
+  }
+  if (block_points == 0) {
+    return Status::InvalidArgument("block_points must be positive");
+  }
+  BlockMaxIndex index;
+  index.dim_ = points.dim();
+  index.num_points_ = points.size();
+  index.block_points_ = block_points;
+  index.num_blocks_ = (points.size() + block_points - 1) / block_points;
+  const size_t d = index.dim_;
+  const size_t nb = index.num_blocks_;
+
+  index.dim_lo_.assign(d, std::numeric_limits<double>::infinity());
+  index.dim_hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t j = 0; j < points.size(); ++j) {
+    ConstRow p = points.row(j);
+    for (size_t i = 0; i < d; ++i) {
+      if (p[i] < index.dim_lo_[i]) index.dim_lo_[i] = p[i];
+      if (p[i] > index.dim_hi_[i]) index.dim_hi_[i] = p[i];
+    }
+  }
+  // Code 65535 must dequantize at or above the true maximum, but
+  // lo + 65535 * ((hi - lo) / 65535) can round just below hi; widen the
+  // upper edge until the top code covers it so the per-block rounding
+  // loops below always terminate.
+  for (size_t i = 0; i < d; ++i) {
+    const double vmax = index.dim_hi_[i];
+    while (index.dim_lo_[i] +
+               kMaxCode * ((index.dim_hi_[i] - index.dim_lo_[i]) / kMaxCode) <
+           vmax) {
+      index.dim_hi_[i] = std::nextafter(
+          index.dim_hi_[i], std::numeric_limits<double>::infinity());
+    }
+  }
+  index.ComputeSteps();
+
+  index.qmin_.assign(d * nb, 0);
+  index.qmax_.assign(d * nb, 0);
+  for (size_t b = 0; b < nb; ++b) {
+    const size_t b0 = b * block_points;
+    const size_t bp = std::min(block_points, points.size() - b0);
+    for (size_t i = 0; i < d; ++i) {
+      double vmin = 0.0, vmax = 0.0;
+      BlockExtremes(points, i, b0, bp, &vmin, &vmax);
+      const double lo = index.dim_lo_[i];
+      const double step = index.step_[i];
+      uint16_t cmin = 0, cmax = 0;
+      if (step > 0.0) {
+        double t = std::floor((vmin - lo) / step);
+        if (t < 0.0) t = 0.0;
+        if (t > kMaxCode) t = kMaxCode;
+        cmin = static_cast<uint16_t>(t);
+        t = std::ceil((vmax - lo) / step);
+        if (t < 0.0) t = 0.0;
+        if (t > kMaxCode) t = kMaxCode;
+        cmax = static_cast<uint16_t>(t);
+      }
+      // Two-sided verification: nudge each code outward until its
+      // dequantized value provably brackets the raw extreme. cmin
+      // terminates at 0 (code 0 is the global minimum) and cmax at 65535
+      // (the widened upper edge covers the global maximum).
+      while (cmin > 0 && index.Dequantize(i, cmin) > vmin) --cmin;
+      while (cmax < 65535 && index.Dequantize(i, cmax) < vmax) ++cmax;
+      index.qmin_[i * nb + b] = cmin;
+      index.qmax_[i * nb + b] = cmax;
+    }
+  }
+  return index;
+}
+
+Result<BlockMaxIndex> BlockMaxIndex::FromParts(size_t dim, size_t num_points,
+                                               size_t block_points,
+                                               std::vector<double> dim_lo,
+                                               std::vector<double> dim_hi,
+                                               std::vector<uint16_t> qmin,
+                                               std::vector<uint16_t> qmax) {
+  if (dim == 0 || num_points == 0 || block_points == 0) {
+    return Status::InvalidArgument("block-max shape must be non-empty");
+  }
+  const size_t nb = (num_points + block_points - 1) / block_points;
+  if (dim_lo.size() != dim || dim_hi.size() != dim) {
+    return Status::InvalidArgument("block-max edge arrays mismatch the dim");
+  }
+  if (qmin.size() != dim * nb || qmax.size() != dim * nb) {
+    return Status::InvalidArgument(
+        "block-max code arrays mismatch the block count");
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    if (!std::isfinite(dim_lo[i]) || !std::isfinite(dim_hi[i]) ||
+        dim_lo[i] > dim_hi[i]) {
+      return Status::InvalidArgument("block-max edges must be finite and "
+                                     "ordered");
+    }
+  }
+  for (size_t e = 0; e < qmin.size(); ++e) {
+    if (qmin[e] > qmax[e]) {
+      return Status::InvalidArgument("block-max codes are non-monotone");
+    }
+  }
+  BlockMaxIndex index;
+  index.dim_ = dim;
+  index.num_points_ = num_points;
+  index.block_points_ = block_points;
+  index.num_blocks_ = nb;
+  index.dim_lo_ = std::move(dim_lo);
+  index.dim_hi_ = std::move(dim_hi);
+  index.qmin_ = std::move(qmin);
+  index.qmax_ = std::move(qmax);
+  index.ComputeSteps();
+  return index;
+}
+
+bool BlockMaxIndex::SoundFor(const Dataset& points) const {
+  if (points.size() != num_points_ || points.dim() != dim_) return false;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    const size_t b0 = b * block_points_;
+    const size_t bp = std::min(block_points_, num_points_ - b0);
+    for (size_t i = 0; i < dim_; ++i) {
+      double vmin = 0.0, vmax = 0.0;
+      BlockExtremes(points, i, b0, bp, &vmin, &vmax);
+      if (Dequantize(i, qmin_[i * num_blocks_ + b]) > vmin ||
+          Dequantize(i, qmax_[i * num_blocks_ + b]) < vmax) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void BlockMaxIndex::ScoreBounds(ConstRow w, double* lo, double* hi,
+                                double* cap) const {
+  const size_t nb = num_blocks_;
+  // Seed with the code-0 constant sum_i w[i] * dim_lo[i]; the u16 kernel
+  // then adds each dimension's code * (w[i] * step_i) column.
+  double base = 0.0;
+  double cap_acc = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    base += w[i] * dim_lo_[i];
+    cap_acc += std::fabs(w[i]) *
+               std::max(std::fabs(dim_lo_[i]), std::fabs(dim_hi_[i]));
+  }
+  for (size_t b = 0; b < nb; ++b) {
+    lo[b] = base;
+    hi[b] = base;
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    const double scale = w[i] * step_[i];
+    if (scale == 0.0) continue;
+    simd::AccumulateScaledU16(qmin_.data() + i * nb, scale, lo, nb);
+    simd::AccumulateScaledU16(qmax_.data() + i * nb, scale, hi, nb);
+  }
+  *cap = cap_acc;
+}
+
+size_t BlockMaxIndex::MemoryBytes() const {
+  return qmin_.size() * sizeof(uint16_t) + qmax_.size() * sizeof(uint16_t) +
+         (dim_lo_.size() + dim_hi_.size() + step_.size()) * sizeof(double);
+}
+
+}  // namespace gir

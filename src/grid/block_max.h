@@ -1,0 +1,117 @@
+#ifndef GIR_GRID_BLOCK_MAX_H_
+#define GIR_GRID_BLOCK_MAX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace gir {
+
+/// BlockMaxIndex — persistent per-(scan-block, dimension) value extremes,
+/// the WAND-style skip structure of the blocked scan engine (DESIGN.md
+/// §14). Where RankPreparedMulti used to re-derive per-block aggregates
+/// from the cell bounds on every batch, this index materializes the true
+/// per-block coordinate ranges once at build time, quantized to 16-bit
+/// fixed point over each dimension's global value range — 4 bytes per
+/// (block, dimension) instead of 16, small enough that the skip metadata
+/// for a 100M-point index stays L2-resident while scanning.
+///
+/// Quantization is exactness-preserving by construction (two-sided
+/// rounding): each stored code pair satisfies
+///
+///   Dequantize(d, qmin) <= min_{j in block} p_j[d]   and
+///   Dequantize(d, qmax) >= max_{j in block} p_j[d],
+///
+/// verified (and nudged outward where float rounding requires it) against
+/// the raw doubles at build time. Weights are non-negative, so per weight
+/// w the per-block score bounds
+///
+///   lo_b = sum_i w[i] * Dequantize(i, qmin[i][b])
+///   hi_b = sum_i w[i] * Dequantize(i, qmax[i][b])
+///
+/// bracket every f_w(p) in the block up to accumulation rounding, which
+/// the scanner absorbs with the same BoundMargin slack it applies to the
+/// grid bounds. A block whose hi_b clears the margin below f_w(q)
+/// contributes every non-dominated point to rank(w, q); one whose lo_b
+/// clears it above contributes none; only the marginal blocks descend to
+/// the per-point engine — so every verdict stays bit-identical to the
+/// linear sweep (the skip decision is a proof, never an estimate).
+///
+/// Codes are stored dimension-major (all blocks of dimension 0, then
+/// dimension 1, ...) so the per-dimension bound accumulation streams one
+/// contiguous u16 run through simd::AccumulateScaledU16.
+class BlockMaxIndex {
+ public:
+  /// One O(n·d) pass over `points` with scan blocks of `block_points`
+  /// rows. InvalidArgument on an empty dataset or block_points == 0.
+  static Result<BlockMaxIndex> Build(const Dataset& points,
+                                     size_t block_points);
+
+  /// Reassembles from persisted components (grid/index_io.cc). Validates
+  /// shapes, finiteness, dim_lo <= dim_hi and qmin <= qmax per entry; the
+  /// loader additionally re-verifies bound soundness against the dataset
+  /// (the float fallback check) before attaching.
+  static Result<BlockMaxIndex> FromParts(size_t dim, size_t num_points,
+                                         size_t block_points,
+                                         std::vector<double> dim_lo,
+                                         std::vector<double> dim_hi,
+                                         std::vector<uint16_t> qmin,
+                                         std::vector<uint16_t> qmax);
+
+  /// True if every stored bound actually brackets the corresponding block
+  /// extreme of `points` — the soundness re-check the loader runs on
+  /// hostile files (an unsound bound could silently change query results;
+  /// a merely loose one cannot).
+  bool SoundFor(const Dataset& points) const;
+
+  /// Dequantized value bound for dimension i, code c.
+  double Dequantize(size_t i, uint16_t c) const {
+    return dim_lo_[i] + static_cast<double>(c) * step_[i];
+  }
+
+  /// Per-block score bounds for one (non-negative) weight row:
+  /// lo[b] / hi[b] for b in [0, num_blocks()), both caller-sized. Also
+  /// writes *cap = sum_i |w[i]| * max(|dim_lo[i]|, |dim_hi[i]|), the
+  /// bound-magnitude cap the scanner feeds to BoundMargin (it dominates
+  /// |lo_b|, |hi_b| and every |f_w(p)| in the dataset).
+  void ScoreBounds(ConstRow w, double* lo, double* hi, double* cap) const;
+
+  size_t dim() const { return dim_; }
+  size_t num_points() const { return num_points_; }
+  size_t block_points() const { return block_points_; }
+  size_t num_blocks() const { return num_blocks_; }
+
+  /// Raw component views for serialization (grid/index_io.cc).
+  const std::vector<double>& dim_lo() const { return dim_lo_; }
+  const std::vector<double>& dim_hi() const { return dim_hi_; }
+  const std::vector<uint16_t>& qmin() const { return qmin_; }
+  const std::vector<uint16_t>& qmax() const { return qmax_; }
+
+  /// Resident bytes of the quantized entries + the per-dimension edges.
+  size_t MemoryBytes() const;
+
+ private:
+  BlockMaxIndex() = default;
+
+  /// Recomputes step_ from the edges; called after dim_lo_/dim_hi_ settle.
+  void ComputeSteps();
+
+  size_t dim_ = 0;
+  size_t num_points_ = 0;
+  size_t block_points_ = 0;
+  size_t num_blocks_ = 0;
+  std::vector<double> dim_lo_;   // per-dim global minimum (code 0)
+  std::vector<double> dim_hi_;   // per-dim quantization upper edge
+  std::vector<double> step_;     // (dim_hi - dim_lo) / 65535, derived
+  /// Quantized block extremes, dimension-major: entry i * num_blocks_ + b.
+  std::vector<uint16_t> qmin_;
+  std::vector<uint16_t> qmax_;
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_BLOCK_MAX_H_

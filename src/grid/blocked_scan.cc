@@ -18,6 +18,10 @@ struct LocalCounters {
   uint64_t filtered = 0;
   uint64_t refined = 0;
   uint64_t dominated = 0;
+  uint64_t skipped = 0;
+  uint64_t streamed = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t blocks_descended = 0;
   uint64_t bound_evals = 0;
   uint64_t inner_products = 0;
 
@@ -27,6 +31,10 @@ struct LocalCounters {
     stats->points_filtered += filtered;
     stats->points_refined += refined;
     stats->points_dominated += dominated;
+    stats->points_skipped += skipped;
+    stats->points_streamed += streamed;
+    stats->blocks_skipped += blocks_skipped;
+    stats->blocks_descended += blocks_descended;
     stats->bound_evaluations += bound_evals;
     stats->inner_products += inner_products;
     stats->multiplications += inner_products * d;
@@ -47,12 +55,21 @@ constexpr uint32_t kAggMinAlive = 8;
 
 }  // namespace
 
+size_t BlockedScanner::BlockPointsFor(size_t dim, BlockedScanConfig config) {
+  const size_t d = std::max<size_t>(1, dim);
+  size_t bp = config.target_block_bytes / d;
+  bp = std::clamp<size_t>(bp, 256, 8192);
+  return std::max(ApproxVectors::kColumnPad,
+                  RoundDownTo(bp, ApproxVectors::kColumnPad));
+}
+
 BlockedScanner::BlockedScanner(const Dataset& points,
                                const ApproxVectors& point_cells,
                                const Dataset& weights,
                                const ApproxVectors& weight_cells,
                                const GridIndex& grid, BoundMode bound_mode,
-                               BlockedScanConfig config)
+                               BlockedScanConfig config,
+                               const BlockMaxIndex* block_max)
     : points_(&points),
       point_cells_(&point_cells),
       weights_(&weights),
@@ -63,12 +80,16 @@ BlockedScanner::BlockedScanner(const Dataset& points,
   const Partitioner& part = grid.point_partitioner();
   uniform_fma_ = mode_ == BoundMode::kExactWeight && part.is_uniform();
   cell_width_ = part.Boundary(1) - part.Boundary(0);
-  const size_t d = std::max<size_t>(1, points.dim());
-  size_t bp = config_.target_block_bytes / d;
-  bp = std::clamp<size_t>(bp, 256, 8192);
-  block_points_ = std::max(ApproxVectors::kColumnPad,
-                           RoundDownTo(bp, ApproxVectors::kColumnPad));
+  block_points_ = BlockPointsFor(points.dim(), config_);
   if (config_.weight_batch == 0) config_.weight_batch = 1;
+  // Arm the block-max cursor only if the index describes exactly this
+  // scanner's block geometry; anything else would pair bounds with the
+  // wrong rows, so it is dropped rather than trusted.
+  if (block_max != nullptr && block_max->num_points() == points.size() &&
+      block_max->dim() == points.dim() &&
+      block_max->block_points() == block_points_) {
+    bmx_ = block_max;
+  }
 }
 
 BlockedScanner::QueryContext BlockedScanner::MakeQueryContext(
@@ -107,6 +128,21 @@ void BlockedScanner::PrepareBatch(size_t w_begin, size_t w_end,
   const size_t batch = w_end - w_begin;
   const size_t d = points_->dim();
   scratch.bound_caps.resize(batch);
+  if (bmx_ != nullptr) {
+    // Per-(weight, block) score bounds for the cursor: one SIMD pass per
+    // (weight, dimension) over the u16 code columns, amortized over every
+    // query that reuses this prepared batch.
+    const size_t nb = bmx_->num_blocks();
+    scratch.bmx_lo.resize(batch * nb);
+    scratch.bmx_hi.resize(batch * nb);
+    scratch.bmx_caps.resize(batch);
+    for (size_t bi = 0; bi < batch; ++bi) {
+      bmx_->ScoreBounds(weights_->row(w_begin + bi),
+                        scratch.bmx_lo.data() + bi * nb,
+                        scratch.bmx_hi.data() + bi * nb,
+                        &scratch.bmx_caps[bi]);
+    }
+  }
   if (uniform_fma_) {
     // Closed-form uniform bounds (DESIGN.md §8): L = cell_width * Σ w[i] *
     // pc[i] and U = L + cell_width * Σ w[i]; only the per-weight gap needs
@@ -185,6 +221,10 @@ void BlockedScanner::RankPrepared(ConstRow q, const QueryContext& qctx,
   scratch.case1_cut.resize(batch);
   scratch.case2_cut.resize(batch);
   scratch.rank_acc.resize(batch);
+  if (bmx_ != nullptr) {
+    scratch.bmx_cut1.resize(batch);
+    scratch.bmx_cut2.resize(batch);
+  }
   scratch.active.clear();
   for (size_t bi = 0; bi < batch; ++bi) {
     const Score qs = InnerProduct(weights_->row(w_begin + bi), q);
@@ -202,6 +242,16 @@ void BlockedScanner::RankPrepared(ConstRow q, const QueryContext& qctx,
     scratch.case1_cut[bi] =
         uniform_fma_ ? qs - margin - scratch.gaps[bi] : qs - margin;
     scratch.case2_cut[bi] = qs + margin;
+    if (bmx_ != nullptr) {
+      // The cursor's own margin, taken at the block-max bound cap (which
+      // dominates the quantized bounds and every |f_w(p)|): a block hi
+      // below qs - bmargin proves computed f_w(p) < qs for every point in
+      // it, a block lo at or above qs + bmargin proves the opposite —
+      // the same soundness argument the per-point cuts rest on.
+      const Score bmargin = BoundMargin(d, qs, scratch.bmx_caps[bi]);
+      scratch.bmx_cut1[bi] = qs - bmargin;
+      scratch.bmx_cut2[bi] = qs + bmargin;
+    }
     scratch.rank_acc[bi] = qctx.dominator_count;
     if (qctx.dominator_count >= thresholds[bi]) {
       ranks[bi] = kRankOverThreshold;
@@ -219,12 +269,44 @@ void BlockedScanner::RankPrepared(ConstRow q, const QueryContext& qctx,
   for (size_t b0 = 0; b0 < n && !scratch.active.empty();
        b0 += block_points_) {
     const size_t bp = std::min(block_points_, n - b0);
+    const size_t blk = b0 / block_points_;
     size_t out = 0;
     for (const uint32_t bi : scratch.active) {
       ConstRow w = weights_->row(w_begin + bi);
       const Score qs = scratch.query_scores[bi];
       const int64_t threshold = thresholds[bi];
 
+      if (bmx_ != nullptr) {
+        // Block-max cursor: settle the whole block from its quantized
+        // score bounds when they prove every non-dominated point counts
+        // (take-all) or none does (skip-zero) — no cell bytes touched, no
+        // per-point work. Marginal blocks descend to the engine below.
+        const size_t nb = bmx_->num_blocks();
+        const double bhi = scratch.bmx_hi[bi * nb + blk];
+        const double blo = scratch.bmx_lo[bi * nb + blk];
+        const bool take_all = bhi < scratch.bmx_cut1[bi];
+        if (take_all || blo >= scratch.bmx_cut2[bi]) {
+          const uint32_t dom_b =
+              qctx.block_dominated.empty() ? 0 : qctx.block_dominated[blk];
+          c.dominated += dom_b;
+          c.skipped += bp - dom_b;
+          ++c.blocks_skipped;
+          if (take_all) {
+            const int64_t rank =
+                scratch.rank_acc[bi] + static_cast<int64_t>(bp - dom_b);
+            if (rank >= threshold) {
+              ranks[bi] = kRankOverThreshold;
+              continue;
+            }
+            scratch.rank_acc[bi] = rank;
+          }
+          scratch.active[out++] = bi;
+          continue;
+        }
+        ++c.blocks_descended;
+      }
+
+      c.streamed += bp;
       double* lo = scratch.lower.data();
       double* hi = scratch.upper.data();
       if (uniform_fma_) {
@@ -313,6 +395,11 @@ void BlockedScanner::RankPreparedMulti(const ConstRow* queries,
   scratch.rank_acc.resize(slots);
   scratch.alive.assign(slots, 0);
   scratch.alive_counts.assign(batch, 0);
+  if (bmx_ != nullptr) {
+    scratch.bmx_cut1.resize(slots);
+    scratch.bmx_cut2.resize(slots);
+    scratch.bmx_done.assign(slots, 0);
+  }
   scratch.active.clear();
   for (size_t bi = 0; bi < batch; ++bi) {
     ConstRow w = weights_->row(w_begin + bi);
@@ -325,6 +412,11 @@ void BlockedScanner::RankPreparedMulti(const ConstRow* queries,
       scratch.case1_cut[s] =
           uniform_fma_ ? qs - margin - scratch.gaps[bi] : qs - margin;
       scratch.case2_cut[s] = qs + margin;
+      if (bmx_ != nullptr) {
+        const Score bmargin = BoundMargin(d, qs, scratch.bmx_caps[bi]);
+        scratch.bmx_cut1[s] = qs - bmargin;
+        scratch.bmx_cut2[s] = qs + bmargin;
+      }
       scratch.rank_acc[s] = qctxs[r].dominator_count;
       if (qctxs[r].dominator_count >= thresholds[s]) {
         ranks[s] = kRankOverThreshold;
@@ -348,9 +440,56 @@ void BlockedScanner::RankPreparedMulti(const ConstRow* queries,
   for (size_t b0 = 0; b0 < n && !scratch.active.empty();
        b0 += block_points_) {
     const size_t bp = std::min(block_points_, n - b0);
+    const size_t blk = b0 / block_points_;
     size_t out = 0;
     for (const uint32_t bi : scratch.active) {
       ConstRow w = weights_->row(w_begin + bi);
+
+      if (bmx_ != nullptr) {
+        // Block-max cursor pass: settle every alive slot the quantized
+        // block bounds can prove (take-all or skip-zero) before paying
+        // for the per-point bound accumulation. If no slot is left
+        // unresolved the accumulation — the scan's dominant cost — is
+        // skipped outright for this (block, weight) pair.
+        const size_t nb = bmx_->num_blocks();
+        const double bhi = scratch.bmx_hi[bi * nb + blk];
+        const double blo = scratch.bmx_lo[bi * nb + blk];
+        bool any_unresolved = false;
+        for (size_t r = 0; r < num_queries; ++r) {
+          const size_t s = r * batch + bi;
+          if (scratch.alive[s] == 0) continue;
+          const bool take_all = bhi < scratch.bmx_cut1[s];
+          if (!take_all && blo < scratch.bmx_cut2[s]) {
+            scratch.bmx_done[s] = 0;
+            any_unresolved = true;
+            ++c.blocks_descended;
+            continue;
+          }
+          scratch.bmx_done[s] = 1;
+          const uint32_t dom_b = qctxs[r].block_dominated.empty()
+                                     ? 0
+                                     : qctxs[r].block_dominated[blk];
+          c.dominated += dom_b;
+          c.skipped += bp - dom_b;
+          ++c.blocks_skipped;
+          if (take_all) {
+            const int64_t rank =
+                scratch.rank_acc[s] + static_cast<int64_t>(bp - dom_b);
+            if (rank >= thresholds[s]) {
+              ranks[s] = kRankOverThreshold;
+              scratch.alive[s] = 0;
+              --scratch.alive_counts[bi];
+            } else {
+              scratch.rank_acc[s] = rank;
+            }
+          }
+        }
+        if (!any_unresolved) {
+          if (scratch.alive_counts[bi] > 0) scratch.active[out++] = bi;
+          continue;
+        }
+      }
+
       // Bounds for this (block, weight) pair: query-independent, so one
       // accumulation serves the whole query block.
       double* lo = scratch.lower.data();
@@ -373,6 +512,7 @@ void BlockedScanner::RankPreparedMulti(const ConstRow* queries,
         }
       }
       c.bound_evals += bp * (uniform_fma_ ? 1 : 2);
+      c.streamed += bp;
       std::memset(scratch.exact_valid.data(), 0, bp);
 
       // Block aggregates, shared by every alive query of this weight. The
@@ -403,11 +543,11 @@ void BlockedScanner::RankPreparedMulti(const ConstRow* queries,
           scratch.agg_hist[b] += scratch.agg_hist[b - 1];
         }
       }
-      const size_t blk = b0 / block_points_;
 
       for (size_t r = 0; r < num_queries; ++r) {
         const size_t s = r * batch + bi;
         if (scratch.alive[s] == 0) continue;
+        if (bmx_ != nullptr && scratch.bmx_done[s] != 0) continue;
         if (use_agg) {
           const uint32_t dom_b = qctxs[r].block_dominated.empty()
                                      ? 0
@@ -572,6 +712,7 @@ void BlockedScanner::BracketRanksMulti(const ConstRow* queries,
         }
       }
       c.bound_evals += bp * (uniform_fma_ ? 1 : 2);
+      c.streamed += bp;
 
       // Histograms of both bound arrays (one serves both when aliased).
       // Binning is monotone — a point in bin b has b <= t < b + 1 for

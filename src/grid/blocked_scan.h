@@ -9,6 +9,7 @@
 #include "core/dataset.h"
 #include "core/types.h"
 #include "grid/approx_vector.h"
+#include "grid/block_max.h"
 #include "grid/gin_topk.h"
 #include "grid/grid_index.h"
 
@@ -56,6 +57,15 @@ struct BlockedScratch {
   std::vector<uint32_t> agg_bins;  // per-point histogram bin scratch
   std::vector<uint32_t> agg_hist;  // hi prefix counts: #points in bins <= b
   std::vector<uint32_t> agg_hist_lo;  // lo prefix counts (BracketRanksMulti)
+  // Block-max cursor state (populated only when the scanner carries a
+  // BlockMaxIndex): per-(weight, block) score bounds from PrepareBatch and
+  // the per-slot thresholds the cursor classifies them against.
+  std::vector<double> bmx_lo;    // [bi * num_blocks + b] block lower bounds
+  std::vector<double> bmx_hi;    // [bi * num_blocks + b] block upper bounds
+  std::vector<double> bmx_caps;  // per-weight block-max bound magnitude cap
+  std::vector<double> bmx_cut1;  // take-all threshold on a block's hi
+  std::vector<double> bmx_cut2;  // skip-zero threshold on a block's lo
+  std::vector<uint8_t> bmx_done;  // slot settled by the cursor (this block)
 };
 
 /// The weight-batched, cache-blocked GIR scan engine. Where GInTopK
@@ -78,10 +88,23 @@ struct BlockedScratch {
 /// The scanner holds pointers only; the index components must outlive it.
 class BlockedScanner {
  public:
+  /// `block_max`, when non-null and shaped for this scanner's block size
+  /// (same point count, dim and block_points() — see BlockPointsFor), arms
+  /// the WAND-style cursor: a block whose quantized score bounds prove
+  /// every point counts (or none does) is settled in O(1) without touching
+  /// its cells. A mismatched index is ignored, never misused. The verdicts
+  /// are proofs, so ranks stay bit-identical to the linear sweep.
   BlockedScanner(const Dataset& points, const ApproxVectors& point_cells,
                  const Dataset& weights, const ApproxVectors& weight_cells,
                  const GridIndex& grid, BoundMode bound_mode,
-                 BlockedScanConfig config = {});
+                 BlockedScanConfig config = {},
+                 const BlockMaxIndex* block_max = nullptr);
+
+  /// The scan block size (in points) a scanner over `dim`-dimensional
+  /// points derives from `config` — the block_points a BlockMaxIndex must
+  /// be built with to attach to that scanner. Exposed so index builders
+  /// can construct the skip structure without instantiating a scanner.
+  static size_t BlockPointsFor(size_t dim, BlockedScanConfig config = {});
 
   /// Per-query precomputed state shared by every weight batch: the full
   /// dominator set of q (Algorithm 1's Domin), found in one O(n·d) pass
@@ -158,6 +181,10 @@ class BlockedScanner {
   size_t weight_batch() const { return config_.weight_batch; }
   size_t block_points() const { return block_points_; }
 
+  /// The block-max index armed at construction, or nullptr if none was
+  /// given (or the given one did not match this scanner's geometry).
+  const BlockMaxIndex* block_max() const { return bmx_; }
+
  private:
   const Dataset* points_;
   const ApproxVectors* point_cells_;
@@ -169,6 +196,7 @@ class BlockedScanner {
   size_t block_points_;
   bool uniform_fma_;    // kExactWeight on a uniform partitioner: FMA kernel
   double cell_width_;   // uniform grids: alpha[1] - alpha[0]
+  const BlockMaxIndex* bmx_ = nullptr;  // armed skip structure, or null
 };
 
 }  // namespace gir

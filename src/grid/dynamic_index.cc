@@ -83,8 +83,8 @@ Result<DynamicGirIndex> DynamicGirIndex::Build(
   index.base_weights_ = std::make_unique<Dataset>(weights);
   index.delta_points_ = std::make_unique<Dataset>(points.dim());
   index.delta_weights_ = std::make_unique<Dataset>(points.dim());
-  index.base_point_alive_.assign(points.size(), 1);
-  index.base_weight_alive_.assign(weights.size(), 1);
+  index.base_point_alive_.Assign(points.size(), true);
+  index.base_weight_alive_.Assign(weights.size(), true);
   Status st = index.Init(nullptr);
   if (!st.ok()) return st;
   return index;
@@ -129,10 +129,10 @@ Result<DynamicGirIndex> DynamicGirIndex::FromParts(
   index.base_weights_ = std::make_unique<Dataset>(std::move(base_weights));
   index.delta_points_ = std::make_unique<Dataset>(std::move(delta_points));
   index.delta_weights_ = std::make_unique<Dataset>(std::move(delta_weights));
-  index.base_point_alive_ = std::move(base_point_alive);
-  index.base_weight_alive_ = std::move(base_weight_alive);
-  index.delta_point_alive_ = std::move(delta_point_alive);
-  index.delta_weight_alive_ = std::move(delta_weight_alive);
+  index.base_point_alive_ = RankSelectBitmap::FromBytes(base_point_alive);
+  index.base_weight_alive_ = RankSelectBitmap::FromBytes(base_weight_alive);
+  index.delta_point_alive_ = RankSelectBitmap::FromBytes(delta_point_alive);
+  index.delta_weight_alive_ = RankSelectBitmap::FromBytes(delta_weight_alive);
   Status st = index.Init(std::move(tau));
   if (!st.ok()) return st;
   // A live delta weight above the generation's weight grid range cannot
@@ -141,7 +141,7 @@ Result<DynamicGirIndex> DynamicGirIndex::FromParts(
   const double top =
       index.gir_->grid().weight_partitioner().boundaries().back();
   for (size_t j = 0; j < index.delta_weights_->size(); ++j) {
-    if (index.delta_weight_alive_[j] == 0) continue;
+    if (!index.delta_weight_alive_.Get(j)) continue;
     ConstRow row = index.delta_weights_->row(j);
     for (size_t i = 0; i < row.size(); ++i) {
       if (row[i] > top) {
@@ -174,40 +174,32 @@ Status DynamicGirIndex::Init(std::shared_ptr<const TauIndex> tau) {
   const size_t ndp = delta_points_->size();
   const size_t nbw = base_weights_->size();
   const size_t ndw = delta_weights_->size();
-  dead_base_points_ =
-      nbp - static_cast<size_t>(std::count(base_point_alive_.begin(),
-                                           base_point_alive_.end(), 1));
-  dead_base_weights_ =
-      nbw - static_cast<size_t>(std::count(base_weight_alive_.begin(),
-                                           base_weight_alive_.end(), 1));
-  dead_delta_points_ =
-      ndp - static_cast<size_t>(std::count(delta_point_alive_.begin(),
-                                           delta_point_alive_.end(), 1));
-  dead_delta_weights_ =
-      ndw - static_cast<size_t>(std::count(delta_weight_alive_.begin(),
-                                           delta_weight_alive_.end(), 1));
+  dead_base_points_ = base_point_alive_.zeros();
+  dead_base_weights_ = base_weight_alive_.zeros();
+  dead_delta_points_ = delta_point_alive_.zeros();
+  dead_delta_weights_ = delta_weight_alive_.zeros();
 
   live_point_ids_.clear();
   live_point_ids_.reserve(nbp + ndp);
   for (size_t i = 0; i < nbp; ++i) {
-    if (base_point_alive_[i] != 0) {
+    if (base_point_alive_.Get(i)) {
       live_point_ids_.push_back(static_cast<uint32_t>(i));
     }
   }
   for (size_t j = 0; j < ndp; ++j) {
-    if (delta_point_alive_[j] != 0) {
+    if (delta_point_alive_.Get(j)) {
       live_point_ids_.push_back(static_cast<uint32_t>(nbp + j));
     }
   }
   live_weight_ids_.clear();
   live_weight_ids_.reserve(nbw + ndw);
   for (size_t i = 0; i < nbw; ++i) {
-    if (base_weight_alive_[i] != 0) {
+    if (base_weight_alive_.Get(i)) {
       live_weight_ids_.push_back(static_cast<uint32_t>(i));
     }
   }
   for (size_t j = 0; j < ndw; ++j) {
-    if (delta_weight_alive_[j] != 0) {
+    if (delta_weight_alive_.Get(j)) {
       live_weight_ids_.push_back(static_cast<uint32_t>(nbw + j));
     }
   }
@@ -220,12 +212,12 @@ Status DynamicGirIndex::Init(std::shared_ptr<const TauIndex> tau) {
   delta_scores_.assign(mh, {});
   std::vector<double> sp(mh);
   for (size_t i = 0; i < nbp; ++i) {
-    if (base_point_alive_[i] != 0) continue;
+    if (base_point_alive_.Get(i)) continue;
     ScorePointUnderWeights(base_points_->row(i), sp.data());
     for (uint32_t h : live_weight_ids_) dead_scores_[h].push_back(sp[h]);
   }
   for (size_t j = 0; j < ndp; ++j) {
-    if (delta_point_alive_[j] == 0) continue;
+    if (!delta_point_alive_.Get(j)) continue;
     ScorePointUnderWeights(delta_points_->row(j), sp.data());
     for (uint32_t h : live_weight_ids_) delta_scores_[h].push_back(sp[h]);
   }
@@ -233,16 +225,18 @@ Status DynamicGirIndex::Init(std::shared_ptr<const TauIndex> tau) {
     std::sort(dead_scores_[h].begin(), dead_scores_[h].end());
     std::sort(delta_scores_[h].begin(), delta_scores_[h].end());
   }
-  delta_weight_base_scores_.assign(ndw, {});
+  delta_weight_base_scores_.assign(ndw, CompressedScoreArray());
   for (uint32_t h : live_weight_ids_) {
     if (h < nbw) continue;
-    std::vector<double>& base_row = delta_weight_base_scores_[h - nbw];
     ConstRow wrow = delta_weights_->row(h - nbw);
+    std::vector<double> base_row;
     base_row.reserve(nbp);
     for (size_t i = 0; i < nbp; ++i) {
       base_row.push_back(InnerProduct(wrow, base_points_->row(i)));
     }
     std::sort(base_row.begin(), base_row.end());
+    delta_weight_base_scores_[h - nbw] =
+        CompressedScoreArray::FromSorted(std::move(base_row));
   }
   SeedLiveTau();
   return Status::OK();
@@ -252,8 +246,8 @@ Status DynamicGirIndex::Init(std::shared_ptr<const TauIndex> tau) {
 
 bool DynamicGirIndex::weight_handle_alive(size_t h) const {
   const size_t nbw = base_weights_->size();
-  return h < nbw ? base_weight_alive_[h] != 0
-                 : delta_weight_alive_[h - nbw] != 0;
+  return h < nbw ? base_weight_alive_.Get(h)
+                 : delta_weight_alive_.Get(h - nbw);
 }
 
 ConstRow DynamicGirIndex::PointRowOfHandle(size_t h) const {
@@ -342,7 +336,7 @@ void DynamicGirIndex::SeedLiveTau() {
   std::vector<double> head;
   head.reserve(live_tau_cap_);
   for (size_t h = 0; h < nbw; ++h) {
-    if (base_weight_alive_[h] == 0) continue;
+    if (!base_weight_alive_.Get(h)) continue;
     // Known prefix of the live score multiset under handle h: the τ
     // column minus the tombstoned occurrences, merged with the live
     // delta scores. Every untracked base score is >= cut (the last τ
@@ -390,7 +384,7 @@ void DynamicGirIndex::SeedLiveTau() {
     live_tau_valid_[h] = out;
   }
   for (size_t j = 0; j < delta_weights_->size(); ++j) {
-    if (delta_weight_alive_[j] != 0) SeedDeltaHead(j);
+    if (delta_weight_alive_.Get(j)) SeedDeltaHead(j);
   }
   live_tau_min_valid_ = static_cast<uint32_t>(live_tau_cap_);
   for (uint32_t h : live_weight_ids_) {
@@ -403,7 +397,7 @@ void DynamicGirIndex::SeedLiveTau() {
 void DynamicGirIndex::SeedDeltaHead(size_t j) {
   if (live_tau_cap_ == 0) return;
   const size_t h = base_weights_->size() + j;
-  const std::vector<double>& base = delta_weight_base_scores_[j];
+  const CompressedScoreArray& base = delta_weight_base_scores_[j];
   const std::vector<double>& dead = dead_scores_[h];
   const std::vector<double>& delta = delta_scores_[h];
   // Unlike the base handles there is no τ horizon here: `base` holds
@@ -411,24 +405,27 @@ void DynamicGirIndex::SeedDeltaHead(size_t j) {
   // of (base minus dead) merged with delta are exact. The difference
   // walk still demands bit-exact tombstone matches (the arrays come
   // from the same kernels, so a miss means corrupted bookkeeping) and
-  // leaves the head empty — slow path — rather than trusting it.
+  // leaves the head empty — slow path — rather than trusting it. The
+  // base scores stream out of the compressed array through a forward
+  // cursor: the merge needs only the head, never a random access.
   std::vector<double>& row = delta_live_tau_[j];
   row.assign(live_tau_cap_, 0.0);
   uint32_t out = 0;
-  size_t bi = 0;
+  CompressedScoreArray::Cursor bc = base.begin();
   size_t di = 0;
   size_t gi = 0;
   while (out < live_tau_cap_) {
-    while (bi < base.size() && di < dead.size() && dead[di] == base[bi]) {
+    while (bc.valid() && di < dead.size() && dead[di] == bc.value()) {
       ++di;
-      ++bi;
+      bc.Next();
     }
-    if (di < dead.size() && bi < base.size() && dead[di] < base[bi]) {
+    if (di < dead.size() && bc.valid() && dead[di] < bc.value()) {
       delta_live_tau_valid_[j] = 0;
       return;
     }
-    if (bi < base.size() && (gi >= delta.size() || base[bi] <= delta[gi])) {
-      row[out++] = base[bi++];
+    if (bc.valid() && (gi >= delta.size() || bc.value() <= delta[gi])) {
+      row[out++] = bc.value();
+      bc.Next();
     } else if (gi < delta.size()) {
       row[out++] = delta[gi++];
     } else {
@@ -524,7 +521,7 @@ void DynamicGirIndex::LiveTauErase(size_t h, double s) {
 Status DynamicGirIndex::InsertPoint(ConstRow p) {
   Status st = delta_points_->Append(p);
   if (!st.ok()) return st;
-  delta_point_alive_.push_back(1);
+  delta_point_alive_.PushBack(true);
   const size_t handle = base_points_->size() + delta_points_->size() - 1;
   const size_t mh = num_weight_handles();
   // Out-of-range point values are harmless: delta points are only ever
@@ -550,14 +547,14 @@ Status DynamicGirIndex::DeletePoint(VectorId live_id) {
   std::vector<double> sp(mh, 0.0);
   if (mh > 0) ScorePointUnderWeights(PointRowOfHandle(h), sp.data());
   if (h < nbp) {
-    base_point_alive_[h] = 0;
+    base_point_alive_.Set(h, false);
     ++dead_base_points_;
     for (uint32_t w : live_weight_ids_) {
       InsertSorted(dead_scores_[w], sp[w]);
       LiveTauErase(w, sp[w]);
     }
   } else {
-    delta_point_alive_[h - nbp] = 0;
+    delta_point_alive_.Set(h - nbp, false);
     ++dead_delta_points_;
     for (uint32_t w : live_weight_ids_) {
       if (!EraseSorted(delta_scores_[w], sp[w])) {
@@ -580,7 +577,7 @@ Status DynamicGirIndex::InsertWeight(ConstRow w) {
   if (!vst.ok()) return vst;
   Status st = delta_weights_->Append(w);
   if (!st.ok()) return st;
-  delta_weight_alive_.push_back(1);
+  delta_weight_alive_.PushBack(true);
   const size_t h = base_weights_->size() + delta_weights_->size() - 1;
   dead_scores_.emplace_back();
   delta_scores_.emplace_back();
@@ -590,21 +587,23 @@ Status DynamicGirIndex::InsertWeight(ConstRow w) {
   // One exact pass over every base row: the full sorted array makes
   // rank_base(w, q) a binary search at query time (no blocked fallback
   // for delta weights), and the dead subset comes out of the same pass.
-  delta_weight_base_scores_.emplace_back();
-  std::vector<double>& base_row = delta_weight_base_scores_.back();
+  // The array is immutable once sorted, so it is stored delta-coded.
+  std::vector<double> base_row;
   base_row.reserve(base_points_->size());
   for (size_t i = 0; i < base_points_->size(); ++i) {
     const double s = InnerProduct(wrow, base_points_->row(i));
     base_row.push_back(s);
-    if (base_point_alive_[i] == 0) dead_row.push_back(s);
+    if (!base_point_alive_.Get(i)) dead_row.push_back(s);
   }
   for (size_t j = 0; j < delta_points_->size(); ++j) {
-    if (delta_point_alive_[j] == 0) continue;
+    if (!delta_point_alive_.Get(j)) continue;
     delta_row.push_back(InnerProduct(wrow, delta_points_->row(j)));
   }
   std::sort(base_row.begin(), base_row.end());
   std::sort(dead_row.begin(), dead_row.end());
   std::sort(delta_row.begin(), delta_row.end());
+  delta_weight_base_scores_.push_back(
+      CompressedScoreArray::FromSorted(std::move(base_row)));
   delta_live_tau_.emplace_back();
   delta_live_tau_valid_.push_back(0);
   SeedDeltaHead(delta_weights_->size() - 1);
@@ -633,10 +632,10 @@ Status DynamicGirIndex::DeleteWeight(VectorId live_id) {
   const size_t h = live_weight_ids_[live_id];
   const size_t nbw = base_weights_->size();
   if (h < nbw) {
-    base_weight_alive_[h] = 0;
+    base_weight_alive_.Set(h, false);
     ++dead_base_weights_;
   } else {
-    delta_weight_alive_[h - nbw] = 0;
+    delta_weight_alive_.Set(h - nbw, false);
     ++dead_delta_weights_;
   }
   dead_scores_[h].clear();
@@ -644,8 +643,7 @@ Status DynamicGirIndex::DeleteWeight(VectorId live_id) {
   delta_scores_[h].clear();
   delta_scores_[h].shrink_to_fit();
   if (h >= nbw) {
-    delta_weight_base_scores_[h - nbw].clear();
-    delta_weight_base_scores_[h - nbw].shrink_to_fit();
+    delta_weight_base_scores_[h - nbw] = CompressedScoreArray();
     delta_live_tau_[h - nbw].clear();
     delta_live_tau_[h - nbw].shrink_to_fit();
     if (live_tau_cap_ != 0) delta_live_tau_valid_[h - nbw] = 0;
@@ -670,10 +668,10 @@ Status DynamicGirIndex::Compact() {
   *base_weights_ = std::move(live_weights);
   *delta_points_ = Dataset(base_points_->dim());
   *delta_weights_ = Dataset(base_points_->dim());
-  base_point_alive_.assign(base_points_->size(), 1);
-  base_weight_alive_.assign(base_weights_->size(), 1);
-  delta_point_alive_.clear();
-  delta_weight_alive_.clear();
+  base_point_alive_.Assign(base_points_->size(), true);
+  base_weight_alive_.Assign(base_weights_->size(), true);
+  delta_point_alive_.Assign(0, false);
+  delta_weight_alive_.Assign(0, false);
   ++generation_;
   return Init(nullptr);
 }
@@ -700,6 +698,37 @@ double DynamicGirIndex::ChurnFraction() const {
   const double base =
       static_cast<double>(base_points_->size() + base_weights_->size());
   return base > 0.0 ? churn / base : 0.0;
+}
+
+DynamicGirIndex::MemoryBreakdown DynamicGirIndex::MemoryBytes() const {
+  MemoryBreakdown mb;
+  const TauIndex* tau = gir_->tau_index();
+  const BlockMaxIndex* bmx = gir_->block_max().get();
+  mb.tau_bytes = tau != nullptr ? tau->MemoryBytes() : 0;
+  mb.block_max_bytes = bmx != nullptr ? bmx->MemoryBytes() : 0;
+  // GirIndex::MemoryBytes folds τ and block-max in; peel them back out so
+  // the sections are disjoint and sum to the engine total.
+  mb.base_bytes = gir_->MemoryBytes() - mb.tau_bytes - mb.block_max_bytes;
+  mb.bitmap_bytes = base_point_alive_.MemoryBytes() +
+                    base_weight_alive_.MemoryBytes() +
+                    delta_point_alive_.MemoryBytes() +
+                    delta_weight_alive_.MemoryBytes();
+  mb.delta_bytes = (delta_points_->size() + delta_weights_->size()) * dim() *
+                   sizeof(double);
+  for (const std::vector<double>& v : dead_scores_) {
+    mb.delta_bytes += v.capacity() * sizeof(double);
+  }
+  for (const std::vector<double>& v : delta_scores_) {
+    mb.delta_bytes += v.capacity() * sizeof(double);
+  }
+  for (const CompressedScoreArray& a : delta_weight_base_scores_) {
+    mb.delta_bytes += a.MemoryBytes();
+  }
+  mb.delta_bytes += live_tau_.capacity() * sizeof(double);
+  for (const std::vector<double>& v : delta_live_tau_) {
+    mb.delta_bytes += v.capacity() * sizeof(double);
+  }
+  return mb;
 }
 
 Dataset DynamicGirIndex::LivePoints() const {
@@ -938,10 +967,11 @@ ReverseTopKResult DynamicGirIndex::DirtyReverseTopK(ConstRow q, size_t k,
       if (bounds.lo >= t) continue;
     }
     if (h >= nbw) {
-      // Delta weights never scan: rank_base is a binary search over the
-      // sorted base-point scores captured at InsertWeight.
-      if (CountStrictlyBelow(delta_weight_base_scores_[h - nbw],
-                             prep.fq[h]) < t) {
+      // Delta weights never scan: rank_base is a sample binary search
+      // plus one block decode of the compressed base-point scores
+      // captured at InsertWeight.
+      if (delta_weight_base_scores_[h - nbw].CountStrictlyBelow(prep.fq[h]) <
+          t) {
         result.push_back(static_cast<VectorId>(li));
       }
       continue;
@@ -952,7 +982,8 @@ ReverseTopKResult DynamicGirIndex::DirtyReverseTopK(ConstRow q, size_t k,
   if (fallback_base > 0) {
     BlockedScanner base_scanner(*base_points_, gir_->point_cells(),
                                 *base_weights_, gir_->weight_cells(),
-                                gir_->grid(), options_.gir.bound_mode);
+                                gir_->grid(), options_.gir.bound_mode, {},
+                                gir_->block_max().get());
     // The dominance buffer costs an O(n·d) pass over every base point;
     // only amortized when the fallback spans enough weights. Results are
     // identical either way (domin is purely a pruning device).
@@ -1007,8 +1038,8 @@ ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
       hi[li] = bounds.hi + n_delta;
     } else if (h >= nbw) {
       EnsureCorrections(prep, h);
-      const int64_t r = CountStrictlyBelow(
-                            delta_weight_base_scores_[h - nbw], prep.fq[h]) +
+      const int64_t r = delta_weight_base_scores_[h - nbw].CountStrictlyBelow(
+                            prep.fq[h]) +
                         prep.added[h] - prep.removed[h];
       lo[li] = r;
       hi[li] = r;
@@ -1073,7 +1104,8 @@ ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
   if (unresolved_count > 0) {
     BlockedScanner base_scanner(*base_points_, gir_->point_cells(),
                                 *base_weights_, gir_->weight_cells(),
-                                gir_->grid(), options_.gir.bound_mode);
+                                gir_->grid(), options_.gir.bound_mode, {},
+                                gir_->block_max().get());
     // Same gate as the top-k fallback: the dominance pass is O(n·d) and
     // only pays off when enough weights are unresolved.
     const bool use_domin = options_.gir.use_domin &&

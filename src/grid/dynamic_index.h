@@ -14,6 +14,7 @@
 #include "core/status.h"
 #include "grid/blocked_scan.h"
 #include "grid/gir_queries.h"
+#include "grid/succinct.h"
 
 namespace gir {
 
@@ -189,18 +190,35 @@ class DynamicGirIndex {
   const Dataset& base_weights() const { return *base_weights_; }
   const Dataset& delta_points() const { return *delta_points_; }
   const Dataset& delta_weights() const { return *delta_weights_; }
-  const std::vector<uint8_t>& base_point_alive() const {
-    return base_point_alive_;
+  /// Byte-per-entry views of the packed alive bitmaps — the GIRDYN01
+  /// on-disk format keeps one byte per row, so the writer materializes
+  /// these on demand.
+  std::vector<uint8_t> base_point_alive() const {
+    return base_point_alive_.ToBytes();
   }
-  const std::vector<uint8_t>& base_weight_alive() const {
-    return base_weight_alive_;
+  std::vector<uint8_t> base_weight_alive() const {
+    return base_weight_alive_.ToBytes();
   }
-  const std::vector<uint8_t>& delta_point_alive() const {
-    return delta_point_alive_;
+  std::vector<uint8_t> delta_point_alive() const {
+    return delta_point_alive_.ToBytes();
   }
-  const std::vector<uint8_t>& delta_weight_alive() const {
-    return delta_weight_alive_;
+  std::vector<uint8_t> delta_weight_alive() const {
+    return delta_weight_alive_.ToBytes();
   }
+
+  /// Resident footprint by section (gir_cli info, footprint benches).
+  struct MemoryBreakdown {
+    size_t base_bytes = 0;       ///< generation's GirIndex (grid + cells)
+    size_t tau_bytes = 0;        ///< τ matrix (0 when not kTauIndex)
+    size_t block_max_bytes = 0;  ///< block-max aggregates (DESIGN.md §14)
+    size_t bitmap_bytes = 0;     ///< packed tombstone bitmaps + rank dirs
+    size_t delta_bytes = 0;      ///< delta datasets, score arrays, τ heads
+    size_t total() const {
+      return base_bytes + tau_bytes + block_max_bytes + bitmap_bytes +
+             delta_bytes;
+    }
+  };
+  MemoryBreakdown MemoryBytes() const;
 
  private:
   DynamicGirIndex() = default;
@@ -282,10 +300,13 @@ class DynamicGirIndex {
   std::unique_ptr<Dataset> base_weights_;
   std::unique_ptr<Dataset> delta_points_;
   std::unique_ptr<Dataset> delta_weights_;
-  std::vector<uint8_t> base_point_alive_;
-  std::vector<uint8_t> base_weight_alive_;
-  std::vector<uint8_t> delta_point_alive_;
-  std::vector<uint8_t> delta_weight_alive_;
+  /// Packed liveness bitmaps (grid/succinct.h): one bit per row instead
+  /// of one byte, with O(1) set-bit counts replacing the std::count
+  /// passes the dead_* counters used to need.
+  RankSelectBitmap base_point_alive_;
+  RankSelectBitmap base_weight_alive_;
+  RankSelectBitmap delta_point_alive_;
+  RankSelectBitmap delta_weight_alive_;
   size_t dead_base_points_ = 0;
   size_t dead_base_weights_ = 0;
   size_t dead_delta_points_ = 0;
@@ -308,8 +329,12 @@ class DynamicGirIndex {
   /// handles). One O(n·d) pass at InsertWeight buys rank_base as a
   /// binary search, so a delta weight never reaches the blocked
   /// fallback scan on any query path. Cleared when the weight dies;
-  /// rebuilt by Init after a load.
-  std::vector<std::vector<double>> delta_weight_base_scores_;
+  /// rebuilt by Init after a load. Immutable once filled, so it is held
+  /// delta-coded and bit-packed (grid/succinct.h): CountStrictlyBelow
+  /// replaces the lower_bound, a forward Cursor feeds SeedDeltaHead's
+  /// ordered merge, and the footprint drops to roughly the entropy of
+  /// the sorted score gaps.
+  std::vector<CompressedScoreArray> delta_weight_base_scores_;
 
   /// Incrementally patched LIVE τ thresholds for base weight handles,
   /// k-major like TauIndex: live_tau_[(t-1) * |base W| + h] is the t-th

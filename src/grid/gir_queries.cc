@@ -105,6 +105,15 @@ Result<GirIndex> GirIndex::BuildWithPartitioners(
     if (!tau.ok()) return tau.status();
     index.tau_ = std::make_shared<const TauIndex>(std::move(tau).value());
   }
+  if (options.use_block_max) {
+    // Block size must match what the blocked engine will derive, or the
+    // scanner refuses to arm the cursor (see BlockedScanner's ctor).
+    auto bmx = BlockMaxIndex::Build(
+        points, BlockedScanner::BlockPointsFor(points.dim()));
+    if (!bmx.ok()) return bmx.status();
+    index.bmx_ =
+        std::make_shared<const BlockMaxIndex>(std::move(bmx).value());
+  }
   return index;
 }
 
@@ -119,6 +128,21 @@ Status GirIndex::AttachTauIndex(std::shared_ptr<const TauIndex> tau) {
         "tau index shape does not match this index's datasets");
   }
   tau_ = std::move(tau);
+  return Status::OK();
+}
+
+Status GirIndex::AttachBlockMax(std::shared_ptr<const BlockMaxIndex> bmx) {
+  if (bmx == nullptr) {
+    return Status::InvalidArgument("block-max index must be non-null");
+  }
+  if (bmx->dim() != points_->dim() ||
+      bmx->num_points() != points_->size() ||
+      bmx->block_points() !=
+          BlockedScanner::BlockPointsFor(points_->dim())) {
+    return Status::InvalidArgument(
+        "block-max index shape does not match this index's point blocks");
+  }
+  bmx_ = std::move(bmx);
   return Status::OK();
 }
 
@@ -211,7 +235,7 @@ ReverseTopKResult GirIndex::BlockedReverseTopK(ConstRow q, size_t k,
                                                QueryStats* stats) const {
   if (k == 0 || weights_->empty()) return {};
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
-                         grid_, options_.bound_mode);
+                         grid_, options_.bound_mode, {}, bmx_.get());
   const BlockedScanner::QueryContext qctx =
       scanner.MakeQueryContext(q, options_.use_domin);
   const int64_t threshold = static_cast<int64_t>(k);
@@ -288,7 +312,7 @@ ReverseKRanksResult GirIndex::BlockedReverseKRanks(ConstRow q, size_t k,
                                                    QueryStats* stats) const {
   if (k == 0 || weights_->empty()) return {};
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
-                         grid_, options_.bound_mode);
+                         grid_, options_.bound_mode, {}, bmx_.get());
   const BlockedScanner::QueryContext qctx =
       scanner.MakeQueryContext(q, options_.use_domin);
   BlockedScratch scratch;
@@ -335,7 +359,7 @@ std::vector<ReverseTopKResult> GirIndex::ReverseTopKBatch(
     return TauReverseTopKBatch(queries, k, /*pool=*/nullptr, stats);
   }
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
-                         grid_, options_.bound_mode);
+                         grid_, options_.bound_mode, {}, bmx_.get());
   const int64_t threshold = static_cast<int64_t>(k);
 
   std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
@@ -398,7 +422,7 @@ std::vector<ReverseKRanksResult> GirIndex::ReverseKRanksBatch(
     return TauReverseKRanksBatch(queries, k, /*pool=*/nullptr, stats);
   }
   BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
-                         grid_, options_.bound_mode);
+                         grid_, options_.bound_mode, {}, bmx_.get());
   std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
   std::vector<ConstRow> rows;
   rows.reserve(num_queries);
@@ -586,7 +610,7 @@ ReverseKRanksResult GirIndex::TauReverseKRanks(ConstRow q, size_t k,
     // bound — comes back exact; anything over threshold is provably
     // outside the answer.
     BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
-                           grid_, options_.bound_mode);
+                           grid_, options_.bound_mode, {}, bmx_.get());
     const BlockedScanner::QueryContext qctx =
         scanner.MakeQueryContext(q, options_.use_domin);
     const size_t batch = scanner.weight_batch();
@@ -807,7 +831,7 @@ std::vector<ReverseKRanksResult> GirIndex::TauReverseKRanksBatch(
     // unresolved (query, weight) slot runs once through
     // RankPreparedMulti; resolved slots are masked with threshold 0.
     BlockedScanner scanner(*points_, point_cells_, *weights_, weight_cells_,
-                           grid_, options_.bound_mode);
+                           grid_, options_.bound_mode, {}, bmx_.get());
     std::vector<ConstRow> rows;
     rows.reserve(num_queries);
     std::vector<BlockedScanner::QueryContext> qctxs(num_queries);
@@ -916,6 +940,7 @@ size_t GirIndex::MemoryBytes() const {
   size_t bytes = grid_.TableBytes() + point_cells_.MemoryBytes() +
                  weight_cells_.MemoryBytes();
   if (tau_ != nullptr) bytes += tau_->MemoryBytes();
+  if (bmx_ != nullptr) bytes += bmx_->MemoryBytes();
   return bytes;
 }
 

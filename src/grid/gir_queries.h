@@ -9,6 +9,7 @@
 #include "core/query_types.h"
 #include "core/status.h"
 #include "grid/approx_vector.h"
+#include "grid/block_max.h"
 #include "grid/gin_topk.h"
 #include "grid/grid_index.h"
 #include "grid/tau_index.h"
@@ -65,6 +66,13 @@ struct GirOptions {
   /// also scores P × W once and materializes the thresholds + histograms
   /// (grid/tau_index.h). Ignored by the other modes.
   TauIndexOptions tau;
+  /// Arm the blocked engine's block-max cursor (grid/block_max.h): Build()
+  /// materializes the quantized per-(block, dimension) extremes and every
+  /// blocked scan skips the blocks they prove non-competitive. Results are
+  /// bit-identical either way; this is an execution/footprint knob, not
+  /// persisted index state (though the structure itself is serialized with
+  /// the index so loads need not rebuild it).
+  bool use_block_max = true;
 };
 
 /// GIR — the paper's Grid-index reverse rank query processor. Owns the
@@ -141,6 +149,18 @@ class GirIndex {
   /// The attached τ-index, or nullptr if none was built/attached.
   const TauIndex* tau_index() const { return tau_.get(); }
 
+  /// The block-max skip structure, or nullptr (built with use_block_max
+  /// off, or assembled from a legacy file and not yet attached). Shared so
+  /// persistence and the dynamic wrapper can alias it without copies.
+  std::shared_ptr<const BlockMaxIndex> block_max() const { return bmx_; }
+
+  /// Attaches a block-max index built or loaded separately (the
+  /// persistence path). InvalidArgument unless it matches this index's
+  /// point set and the blocked engine's block size. The caller (the
+  /// loader) is responsible for soundness-checking untrusted bounds via
+  /// BlockMaxIndex::SoundFor before attaching.
+  Status AttachBlockMax(std::shared_ptr<const BlockMaxIndex> bmx);
+
   /// Attaches a τ-index built or loaded separately (the persistence path:
   /// LoadTauIndex + AttachTauIndex). InvalidArgument unless its shape
   /// matches this index's datasets. Does not change scan_mode.
@@ -212,6 +232,7 @@ class GirIndex {
   ApproxVectors weight_cells_;
   GirOptions options_;
   std::shared_ptr<const TauIndex> tau_;
+  std::shared_ptr<const BlockMaxIndex> bmx_;
 };
 
 }  // namespace gir

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "grid/bit_packed.h"
+#include "grid/block_max.h"
+#include "grid/blocked_scan.h"
 #include "io/checked_reader.h"
 
 namespace gir {
@@ -18,6 +20,7 @@ namespace {
 constexpr char kMagic[8] = {'G', 'I', 'R', 'I', 'D', 'X', '0', '1'};
 constexpr char kTauMagic[8] = {'G', 'I', 'R', 'T', 'A', 'U', '0', '1'};
 constexpr char kDynMagic[8] = {'G', 'I', 'R', 'D', 'Y', 'N', '0', '1'};
+constexpr char kBmxMagic[8] = {'G', 'I', 'R', 'B', 'M', 'X', '0', '1'};
 
 /// Partitioner boundary arrays are structurally capped far below this;
 /// the embedded-count reads reject anything larger before allocating.
@@ -180,6 +183,85 @@ Result<TauIndex> LoadTauIndexFromStream(CheckedReader& reader,
                              std::move(hist));
 }
 
+void SaveBlockMaxToStream(std::ostream& out, const BlockMaxIndex& bmx) {
+  out.write(kBmxMagic, sizeof(kBmxMagic));
+  WriteU32(out, static_cast<uint32_t>(bmx.dim()));
+  WriteU64(out, bmx.num_points());
+  WriteU64(out, bmx.block_points());
+  // Array lengths are implied by the header (2 * dim edges, 2 * dim *
+  // num_blocks codes), so a forged length cannot disagree with the shape.
+  out.write(reinterpret_cast<const char*>(bmx.dim_lo().data()),
+            static_cast<std::streamsize>(bmx.dim_lo().size() *
+                                         sizeof(double)));
+  out.write(reinterpret_cast<const char*>(bmx.dim_hi().data()),
+            static_cast<std::streamsize>(bmx.dim_hi().size() *
+                                         sizeof(double)));
+  out.write(reinterpret_cast<const char*>(bmx.qmin().data()),
+            static_cast<std::streamsize>(bmx.qmin().size() *
+                                         sizeof(uint16_t)));
+  out.write(reinterpret_cast<const char*>(bmx.qmax().data()),
+            static_cast<std::streamsize>(bmx.qmax().size() *
+                                         sizeof(uint16_t)));
+}
+
+/// Parses a GIRBMX01 section and re-verifies its bounds against `points`
+/// — the float fallback check: quantized bounds from an untrusted file
+/// are only trusted after they provably bracket the raw doubles, since an
+/// unsound bound would silently change query results (a merely loose one
+/// cannot).
+Result<BlockMaxIndex> LoadBlockMaxFromStream(CheckedReader& reader,
+                                             const Dataset& points) {
+  if (!reader.ReadMagic(kBmxMagic)) {
+    return Status::Corruption("bad block-max section header");
+  }
+  uint32_t dim = 0;
+  uint64_t num_points = 0, block_points = 0;
+  if (!reader.ReadU32(&dim) || !reader.ReadU64(&num_points) ||
+      !reader.ReadU64(&block_points)) {
+    return Status::Corruption("truncated block-max header");
+  }
+  if (dim != points.dim() || num_points != points.size()) {
+    return Status::Corruption(
+        "block-max shape does not match the supplied points");
+  }
+  if (block_points == 0 || block_points > num_points + 8192) {
+    return Status::Corruption("block-max block size out of range");
+  }
+  const uint64_t nb = (num_points + block_points - 1) / block_points;
+  // Vet the header-implied payload against the bytes present before any
+  // allocation; dim * nb products are attacker-controlled.
+  uint64_t edge_bytes = 0, code_bytes = 0;
+  if (!CheckedReader::CheckedPayloadBytes(uint64_t{dim} * 2, sizeof(double),
+                                          &edge_bytes) ||
+      !CheckedReader::CheckedPayloadBytes(uint64_t{dim} * nb * 2,
+                                          sizeof(uint16_t), &code_bytes)) {
+    return Status::Corruption("block-max payload size overflows");
+  }
+  const uint64_t remaining = reader.Remaining();
+  if (edge_bytes > remaining || code_bytes > remaining - edge_bytes) {
+    return Status::Corruption("block-max payload exceeds the file size");
+  }
+  std::vector<double> dim_lo, dim_hi;
+  std::vector<uint16_t> qmin, qmax;
+  if (!reader.ReadArray(dim, &dim_lo) || !reader.ReadArray(dim, &dim_hi) ||
+      !reader.ReadArray(static_cast<size_t>(dim * nb), &qmin) ||
+      !reader.ReadArray(static_cast<size_t>(dim * nb), &qmax)) {
+    return Status::Corruption("truncated block-max payload");
+  }
+  auto bmx = BlockMaxIndex::FromParts(
+      dim, num_points, block_points, std::move(dim_lo), std::move(dim_hi),
+      std::move(qmin), std::move(qmax));
+  if (!bmx.ok()) {
+    return Status::Corruption("invalid block-max contents (" +
+                              bmx.status().message() + ")");
+  }
+  if (!bmx.value().SoundFor(points)) {
+    return Status::Corruption(
+        "block-max bounds do not bracket the supplied points");
+  }
+  return bmx;
+}
+
 void WriteDataset(std::ostream& out, const Dataset& data) {
   WriteU64(out, data.size());
   out.write(reinterpret_cast<const char*>(data.flat().data()),
@@ -225,6 +307,13 @@ Status SaveGirIndex(const std::string& path, const GirIndex& index) {
   s = WritePacked(out, index.weight_cells(),
                   index.grid().weight_partitions());
   if (!s.ok()) return s;
+  // Optional trailing section: the block-max skip structure, so loads can
+  // arm the blocked engine's cursor without an O(n·d) rebuild. Files
+  // written by indexes built with use_block_max off simply end here, and
+  // old readers never looked past the weight cells.
+  if (index.block_max() != nullptr) {
+    SaveBlockMaxToStream(out, *index.block_max());
+  }
   if (!out) return Status::IOError("short write: " + path);
   return Status::OK();
 }
@@ -297,14 +386,44 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
     }
   }
 
+  // Optional trailing GIRBMX01 section. Legacy files end at the weight
+  // cells; for those the skip structure is rebuilt from the points (one
+  // O(n·d) pass), so old indexes gain the cursor on load too.
+  std::shared_ptr<const BlockMaxIndex> bmx;
+  // Remaining() peeks without consuming (AtEnd() would eat the first
+  // magic byte of a present section).
+  if (reader.Remaining() > 0) {
+    auto loaded = LoadBlockMaxFromStream(reader, points);
+    if (!loaded.ok()) return WithPath(loaded.status(), path);
+    if (!reader.AtEnd()) {
+      return Status::Corruption("trailing bytes after block-max: " + path);
+    }
+    bmx = std::make_shared<const BlockMaxIndex>(std::move(loaded).value());
+  } else {
+    auto built = BlockMaxIndex::Build(
+        points, BlockedScanner::BlockPointsFor(points.dim()));
+    if (!built.ok()) return built.status();
+    bmx = std::make_shared<const BlockMaxIndex>(std::move(built).value());
+  }
+
   GirOptions options;
   options.partitions = partitions;
   options.bound_mode = static_cast<BoundMode>(bound_mode);
   options.use_domin = use_domin != 0;
-  return GirIndex::Assemble(points, weights, std::move(pp).value(),
-                            std::move(wp).value(),
-                            std::move(point_cells).value(),
-                            std::move(weight_cells).value(), options);
+  auto index = GirIndex::Assemble(points, weights, std::move(pp).value(),
+                                  std::move(wp).value(),
+                                  std::move(point_cells).value(),
+                                  std::move(weight_cells).value(), options);
+  if (!index.ok()) return index;
+  Status attach = index.value().AttachBlockMax(std::move(bmx));
+  if (!attach.ok()) {
+    // A well-formed, sound section whose geometry nonetheless cannot arm
+    // this build's scanner (e.g. a foreign block size) is corruption from
+    // the loader's point of view.
+    return Status::Corruption("unusable block-max section (" +
+                              attach.message() + "): " + path);
+  }
+  return index;
 }
 
 Status SaveTauIndex(const std::string& path, const TauIndex& index) {

@@ -44,7 +44,8 @@ ReverseTopKResult ParallelBlockedReverseTopK(const GirIndex& index,
   const int64_t threshold = static_cast<int64_t>(k);
   BlockedScanner scanner(index.points(), index.point_cells(), weights,
                          index.weight_cells(), index.grid(),
-                         index.options().bound_mode);
+                         index.options().bound_mode, {},
+                         index.block_max().get());
   // The dominator pass runs once, serially; every stripe shares the
   // read-only context. With the full dominator set known upfront, the
   // >= k abort is decided before any weight is scanned.
@@ -96,7 +97,8 @@ ReverseKRanksResult ParallelBlockedReverseKRanks(const GirIndex& index,
   const Dataset& weights = index.weights();
   BlockedScanner scanner(points, index.point_cells(), weights,
                          index.weight_cells(), index.grid(),
-                         index.options().bound_mode);
+                         index.options().bound_mode, {},
+                         index.block_max().get());
   const BlockedScanner::QueryContext qctx =
       scanner.MakeQueryContext(q, index.options().use_domin);
 
@@ -185,7 +187,8 @@ std::vector<ReverseTopKResult> ParallelBlockedReverseTopKBatch(
   const int64_t threshold = static_cast<int64_t>(k);
   BlockedScanner scanner(index.points(), index.point_cells(), weights,
                          index.weight_cells(), index.grid(),
-                         index.options().bound_mode);
+                         index.options().bound_mode, {},
+                         index.block_max().get());
   std::vector<ConstRow> rows;
   std::vector<BlockedScanner::QueryContext> qctxs;
   MakeQueryContexts(index, scanner, queries, pool, rows, qctxs);
@@ -262,7 +265,8 @@ std::vector<ReverseKRanksResult> ParallelBlockedReverseKRanksBatch(
   std::vector<ReverseKRanksResult> results(num_queries);
   BlockedScanner scanner(points, index.point_cells(), weights,
                          index.weight_cells(), index.grid(),
-                         index.options().bound_mode);
+                         index.options().bound_mode, {},
+                         index.block_max().get());
   std::vector<ConstRow> rows;
   std::vector<BlockedScanner::QueryContext> qctxs;
   MakeQueryContexts(index, scanner, queries, pool, rows, qctxs);

@@ -1,0 +1,222 @@
+#include "grid/succinct.h"
+
+#include <bit>
+#include <cstring>
+
+namespace gir {
+
+// ---- RankSelectBitmap ---------------------------------------------------
+
+RankSelectBitmap RankSelectBitmap::AllOnes(size_t n) {
+  RankSelectBitmap b;
+  b.Assign(n, true);
+  return b;
+}
+
+RankSelectBitmap RankSelectBitmap::FromBytes(
+    const std::vector<uint8_t>& bytes) {
+  RankSelectBitmap b;
+  b.size_ = bytes.size();
+  b.words_.assign((bytes.size() + 63) / 64, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] != 0) {
+      b.words_[i >> 6] |= uint64_t{1} << (i & 63);
+      ++b.ones_;
+    }
+  }
+  b.rank_dirty_ = true;
+  return b;
+}
+
+std::vector<uint8_t> RankSelectBitmap::ToBytes() const {
+  std::vector<uint8_t> bytes(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    bytes[i] = Get(i) ? 1 : 0;
+  }
+  return bytes;
+}
+
+void RankSelectBitmap::Set(size_t i, bool v) {
+  const uint64_t mask = uint64_t{1} << (i & 63);
+  uint64_t& word = words_[i >> 6];
+  const bool was = (word & mask) != 0;
+  if (was == v) return;
+  word ^= mask;
+  ones_ += v ? 1 : size_t{0};
+  ones_ -= v ? size_t{0} : 1;
+  rank_dirty_ = true;
+}
+
+void RankSelectBitmap::PushBack(bool v) {
+  if ((size_ & 63) == 0) words_.push_back(0);
+  if (v) {
+    words_[size_ >> 6] |= uint64_t{1} << (size_ & 63);
+    ++ones_;
+  }
+  ++size_;
+  rank_dirty_ = true;
+}
+
+void RankSelectBitmap::Assign(size_t n, bool v) {
+  size_ = n;
+  words_.assign((n + 63) / 64, v ? ~uint64_t{0} : 0);
+  if (v && (n & 63) != 0) {
+    // Trailing bits past size_ stay zero so word popcounts are exact.
+    words_.back() = (uint64_t{1} << (n & 63)) - 1;
+  }
+  ones_ = v ? n : 0;
+  rank_dirty_ = true;
+}
+
+void RankSelectBitmap::EnsureRank() const {
+  if (!rank_dirty_) return;
+  const size_t blocks = (words_.size() + kWordsPerBlock - 1) / kWordsPerBlock;
+  rank_.assign(blocks + 1, 0);
+  uint64_t acc = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    rank_[b] = acc;
+    const size_t end = std::min(words_.size(), (b + 1) * kWordsPerBlock);
+    for (size_t w = b * kWordsPerBlock; w < end; ++w) {
+      acc += static_cast<uint64_t>(std::popcount(words_[w]));
+    }
+  }
+  rank_[blocks] = acc;
+  rank_dirty_ = false;
+}
+
+size_t RankSelectBitmap::Rank1(size_t end) const {
+  EnsureRank();
+  const size_t word = end >> 6;
+  const size_t block = word / kWordsPerBlock;
+  size_t count = static_cast<size_t>(rank_[block]);
+  for (size_t w = block * kWordsPerBlock; w < word; ++w) {
+    count += static_cast<size_t>(std::popcount(words_[w]));
+  }
+  const size_t tail = end & 63;
+  if (tail != 0) {
+    count += static_cast<size_t>(
+        std::popcount(words_[word] & ((uint64_t{1} << tail) - 1)));
+  }
+  return count;
+}
+
+size_t RankSelectBitmap::MemoryBytes() const {
+  return words_.size() * sizeof(uint64_t) + rank_.size() * sizeof(uint64_t);
+}
+
+// ---- CompressedScoreArray -----------------------------------------------
+
+uint64_t CompressedScoreArray::Key(double d) {
+  if (d == 0.0) d = 0.0;  // -0.0 -> +0.0: keys must agree with operator<
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return (u >> 63) ? ~u : (u | (uint64_t{1} << 63));
+}
+
+double CompressedScoreArray::FromKey(uint64_t k) {
+  const uint64_t u = (k >> 63) ? (k & ~(uint64_t{1} << 63)) : ~k;
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+CompressedScoreArray CompressedScoreArray::FromSorted(
+    std::vector<double> sorted) {
+  CompressedScoreArray a;
+  a.size_ = sorted.size();
+  if (sorted.empty()) return a;
+  a.first_key_ = Key(sorted.front());
+
+  // Width = bits of the largest key gap; one pass to size, one to pack.
+  uint64_t prev = a.first_key_;
+  uint64_t max_delta = 0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const uint64_t k = Key(sorted[i]);
+    const uint64_t delta = k - prev;  // keys non-decreasing: no wrap
+    if (delta > max_delta) max_delta = delta;
+    prev = k;
+  }
+  a.width_ = max_delta == 0 ? 0 : static_cast<uint32_t>(
+                                      64 - std::countl_zero(max_delta));
+
+  const size_t deltas = sorted.size() - 1;
+  // One spare word lets DeltaAt read two words unconditionally.
+  a.packed_.assign((deltas * a.width_ + 63) / 64 + 1, 0);
+  a.samples_.reserve(deltas / kSampleEvery);
+  prev = a.first_key_;
+  for (size_t j = 0; j < deltas; ++j) {
+    const uint64_t k = Key(sorted[j + 1]);
+    const uint64_t delta = k - prev;
+    prev = k;
+    if (a.width_ != 0) {
+      const size_t bit = j * a.width_;
+      const size_t w = bit >> 6;
+      const size_t off = bit & 63;
+      a.packed_[w] |= delta << off;
+      if (off + a.width_ > 64) a.packed_[w + 1] |= delta >> (64 - off);
+    }
+    if ((j + 1) % kSampleEvery == 0) a.samples_.push_back(k);
+  }
+  return a;
+}
+
+uint64_t CompressedScoreArray::DeltaAt(size_t j) const {
+  if (width_ == 0) return 0;
+  const size_t bit = j * width_;
+  const size_t off = bit & 63;
+  uint64_t v = packed_[bit >> 6] >> off;
+  if (off != 0) v |= packed_[(bit >> 6) + 1] << (64 - off);
+  return width_ == 64 ? v : (v & ((uint64_t{1} << width_) - 1));
+}
+
+int64_t CompressedScoreArray::CountStrictlyBelow(double s) const {
+  if (size_ == 0) return 0;
+  const uint64_t target = Key(s);
+  if (target <= first_key_) return 0;
+  // Largest sampled block whose start key is < target: every element of
+  // earlier blocks is certainly < target, so only one block decodes.
+  size_t lo = 0;
+  size_t hi = samples_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (samples_[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Block `lo` starts at element lo * kSampleEvery, whose key (the
+  // block's sample; first_key_ for block 0) is < target — and so is every
+  // earlier element (keys are non-decreasing). Scan forward until the
+  // first key >= target; because block lo + 1's sample is >= target, the
+  // scan covers at most one block plus one element.
+  size_t i = lo * kSampleEvery;
+  uint64_t key = lo == 0 ? first_key_ : samples_[lo - 1];
+  while (i < size_ && key < target) {
+    ++i;
+    if (i == size_) break;
+    key += DeltaAt(i - 1);
+  }
+  return static_cast<int64_t>(i);
+}
+
+double CompressedScoreArray::Cursor::value() const { return FromKey(key_); }
+
+void CompressedScoreArray::Cursor::Next() {
+  ++i_;
+  if (i_ < a_->size_) key_ += a_->DeltaAt(i_ - 1);
+}
+
+std::vector<double> CompressedScoreArray::ToVector() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  for (Cursor c = begin(); c.valid(); c.Next()) out.push_back(c.value());
+  return out;
+}
+
+size_t CompressedScoreArray::MemoryBytes() const {
+  return packed_.size() * sizeof(uint64_t) +
+         samples_.size() * sizeof(uint64_t);
+}
+
+}  // namespace gir

@@ -1,0 +1,150 @@
+#ifndef GIR_GRID_SUCCINCT_H_
+#define GIR_GRID_SUCCINCT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gir {
+
+/// RankSelectBitmap — a bit-per-entry liveness bitmap with O(1) popcount
+/// and near-O(1) rank, replacing the byte-per-entry tombstone vectors of
+/// the dynamic index (DESIGN.md §14). Bits live in u64 words (8x denser
+/// than the byte vectors); a superblock directory of cumulative ones
+/// counts (one u64 per 512 bits, ~1.5% overhead) is rebuilt lazily after
+/// mutations, so churn-heavy phases pay nothing for it and query-side
+/// Rank1 calls amortize one linear pass per mutation burst.
+///
+/// The on-disk GIRDYN01 format keeps its byte-per-entry bitmaps for
+/// compatibility; FromBytes / ToBytes convert at the persistence
+/// boundary.
+class RankSelectBitmap {
+ public:
+  RankSelectBitmap() = default;
+
+  /// n bits, all set (every row alive) — the fresh-generation state.
+  static RankSelectBitmap AllOnes(size_t n);
+
+  /// Converts a byte-per-entry bitmap (values 0/1; anything else has been
+  /// rejected by the caller's validation) into the packed form.
+  static RankSelectBitmap FromBytes(const std::vector<uint8_t>& bytes);
+
+  /// Byte-per-entry view for the GIRDYN01 writer.
+  std::vector<uint8_t> ToBytes() const;
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Set(size_t i, bool v);
+  void PushBack(bool v);
+
+  /// Resets to n bits all equal to v.
+  void Assign(size_t n, bool v);
+
+  size_t size() const { return size_; }
+  /// Set-bit count, maintained incrementally — the live-row count is O(1)
+  /// instead of a pass over the bytes.
+  size_t ones() const { return ones_; }
+  size_t zeros() const { return size_ - ones_; }
+
+  /// Number of set bits in [0, end). end <= size(). Superblock lookup +
+  /// at most 8 word popcounts.
+  size_t Rank1(size_t end) const;
+
+  /// Resident bytes: words + rank directory.
+  size_t MemoryBytes() const;
+
+ private:
+  /// Rebuilds the superblock directory if mutations invalidated it.
+  void EnsureRank() const;
+
+  static constexpr size_t kWordsPerBlock = 8;  // 512-bit superblocks
+
+  size_t size_ = 0;
+  size_t ones_ = 0;
+  std::vector<uint64_t> words_;
+  /// rank_[b] = ones in words [0, b * kWordsPerBlock).
+  mutable std::vector<uint64_t> rank_;
+  mutable bool rank_dirty_ = false;
+};
+
+/// CompressedScoreArray — an immutable sorted array of doubles stored as
+/// delta-coded, bit-packed order-preserving integer keys, with periodic
+/// raw samples for binary-search restarts (the grid/bit_packed.h idiom
+/// applied to the dynamic index's per-weight base score arrays).
+///
+/// Each double maps to a u64 key through the standard order-preserving
+/// bijection (sign bit flip for positives, full complement for
+/// negatives), with -0.0 canonicalized to +0.0 first so key order agrees
+/// with double comparison everywhere. Sorted keys are non-decreasing, so
+/// consecutive differences pack into width = max-delta bits each; every
+/// kSampleEvery-th key is stored raw. Because the key map is a bijection
+/// on canonical doubles, decoding returns bit-exact values and
+/// CountStrictlyBelow matches std::lower_bound on the original array for
+/// every query — the property the dynamic index's rank corrections rest
+/// on.
+class CompressedScoreArray {
+ public:
+  CompressedScoreArray() = default;
+
+  /// Compresses `sorted` (ascending; consumed). Finite values only — the
+  /// score kernels never produce NaN from the validated datasets.
+  static CompressedScoreArray FromSorted(std::vector<double> sorted);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// #{x in the array : x < s}; identical to the lower_bound count on the
+  /// uncompressed array. O(log(n / sample) + sample) key decodes.
+  int64_t CountStrictlyBelow(double s) const;
+
+  /// Forward decoder for ordered merges (SeedDeltaHead): one add + one
+  /// shift per step.
+  class Cursor {
+   public:
+    bool valid() const { return i_ < a_->size_; }
+    double value() const;
+    void Next();
+
+   private:
+    friend class CompressedScoreArray;
+    explicit Cursor(const CompressedScoreArray* a)
+        : a_(a), i_(0), key_(a->first_key_) {}
+    const CompressedScoreArray* a_;
+    size_t i_;
+    uint64_t key_;
+  };
+
+  Cursor begin() const { return Cursor(this); }
+
+  /// Decompressed copy (tests / diagnostics).
+  std::vector<double> ToVector() const;
+
+  /// Resident bytes: packed delta words + samples.
+  size_t MemoryBytes() const;
+
+  /// Bytes the same array would occupy as a plain double vector — the
+  /// baseline the footprint benches compare against.
+  size_t UncompressedBytes() const { return size_ * sizeof(double); }
+
+ private:
+  static constexpr size_t kSampleEvery = 64;
+
+  /// Order-preserving double <-> u64 key bijection (canonical -0 == +0).
+  static uint64_t Key(double d);
+  static double FromKey(uint64_t k);
+
+  /// Delta between elements j and j+1, j in [0, size-2].
+  uint64_t DeltaAt(size_t j) const;
+
+  size_t size_ = 0;
+  uint32_t width_ = 0;  // bits per packed delta
+  uint64_t first_key_ = 0;
+  std::vector<uint64_t> packed_;   // (size-1) deltas, LSB-first
+  std::vector<uint64_t> samples_;  // key of element (t+1) * kSampleEvery
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_SUCCINCT_H_

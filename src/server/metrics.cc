@@ -67,6 +67,19 @@ std::string ServerMetrics::Render() const {
   AppendLine(&out, "mutations_applied", mutations_.load(kRelaxed));
   AppendLine(&out, "compactions", compactions_.load(kRelaxed));
   AppendLine(&out, "queue_depth", queue_depth_.load(kRelaxed));
+  // Block-max pruning effectiveness across every scan the server ran:
+  // skipped points never entered a bound accumulator; the rate is skipped
+  // over (skipped + streamed), in whole percent.
+  const uint64_t streamed = scan_points_streamed_.load(kRelaxed);
+  const uint64_t skipped = scan_points_skipped_.load(kRelaxed);
+  AppendLine(&out, "scan_points_streamed", streamed);
+  AppendLine(&out, "scan_points_skipped", skipped);
+  AppendLine(&out, "scan_blocks_skipped", scan_blocks_skipped_.load(kRelaxed));
+  AppendLine(&out, "scan_blocks_descended",
+             scan_blocks_descended_.load(kRelaxed));
+  AppendLine(&out, "scan_skip_rate_pct",
+             streamed + skipped > 0 ? skipped * 100 / (streamed + skipped)
+                                    : 0);
   AppendLine(&out, "qps",
              uptime > 0 ? completed * 1000000u /
                               static_cast<uint64_t>(uptime)

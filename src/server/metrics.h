@@ -47,6 +47,18 @@ class ServerMetrics {
     latency_hist_[Bucket(us)].fetch_add(1, kRelaxed);
   }
 
+  /// Scan-work accounting from a dispatched batch's QueryStats: points the
+  /// engine streamed through its bound accumulators vs points the
+  /// block-max cursor settled without touching, plus the block-granular
+  /// decisions behind them.
+  void RecordScanWork(uint64_t points_streamed, uint64_t points_skipped,
+                      uint64_t blocks_skipped, uint64_t blocks_descended) {
+    scan_points_streamed_.fetch_add(points_streamed, kRelaxed);
+    scan_points_skipped_.fetch_add(points_skipped, kRelaxed);
+    scan_blocks_skipped_.fetch_add(blocks_skipped, kRelaxed);
+    scan_blocks_descended_.fetch_add(blocks_descended, kRelaxed);
+  }
+
   void SetQueueDepth(uint64_t depth) { queue_depth_.store(depth, kRelaxed); }
 
   /// Renders the snapshot served by the STATS verb: one `key value` pair
@@ -83,6 +95,10 @@ class ServerMetrics {
   std::atomic<uint64_t> completed_requests_{0};
   std::atomic<uint64_t> completed_queries_{0};
   std::atomic<uint64_t> queue_depth_{0};
+  std::atomic<uint64_t> scan_points_streamed_{0};
+  std::atomic<uint64_t> scan_points_skipped_{0};
+  std::atomic<uint64_t> scan_blocks_skipped_{0};
+  std::atomic<uint64_t> scan_blocks_descended_{0};
   std::atomic<uint64_t> batch_hist_[kBuckets] = {};
   std::atomic<uint64_t> latency_hist_[kBuckets] = {};
 };

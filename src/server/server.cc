@@ -458,15 +458,20 @@ void QueryServer::ExecuteBatch(bool is_rkr, uint32_t k,
   std::vector<ReverseTopKResult> topk;
   std::vector<ReverseKRanksResult> kranks;
   uint64_t version = 0;
+  QueryStats scan_stats;
   {
     std::shared_lock<std::shared_mutex> guard(index_mu_);
     version = index_version();
     if (is_rkr) {
-      kranks = index_->ReverseKRanksBatch(queries, k);
+      kranks = index_->ReverseKRanksBatch(queries, k, &scan_stats);
     } else {
-      topk = index_->ReverseTopKBatch(queries, k);
+      topk = index_->ReverseTopKBatch(queries, k, &scan_stats);
     }
   }
+  metrics_.RecordScanWork(scan_stats.points_streamed,
+                          scan_stats.points_skipped,
+                          scan_stats.blocks_skipped,
+                          scan_stats.blocks_descended);
 
   size_t offset = 0;
   for (const PendingGroup& group : live) {

@@ -1,0 +1,513 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "grid/block_max.h"
+#include "grid/blocked_scan.h"
+#include "grid/dynamic_index.h"
+#include "grid/gir_queries.h"
+#include "grid/index_io.h"
+#include "grid/succinct.h"
+#include "test_util.h"
+
+namespace gir {
+namespace {
+
+using testing_util::MakeTieHeavy;
+using testing_util::MakeWorkload;
+using testing_util::Workload;
+
+// ---- RankSelectBitmap ---------------------------------------------------
+
+TEST(RankSelectBitmapTest, MatchesByteReferenceUnderRandomOps) {
+  std::mt19937_64 rng(7);
+  RankSelectBitmap bitmap;
+  std::vector<uint8_t> ref;
+  for (size_t step = 0; step < 2000; ++step) {
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0 || ref.empty()) {
+      const bool v = (rng() & 1) != 0;
+      bitmap.PushBack(v);
+      ref.push_back(v ? 1 : 0);
+    } else if (op == 1) {
+      const size_t i = rng() % ref.size();
+      const bool v = (rng() & 1) != 0;
+      bitmap.Set(i, v);
+      ref[i] = v ? 1 : 0;
+    } else {
+      const size_t end = rng() % (ref.size() + 1);
+      const size_t expect = static_cast<size_t>(
+          std::count(ref.begin(), ref.begin() + end, 1));
+      ASSERT_EQ(bitmap.Rank1(end), expect) << "end=" << end;
+    }
+    ASSERT_EQ(bitmap.size(), ref.size());
+    ASSERT_EQ(bitmap.ones(),
+              static_cast<size_t>(std::count(ref.begin(), ref.end(), 1)));
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(bitmap.Get(i), ref[i] != 0) << i;
+  }
+  EXPECT_EQ(bitmap.ToBytes(), ref);
+}
+
+TEST(RankSelectBitmapTest, FromBytesRoundTripsAndCounts) {
+  std::mt19937_64 rng(11);
+  std::vector<uint8_t> bytes(777);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng() & 1);
+  RankSelectBitmap bitmap = RankSelectBitmap::FromBytes(bytes);
+  EXPECT_EQ(bitmap.size(), bytes.size());
+  EXPECT_EQ(bitmap.ToBytes(), bytes);
+  EXPECT_EQ(bitmap.ones(),
+            static_cast<size_t>(std::count(bytes.begin(), bytes.end(), 1)));
+  EXPECT_EQ(bitmap.zeros(), bytes.size() - bitmap.ones());
+  EXPECT_EQ(bitmap.Rank1(bytes.size()), bitmap.ones());
+  // 8x denser than the byte vector (plus the small rank directory).
+  EXPECT_LT(bitmap.MemoryBytes(), bytes.size());
+}
+
+TEST(RankSelectBitmapTest, AllOnesAndAssign) {
+  RankSelectBitmap bitmap = RankSelectBitmap::AllOnes(130);
+  EXPECT_EQ(bitmap.size(), 130u);
+  EXPECT_EQ(bitmap.ones(), 130u);
+  EXPECT_EQ(bitmap.Rank1(65), 65u);
+  bitmap.Assign(40, false);
+  EXPECT_EQ(bitmap.size(), 40u);
+  EXPECT_EQ(bitmap.ones(), 0u);
+  EXPECT_EQ(bitmap.Rank1(40), 0u);
+  bitmap.Assign(0, false);
+  EXPECT_EQ(bitmap.size(), 0u);
+  EXPECT_EQ(bitmap.Rank1(0), 0u);
+}
+
+// ---- CompressedScoreArray -----------------------------------------------
+
+std::vector<double> RandomSortedScores(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-5000.0, 5000.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  // Inject ties and signed zeros — the adversarial cases for the
+  // order-preserving key map.
+  for (size_t i = 0; 3 * i + 2 < n; i += 7) v[3 * i + 2] = v[3 * i];
+  if (n > 4) {
+    v[1] = 0.0;
+    v[2] = -0.0;
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(CompressedScoreArrayTest, RoundTripIsBitExact) {
+  for (const size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 1000u}) {
+    const std::vector<double> v = RandomSortedScores(n, 100 + n);
+    CompressedScoreArray a = CompressedScoreArray::FromSorted(v);
+    ASSERT_EQ(a.size(), n);
+    const std::vector<double> back = a.ToVector();
+    ASSERT_EQ(back.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      // Bit-exact up to the canonical -0.0 == +0.0 (key bijection).
+      ASSERT_EQ(back[i], v[i]) << i;
+    }
+  }
+}
+
+TEST(CompressedScoreArrayTest, CountStrictlyBelowMatchesLowerBound) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<double> v = RandomSortedScores(513, seed);
+    CompressedScoreArray a = CompressedScoreArray::FromSorted(v);
+    std::vector<double> targets = v;
+    for (double x : v) {
+      targets.push_back(std::nextafter(x, 1e308));
+      targets.push_back(std::nextafter(x, -1e308));
+    }
+    targets.push_back(0.0);
+    targets.push_back(-0.0);
+    targets.push_back(v.front() - 1.0);
+    targets.push_back(v.back() + 1.0);
+    targets.push_back(std::numeric_limits<double>::infinity());
+    targets.push_back(-std::numeric_limits<double>::infinity());
+    for (double t : targets) {
+      const int64_t expect = static_cast<int64_t>(
+          std::lower_bound(v.begin(), v.end(), t) - v.begin());
+      ASSERT_EQ(a.CountStrictlyBelow(t), expect) << "target=" << t;
+    }
+  }
+}
+
+TEST(CompressedScoreArrayTest, ConstantAndEmptyArrays) {
+  CompressedScoreArray empty = CompressedScoreArray::FromSorted({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.CountStrictlyBelow(0.0), 0);
+  EXPECT_FALSE(empty.begin().valid());
+
+  std::vector<double> flat(200, 42.5);
+  CompressedScoreArray a = CompressedScoreArray::FromSorted(flat);
+  EXPECT_EQ(a.ToVector(), flat);
+  EXPECT_EQ(a.CountStrictlyBelow(42.5), 0);
+  EXPECT_EQ(a.CountStrictlyBelow(std::nextafter(42.5, 1e308)), 200);
+  // All deltas are zero: the packed payload collapses to ~nothing.
+  EXPECT_LT(a.MemoryBytes(), a.UncompressedBytes() / 10);
+}
+
+TEST(CompressedScoreArrayTest, CursorStreamsInOrder) {
+  const std::vector<double> v = RandomSortedScores(300, 9);
+  CompressedScoreArray a = CompressedScoreArray::FromSorted(v);
+  size_t i = 0;
+  for (CompressedScoreArray::Cursor c = a.begin(); c.valid(); c.Next()) {
+    ASSERT_LT(i, v.size());
+    ASSERT_EQ(c.value(), v[i]) << i;
+    ++i;
+  }
+  EXPECT_EQ(i, v.size());
+}
+
+TEST(CompressedScoreArrayTest, ClusteredScoresCompress) {
+  // Lattice-valued scores (small integer deltas) — the shape real
+  // inner-product arrays take under the tie-heavy generators.
+  std::vector<double> v(4096);
+  std::mt19937_64 rng(13);
+  for (auto& x : v) x = static_cast<double>(rng() % 1000);
+  std::sort(v.begin(), v.end());
+  CompressedScoreArray a = CompressedScoreArray::FromSorted(v);
+  EXPECT_EQ(a.ToVector(), v);
+  EXPECT_LT(a.MemoryBytes(), a.UncompressedBytes());
+}
+
+// ---- Cursor bit-identity ------------------------------------------------
+
+/// Correlated ramp: every dimension of row j sits near 9000 * j / n, so
+/// scan blocks have narrow per-dimension ranges — the score-homogeneous
+/// layout where the block-max cursor resolves almost every block.
+/// (Sorting *uniform* data by coordinate sum is not enough: each
+/// dimension's block max stays near the global max.)
+Dataset RampPoints(size_t n, size_t d, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> noise(0.0, 200.0);
+  std::vector<double> flat(n * d);
+  for (size_t j = 0; j < n; ++j) {
+    const double base = 9000.0 * static_cast<double>(j) / static_cast<double>(n);
+    for (size_t i = 0; i < d; ++i) flat[j * d + i] = base + noise(rng);
+  }
+  return Dataset::FromFlat(d, std::move(flat)).value();
+}
+
+Dataset SortedBySum(const Dataset& ds) {
+  std::vector<size_t> order(ds.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double sa = 0.0, sb = 0.0;
+    for (size_t i = 0; i < ds.dim(); ++i) {
+      sa += ds.row(a)[i];
+      sb += ds.row(b)[i];
+    }
+    return sa < sb;
+  });
+  Dataset out(ds.dim());
+  out.Reserve(ds.size());
+  for (size_t i : order) out.AppendUnchecked(ds.row(i));
+  return out;
+}
+
+GirIndex BuildIndex(const Workload& w, ScanMode mode, bool use_block_max) {
+  GirOptions options;
+  options.scan_mode = mode;
+  options.use_block_max = use_block_max;
+  auto built = GirIndex::Build(w.points, w.weights, options);
+  EXPECT_TRUE(built.ok()) << built.status().message();
+  return std::move(built).value();
+}
+
+void ExpectIdenticalAnswers(const GirIndex& on, const GirIndex& off,
+                            const Dataset& queries) {
+  for (const size_t k : {1u, 3u, 17u}) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      ConstRow q = queries.row(qi);
+      EXPECT_EQ(on.ReverseTopK(q, k), off.ReverseTopK(q, k))
+          << "topk qi=" << qi << " k=" << k;
+      EXPECT_EQ(on.ReverseKRanks(q, k), off.ReverseKRanks(q, k))
+          << "kranks qi=" << qi << " k=" << k;
+    }
+    EXPECT_EQ(on.ReverseTopKBatch(queries, k),
+              off.ReverseTopKBatch(queries, k));
+    EXPECT_EQ(on.ReverseKRanksBatch(queries, k),
+              off.ReverseKRanksBatch(queries, k));
+  }
+}
+
+TEST(BlockMaxCursorTest, BitIdenticalOnTieHeavyWorkload) {
+  // > 1 scan block (d=16 gives 2048-point blocks) with constant exact
+  // ties — the adversarial case for the take-all margin.
+  Workload w{MakeTieHeavy(6144, 16, 21),
+             testing_util::SmallWeights(48, 16, 22)};
+  const Dataset queries = testing_util::SmallPoints(6, 16, 23);
+  for (ScanMode mode :
+       {ScanMode::kWeightAtATime, ScanMode::kBlocked, ScanMode::kTauIndex}) {
+    GirIndex on = BuildIndex(w, mode, /*use_block_max=*/true);
+    GirIndex off = BuildIndex(w, mode, /*use_block_max=*/false);
+    ASSERT_NE(on.block_max(), nullptr);
+    ASSERT_EQ(off.block_max(), nullptr);
+    ExpectIdenticalAnswers(on, off, queries);
+  }
+}
+
+TEST(BlockMaxCursorTest, BitIdenticalOnScoreHomogeneousBlocks) {
+  // Sorting P by coordinate sum makes blocks score-homogeneous, the
+  // maximum-skip layout; extreme queries drive the all-skipped paths.
+  Workload w = MakeWorkload(6144, 48, 16, 31);
+  w.points = SortedBySum(w.points);
+  Dataset queries(16);
+  std::vector<double> row(16, 0.0);
+  queries.AppendUnchecked(w.points.row(w.points.size() / 2));
+  for (auto& x : row) x = 1e6;  // above every score: every block takes all
+  queries.AppendUnchecked(ConstRow(row.data(), row.size()));
+  std::fill(row.begin(), row.end(), 0.0);  // below: every block skips zero
+  queries.AppendUnchecked(ConstRow(row.data(), row.size()));
+  for (ScanMode mode : {ScanMode::kBlocked, ScanMode::kTauIndex}) {
+    GirIndex on = BuildIndex(w, mode, /*use_block_max=*/true);
+    GirIndex off = BuildIndex(w, mode, /*use_block_max=*/false);
+    ExpectIdenticalAnswers(on, off, queries);
+  }
+}
+
+TEST(BlockMaxCursorTest, SkipCountersAccountForEveryPoint) {
+  Workload w = MakeWorkload(6144, 32, 16, 41);
+  w.points = RampPoints(6144, 16, 42);
+  GirIndex on = BuildIndex(w, ScanMode::kBlocked, /*use_block_max=*/true);
+  GirIndex off = BuildIndex(w, ScanMode::kBlocked, /*use_block_max=*/false);
+  ConstRow q = w.points.row(w.points.size() / 2);
+  QueryStats stats_on, stats_off;
+  EXPECT_EQ(on.ReverseKRanks(q, 5, &stats_on),
+            off.ReverseKRanks(q, 5, &stats_off));
+  // The cursor must actually fire on this layout...
+  EXPECT_GT(stats_on.blocks_skipped, 0u);
+  EXPECT_GT(stats_on.points_skipped, 0u);
+  EXPECT_EQ(stats_off.blocks_skipped, 0u);
+  EXPECT_EQ(stats_off.points_skipped, 0u);
+  // ...and every point it skips is one the linear sweep would have
+  // visited: visited + skipped is invariant, dominated is untouched.
+  EXPECT_EQ(stats_on.points_visited + stats_on.points_skipped,
+            stats_off.points_visited);
+  EXPECT_EQ(stats_on.points_dominated, stats_off.points_dominated);
+}
+
+TEST(BlockMaxCursorTest, BitIdenticalUnderTombstoneRiddledChurn) {
+  DynamicIndexOptions options;
+  options.gir.scan_mode = ScanMode::kBlocked;
+  options.auto_compact = false;
+  Workload w = MakeWorkload(4096, 40, 16, 51);
+  w.points = SortedBySum(w.points);
+  auto built = DynamicGirIndex::Build(w.points, w.weights, options);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  DynamicGirIndex dyn = std::move(built).value();
+  // Riddle the base with tombstones and add delta rows so the dirty
+  // scanners run against blocks full of dominated/dead points.
+  std::mt19937_64 rng(52);
+  for (size_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(dyn.DeletePoint(rng() % dyn.live_point_count()).ok());
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(dyn.DeleteWeight(rng() % dyn.live_weight_count()).ok());
+  }
+  const Dataset extra = testing_util::SmallPoints(60, 16, 53);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(dyn.InsertPoint(extra.row(i)).ok());
+  }
+  ASSERT_TRUE(dyn.dirty());
+
+  Workload live{dyn.LivePoints(), dyn.LiveWeights()};
+  GirIndex oracle = BuildIndex(live, ScanMode::kBlocked,
+                               /*use_block_max=*/false);
+  const Dataset queries = testing_util::SmallPoints(5, 16, 54);
+  for (const size_t k : {1u, 4u, 9u}) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      ConstRow q = queries.row(qi);
+      EXPECT_EQ(dyn.ReverseTopK(q, k), oracle.ReverseTopK(q, k))
+          << "qi=" << qi << " k=" << k;
+      EXPECT_EQ(dyn.ReverseKRanks(q, k), oracle.ReverseKRanks(q, k))
+          << "qi=" << qi << " k=" << k;
+    }
+  }
+
+  const DynamicGirIndex::MemoryBreakdown mb = dyn.MemoryBytes();
+  EXPECT_GT(mb.base_bytes, 0u);
+  EXPECT_GT(mb.block_max_bytes, 0u);
+  EXPECT_GT(mb.bitmap_bytes, 0u);
+  EXPECT_GT(mb.delta_bytes, 0u);
+  EXPECT_EQ(mb.total(), mb.base_bytes + mb.tau_bytes + mb.block_max_bytes +
+                            mb.bitmap_bytes + mb.delta_bytes);
+}
+
+// ---- GIRBMX01 serialization (hostile inputs) ----------------------------
+
+class BlockMaxIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gir_bmx_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    workload_ = MakeWorkload(200, 16, 16, 61);
+    GirOptions options;
+    options.use_block_max = true;
+    auto built = GirIndex::Build(workload_.points, workload_.weights, options);
+    ASSERT_TRUE(built.ok());
+    index_.emplace(std::move(built).value());
+    path_ = (dir_ / "index.bin").string();
+    ASSERT_TRUE(SaveGirIndex(path_, *index_).ok());
+    // Trailing-section geometry: magic(8) + dim u32 + n u64 + bp u64 +
+    // 2*dim edge doubles + 2*dim*nb u16 codes, lengths header-implied.
+    const BlockMaxIndex& bmx = *index_->block_max();
+    section_bytes_ = 8 + 4 + 8 + 8 + 2 * bmx.dim() * sizeof(double) +
+                     2 * bmx.dim() * bmx.num_blocks() * sizeof(uint16_t);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<char> ReadFile() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+  void WriteFile(const std::vector<char>& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  size_t SectionOffset(const std::vector<char>& bytes) const {
+    return bytes.size() - section_bytes_;
+  }
+  Result<GirIndex> Load() const {
+    return LoadGirIndex(path_, workload_.points, workload_.weights);
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+  Workload workload_{Dataset(16), Dataset(16)};
+  std::optional<GirIndex> index_;
+  size_t section_bytes_ = 0;
+};
+
+TEST_F(BlockMaxIoTest, SectionRoundTrips) {
+  auto loaded = Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(loaded.value().block_max(), nullptr);
+  const BlockMaxIndex& got = *loaded.value().block_max();
+  const BlockMaxIndex& want = *index_->block_max();
+  EXPECT_EQ(got.qmin(), want.qmin());
+  EXPECT_EQ(got.qmax(), want.qmax());
+  EXPECT_EQ(got.dim_lo(), want.dim_lo());
+  EXPECT_EQ(got.dim_hi(), want.dim_hi());
+  const Dataset queries = testing_util::SmallPoints(4, 16, 62);
+  ExpectIdenticalAnswers(loaded.value(), *index_, queries);
+}
+
+TEST_F(BlockMaxIoTest, LegacyFileWithoutSectionRebuildsFresh) {
+  // A pre-block-max GIRIDX01 file ends at the weight cells; the loader
+  // rebuilds the skip structure so old indexes gain the cursor.
+  std::vector<char> bytes = ReadFile();
+  bytes.resize(SectionOffset(bytes));
+  WriteFile(bytes);
+  auto loaded = Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(loaded.value().block_max(), nullptr);
+  EXPECT_EQ(loaded.value().block_max()->qmin(), index_->block_max()->qmin());
+  EXPECT_EQ(loaded.value().block_max()->qmax(), index_->block_max()->qmax());
+}
+
+TEST_F(BlockMaxIoTest, RejectsTruncatedSection) {
+  std::vector<char> bytes = ReadFile();
+  for (const size_t keep :
+       std::vector<size_t>{4, 12, 30, section_bytes_ - 2}) {
+    std::vector<char> cut(bytes.begin(),
+                          bytes.begin() + SectionOffset(bytes) + keep);
+    WriteFile(cut);
+    auto loaded = Load();
+    ASSERT_FALSE(loaded.ok()) << "keep=" << keep;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(BlockMaxIoTest, RejectsForgedSectionMagic) {
+  std::vector<char> bytes = ReadFile();
+  bytes[SectionOffset(bytes)] = 'X';
+  WriteFile(bytes);
+  auto loaded = Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BlockMaxIoTest, RejectsForgedBlockCounts) {
+  const std::vector<char> orig = ReadFile();
+  // block_points lives after magic(8) + dim(4) + num_points(8).
+  const size_t bp_off = SectionOffset(orig) + 20;
+  for (const uint64_t forged :
+       {uint64_t{0}, uint64_t{64}, uint64_t{1} << 60}) {
+    std::vector<char> bytes = orig;
+    std::memcpy(bytes.data() + bp_off, &forged, sizeof(forged));
+    WriteFile(bytes);
+    auto loaded = Load();
+    ASSERT_FALSE(loaded.ok()) << "forged=" << forged;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(BlockMaxIoTest, RejectsNonMonotoneBounds) {
+  std::vector<char> bytes = ReadFile();
+  const BlockMaxIndex& bmx = *index_->block_max();
+  const size_t qmin_off =
+      SectionOffset(bytes) + 28 + 2 * bmx.dim() * sizeof(double);
+  const uint16_t hi = 0xFFFF;
+  std::memcpy(bytes.data() + qmin_off, &hi, sizeof(hi));
+  const size_t qmax_off =
+      qmin_off + bmx.dim() * bmx.num_blocks() * sizeof(uint16_t);
+  const uint16_t lo = 0;
+  std::memcpy(bytes.data() + qmax_off, &lo, sizeof(lo));
+  WriteFile(bytes);
+  auto loaded = Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BlockMaxIoTest, RejectsUnsoundBounds) {
+  // Forge qmin := qmax: still monotone, but the dequantized lower bounds
+  // no longer bracket the block minima — the float fallback verification
+  // (SoundFor) must catch it, since an unsound bound would silently
+  // change query results.
+  std::vector<char> bytes = ReadFile();
+  const BlockMaxIndex& bmx = *index_->block_max();
+  const size_t codes = bmx.dim() * bmx.num_blocks();
+  const size_t qmin_off =
+      SectionOffset(bytes) + 28 + 2 * bmx.dim() * sizeof(double);
+  const size_t qmax_off = qmin_off + codes * sizeof(uint16_t);
+  std::memcpy(bytes.data() + qmin_off, bytes.data() + qmax_off,
+              codes * sizeof(uint16_t));
+  WriteFile(bytes);
+  auto loaded = Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("bracket"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_F(BlockMaxIoTest, RejectsTrailingGarbage) {
+  std::vector<char> bytes = ReadFile();
+  bytes.push_back('\0');
+  bytes.push_back('!');
+  WriteFile(bytes);
+  auto loaded = Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gir

@@ -160,6 +160,8 @@ TEST_F(CliTest, AdaptiveIndexRoundTrips) {
                    Path("p.bin") + " --weights " + Path("w.bin"), &output),
             0);
   EXPECT_NE(output.find("adaptive"), std::string::npos);
+  EXPECT_NE(output.find("sections: base"), std::string::npos);
+  EXPECT_NE(output.find("block-max"), std::string::npos);
 }
 
 TEST_F(CliTest, QueryVectorLiteral) {

@@ -172,8 +172,14 @@ TEST(GirIndexTest, MemoryBytesBreakdown) {
   GirOptions opts;
   opts.partitions = 32;
   auto index = GirIndex::Build(points, weights, opts).value();
+  ASSERT_NE(index.block_max(), nullptr);
   EXPECT_EQ(index.MemoryBytes(),
-            33u * 33u * sizeof(double) + 100u * 6u + 50u * 6u);
+            33u * 33u * sizeof(double) + 100u * 6u + 50u * 6u +
+                index.block_max()->MemoryBytes());
+  // 100 points fit one scan block: the breakdown is 2 u16 codes and 3
+  // double edges (lo / hi / step) per dimension.
+  EXPECT_EQ(index.block_max()->MemoryBytes(),
+            6u * (2u * sizeof(uint16_t) + 3u * sizeof(double)));
 }
 
 TEST(GirIndexTest, AllZeroWeightRowHandled) {

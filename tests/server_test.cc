@@ -126,6 +126,23 @@ TEST(QueryServerTest, PingInfoAndStatsRoundTrip) {
   EXPECT_NE(stats.value().find("requests_received"), std::string::npos);
   EXPECT_NE(stats.value().find("qps"), std::string::npos);
   EXPECT_NE(stats.value().find("latency_p99_us_le"), std::string::npos);
+
+  // The scan-work counters are part of the snapshot from the start, and
+  // after a query has run the streamed count must be nonzero (the blocked
+  // engine always streams at least the band blocks).
+  EXPECT_NE(stats.value().find("scan_points_streamed"), std::string::npos);
+  EXPECT_NE(stats.value().find("scan_points_skipped"), std::string::npos);
+  EXPECT_NE(stats.value().find("scan_skip_rate_pct"), std::string::npos);
+  ASSERT_TRUE(client.ReverseKRanks(points.row(0), 4).ok());
+  auto after = client.Stats();
+  ASSERT_TRUE(after.ok());
+  const std::string& text = after.value();
+  const size_t pos = text.find("scan_points_streamed ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(std::strtoull(
+                text.c_str() + pos + sizeof("scan_points_streamed ") - 1,
+                nullptr, 10),
+            0u);
 }
 
 TEST(QueryServerTest, SingleQueriesMatchLocalExecution) {

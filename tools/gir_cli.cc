@@ -343,6 +343,15 @@ int RunInfo(const Args& args) {
                                                             : "adaptive",
       points.value().size(), weights.value().size(),
       index.value().MemoryBytes());
+  const size_t tau_bytes = index.value().tau_index() != nullptr
+                               ? index.value().tau_index()->MemoryBytes()
+                               : 0;
+  const size_t bmx_bytes = index.value().block_max() != nullptr
+                               ? index.value().block_max()->MemoryBytes()
+                               : 0;
+  std::printf("  sections: base %zu, tau %zu, block-max %zu bytes\n",
+              index.value().MemoryBytes() - tau_bytes - bmx_bytes, tau_bytes,
+              bmx_bytes);
   return 0;
 }
 
@@ -690,6 +699,12 @@ int RunUpdateInfo(const Args& args) {
       index.delta_points().size(), index.delta_weights().size(),
       100.0 * index.options().compact_threshold,
       index.options().auto_compact ? "auto" : "manual");
+  const DynamicGirIndex::MemoryBreakdown mb = index.MemoryBytes();
+  std::printf(
+      "  sections: base %zu, tau %zu, block-max %zu, tombstone bitmaps %zu, "
+      "deltas %zu bytes (total %zu)\n",
+      mb.base_bytes, mb.tau_bytes, mb.block_max_bytes, mb.bitmap_bytes,
+      mb.delta_bytes, mb.total());
   return 0;
 }
 
