@@ -17,7 +17,13 @@
 // answers for everything admitted: bounded memory with loud rejects,
 // never silent queueing.
 //
-// Flags (besides --threads, which only stamps the JSON):
+// Every record stamps the thread counts the run actually used — the
+// server's accept+scheduler+reader threads and the router's shard
+// workers (or the load generator's client threads in --connect mode) —
+// not the --threads flag's value, which this bench ignores: a closed
+// loop's concurrency is set by --clients and the server's own threads.
+//
+// Flags:
 //   --connect PORT --points FILE --weights FILE
 //       [--host H] [--seconds S] [--clients N] [--k K]
 //     load-generator mode against an already-running gir_serve over the
@@ -39,6 +45,7 @@
 
 #include "bench/bench_common.h"
 #include "grid/dynamic_index.h"
+#include "grid/sharded_index.h"
 #include "io/dataset_io.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -196,12 +203,20 @@ double Qps(size_t requests, double ms) {
 
 /// One in-process server arm: start, drive the closed loop, snapshot the
 /// metrics, drain. Returns the achieved qps.
-double RunArm(const char* arm, DynamicGirIndex* index, ServerOptions options,
+double RunArm(const char* arm, ShardedGirIndex* index, ServerOptions options,
               const Workload& w, const Config& config, double seconds,
               BenchScale scale, bench::JsonLog& json, Tally* out_tally) {
   QueryServer server(index, options);
   const Status started = server.Start();
   if (!started.ok()) Fatal("server start: " + started.ToString());
+
+  // Real thread counts, not the --threads flag: one accept thread, one
+  // scheduler thread, one reader per client connection, plus the sharded
+  // router's pinned workers (zero in inline mode).
+  const size_t server_threads = 2 + config.clients;
+  const size_t shard_workers =
+      index->options().use_workers ? index->shard_count() : 0;
+  bench::BenchThreads() = server_threads + shard_workers;
 
   double elapsed_ms = 0.0;
   const Tally tally = RunClients(options.host, server.port(), w,
@@ -221,6 +236,9 @@ double RunArm(const char* arm, DynamicGirIndex* index, ServerOptions options,
           .Add("num_weights", config.m)
           .Add("k", static_cast<size_t>(w.k))
           .Add("clients", config.clients)
+          .Add("server_threads", server_threads)
+          .Add("shard_workers", shard_workers)
+          .Add("shards", index->shard_count())
           .Add("max_batch", static_cast<size_t>(options.max_batch))
           .Add("batch_wait_us", static_cast<size_t>(options.batch_wait_us))
           .Add("queue_limit", static_cast<size_t>(options.queue_limit))
@@ -259,18 +277,29 @@ void RunConfig(const Config& config, BenchScale scale,
   const Workload w =
       MakeWorkload(index, points, config.pool, 8, /*with_rkr=*/false);
 
+  // The server fronts a one-shard router in inline mode: the scheduler
+  // thread runs the sweeps itself, so the arms measure micro-batching,
+  // not shard handoff (bench_shard_scaling owns that axis).
+  ShardedIndexOptions serve_options;
+  serve_options.shards = 1;
+  serve_options.use_workers = false;
+  serve_options.dynamic = options;
+  auto served = ShardedGirIndex::Build(points, weights, serve_options);
+  if (!served.ok()) Fatal("build: " + served.status().ToString());
+
   // Arm 1: micro-batched. Arm 2: identical server with max_batch=1.
   ServerOptions batched;
   batched.max_batch = 64;
   batched.batch_wait_us = 200;
-  const double batched_qps = RunArm("microbatch", &index, batched, w,
-                                    config, config.seconds, scale, json,
-                                    nullptr);
+  const double batched_qps = RunArm("microbatch", served.value().get(),
+                                    batched, w, config, config.seconds,
+                                    scale, json, nullptr);
   ServerOptions single;
   single.max_batch = 1;
   single.batch_wait_us = 0;
-  const double single_qps = RunArm("single", &index, single, w, config,
-                                   config.seconds, scale, json, nullptr);
+  const double single_qps = RunArm("single", served.value().get(), single, w,
+                                   config, config.seconds, scale, json,
+                                   nullptr);
 
   const double speedup =
       single_qps > 0.0 ? batched_qps / single_qps : 0.0;
@@ -291,7 +320,7 @@ void RunConfig(const Config& config, BenchScale scale,
   overload.batch_wait_us = 50'000;
   overload.queue_limit = 4;
   Tally tally;
-  RunArm("overload", &index, overload, w, config,
+  RunArm("overload", served.value().get(), overload, w, config,
          std::min(config.seconds, 0.6), scale, json, &tally);
   if (tally.overloaded == 0) {
     Fatal("overload arm produced no kOverloaded rejects");
@@ -336,10 +365,14 @@ int RunExternal(const std::string& host, uint16_t port,
   auto stats = probe.Stats();
   if (!stats.ok()) Fatal("stats: " + stats.status().ToString());
 
+  // The server's threads live in another process; what this record can
+  // vouch for is the load generator's own concurrency.
+  bench::BenchThreads() = clients;
   bench::JsonLog json("server_throughput");
   json.Emit(bench::JsonRecord("server_throughput", scale)
                 .Add("arm", "external")
                 .Add("clients", clients)
+                .Add("client_threads", clients)
                 .Add("k", static_cast<size_t>(k))
                 .Add("elapsed_ms", elapsed_ms)
                 .Add("ok", tally.ok)

@@ -1001,7 +1001,8 @@ ReverseTopKResult DynamicGirIndex::DirtyReverseTopK(ConstRow q, size_t k,
 }
 
 ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
-    ConstRow q, size_t k, ThreadPool* pool, QueryStats* stats) const {
+    ConstRow q, size_t k, ThreadPool* pool, QueryStats* stats,
+    std::atomic<int64_t>* shared_cap) const {
   const size_t live_w = live_weight_ids_.size();
   if (k == 0 || live_w == 0) return {};
   const size_t nbp = base_points_->size();
@@ -1055,6 +1056,12 @@ ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
     std::vector<int64_t> tmp(hi);
     std::nth_element(tmp.begin(), tmp.begin() + (take - 1), tmp.end());
     kth_hi = tmp[take - 1];
+  }
+  // A cross-index cap is an upper bound on the GLOBAL k-th rank, which is
+  // ≤ this index's own k-th (a subset's k-th order statistic can only be
+  // larger), so folding it in is sound and strictly tightens the prune.
+  if (shared_cap != nullptr) {
+    kth_hi = std::min(kth_hi, shared_cap->load(std::memory_order_relaxed));
   }
 
   // Tighten the survivors of the conservative prune to their exact
@@ -1134,6 +1141,14 @@ ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
           if (!any) continue;
           int64_t cap = kth_hi;
           if (heap.size() == take) cap = std::min(cap, heap.front().rank);
+          // Re-read the shared bound at batch granularity: sibling shards
+          // publish their exact k-th as they finish, so trailing scans
+          // tighten progressively. Any stale value read here is merely a
+          // looser (still sound) cap.
+          if (shared_cap != nullptr) {
+            cap = std::min(cap,
+                           shared_cap->load(std::memory_order_relaxed));
+          }
           thr.resize(e - b);
           ranks.resize(e - b);
           for (size_t i = 0; i < e - b; ++i) {
@@ -1163,6 +1178,9 @@ ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
       // the heap rejects exactly what refinement would have pruned.
       int64_t cap = kth_hi;
       if (heap.size() == take) cap = std::min(cap, heap.front().rank);
+      if (shared_cap != nullptr) {
+        cap = std::min(cap, shared_cap->load(std::memory_order_relaxed));
+      }
       auto side_thresholds = [&](size_t m_side, size_t handle_base,
                                  const uint8_t* unresolved) {
         std::vector<int64_t> thr(m_side, 0);
@@ -1188,6 +1206,18 @@ ReverseKRanksResult DynamicGirIndex::DirtyReverseKRanks(
     }
   }
   std::sort(heap.begin(), heap.end());
+  // Publish this index's k-th rank for sibling shards — only with k full
+  // results in hand. heap.back() is the k-th smallest rank among the
+  // weights that survived the cap, which is ≥ this index's true k-th
+  // (pruning can only raise an order statistic) and therefore still ≥ the
+  // global k-th: the fetch-min below never under-caps a sibling.
+  if (shared_cap != nullptr && heap.size() == k) {
+    const int64_t kth = heap.back().rank;
+    int64_t cur = shared_cap->load(std::memory_order_relaxed);
+    while (kth < cur && !shared_cap->compare_exchange_weak(
+                            cur, kth, std::memory_order_relaxed)) {
+    }
+  }
   return heap;
 }
 
@@ -1203,6 +1233,15 @@ ReverseKRanksResult DynamicGirIndex::ReverseKRanks(ConstRow q, size_t k,
                                                    QueryStats* stats) const {
   if (!dirty()) return gir_->ReverseKRanks(q, k, stats);
   return DirtyReverseKRanks(q, k, /*pool=*/nullptr, stats);
+}
+
+ReverseKRanksResult DynamicGirIndex::ReverseKRanksCapped(
+    ConstRow q, size_t k, std::atomic<int64_t>* shared_cap,
+    QueryStats* stats) const {
+  // Always the dirty engine: it is exact on a clean index too (every
+  // correction is zero, so the brackets are the clean brackets), and it
+  // is the engine the cap protocol is threaded through.
+  return DirtyReverseKRanks(q, k, /*pool=*/nullptr, stats, shared_cap);
 }
 
 std::vector<ReverseTopKResult> DynamicGirIndex::ReverseTopKBatch(

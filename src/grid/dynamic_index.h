@@ -1,6 +1,7 @@
 #ifndef GIR_GRID_DYNAMIC_INDEX_H_
 #define GIR_GRID_DYNAMIC_INDEX_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -137,6 +138,21 @@ class DynamicGirIndex {
                                 QueryStats* stats = nullptr) const;
   ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
                                     QueryStats* stats = nullptr) const;
+
+  /// Reverse k-ranks with a shared cross-index upper bound on the global
+  /// k-th rank. `shared_cap` (never null) is read to tighten this index's
+  /// own k-th cap before the unresolved-band scans, and is fetch-min
+  /// updated with this index's exact local k-th rank once k results are
+  /// in hand — the protocol ShardedGirIndex uses to let trailing shards
+  /// early-abort. Sound for any cap value ≥ the global k-th rank: a
+  /// subset's k-th smallest rank is always ≥ the global one, and weights
+  /// dropped against the cap therefore cannot belong to the merged top-k.
+  /// Always runs the dirty engine (exact on clean indexes too, where all
+  /// corrections are zero). Results for the surviving weights are
+  /// bit-identical to ReverseKRanks restricted to ranks ≤ the cap.
+  ReverseKRanksResult ReverseKRanksCapped(ConstRow q, size_t k,
+                                          std::atomic<int64_t>* shared_cap,
+                                          QueryStats* stats = nullptr) const;
 
   /// results[i] equals ReverseTopK(queries.row(i), k).
   std::vector<ReverseTopKResult> ReverseTopKBatch(
@@ -284,12 +300,15 @@ class DynamicGirIndex {
   void PrepareQuery(ConstRow q, QueryPrep& prep, QueryStats* stats) const;
   void EnsureCorrections(QueryPrep& prep, size_t h) const;
 
-  /// Dirty-path engines. `pool` == nullptr runs serially.
+  /// Dirty-path engines. `pool` == nullptr runs serially. `shared_cap`
+  /// (nullable) is the cross-index k-th-rank bound protocol described at
+  /// ReverseKRanksCapped.
   ReverseTopKResult DirtyReverseTopK(ConstRow q, size_t k, ThreadPool* pool,
                                      QueryStats* stats) const;
   ReverseKRanksResult DirtyReverseKRanks(ConstRow q, size_t k,
-                                         ThreadPool* pool,
-                                         QueryStats* stats) const;
+                                         ThreadPool* pool, QueryStats* stats,
+                                         std::atomic<int64_t>* shared_cap =
+                                             nullptr) const;
 
   DynamicIndexOptions options_;
   uint64_t generation_ = 0;

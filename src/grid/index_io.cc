@@ -5,22 +5,36 @@
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "grid/bit_packed.h"
 #include "grid/block_max.h"
 #include "grid/blocked_scan.h"
+#include "grid/sharded_index.h"
 #include "io/checked_reader.h"
+#include "io/envelope.h"
 
 namespace gir {
 
 namespace {
 
+// Shared envelope mechanics (io/envelope.h); every format below keeps its
+// own error strings and validation policy.
+using envio::PayloadBudget;
+using envio::WithPath;
+using envio::WriteDouble;
+using envio::WriteDoubles;
+using envio::WriteU32;
+using envio::WriteU64;
+
 constexpr char kMagic[8] = {'G', 'I', 'R', 'I', 'D', 'X', '0', '1'};
 constexpr char kTauMagic[8] = {'G', 'I', 'R', 'T', 'A', 'U', '0', '1'};
 constexpr char kDynMagic[8] = {'G', 'I', 'R', 'D', 'Y', 'N', '0', '1'};
 constexpr char kBmxMagic[8] = {'G', 'I', 'R', 'B', 'M', 'X', '0', '1'};
+constexpr char kShdMagic[8] = {'G', 'I', 'R', 'S', 'H', 'D', '0', '1'};
 
 /// Partitioner boundary arrays are structurally capped far below this;
 /// the embedded-count reads reject anything larger before allocating.
@@ -30,36 +44,6 @@ uint32_t BitsForPartitions(size_t n) {
   uint32_t bits = 1;
   while ((size_t{1} << bits) < n) ++bits;
   return bits;
-}
-
-void WriteU32(std::ostream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteU64(std::ostream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteDouble(std::ostream& out, double v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteDoubles(std::ostream& out, const std::vector<double>& v) {
-  WriteU64(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(double)));
-}
-
-/// Re-wraps `s` with the file path appended, preserving the code.
-Status WithPath(const Status& s, const std::string& path) {
-  const std::string msg = s.message() + ": " + path;
-  switch (s.code()) {
-    case StatusCode::kCorruption:
-      return Status::Corruption(msg);
-    case StatusCode::kIOError:
-      return Status::IOError(msg);
-    case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(msg);
-    default:
-      return Status::Internal(msg);
-  }
 }
 
 Status WritePacked(std::ostream& out, const ApproxVectors& cells,
@@ -93,13 +77,12 @@ Result<ApproxVectors> ReadPacked(CheckedReader& reader, size_t expected_count,
   if (blob.count != expected_count || blob.dim != expected_dim) {
     return Status::Corruption("packed shape does not match the dataset");
   }
-  uint64_t payload_bytes = 0;
-  if (!CheckedReader::CheckedPayloadBytes(blob.count, blob.BytesPerVector(),
-                                          &payload_bytes) ||
-      payload_bytes > reader.Remaining()) {
+  PayloadBudget budget(reader);
+  if (!budget.Add(blob.count, blob.BytesPerVector()) || !budget.FitsFile()) {
     return Status::Corruption("packed payload exceeds the file size");
   }
-  if (!reader.ReadArray(static_cast<size_t>(payload_bytes), &blob.payload)) {
+  if (!reader.ReadArray(static_cast<size_t>(budget.total()),
+                        &blob.payload)) {
     return Status::Corruption("truncated packed payload");
   }
   auto packed = BitPackedVectors::FromBlob(std::move(blob));
@@ -153,18 +136,13 @@ Result<TauIndex> LoadTauIndexFromStream(CheckedReader& reader,
   // Vet the header-implied payload against the bytes actually present
   // before any allocation: k_cap and num_points are attacker-controlled,
   // and their products can reach allocation-bomb or wraparound territory.
-  uint64_t tau_bytes = 0, max_bytes = 0, hist_bytes = 0;
-  if (!CheckedReader::CheckedPayloadBytes(uint64_t{k_cap} * num_weights,
-                                          sizeof(double), &tau_bytes) ||
-      !CheckedReader::CheckedPayloadBytes(num_weights, sizeof(double),
-                                          &max_bytes) ||
-      !CheckedReader::CheckedPayloadBytes(uint64_t{bins} * num_weights,
-                                          sizeof(uint32_t), &hist_bytes)) {
+  PayloadBudget budget(reader);
+  if (!budget.Add(uint64_t{k_cap} * num_weights, sizeof(double)) ||
+      !budget.Add(num_weights, sizeof(double)) ||
+      !budget.Add(uint64_t{bins} * num_weights, sizeof(uint32_t))) {
     return Status::Corruption("tau index payload size overflows");
   }
-  const uint64_t remaining = reader.Remaining();
-  if (tau_bytes > remaining || max_bytes > remaining - tau_bytes ||
-      hist_bytes > remaining - tau_bytes - max_bytes) {
+  if (!budget.FitsFile()) {
     return Status::Corruption("tau index payload exceeds the file size");
   }
   std::vector<double> tau;
@@ -230,15 +208,12 @@ Result<BlockMaxIndex> LoadBlockMaxFromStream(CheckedReader& reader,
   const uint64_t nb = (num_points + block_points - 1) / block_points;
   // Vet the header-implied payload against the bytes present before any
   // allocation; dim * nb products are attacker-controlled.
-  uint64_t edge_bytes = 0, code_bytes = 0;
-  if (!CheckedReader::CheckedPayloadBytes(uint64_t{dim} * 2, sizeof(double),
-                                          &edge_bytes) ||
-      !CheckedReader::CheckedPayloadBytes(uint64_t{dim} * nb * 2,
-                                          sizeof(uint16_t), &code_bytes)) {
+  PayloadBudget budget(reader);
+  if (!budget.Add(uint64_t{dim} * 2, sizeof(double)) ||
+      !budget.Add(uint64_t{dim} * nb * 2, sizeof(uint16_t))) {
     return Status::Corruption("block-max payload size overflows");
   }
-  const uint64_t remaining = reader.Remaining();
-  if (edge_bytes > remaining || code_bytes > remaining - edge_bytes) {
+  if (!budget.FitsFile()) {
     return Status::Corruption("block-max payload exceeds the file size");
   }
   std::vector<double> dim_lo, dim_hi;
@@ -274,10 +249,9 @@ Result<Dataset> ReadDataset(CheckedReader& reader, size_t dim) {
   if (!reader.ReadU64(&count)) {
     return Status::Corruption("truncated dataset header");
   }
-  uint64_t bytes = 0;
-  if (!CheckedReader::CheckedPayloadBytes(count, uint64_t{dim} * sizeof(double),
-                                          &bytes) ||
-      bytes > reader.Remaining()) {
+  PayloadBudget budget(reader);
+  if (!budget.Add(count, uint64_t{dim} * sizeof(double)) ||
+      !budget.FitsFile()) {
     return Status::Corruption("dataset payload exceeds the file size");
   }
   std::vector<double> flat;
@@ -447,10 +421,12 @@ Result<TauIndex> LoadTauIndex(const std::string& path,
   return loaded;
 }
 
-Status SaveDynamicIndex(const std::string& path,
-                        const DynamicGirIndex& index) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+namespace {
+
+/// Writes one GIRDYN01 envelope to `out` — the body shared by the
+/// standalone file writer and the GIRSHD01 per-shard blobs.
+Status SaveDynamicIndexToStream(std::ostream& out,
+                                const DynamicGirIndex& index) {
   const DynamicIndexOptions& options = index.options();
   const TauIndex* tau = index.base().tau_index();
   const bool save_tau =
@@ -483,16 +459,16 @@ Status SaveDynamicIndex(const std::string& path,
     Status s = SaveTauIndexToStream(out, *tau);
     if (!s.ok()) return s;
   }
-  if (!out) return Status::IOError("short write: " + path);
   return Status::OK();
 }
 
-Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  CheckedReader reader(in);
+/// Parses one GIRDYN01 envelope. `embedded` skips the no-trailing-bytes
+/// check (the GIRSHD01 loader bounds each blob itself). Error strings are
+/// path-free; the public entry points attach the filename via WithPath.
+Result<DynamicGirIndex> LoadDynamicIndexFromStream(CheckedReader& reader,
+                                                   bool embedded) {
   if (!reader.ReadMagic(kDynMagic)) {
-    return Status::Corruption("bad dynamic index header: " + path);
+    return Status::Corruption("bad dynamic index header");
   }
   uint64_t generation = 0;
   uint32_t dim = 0, flags = 0;
@@ -506,25 +482,25 @@ Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
       !reader.ReadU32(&scan_mode) || !reader.ReadU32(&tau_k_max) ||
       !reader.ReadU32(&tau_bins) || !reader.ReadDouble(&compact_threshold) ||
       !reader.ReadU32(&auto_compact)) {
-    return Status::Corruption("truncated dynamic index header: " + path);
+    return Status::Corruption("truncated dynamic index header");
   }
   if (dim == 0 || dim > (1u << 16)) {
-    return Status::Corruption("dimension out of range: " + path);
+    return Status::Corruption("dimension out of range");
   }
   if (flags > 1) {
-    return Status::Corruption("unknown dynamic index flags: " + path);
+    return Status::Corruption("unknown dynamic index flags");
   }
   if (partitions == 0 || partitions > Partitioner::kMaxPartitions) {
-    return Status::Corruption("partition count out of range: " + path);
+    return Status::Corruption("partition count out of range");
   }
   if (bound_mode > static_cast<uint32_t>(BoundMode::kExactWeight)) {
-    return Status::Corruption("unknown bound mode: " + path);
+    return Status::Corruption("unknown bound mode");
   }
   if (scan_mode > static_cast<uint32_t>(ScanMode::kTauIndex)) {
-    return Status::Corruption("unknown scan mode: " + path);
+    return Status::Corruption("unknown scan mode");
   }
   if (!(compact_threshold > 0.0) || compact_threshold > 1e6) {
-    return Status::Corruption("compact threshold out of range: " + path);
+    return Status::Corruption("compact threshold out of range");
   }
   DynamicIndexOptions options;
   options.gir.partitions = partitions;
@@ -537,49 +513,39 @@ Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
   options.auto_compact = auto_compact != 0;
 
   auto base_points = ReadDataset(reader, dim);
-  if (!base_points.ok()) {
-    return WithPath(base_points.status(), path);
-  }
+  if (!base_points.ok()) return base_points.status();
   auto base_weights = ReadDataset(reader, dim);
-  if (!base_weights.ok()) {
-    return WithPath(base_weights.status(), path);
-  }
+  if (!base_weights.ok()) return base_weights.status();
   auto delta_points = ReadDataset(reader, dim);
-  if (!delta_points.ok()) {
-    return WithPath(delta_points.status(), path);
-  }
+  if (!delta_points.ok()) return delta_points.status();
   auto delta_weights = ReadDataset(reader, dim);
-  if (!delta_weights.ok()) {
-    return WithPath(delta_weights.status(), path);
-  }
-  const uint64_t bitmap_bytes =
-      base_points.value().size() + base_weights.value().size() +
-      delta_points.value().size() + delta_weights.value().size();
-  if (bitmap_bytes > reader.Remaining()) {
-    return Status::Corruption("alive bitmaps exceed the file size: " + path);
+  if (!delta_weights.ok()) return delta_weights.status();
+  PayloadBudget budget(reader);
+  if (!budget.Add(base_points.value().size(), 1) ||
+      !budget.Add(base_weights.value().size(), 1) ||
+      !budget.Add(delta_points.value().size(), 1) ||
+      !budget.Add(delta_weights.value().size(), 1) || !budget.FitsFile()) {
+    return Status::Corruption("alive bitmaps exceed the file size");
   }
   std::vector<uint8_t> bp_alive, bw_alive, dp_alive, dw_alive;
   if (!reader.ReadArray(base_points.value().size(), &bp_alive) ||
       !reader.ReadArray(base_weights.value().size(), &bw_alive) ||
       !reader.ReadArray(delta_points.value().size(), &dp_alive) ||
       !reader.ReadArray(delta_weights.value().size(), &dw_alive)) {
-    return Status::Corruption("truncated alive bitmaps: " + path);
+    return Status::Corruption("truncated alive bitmaps");
   }
   std::shared_ptr<const TauIndex> tau;
   if ((flags & 1) != 0) {
     if (options.gir.scan_mode != ScanMode::kTauIndex) {
-      return Status::Corruption(
-          "tau blob present but scan mode is not tau: " + path);
+      return Status::Corruption("tau blob present but scan mode is not tau");
     }
     auto loaded = LoadTauIndexFromStream(reader, base_weights.value(),
                                          /*embedded=*/true);
-    if (!loaded.ok()) {
-      return WithPath(loaded.status(), path);
-    }
+    if (!loaded.ok()) return loaded.status();
     tau = std::make_shared<const TauIndex>(std::move(loaded).value());
   }
-  if (!reader.AtEnd()) {
-    return Status::Corruption("trailing bytes after dynamic index: " + path);
+  if (!embedded && !reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after dynamic index");
   }
   auto index = DynamicGirIndex::FromParts(
       options, generation, std::move(base_points).value(),
@@ -592,6 +558,153 @@ Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
     // invariants (bad bitmap bytes, dead shapes) is still corruption from
     // the loader's point of view.
     return Status::Corruption("invalid dynamic index contents (" +
+                              index.status().message() + ")");
+  }
+  return index;
+}
+
+}  // namespace
+
+Status SaveDynamicIndex(const std::string& path,
+                        const DynamicGirIndex& index) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  Status s = SaveDynamicIndexToStream(out, index);
+  if (!s.ok()) return s;
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  CheckedReader reader(in);
+  auto loaded = LoadDynamicIndexFromStream(reader, /*embedded=*/false);
+  if (!loaded.ok()) return WithPath(loaded.status(), path);
+  return loaded;
+}
+
+Status SaveShardedIndex(const std::string& path,
+                        const ShardedGirIndex& index) {
+  // Drain every admitted operation first: the shard snapshots below read
+  // raw shard state, which is only stable once the lanes are empty. A
+  // caller racing new mutations against Save gets some consistent prefix.
+  index.Quiesce();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const std::vector<uint32_t> owner = index.WeightOwners();
+  out.write(kShdMagic, sizeof(kShdMagic));
+  WriteU32(out, static_cast<uint32_t>(index.shard_count()));
+  WriteU32(out, static_cast<uint32_t>(index.dim()));
+  WriteU64(out, index.sequence());
+  WriteU64(out, index.weight_insert_counter());
+  WriteU64(out, index.live_point_count());
+  WriteU64(out, owner.size());
+  out.write(reinterpret_cast<const char*>(owner.data()),
+            static_cast<std::streamsize>(owner.size() * sizeof(uint32_t)));
+  // Each shard is one length-prefixed, generation-stamped GIRDYN01 blob —
+  // the same envelope the standalone writer emits, so the shard format
+  // inherits every GIRDYN01 validation on the way back in.
+  for (size_t s = 0; s < index.shard_count(); ++s) {
+    std::ostringstream blob(std::ios::binary);
+    Status st = SaveDynamicIndexToStream(blob, index.shard(s));
+    if (!st.ok()) return st;
+    const std::string bytes = std::move(blob).str();
+    WriteU64(out, bytes.size());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
+    const std::string& path, bool use_workers) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  CheckedReader reader(in);
+  if (!reader.ReadMagic(kShdMagic)) {
+    return Status::Corruption("bad sharded index header: " + path);
+  }
+  uint32_t num_shards = 0, dim = 0;
+  uint64_t sequence = 0, insert_counter = 0, live_points = 0;
+  uint64_t num_weights = 0;
+  if (!reader.ReadU32(&num_shards) || !reader.ReadU32(&dim) ||
+      !reader.ReadU64(&sequence) || !reader.ReadU64(&insert_counter) ||
+      !reader.ReadU64(&live_points) || !reader.ReadU64(&num_weights)) {
+    return Status::Corruption("truncated sharded index header: " + path);
+  }
+  if (num_shards == 0 || num_shards > ShardedGirIndex::kMaxShards) {
+    return Status::Corruption("shard count out of range: " + path);
+  }
+  if (dim == 0 || dim > (1u << 16)) {
+    return Status::Corruption("dimension out of range: " + path);
+  }
+  if (insert_counter < num_weights) {
+    return Status::Corruption("weight insert counter below the live count: " +
+                              path);
+  }
+  PayloadBudget owner_budget(reader);
+  if (!owner_budget.Add(num_weights, sizeof(uint32_t)) ||
+      !owner_budget.FitsFile()) {
+    return Status::Corruption("owner map exceeds the file size: " + path);
+  }
+  std::vector<uint32_t> owner;
+  if (!reader.ReadArray(static_cast<size_t>(num_weights), &owner)) {
+    return Status::Corruption("truncated owner map: " + path);
+  }
+  for (uint32_t s : owner) {
+    if (s >= num_shards) {
+      return Status::Corruption("weight owner out of range: " + path);
+    }
+  }
+  std::vector<std::unique_ptr<DynamicGirIndex>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    uint64_t blob_bytes = 0;
+    if (!reader.ReadU64(&blob_bytes)) {
+      return Status::Corruption("truncated shard blob header: " + path);
+    }
+    PayloadBudget blob_budget(reader);
+    if (!blob_budget.Add(blob_bytes, 1) || !blob_budget.FitsFile()) {
+      return Status::Corruption("shard blob exceeds the file size: " + path);
+    }
+    // Parse the blob from its own bounded stream so the embedded GIRDYN01
+    // envelope gets the full standalone validation battery, including the
+    // trailing-garbage check at the declared blob boundary.
+    std::vector<char> bytes;
+    if (!reader.ReadArray(static_cast<size_t>(blob_bytes), &bytes)) {
+      return Status::Corruption("truncated shard blob: " + path);
+    }
+    std::istringstream blob_in(std::string(bytes.data(), bytes.size()),
+                               std::ios::binary);
+    CheckedReader blob_reader(blob_in);
+    auto loaded = LoadDynamicIndexFromStream(blob_reader, /*embedded=*/false);
+    if (!loaded.ok()) {
+      return WithPath(
+          Status::Corruption("shard " + std::to_string(s) + ": " +
+                             loaded.status().message()),
+          path);
+    }
+    shards.push_back(
+        std::make_unique<DynamicGirIndex>(std::move(loaded).value()));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after sharded index: " + path);
+  }
+  if (shards[0]->dim() != dim ||
+      shards[0]->live_point_count() != live_points) {
+    return Status::Corruption(
+        "sharded header disagrees with the shard blobs: " + path);
+  }
+  ShardedIndexOptions options;
+  options.shards = num_shards;
+  options.dynamic = shards[0]->options();
+  options.use_workers = use_workers;
+  auto index = ShardedGirIndex::FromParts(std::move(options),
+                                          std::move(shards), std::move(owner),
+                                          sequence, insert_counter);
+  if (!index.ok()) {
+    return Status::Corruption("invalid sharded index contents (" +
                               index.status().message() + "): " + path);
   }
   return index;

@@ -1,11 +1,13 @@
 #ifndef GIR_GRID_INDEX_IO_H_
 #define GIR_GRID_INDEX_IO_H_
 
+#include <memory>
 #include <string>
 
 #include "core/status.h"
 #include "grid/dynamic_index.h"
 #include "grid/gir_queries.h"
+#include "grid/sharded_index.h"
 
 namespace gir {
 
@@ -68,6 +70,27 @@ Status SaveDynamicIndex(const std::string& path,
 /// queries bit-identically to the saved instance (same base generation,
 /// same delta buffer, same tombstones).
 Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path);
+
+/// Persistence of a ShardedGirIndex — the "GIRSHD01" sharded envelope.
+/// Layout (little-endian): magic; u32 shard count; u32 dim; u64 admitted
+/// sequence number; u64 round-robin weight insert counter; u64 live point
+/// count; u64 live weight count followed by the owner map (u32 shard id
+/// per global live weight, in global live order); then, per shard, a u64
+/// byte length and an embedded generation-stamped GIRDYN01 blob. The
+/// writer quiesces the router first, so the file captures one consistent
+/// cut of the operation stream.
+Status SaveShardedIndex(const std::string& path,
+                        const ShardedGirIndex& index);
+
+/// Loads a router written with SaveShardedIndex. Header fields and the
+/// owner map are vetted against the file size and the shard count before
+/// anything is allocated from them; each shard blob is parsed with the
+/// full standalone GIRDYN01 validation battery; and the reassembled
+/// router replays bit-identically to the saved instance. `use_workers`
+/// picks the execution mode of the loaded router (the envelope does not
+/// pin it — it is a deployment choice, not index state).
+Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
+    const std::string& path, bool use_workers = true);
 
 }  // namespace gir
 

@@ -1,0 +1,927 @@
+#include "grid/sharded_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace gir {
+
+namespace {
+
+constexpr size_t kMaxShards = ShardedGirIndex::kMaxShards;
+
+/// Power-of-two latency bucketing, the same scheme ServerMetrics uses:
+/// bucket b counts samples in [2^b, 2^(b+1)).
+constexpr int kLatBuckets = 32;
+
+int LatBucket(uint64_t v) {
+  int b = 0;
+  while (v > 1 && b < kLatBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+uint64_t LatQuantile(const std::atomic<uint64_t>* hist, double q) {
+  uint64_t total = 0;
+  for (int b = 0; b < kLatBuckets; ++b) {
+    total += hist[b].load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(static_cast<double>(total) * q) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kLatBuckets; ++b) {
+    seen += hist[b].load(std::memory_order_relaxed);
+    if (seen >= target) return uint64_t{1} << (b + 1);
+  }
+  return uint64_t{1} << kLatBuckets;
+}
+
+}  // namespace
+
+// ---- Internal structures -------------------------------------------------
+
+/// One unit of shard work. Tasks live on the admitting caller's stack —
+/// every public operation blocks until its tasks complete, so no heap
+/// lifetime management is needed; lanes only ever hold borrowed pointers.
+struct ShardedGirIndex::ShardTask {
+  enum class Kind : uint8_t {
+    kInsertPoint,
+    kDeletePoint,
+    kInsertWeight,
+    kDeleteWeight,
+    kCompact,
+    kQuery,
+  };
+
+  Kind kind = Kind::kQuery;
+  uint64_t seq = 0;
+  /// Inline (workers-off) mode: this task's turn on its lane.
+  uint64_t ticket = 0;
+
+  // Mutation payload.
+  const double* row = nullptr;  ///< insert row (borrowed from the caller)
+  size_t row_len = 0;
+  VectorId id = 0;  ///< delete target (shard-local for weights)
+
+  // Query payload.
+  const Dataset* queries = nullptr;  ///< batch form; null for single
+  const double* q = nullptr;         ///< single-query row
+  size_t k = 0;
+  bool rkr = false;
+  std::atomic<int64_t>* cap = nullptr;  ///< shared k-th bound (single RKR)
+
+  // Output slots, owned by the caller's coordination frame.
+  Status* status_out = nullptr;
+  ReverseTopKResult* rtk_out = nullptr;
+  ReverseKRanksResult* rkr_out = nullptr;
+  std::vector<ReverseTopKResult>* rtk_batch_out = nullptr;
+  std::vector<ReverseKRanksResult>* rkr_batch_out = nullptr;
+  QueryStats* stats_out = nullptr;
+
+  OpSync* sync = nullptr;
+};
+
+/// Completion rendezvous for one operation's task group.
+struct ShardedGirIndex::OpSync {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+
+  void Done() {
+    std::lock_guard<std::mutex> lk(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [this] { return remaining == 0; });
+  }
+};
+
+/// Per-shard FIFO. `issued`/`completed` are the lane's ticket clock:
+/// admission stamps tasks with `issued++`, executors run strictly in
+/// ticket order and advance `completed`. In worker mode the deque holds
+/// the pending tasks in that same order; in inline mode callers park on
+/// the cv until their ticket comes up and the deque stays empty.
+struct ShardedGirIndex::Lane {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<ShardTask*> queue;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+};
+
+/// Monitoring counters, written by whichever thread executes a shard's
+/// tasks (exactly one at a time per shard) and read by anyone. Relaxed
+/// atomics: observational only, except applied_seq whose release store
+/// pairs with Quiesce()/AppliedSeqVector() acquire loads.
+struct ShardedGirIndex::ShardCounters {
+  std::atomic<uint64_t> applied_seq{0};
+  std::atomic<uint64_t> tasks{0};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> mutations{0};
+  std::atomic<uint64_t> points_streamed{0};
+  std::atomic<uint64_t> points_skipped{0};
+  std::atomic<uint64_t> generation{0};
+  std::atomic<uint64_t> live_weights{0};
+  std::atomic<bool> dirty{false};
+  std::atomic<uint64_t> latency_hist[kLatBuckets] = {};
+};
+
+// ---- Construction --------------------------------------------------------
+
+ShardedGirIndex::ShardedGirIndex(
+    ShardedIndexOptions options, size_t dim,
+    std::vector<std::unique_ptr<DynamicGirIndex>> shards,
+    std::vector<uint32_t> owner, uint64_t sequence,
+    uint64_t weight_insert_counter)
+    : options_(std::move(options)),
+      dim_(dim),
+      shards_(std::move(shards)),
+      seq_(sequence),
+      insert_counter_(weight_insert_counter),
+      owner_(std::move(owner)) {
+  const size_t n = shards_.size();
+  live_points_ = shards_[0]->live_point_count();
+  std::vector<std::vector<VectorId>> maps(n);
+  for (size_t g = 0; g < owner_.size(); ++g) {
+    maps[owner_[g]].push_back(static_cast<VectorId>(g));
+  }
+  to_global_.resize(n);
+  lanes_.resize(n);
+  counters_.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    to_global_[s] =
+        std::make_shared<const std::vector<VectorId>>(std::move(maps[s]));
+    lanes_[s] = std::make_unique<Lane>();
+    counters_[s] = std::make_unique<ShardCounters>();
+    counters_[s]->applied_seq.store(sequence, std::memory_order_release);
+    counters_[s]->generation.store(shards_[s]->generation(),
+                                   std::memory_order_relaxed);
+    counters_[s]->live_weights.store(shards_[s]->live_weight_count(),
+                                     std::memory_order_relaxed);
+    counters_[s]->dirty.store(shards_[s]->dirty(),
+                              std::memory_order_relaxed);
+  }
+  if (options_.use_workers) StartWorkers();
+}
+
+ShardedGirIndex::~ShardedGirIndex() {
+  Quiesce();
+  stopping_.store(true, std::memory_order_release);
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lk(lane->mu);
+    lane->cv.notify_all();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Result<std::unique_ptr<ShardedGirIndex>> ShardedGirIndex::Build(
+    const Dataset& points, const Dataset& weights,
+    const ShardedIndexOptions& options) {
+  if (options.shards == 0 || options.shards > kMaxShards) {
+    return Status::InvalidArgument("shard count out of range");
+  }
+  if (points.dim() != weights.dim()) {
+    return Status::InvalidArgument("points and weights disagree on dim");
+  }
+  const size_t n = options.shards;
+  std::vector<std::unique_ptr<DynamicGirIndex>> shards;
+  shards.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    Dataset slice(weights.dim());
+    for (size_t i = s; i < weights.size(); i += n) {
+      slice.AppendUnchecked(weights.row(i));
+    }
+    auto built = DynamicGirIndex::Build(points, slice, options.dynamic);
+    if (!built.ok()) return built.status();
+    shards.push_back(
+        std::make_unique<DynamicGirIndex>(std::move(built).value()));
+  }
+  std::vector<uint32_t> owner(weights.size());
+  for (size_t i = 0; i < owner.size(); ++i) {
+    owner[i] = static_cast<uint32_t>(i % n);
+  }
+  return std::unique_ptr<ShardedGirIndex>(new ShardedGirIndex(
+      options, points.dim(), std::move(shards), std::move(owner),
+      /*sequence=*/0, /*weight_insert_counter=*/weights.size()));
+}
+
+Result<std::unique_ptr<ShardedGirIndex>> ShardedGirIndex::FromParts(
+    ShardedIndexOptions options,
+    std::vector<std::unique_ptr<DynamicGirIndex>> shards,
+    std::vector<uint32_t> owner, uint64_t sequence,
+    uint64_t weight_insert_counter) {
+  const size_t n = shards.size();
+  if (n == 0 || n > kMaxShards || n != options.shards) {
+    return Status::InvalidArgument("shard count out of range");
+  }
+  const size_t dim = shards[0]->dim();
+  const size_t live_points = shards[0]->live_point_count();
+  if (weight_insert_counter < owner.size()) {
+    return Status::InvalidArgument(
+        "weight insert counter below the live count");
+  }
+  std::vector<size_t> per_shard(n, 0);
+  for (uint32_t s : owner) {
+    if (s >= n) {
+      return Status::InvalidArgument("weight owner out of range");
+    }
+    ++per_shard[s];
+  }
+  for (size_t s = 0; s < n; ++s) {
+    if (shards[s]->dim() != dim) {
+      return Status::InvalidArgument("shards disagree on dim");
+    }
+    if (shards[s]->live_point_count() != live_points) {
+      return Status::InvalidArgument("shards disagree on the point state");
+    }
+    if (shards[s]->live_weight_count() != per_shard[s]) {
+      return Status::InvalidArgument(
+          "shard weight count does not match the owner map");
+    }
+  }
+  return std::unique_ptr<ShardedGirIndex>(new ShardedGirIndex(
+      std::move(options), dim, std::move(shards), std::move(owner), sequence,
+      weight_insert_counter));
+}
+
+void ShardedGirIndex::StartWorkers() {
+  workers_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { WorkerMain(s); });
+#if defined(__linux__)
+    // Best-effort pinning: spread the shard group over the cores present.
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(s % cores), &set);
+    pthread_setaffinity_np(workers_.back().native_handle(), sizeof(set),
+                           &set);
+#endif
+  }
+}
+
+void ShardedGirIndex::WorkerMain(size_t s) {
+  Lane& lane = *lanes_[s];
+  for (;;) {
+    ShardTask* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.cv.wait(lk, [&] {
+        return !lane.queue.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (lane.queue.empty()) return;  // stopping and drained
+      task = lane.queue.front();
+      lane.queue.pop_front();
+    }
+    RunTask(s, *task);
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      ++lane.completed;
+      lane.cv.notify_all();
+    }
+    task->sync->Done();  // `task` may die once the caller wakes
+  }
+}
+
+// ---- Task execution ------------------------------------------------------
+
+void ShardedGirIndex::RunTask(size_t s, ShardTask& t) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  DynamicGirIndex& index = *shards_[s];
+  ShardCounters& c = *counters_[s];
+  bool is_query = false;
+  switch (t.kind) {
+    case ShardTask::Kind::kInsertPoint:
+      *t.status_out = index.InsertPoint(ConstRow(t.row, t.row_len));
+      break;
+    case ShardTask::Kind::kDeletePoint:
+      *t.status_out = index.DeletePoint(t.id);
+      break;
+    case ShardTask::Kind::kInsertWeight:
+      *t.status_out = index.InsertWeight(ConstRow(t.row, t.row_len));
+      break;
+    case ShardTask::Kind::kDeleteWeight:
+      *t.status_out = index.DeleteWeight(t.id);
+      break;
+    case ShardTask::Kind::kCompact:
+      *t.status_out = index.Compact();
+      break;
+    case ShardTask::Kind::kQuery: {
+      is_query = true;
+      QueryStats qs;
+      if (t.queries != nullptr) {
+        if (t.rkr) {
+          *t.rkr_batch_out = index.ReverseKRanksBatch(*t.queries, t.k, &qs);
+        } else {
+          *t.rtk_batch_out = index.ReverseTopKBatch(*t.queries, t.k, &qs);
+        }
+      } else {
+        const ConstRow q(t.q, dim_);
+        if (t.rkr) {
+          *t.rkr_out = index.ReverseKRanksCapped(q, t.k, t.cap, &qs);
+        } else {
+          *t.rtk_out = index.ReverseTopK(q, t.k, &qs);
+        }
+      }
+      c.points_streamed.fetch_add(qs.points_streamed,
+                                  std::memory_order_relaxed);
+      c.points_skipped.fetch_add(qs.points_skipped,
+                                 std::memory_order_relaxed);
+      if (t.stats_out != nullptr) *t.stats_out = qs;
+      break;
+    }
+  }
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            t0)
+          .count());
+  c.latency_hist[LatBucket(us)].fetch_add(1, std::memory_order_relaxed);
+  c.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (is_query) {
+    c.queries.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    c.mutations.fetch_add(1, std::memory_order_relaxed);
+    c.generation.store(index.generation(), std::memory_order_relaxed);
+    c.live_weights.store(index.live_weight_count(),
+                         std::memory_order_relaxed);
+    c.dirty.store(index.dirty(), std::memory_order_relaxed);
+  }
+  c.applied_seq.store(t.seq, std::memory_order_release);
+}
+
+uint64_t ShardedGirIndex::Admit(ShardTask* tasks, const size_t* lanes,
+                                size_t count) const {
+  // Caller holds seq_mu_. Mutating ops bumped seq_ already; queries run
+  // at the current prefix.
+  const uint64_t seq = seq_;
+  for (size_t i = 0; i < count; ++i) {
+    Lane& lane = *lanes_[lanes[i]];
+    std::lock_guard<std::mutex> lk(lane.mu);
+    tasks[i].seq = seq;
+    tasks[i].ticket = lane.issued++;
+    if (options_.use_workers) {
+      lane.queue.push_back(&tasks[i]);
+      lane.cv.notify_all();
+    }
+  }
+  return seq;
+}
+
+void ShardedGirIndex::Execute(ShardTask* tasks, const size_t* lanes,
+                              size_t count, OpSync& sync) const {
+  if (options_.use_workers) {
+    sync.Wait();
+    return;
+  }
+  // Inline mode: this caller runs its own tasks, each when its lane turn
+  // comes up. Tickets were assigned under the admission lock, so the
+  // cross-lane wait graph only ever points at earlier-admitted
+  // operations — acyclic, hence deadlock-free.
+  for (size_t i = 0; i < count; ++i) {
+    Lane& lane = *lanes_[lanes[i]];
+    std::unique_lock<std::mutex> lk(lane.mu);
+    lane.cv.wait(lk, [&] { return lane.completed == tasks[i].ticket; });
+    lk.unlock();
+    RunTask(lanes[i], tasks[i]);
+    lk.lock();
+    ++lane.completed;
+    lane.cv.notify_all();
+  }
+}
+
+// ---- Mutations -----------------------------------------------------------
+
+namespace {
+
+Status ValidateRowValues(ConstRow row) {
+  for (double v : row) {
+    if (!std::isfinite(v) || v < 0.0) {
+      return Status::InvalidArgument(
+          "dataset values must be finite and non-negative");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out) {
+  // Admission-time validation mirrors the shard's own checks exactly, so
+  // a task can only fail after the router committed its bookkeeping if
+  // the index itself is inconsistent.
+  if (p.size() != dim_) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(p.size()) + " != dataset dim " +
+        std::to_string(dim_));
+  }
+  Status vst = ValidateRowValues(p);
+  if (!vst.ok()) return vst;
+  const size_t n = shards_.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<Status> statuses(n);
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kInsertPoint;
+    tasks[s].row = p.data();
+    tasks[s].row_len = p.size();
+    tasks[s].status_out = &statuses[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    ++seq_;
+    ++live_points_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  if (seq_out != nullptr) *seq_out = seq;
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status ShardedGirIndex::DeletePoint(VectorId live_id, uint64_t* seq_out) {
+  const size_t n = shards_.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<Status> statuses(n);
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kDeletePoint;
+    tasks[s].id = live_id;
+    tasks[s].status_out = &statuses[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    if (live_id >= live_points_) {
+      return Status::InvalidArgument("point live id out of range");
+    }
+    ++seq_;
+    --live_points_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  if (seq_out != nullptr) *seq_out = seq;
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status ShardedGirIndex::InsertWeight(ConstRow w, uint64_t* seq_out) {
+  if (w.size() != dim_) {
+    return Status::InvalidArgument("weight width does not match dim");
+  }
+  Status vst = ValidateWeight(w, 1e-6);
+  if (!vst.ok()) return vst;
+  ShardTask task;
+  Status status;
+  OpSync sync;
+  sync.remaining = 1;
+  task.kind = ShardTask::Kind::kInsertWeight;
+  task.row = w.data();
+  task.row_len = w.size();
+  task.status_out = &status;
+  task.sync = &sync;
+  size_t lane = 0;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    const size_t s = insert_counter_ % shards_.size();
+    ++insert_counter_;
+    ++seq_;
+    lane = s;
+    const VectorId g = static_cast<VectorId>(owner_.size());
+    owner_.push_back(static_cast<uint32_t>(s));
+    auto next = std::make_shared<std::vector<VectorId>>(*to_global_[s]);
+    next->push_back(g);
+    to_global_[s] = std::move(next);
+    seq = Admit(&task, &lane, 1);
+  }
+  Execute(&task, &lane, 1, sync);
+  if (seq_out != nullptr) *seq_out = seq;
+  return status;
+}
+
+Status ShardedGirIndex::DeleteWeight(VectorId live_id, uint64_t* seq_out) {
+  ShardTask task;
+  Status status;
+  OpSync sync;
+  sync.remaining = 1;
+  task.kind = ShardTask::Kind::kDeleteWeight;
+  task.status_out = &status;
+  task.sync = &sync;
+  size_t lane = 0;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    if (live_id >= owner_.size()) {
+      return Status::InvalidArgument("weight live id out of range");
+    }
+    const size_t s = owner_[live_id];
+    lane = s;
+    // The shard-local id is this weight's position in its owner's
+    // local→global map (strictly increasing, so a binary search).
+    const std::vector<VectorId>& map = *to_global_[s];
+    const size_t local = static_cast<size_t>(
+        std::lower_bound(map.begin(), map.end(), live_id) - map.begin());
+    task.id = static_cast<VectorId>(local);
+    ++seq_;
+    owner_.erase(owner_.begin() + live_id);
+    // Every later global id shifts down by one — republish every shard's
+    // map (the owner shard additionally drops the entry itself). This is
+    // O(|W|) of u32 traffic, well under the owning shard's own delete
+    // cost, and keeps in-flight queries on their admission-time cut.
+    for (size_t t = 0; t < shards_.size(); ++t) {
+      const std::vector<VectorId>& old = *to_global_[t];
+      auto next = std::make_shared<std::vector<VectorId>>();
+      next->reserve(old.size());
+      for (VectorId g : old) {
+        if (g == live_id) continue;  // only ever true for t == s
+        next->push_back(g > live_id ? g - 1 : g);
+      }
+      to_global_[t] = std::move(next);
+    }
+    seq = Admit(&task, &lane, 1);
+  }
+  Execute(&task, &lane, 1, sync);
+  if (seq_out != nullptr) *seq_out = seq;
+  return status;
+}
+
+Status ShardedGirIndex::Compact(uint64_t* seq_out) {
+  const size_t n = shards_.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<Status> statuses(n);
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kCompact;
+    tasks[s].status_out = &statuses[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    ++seq_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  if (seq_out != nullptr) *seq_out = seq;
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+// ---- Queries -------------------------------------------------------------
+
+namespace {
+
+/// Maps a shard's ascending local-id RTK answer to global ids. The map is
+/// strictly increasing, so the output stays sorted.
+void MapRtk(const ReverseTopKResult& local, const std::vector<VectorId>& map,
+            ReverseTopKResult* out) {
+  out->clear();
+  out->reserve(local.size());
+  for (VectorId id : local) out->push_back(map[id]);
+}
+
+/// k-way merge of per-shard sorted, disjoint global-id lists.
+ReverseTopKResult MergeRtk(std::vector<ReverseTopKResult>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  ReverseTopKResult out;
+  out.reserve(total);
+  std::vector<size_t> pos(parts.size(), 0);
+  while (out.size() < total) {
+    size_t best = parts.size();
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (pos[s] >= parts[s].size()) continue;
+      if (best == parts.size() ||
+          parts[s][pos[s]] < parts[best][pos[best]]) {
+        best = s;
+      }
+    }
+    out.push_back(parts[best][pos[best]++]);
+  }
+  return out;
+}
+
+/// k-way merge of per-shard k-ranks answers (already mapped to global
+/// ids; each sorted by the (rank, weight_id) tie rule), truncated to k.
+/// Per-shard truncation to k is what makes this exact rather than merely
+/// plausible: every global top-k member is one of its own shard's top-k
+/// (DESIGN.md §15 spells out why naive per-shard k/N truncation fails).
+ReverseKRanksResult MergeRkr(std::vector<ReverseKRanksResult>& parts,
+                             size_t k) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  const size_t take = std::min(k, total);
+  ReverseKRanksResult out;
+  out.reserve(take);
+  std::vector<size_t> pos(parts.size(), 0);
+  while (out.size() < take) {
+    size_t best = parts.size();
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (pos[s] >= parts[s].size()) continue;
+      if (best == parts.size() ||
+          parts[s][pos[s]] < parts[best][pos[best]]) {
+        best = s;
+      }
+    }
+    if (best == parts.size()) break;
+    out.push_back(parts[best][pos[best]++]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ReverseTopKResult ShardedGirIndex::ReverseTopK(ConstRow q, size_t k,
+                                               QueryStats* stats,
+                                               uint64_t* executed_seq) const {
+  const size_t n = shards_.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<ReverseTopKResult> parts(n);
+  std::vector<QueryStats> part_stats(n);
+  std::vector<std::shared_ptr<const std::vector<VectorId>>> maps(n);
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kQuery;
+    tasks[s].q = q.data();
+    tasks[s].k = k;
+    tasks[s].rkr = false;
+    tasks[s].rtk_out = &parts[s];
+    tasks[s].stats_out = &part_stats[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    maps = to_global_;  // pin the admission-time cut's id mapping
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  std::vector<ReverseTopKResult> mapped(n);
+  for (size_t s = 0; s < n; ++s) {
+    MapRtk(parts[s], *maps[s], &mapped[s]);
+    if (stats != nullptr) *stats += part_stats[s];
+  }
+  if (executed_seq != nullptr) *executed_seq = seq;
+  return MergeRtk(mapped);
+}
+
+ReverseKRanksResult ShardedGirIndex::ReverseKRanks(
+    ConstRow q, size_t k, QueryStats* stats, uint64_t* executed_seq) const {
+  const size_t n = shards_.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<ReverseKRanksResult> parts(n);
+  std::vector<QueryStats> part_stats(n);
+  std::vector<std::shared_ptr<const std::vector<VectorId>>> maps(n);
+  // The shared global k-th bound: starts unbounded, tightens via
+  // fetch-min as shards finish (ReverseKRanksCapped contract).
+  std::atomic<int64_t> cap{std::numeric_limits<int64_t>::max()};
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kQuery;
+    tasks[s].q = q.data();
+    tasks[s].k = k;
+    tasks[s].rkr = true;
+    tasks[s].cap = &cap;
+    tasks[s].rkr_out = &parts[s];
+    tasks[s].stats_out = &part_stats[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    maps = to_global_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<VectorId>& map = *maps[s];
+    for (RankedWeight& e : parts[s]) e.weight_id = map[e.weight_id];
+    if (stats != nullptr) *stats += part_stats[s];
+  }
+  if (executed_seq != nullptr) *executed_seq = seq;
+  return MergeRkr(parts, k);
+}
+
+std::vector<ReverseTopKResult> ShardedGirIndex::ReverseTopKBatch(
+    const Dataset& queries, size_t k, QueryStats* stats,
+    uint64_t* executed_seq) const {
+  const size_t n = shards_.size();
+  const size_t nq = queries.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<std::vector<ReverseTopKResult>> parts(n);
+  std::vector<QueryStats> part_stats(n);
+  std::vector<std::shared_ptr<const std::vector<VectorId>>> maps(n);
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kQuery;
+    tasks[s].queries = &queries;
+    tasks[s].k = k;
+    tasks[s].rkr = false;
+    tasks[s].rtk_batch_out = &parts[s];
+    tasks[s].stats_out = &part_stats[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    maps = to_global_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  std::vector<ReverseTopKResult> out(nq);
+  std::vector<ReverseTopKResult> mapped(n);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    for (size_t s = 0; s < n; ++s) {
+      MapRtk(parts[s][qi], *maps[s], &mapped[s]);
+    }
+    out[qi] = MergeRtk(mapped);
+  }
+  if (stats != nullptr) {
+    for (size_t s = 0; s < n; ++s) *stats += part_stats[s];
+  }
+  if (executed_seq != nullptr) *executed_seq = seq;
+  return out;
+}
+
+std::vector<ReverseKRanksResult> ShardedGirIndex::ReverseKRanksBatch(
+    const Dataset& queries, size_t k, QueryStats* stats,
+    uint64_t* executed_seq) const {
+  const size_t n = shards_.size();
+  const size_t nq = queries.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<std::vector<ReverseKRanksResult>> parts(n);
+  std::vector<QueryStats> part_stats(n);
+  std::vector<std::shared_ptr<const std::vector<VectorId>>> maps(n);
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kQuery;
+    tasks[s].queries = &queries;
+    tasks[s].k = k;
+    tasks[s].rkr = true;
+    tasks[s].rkr_batch_out = &parts[s];
+    tasks[s].stats_out = &part_stats[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    maps = to_global_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  std::vector<ReverseKRanksResult> out(nq);
+  std::vector<ReverseKRanksResult> scratch(n);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    for (size_t s = 0; s < n; ++s) {
+      scratch[s] = std::move(parts[s][qi]);
+      const std::vector<VectorId>& map = *maps[s];
+      for (RankedWeight& e : scratch[s]) e.weight_id = map[e.weight_id];
+    }
+    out[qi] = MergeRkr(scratch, k);
+  }
+  if (stats != nullptr) {
+    for (size_t s = 0; s < n; ++s) *stats += part_stats[s];
+  }
+  if (executed_seq != nullptr) *executed_seq = seq;
+  return out;
+}
+
+// ---- Introspection -------------------------------------------------------
+
+size_t ShardedGirIndex::live_point_count() const {
+  std::lock_guard<std::mutex> lk(seq_mu_);
+  return live_points_;
+}
+
+size_t ShardedGirIndex::live_weight_count() const {
+  std::lock_guard<std::mutex> lk(seq_mu_);
+  return owner_.size();
+}
+
+uint64_t ShardedGirIndex::sequence() const {
+  std::lock_guard<std::mutex> lk(seq_mu_);
+  return seq_;
+}
+
+uint64_t ShardedGirIndex::weight_insert_counter() const {
+  std::lock_guard<std::mutex> lk(seq_mu_);
+  return insert_counter_;
+}
+
+bool ShardedGirIndex::dirty() const {
+  for (const auto& c : counters_) {
+    if (c->dirty.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> ShardedGirIndex::AppliedSeqVector() const {
+  std::vector<uint64_t> v(counters_.size());
+  for (size_t s = 0; s < counters_.size(); ++s) {
+    v[s] = counters_[s]->applied_seq.load(std::memory_order_acquire);
+  }
+  return v;
+}
+
+std::vector<uint32_t> ShardedGirIndex::WeightOwners() const {
+  std::lock_guard<std::mutex> lk(seq_mu_);
+  return owner_;
+}
+
+std::vector<ShardStatsSnapshot> ShardedGirIndex::ShardStats() const {
+  const size_t n = shards_.size();
+  std::vector<ShardStatsSnapshot> out(n);
+  uint64_t total_queries = 0;
+  for (size_t s = 0; s < n; ++s) {
+    const ShardCounters& c = *counters_[s];
+    ShardStatsSnapshot& snap = out[s];
+    snap.applied_seq = c.applied_seq.load(std::memory_order_acquire);
+    snap.generation = c.generation.load(std::memory_order_relaxed);
+    snap.tasks = c.tasks.load(std::memory_order_relaxed);
+    snap.queries = c.queries.load(std::memory_order_relaxed);
+    snap.mutations = c.mutations.load(std::memory_order_relaxed);
+    snap.live_weights = c.live_weights.load(std::memory_order_relaxed);
+    snap.points_streamed =
+        c.points_streamed.load(std::memory_order_relaxed);
+    snap.points_skipped = c.points_skipped.load(std::memory_order_relaxed);
+    snap.latency_p50_us = LatQuantile(c.latency_hist, 0.50);
+    snap.latency_p99_us = LatQuantile(c.latency_hist, 0.99);
+    {
+      Lane& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      snap.queue_depth = lane.issued - lane.completed;
+    }
+    total_queries += snap.queries;
+  }
+  for (ShardStatsSnapshot& snap : out) {
+    snap.qps_share = total_queries == 0
+                         ? 0.0
+                         : static_cast<double>(snap.queries) /
+                               static_cast<double>(total_queries);
+  }
+  return out;
+}
+
+void ShardedGirIndex::Quiesce() const {
+  std::vector<uint64_t> targets(lanes_.size());
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    for (size_t s = 0; s < lanes_.size(); ++s) {
+      std::lock_guard<std::mutex> llk(lanes_[s]->mu);
+      targets[s] = lanes_[s]->issued;
+    }
+  }
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    Lane& lane = *lanes_[s];
+    std::unique_lock<std::mutex> lk(lane.mu);
+    lane.cv.wait(lk, [&] { return lane.completed >= targets[s]; });
+  }
+}
+
+}  // namespace gir

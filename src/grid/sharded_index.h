@@ -1,0 +1,242 @@
+#ifndef GIR_GRID_SHARDED_INDEX_H_
+#define GIR_GRID_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/dataset.h"
+#include "core/query_types.h"
+#include "core/status.h"
+#include "grid/dynamic_index.h"
+
+namespace gir {
+
+/// Construction knobs of the sharded router.
+struct ShardedIndexOptions {
+  /// Number of weight shards (≥ 1). RTK/RKR scan W against P, so W is the
+  /// axis the paper's decomposition makes embarrassingly parallel: each
+  /// shard owns a disjoint slice of the preference set and a full replica
+  /// of the (read-mostly, broadcast-mutated) product set.
+  size_t shards = 1;
+  /// Options applied to every shard's DynamicGirIndex.
+  DynamicIndexOptions dynamic;
+  /// One pinned worker thread per shard (the default). With workers off,
+  /// caller threads execute shard tasks themselves under the same
+  /// per-shard ticket discipline — identical semantics and serialization,
+  /// no cross-shard thread parallelism, no handoff latency. Useful on
+  /// single-core hosts and for deterministic debugging.
+  bool use_workers = true;
+};
+
+/// Point-in-time view of one shard for STATS / monitoring.
+struct ShardStatsSnapshot {
+  uint64_t applied_seq = 0;      ///< last op sequence number applied
+  uint64_t generation = 0;       ///< shard's DynamicGirIndex generation
+  uint64_t queue_depth = 0;      ///< tasks admitted but not yet applied
+  uint64_t tasks = 0;            ///< tasks applied in total
+  uint64_t queries = 0;          ///< query sub-tasks among them
+  uint64_t mutations = 0;        ///< mutation tasks among them
+  uint64_t live_weights = 0;     ///< weights this shard currently owns
+  uint64_t points_streamed = 0;  ///< scan work: points the engine touched
+  uint64_t points_skipped = 0;   ///< scan work: points block-max settled
+  uint64_t latency_p50_us = 0;   ///< per-task latency quantiles
+  uint64_t latency_p99_us = 0;
+  double qps_share = 0.0;        ///< this shard's fraction of all queries
+};
+
+/// ShardedGirIndex — scale-out router over N weight shards, each wrapping
+/// its own DynamicGirIndex (own generation counter, tombstones, τ heads,
+/// block-max metadata). Mutations route to the owning shard, queries fan
+/// out to every shard, and both kinds of work flow through one per-shard
+/// FIFO so a query always executes against the exact prefix of the global
+/// operation stream it was admitted at — snapshot consistency by
+/// construction, with no lock on any shard's index data and no torn
+/// reads (each shard's state is only ever touched by the one task that
+/// holds its turn).
+///
+/// Ordering model. Admission (under one router mutex) assigns each
+/// operation a global sequence number and enqueues its task(s): weight
+/// mutations to the owning shard, point mutations and compactions to all
+/// shards, query sub-tasks to all shards. Per-shard FIFO execution means
+/// every shard applies exactly the admitted prefix before a query runs,
+/// so the fan-out observes one cut of the stream on every shard — the
+/// consistent snapshot vector is the admission order itself, and the
+/// per-shard applied-sequence atomics are its monotone generation vector.
+///
+/// Results are bit-identical to a single DynamicGirIndex fed the same
+/// operation stream. Weight ids: the router keeps the global live-id
+/// order (insertion order filtered to alive — exactly the single-index
+/// live order) as a per-shard monotone local→global map, so mapping a
+/// shard's (rank, local_id)-sorted answer preserves the global
+/// (rank, weight_id) tie rule, and a k-way merge of per-shard top-k lists
+/// truncated to k is the single-index answer (DESIGN.md §15 — note a
+/// naive per-shard truncation to k/N would NOT be: one shard may own all
+/// k global winners).
+///
+/// Reverse k-rank fan-outs additionally share an atomic upper bound on
+/// the global k-th rank: each shard folds the current bound into its own
+/// k-th cap (sound — a subset's k-th order statistic is never smaller
+/// than the global one) and publishes its exact local k-th via fetch-min
+/// once it has k results, so trailing shards early-abort their
+/// unresolved-band scans.
+///
+/// Thread safety: every public method may be called from any thread
+/// concurrently. Callers block until their operation (and for queries,
+/// every shard sub-task) completes. shard() is the exception — it
+/// exposes raw shard state for persistence/tests and requires external
+/// quiescence (no concurrent calls); use Quiesce() first.
+class ShardedGirIndex {
+ public:
+  /// Upper bound on the shard count — a routing-table sanity cap, also
+  /// enforced when loading a GIRSHD01 envelope.
+  static constexpr size_t kMaxShards = 256;
+
+  /// Builds N shards over round-robin slices of `weights` (weight i →
+  /// shard i mod N — the same assignment later inserts continue, so a
+  /// rebuilt and a replayed router agree) and a full copy of `points`
+  /// per shard.
+  static Result<std::unique_ptr<ShardedGirIndex>> Build(
+      const Dataset& points, const Dataset& weights,
+      const ShardedIndexOptions& options);
+
+  /// Reassembles a router from persisted parts (grid/index_io.h:
+  /// GIRSHD01). `owner[g]` is the owning shard of global live weight g in
+  /// global live order; shard live-weight counts must match its
+  /// histogram, and every shard must agree on the point state.
+  static Result<std::unique_ptr<ShardedGirIndex>> FromParts(
+      ShardedIndexOptions options,
+      std::vector<std::unique_ptr<DynamicGirIndex>> shards,
+      std::vector<uint32_t> owner, uint64_t sequence,
+      uint64_t weight_insert_counter);
+
+  ~ShardedGirIndex();
+
+  ShardedGirIndex(const ShardedGirIndex&) = delete;
+  ShardedGirIndex& operator=(const ShardedGirIndex&) = delete;
+
+  // ---- Mutations (validated at admission; routed or broadcast) ---------
+
+  /// Appends a product vector to every shard. `seq_out` (nullable)
+  /// receives the op's global sequence number.
+  Status InsertPoint(ConstRow p, uint64_t* seq_out = nullptr);
+  /// Tombstones a point (by global live id) on every shard.
+  Status DeletePoint(VectorId live_id, uint64_t* seq_out = nullptr);
+  /// Appends a preference vector to the round-robin next shard.
+  Status InsertWeight(ConstRow w, uint64_t* seq_out = nullptr);
+  /// Tombstones the weight with global live id `live_id` on its owner.
+  Status DeleteWeight(VectorId live_id, uint64_t* seq_out = nullptr);
+  /// Compacts every shard (each folds its own tombstones/deltas).
+  Status Compact(uint64_t* seq_out = nullptr);
+
+  // ---- Queries (fan-out + merge; bit-identical to single-index) --------
+
+  ReverseTopKResult ReverseTopK(ConstRow q, size_t k,
+                                QueryStats* stats = nullptr,
+                                uint64_t* executed_seq = nullptr) const;
+  ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
+                                    QueryStats* stats = nullptr,
+                                    uint64_t* executed_seq = nullptr) const;
+  /// Batch forms: one fan-out for the whole block, per-shard batch
+  /// engines (which amortize scan sweeps across queries), merged per
+  /// query. The batch RKR path does not use the shared k-th bound — the
+  /// bound is per query, and trading the batched sweep for per-query
+  /// abort loses more than the bound saves (DESIGN.md §15).
+  std::vector<ReverseTopKResult> ReverseTopKBatch(
+      const Dataset& queries, size_t k, QueryStats* stats = nullptr,
+      uint64_t* executed_seq = nullptr) const;
+  std::vector<ReverseKRanksResult> ReverseKRanksBatch(
+      const Dataset& queries, size_t k, QueryStats* stats = nullptr,
+      uint64_t* executed_seq = nullptr) const;
+
+  // ---- Introspection ---------------------------------------------------
+
+  size_t dim() const { return dim_; }
+  size_t shard_count() const { return shards_.size(); }
+  size_t live_point_count() const;
+  size_t live_weight_count() const;
+  /// Last admitted operation sequence number.
+  uint64_t sequence() const;
+  /// Round-robin insert cursor (persisted so replay stays deterministic).
+  uint64_t weight_insert_counter() const;
+  /// True iff any shard holds tombstones or delta rows.
+  bool dirty() const;
+  /// The monotone per-shard generation vector: entry s is the sequence
+  /// number of the last operation shard s has applied.
+  std::vector<uint64_t> AppliedSeqVector() const;
+  /// Owning shard of every global live weight, in global live order.
+  std::vector<uint32_t> WeightOwners() const;
+  /// Per-shard monitoring snapshot (see ShardStatsSnapshot).
+  std::vector<ShardStatsSnapshot> ShardStats() const;
+
+  /// Blocks until every admitted operation has been applied on every
+  /// shard. Afterwards (absent concurrent mutations) shard() is safe.
+  void Quiesce() const;
+
+  /// Raw shard access for persistence and tests; requires quiescence.
+  const DynamicGirIndex& shard(size_t s) const { return *shards_[s]; }
+
+  const ShardedIndexOptions& options() const { return options_; }
+
+ private:
+  struct ShardTask;
+  struct OpSync;
+  struct Lane;
+  struct ShardCounters;
+
+  ShardedGirIndex(ShardedIndexOptions options, size_t dim,
+                  std::vector<std::unique_ptr<DynamicGirIndex>> shards,
+                  std::vector<uint32_t> owner, uint64_t sequence,
+                  uint64_t weight_insert_counter);
+
+  void StartWorkers();
+  void WorkerMain(size_t s);
+  /// Executes one task against shard s (the caller holds shard s's turn).
+  void RunTask(size_t s, ShardTask& task) const;
+  /// Admits `count` tasks (task[i] → shard lane[i]) as one operation.
+  /// REQUIRES seq_mu_ held (the caller has already done its bookkeeping
+  /// and, for mutations, bumped seq_): stamps each task with the current
+  /// sequence number and its lane ticket, and in worker mode enqueues
+  /// them. Returns the stamped sequence number.
+  uint64_t Admit(ShardTask* tasks, const size_t* lanes, size_t count) const;
+  /// Runs the admitted tasks to completion (worker handoff or inline
+  /// ticket execution) and waits.
+  void Execute(ShardTask* tasks, const size_t* lanes, size_t count,
+               OpSync& sync) const;
+
+  ShardedIndexOptions options_;
+  size_t dim_;
+  std::vector<std::unique_ptr<DynamicGirIndex>> shards_;
+
+  /// Router bookkeeping, all under seq_mu_: the admission lock is the
+  /// only cross-shard serialization point.
+  mutable std::mutex seq_mu_;
+  uint64_t seq_ = 0;
+  uint64_t insert_counter_ = 0;
+  size_t live_points_ = 0;
+  /// owner_[g] = owning shard of global live weight g, in global live
+  /// order (so a delete erases one entry and later ids shift, exactly as
+  /// single-index live ids renumber).
+  std::vector<uint32_t> owner_;
+  /// Copy-on-write per-shard local→global maps. Strictly increasing per
+  /// shard (the same-shard subsequence of the global order). Queries pin
+  /// the shared_ptrs at admission; weight mutations publish fresh
+  /// vectors, so an in-flight merge keeps the cut it was admitted at.
+  std::vector<std::shared_ptr<const std::vector<VectorId>>> to_global_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<ShardCounters>> counters_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace gir
+
+#endif  // GIR_GRID_SHARDED_INDEX_H_

@@ -1,0 +1,109 @@
+#ifndef GIR_IO_ENVELOPE_H_
+#define GIR_IO_ENVELOPE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "io/checked_reader.h"
+
+namespace gir {
+namespace envio {
+
+/// Shared mechanics for the on-disk envelope formats (GIRIDX01, GIRTAU01,
+/// GIRDYN01, GIRBMX01, GIRSHD01): fixed-width little-endian writers, the
+/// path-appending status re-wrapper, and the header-implied-payload budget
+/// check each loader runs before its first allocation.
+///
+/// Policy stays with the formats: every loader keeps its own error strings
+/// and decides what counts as corruption; this header only owns the
+/// arithmetic those decisions share.
+
+inline void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void WriteDouble(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Length-prefixed double array: u64 count, then the raw values.
+inline void WriteDoubles(std::ostream& out, const std::vector<double>& v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+/// Re-wraps `s` with the file path appended, preserving the code. Loaders
+/// that parse from a CheckedReader are path-agnostic; the public
+/// path-taking entry points use this to attach the filename once.
+inline Status WithPath(const Status& s, const std::string& path) {
+  const std::string msg = s.message() + ": " + path;
+  switch (s.code()) {
+    case StatusCode::kCorruption:
+      return Status::Corruption(msg);
+    case StatusCode::kIOError:
+      return Status::IOError(msg);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+/// Vets header-implied payload sizes against the bytes actually present
+/// before any allocation. Counts and element widths come straight from an
+/// untrusted header, so their products can reach allocation-bomb or
+/// wraparound territory; Add() accumulates with overflow detection and
+/// FitsFile() compares the exact total to what the reader has left.
+///
+/// The two failure modes are split so each format can keep its distinct
+/// error strings ("... size overflows" vs "... exceeds the file size"):
+///
+///   PayloadBudget budget(reader);
+///   if (!budget.Add(k_cap * nw, sizeof(double)) ||
+///       !budget.Add(nw, sizeof(double))) {
+///     return Status::Corruption("tau index payload size overflows");
+///   }
+///   if (!budget.FitsFile()) {
+///     return Status::Corruption("tau index payload exceeds the file size");
+///   }
+class PayloadBudget {
+ public:
+  explicit PayloadBudget(CheckedReader& reader)
+      : remaining_(reader.Remaining()) {}
+
+  /// Adds `elems * elem_size` bytes to the required total. Returns false
+  /// when the product or the running sum overflows uint64 — such a header
+  /// can never describe a real payload.
+  bool Add(uint64_t elems, uint64_t elem_size) {
+    uint64_t bytes = 0;
+    if (!CheckedReader::CheckedPayloadBytes(elems, elem_size, &bytes)) {
+      return false;
+    }
+    if (total_ > UINT64_MAX - bytes) return false;
+    total_ += bytes;
+    return true;
+  }
+
+  /// True when every Add()ed payload fits in the bytes the reader has
+  /// left. Only meaningful after the Add() calls succeeded.
+  bool FitsFile() const { return total_ <= remaining_; }
+
+  uint64_t total() const { return total_; }
+
+ private:
+  uint64_t remaining_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace envio
+}  // namespace gir
+
+#endif  // GIR_IO_ENVELOPE_H_

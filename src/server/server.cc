@@ -39,7 +39,7 @@ QueryServer::Connection::~Connection() {
   if (fd >= 0) ::close(fd);
 }
 
-QueryServer::QueryServer(DynamicGirIndex* index, ServerOptions options)
+QueryServer::QueryServer(ShardedGirIndex* index, ServerOptions options)
     : index_(index), options_(std::move(options)), dim_(index->dim()) {
   if (options_.max_batch == 0) options_.max_batch = 1;
 }
@@ -186,26 +186,27 @@ void QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
                                            index_version()));
       return;
     case NetVerb::kStats:
-      SendBody(conn, EncodeStatsResponseBody(request.request_id,
-                                             index_version(),
-                                             metrics_.Render()));
+      SendBody(conn, EncodeStatsResponseBody(
+                         request.request_id, index_version(),
+                         metrics_.Render() + RenderShardStats()));
       return;
     case NetVerb::kInfo: {
       NetInfo info;
-      uint64_t version = 0;
-      {
-        std::shared_lock<std::shared_mutex> lock(index_mu_);
-        info.dim = static_cast<uint32_t>(index_->dim());
-        info.live_points = index_->live_point_count();
-        info.live_weights = index_->live_weight_count();
-        info.generation = index_->generation();
-        info.dirty = index_->dirty() ? 1 : 0;
-        info.scan_mode =
-            static_cast<uint8_t>(index_->options().gir.scan_mode);
-        version = index_version();
+      info.dim = static_cast<uint32_t>(index_->dim());
+      info.live_points = index_->live_point_count();
+      info.live_weights = index_->live_weight_count();
+      // The router has one generation per shard; report the furthest one
+      // (compaction progress is per shard, see DESIGN.md §15).
+      uint64_t generation = 0;
+      for (const ShardStatsSnapshot& s : index_->ShardStats()) {
+        generation = std::max(generation, s.generation);
       }
-      SendBody(conn,
-               EncodeInfoResponseBody(request.request_id, version, info));
+      info.generation = generation;
+      info.dirty = index_->dirty() ? 1 : 0;
+      info.scan_mode =
+          static_cast<uint8_t>(index_->options().dynamic.gir.scan_mode);
+      SendBody(conn, EncodeInfoResponseBody(request.request_id,
+                                            index_version(), info));
       return;
     }
     case NetVerb::kReverseTopK:
@@ -252,39 +253,37 @@ void QueryServer::HandleMutation(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // No server-side lock: the sharded router serializes the mutation
+  // against in-flight queries at its admission point and hands back the
+  // sequence number the mutation was applied at.
   Status s = Status::OK();
   uint64_t version = 0;
-  {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
-    switch (request.verb) {
-      case NetVerb::kInsertPoint:
-        s = index_->InsertPoint(
-            ConstRow(request.values.data(), request.values.size()));
-        break;
-      case NetVerb::kInsertWeight:
-        s = index_->InsertWeight(
-            ConstRow(request.values.data(), request.values.size()));
-        break;
-      case NetVerb::kDeletePoint:
-        s = index_->DeletePoint(static_cast<VectorId>(request.target_id));
-        break;
-      case NetVerb::kDeleteWeight:
-        s = index_->DeleteWeight(static_cast<VectorId>(request.target_id));
-        break;
-      case NetVerb::kCompact:
-        s = index_->Compact();
-        break;
-      default:
-        s = Status::Internal("non-mutation verb in the mutation path");
-        break;
-    }
-    if (s.ok()) {
-      version = index_version_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    } else {
-      version = index_version();
-    }
+  switch (request.verb) {
+    case NetVerb::kInsertPoint:
+      s = index_->InsertPoint(
+          ConstRow(request.values.data(), request.values.size()), &version);
+      break;
+    case NetVerb::kInsertWeight:
+      s = index_->InsertWeight(
+          ConstRow(request.values.data(), request.values.size()), &version);
+      break;
+    case NetVerb::kDeletePoint:
+      s = index_->DeletePoint(static_cast<VectorId>(request.target_id),
+                              &version);
+      break;
+    case NetVerb::kDeleteWeight:
+      s = index_->DeleteWeight(static_cast<VectorId>(request.target_id),
+                               &version);
+      break;
+    case NetVerb::kCompact:
+      s = index_->Compact(&version);
+      break;
+    default:
+      s = Status::Internal("non-mutation verb in the mutation path");
+      break;
   }
   if (!s.ok()) {
+    version = index_version();
     const NetStatus net = s.code() == StatusCode::kInvalidArgument
                               ? NetStatus::kInvalidArgument
                               : NetStatus::kInternal;
@@ -453,20 +452,18 @@ void QueryServer::ExecuteBatch(bool is_rkr, uint32_t k,
     }
   }
 
-  // One shared-lock acquisition per micro-batch: every query in it
-  // observes the same index state and the same version stamp.
+  // One fan-out per micro-batch: the router admits the whole batch at a
+  // single cut of the operation stream, dispatches per-shard sub-batches
+  // concurrently, and reports the sequence number the batch executed at —
+  // every query in it observes the same index state and version stamp.
   std::vector<ReverseTopKResult> topk;
   std::vector<ReverseKRanksResult> kranks;
   uint64_t version = 0;
   QueryStats scan_stats;
-  {
-    std::shared_lock<std::shared_mutex> guard(index_mu_);
-    version = index_version();
-    if (is_rkr) {
-      kranks = index_->ReverseKRanksBatch(queries, k, &scan_stats);
-    } else {
-      topk = index_->ReverseTopKBatch(queries, k, &scan_stats);
-    }
+  if (is_rkr) {
+    kranks = index_->ReverseKRanksBatch(queries, k, &scan_stats, &version);
+  } else {
+    topk = index_->ReverseTopKBatch(queries, k, &scan_stats, &version);
   }
   metrics_.RecordScanWork(scan_stats.points_streamed,
                           scan_stats.points_skipped,
@@ -499,6 +496,39 @@ void QueryServer::ExecuteBatch(bool is_rkr, uint32_t k,
             .count()));
   }
   metrics_.RecordBatch(live.size(), total);
+}
+
+std::string QueryServer::RenderShardStats() const {
+  // One `shardN.<key> <value>` row per metric per shard, appended after
+  // the server-wide counters so STATS stays a flat key/value text block
+  // older clients render unchanged; `gir_cli remote stats` folds these
+  // rows into its per-shard table.
+  const std::vector<ShardStatsSnapshot> shards = index_->ShardStats();
+  std::string out;
+  out.reserve(shards.size() * 256);
+  char line[160];
+  const auto append = [&](size_t s, const char* key, uint64_t value) {
+    std::snprintf(line, sizeof(line), "shard%zu.%s %llu\n", s, key,
+                  static_cast<unsigned long long>(value));
+    out.append(line);
+  };
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardStatsSnapshot& snap = shards[s];
+    append(s, "applied_seq", snap.applied_seq);
+    append(s, "generation", snap.generation);
+    append(s, "queue_depth", snap.queue_depth);
+    append(s, "live_weights", snap.live_weights);
+    append(s, "queries", snap.queries);
+    append(s, "mutations", snap.mutations);
+    append(s, "points_streamed", snap.points_streamed);
+    append(s, "points_skipped", snap.points_skipped);
+    append(s, "latency_p50_us_le", snap.latency_p50_us);
+    append(s, "latency_p99_us_le", snap.latency_p99_us);
+    std::snprintf(line, sizeof(line), "shard%zu.qps_share_pct %.1f\n", s,
+                  snap.qps_share * 100.0);
+    out.append(line);
+  }
+  return out;
 }
 
 void QueryServer::SendBody(const std::shared_ptr<Connection>& conn,

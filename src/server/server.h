@@ -8,13 +8,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/status.h"
-#include "grid/dynamic_index.h"
+#include "grid/sharded_index.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 
@@ -43,36 +42,40 @@ struct ServerOptions {
   uint32_t max_connections = 256;
 };
 
-/// QueryServer — a multi-threaded TCP front end over one DynamicGirIndex
+/// QueryServer — a multi-threaded TCP front end over one ShardedGirIndex
 /// speaking GIRNET01 (server/protocol.h).
 ///
 /// Thread model. One accept thread; one reader thread per connection; one
-/// scheduler thread. Readers parse and validate frames, then either
-/// answer inline (ping/info/stats and all mutations) or enqueue query
-/// requests for the scheduler. The scheduler coalesces compatible pending
-/// requests — same query family and k — into a single
-/// ReverseTopKBatch/ReverseKRanksBatch sweep (the amortization ISSUE 3
-/// measured), waiting at most batch_wait_us for the batch to fill.
+/// scheduler thread; plus the sharded router's per-shard workers. Readers
+/// parse and validate frames, then either answer inline (ping/info/stats
+/// and all mutations) or enqueue query requests for the scheduler. The
+/// scheduler coalesces compatible pending requests — same query family
+/// and k — into a single ReverseTopKBatch/ReverseKRanksBatch sweep (the
+/// amortization ISSUE 3 measured), waiting at most batch_wait_us for the
+/// batch to fill. Each micro-batch then fans out to the shards as
+/// per-shard sub-batches dispatched concurrently by the router, so a
+/// writer only stalls the one shard that owns its weight — 1/N of the
+/// read capacity — instead of the whole index.
 ///
-/// Consistency. DynamicGirIndex queries are const and concurrently safe,
-/// but mutations are not safe against queries, so the server wraps the
-/// index in a reader/writer lock: micro-batches execute under the shared
-/// side, mutations under the exclusive side. Every mutation bumps a
-/// version counter and every response carries the version it executed
-/// at, so any interleaving observed over the wire maps to one serial
-/// history — replaying mutations serially and re-running a query at its
-/// stamped version must reproduce the response bit-for-bit (the
-/// concurrency tests do exactly that).
+/// Consistency. The sharded router serializes mutations against queries
+/// internally (per-shard FIFO admission; DESIGN.md §15), so the server
+/// holds no index lock at all. The router's operation sequence number is
+/// the version stamp: every successful mutation bumps it, every response
+/// carries the sequence its work executed at, and a micro-batch executes
+/// against exactly that prefix of the operation stream on every shard.
+/// Replaying mutations serially and re-running a query at its stamped
+/// version must reproduce the response bit-for-bit (the concurrency
+/// tests do exactly that).
 ///
 /// Shutdown() drains gracefully: new requests are refused with
 /// kShuttingDown, already-admitted requests are executed and answered,
 /// then threads are joined. Safe to call twice; the destructor calls it.
 class QueryServer {
  public:
-  /// The index must outlive the server. The server takes over all
-  /// synchronization — no other thread may mutate the index while the
-  /// server runs.
-  QueryServer(DynamicGirIndex* index, ServerOptions options);
+  /// The index must outlive the server. The server assumes exclusive
+  /// use — no other thread may mutate the index while the server runs
+  /// (concurrent callers would skew the version stamps).
+  QueryServer(ShardedGirIndex* index, ServerOptions options);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -87,11 +90,9 @@ class QueryServer {
   /// Graceful drain; blocks until all threads are joined. Idempotent.
   void Shutdown();
 
-  /// Mutation counter: bumped by every successful mutation. Responses
-  /// carry the value current when they executed.
-  uint64_t index_version() const {
-    return index_version_.load(std::memory_order_acquire);
-  }
+  /// The router's operation sequence number: bumped by every successful
+  /// mutation. Responses carry the value current when they executed.
+  uint64_t index_version() const { return index_->sequence(); }
 
   const ServerMetrics& metrics() const { return metrics_; }
 
@@ -152,17 +153,14 @@ class QueryServer {
   /// Pending query rows compatible with the (is_rkr, k) batch key.
   size_t MatchingQueriesLocked(bool is_rkr, uint32_t k) const;
 
-  DynamicGirIndex* index_;
+  /// Renders the per-shard STATS rows appended after the server metrics.
+  std::string RenderShardStats() const;
+
+  ShardedGirIndex* index_;
   ServerOptions options_;
   size_t dim_ = 0;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
-
-  /// Readers/scheduler take shared, mutations exclusive. index_version_
-  /// is written only under the exclusive side; the atomic lets error
-  /// paths stamp responses without touching the lock.
-  std::shared_mutex index_mu_;
-  std::atomic<uint64_t> index_version_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -422,6 +422,19 @@ TEST_F(BlockMaxIoTest, LegacyFileWithoutSectionRebuildsFresh) {
   ASSERT_NE(loaded.value().block_max(), nullptr);
   EXPECT_EQ(loaded.value().block_max()->qmin(), index_->block_max()->qmin());
   EXPECT_EQ(loaded.value().block_max()->qmax(), index_->block_max()->qmax());
+
+  // The fresh rebuild must answer exactly like the index that wrote the
+  // file, and the recovered cursor must be invisible to results: the
+  // loaded (cursor-on) index and a cursor-off build over the same data
+  // are bit-identical, legacy file or not.
+  const Dataset queries = testing_util::SmallPoints(4, 16, 63);
+  ExpectIdenticalAnswers(loaded.value(), *index_, queries);
+  GirOptions off_options;
+  off_options.use_block_max = false;
+  auto off = GirIndex::Build(workload_.points, workload_.weights, off_options);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(off.value().block_max(), nullptr);
+  ExpectIdenticalAnswers(loaded.value(), off.value(), queries);
 }
 
 TEST_F(BlockMaxIoTest, RejectsTruncatedSection) {

@@ -23,6 +23,7 @@
 #include "data/generators.h"
 #include "data/weights.h"
 #include "grid/dynamic_index.h"
+#include "grid/sharded_index.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -38,11 +39,14 @@ Dataset MakeWeights(size_t m, size_t d, uint64_t seed) {
   return GenerateWeights(WeightDistribution::kUniform, m, d, seed);
 }
 
-DynamicGirIndex BuildIndex(const Dataset& points, const Dataset& weights,
-                           ScanMode mode = ScanMode::kBlocked) {
-  DynamicIndexOptions options;
-  options.gir.scan_mode = mode;
-  auto index = DynamicGirIndex::Build(points, weights, options);
+std::unique_ptr<ShardedGirIndex> BuildIndex(const Dataset& points,
+                                            const Dataset& weights,
+                                            ScanMode mode = ScanMode::kBlocked,
+                                            size_t shards = 1) {
+  ShardedIndexOptions options;
+  options.shards = shards;
+  options.dynamic.gir.scan_mode = mode;
+  auto index = ShardedGirIndex::Build(points, weights, options);
   EXPECT_TRUE(index.ok()) << index.status().ToString();
   return std::move(index).value();
 }
@@ -94,8 +98,8 @@ class RawConnection {
 TEST(QueryServerTest, StartsOnEphemeralPortAndStopsTwice) {
   const Dataset points = MakePoints(200, 3, 1);
   const Dataset weights = MakeWeights(50, 3, 2);
-  DynamicGirIndex index = BuildIndex(points, weights);
-  QueryServer server(&index, ServerOptions{});
+  auto index = BuildIndex(points, weights);
+  QueryServer server(index.get(), ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
   EXPECT_GT(server.port(), 0);
   server.Shutdown();
@@ -105,8 +109,8 @@ TEST(QueryServerTest, StartsOnEphemeralPortAndStopsTwice) {
 TEST(QueryServerTest, PingInfoAndStatsRoundTrip) {
   const Dataset points = MakePoints(300, 4, 3);
   const Dataset weights = MakeWeights(80, 4, 4);
-  DynamicGirIndex index = BuildIndex(points, weights);
-  QueryServer server(&index, ServerOptions{});
+  auto index = BuildIndex(points, weights, ScanMode::kBlocked, /*shards=*/2);
+  QueryServer server(index.get(), ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
 
   RemoteClient client = MustConnect(server);
@@ -143,13 +147,32 @@ TEST(QueryServerTest, PingInfoAndStatsRoundTrip) {
                 text.c_str() + pos + sizeof("scan_points_streamed ") - 1,
                 nullptr, 10),
             0u);
+
+  // The sharded server appends one `shardN.<key> <value>` row set per
+  // shard; after a query both shards must report it applied.
+  for (const char* key :
+       {"shard0.applied_seq", "shard0.generation", "shard0.queue_depth",
+        "shard0.live_weights", "shard0.queries", "shard0.qps_share_pct",
+        "shard0.latency_p99_us_le", "shard1.queries"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+  const size_t q0 = text.find("shard0.queries ");
+  const size_t q1 = text.find("shard1.queries ");
+  ASSERT_NE(q0, std::string::npos);
+  ASSERT_NE(q1, std::string::npos);
+  EXPECT_GE(std::strtoull(text.c_str() + q0 + sizeof("shard0.queries ") - 1,
+                          nullptr, 10),
+            1u);
+  EXPECT_GE(std::strtoull(text.c_str() + q1 + sizeof("shard1.queries ") - 1,
+                          nullptr, 10),
+            1u);
 }
 
 TEST(QueryServerTest, SingleQueriesMatchLocalExecution) {
   const Dataset points = MakePoints(500, 4, 5);
   const Dataset weights = MakeWeights(120, 4, 6);
-  DynamicGirIndex index = BuildIndex(points, weights);
-  QueryServer server(&index, ServerOptions{});
+  auto index = BuildIndex(points, weights);
+  QueryServer server(index.get(), ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
   RemoteClient client = MustConnect(server);
 
@@ -157,11 +180,11 @@ TEST(QueryServerTest, SingleQueriesMatchLocalExecution) {
     for (uint32_t k : {1u, 5u, 16u}) {
       auto remote_rtk = client.ReverseTopK(points.row(row), k);
       ASSERT_TRUE(remote_rtk.ok()) << remote_rtk.status().ToString();
-      EXPECT_EQ(remote_rtk.value(), index.ReverseTopK(points.row(row), k));
+      EXPECT_EQ(remote_rtk.value(), index->ReverseTopK(points.row(row), k));
 
       auto remote_rkr = client.ReverseKRanks(points.row(row), k);
       ASSERT_TRUE(remote_rkr.ok());
-      const auto local = index.ReverseKRanks(points.row(row), k);
+      const auto local = index->ReverseKRanks(points.row(row), k);
       ASSERT_EQ(remote_rkr.value().size(), local.size());
       for (size_t i = 0; i < local.size(); ++i) {
         EXPECT_EQ(remote_rkr.value()[i].weight_id, local[i].weight_id);
@@ -174,10 +197,10 @@ TEST(QueryServerTest, SingleQueriesMatchLocalExecution) {
 TEST(QueryServerTest, WireBatchLargerThanMicroBatchIsNeverSplit) {
   const Dataset points = MakePoints(400, 3, 7);
   const Dataset weights = MakeWeights(90, 3, 8);
-  DynamicGirIndex index = BuildIndex(points, weights);
+  auto index = BuildIndex(points, weights);
   ServerOptions options;
   options.max_batch = 16;  // far below the wire batch below
-  QueryServer server(&index, options);
+  QueryServer server(index.get(), options);
   ASSERT_TRUE(server.Start().ok());
   RemoteClient client = MustConnect(server);
 
@@ -185,11 +208,11 @@ TEST(QueryServerTest, WireBatchLargerThanMicroBatchIsNeverSplit) {
   for (size_t i = 0; i < 200; ++i) queries.AppendUnchecked(points.row(i));
   auto remote = client.ReverseTopKBatch(queries, 8);
   ASSERT_TRUE(remote.ok());
-  EXPECT_EQ(remote.value(), index.ReverseTopKBatch(queries, 8));
+  EXPECT_EQ(remote.value(), index->ReverseTopKBatch(queries, 8));
 
   auto remote_rkr = client.ReverseKRanksBatch(queries, 4);
   ASSERT_TRUE(remote_rkr.ok());
-  const auto local = index.ReverseKRanksBatch(queries, 4);
+  const auto local = index->ReverseKRanksBatch(queries, 4);
   ASSERT_EQ(remote_rkr.value().size(), local.size());
   for (size_t q = 0; q < local.size(); ++q) {
     ASSERT_EQ(remote_rkr.value()[q].size(), local[q].size());
@@ -203,10 +226,10 @@ TEST(QueryServerTest, WireBatchLargerThanMicroBatchIsNeverSplit) {
 TEST(QueryServerTest, ConcurrentClientsCoalesceIntoMicroBatches) {
   const Dataset points = MakePoints(600, 4, 9);
   const Dataset weights = MakeWeights(150, 4, 10);
-  DynamicGirIndex index = BuildIndex(points, weights);
+  auto index = BuildIndex(points, weights);
   ServerOptions options;
   options.batch_wait_us = 3000;  // wide window so peers always co-batch
-  QueryServer server(&index, options);
+  QueryServer server(index.get(), options);
   ASSERT_TRUE(server.Start().ok());
 
   constexpr size_t kThreads = 8;
@@ -214,7 +237,7 @@ TEST(QueryServerTest, ConcurrentClientsCoalesceIntoMicroBatches) {
   constexpr uint32_t kK = 8;
   std::vector<ReverseTopKResult> expected(points.size());
   for (size_t i = 0; i < 64; ++i) {
-    expected[i] = index.ReverseTopK(points.row(i), kK);
+    expected[i] = index->ReverseTopK(points.row(i), kK);
   }
 
   std::atomic<int> mismatches{0};
@@ -255,19 +278,19 @@ TEST(QueryServerTest, ConcurrentClientsCoalesceIntoMicroBatches) {
 TEST(QueryServerTest, OverloadRejectsBeyondQueueLimitAndStaysBounded) {
   const Dataset points = MakePoints(300, 3, 11);
   const Dataset weights = MakeWeights(60, 3, 12);
-  DynamicGirIndex index = BuildIndex(points, weights);
+  auto index = BuildIndex(points, weights);
   ServerOptions options;
   options.queue_limit = 4;
   options.max_batch = 4;
   options.batch_wait_us = 100000;  // hold the queue full for 100 ms
-  QueryServer server(&index, options);
+  QueryServer server(index.get(), options);
   ASSERT_TRUE(server.Start().ok());
 
   constexpr size_t kClients = 24;
   std::atomic<int> ok_count{0};
   std::atomic<int> overloaded{0};
   std::atomic<int> wrong{0};
-  const ReverseTopKResult expected = index.ReverseTopK(points.row(0), 4);
+  const ReverseTopKResult expected = index->ReverseTopK(points.row(0), 4);
   std::vector<std::thread> threads;
   for (size_t t = 0; t < kClients; ++t) {
     threads.emplace_back([&] {
@@ -297,10 +320,10 @@ TEST(QueryServerTest, OverloadRejectsBeyondQueueLimitAndStaysBounded) {
 TEST(QueryServerTest, DeadlineExpiresWhileQueuedBehindTheFillWindow) {
   const Dataset points = MakePoints(200, 3, 13);
   const Dataset weights = MakeWeights(40, 3, 14);
-  DynamicGirIndex index = BuildIndex(points, weights);
+  auto index = BuildIndex(points, weights);
   ServerOptions options;
   options.batch_wait_us = 50000;  // 50 ms fill window
-  QueryServer server(&index, options);
+  QueryServer server(index.get(), options);
   ASSERT_TRUE(server.Start().ok());
 
   RemoteClient client = MustConnect(server);
@@ -313,14 +336,14 @@ TEST(QueryServerTest, DeadlineExpiresWhileQueuedBehindTheFillWindow) {
   client.set_deadline_us(0);
   auto retry = client.ReverseTopK(points.row(0), 4);
   ASSERT_TRUE(retry.ok());
-  EXPECT_EQ(retry.value(), index.ReverseTopK(points.row(0), 4));
+  EXPECT_EQ(retry.value(), index->ReverseTopK(points.row(0), 4));
 }
 
 TEST(QueryServerTest, MalformedFramesAreRejectedAndServerSurvives) {
   const Dataset points = MakePoints(200, 3, 15);
   const Dataset weights = MakeWeights(40, 3, 16);
-  DynamicGirIndex index = BuildIndex(points, weights);
-  QueryServer server(&index, ServerOptions{});
+  auto index = BuildIndex(points, weights);
+  QueryServer server(index.get(), ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
 
   const auto frame = [](const std::string& body) {
@@ -408,7 +431,7 @@ TEST(QueryServerTest, MalformedFramesAreRejectedAndServerSurvives) {
   RemoteClient client = MustConnect(server);
   auto result = client.ReverseTopK(points.row(0), 4);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value(), index.ReverseTopK(points.row(0), 4));
+  EXPECT_EQ(result.value(), index->ReverseTopK(points.row(0), 4));
   const std::string stats = server.metrics().Render();
   EXPECT_EQ(stats.find("malformed_frames 0"), std::string::npos);
 }
@@ -416,8 +439,8 @@ TEST(QueryServerTest, MalformedFramesAreRejectedAndServerSurvives) {
 TEST(QueryServerTest, SemanticallyInvalidRequestsGetInvalidArgument) {
   const Dataset points = MakePoints(200, 3, 17);
   const Dataset weights = MakeWeights(40, 3, 18);
-  DynamicGirIndex index = BuildIndex(points, weights);
-  QueryServer server(&index, ServerOptions{});
+  auto index = BuildIndex(points, weights);
+  QueryServer server(index.get(), ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
   RemoteClient client = MustConnect(server);
 
@@ -442,13 +465,13 @@ TEST(QueryServerTest, SemanticallyInvalidRequestsGetInvalidArgument) {
 TEST(QueryServerTest, GracefulShutdownAnswersAdmittedRequests) {
   const Dataset points = MakePoints(300, 3, 19);
   const Dataset weights = MakeWeights(60, 3, 20);
-  DynamicGirIndex index = BuildIndex(points, weights);
+  auto index = BuildIndex(points, weights);
   ServerOptions options;
   options.batch_wait_us = 30000;  // requests sit queued when drain starts
-  QueryServer server(&index, options);
+  QueryServer server(index.get(), options);
   ASSERT_TRUE(server.Start().ok());
 
-  const ReverseTopKResult expected = index.ReverseTopK(points.row(1), 4);
+  const ReverseTopKResult expected = index->ReverseTopK(points.row(1), 4);
   std::atomic<int> answered{0};
   std::atomic<int> wrong{0};
   std::vector<std::thread> threads;
@@ -475,10 +498,10 @@ TEST(QueryServerTest, ChurnVersusQueriesReplaysToBitIdenticalAnswers) {
   const size_t kDim = 4;
   const Dataset points = MakePoints(300, kDim, 21);
   const Dataset weights = MakeWeights(80, kDim, 22);
-  DynamicGirIndex index = BuildIndex(points, weights);
+  auto index = BuildIndex(points, weights, ScanMode::kBlocked, /*shards=*/2);
   ServerOptions options;
   options.batch_wait_us = 500;
-  QueryServer server(&index, options);
+  QueryServer server(index.get(), options);
   ASSERT_TRUE(server.Start().ok());
 
   // The mutation log: op o was applied at version o+1. Queries record the
@@ -568,7 +591,13 @@ TEST(QueryServerTest, ChurnVersusQueriesReplaysToBitIdenticalAnswers) {
 
   // Serial replay: a fresh index stepped through the mutation log; every
   // observation re-executed at its stamped version must be bit-identical.
-  DynamicGirIndex replay = BuildIndex(points, weights);
+  // Replaying into a single DynamicGirIndex doubles as a sharded-vs-single
+  // merge oracle: the server ran the sharded router.
+  DynamicIndexOptions replay_options;
+  replay_options.gir.scan_mode = ScanMode::kBlocked;
+  auto replay_built = DynamicGirIndex::Build(points, weights, replay_options);
+  ASSERT_TRUE(replay_built.ok()) << replay_built.status().ToString();
+  DynamicGirIndex replay = std::move(replay_built).value();
   std::vector<Observation> all;
   for (auto& per_thread : observations) {
     for (auto& obs : per_thread) all.push_back(std::move(obs));

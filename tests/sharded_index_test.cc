@@ -1,0 +1,636 @@
+// Tests of the sharded scale-out router (grid/sharded_index.h) and its
+// GIRSHD01 persistence (grid/index_io.h). The load-bearing property is
+// bit-identity: a ShardedGirIndex fed an operation stream answers every
+// query exactly as a single DynamicGirIndex fed the same stream — same
+// ids, same ranks, same tie order — for any shard count, in both worker
+// and inline execution modes, under concurrent churn, and across a
+// save/load cycle. The merge oracle here is the authoritative check;
+// bench_shard_scaling re-runs it before measuring.
+//
+// This suite is deliberately fast-labelled: the TSan CI lane skips slow
+// suites, and the concurrent churn test below is exactly what it exists
+// to race-check.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/weights.h"
+#include "grid/dynamic_index.h"
+#include "grid/index_io.h"
+#include "grid/sharded_index.h"
+
+namespace gir {
+namespace {
+
+Dataset MakePoints(size_t n, size_t d, uint64_t seed) {
+  return GeneratePoints(PointDistribution::kUniform, n, d, seed);
+}
+
+Dataset MakeWeights(size_t m, size_t d, uint64_t seed) {
+  return GenerateWeights(WeightDistribution::kUniform, m, d, seed);
+}
+
+DynamicGirIndex BuildSingle(const Dataset& points, const Dataset& weights,
+                            ScanMode mode = ScanMode::kBlocked) {
+  DynamicIndexOptions options;
+  options.gir.scan_mode = mode;
+  auto index = DynamicGirIndex::Build(points, weights, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+std::unique_ptr<ShardedGirIndex> BuildSharded(
+    const Dataset& points, const Dataset& weights, size_t shards,
+    bool use_workers, ScanMode mode = ScanMode::kBlocked) {
+  ShardedIndexOptions options;
+  options.shards = shards;
+  options.use_workers = use_workers;
+  options.dynamic.gir.scan_mode = mode;
+  auto index = ShardedGirIndex::Build(points, weights, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+std::vector<double> RandomPointRow(std::mt19937_64& rng, size_t d) {
+  std::uniform_real_distribution<double> value(0.0, 10000.0);
+  std::vector<double> row(d);
+  for (double& v : row) v = value(rng);
+  return row;
+}
+
+std::vector<double> RandomWeightRow(std::mt19937_64& rng, size_t d) {
+  std::uniform_real_distribution<double> value(0.05, 1.0);
+  std::vector<double> row(d);
+  double sum = 0.0;
+  for (double& v : row) {
+    v = value(rng);
+    sum += v;
+  }
+  for (double& v : row) v /= sum;
+  return row;
+}
+
+void ExpectSameRkr(const ReverseKRanksResult& got,
+                   const ReverseKRanksResult& want, const char* where) {
+  ASSERT_EQ(got.size(), want.size()) << where;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].weight_id, want[i].weight_id) << where << " #" << i;
+    EXPECT_EQ(got[i].rank, want[i].rank) << where << " #" << i;
+  }
+}
+
+/// The merge oracle: one randomized operation stream applied to a single
+/// DynamicGirIndex and to a sharded router, query-for-query bit-identical.
+/// Statuses must agree too, so both sides consume the same live-id space
+/// and stay in lockstep for the whole stream.
+void RunMergeOracle(size_t shards, bool use_workers, size_t num_ops,
+                    ScanMode mode, uint64_t seed) {
+  const size_t kDim = 4;
+  const Dataset points = MakePoints(120, kDim, seed);
+  const Dataset weights = MakeWeights(160, kDim, seed + 1);
+  DynamicGirIndex single = BuildSingle(points, weights, mode);
+  std::unique_ptr<ShardedGirIndex> sharded =
+      BuildSharded(points, weights, shards, use_workers, mode);
+
+  std::mt19937_64 rng(seed + 2);
+  size_t live_points = points.size();
+  size_t live_weights = weights.size();
+  size_t queries_checked = 0;
+  for (size_t op = 0; op < num_ops; ++op) {
+    const uint32_t dice = static_cast<uint32_t>(rng() % 100);
+    if (dice < 15) {
+      const std::vector<double> row = RandomPointRow(rng, kDim);
+      const ConstRow r(row.data(), row.size());
+      const Status a = single.InsertPoint(r);
+      const Status b = sharded->InsertPoint(r);
+      ASSERT_EQ(a.ok(), b.ok()) << a.ToString() << " vs " << b.ToString();
+      if (a.ok()) ++live_points;
+    } else if (dice < 25 && live_points > 40) {
+      const VectorId id = static_cast<VectorId>(rng() % live_points);
+      const Status a = single.DeletePoint(id);
+      const Status b = sharded->DeletePoint(id);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) --live_points;
+    } else if (dice < 55) {
+      const std::vector<double> row = RandomWeightRow(rng, kDim);
+      const ConstRow r(row.data(), row.size());
+      const Status a = single.InsertWeight(r);
+      const Status b = sharded->InsertWeight(r);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) ++live_weights;
+    } else if (dice < 72 && live_weights > 30) {
+      const VectorId id = static_cast<VectorId>(rng() % live_weights);
+      const Status a = single.DeleteWeight(id);
+      const Status b = sharded->DeleteWeight(id);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) --live_weights;
+    } else if (dice < 75) {
+      const Status a = single.Compact();
+      const Status b = sharded->Compact();
+      ASSERT_EQ(a.ok(), b.ok());
+    } else if (dice < 88) {
+      const std::vector<double> q = RandomPointRow(rng, kDim);
+      const size_t k = 1 + rng() % 8;
+      const ConstRow row(q.data(), q.size());
+      EXPECT_EQ(sharded->ReverseTopK(row, k), single.ReverseTopK(row, k))
+          << "op " << op;
+      ++queries_checked;
+    } else {
+      const std::vector<double> q = RandomPointRow(rng, kDim);
+      const size_t k = 1 + rng() % 8;
+      const ConstRow row(q.data(), q.size());
+      ExpectSameRkr(sharded->ReverseKRanks(row, k),
+                    single.ReverseKRanks(row, k), "rkr oracle");
+      ++queries_checked;
+    }
+  }
+  EXPECT_EQ(single.live_point_count(), sharded->live_point_count());
+  EXPECT_EQ(single.live_weight_count(), sharded->live_weight_count());
+  EXPECT_GT(queries_checked, num_ops / 8);
+}
+
+TEST(ShardedIndexTest, MergeOracleMatchesSingleIndexAcrossShardCounts) {
+  for (size_t shards : {1, 2, 4}) {
+    SCOPED_TRACE(shards);
+    RunMergeOracle(shards, /*use_workers=*/true, /*num_ops=*/1000,
+                   ScanMode::kBlocked, /*seed=*/90 + shards);
+  }
+}
+
+TEST(ShardedIndexTest, MergeOracleHoldsInInlineExecutionMode) {
+  RunMergeOracle(/*shards=*/3, /*use_workers=*/false, /*num_ops=*/1000,
+                 ScanMode::kBlocked, /*seed=*/201);
+}
+
+TEST(ShardedIndexTest, MergeOracleHoldsUnderTauScanMode) {
+  RunMergeOracle(/*shards=*/2, /*use_workers=*/true, /*num_ops=*/300,
+                 ScanMode::kTauIndex, /*seed=*/301);
+}
+
+TEST(ShardedIndexTest, BatchQueriesMergeBitIdentically) {
+  const size_t kDim = 4;
+  const Dataset points = MakePoints(200, kDim, 41);
+  const Dataset weights = MakeWeights(150, kDim, 42);
+  DynamicGirIndex single = BuildSingle(points, weights);
+  auto sharded = BuildSharded(points, weights, 4, /*use_workers=*/true);
+
+  // Churn both sides a little so the batch runs against deltas and
+  // tombstones, not just the base generation.
+  std::mt19937_64 rng(43);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> w = RandomWeightRow(rng, kDim);
+    ASSERT_TRUE(single.InsertWeight(ConstRow(w.data(), kDim)).ok());
+    ASSERT_TRUE(sharded->InsertWeight(ConstRow(w.data(), kDim)).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    const VectorId id = static_cast<VectorId>(rng() % 150);
+    ASSERT_TRUE(single.DeleteWeight(id).ok());
+    ASSERT_TRUE(sharded->DeleteWeight(id).ok());
+  }
+
+  Dataset queries(kDim);
+  for (size_t i = 0; i < 48; ++i) queries.AppendUnchecked(points.row(i));
+  EXPECT_EQ(sharded->ReverseTopKBatch(queries, 6),
+            single.ReverseTopKBatch(queries, 6));
+  const auto got = sharded->ReverseKRanksBatch(queries, 5);
+  const auto want = single.ReverseKRanksBatch(queries, 5);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < want.size(); ++q) {
+    ExpectSameRkr(got[q], want[q], "batch rkr");
+  }
+}
+
+TEST(ShardedIndexTest, ShardsMayStartEmptyWhenWeightsAreFewerThanShards) {
+  const size_t kDim = 3;
+  const Dataset points = MakePoints(80, kDim, 51);
+  const Dataset weights = MakeWeights(2, kDim, 52);  // shards 2, 3 empty
+  DynamicGirIndex single = BuildSingle(points, weights);
+  auto sharded = BuildSharded(points, weights, 4, /*use_workers=*/false);
+
+  std::mt19937_64 rng(53);
+  const std::vector<double> q = RandomPointRow(rng, kDim);
+  const ConstRow row(q.data(), q.size());
+  EXPECT_EQ(sharded->ReverseTopK(row, 4), single.ReverseTopK(row, 4));
+  ExpectSameRkr(sharded->ReverseKRanks(row, 4), single.ReverseKRanks(row, 4),
+                "empty shards");
+
+  // Round-robin inserts fill the empty shards; answers stay identical.
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> w = RandomWeightRow(rng, kDim);
+    ASSERT_TRUE(single.InsertWeight(ConstRow(w.data(), kDim)).ok());
+    ASSERT_TRUE(sharded->InsertWeight(ConstRow(w.data(), kDim)).ok());
+  }
+  ExpectSameRkr(sharded->ReverseKRanks(row, 6), single.ReverseKRanks(row, 6),
+                "filled shards");
+  for (const ShardStatsSnapshot& snap : sharded->ShardStats()) {
+    EXPECT_GT(snap.live_weights, 0u);
+  }
+}
+
+TEST(ShardedIndexTest, InvalidMutationsAreRejectedWithoutConsumingSequence) {
+  const size_t kDim = 3;
+  const Dataset points = MakePoints(60, kDim, 61);
+  const Dataset weights = MakeWeights(40, kDim, 62);
+  auto sharded = BuildSharded(points, weights, 2, /*use_workers=*/true);
+
+  const std::vector<double> short_row = {1.0, 2.0};
+  EXPECT_FALSE(
+      sharded->InsertPoint(ConstRow(short_row.data(), 2)).ok());
+  const std::vector<double> negative = {-1.0, 2.0, 3.0};
+  EXPECT_FALSE(sharded->InsertPoint(ConstRow(negative.data(), 3)).ok());
+  const std::vector<double> not_normalized = {0.5, 0.2, 0.2};
+  EXPECT_FALSE(
+      sharded->InsertWeight(ConstRow(not_normalized.data(), 3)).ok());
+  EXPECT_FALSE(sharded->DeletePoint(1000).ok());
+  EXPECT_FALSE(sharded->DeleteWeight(1000).ok());
+  EXPECT_EQ(sharded->sequence(), 0u);  // failed ops consume no sequence
+
+  uint64_t seq = 0;
+  const std::vector<double> w = {0.5, 0.25, 0.25};
+  ASSERT_TRUE(sharded->InsertWeight(ConstRow(w.data(), 3), &seq).ok());
+  EXPECT_EQ(seq, 1u);
+}
+
+/// Concurrent churn: multiple reader threads race one writer per shard.
+/// Every mutation records the sequence number it was admitted at, every
+/// query the sequence it executed at; serial replay into a single
+/// DynamicGirIndex must reproduce each observation bit-for-bit. Run under
+/// TSan in CI, this is also the data-race gate for the router internals.
+TEST(ShardedIndexTest, ConcurrentChurnReplaysToBitIdenticalAnswers) {
+  const size_t kDim = 3;
+  const size_t kShards = 2;
+  const Dataset points = MakePoints(80, kDim, 71);
+  const Dataset weights = MakeWeights(120, kDim, 72);
+  auto sharded = BuildSharded(points, weights, kShards, /*use_workers=*/true);
+
+  struct Mutation {
+    uint64_t seq = 0;
+    enum { kInsertPoint, kInsertWeight, kDeleteWeight } kind = kInsertPoint;
+    std::vector<double> row;
+    VectorId id = 0;
+  };
+  struct Observation {
+    uint64_t seq = 0;
+    std::vector<double> query;
+    size_t k = 0;
+    bool is_rkr = false;
+    ReverseTopKResult rtk;
+    ReverseKRanksResult rkr;
+  };
+
+  constexpr size_t kReaders = 3;
+  constexpr size_t kWriterOps = 60;
+  constexpr size_t kReaderOps = 40;
+  std::vector<std::vector<Mutation>> mutation_log(kShards);
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kShards; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937_64 rng(500 + w);
+      for (size_t op = 0; op < kWriterOps; ++op) {
+        Mutation m;
+        const uint32_t dice = static_cast<uint32_t>(rng() % 10);
+        Status s;
+        if (dice < 5) {
+          m.kind = Mutation::kInsertWeight;
+          m.row = RandomWeightRow(rng, kDim);
+          s = sharded->InsertWeight(ConstRow(m.row.data(), kDim), &m.seq);
+        } else if (dice < 8) {
+          m.kind = Mutation::kInsertPoint;
+          m.row = RandomPointRow(rng, kDim);
+          s = sharded->InsertPoint(ConstRow(m.row.data(), kDim), &m.seq);
+        } else {
+          // Live id 0 is valid as long as any weight is alive; which
+          // weight that is at application time is decided by the
+          // admission order the sequence number captures.
+          m.kind = Mutation::kDeleteWeight;
+          m.id = 0;
+          s = sharded->DeleteWeight(m.id, &m.seq);
+        }
+        if (s.ok()) {
+          mutation_log[w].push_back(std::move(m));
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::mt19937_64 rng(900 + r);
+      for (size_t op = 0; op < kReaderOps; ++op) {
+        Observation obs;
+        obs.query = RandomPointRow(rng, kDim);
+        obs.k = 1 + rng() % 6;
+        obs.is_rkr = (rng() % 2) == 0;
+        const ConstRow q(obs.query.data(), obs.query.size());
+        if (obs.is_rkr) {
+          obs.rkr = sharded->ReverseKRanks(q, obs.k, nullptr, &obs.seq);
+        } else {
+          obs.rtk = sharded->ReverseTopK(q, obs.k, nullptr, &obs.seq);
+        }
+        observations[r].push_back(std::move(obs));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Serial replay. Admission assigned each successful mutation a unique
+  // sequence number; merging the per-writer logs by it reconstructs the
+  // exact global operation order.
+  std::vector<Mutation> ordered;
+  for (auto& log : mutation_log) {
+    for (auto& m : log) ordered.push_back(std::move(m));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Mutation& a, const Mutation& b) { return a.seq < b.seq; });
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    ASSERT_EQ(ordered[i].seq, i + 1) << "sequence numbers must be dense";
+  }
+
+  std::vector<Observation> all;
+  for (auto& per_thread : observations) {
+    for (auto& obs : per_thread) all.push_back(std::move(obs));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Observation& a, const Observation& b) {
+              return a.seq < b.seq;
+            });
+
+  DynamicGirIndex replay = BuildSingle(points, weights);
+  size_t checked = 0;
+  size_t next = 0;
+  for (uint64_t version = 0; version <= ordered.size(); ++version) {
+    if (version > 0) {
+      const Mutation& m = ordered[version - 1];
+      switch (m.kind) {
+        case Mutation::kInsertPoint:
+          ASSERT_TRUE(replay.InsertPoint(ConstRow(m.row.data(), kDim)).ok());
+          break;
+        case Mutation::kInsertWeight:
+          ASSERT_TRUE(replay.InsertWeight(ConstRow(m.row.data(), kDim)).ok());
+          break;
+        case Mutation::kDeleteWeight:
+          ASSERT_TRUE(replay.DeleteWeight(m.id).ok());
+          break;
+      }
+    }
+    for (; next < all.size() && all[next].seq == version; ++next) {
+      const Observation& obs = all[next];
+      const ConstRow q(obs.query.data(), obs.query.size());
+      if (obs.is_rkr) {
+        ExpectSameRkr(obs.rkr, replay.ReverseKRanks(q, obs.k),
+                      "churn replay rkr");
+      } else {
+        EXPECT_EQ(obs.rtk, replay.ReverseTopK(q, obs.k))
+            << "at version " << version;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, all.size());
+  EXPECT_EQ(checked, kReaders * kReaderOps);
+}
+
+// ---- GIRSHD01 persistence ---------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ShardedIndexIoTest, RoundTripsAndContinuesMutatingBitIdentically) {
+  const size_t kDim = 4;
+  const Dataset points = MakePoints(100, kDim, 81);
+  const Dataset weights = MakeWeights(90, kDim, 82);
+  auto original = BuildSharded(points, weights, 3, /*use_workers=*/true);
+
+  // Mutate before saving so the envelope carries deltas, tombstones and a
+  // non-trivial round-robin cursor.
+  std::mt19937_64 rng(83);
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<double> w = RandomWeightRow(rng, kDim);
+    ASSERT_TRUE(original->InsertWeight(ConstRow(w.data(), kDim)).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(original->DeleteWeight(static_cast<VectorId>(i * 3)).ok());
+    ASSERT_TRUE(original->DeletePoint(static_cast<VectorId>(i)).ok());
+  }
+
+  const std::string path = TempPath("sharded_roundtrip.bin");
+  ASSERT_TRUE(SaveShardedIndex(path, *original).ok());
+  for (const bool use_workers : {true, false}) {
+    SCOPED_TRACE(use_workers);
+    auto loaded_r = LoadShardedIndex(path, use_workers);
+    ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+    ShardedGirIndex& loaded = *loaded_r.value();
+    EXPECT_EQ(loaded.shard_count(), 3u);
+    EXPECT_EQ(loaded.live_point_count(), original->live_point_count());
+    EXPECT_EQ(loaded.live_weight_count(), original->live_weight_count());
+    EXPECT_EQ(loaded.sequence(), original->sequence());
+    EXPECT_EQ(loaded.weight_insert_counter(),
+              original->weight_insert_counter());
+    EXPECT_EQ(loaded.WeightOwners(), original->WeightOwners());
+
+    // Same answers now, and same answers after identical continued
+    // mutations — the persisted round-robin cursor keeps later inserts
+    // routing to the same shards.
+    std::mt19937_64 cont(84);
+    for (int i = 0; i < 10; ++i) {
+      const std::vector<double> q = RandomPointRow(cont, kDim);
+      const ConstRow row(q.data(), q.size());
+      EXPECT_EQ(loaded.ReverseTopK(row, 5), original->ReverseTopK(row, 5));
+      ExpectSameRkr(loaded.ReverseKRanks(row, 5),
+                    original->ReverseKRanks(row, 5), "loaded rkr");
+    }
+  }
+
+  // Continue mutating one loaded copy in lockstep with the original.
+  auto continued_r = LoadShardedIndex(path, /*use_workers=*/false);
+  ASSERT_TRUE(continued_r.ok());
+  ShardedGirIndex& continued = *continued_r.value();
+  std::mt19937_64 cont(85);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> w = RandomWeightRow(cont, kDim);
+    ASSERT_TRUE(original->InsertWeight(ConstRow(w.data(), kDim)).ok());
+    ASSERT_TRUE(continued.InsertWeight(ConstRow(w.data(), kDim)).ok());
+  }
+  ASSERT_TRUE(original->DeleteWeight(5).ok());
+  ASSERT_TRUE(continued.DeleteWeight(5).ok());
+  const std::vector<double> q = RandomPointRow(cont, kDim);
+  const ConstRow row(q.data(), q.size());
+  ExpectSameRkr(continued.ReverseKRanks(row, 7),
+                original->ReverseKRanks(row, 7), "continued rkr");
+  EXPECT_EQ(continued.WeightOwners(), original->WeightOwners());
+}
+
+TEST(ShardedIndexIoTest, HostileEnvelopesAreRejectedNotTrusted) {
+  const size_t kDim = 3;
+  const Dataset points = MakePoints(40, kDim, 91);
+  const Dataset weights = MakeWeights(30, kDim, 92);
+  auto index = BuildSharded(points, weights, 2, /*use_workers=*/false);
+  const std::string path = TempPath("sharded_hostile.bin");
+  ASSERT_TRUE(SaveShardedIndex(path, *index).ok());
+  const std::string good = ReadFileBytes(path);
+  ASSERT_GT(good.size(), 64u);
+  const std::string hostile = TempPath("sharded_hostile_mut.bin");
+
+  const auto expect_rejected = [&](const std::string& bytes,
+                                   const char* what) {
+    WriteFileBytes(hostile, bytes);
+    auto loaded = LoadShardedIndex(hostile, /*use_workers=*/false);
+    EXPECT_FALSE(loaded.ok()) << what;
+  };
+
+  // Bad magic.
+  {
+    std::string bytes = good;
+    bytes[0] = 'X';
+    expect_rejected(bytes, "bad magic");
+  }
+  // Truncated header.
+  expect_rejected(good.substr(0, 20), "truncated header");
+  // Shard count zero and beyond the cap.
+  {
+    std::string bytes = good;
+    bytes[8] = 0;
+    bytes[9] = 0;
+    bytes[10] = 0;
+    bytes[11] = 0;
+    expect_rejected(bytes, "zero shards");
+    bytes[8] = '\xff';
+    bytes[9] = '\xff';
+    expect_rejected(bytes, "shard count beyond the cap");
+  }
+  // Header layout: magic[0,8) shards[8,12) dim[12,16) sequence[16,24)
+  // insert_counter[24,32) live_points[32,40) num_weights[40,48) owner[48..).
+  // Allocation-bomb owner map: live weight count far beyond the file.
+  {
+    std::string bytes = good;
+    for (int i = 0; i < 8; ++i) bytes[40 + i] = '\x7f';
+    expect_rejected(bytes, "owner map exceeds the file");
+  }
+  // Owner id pointing at a shard that does not exist.
+  {
+    std::string bytes = good;
+    bytes[48] = '\x09';  // owner[0]: valid ids here are 0 and 1
+    expect_rejected(bytes, "owner out of range");
+  }
+  // Insert counter below the live count breaks round-robin replay.
+  {
+    std::string bytes = good;
+    for (int i = 0; i < 8; ++i) bytes[24 + i] = 0;
+    expect_rejected(bytes, "insert counter below the live count");
+  }
+  // Corrupted embedded shard blob (flip a byte inside the first blob's
+  // GIRDYN01 magic).
+  {
+    std::string bytes = good;
+    const size_t blob_magic = bytes.find("GIRDYN01");
+    ASSERT_NE(blob_magic, std::string::npos);
+    bytes[blob_magic] = 'Z';
+    expect_rejected(bytes, "corrupt shard blob");
+  }
+  // Trailing garbage after the last blob.
+  expect_rejected(good + "JUNK", "trailing bytes");
+  // Truncated mid-blob.
+  expect_rejected(good.substr(0, good.size() - 9), "truncated blob");
+
+  // The dynamic loader must not accept a sharded envelope, nor the
+  // sharded loader a plain GIRDYN01 file.
+  EXPECT_FALSE(LoadDynamicIndex(path).ok());
+  const std::string dyn_path = TempPath("sharded_hostile_dyn.bin");
+  DynamicGirIndex single = BuildSingle(points, weights);
+  ASSERT_TRUE(SaveDynamicIndex(dyn_path, single).ok());
+  EXPECT_FALSE(LoadShardedIndex(dyn_path).ok());
+
+  // And the untouched file still loads.
+  EXPECT_TRUE(LoadShardedIndex(path, /*use_workers=*/false).ok());
+}
+
+TEST(ShardedIndexIoTest, FromPartsRejectsInconsistentShards) {
+  const size_t kDim = 3;
+  const Dataset points = MakePoints(40, kDim, 95);
+  const Dataset weights = MakeWeights(20, kDim, 96);
+
+  const auto make_parts = [&](size_t n) {
+    std::vector<std::unique_ptr<DynamicGirIndex>> parts;
+    std::vector<Dataset> slices(n, Dataset(kDim));
+    for (size_t i = 0; i < weights.size(); ++i) {
+      slices[i % n].AppendUnchecked(weights.row(i));
+    }
+    for (size_t s = 0; s < n; ++s) {
+      auto built = DynamicGirIndex::Build(points, slices[s],
+                                          DynamicIndexOptions{});
+      EXPECT_TRUE(built.ok());
+      parts.push_back(
+          std::make_unique<DynamicGirIndex>(std::move(built).value()));
+    }
+    return parts;
+  };
+  const auto owners = [&](size_t n) {
+    std::vector<uint32_t> owner(weights.size());
+    for (size_t i = 0; i < owner.size(); ++i) {
+      owner[i] = static_cast<uint32_t>(i % n);
+    }
+    return owner;
+  };
+  ShardedIndexOptions options;
+  options.shards = 2;
+  options.use_workers = false;
+
+  // Shard count disagreeing with the options.
+  EXPECT_FALSE(ShardedGirIndex::FromParts(options, make_parts(3), owners(3),
+                                          0, weights.size())
+                   .ok());
+  // Owner histogram disagreeing with the per-shard live counts.
+  {
+    std::vector<uint32_t> owner = owners(2);
+    owner[0] = 1;
+    EXPECT_FALSE(ShardedGirIndex::FromParts(options, make_parts(2),
+                                            std::move(owner), 0,
+                                            weights.size())
+                     .ok());
+  }
+  // Insert counter below the live weight count.
+  EXPECT_FALSE(ShardedGirIndex::FromParts(options, make_parts(2), owners(2),
+                                          0, weights.size() - 1)
+                   .ok());
+  // A consistent reassembly works and answers like a fresh build.
+  auto ok = ShardedGirIndex::FromParts(options, make_parts(2), owners(2), 0,
+                                       weights.size());
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  DynamicGirIndex single = BuildSingle(points, weights);
+  std::mt19937_64 rng(97);
+  const std::vector<double> q = RandomPointRow(rng, kDim);
+  const ConstRow row(q.data(), q.size());
+  ExpectSameRkr(ok.value()->ReverseKRanks(row, 5), single.ReverseKRanks(row, 5),
+                "from-parts rkr");
+}
+
+}  // namespace
+}  // namespace gir

@@ -29,11 +29,21 @@
 //   gir_cli update info    --index dyn.bin
 //   gir_cli update query   --index dyn.bin --type rtk|rkr --k 10
 //                          --query v1,v2,... [--stats]
+//   gir_cli shard init     --points p.bin --weights w.bin --out shd.bin
+//                          --shards N [--partitions 32]
+//                          [--scan-mode wat|blocked|tau]
+//   gir_cli shard info     --index shd.bin
+//   gir_cli shard query    --index shd.bin --type rtk|rkr --k 10
+//                          --query v1,v2,... [--stats]
 //   gir_cli remote ping|info|stats|compact --port P [--host H]
 //   gir_cli remote query   --port P --type rtk|rkr --k 10 --query v1,v2,...
 //                          [--deadline-us N]
 //   gir_cli remote insert  --port P --kind point|weight --values v1,v2,...
 //   gir_cli remote delete  --port P --kind point|weight --id N
+//
+// `remote stats` renders the server-wide counters verbatim and folds the
+// `shardN.<key> <value>` rows a sharded server appends into one table
+// row per shard (generation, queue, qps share, p99).
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures. Every
 // failure path prints a one-line `error: ...` to stderr (cli_test asserts
@@ -58,6 +68,7 @@
 #include "grid/gir_queries.h"
 #include "grid/index_io.h"
 #include "grid/parallel_gir.h"
+#include "grid/sharded_index.h"
 #include "io/dataset_io.h"
 #include "server/client.h"
 
@@ -134,8 +145,8 @@ int FailUsage(const std::string& message) {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: gir_cli <generate|build-index|query|info|tau|update> "
-      "[--flag value ...]\n"
+      "usage: gir_cli <generate|build-index|query|info|tau|update|shard|"
+      "remote> [--flag value ...]\n"
       "  generate    --kind points|weights --dist UN|CL|AC|NORMAL|EXP|SPARSE\n"
       "              --n N --d D --seed S --out FILE [--range R]\n"
       "  build-index --points FILE --weights FILE --out FILE\n"
@@ -163,6 +174,11 @@ void PrintUsage() {
       "  update compact --index FILE [--out FILE]\n"
       "  update info    --index FILE\n"
       "  update query   --index FILE --type rtk|rkr --k K --query v1,v2,...\n"
+      "                 [--stats]\n"
+      "  shard init     --points FILE --weights FILE --out FILE --shards N\n"
+      "                 [--partitions N] [--scan-mode wat|blocked|tau]\n"
+      "  shard info     --index FILE\n"
+      "  shard query    --index FILE --type rtk|rkr --k K --query v1,v2,...\n"
       "                 [--stats]\n"
       "  remote ping|info|stats|compact --port P [--host H]\n"
       "  remote query   --port P --type rtk|rkr --k K --query v1,v2,...\n"
@@ -765,7 +781,173 @@ int RunUpdate(int argc, char** argv) {
   return FailUsage("unknown update action: " + action);
 }
 
+// ---- `shard` — sharded router maintenance (grid/sharded_index.h) -----------
+
+int RunShardInit(const Args& args) {
+  const auto points_path = args.Get("points");
+  const auto weights_path = args.Get("weights");
+  const auto out = args.Get("out");
+  const auto shards = args.GetSize("shards");
+  if (!points_path || !weights_path || !out || !shards) {
+    return Fail("shard init requires --points --weights --out --shards");
+  }
+  auto points = LoadDataset(*points_path);
+  if (!points.ok()) return FailStatus(points.status());
+  auto weights = LoadDataset(*weights_path);
+  if (!weights.ok()) return FailStatus(weights.status());
+  ShardedIndexOptions options;
+  options.shards = *shards;
+  // The CLI builds, saves and exits: inline execution skips the worker
+  // thread spawn entirely.
+  options.use_workers = false;
+  options.dynamic.gir.partitions = args.GetSize("partitions").value_or(32);
+  const std::string mode = args.Get("scan-mode").value_or("blocked");
+  if (mode == "wat") {
+    options.dynamic.gir.scan_mode = ScanMode::kWeightAtATime;
+  } else if (mode == "blocked") {
+    options.dynamic.gir.scan_mode = ScanMode::kBlocked;
+  } else if (mode == "tau") {
+    options.dynamic.gir.scan_mode = ScanMode::kTauIndex;
+  } else {
+    return Fail("--scan-mode must be wat, blocked or tau");
+  }
+  auto index =
+      ShardedGirIndex::Build(points.value(), weights.value(), options);
+  if (!index.ok()) return FailStatus(index.status());
+  const Status s = SaveShardedIndex(*out, *index.value());
+  if (!s.ok()) return FailStatus(s);
+  std::printf("sharded index %s: %zu shard(s), %zu points x %zu weights\n",
+              out->c_str(), index.value()->shard_count(),
+              index.value()->live_point_count(),
+              index.value()->live_weight_count());
+  return 0;
+}
+
+int RunShardInfo(const Args& args) {
+  const auto index_path = args.Get("index");
+  if (!index_path) return Fail("shard info requires --index");
+  auto loaded = LoadShardedIndex(*index_path, /*use_workers=*/false);
+  if (!loaded.ok()) return FailStatus(loaded.status());
+  const ShardedGirIndex& index = *loaded.value();
+  std::printf(
+      "sharded index %s: %zu shard(s), sequence %llu, %zu live points x "
+      "%zu live weights (%zu-d)%s\n",
+      index_path->c_str(), index.shard_count(),
+      static_cast<unsigned long long>(index.sequence()),
+      index.live_point_count(), index.live_weight_count(), index.dim(),
+      index.dirty() ? " (dirty)" : "");
+  for (size_t s = 0; s < index.shard_count(); ++s) {
+    const DynamicGirIndex& shard = index.shard(s);
+    std::printf(
+        "  shard %zu: generation %llu, %zu live weights, churn %.1f%%%s\n",
+        s, static_cast<unsigned long long>(shard.generation()),
+        shard.live_weight_count(), 100.0 * shard.ChurnFraction(),
+        shard.dirty() ? " (dirty)" : "");
+  }
+  return 0;
+}
+
+int RunShardQuery(const Args& args) {
+  const auto index_path = args.Get("index");
+  const auto type = args.Get("type");
+  const auto k = args.GetSize("k");
+  const auto text = args.Get("query");
+  if (!index_path || !type || !k || !text) {
+    return Fail("shard query requires --index --type --k --query v1,v2,...");
+  }
+  auto loaded = LoadShardedIndex(*index_path, /*use_workers=*/false);
+  if (!loaded.ok()) return FailStatus(loaded.status());
+  const ShardedGirIndex& index = *loaded.value();
+  auto q = ParseQueryVector(*text);
+  if (!q.has_value()) return Fail("cannot parse --query vector");
+  if (q->size() != index.dim()) {
+    return Fail("query vector width does not match the index dimension");
+  }
+  QueryStats stats;
+  QueryStats* stats_ptr = args.Has("stats") ? &stats : nullptr;
+  ConstRow row(q->data(), q->size());
+  if (*type == "rtk") {
+    auto result = index.ReverseTopK(row, *k, stats_ptr);
+    std::printf("%zu matching preferences\n", result.size());
+    for (VectorId id : result) std::printf("weight %u\n", id);
+  } else if (*type == "rkr") {
+    auto result = index.ReverseKRanks(row, *k, stats_ptr);
+    for (const auto& entry : result) {
+      std::printf("weight %u rank %lld\n", entry.weight_id,
+                  static_cast<long long>(entry.rank));
+    }
+  } else {
+    return Fail("--type must be rtk or rkr");
+  }
+  if (stats_ptr != nullptr) {
+    std::printf("# stats: %s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int RunShard(int argc, char** argv) {
+  if (argc < 3) {
+    return FailUsage("shard requires an action (init|info|query)");
+  }
+  const std::string action = argv[2];
+  // Shift by one so Args' fixed "--flags start at index 2" skips the
+  // action word.
+  Args args(argc - 1, argv + 1);
+  if (!args.ok()) return Fail(args.error().c_str());
+  if (action == "init") return RunShardInit(args);
+  if (action == "info") return RunShardInfo(args);
+  if (action == "query") return RunShardQuery(args);
+  return FailUsage("unknown shard action: " + action);
+}
+
 // ---- `remote` — talk to a running gir_serve (server/client.h) --------------
+
+/// Renders a STATS payload: server-wide `key value` lines pass through
+/// verbatim; the `shardN.<key> <value>` rows a sharded server appends are
+/// folded into one table row per shard.
+void PrintRemoteStats(const std::string& text) {
+  struct ShardRow {
+    std::map<std::string, std::string> values;
+  };
+  std::map<size_t, ShardRow> shards;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t id = 0;
+    size_t dot = std::string::npos;
+    if (line.rfind("shard", 0) == 0 &&
+        (dot = line.find('.')) != std::string::npos && dot > 5) {
+      id = static_cast<size_t>(
+          std::strtoull(line.c_str() + 5, nullptr, 10));
+      const size_t space = line.find(' ', dot);
+      if (space != std::string::npos) {
+        shards[id].values[line.substr(dot + 1, space - dot - 1)] =
+            line.substr(space + 1);
+        continue;
+      }
+    }
+    if (!line.empty()) std::printf("%s\n", line.c_str());
+  }
+  if (shards.empty()) return;
+  std::printf("%-5s %12s %10s %6s %10s %8s %9s %9s %7s\n", "shard",
+              "applied_seq", "generation", "queue", "live_w", "queries",
+              "qps_share", "p99_us", "muts");
+  for (const auto& [id, row] : shards) {
+    const auto field = [&](const char* key) -> std::string {
+      auto it = row.values.find(key);
+      return it == row.values.end() ? "-" : it->second;
+    };
+    std::printf("%-5zu %12s %10s %6s %10s %8s %8s%% %9s %7s\n", id,
+                field("applied_seq").c_str(), field("generation").c_str(),
+                field("queue_depth").c_str(), field("live_weights").c_str(),
+                field("queries").c_str(), field("qps_share_pct").c_str(),
+                field("latency_p99_us_le").c_str(),
+                field("mutations").c_str());
+  }
+}
 
 int RunRemoteQuery(RemoteClient& client, const Args& args) {
   const auto type = args.Get("type");
@@ -876,7 +1058,7 @@ int RunRemote(int argc, char** argv) {
   if (action == "stats") {
     auto stats = client.Stats();
     if (!stats.ok()) return FailStatus(stats.status());
-    std::fputs(stats.value().c_str(), stdout);
+    PrintRemoteStats(stats.value());
     return 0;
   }
   if (action == "compact") {
@@ -899,6 +1081,7 @@ int Run(int argc, char** argv) {
   // dispatch them first.
   if (command == "tau") return RunTau(argc, argv);
   if (command == "update") return RunUpdate(argc, argv);
+  if (command == "shard") return RunShard(argc, argv);
   if (command == "remote") return RunRemote(argc, argv);
   Args args(argc, argv);
   if (!args.ok()) return Fail(args.error().c_str());

@@ -1,11 +1,16 @@
 // gir_serve — standalone GIRNET01 query server (DESIGN.md §13).
 //
 //   gir_serve --points p.bin --weights w.bin
-//             [--host 127.0.0.1] [--port 0] [--port-file FILE]
+//             [--shards N] [--host 127.0.0.1] [--port 0] [--port-file FILE]
 //             [--scan-mode wat|blocked|tau] [--partitions N]
 //             [--max-batch N] [--batch-wait-us N] [--queue-limit N]
 //             [--max-connections N]
 //   gir_serve --index dyn.bin [server flags as above]
+//
+// --shards partitions the preference set over N shard workers (DESIGN.md
+// §15); answers are bit-identical to --shards 1. --index accepts both a
+// GIRDYN01 file (served as one shard) and a GIRSHD01 sharded envelope
+// (the persisted shard count wins over --shards).
 //
 // Binds (port 0 = ephemeral; the bound port is printed and, with
 // --port-file, written to a file for scripted callers), serves until
@@ -22,8 +27,13 @@
 #include <optional>
 #include <string>
 
+#include <cstring>
+#include <fstream>
+#include <memory>
+
 #include "grid/dynamic_index.h"
 #include "grid/index_io.h"
+#include "grid/sharded_index.h"
 #include "io/dataset_io.h"
 #include "server/server.h"
 
@@ -93,9 +103,34 @@ int Run(int argc, char** argv) {
     return FailStatus(Status::Internal("pthread_sigmask failed"));
   }
 
-  Result<DynamicGirIndex> index = Status::Internal("unset");
+  Result<std::unique_ptr<ShardedGirIndex>> index = Status::Internal("unset");
   if (const auto index_path = args.Get("index"); index_path.has_value()) {
-    index = LoadDynamicIndex(*index_path);
+    // Sniff the envelope magic: a GIRSHD01 file carries its own shard
+    // count; a GIRDYN01 file is wrapped as a one-shard router.
+    char magic[8] = {};
+    {
+      std::ifstream sniff(*index_path, std::ios::binary);
+      if (!sniff.read(magic, sizeof(magic))) {
+        return FailStatus(Status::IOError("cannot read " + *index_path));
+      }
+    }
+    if (std::memcmp(magic, "GIRSHD01", sizeof(magic)) == 0) {
+      index = LoadShardedIndex(*index_path);
+    } else {
+      auto dynamic = LoadDynamicIndex(*index_path);
+      if (!dynamic.ok()) return FailStatus(dynamic.status());
+      ShardedIndexOptions sharded;
+      sharded.shards = 1;
+      sharded.dynamic = dynamic.value().options();
+      const uint64_t live_weights = dynamic.value().live_weight_count();
+      std::vector<std::unique_ptr<DynamicGirIndex>> parts;
+      parts.push_back(
+          std::make_unique<DynamicGirIndex>(std::move(dynamic).value()));
+      index = ShardedGirIndex::FromParts(
+          std::move(sharded), std::move(parts),
+          std::vector<uint32_t>(static_cast<size_t>(live_weights), 0),
+          /*sequence=*/0, /*weight_insert_counter=*/live_weights);
+    }
   } else {
     const auto points_path = args.Get("points");
     const auto weights_path = args.Get("weights");
@@ -106,19 +141,20 @@ int Run(int argc, char** argv) {
     if (!points.ok()) return FailStatus(points.status());
     auto weights = LoadDataset(*weights_path);
     if (!weights.ok()) return FailStatus(weights.status());
-    DynamicIndexOptions options;
-    options.gir.partitions = args.GetSize("partitions").value_or(32);
+    ShardedIndexOptions options;
+    options.shards = args.GetSize("shards").value_or(1);
+    options.dynamic.gir.partitions = args.GetSize("partitions").value_or(32);
     const std::string mode = args.Get("scan-mode").value_or("blocked");
     if (mode == "wat") {
-      options.gir.scan_mode = ScanMode::kWeightAtATime;
+      options.dynamic.gir.scan_mode = ScanMode::kWeightAtATime;
     } else if (mode == "blocked") {
-      options.gir.scan_mode = ScanMode::kBlocked;
+      options.dynamic.gir.scan_mode = ScanMode::kBlocked;
     } else if (mode == "tau") {
-      options.gir.scan_mode = ScanMode::kTauIndex;
+      options.dynamic.gir.scan_mode = ScanMode::kTauIndex;
     } else {
       return Fail("--scan-mode must be wat, blocked or tau");
     }
-    index = DynamicGirIndex::Build(points.value(), weights.value(), options);
+    index = ShardedGirIndex::Build(points.value(), weights.value(), options);
   }
   if (!index.ok()) return FailStatus(index.status());
 
@@ -134,16 +170,16 @@ int Run(int argc, char** argv) {
   options.max_connections = static_cast<uint32_t>(
       args.GetSize("max-connections").value_or(options.max_connections));
 
-  QueryServer server(&index.value(), options);
+  QueryServer server(index.value().get(), options);
   const Status started = server.Start();
   if (!started.ok()) return FailStatus(started);
 
   std::printf(
-      "serving %zu points x %zu weights on %s:%u "
+      "serving %zu points x %zu weights over %zu shard(s) on %s:%u "
       "(max-batch %u, batch-wait %u us, queue-limit %u)\n",
-      index.value().live_point_count(), index.value().live_weight_count(),
-      options.host.c_str(), server.port(), options.max_batch,
-      options.batch_wait_us, options.queue_limit);
+      index.value()->live_point_count(), index.value()->live_weight_count(),
+      index.value()->shard_count(), options.host.c_str(), server.port(),
+      options.max_batch, options.batch_wait_us, options.queue_limit);
   std::fflush(stdout);
 
   if (const auto port_file = args.Get("port-file"); port_file.has_value()) {
