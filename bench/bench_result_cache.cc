@@ -1,0 +1,441 @@
+// Served throughput of the version-bracketed result cache (ISSUE 8):
+// closed-loop clients replay a zipf(theta = 0.99) query mix over a fixed
+// pool with a 1% point-mutation mix against the same server with the
+// cache on and off. The mutations are "far" points — every coordinate
+// beyond the data range — so they are provably answer-invariant (a
+// simplex weight scores them above every live point) and the cache's
+// per-mutation invalidation pass must extend brackets, not evict: the
+// cached arm's hit rate survives churn by construction of the survival
+// bands, which is exactly the property being priced.
+//
+// Three gates, all fatal:
+//   1. Lockstep equality: before any timing, one client interleaves
+//      queries with near/far inserts, deletes and compactions against a
+//      cache-on server while a local DynamicGirIndex shadows the same op
+//      stream; every answer (hit or miss) must match direct execution at
+//      the current version bit-for-bit.
+//   2. Timed-arm equality: both timed arms check every answer against
+//      the precomputed pool truth (valid throughout: the timed mutations
+//      are answer-invariant by construction).
+//   3. Scale gates: at quick/full scale the cached arm must serve
+//      >= 5x the uncached arm's QPS; at smoke scale the cached arm's
+//      hit rate must clear 0.6; the cached arm must report nonzero
+//      cache_extensions at every scale (the bands did certify survival).
+//
+// The server fronts a one-shard router in inline mode under the τ
+// engine (live-τ heads are what turn mutations into survival bands);
+// uncached execution therefore serializes on the scheduler thread while
+// cache hits answer from the per-connection reader threads — the
+// speedup prices skipped sweeps plus recovered reader parallelism.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "grid/dynamic_index.h"
+#include "grid/sharded_index.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace gir {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  size_t n;
+  size_t m;
+  size_t d;
+  size_t clients;
+  double seconds;       // per timed arm
+  size_t pool;          // distinct query rows
+  size_t lockstep_ops;  // phase-1 shadow-checked operations
+};
+
+[[noreturn]] void Fatal(const std::string& message) {
+  std::fprintf(stderr, "FATAL: %s\n", message.c_str());
+  std::abort();
+}
+
+/// Zipf(theta) over ranks 1..size via inverse-CDF binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t size, double theta) : cdf_(size) {
+    double total = 0.0;
+    for (size_t i = 0; i < size; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = total;
+    }
+  }
+
+  size_t Sample(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> u(0.0, cdf_.back());
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u(rng));
+    return static_cast<size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// A point that scores above every live point under every simplex
+/// weight: coordinates at twice the generator range, so w·far = 2·range
+/// for any w summing to 1 while live scores stay below range. Inserting
+/// or deleting it never changes a reverse rank answer, and its score
+/// position exceeds the live-τ horizon under every weight.
+std::vector<double> FarPoint(size_t d) {
+  return std::vector<double>(d, 20'000.0);
+}
+
+size_t ParseMetric(const std::string& text, const std::string& key) {
+  size_t pos = 0;
+  const std::string needle = key + " ";
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    if (line.rfind(needle, 0) == 0) {
+      return std::strtoull(line.c_str() + needle.size(), nullptr, 10);
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return 0;
+}
+
+bool SameRanks(const ReverseKRanksResult& a, const ReverseKRanksResult& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].weight_id != b[i].weight_id || a[i].rank != b[i].rank) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ShardedIndexOptions ServingOptions() {
+  ShardedIndexOptions options;
+  options.shards = 1;
+  options.use_workers = false;
+  options.dynamic.gir.scan_mode = ScanMode::kTauIndex;
+  // A deep τ horizon keeps the survival bands comfortably above both the
+  // query k and the pool's reverse k-rank maxima, so answer-invariant
+  // mutations certify as extensions instead of evicting.
+  options.dynamic.gir.tau.k_max = 256;
+  return options;
+}
+
+/// Phase 1: interleaved mutations and zipf queries against a cache-on
+/// server, every answer shadow-checked against direct execution on a
+/// local index replaying the identical op stream. Near inserts and
+/// deletes do change answers — this phase proves hits and post-
+/// invalidation refills alike track the live version.
+void RunLockstep(const Dataset& points, const Dataset& weights,
+                 const Config& config, uint32_t k, BenchScale scale,
+                 bench::JsonLog& json) {
+  auto served = ShardedGirIndex::Build(points, weights, ServingOptions());
+  if (!served.ok()) Fatal("build: " + served.status().ToString());
+  ServerOptions options;
+  options.batch_wait_us = 0;  // single client: dispatch immediately
+  QueryServer server(served.value().get(), options);
+  if (!server.Start().ok()) Fatal("server start failed");
+  auto connected = RemoteClient::Connect(options.host, server.port());
+  if (!connected.ok()) Fatal("connect: " + connected.status().ToString());
+  RemoteClient client = std::move(connected).value();
+
+  DynamicIndexOptions shadow_options = ServingOptions().dynamic;
+  auto shadow_built = DynamicGirIndex::Build(points, weights, shadow_options);
+  if (!shadow_built.ok()) Fatal("build: " + shadow_built.status().ToString());
+  DynamicGirIndex shadow = std::move(shadow_built).value();
+
+  const Dataset extra = GenerateUniform(config.pool, config.d, 9100);
+  const std::vector<double> far = FarPoint(config.d);
+  const ZipfSampler zipf(config.pool, 0.99);
+  std::mt19937_64 rng(9000);
+  size_t live = points.size();
+  uint64_t version = 0;
+  size_t checked = 0;
+  size_t hits = 0;
+  for (size_t op = 0; op < config.lockstep_ops; ++op) {
+    const uint32_t dice = static_cast<uint32_t>(rng() % 20);
+    if (dice == 0) {
+      ConstRow row = extra.row(rng() % extra.size());
+      if (!client.InsertPoint(row).ok()) Fatal("insert failed");
+      shadow.InsertPoint(row);
+      ++live;
+      ++version;
+    } else if (dice == 1) {
+      ConstRow row(far.data(), far.size());
+      if (!client.InsertPoint(row).ok()) Fatal("insert failed");
+      shadow.InsertPoint(row);
+      ++live;
+      ++version;
+    } else if (dice == 2 && live > points.size()) {
+      const uint64_t id = rng() % live;
+      if (!client.DeletePoint(id).ok()) Fatal("delete failed");
+      shadow.DeletePoint(id);
+      --live;
+      ++version;
+    } else if (dice == 3) {
+      if (!client.Compact().ok()) Fatal("compact failed");
+      shadow.Compact();
+      ++version;
+    } else {
+      const size_t row = zipf.Sample(rng);
+      const uint32_t qk = 1 + static_cast<uint32_t>(rng() % k);
+      ConstRow q = points.row(row);
+      if (rng() % 2 == 0) {
+        auto got = client.ReverseTopK(q, qk);
+        if (!got.ok()) Fatal("rtk: " + got.status().ToString());
+        if (got.value() != shadow.ReverseTopK(q, qk)) {
+          Fatal("lockstep RTK answer differs from shadow at op " +
+                std::to_string(op));
+        }
+      } else {
+        auto got = client.ReverseKRanks(q, qk);
+        if (!got.ok()) Fatal("rkr: " + got.status().ToString());
+        if (!SameRanks(got.value(), shadow.ReverseKRanks(q, qk))) {
+          Fatal("lockstep RKR answer differs from shadow at op " +
+                std::to_string(op));
+        }
+      }
+      if (client.last_index_version() != version) {
+        Fatal("lockstep version diverged at op " + std::to_string(op));
+      }
+      ++checked;
+      hits += client.last_cache_hit() ? 1 : 0;
+    }
+  }
+  const std::string stats = server.metrics().Render();
+  server.Shutdown();
+  json.Emit(bench::JsonRecord("result_cache", scale)
+                .Add("arm", "lockstep")
+                .Add("ops", config.lockstep_ops)
+                .Add("queries_checked", checked)
+                .Add("client_hits", hits)
+                .Add("cache_hits", ParseMetric(stats, "cache_hits"))
+                .Add("cache_invalidations",
+                     ParseMetric(stats, "cache_invalidations"))
+                .Add("cache_extensions",
+                     ParseMetric(stats, "cache_extensions")));
+  if (checked == 0) Fatal("lockstep phase checked nothing");
+}
+
+struct ArmResult {
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  size_t extensions = 0;
+  size_t served = 0;
+};
+
+/// One timed arm: closed-loop zipf clients with every 100th op a far
+/// insert, each answer equality-gated against the immutable pool truth.
+ArmResult RunTimedArm(const char* arm, ShardedGirIndex* index,
+                      bool enable_cache, const Dataset& pool,
+                      const std::vector<ReverseTopKResult>& rtk,
+                      const std::vector<ReverseKRanksResult>& rkr,
+                      uint32_t k, const Config& config, BenchScale scale,
+                      bench::JsonLog& json) {
+  ServerOptions options;
+  options.enable_cache = enable_cache;
+  QueryServer server(index, options);
+  if (!server.Start().ok()) Fatal("server start failed");
+
+  const std::vector<double> far = FarPoint(config.d);
+  const ZipfSampler zipf(pool.size(), 0.99);
+  std::vector<size_t> served(config.clients, 0);
+  const double elapsed_ms = bench::TimeMs([&] {
+    const auto deadline =
+        Clock::now() + std::chrono::microseconds(
+                           static_cast<int64_t>(config.seconds * 1e6));
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < config.clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto connected = RemoteClient::Connect(options.host, server.port());
+        if (!connected.ok()) {
+          Fatal("connect: " + connected.status().ToString());
+        }
+        RemoteClient client = std::move(connected).value();
+        std::mt19937_64 rng(7100 + c);
+        const bool use_rkr = c % 2 == 1;
+        size_t ops = 0;
+        while (Clock::now() < deadline) {
+          ++ops;
+          if (ops % 100 == 0) {  // the 1% mutation mix
+            if (!client.InsertPoint(ConstRow(far.data(), far.size())).ok()) {
+              Fatal("insert failed");
+            }
+            continue;
+          }
+          const size_t row = zipf.Sample(rng);
+          if (use_rkr) {
+            auto got = client.ReverseKRanks(pool.row(row), k);
+            if (!got.ok()) Fatal("rkr: " + got.status().ToString());
+            if (!SameRanks(got.value(), rkr[row])) {
+              Fatal("timed-arm RKR answer differs from pool truth");
+            }
+          } else {
+            auto got = client.ReverseTopK(pool.row(row), k);
+            if (!got.ok()) Fatal("rtk: " + got.status().ToString());
+            if (got.value() != rtk[row]) {
+              Fatal("timed-arm RTK answer differs from pool truth");
+            }
+          }
+          ++served[c];
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  });
+  const std::string stats = server.metrics().Render();
+  server.Shutdown();
+
+  ArmResult result;
+  for (size_t s : served) result.served += s;
+  result.qps = elapsed_ms > 0.0
+                   ? 1000.0 * static_cast<double>(result.served) / elapsed_ms
+                   : 0.0;
+  const size_t hits = ParseMetric(stats, "cache_hits");
+  const size_t misses = ParseMetric(stats, "cache_misses");
+  result.hit_rate = hits + misses > 0
+                        ? static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0.0;
+  result.extensions = ParseMetric(stats, "cache_extensions");
+  json.Emit(bench::JsonRecord("result_cache", scale)
+                .Add("arm", arm)
+                .Add("d", config.d)
+                .Add("n", config.n)
+                .Add("num_weights", config.m)
+                .Add("k", static_cast<size_t>(k))
+                .Add("clients", config.clients)
+                .Add("pool", pool.size())
+                .Add("zipf_theta", 0.99)
+                .Add("elapsed_ms", elapsed_ms)
+                .Add("served", result.served)
+                .Add("qps", result.qps)
+                .Add("cache_hits", hits)
+                .Add("cache_misses", misses)
+                .Add("hit_rate", result.hit_rate)
+                .Add("cache_extensions", result.extensions)
+                .Add("cache_invalidations",
+                     ParseMetric(stats, "cache_invalidations"))
+                .Add("cache_insertions",
+                     ParseMetric(stats, "cache_insertions")));
+  if (result.served == 0) Fatal(std::string(arm) + " arm served nothing");
+  return result;
+}
+
+int Run() {
+  const BenchScale scale = ReadBenchScale();
+  bench::PrintHeader(
+      "result-cache",
+      "Zipf(0.99) closed-loop clients with a 1% answer-invariant\n"
+      "point-mutation mix against the GIRNET01 server with the\n"
+      "version-bracketed result cache on vs off, after a lockstep phase\n"
+      "shadow-checking every answer under answer-changing churn",
+      scale);
+
+  Config config;
+  switch (scale) {
+    case BenchScale::kSmoke:
+      config = {4'000, 800, 8, 8, 0.3, 128, 300};
+      break;
+    case BenchScale::kQuick:
+      config = {10'000, 4'000, 16, 16, 1.0, 256, 800};
+      break;
+    case BenchScale::kFull:
+      config = {10'000, 4'000, 16, 16, 3.0, 256, 2'000};
+      break;
+  }
+  const uint32_t k = 8;
+
+  Dataset points = GenerateUniform(config.n, config.d, 9001);
+  Dataset weights = GenerateWeightsUniform(config.m, config.d, 9002);
+
+  // Pool truth from a local index before any mutation; the timed arms'
+  // far-point inserts keep these answers valid for the whole run.
+  auto truth_built =
+      DynamicGirIndex::Build(points, weights, ServingOptions().dynamic);
+  if (!truth_built.ok()) {
+    Fatal("build: " + truth_built.status().ToString());
+  }
+  const DynamicGirIndex truth = std::move(truth_built).value();
+  Dataset pool(points.dim());
+  for (size_t qi : PickQueryIndices(points.size(), config.pool, 9003)) {
+    pool.AppendUnchecked(points.row(qi));
+  }
+  std::vector<ReverseTopKResult> rtk(pool.size());
+  std::vector<ReverseKRanksResult> rkr(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    rtk[i] = truth.ReverseTopK(pool.row(i), k);
+    rkr[i] = truth.ReverseKRanks(pool.row(i), k);
+  }
+
+  bench::JsonLog json("result_cache");
+  RunLockstep(points, weights, config, k, scale, json);
+
+  // Both timed arms share one serving index; its state only accretes
+  // answer-invariant far points (about 1% of ops on a 10k base), so the
+  // second arm executes against a marginally larger live set.
+  auto served = ShardedGirIndex::Build(points, weights, ServingOptions());
+  if (!served.ok()) Fatal("build: " + served.status().ToString());
+  // One accept thread, one scheduler, one reader per client; inline
+  // mode, so no shard workers.
+  bench::BenchThreads() = 2 + config.clients;
+  const ArmResult uncached =
+      RunTimedArm("cache_off", served.value().get(), /*enable_cache=*/false,
+                  pool, rtk, rkr, k, config, scale, json);
+  const ArmResult cached =
+      RunTimedArm("cache_on", served.value().get(), /*enable_cache=*/true,
+                  pool, rtk, rkr, k, config, scale, json);
+
+  const double speedup =
+      uncached.qps > 0.0 ? cached.qps / uncached.qps : 0.0;
+  json.Emit(bench::JsonRecord("result_cache", scale)
+                .Add("arm", "speedup")
+                .Add("cached_qps", cached.qps)
+                .Add("uncached_qps", uncached.qps)
+                .Add("served_speedup", speedup)
+                .Add("hit_rate", cached.hit_rate));
+
+  if (cached.extensions == 0) {
+    Fatal("cached arm recorded no bracket extensions — the answer-"
+          "invariant mutations should all certify survival");
+  }
+  if (scale == BenchScale::kSmoke && cached.hit_rate < 0.6) {
+    Fatal("smoke hit-rate gate failed: " +
+          std::to_string(cached.hit_rate) + " < 0.6");
+  }
+  if (scale != BenchScale::kSmoke && speedup < 5.0) {
+    Fatal("served-QPS gate failed: cached " + std::to_string(cached.qps) +
+          " qps vs uncached " + std::to_string(uncached.qps) +
+          " qps — speedup " + std::to_string(speedup) + " < 5x");
+  }
+
+  std::printf(
+      "\nExpected shape: the zipf(0.99) pool caches almost entirely after\n"
+      "warmup and the 1%% far-point mutations extend brackets instead of\n"
+      "evicting, so the cached arm serves >= 5x the uncached QPS at the\n"
+      "quick scale — hits skip the scheduler hop and the O(|W|·d) sweep\n"
+      "and answer straight from the reader threads.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gir
+
+int main(int argc, char** argv) {
+  gir::bench::ParseThreadsFlag(&argc, argv);
+  return gir::Run();
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <utility>
@@ -516,6 +517,60 @@ void DynamicGirIndex::LiveTauErase(size_t h, double s) {
   live_tau_min_valid_ = std::min(live_tau_min_valid_, v - 1);
 }
 
+uint32_t DynamicGirIndex::LiveTauPositionBound(size_t h, double s) const {
+  if (live_tau_cap_ == 0) return 1;
+  const size_t nbw = base_weights_->size();
+  const double* col;
+  size_t stride;
+  uint32_t v;
+  if (h < nbw) {
+    col = live_tau_.data() + h;
+    stride = nbw;
+    v = live_tau_valid_[h];
+  } else {
+    col = delta_live_tau_[h - nbw].data();
+    stride = 1;
+    v = delta_live_tau_valid_[h - nbw];
+  }
+  if (v == 0) return 1;
+  // Beyond the tracked horizon every head entry is < s, so at least v
+  // scores precede it. Within it, the head holds every live score < s
+  // (it is a prefix of the sorted live multiset), so the strided
+  // lower-bound index is the exact strict-below count.
+  if (s > col[(v - 1) * stride]) return v + 1;
+  size_t lo = 0;
+  size_t hi = v;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (col[mid * stride] < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint32_t>(lo) + 1;
+}
+
+void DynamicGirIndex::CopyLiveTauHead(size_t h, std::vector<double>* out) const {
+  out->clear();
+  if (live_tau_cap_ == 0) return;
+  const size_t nbw = base_weights_->size();
+  const double* col;
+  size_t stride;
+  uint32_t v;
+  if (h < nbw) {
+    col = live_tau_.data() + h;
+    stride = nbw;
+    v = live_tau_valid_[h];
+  } else {
+    col = delta_live_tau_[h - nbw].data();
+    stride = 1;
+    v = delta_live_tau_valid_[h - nbw];
+  }
+  out->reserve(v);
+  for (uint32_t t = 0; t < v; ++t) out->push_back(col[t * stride]);
+}
+
 // ---- Mutations ----------------------------------------------------------
 
 Status DynamicGirIndex::InsertPoint(ConstRow p) {
@@ -529,10 +584,15 @@ Status DynamicGirIndex::InsertPoint(ConstRow p) {
   // fresh partitioners absorb them.
   std::vector<double> sp(mh, 0.0);
   if (mh > 0) ScorePointUnderWeights(p, sp.data());
+  uint32_t band = std::numeric_limits<uint32_t>::max();
   for (uint32_t h : live_weight_ids_) {
     InsertSorted(delta_scores_[h], sp[h]);
     LiveTauInsert(h, sp[h]);
+    // Post-insert head: the new score is tracked when it is within the
+    // horizon, so the position bound is exact there (DESIGN.md §16).
+    band = std::min(band, LiveTauPositionBound(h, sp[h]));
   }
+  last_point_band_ = band;
   live_point_ids_.push_back(static_cast<uint32_t>(handle));
   return MaybeAutoCompact();
 }
@@ -546,11 +606,15 @@ Status DynamicGirIndex::DeletePoint(VectorId live_id) {
   const size_t mh = num_weight_handles();
   std::vector<double> sp(mh, 0.0);
   if (mh > 0) ScorePointUnderWeights(PointRowOfHandle(h), sp.data());
+  uint32_t band = std::numeric_limits<uint32_t>::max();
   if (h < nbp) {
     base_point_alive_.Set(h, false);
     ++dead_base_points_;
     for (uint32_t w : live_weight_ids_) {
       InsertSorted(dead_scores_[w], sp[w]);
+      // Pre-erase head: the dying score is still tracked, so its live
+      // position reads off the head exactly as for an insert.
+      band = std::min(band, LiveTauPositionBound(w, sp[w]));
       LiveTauErase(w, sp[w]);
     }
   } else {
@@ -560,9 +624,11 @@ Status DynamicGirIndex::DeletePoint(VectorId live_id) {
       if (!EraseSorted(delta_scores_[w], sp[w])) {
         return Status::Internal("delta score bookkeeping mismatch");
       }
+      band = std::min(band, LiveTauPositionBound(w, sp[w]));
       LiveTauErase(w, sp[w]);
     }
   }
+  last_point_band_ = band;
   live_point_ids_.erase(live_point_ids_.begin() + live_id);
   return MaybeAutoCompact();
 }
@@ -619,10 +685,20 @@ Status DynamicGirIndex::InsertWeight(ConstRow w) {
   // cell quantization, making the paper-mode bounds unsound — fold the
   // delta into a fresh generation whose partitioners cover it.
   const double top = gir_->grid().weight_partitioner().boundaries().back();
+  bool force_compact = false;
   for (size_t i = 0; i < w.size(); ++i) {
-    if (w[i] > top) return Compact();
+    if (w[i] > top) force_compact = true;
   }
-  return MaybeAutoCompact();
+  Status cst = force_compact ? Compact() : MaybeAutoCompact();
+  // Snapshot the new weight's live-τ head for the server's result-cache
+  // probe — after any compaction, so the head matches the state a query
+  // would now observe (the new weight is the last live weight either
+  // way).
+  last_weight_head_.clear();
+  if (cst.ok() && !live_weight_ids_.empty()) {
+    CopyLiveTauHead(live_weight_ids_.back(), &last_weight_head_);
+  }
+  return cst;
 }
 
 Status DynamicGirIndex::DeleteWeight(VectorId live_id) {

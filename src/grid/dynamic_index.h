@@ -200,6 +200,37 @@ class DynamicGirIndex {
   /// tombstones not applied).
   const GirIndex& base() const { return *gir_; }
 
+  // ---- Result-cache invalidation probes (DESIGN.md §16) ----------------
+
+  /// Order-statistic band of the most recent point mutation: a 1-based
+  /// lower bound, minimized over this index's live weights, on the
+  /// mutated point's score position within each weight's live score list
+  /// (the list that contains the point — post-insert for InsertPoint,
+  /// pre-erase for DeletePoint), derived from the live-τ heads. A point
+  /// mutation can change some weight's reverse top-k membership at
+  /// threshold k only if the point sits within that weight's live top-k
+  /// band, i.e. only if k >= last_point_band(); a cached reverse k-ranks
+  /// answer whose largest stored rank is R can change only if
+  /// R + 1 >= last_point_band(). Exact within the τ-head horizon and
+  /// conservative beyond it (degraded heads contribute 1, which
+  /// invalidates everything — sound, never stale). UINT32_MAX when no
+  /// live weight exists. Meaningful only immediately after InsertPoint /
+  /// DeletePoint returned OK, read under the same serialization that
+  /// ordered the mutation.
+  uint32_t last_point_band() const { return last_point_band_; }
+
+  /// Live-τ head of the most recently inserted weight (its smallest live
+  /// scores, ascending): head[t-1] is the exact t-th smallest live score
+  /// under that weight. rank(w_new, q) >= t iff head[t-1] < f_{w_new}(q)
+  /// for any t <= size() — the server's cache uses this to keep entries
+  /// the new weight provably cannot join. Empty when the head is
+  /// unavailable (no τ-index or a degraded seed) — callers must then
+  /// assume the new weight can affect anything. Meaningful only
+  /// immediately after InsertWeight returned OK.
+  const std::vector<double>& last_weight_head() const {
+    return last_weight_head_;
+  }
+
   // ---- Persistence component views (grid/index_io.cc) ------------------
 
   const Dataset& base_points() const { return *base_points_; }
@@ -280,6 +311,15 @@ class DynamicGirIndex {
   void SeedDeltaHead(size_t j);
   void LiveTauInsert(size_t h, double s);
   void LiveTauErase(size_t h, double s);
+
+  /// 1-based lower bound on the position of score s within handle h's
+  /// live score multiset, read off the handle's live-τ head. The head
+  /// must already reflect the list containing s (call after LiveTauInsert
+  /// / before LiveTauErase). Exact while s is within the tracked horizon;
+  /// valid+1 beyond it; 1 when the head is degraded (valid == 0).
+  uint32_t LiveTauPositionBound(size_t h, double s) const;
+  /// Copies handle h's tracked live-τ head (valid prefix) into `out`.
+  void CopyLiveTauHead(size_t h, std::vector<double>* out) const;
 
   /// Blocked-scan fallback over one weight side (base or delta weights).
   /// thresholds[w] <= 0 masks slot w; emit(w, rank) fires, on the calling
@@ -401,6 +441,11 @@ class DynamicGirIndex {
   std::vector<uint32_t> live_point_ids_;
   std::vector<uint32_t> live_weight_ids_;
   std::vector<VectorId> weight_handle_to_live_;
+
+  /// Cache-probe state of the most recent mutation (see the public
+  /// accessors). Written by the point/weight mutation paths only.
+  uint32_t last_point_band_ = 1;
+  std::vector<double> last_weight_head_;
 };
 
 }  // namespace gir

@@ -83,6 +83,10 @@ struct ShardedGirIndex::ShardTask {
 
   // Output slots, owned by the caller's coordination frame.
   Status* status_out = nullptr;
+  /// Cache-probe slots (point band / inserted-weight τ head), filled on
+  /// the shard's lane turn so they belong to exactly this operation.
+  uint32_t* band_out = nullptr;
+  std::vector<double>* head_out = nullptr;
   ReverseTopKResult* rtk_out = nullptr;
   ReverseKRanksResult* rkr_out = nullptr;
   std::vector<ReverseTopKResult>* rtk_batch_out = nullptr;
@@ -309,12 +313,15 @@ void ShardedGirIndex::RunTask(size_t s, ShardTask& t) const {
   switch (t.kind) {
     case ShardTask::Kind::kInsertPoint:
       *t.status_out = index.InsertPoint(ConstRow(t.row, t.row_len));
+      if (t.band_out != nullptr) *t.band_out = index.last_point_band();
       break;
     case ShardTask::Kind::kDeletePoint:
       *t.status_out = index.DeletePoint(t.id);
+      if (t.band_out != nullptr) *t.band_out = index.last_point_band();
       break;
     case ShardTask::Kind::kInsertWeight:
       *t.status_out = index.InsertWeight(ConstRow(t.row, t.row_len));
+      if (t.head_out != nullptr) *t.head_out = index.last_weight_head();
       break;
     case ShardTask::Kind::kDeleteWeight:
       *t.status_out = index.DeleteWeight(t.id);
@@ -421,7 +428,8 @@ Status ValidateRowValues(ConstRow row) {
 
 }  // namespace
 
-Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out) {
+Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out,
+                                    uint32_t* band_out) {
   // Admission-time validation mirrors the shard's own checks exactly, so
   // a task can only fail after the router committed its bookkeeping if
   // the index itself is inconsistent.
@@ -436,6 +444,7 @@ Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out) {
   std::vector<ShardTask> tasks(n);
   std::vector<size_t> lanes(n);
   std::vector<Status> statuses(n);
+  std::vector<uint32_t> bands(n, std::numeric_limits<uint32_t>::max());
   OpSync sync;
   sync.remaining = n;
   for (size_t s = 0; s < n; ++s) {
@@ -444,6 +453,7 @@ Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out) {
     tasks[s].row = p.data();
     tasks[s].row_len = p.size();
     tasks[s].status_out = &statuses[s];
+    if (band_out != nullptr) tasks[s].band_out = &bands[s];
     tasks[s].sync = &sync;
   }
   uint64_t seq = 0;
@@ -455,17 +465,22 @@ Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out) {
   }
   Execute(tasks.data(), lanes.data(), n, sync);
   if (seq_out != nullptr) *seq_out = seq;
+  if (band_out != nullptr) {
+    *band_out = *std::min_element(bands.begin(), bands.end());
+  }
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
   }
   return Status::OK();
 }
 
-Status ShardedGirIndex::DeletePoint(VectorId live_id, uint64_t* seq_out) {
+Status ShardedGirIndex::DeletePoint(VectorId live_id, uint64_t* seq_out,
+                                    uint32_t* band_out) {
   const size_t n = shards_.size();
   std::vector<ShardTask> tasks(n);
   std::vector<size_t> lanes(n);
   std::vector<Status> statuses(n);
+  std::vector<uint32_t> bands(n, std::numeric_limits<uint32_t>::max());
   OpSync sync;
   sync.remaining = n;
   for (size_t s = 0; s < n; ++s) {
@@ -473,6 +488,7 @@ Status ShardedGirIndex::DeletePoint(VectorId live_id, uint64_t* seq_out) {
     tasks[s].kind = ShardTask::Kind::kDeletePoint;
     tasks[s].id = live_id;
     tasks[s].status_out = &statuses[s];
+    if (band_out != nullptr) tasks[s].band_out = &bands[s];
     tasks[s].sync = &sync;
   }
   uint64_t seq = 0;
@@ -487,13 +503,17 @@ Status ShardedGirIndex::DeletePoint(VectorId live_id, uint64_t* seq_out) {
   }
   Execute(tasks.data(), lanes.data(), n, sync);
   if (seq_out != nullptr) *seq_out = seq;
+  if (band_out != nullptr) {
+    *band_out = *std::min_element(bands.begin(), bands.end());
+  }
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
   }
   return Status::OK();
 }
 
-Status ShardedGirIndex::InsertWeight(ConstRow w, uint64_t* seq_out) {
+Status ShardedGirIndex::InsertWeight(ConstRow w, uint64_t* seq_out,
+                                     std::vector<double>* head_out) {
   if (w.size() != dim_) {
     return Status::InvalidArgument("weight width does not match dim");
   }
@@ -507,6 +527,7 @@ Status ShardedGirIndex::InsertWeight(ConstRow w, uint64_t* seq_out) {
   task.row = w.data();
   task.row_len = w.size();
   task.status_out = &status;
+  task.head_out = head_out;
   task.sync = &sync;
   size_t lane = 0;
   uint64_t seq = 0;

@@ -125,12 +125,24 @@ class ShardedGirIndex {
   // ---- Mutations (validated at admission; routed or broadcast) ---------
 
   /// Appends a product vector to every shard. `seq_out` (nullable)
-  /// receives the op's global sequence number.
-  Status InsertPoint(ConstRow p, uint64_t* seq_out = nullptr);
-  /// Tombstones a point (by global live id) on every shard.
-  Status DeletePoint(VectorId live_id, uint64_t* seq_out = nullptr);
+  /// receives the op's global sequence number. `band_out` (nullable)
+  /// receives the result-cache invalidation band: the minimum over every
+  /// shard of DynamicGirIndex::last_point_band() for this mutation —
+  /// read on each shard's lane turn, so it belongs to exactly this
+  /// operation even under concurrent mutators (DESIGN.md §16).
+  Status InsertPoint(ConstRow p, uint64_t* seq_out = nullptr,
+                     uint32_t* band_out = nullptr);
+  /// Tombstones a point (by global live id) on every shard. `band_out`
+  /// as for InsertPoint.
+  Status DeletePoint(VectorId live_id, uint64_t* seq_out = nullptr,
+                     uint32_t* band_out = nullptr);
   /// Appends a preference vector to the round-robin next shard.
-  Status InsertWeight(ConstRow w, uint64_t* seq_out = nullptr);
+  /// `head_out` (nullable) receives the owning shard's
+  /// DynamicGirIndex::last_weight_head() snapshot for this weight (empty
+  /// = unknown, callers must assume the new weight can affect any cached
+  /// answer).
+  Status InsertWeight(ConstRow w, uint64_t* seq_out = nullptr,
+                      std::vector<double>* head_out = nullptr);
   /// Tombstones the weight with global live id `live_id` on its owner.
   Status DeleteWeight(VectorId live_id, uint64_t* seq_out = nullptr);
   /// Compacts every shard (each folds its own tombstones/deltas).

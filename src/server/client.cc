@@ -68,8 +68,10 @@ RemoteClient::RemoteClient(RemoteClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_request_id_(other.next_request_id_),
       deadline_us_(other.deadline_us_),
+      tenant_id_(other.tenant_id_),
       last_net_status_(other.last_net_status_),
-      last_index_version_(other.last_index_version_) {}
+      last_index_version_(other.last_index_version_),
+      last_cache_hit_(other.last_cache_hit_) {}
 
 RemoteClient& RemoteClient::operator=(RemoteClient&& other) noexcept {
   if (this != &other) {
@@ -77,8 +79,10 @@ RemoteClient& RemoteClient::operator=(RemoteClient&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     next_request_id_ = other.next_request_id_;
     deadline_us_ = other.deadline_us_;
+    tenant_id_ = other.tenant_id_;
     last_net_status_ = other.last_net_status_;
     last_index_version_ = other.last_index_version_;
+    last_cache_hit_ = other.last_cache_hit_;
   }
   return *this;
 }
@@ -91,6 +95,7 @@ Result<NetResponse> RemoteClient::RoundTrip(NetRequest request) {
   if (fd_ < 0) return Status::IOError("client is not connected");
   request.request_id = next_request_id_++;
   request.deadline_us = deadline_us_;
+  request.tenant_id = tenant_id_;
   Status s = SendFrame(fd_, EncodeRequestBody(request));
   if (!s.ok()) return s;
   std::string body;
@@ -105,6 +110,7 @@ Result<NetResponse> RemoteClient::RoundTrip(NetRequest request) {
   }
   last_net_status_ = response.status;
   last_index_version_ = response.index_version;
+  last_cache_hit_ = response.cache_hit();
   if (response.status != NetStatus::kOk) {
     return MapNetStatus(response.status, response.error);
   }

@@ -37,6 +37,10 @@ class RemoteClient {
   /// Relative deadline attached to subsequent requests; 0 disables.
   void set_deadline_us(uint32_t us) { deadline_us_ = us; }
 
+  /// Tenant (QoS class) id stamped on subsequent requests; 0 is the
+  /// default tenant. Servers without tenant configuration ignore it.
+  void set_tenant(uint16_t tenant_id) { tenant_id_ = tenant_id; }
+
   Status Ping();
   Result<NetInfo> Info();
   /// The plaintext metrics snapshot (STATS verb).
@@ -59,6 +63,9 @@ class RemoteClient {
   NetStatus last_net_status() const { return last_net_status_; }
   /// index_version stamped on the most recent response.
   uint64_t last_index_version() const { return last_index_version_; }
+  /// Whether the most recent response was served from the server's
+  /// result cache (kNetFlagCacheHit on the response header).
+  bool last_cache_hit() const { return last_cache_hit_; }
 
  private:
   explicit RemoteClient(int fd) : fd_(fd) {}
@@ -74,8 +81,10 @@ class RemoteClient {
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   uint32_t deadline_us_ = 0;
+  uint16_t tenant_id_ = 0;
   NetStatus last_net_status_ = NetStatus::kOk;
   uint64_t last_index_version_ = 0;
+  bool last_cache_hit_ = false;
 };
 
 }  // namespace gir

@@ -87,6 +87,44 @@ std::string ServerMetrics::Render() const {
   AppendLine(&out, "mean_batch_queries", batches > 0 ? queries / batches : 0);
   AppendLine(&out, "latency_p50_us_le", Quantile(latency_hist_, 0.50));
   AppendLine(&out, "latency_p99_us_le", Quantile(latency_hist_, 0.99));
+  // Result-cache effectiveness (server/result_cache.h): hits served
+  // without a scan, misses that fell through, entries an invalidation
+  // pass extended across a mutation vs dropped, and the live footprint.
+  const uint64_t hits = cache_hits_.load(kRelaxed);
+  const uint64_t misses = cache_misses_.load(kRelaxed);
+  AppendLine(&out, "cache_hits", hits);
+  AppendLine(&out, "cache_misses", misses);
+  AppendLine(&out, "cache_hit_rate_pct",
+             hits + misses > 0 ? hits * 100 / (hits + misses) : 0);
+  AppendLine(&out, "cache_evictions", cache_evictions_.load(kRelaxed));
+  AppendLine(&out, "cache_extensions", cache_extensions_.load(kRelaxed));
+  AppendLine(&out, "cache_invalidations",
+             cache_invalidations_.load(kRelaxed));
+  AppendLine(&out, "cache_bytes", cache_bytes_.load(kRelaxed));
+  AppendLine(&out, "cache_entries", cache_entries_.load(kRelaxed));
+  // Per-tenant QoS accounting: registered tenants by id, then one
+  // "tenant_other" row aggregating unregistered ids.
+  for (size_t i = 0; i <= tenant_count_; ++i) {
+    const bool other = i == tenant_count_;
+    const TenantSlot& slot =
+        other ? tenant_slots_[kMaxTenantSlots - 1] : tenant_slots_[i];
+    char prefix[32];
+    if (other) {
+      std::snprintf(prefix, sizeof(prefix), "tenant_other");
+    } else {
+      std::snprintf(prefix, sizeof(prefix), "tenant%u",
+                    static_cast<unsigned>(tenant_ids_[i]));
+    }
+    char key[64];
+    std::snprintf(key, sizeof(key), "%s.admitted", prefix);
+    AppendLine(&out, key, slot.admitted.load(kRelaxed));
+    std::snprintf(key, sizeof(key), "%s.served", prefix);
+    AppendLine(&out, key, slot.served.load(kRelaxed));
+    std::snprintf(key, sizeof(key), "%s.rejected_rate_limited", prefix);
+    AppendLine(&out, key, slot.rejected_rate_limited.load(kRelaxed));
+    std::snprintf(key, sizeof(key), "%s.queue_depth", prefix);
+    AppendLine(&out, key, slot.queue_depth.load(kRelaxed));
+  }
   AppendHistogram(&out, "batch_queries", batch_hist_, kBuckets);
   AppendHistogram(&out, "latency_us", latency_hist_, kBuckets);
   return out;

@@ -61,6 +61,59 @@ class ServerMetrics {
 
   void SetQueueDepth(uint64_t depth) { queue_depth_.store(depth, kRelaxed); }
 
+  // ---- Result cache (server/result_cache.h) ----------------------------
+
+  /// A request answered wholly from the result cache: it completes
+  /// without a scheduler dispatch, so it counts toward completions but
+  /// not toward batches.
+  void RecordCacheServed(uint64_t requests, uint64_t queries) {
+    completed_requests_.fetch_add(requests, kRelaxed);
+    completed_queries_.fetch_add(queries, kRelaxed);
+  }
+  void RecordCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+  void RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+  void RecordCacheEviction() { cache_evictions_.fetch_add(1, kRelaxed); }
+  /// Entries whose bracket an invalidation pass extended / dropped.
+  void RecordCacheExtensions(uint64_t n) {
+    cache_extensions_.fetch_add(n, kRelaxed);
+  }
+  void RecordCacheInvalidations(uint64_t n) {
+    cache_invalidations_.fetch_add(n, kRelaxed);
+  }
+  void SetCacheBytes(uint64_t bytes) { cache_bytes_.store(bytes, kRelaxed); }
+  void SetCacheEntries(uint64_t n) { cache_entries_.store(n, kRelaxed); }
+
+  // ---- Per-tenant QoS --------------------------------------------------
+
+  /// Fixed tenant slots, registered before the server starts (not
+  /// thread-safe); traffic from unregistered tenant ids lands on a
+  /// shared "other" slot so every request is accounted somewhere.
+  static constexpr size_t kMaxTenantSlots = 17;
+
+  /// Registers a slot for `tenant_id`. No-op once the table is full or
+  /// the id is already present.
+  void RegisterTenant(uint16_t tenant_id) {
+    if (tenant_count_ >= kMaxTenantSlots - 1) return;
+    for (size_t i = 0; i < tenant_count_; ++i) {
+      if (tenant_ids_[i] == tenant_id) return;
+    }
+    tenant_ids_[tenant_count_++] = tenant_id;
+  }
+
+  void RecordTenantAdmitted(uint16_t tenant_id, uint64_t queries) {
+    TenantSlot& slot = Slot(tenant_id);
+    slot.admitted.fetch_add(queries, kRelaxed);
+  }
+  void RecordTenantServed(uint16_t tenant_id, uint64_t queries) {
+    Slot(tenant_id).served.fetch_add(queries, kRelaxed);
+  }
+  void RecordTenantRateLimited(uint16_t tenant_id) {
+    Slot(tenant_id).rejected_rate_limited.fetch_add(1, kRelaxed);
+  }
+  void SetTenantQueueDepth(uint16_t tenant_id, uint64_t depth) {
+    Slot(tenant_id).queue_depth.store(depth, kRelaxed);
+  }
+
   /// Renders the snapshot served by the STATS verb: one `key value` pair
   /// per line, then the two histograms as `name[lo,hi) count` lines.
   std::string Render() const;
@@ -82,6 +135,23 @@ class ServerMetrics {
   /// the upper edge of the bucket containing the q-th sample.
   static uint64_t Quantile(const std::atomic<uint64_t>* hist, double q);
 
+  struct TenantSlot {
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> rejected_rate_limited{0};
+    std::atomic<uint64_t> queue_depth{0};
+  };
+
+  /// Resolves a tenant id to its registered slot; unregistered ids share
+  /// the trailing "other" slot. Lock-free: the registry is immutable once
+  /// the server starts.
+  TenantSlot& Slot(uint16_t tenant_id) {
+    for (size_t i = 0; i < tenant_count_; ++i) {
+      if (tenant_ids_[i] == tenant_id) return tenant_slots_[i];
+    }
+    return tenant_slots_[kMaxTenantSlots - 1];
+  }
+
   Clock::time_point start_;
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
@@ -101,6 +171,18 @@ class ServerMetrics {
   std::atomic<uint64_t> scan_blocks_descended_{0};
   std::atomic<uint64_t> batch_hist_[kBuckets] = {};
   std::atomic<uint64_t> latency_hist_[kBuckets] = {};
+
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> cache_extensions_{0};
+  std::atomic<uint64_t> cache_invalidations_{0};
+  std::atomic<uint64_t> cache_bytes_{0};
+  std::atomic<uint64_t> cache_entries_{0};
+
+  size_t tenant_count_ = 0;
+  uint16_t tenant_ids_[kMaxTenantSlots] = {};
+  TenantSlot tenant_slots_[kMaxTenantSlots];
 };
 
 }  // namespace gir

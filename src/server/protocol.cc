@@ -23,20 +23,21 @@ void Append(std::string* out, T v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void AppendHeader(std::string* out, NetVerb verb, uint32_t deadline_us,
-                  uint64_t request_id) {
+void AppendHeader(std::string* out, NetVerb verb, uint16_t tenant_id,
+                  uint32_t deadline_us, uint64_t request_id) {
   Append<uint8_t>(out, static_cast<uint8_t>(verb));
   Append<uint8_t>(out, 0);
-  Append<uint16_t>(out, 0);
+  Append<uint16_t>(out, tenant_id);
   Append<uint32_t>(out, deadline_us);
   Append<uint64_t>(out, request_id);
 }
 
 void AppendResponseHeader(std::string* out, NetVerb verb, NetStatus status,
-                          uint64_t request_id, uint64_t version) {
+                          uint64_t request_id, uint64_t version,
+                          uint16_t flags = 0) {
   Append<uint8_t>(out, static_cast<uint8_t>(verb));
   Append<uint8_t>(out, static_cast<uint8_t>(status));
-  Append<uint16_t>(out, 0);
+  Append<uint16_t>(out, flags);
   Append<uint32_t>(out, 0);
   Append<uint64_t>(out, request_id);
   Append<uint64_t>(out, version);
@@ -128,7 +129,8 @@ const char* NetStatusName(NetStatus status) {
 
 std::string EncodeRequestBody(const NetRequest& request) {
   std::string body;
-  AppendHeader(&body, request.verb, request.deadline_us, request.request_id);
+  AppendHeader(&body, request.verb, request.tenant_id, request.deadline_us,
+               request.request_id);
   switch (request.verb) {
     case NetVerb::kPing:
     case NetVerb::kInfo:
@@ -179,40 +181,42 @@ std::string EncodeAckResponseBody(NetVerb verb, uint64_t request_id,
 }
 
 std::string EncodeTopKResponseBody(uint64_t request_id, uint64_t version,
-                                   const ReverseTopKResult& result) {
+                                   const ReverseTopKResult& result,
+                                   uint16_t flags) {
   std::string body;
   AppendResponseHeader(&body, NetVerb::kReverseTopK, NetStatus::kOk,
-                       request_id, version);
+                       request_id, version, flags);
   AppendTopK(&body, result);
   return body;
 }
 
 std::string EncodeTopKBatchResponseBody(
     uint64_t request_id, uint64_t version,
-    const std::vector<ReverseTopKResult>& results) {
+    const std::vector<ReverseTopKResult>& results, uint16_t flags) {
   std::string body;
   AppendResponseHeader(&body, NetVerb::kReverseTopKBatch, NetStatus::kOk,
-                       request_id, version);
+                       request_id, version, flags);
   Append<uint32_t>(&body, static_cast<uint32_t>(results.size()));
   for (const ReverseTopKResult& result : results) AppendTopK(&body, result);
   return body;
 }
 
 std::string EncodeKRanksResponseBody(uint64_t request_id, uint64_t version,
-                                     const ReverseKRanksResult& result) {
+                                     const ReverseKRanksResult& result,
+                                     uint16_t flags) {
   std::string body;
   AppendResponseHeader(&body, NetVerb::kReverseKRanks, NetStatus::kOk,
-                       request_id, version);
+                       request_id, version, flags);
   AppendKRanks(&body, result);
   return body;
 }
 
 std::string EncodeKRanksBatchResponseBody(
     uint64_t request_id, uint64_t version,
-    const std::vector<ReverseKRanksResult>& results) {
+    const std::vector<ReverseKRanksResult>& results, uint16_t flags) {
   std::string body;
   AppendResponseHeader(&body, NetVerb::kReverseKRanksBatch, NetStatus::kOk,
-                       request_id, version);
+                       request_id, version, flags);
   Append<uint32_t>(&body, static_cast<uint32_t>(results.size()));
   for (const ReverseKRanksResult& result : results) {
     AppendKRanks(&body, result);
@@ -249,9 +253,9 @@ NetStatus DecodeRequestBody(const std::string& body, NetRequest* out,
   std::istringstream in(body, std::ios::binary);
   CheckedReader reader(in);
   uint8_t verb_raw = 0, zero8 = 0;
-  uint16_t zero16 = 0;
   if (!reader.ReadU8(&verb_raw) || !reader.ReadU8(&zero8) ||
-      !reader.ReadU16(&zero16) || !reader.ReadU32(&out->deadline_us) ||
+      !reader.ReadU16(&out->tenant_id) ||
+      !reader.ReadU32(&out->deadline_us) ||
       !reader.ReadU64(&out->request_id)) {
     *error = "truncated request header";
     return NetStatus::kMalformed;
@@ -327,10 +331,9 @@ bool DecodeResponseBody(const std::string& body, NetResponse* out) {
   std::istringstream in(body, std::ios::binary);
   CheckedReader reader(in);
   uint8_t verb_raw = 0, status_raw = 0;
-  uint16_t zero16 = 0;
   uint32_t zero32 = 0;
   if (!reader.ReadU8(&verb_raw) || !reader.ReadU8(&status_raw) ||
-      !reader.ReadU16(&zero16) || !reader.ReadU32(&zero32) ||
+      !reader.ReadU16(&out->flags) || !reader.ReadU32(&zero32) ||
       !reader.ReadU64(&out->request_id) ||
       !reader.ReadU64(&out->index_version)) {
     return false;

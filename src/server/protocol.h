@@ -19,15 +19,22 @@ namespace gir {
 ///     body_len bytes of body
 ///
 /// Request body:
-///     u8  verb (NetVerb)    u8 0   u16 0
+///     u8  verb (NetVerb)    u8 0   u16 tenant_id
 ///     u32 deadline_us       (0 = no deadline, relative to server receipt)
 ///     u64 request_id        (echoed verbatim in the response)
 ///     verb-specific payload (see NetRequest)
 ///
 /// Response body:
-///     u8  verb (echo)       u8 status (NetStatus)   u16 0   u32 0
+///     u8  verb (echo)       u8 status (NetStatus)   u16 flags   u32 0
 ///     u64 request_id        u64 index_version
 ///     on kOk: verb-specific payload; otherwise u32 msg_len + message
+///
+/// `tenant_id` and `flags` live in fields the GIRNET01 decoders have
+/// always read without validating (they were written as zero), so both
+/// directions stay wire-compatible: an old client's frames carry tenant
+/// 0 (the default QoS class) and an old client ignores the flags word.
+/// flags bit 0 = the response was served from the server's result cache
+/// (bit-identical to executing at the stamped index_version).
 ///
 /// `index_version` is the server's mutation counter at the moment the
 /// request executed (mutations increment it under the writer lock), so a
@@ -86,12 +93,17 @@ struct NetRequest {
   NetVerb verb = NetVerb::kPing;
   uint64_t request_id = 0;
   uint32_t deadline_us = 0;
+  /// QoS class of the issuing client; 0 is the default tenant.
+  uint16_t tenant_id = 0;
   uint32_t k = 0;
   uint32_t dim = 0;
   uint32_t num_queries = 0;
   std::vector<double> values;
   uint64_t target_id = 0;  // kDeletePoint / kDeleteWeight
 };
+
+/// Response header flags word (bit mask).
+inline constexpr uint16_t kNetFlagCacheHit = 1u << 0;
 
 /// kInfo response payload.
 struct NetInfo {
@@ -110,6 +122,9 @@ struct NetResponse {
   NetStatus status = NetStatus::kOk;
   uint64_t request_id = 0;
   uint64_t index_version = 0;
+  /// Header flags (kNetFlagCacheHit et al).
+  uint16_t flags = 0;
+  bool cache_hit() const { return (flags & kNetFlagCacheHit) != 0; }
   std::string error;  // status != kOk
   ReverseTopKResult topk;
   std::vector<ReverseTopKResult> topk_batch;
@@ -129,15 +144,17 @@ std::string EncodeErrorResponseBody(NetVerb verb, NetStatus status,
 std::string EncodeAckResponseBody(NetVerb verb, uint64_t request_id,
                                   uint64_t version);
 std::string EncodeTopKResponseBody(uint64_t request_id, uint64_t version,
-                                   const ReverseTopKResult& result);
+                                   const ReverseTopKResult& result,
+                                   uint16_t flags = 0);
 std::string EncodeTopKBatchResponseBody(
     uint64_t request_id, uint64_t version,
-    const std::vector<ReverseTopKResult>& results);
+    const std::vector<ReverseTopKResult>& results, uint16_t flags = 0);
 std::string EncodeKRanksResponseBody(uint64_t request_id, uint64_t version,
-                                     const ReverseKRanksResult& result);
+                                     const ReverseKRanksResult& result,
+                                     uint16_t flags = 0);
 std::string EncodeKRanksBatchResponseBody(
     uint64_t request_id, uint64_t version,
-    const std::vector<ReverseKRanksResult>& results);
+    const std::vector<ReverseKRanksResult>& results, uint16_t flags = 0);
 std::string EncodeInfoResponseBody(uint64_t request_id, uint64_t version,
                                    const NetInfo& info);
 std::string EncodeStatsResponseBody(uint64_t request_id, uint64_t version,

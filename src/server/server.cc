@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "core/dataset.h"
@@ -42,6 +43,62 @@ QueryServer::Connection::~Connection() {
 QueryServer::QueryServer(ShardedGirIndex* index, ServerOptions options)
     : index_(index), options_(std::move(options)), dim_(index->dim()) {
   if (options_.max_batch == 0) options_.max_batch = 1;
+
+  // One queue per registered QoS class plus the trailing default class
+  // that absorbs unregistered tenant ids (weight 1, no limits).
+  tenants_.resize(options_.tenants.size() + 1);
+  const Clock::time_point now = Clock::now();
+  for (size_t i = 0; i < options_.tenants.size(); ++i) {
+    tenants_[i].opts = options_.tenants[i];
+    if (tenants_[i].opts.weight == 0) tenants_[i].opts.weight = 1;
+    if (tenants_[i].opts.rate_qps > 0.0 && tenants_[i].opts.burst <= 0.0) {
+      tenants_[i].opts.burst = tenants_[i].opts.rate_qps;
+    }
+    tenants_[i].tokens = tenants_[i].opts.burst;
+    tenants_[i].last_refill = now;
+    metrics_.RegisterTenant(tenants_[i].opts.id);
+  }
+  tenants_.back().last_refill = now;
+  // DRR quantum base: sized so one full rotation of head positions hands
+  // out about one max_batch of credit across all classes — the deficit,
+  // not the batch cap, is then what binds under contention, which is
+  // what makes served shares track the weights.
+  uint32_t total_weight = 0;
+  for (const TenantQueue& tenant : tenants_) {
+    total_weight += tenant.opts.weight == 0 ? 1 : tenant.opts.weight;
+  }
+  drr_base_ = std::max(1u, options_.max_batch / std::max(1u, total_weight));
+
+  if (options_.enable_cache) {
+    // The fingerprint folds the serving configuration into every cache
+    // key so entries can never be confused across configurations.
+    const uint64_t fingerprint =
+        (uint64_t{index_->shard_count()} << 32) ^ uint64_t{dim_};
+    ResultCacheOptions cache_options;
+    cache_options.max_bytes = options_.cache_bytes;
+    cache_ = std::make_unique<ResultCache>(cache_options, fingerprint,
+                                           &metrics_);
+  }
+}
+
+size_t QueryServer::TenantSlot(uint16_t tenant_id) const {
+  for (size_t i = 0; i + 1 < tenants_.size(); ++i) {
+    if (tenants_[i].opts.id == tenant_id) return i;
+  }
+  return tenants_.size() - 1;
+}
+
+bool QueryServer::ConsumeTokensLocked(TenantQueue& tenant, uint32_t rows) {
+  if (tenant.opts.rate_qps <= 0.0) return true;
+  const Clock::time_point now = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - tenant.last_refill).count();
+  tenant.last_refill = now;
+  tenant.tokens = std::min(tenant.opts.burst,
+                           tenant.tokens + elapsed * tenant.opts.rate_qps);
+  if (tenant.tokens < static_cast<double>(rows)) return false;
+  tenant.tokens -= static_cast<double>(rows);
+  return true;
 }
 
 QueryServer::~QueryServer() { Shutdown(); }
@@ -255,21 +312,29 @@ void QueryServer::HandleMutation(const std::shared_ptr<Connection>& conn,
 
   // No server-side lock: the sharded router serializes the mutation
   // against in-flight queries at its admission point and hands back the
-  // sequence number the mutation was applied at.
+  // sequence number the mutation was applied at, plus the probe data the
+  // cache invalidation pass consumes (DESIGN.md §16) — captured on the
+  // shard's serialized turn, so it belongs to exactly this mutation.
   Status s = Status::OK();
   uint64_t version = 0;
+  uint32_t band = 1;
+  std::vector<double> head;
+  uint32_t* band_slot = cache_ != nullptr ? &band : nullptr;
+  std::vector<double>* head_slot = cache_ != nullptr ? &head : nullptr;
   switch (request.verb) {
     case NetVerb::kInsertPoint:
       s = index_->InsertPoint(
-          ConstRow(request.values.data(), request.values.size()), &version);
+          ConstRow(request.values.data(), request.values.size()), &version,
+          band_slot);
       break;
     case NetVerb::kInsertWeight:
       s = index_->InsertWeight(
-          ConstRow(request.values.data(), request.values.size()), &version);
+          ConstRow(request.values.data(), request.values.size()), &version,
+          head_slot);
       break;
     case NetVerb::kDeletePoint:
       s = index_->DeletePoint(static_cast<VectorId>(request.target_id),
-                              &version);
+                              &version, band_slot);
       break;
     case NetVerb::kDeleteWeight:
       s = index_->DeleteWeight(static_cast<VectorId>(request.target_id),
@@ -283,12 +348,34 @@ void QueryServer::HandleMutation(const std::shared_ptr<Connection>& conn,
       break;
   }
   if (!s.ok()) {
+    // A mutation that failed after admission leaves no trustworthy probe;
+    // drop every cached answer rather than risk a stale extension.
+    if (cache_ != nullptr && s.code() != StatusCode::kInvalidArgument) {
+      cache_->Flush();
+    }
     version = index_version();
     const NetStatus net = s.code() == StatusCode::kInvalidArgument
                               ? NetStatus::kInvalidArgument
                               : NetStatus::kInternal;
     SendError(conn, request.verb, net, request.request_id, s.message());
     return;
+  }
+  if (cache_ != nullptr) {
+    switch (request.verb) {
+      case NetVerb::kInsertPoint:
+      case NetVerb::kDeletePoint:
+        cache_->OnPointMutation(version, band);
+        break;
+      case NetVerb::kInsertWeight:
+        cache_->OnWeightInsert(version, request.values, head);
+        break;
+      case NetVerb::kDeleteWeight:
+        cache_->OnWeightDelete(version, request.target_id);
+        break;
+      default:
+        cache_->OnCompact(version);
+        break;
+    }
   }
   if (request.verb == NetVerb::kCompact) {
     metrics_.RecordCompaction();
@@ -324,68 +411,163 @@ void QueryServer::AdmitQuery(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Cache probe before any QoS charge: a hit costs the server nothing, so
+  // it neither consumes rate-limit tokens nor occupies queue space.
+  if (cache_ != nullptr && TryServeFromCache(conn, request)) return;
+
+  const size_t slot = TenantSlot(request.tenant_id);
+
   PendingGroup group;
   group.conn = conn;
   group.verb = request.verb;
   group.request_id = request.request_id;
   group.k = request.k;
   group.num_queries = request.num_queries;
+  group.tenant_id = request.tenant_id;
   group.values = request.values;
   group.enqueue_time = Clock::now();
-  if (request.deadline_us > 0) {
+  uint32_t deadline_us = request.deadline_us;
+  if (deadline_us == 0) {
+    // Deadline class: the tenant's default applies when the request
+    // carries none of its own.
+    deadline_us = tenants_[slot].opts.default_deadline_us;
+  }
+  if (deadline_us > 0) {
     group.has_deadline = true;
-    group.deadline =
-        group.enqueue_time + std::chrono::microseconds(request.deadline_us);
+    group.deadline = group.enqueue_time + std::chrono::microseconds(deadline_us);
   }
   group.is_rkr = IsRkrVerb(request.verb);
 
   NetStatus admit = NetStatus::kOk;
+  bool rate_limited = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    TenantQueue& tenant = tenants_[slot];
     if (stopping_) {
       admit = NetStatus::kShuttingDown;
       metrics_.RecordRejectedShutdown();
+    } else if (!ConsumeTokensLocked(tenant, group.num_queries)) {
+      admit = NetStatus::kOverloaded;
+      rate_limited = true;
+      metrics_.RecordRejectedOverload();
+      metrics_.RecordTenantRateLimited(request.tenant_id);
     } else if (queued_queries_ + group.num_queries > options_.queue_limit) {
       admit = NetStatus::kOverloaded;
       metrics_.RecordRejectedOverload();
     } else {
       queued_queries_ += group.num_queries;
+      tenant.queued_rows += group.num_queries;
       metrics_.SetQueueDepth(queued_queries_);
-      queue_.push_back(std::move(group));
+      metrics_.RecordTenantAdmitted(request.tenant_id, group.num_queries);
+      metrics_.SetTenantQueueDepth(request.tenant_id, tenant.queued_rows);
+      tenant.q.push_back(std::move(group));
     }
   }
   if (admit == NetStatus::kOk) {
     queue_cv_.notify_all();
   } else {
     SendError(conn, request.verb, admit, request.request_id,
-              admit == NetStatus::kShuttingDown ? "server is draining"
-                                                : "request queue is full");
+              admit == NetStatus::kShuttingDown
+                  ? "server is draining"
+                  : (rate_limited ? "tenant rate limited"
+                                  : "request queue is full"));
   }
+}
+
+bool QueryServer::TryServeFromCache(const std::shared_ptr<Connection>& conn,
+                                    const NetRequest& request) {
+  // One sequence snapshot covers the whole request: every row must hit
+  // with a bracket containing it, so the response is exactly what a
+  // query admitted at this instant would compute (a wire batch with any
+  // missing row executes whole — no partial serving).
+  const uint64_t snap = index_->sequence();
+  const bool is_rkr = IsRkrVerb(request.verb);
+  std::vector<ReverseTopKResult> topk;
+  std::vector<ReverseKRanksResult> kranks;
+  for (uint32_t i = 0; i < request.num_queries; ++i) {
+    ConstRow row(request.values.data() + size_t{i} * dim_, dim_);
+    if (is_rkr) {
+      ReverseKRanksResult one;
+      if (!cache_->LookupKRanks(row, request.k, snap, &one)) return false;
+      kranks.push_back(std::move(one));
+    } else {
+      ReverseTopKResult one;
+      if (!cache_->LookupTopK(row, request.k, snap, &one)) return false;
+      topk.push_back(std::move(one));
+    }
+  }
+  std::string body;
+  if (request.verb == NetVerb::kReverseTopK) {
+    body = EncodeTopKResponseBody(request.request_id, snap, topk[0],
+                                  kNetFlagCacheHit);
+  } else if (request.verb == NetVerb::kReverseTopKBatch) {
+    body = EncodeTopKBatchResponseBody(request.request_id, snap, topk,
+                                       kNetFlagCacheHit);
+  } else if (request.verb == NetVerb::kReverseKRanks) {
+    body = EncodeKRanksResponseBody(request.request_id, snap, kranks[0],
+                                    kNetFlagCacheHit);
+  } else {
+    body = EncodeKRanksBatchResponseBody(request.request_id, snap, kranks,
+                                         kNetFlagCacheHit);
+  }
+  // Count before sending: a client that pipelines STATS right behind
+  // its answered request must already see this request in the counters.
+  metrics_.RecordCacheServed(1, request.num_queries);
+  metrics_.RecordTenantServed(request.tenant_id, request.num_queries);
+  SendBody(conn, body);
+  return true;
 }
 
 size_t QueryServer::MatchingQueriesLocked(bool is_rkr, uint32_t k) const {
   size_t total = 0;
-  for (const PendingGroup& group : queue_) {
-    if (group.is_rkr == is_rkr && group.k == k) total += group.num_queries;
+  for (const TenantQueue& tenant : tenants_) {
+    for (const PendingGroup& group : tenant.q) {
+      if (group.is_rkr == is_rkr && group.k == k) total += group.num_queries;
+    }
   }
   return total;
+}
+
+bool QueryServer::AnyPendingLocked() const {
+  for (const TenantQueue& tenant : tenants_) {
+    if (!tenant.q.empty()) return true;
+  }
+  return false;
 }
 
 void QueryServer::SchedulerLoop() {
   std::unique_lock<std::mutex> lock(queue_mu_);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    queue_cv_.wait(lock, [&] { return stopping_ || AnyPendingLocked(); });
+    if (!AnyPendingLocked()) {
       if (stopping_) return;
       continue;
     }
 
-    // The oldest pending request defines the batch key; younger
-    // compatible requests ride along.
-    const bool is_rkr = queue_.front().is_rkr;
-    const uint32_t k = queue_.front().k;
+    // Deficit round robin across QoS classes: the cursor advances to the
+    // next class with pending work, which heads this round and receives
+    // one quantum of credit per weight unit. Under saturation every
+    // class heads rounds equally often, so served rows are proportional
+    // to the weights; an idle class's deficit resets, so credit never
+    // accumulates into a later burst.
+    size_t head = rr_cursor_;
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+      const size_t t = (rr_cursor_ + i) % tenants_.size();
+      if (!tenants_[t].q.empty()) {
+        head = t;
+        break;
+      }
+    }
+    rr_cursor_ = (head + 1) % tenants_.size();
+    TenantQueue& head_tenant = tenants_[head];
+    head_tenant.deficit += int64_t{drr_base_} * head_tenant.opts.weight;
+
+    // The head class's oldest request defines the batch key; compatible
+    // requests from any class ride along within their deficits.
+    const bool is_rkr = head_tenant.q.front().is_rkr;
+    const uint32_t k = head_tenant.q.front().k;
     const Clock::time_point fill_deadline =
-        queue_.front().enqueue_time +
+        head_tenant.q.front().enqueue_time +
         std::chrono::microseconds(options_.batch_wait_us);
     while (!stopping_ &&
            MatchingQueriesLocked(is_rkr, k) < options_.max_batch) {
@@ -393,26 +575,53 @@ void QueryServer::SchedulerLoop() {
           std::cv_status::timeout) {
         break;
       }
-      if (queue_.empty()) break;
+      if (!AnyPendingLocked()) break;
     }
-    if (queue_.empty()) continue;
+    if (!AnyPendingLocked()) continue;
 
-    // Extract whole groups while the batch has room; the front group is
-    // always taken even if it alone exceeds max_batch (wire batches are
-    // never split).
+    // Extract whole groups while the batch has room, visiting classes in
+    // DWFQ order from the head and charging each class's deficit for the
+    // rows it contributes. The head's front group is always taken even
+    // if it alone exceeds max_batch or its deficit (wire batches are
+    // never split and the head must make progress). With a single
+    // backlogged class the deficits are bypassed and left uncharged —
+    // fair queueing is work-conserving, so weights only bite under
+    // contention.
+    size_t backlogged = 0;
+    for (const TenantQueue& tenant : tenants_) {
+      if (!tenant.q.empty()) ++backlogged;
+    }
+    const bool contended = backlogged > 1;
     std::vector<PendingGroup> batch;
     size_t total = 0;
-    for (auto it = queue_.begin(); it != queue_.end();) {
-      if (it->is_rkr == is_rkr && it->k == k &&
-          (batch.empty() || total + it->num_queries <= options_.max_batch)) {
-        total += it->num_queries;
-        batch.push_back(std::move(*it));
-        it = queue_.erase(it);
-        if (total >= options_.max_batch) break;
-      } else {
-        ++it;
+    for (size_t i = 0; i < tenants_.size() && total < options_.max_batch;
+         ++i) {
+      const size_t ti = (head + i) % tenants_.size();
+      TenantQueue& tenant = tenants_[ti];
+      for (auto it = tenant.q.begin();
+           it != tenant.q.end() && total < options_.max_batch;) {
+        const bool matches = it->is_rkr == is_rkr && it->k == k;
+        const bool fits =
+            batch.empty() || total + it->num_queries <= options_.max_batch;
+        const bool funded =
+            !contended || batch.empty() ||
+            tenant.deficit >= static_cast<int64_t>(it->num_queries);
+        if (matches && fits && funded) {
+          total += it->num_queries;
+          if (contended) {
+            tenant.deficit -= static_cast<int64_t>(it->num_queries);
+          }
+          tenant.queued_rows -= it->num_queries;
+          metrics_.SetTenantQueueDepth(it->tenant_id, tenant.queued_rows);
+          batch.push_back(std::move(*it));
+          it = tenant.q.erase(it);
+        } else {
+          ++it;
+        }
       }
+      if (tenant.q.empty()) tenant.deficit = 0;
     }
+    if (batch.empty()) continue;
     queued_queries_ -= total;
     metrics_.SetQueueDepth(queued_queries_);
 
@@ -470,6 +679,19 @@ void QueryServer::ExecuteBatch(bool is_rkr, uint32_t k,
                           scan_stats.blocks_skipped,
                           scan_stats.blocks_descended);
 
+  // Fill the result cache per query row at the batch's execution version
+  // — each row becomes an independently bracketed entry, so later
+  // requests hit regardless of how they were batched on the wire.
+  if (cache_ != nullptr) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (is_rkr) {
+        cache_->FillKRanks(queries.row(i), k, version, kranks[i]);
+      } else {
+        cache_->FillTopK(queries.row(i), k, version, topk[i]);
+      }
+    }
+  }
+
   size_t offset = 0;
   for (const PendingGroup& group : live) {
     std::string body;
@@ -490,6 +712,7 @@ void QueryServer::ExecuteBatch(bool is_rkr, uint32_t k,
     }
     offset += group.num_queries;
     SendBody(group.conn, body);
+    metrics_.RecordTenantServed(group.tenant_id, group.num_queries);
     metrics_.RecordLatencyUs(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               group.enqueue_time)
@@ -544,6 +767,27 @@ void QueryServer::SendError(const std::shared_ptr<Connection>& conn,
                             uint64_t request_id, const std::string& message) {
   SendBody(conn, EncodeErrorResponseBody(verb, status, request_id,
                                          index_version(), message));
+}
+
+Status WritePortFileAtomic(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write " + tmp + ": " + strerror(errno));
+  }
+  const bool wrote = std::fprintf(f, "%u\n", port) > 0 &&
+                     std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    ::remove(tmp.c_str());
+    return Status::IOError("cannot write " + tmp + ": " + strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = Status::IOError("cannot rename " + tmp + " to " + path +
+                                     ": " + strerror(errno));
+    ::remove(tmp.c_str());
+    return s;
+  }
+  return Status::OK();
 }
 
 }  // namespace gir

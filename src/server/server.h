@@ -16,8 +16,28 @@
 #include "grid/sharded_index.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
+#include "server/result_cache.h"
 
 namespace gir {
+
+/// Per-tenant QoS configuration (DESIGN.md §16). Requests carry a tenant
+/// id in the GIRNET01 header; ids without a TenantOptions entry share a
+/// default class (weight 1, no rate limit, no deadline class).
+struct TenantOptions {
+  uint16_t id = 0;
+  /// Deficit-weighted fair queueing weight (>= 1): under saturation a
+  /// tenant's served share is proportional to its weight.
+  uint32_t weight = 1;
+  /// Token-bucket rate limit in query rows per second; 0 = unlimited.
+  /// Requests beyond it are rejected kOverloaded ("rate limited") at
+  /// admission — an explicit throttle signal, never a silent drop.
+  double rate_qps = 0.0;
+  /// Bucket capacity in rows; <= 0 defaults to one second of rate.
+  double burst = 0.0;
+  /// Deadline class: applied to requests that carry no deadline of their
+  /// own; 0 = none.
+  uint32_t default_deadline_us = 0;
+};
 
 /// Tuning knobs of the query server (DESIGN.md §13).
 struct ServerOptions {
@@ -40,6 +60,14 @@ struct ServerOptions {
   uint32_t queue_limit = 4096;
   /// Connections beyond this are accepted and immediately closed.
   uint32_t max_connections = 256;
+  /// Version-bracketed result cache (server/result_cache.h). Disabled
+  /// caches execute every query; the bench compares both modes.
+  bool enable_cache = true;
+  /// Byte budget of the result cache.
+  size_t cache_bytes = 8u << 20;
+  /// Registered QoS classes; empty = one default class for all traffic
+  /// (scheduling degenerates to the plain FIFO it was before).
+  std::vector<TenantOptions> tenants;
 };
 
 /// QueryServer — a multi-threaded TCP front end over one ShardedGirIndex
@@ -117,12 +145,28 @@ class QueryServer {
     uint64_t request_id = 0;
     uint32_t k = 0;
     uint32_t num_queries = 0;
+    uint16_t tenant_id = 0;
     std::vector<double> values;
     Clock::time_point enqueue_time;
     /// Zero-initialized epoch when the request carries no deadline.
     Clock::time_point deadline{};
     bool has_deadline = false;
     bool is_rkr = false;
+  };
+
+  /// One QoS class: its own FIFO of pending groups plus the deficit
+  /// round-robin and token-bucket state, all under queue_mu_. The last
+  /// element of tenants_ is the default class for unregistered ids.
+  struct TenantQueue {
+    TenantOptions opts;
+    std::deque<PendingGroup> q;
+    size_t queued_rows = 0;
+    /// DWFQ deficit in query rows; topped up by quantum * weight when
+    /// the class heads a scheduling round, reset when its queue empties.
+    int64_t deficit = 0;
+    /// Token bucket (rows); refilled lazily from the elapsed time.
+    double tokens = 0.0;
+    Clock::time_point last_refill;
   };
 
   void AcceptLoop();
@@ -141,8 +185,21 @@ class QueryServer {
 
   /// Executes one micro-batch outside the queue lock: drops expired
   /// groups, runs the batched sweep under the shared index lock, slices
-  /// and sends per-request responses.
+  /// and sends per-request responses (filling the result cache per row).
   void ExecuteBatch(bool is_rkr, uint32_t k, std::vector<PendingGroup> batch);
+
+  /// Tries to serve a validated query request from the result cache at
+  /// one sequence snapshot (all rows must hit). True = response sent.
+  bool TryServeFromCache(const std::shared_ptr<Connection>& conn,
+                         const NetRequest& request);
+
+  /// Index of the tenant class for a request id (the trailing default
+  /// class when unregistered). Constant after Start().
+  size_t TenantSlot(uint16_t tenant_id) const;
+
+  /// Token-bucket admission for `rows` query rows. REQUIRES queue_mu_.
+  /// False = the class is over its rate; the caller rejects kOverloaded.
+  bool ConsumeTokensLocked(TenantQueue& tenant, uint32_t rows);
 
   void SendBody(const std::shared_ptr<Connection>& conn,
                 const std::string& body);
@@ -152,6 +209,8 @@ class QueryServer {
 
   /// Pending query rows compatible with the (is_rkr, k) batch key.
   size_t MatchingQueriesLocked(bool is_rkr, uint32_t k) const;
+  /// Any pending group in any class. REQUIRES queue_mu_.
+  bool AnyPendingLocked() const;
 
   /// Renders the per-shard STATS rows appended after the server metrics.
   std::string RenderShardStats() const;
@@ -164,9 +223,19 @@ class QueryServer {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<PendingGroup> queue_;
+  /// Per-class pending queues (last = default class); scheduled by
+  /// deficit round robin so weights bite under saturation.
+  std::vector<TenantQueue> tenants_;
+  /// DRR cursor: the class that heads the next scheduling round.
+  size_t rr_cursor_ = 0;
+  /// DRR quantum base in rows (quantum = base * weight); sized at
+  /// construction so the deficits, not the batch cap, bind under
+  /// contention.
+  uint32_t drr_base_ = 1;
   size_t queued_queries_ = 0;
   bool stopping_ = false;
+
+  std::unique_ptr<ResultCache> cache_;
 
   std::mutex conn_mu_;
   std::vector<std::thread> reader_threads_;
@@ -180,6 +249,12 @@ class QueryServer {
 
   ServerMetrics metrics_;
 };
+
+/// Writes `port` (decimal, newline-terminated) to `path` atomically:
+/// the contents land in `path + ".tmp"` first and are renamed into place,
+/// so a reader polling the path never observes an empty or partial file —
+/// the contract scripted callers of `gir_serve --port-file` rely on.
+Status WritePortFileAtomic(const std::string& path, uint16_t port);
 
 }  // namespace gir
 

@@ -1,0 +1,219 @@
+// Unit tests of the version-bracketed result cache (server/result_cache.h)
+// against its documented invalidation rules: bracket semantics of
+// lookup/fill, the per-mutation survival probes (point band, weight-insert
+// head certificate, weight-delete id rule, compaction), conservative
+// handling of out-of-order passes, the LRU byte budget, and key
+// separation between query families / k / configuration fingerprints.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_types.h"
+#include "core/types.h"
+#include "server/result_cache.h"
+
+namespace gir {
+namespace {
+
+ConstRow Row(const std::vector<double>& values) {
+  return ConstRow(values.data(), values.size());
+}
+
+ReverseKRanksResult Ranks(std::vector<RankedWeight> entries) {
+  return entries;
+}
+
+TEST(ResultCacheTest, LookupHitsOnlyInsideTheVersionBracket) {
+  ResultCache cache(ResultCacheOptions{}, /*fingerprint=*/1, nullptr);
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  const ReverseTopKResult answer = {3, 7};
+  cache.FillTopK(Row(q), 4, /*version=*/5, answer);
+
+  ReverseTopKResult out;
+  EXPECT_FALSE(cache.LookupTopK(Row(q), 4, 4, &out));  // below v_lo
+  EXPECT_TRUE(cache.LookupTopK(Row(q), 4, 5, &out));
+  EXPECT_EQ(out, answer);
+  EXPECT_FALSE(cache.LookupTopK(Row(q), 4, 6, &out));  // above v_hi
+
+  // Same query, different k or family: distinct keys, no hit.
+  EXPECT_FALSE(cache.LookupTopK(Row(q), 5, 5, &out));
+  ReverseKRanksResult ranks_out;
+  EXPECT_FALSE(cache.LookupKRanks(Row(q), 4, 5, &ranks_out));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCacheTest, PointMutationExtendsOrDropsByBand) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q1 = {1.0};
+  const std::vector<double> q2 = {2.0};
+  cache.FillTopK(Row(q1), /*k=*/4, /*version=*/0, {1});
+  cache.FillKRanks(Row(q2), /*k=*/4, /*version=*/0,
+                   Ranks({{0, 2}, {3, 6}}));  // max stored rank 6
+
+  // band 8: both survive — RTK needs k < band (4 < 8), RKR needs
+  // maxRank + 1 < band (7 < 8).
+  cache.OnPointMutation(/*seq=*/1, /*band=*/8);
+  ReverseTopKResult out;
+  ReverseKRanksResult ranks_out;
+  EXPECT_TRUE(cache.LookupTopK(Row(q1), 4, 1, &out));
+  EXPECT_TRUE(cache.LookupKRanks(Row(q2), 4, 1, &ranks_out));
+
+  // band 7: RTK k=4 < 7 survives; RKR needs maxRank+1 = 7 < 7 -> drops.
+  cache.OnPointMutation(2, 7);
+  EXPECT_TRUE(cache.LookupTopK(Row(q1), 4, 2, &out));
+  EXPECT_FALSE(cache.LookupKRanks(Row(q2), 4, 2, &ranks_out));
+
+  // band 4: RTK k=4 < 4 fails -> drops.
+  cache.OnPointMutation(3, 4);
+  EXPECT_FALSE(cache.LookupTopK(Row(q1), 4, 3, &out));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultCacheTest, WeightInsertUsesTheHeadCertificate) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q = {10.0};  // score under w = {1.0} is 10
+  const std::vector<double> w = {1.0};
+  cache.FillTopK(Row(q), /*k=*/2, /*version=*/0, {1});
+
+  // head[k-1] = head[1] = 3.0 < 10: at least two live points score below
+  // q, so the new weight does not enter its reverse top-2 — survives.
+  cache.OnWeightInsert(1, w, /*head=*/{1.0, 3.0, 5.0});
+  ReverseTopKResult out;
+  EXPECT_TRUE(cache.LookupTopK(Row(q), 2, 1, &out));
+
+  // head[1] = 20 >= 10: the certificate fails, entry drops.
+  cache.OnWeightInsert(2, w, {1.0, 20.0});
+  EXPECT_FALSE(cache.LookupTopK(Row(q), 2, 2, &out));
+
+  // An empty head (probe unavailable) drops everything.
+  cache.FillTopK(Row(q), 2, 2, {1});
+  cache.OnWeightInsert(3, w, {});
+  EXPECT_FALSE(cache.LookupTopK(Row(q), 2, 3, &out));
+
+  // A partial RKR answer (fewer than k entries) holds every live weight,
+  // so a weight insert always changes it.
+  cache.FillKRanks(Row(q), /*k=*/4, 3, Ranks({{0, 1}}));
+  cache.OnWeightInsert(4, w, {1.0, 3.0, 5.0, 7.0});
+  ReverseKRanksResult ranks_out;
+  EXPECT_FALSE(cache.LookupKRanks(Row(q), 4, 4, &ranks_out));
+
+  // A full RKR answer survives when the head certifies the new weight's
+  // rank is at least the stored maximum (here rank >= 2 via head[1] < 10).
+  cache.FillKRanks(Row(q), /*k=*/2, 4, Ranks({{0, 1}, {1, 2}}));
+  cache.OnWeightInsert(5, w, {1.0, 3.0});
+  EXPECT_TRUE(cache.LookupKRanks(Row(q), 2, 5, &ranks_out));
+  EXPECT_EQ(ranks_out.size(), 2u);
+}
+
+TEST(ResultCacheTest, WeightDeleteKeepsOnlyAnswersBelowTheDeletedId) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q1 = {1.0};
+  const std::vector<double> q2 = {2.0};
+  const std::vector<double> q3 = {3.0};
+  cache.FillTopK(Row(q1), 2, 0, {0, 3});  // stores id 3
+  cache.FillTopK(Row(q2), 2, 0, {0, 1});  // all ids < 3
+  cache.FillTopK(Row(q3), 2, 0, {});      // empty answer: vacuously safe
+
+  cache.OnWeightDelete(/*seq=*/1, /*deleted_id=*/3);
+  ReverseTopKResult out;
+  EXPECT_FALSE(cache.LookupTopK(Row(q1), 2, 1, &out));
+  EXPECT_TRUE(cache.LookupTopK(Row(q2), 2, 1, &out));
+  EXPECT_TRUE(cache.LookupTopK(Row(q3), 2, 1, &out));
+}
+
+TEST(ResultCacheTest, CompactionExtendsEveryBracket) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q = {1.0, 1.0};
+  cache.FillKRanks(Row(q), 3, 0, Ranks({{2, 9}}));
+  cache.OnCompact(1);
+  cache.OnCompact(2);
+  ReverseKRanksResult out;
+  EXPECT_TRUE(cache.LookupKRanks(Row(q), 3, 2, &out));
+  EXPECT_EQ(out, Ranks({{2, 9}}));
+  // The bracket covers the whole range, not just the endpoints.
+  EXPECT_TRUE(cache.LookupKRanks(Row(q), 3, 0, &out));
+  EXPECT_TRUE(cache.LookupKRanks(Row(q), 3, 1, &out));
+}
+
+TEST(ResultCacheTest, OutOfOrderPassDropsInsteadOfBridging) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q = {1.0};
+  cache.FillTopK(Row(q), 2, 0, {1});
+  // The pass for sequence 1 never ran (its reader lost the race); the
+  // pass for sequence 2 must not extend across the unobserved gap, no
+  // matter how harmless its own probe says it is.
+  cache.OnPointMutation(/*seq=*/2, /*band=*/UINT32_MAX);
+  ReverseTopKResult out;
+  EXPECT_FALSE(cache.LookupTopK(Row(q), 2, 2, &out));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultCacheTest, PassLeavesEntriesAlreadyAtOrPastTheSequence) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q = {1.0};
+  cache.FillTopK(Row(q), 2, /*version=*/5, {1});
+  // A duplicate / late pass for an already-covered sequence is a no-op.
+  cache.OnPointMutation(/*seq=*/5, /*band=*/0);
+  cache.OnPointMutation(/*seq=*/4, /*band=*/0);
+  ReverseTopKResult out;
+  EXPECT_TRUE(cache.LookupTopK(Row(q), 2, 5, &out));
+}
+
+TEST(ResultCacheTest, LruEvictionHoldsTheByteBudget) {
+  ResultCacheOptions options;
+  options.max_bytes = 1024;
+  ResultCache cache(options, 1, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    const std::vector<double> q = {static_cast<double>(i)};
+    cache.FillTopK(Row(q), 2, 0, {0, 1, 2});
+  }
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+  EXPECT_LT(cache.entries(), 64u);
+  // The most recently filled key is the one guaranteed to survive.
+  const std::vector<double> last = {63.0};
+  ReverseTopKResult out;
+  EXPECT_TRUE(cache.LookupTopK(Row(last), 2, 0, &out));
+}
+
+TEST(ResultCacheTest, RefillAfterInvalidationServesTheNewAnswer) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q = {1.0};
+  cache.FillTopK(Row(q), 2, 0, {1});
+  cache.OnPointMutation(1, /*band=*/1);  // drops the entry
+  cache.FillTopK(Row(q), 2, 1, {1, 4});
+  ReverseTopKResult out;
+  ASSERT_TRUE(cache.LookupTopK(Row(q), 2, 1, &out));
+  EXPECT_EQ(out, ReverseTopKResult({1, 4}));
+  // A stale re-fill at an older version must not clobber the fresh entry.
+  cache.FillTopK(Row(q), 2, 0, {1});
+  ASSERT_TRUE(cache.LookupTopK(Row(q), 2, 1, &out));
+  EXPECT_EQ(out, ReverseTopKResult({1, 4}));
+}
+
+TEST(ResultCacheTest, FlushDropsEverything) {
+  ResultCache cache(ResultCacheOptions{}, 1, nullptr);
+  const std::vector<double> q = {1.0};
+  cache.FillTopK(Row(q), 2, 0, {1});
+  cache.FillKRanks(Row(q), 2, 0, Ranks({{0, 0}}));
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.Flush();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, FingerprintSeparatesServingConfigurations) {
+  // Same queries hashed under different fingerprints must not collide on
+  // identical keys: each cache only answers what it was filled with.
+  ResultCache one_shard(ResultCacheOptions{}, /*fingerprint=*/1, nullptr);
+  ResultCache two_shards(ResultCacheOptions{}, /*fingerprint=*/2, nullptr);
+  const std::vector<double> q = {1.0, 2.0};
+  one_shard.FillTopK(Row(q), 2, 0, {1});
+  ReverseTopKResult out;
+  EXPECT_FALSE(two_shards.LookupTopK(Row(q), 2, 0, &out));
+  EXPECT_TRUE(one_shard.LookupTopK(Row(q), 2, 0, &out));
+}
+
+}  // namespace
+}  // namespace gir

@@ -35,7 +35,8 @@
 //   gir_cli shard info     --index shd.bin
 //   gir_cli shard query    --index shd.bin --type rtk|rkr --k 10
 //                          --query v1,v2,... [--stats]
-//   gir_cli remote ping|info|stats|compact --port P [--host H]
+//   gir_cli remote ping|info|compact --port P [--host H]
+//   gir_cli remote stats   --port P [--host H] [--json]
 //   gir_cli remote query   --port P --type rtk|rkr --k 10 --query v1,v2,...
 //                          [--deadline-us N]
 //   gir_cli remote insert  --port P --kind point|weight --values v1,v2,...
@@ -43,7 +44,10 @@
 //
 // `remote stats` renders the server-wide counters verbatim and folds the
 // `shardN.<key> <value>` rows a sharded server appends into one table
-// row per shard (generation, queue, qps share, p99).
+// row per shard (generation, queue, qps share, p99). With --json the
+// whole snapshot is emitted instead as one single-line JSON object in
+// the BENCH_*.json record shape (bench/bench_common.h), for scripted
+// scrapers.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures. Every
 // failure path prints a one-line `error: ...` to stderr (cli_test asserts
@@ -59,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/thread_pool.h"
 #include "core/topk.h"
 #include "data/generators.h"
@@ -949,6 +954,38 @@ void PrintRemoteStats(const std::string& text) {
   }
 }
 
+/// `remote stats --json`: the snapshot as one single-line JSON object.
+/// Every `key value` line (server-wide, shardN.* and histogram rows
+/// alike) becomes one field; numeric values stay numbers, anything else
+/// is emitted as a string. Reuses the bench JsonRecord so the line shape
+/// (and its provenance stamps) matches the BENCH_*.json logs scrapers
+/// already parse.
+void PrintRemoteStatsJson(const std::string& text) {
+  bench::JsonRecord record("remote_stats", ReadBenchScale());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      continue;
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    const double number = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() && *end == '\0') {
+      record.Add(key, number);
+    } else {
+      record.Add(key, value);
+    }
+  }
+  std::printf("%s\n", record.ToString().c_str());
+}
+
 int RunRemoteQuery(RemoteClient& client, const Args& args) {
   const auto type = args.Get("type");
   const auto k = args.GetSize("k");
@@ -1058,7 +1095,11 @@ int RunRemote(int argc, char** argv) {
   if (action == "stats") {
     auto stats = client.Stats();
     if (!stats.ok()) return FailStatus(stats.status());
-    PrintRemoteStats(stats.value());
+    if (args.Get("json").has_value()) {
+      PrintRemoteStatsJson(stats.value());
+    } else {
+      PrintRemoteStats(stats.value());
+    }
     return 0;
   }
   if (action == "compact") {

@@ -4,7 +4,8 @@
 //             [--shards N] [--host 127.0.0.1] [--port 0] [--port-file FILE]
 //             [--scan-mode wat|blocked|tau] [--partitions N]
 //             [--max-batch N] [--batch-wait-us N] [--queue-limit N]
-//             [--max-connections N]
+//             [--max-connections N] [--no-cache] [--cache-bytes N]
+//             [--tenants ID:WEIGHT[:RATE_QPS[:BURST[:DEADLINE_US]]],...]
 //   gir_serve --index dyn.bin [server flags as above]
 //
 // --shards partitions the preference set over N shard workers (DESIGN.md
@@ -169,6 +170,39 @@ int Run(int argc, char** argv) {
       args.GetSize("queue-limit").value_or(options.queue_limit));
   options.max_connections = static_cast<uint32_t>(
       args.GetSize("max-connections").value_or(options.max_connections));
+  options.enable_cache = !args.Get("no-cache").has_value();
+  options.cache_bytes = args.GetSize("cache-bytes").value_or(
+      options.cache_bytes);
+  if (const auto tenants = args.Get("tenants"); tenants.has_value()) {
+    // --tenants ID:WEIGHT[:RATE_QPS[:BURST[:DEADLINE_US]]][,SPEC...]
+    for (size_t start = 0; start <= tenants->size();) {
+      size_t end = tenants->find(',', start);
+      if (end == std::string::npos) end = tenants->size();
+      const std::string spec = tenants->substr(start, end - start);
+      start = end + 1;
+      if (spec.empty()) continue;
+      TenantOptions tenant;
+      char* cursor = nullptr;
+      tenant.id = static_cast<uint16_t>(
+          std::strtoul(spec.c_str(), &cursor, 10));
+      double fields[4] = {1.0, 0.0, 0.0, 0.0};  // weight, rate, burst, ddl
+      int parsed = 0;
+      while (parsed < 4 && *cursor == ':') {
+        fields[parsed++] = std::strtod(cursor + 1, &cursor);
+      }
+      if (*cursor != '\0' || tenant.id == 0) {
+        return Fail(("--tenants expects ID:WEIGHT[:RATE[:BURST[:DDL_US]]] "
+                     "with a nonzero id, got \"" +
+                     spec + "\"")
+                        .c_str());
+      }
+      tenant.weight = static_cast<uint32_t>(fields[0]);
+      tenant.rate_qps = fields[1];
+      tenant.burst = fields[2];
+      tenant.default_deadline_us = static_cast<uint32_t>(fields[3]);
+      options.tenants.push_back(tenant);
+    }
+  }
 
   QueryServer server(index.value().get(), options);
   const Status started = server.Start();
@@ -183,12 +217,10 @@ int Run(int argc, char** argv) {
   std::fflush(stdout);
 
   if (const auto port_file = args.Get("port-file"); port_file.has_value()) {
-    std::FILE* f = std::fopen(port_file->c_str(), "w");
-    if (f == nullptr) {
-      return FailStatus(Status::IOError("cannot write " + *port_file));
-    }
-    std::fprintf(f, "%u\n", server.port());
-    std::fclose(f);
+    // Atomic (temp + rename): scripts polling the path never read an
+    // empty or partially written port number.
+    const Status written = WritePortFileAtomic(*port_file, server.port());
+    if (!written.ok()) return FailStatus(written);
   }
 
   int sig = 0;
