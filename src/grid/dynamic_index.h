@@ -196,6 +196,14 @@ class DynamicGirIndex {
   Dataset LiveWeights() const;
 
   const DynamicIndexOptions& options() const { return options_; }
+  /// Overrides the generation counter. Used by ShardedGirIndex's
+  /// background-compaction install path: the replacement index is built
+  /// off the scheduler (Build over the marker-time live sets, so it
+  /// starts at generation 0) and must carry the generation a synchronous
+  /// Compact() at the marker would have produced, so that WAL replay —
+  /// which runs that synchronous compaction — converges to the same
+  /// counters as the live install.
+  void OverrideGeneration(uint64_t generation) { generation_ = generation; }
   /// The current generation's base index (over base_points/base_weights,
   /// tombstones not applied).
   const GirIndex& base() const { return *gir_; }

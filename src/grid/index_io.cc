@@ -14,6 +14,7 @@
 #include "grid/block_max.h"
 #include "grid/blocked_scan.h"
 #include "grid/sharded_index.h"
+#include "io/atomic_file.h"
 #include "io/checked_reader.h"
 #include "io/envelope.h"
 
@@ -264,32 +265,34 @@ Result<Dataset> ReadDataset(CheckedReader& reader, size_t dim) {
 }  // namespace
 
 Status SaveGirIndex(const std::string& path, const GirIndex& index) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const GirOptions& options = index.options();
-  WriteU32(out, static_cast<uint32_t>(options.partitions));
-  WriteU32(out, static_cast<uint32_t>(options.bound_mode));
-  WriteU32(out, options.use_domin ? 1 : 0);
-  WriteU32(out, index.grid().point_partitioner().is_uniform() ? 1 : 0);
-  WriteU32(out, index.grid().weight_partitioner().is_uniform() ? 1 : 0);
-  WriteDoubles(out, index.grid().point_partitioner().boundaries());
-  WriteDoubles(out, index.grid().weight_partitioner().boundaries());
-  Status s = WritePacked(out, index.point_cells(),
-                         index.grid().point_partitions());
-  if (!s.ok()) return s;
-  s = WritePacked(out, index.weight_cells(),
-                  index.grid().weight_partitions());
-  if (!s.ok()) return s;
-  // Optional trailing section: the block-max skip structure, so loads can
-  // arm the blocked engine's cursor without an O(n·d) rebuild. Files
-  // written by indexes built with use_block_max off simply end here, and
-  // old readers never looked past the weight cells.
-  if (index.block_max() != nullptr) {
-    SaveBlockMaxToStream(out, *index.block_max());
-  }
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  // Atomic replace (io/atomic_file.h): a crash or full disk mid-save can
+  // never clobber the previous good file — the same contract the other
+  // three Save* entry points below now share.
+  return AtomicWriteFile(path, [&index](std::ostream& out) -> Status {
+    out.write(kMagic, sizeof(kMagic));
+    const GirOptions& options = index.options();
+    WriteU32(out, static_cast<uint32_t>(options.partitions));
+    WriteU32(out, static_cast<uint32_t>(options.bound_mode));
+    WriteU32(out, options.use_domin ? 1 : 0);
+    WriteU32(out, index.grid().point_partitioner().is_uniform() ? 1 : 0);
+    WriteU32(out, index.grid().weight_partitioner().is_uniform() ? 1 : 0);
+    WriteDoubles(out, index.grid().point_partitioner().boundaries());
+    WriteDoubles(out, index.grid().weight_partitioner().boundaries());
+    Status s = WritePacked(out, index.point_cells(),
+                           index.grid().point_partitions());
+    if (!s.ok()) return s;
+    s = WritePacked(out, index.weight_cells(),
+                    index.grid().weight_partitions());
+    if (!s.ok()) return s;
+    // Optional trailing section: the block-max skip structure, so loads
+    // can arm the blocked engine's cursor without an O(n·d) rebuild.
+    // Files written by indexes built with use_block_max off simply end
+    // here, and old readers never looked past the weight cells.
+    if (index.block_max() != nullptr) {
+      SaveBlockMaxToStream(out, *index.block_max());
+    }
+    return Status::OK();
+  });
 }
 
 Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
@@ -401,12 +404,9 @@ Result<GirIndex> LoadGirIndex(const std::string& path, const Dataset& points,
 }
 
 Status SaveTauIndex(const std::string& path, const TauIndex& index) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  Status s = SaveTauIndexToStream(out, index);
-  if (!s.ok()) return s;
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, [&index](std::ostream& out) {
+    return SaveTauIndexToStream(out, index);
+  });
 }
 
 Result<TauIndex> LoadTauIndex(const std::string& path,
@@ -567,12 +567,9 @@ Result<DynamicGirIndex> LoadDynamicIndexFromStream(CheckedReader& reader,
 
 Status SaveDynamicIndex(const std::string& path,
                         const DynamicGirIndex& index) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  Status s = SaveDynamicIndexToStream(out, index);
-  if (!s.ok()) return s;
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, [&index](std::ostream& out) {
+    return SaveDynamicIndexToStream(out, index);
+  });
 }
 
 Result<DynamicGirIndex> LoadDynamicIndex(const std::string& path) {
@@ -590,35 +587,34 @@ Status SaveShardedIndex(const std::string& path,
   // raw shard state, which is only stable once the lanes are empty. A
   // caller racing new mutations against Save gets some consistent prefix.
   index.Quiesce();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  const std::vector<uint32_t> owner = index.WeightOwners();
-  out.write(kShdMagic, sizeof(kShdMagic));
-  WriteU32(out, static_cast<uint32_t>(index.shard_count()));
-  WriteU32(out, static_cast<uint32_t>(index.dim()));
-  WriteU64(out, index.sequence());
-  WriteU64(out, index.weight_insert_counter());
-  WriteU64(out, index.live_point_count());
-  WriteU64(out, owner.size());
-  out.write(reinterpret_cast<const char*>(owner.data()),
-            static_cast<std::streamsize>(owner.size() * sizeof(uint32_t)));
-  // Each shard is one length-prefixed, generation-stamped GIRDYN01 blob —
-  // the same envelope the standalone writer emits, so the shard format
-  // inherits every GIRDYN01 validation on the way back in.
-  for (size_t s = 0; s < index.shard_count(); ++s) {
-    std::ostringstream blob(std::ios::binary);
-    Status st = SaveDynamicIndexToStream(blob, index.shard(s));
-    if (!st.ok()) return st;
-    const std::string bytes = std::move(blob).str();
-    WriteU64(out, bytes.size());
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  }
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, [&index](std::ostream& out) -> Status {
+    const std::vector<uint32_t> owner = index.WeightOwners();
+    out.write(kShdMagic, sizeof(kShdMagic));
+    WriteU32(out, static_cast<uint32_t>(index.shard_count()));
+    WriteU32(out, static_cast<uint32_t>(index.dim()));
+    WriteU64(out, index.sequence());
+    WriteU64(out, index.weight_insert_counter());
+    WriteU64(out, index.live_point_count());
+    WriteU64(out, owner.size());
+    out.write(reinterpret_cast<const char*>(owner.data()),
+              static_cast<std::streamsize>(owner.size() * sizeof(uint32_t)));
+    // Each shard is one length-prefixed, generation-stamped GIRDYN01 blob
+    // — the same envelope the standalone writer emits, so the shard
+    // format inherits every GIRDYN01 validation on the way back in.
+    for (size_t s = 0; s < index.shard_count(); ++s) {
+      std::ostringstream blob(std::ios::binary);
+      Status st = SaveDynamicIndexToStream(blob, index.shard(s));
+      if (!st.ok()) return st;
+      const std::string bytes = std::move(blob).str();
+      WriteU64(out, bytes.size());
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    return Status::OK();
+  });
 }
 
 Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
-    const std::string& path, bool use_workers) {
+    const std::string& path, bool use_workers, bool background_compact) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
   CheckedReader reader(in);
@@ -700,6 +696,7 @@ Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
   options.shards = num_shards;
   options.dynamic = shards[0]->options();
   options.use_workers = use_workers;
+  options.background_compact = background_compact && use_workers;
   auto index = ShardedGirIndex::FromParts(std::move(options),
                                           std::move(shards), std::move(owner),
                                           sequence, insert_counter);

@@ -87,10 +87,12 @@ Status SaveShardedIndex(const std::string& path,
 /// anything is allocated from them; each shard blob is parsed with the
 /// full standalone GIRDYN01 validation battery; and the reassembled
 /// router replays bit-identically to the saved instance. `use_workers`
-/// picks the execution mode of the loaded router (the envelope does not
-/// pin it — it is a deployment choice, not index state).
+/// and `background_compact` pick the execution mode of the loaded router
+/// (the envelope does not pin them — they are deployment choices, not
+/// index state; background compaction requires workers).
 Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
-    const std::string& path, bool use_workers = true);
+    const std::string& path, bool use_workers = true,
+    bool background_compact = false);
 
 }  // namespace gir
 

@@ -62,12 +62,24 @@ struct ShardedGirIndex::ShardTask {
     kDeleteWeight,
     kCompact,
     kQuery,
+    /// Background compaction (worker mode only): the marker's lane turn
+    /// (snapshot + start buffering) and the rebuilt base's install turn.
+    /// These are the only heap-allocated, detached tasks.
+    kBgBegin,
+    kBgInstall,
   };
 
   Kind kind = Kind::kQuery;
   uint64_t seq = 0;
   /// Inline (workers-off) mode: this task's turn on its lane.
   uint64_t ticket = 0;
+  /// Detached tasks (background compaction) have no waiting caller: the
+  /// worker deletes them after their lane turn instead of signaling.
+  bool detached = false;
+  /// kBgInstall: the replacement index the builder produced (null when
+  /// the rebuild failed — the install turn then just discards the
+  /// marker state and the shard keeps its old base).
+  std::unique_ptr<DynamicGirIndex> install;
 
   // Mutation payload.
   const double* row = nullptr;  ///< insert row (borrowed from the caller)
@@ -139,7 +151,39 @@ struct ShardedGirIndex::ShardCounters {
   std::atomic<uint64_t> generation{0};
   std::atomic<uint64_t> live_weights{0};
   std::atomic<bool> dirty{false};
+  std::atomic<uint64_t> bg_compactions{0};
   std::atomic<uint64_t> latency_hist[kLatBuckets] = {};
+};
+
+/// Per-shard background-compaction state. `pending` (marker admitted,
+/// install not yet done — suppresses a second marker) is guarded by
+/// bg_mu_; everything else is touched only by shard s's lane executor,
+/// which runs one task at a time, so it needs no lock.
+struct ShardedGirIndex::BgShard {
+  struct BufferedOp {
+    ShardTask::Kind kind = ShardTask::Kind::kCompact;
+    std::vector<double> row;
+    VectorId id = 0;
+  };
+
+  bool pending = false;
+  /// Set on the marker's lane turn, cleared on the install turn: every
+  /// mutation the lane applies in between is copied here and re-applied
+  /// to the rebuilt base before it is swapped in.
+  bool buffering = false;
+  uint64_t target_generation = 0;
+  std::vector<BufferedOp> ops;
+};
+
+/// One rebuild handed to the builder thread: the marker-time live sets
+/// and the generation a synchronous Compact() at the marker would have
+/// produced (what WAL replay runs, so live and recovered states agree).
+struct ShardedGirIndex::BgJob {
+  size_t shard = 0;
+  Dataset points{0};
+  Dataset weights{0};
+  DynamicIndexOptions options;
+  uint64_t target_generation = 0;
 };
 
 // ---- Construction --------------------------------------------------------
@@ -164,11 +208,13 @@ ShardedGirIndex::ShardedGirIndex(
   to_global_.resize(n);
   lanes_.resize(n);
   counters_.resize(n);
+  bg_.resize(n);
   for (size_t s = 0; s < n; ++s) {
     to_global_[s] =
         std::make_shared<const std::vector<VectorId>>(std::move(maps[s]));
     lanes_[s] = std::make_unique<Lane>();
     counters_[s] = std::make_unique<ShardCounters>();
+    bg_[s] = std::make_unique<BgShard>();
     counters_[s]->applied_seq.store(sequence, std::memory_order_release);
     counters_[s]->generation.store(shards_[s]->generation(),
                                    std::memory_order_relaxed);
@@ -178,9 +224,23 @@ ShardedGirIndex::ShardedGirIndex(
                               std::memory_order_relaxed);
   }
   if (options_.use_workers) StartWorkers();
+  if (options_.background_compact && options_.use_workers) {
+    builder_ = std::thread([this] { BuilderMain(); });
+  }
 }
 
 ShardedGirIndex::~ShardedGirIndex() {
+  if (builder_.joinable()) {
+    // Drain markers/builds/installs while the lanes are still serving,
+    // then stop the (now idle) builder before tearing the lanes down.
+    WaitBackgroundIdle();
+    {
+      std::lock_guard<std::mutex> lk(bg_mu_);
+      bg_stopping_ = true;
+      bg_cv_.notify_all();
+    }
+    builder_.join();
+  }
   Quiesce();
   stopping_.store(true, std::memory_order_release);
   for (auto& lane : lanes_) {
@@ -201,7 +261,15 @@ Result<std::unique_ptr<ShardedGirIndex>> ShardedGirIndex::Build(
   if (points.dim() != weights.dim()) {
     return Status::InvalidArgument("points and weights disagree on dim");
   }
+  if (options.background_compact && !options.use_workers) {
+    return Status::InvalidArgument(
+        "background compaction requires worker lanes");
+  }
   const size_t n = options.shards;
+  DynamicIndexOptions dyn = options.dynamic;
+  // With background merges on, the router owns the compaction policy;
+  // the shards' own synchronous trigger would block the lane.
+  if (options.background_compact) dyn.auto_compact = false;
   std::vector<std::unique_ptr<DynamicGirIndex>> shards;
   shards.reserve(n);
   for (size_t s = 0; s < n; ++s) {
@@ -209,7 +277,7 @@ Result<std::unique_ptr<ShardedGirIndex>> ShardedGirIndex::Build(
     for (size_t i = s; i < weights.size(); i += n) {
       slice.AppendUnchecked(weights.row(i));
     }
-    auto built = DynamicGirIndex::Build(points, slice, options.dynamic);
+    auto built = DynamicGirIndex::Build(points, slice, dyn);
     if (!built.ok()) return built.status();
     shards.push_back(
         std::make_unique<DynamicGirIndex>(std::move(built).value()));
@@ -231,6 +299,10 @@ Result<std::unique_ptr<ShardedGirIndex>> ShardedGirIndex::FromParts(
   const size_t n = shards.size();
   if (n == 0 || n > kMaxShards || n != options.shards) {
     return Status::InvalidArgument("shard count out of range");
+  }
+  if (options.background_compact && !options.use_workers) {
+    return Status::InvalidArgument(
+        "background compaction requires worker lanes");
   }
   const size_t dim = shards[0]->dim();
   const size_t live_points = shards[0]->live_point_count();
@@ -298,13 +370,36 @@ void ShardedGirIndex::WorkerMain(size_t s) {
       ++lane.completed;
       lane.cv.notify_all();
     }
-    task->sync->Done();  // `task` may die once the caller wakes
+    // Read `detached` before Done(): signalling wakes the submitting
+    // thread, whose stack owns non-detached tasks — the task may be gone
+    // the instant Done() returns.
+    const bool detached = task->detached;
+    if (task->sync != nullptr) {
+      task->sync->Done();  // `task` may die once the caller wakes
+    }
+    if (detached) delete task;  // background-compaction turns
   }
 }
 
 // ---- Task execution ------------------------------------------------------
 
 void ShardedGirIndex::RunTask(size_t s, ShardTask& t) const {
+  // Background-compaction turns exist only in worker mode; RunTask's
+  // constness serves the const query fan-outs, so shedding it here is
+  // safe (the lane executor owns the shard's turn either way). Handled
+  // before binding the shard reference: the install turn replaces the
+  // shard object itself.
+  if (t.kind == ShardTask::Kind::kBgBegin ||
+      t.kind == ShardTask::Kind::kBgInstall) {
+    auto* self = const_cast<ShardedGirIndex*>(this);
+    if (t.kind == ShardTask::Kind::kBgBegin) {
+      self->RunBgBegin(s);
+    } else {
+      self->RunBgInstall(s, t);
+    }
+    counters_[s]->applied_seq.store(t.seq, std::memory_order_release);
+    return;
+  }
   using Clock = std::chrono::steady_clock;
   const Clock::time_point t0 = Clock::now();
   DynamicGirIndex& index = *shards_[s];
@@ -353,6 +448,22 @@ void ShardedGirIndex::RunTask(size_t s, ShardTask& t) const {
       if (t.stats_out != nullptr) *t.stats_out = qs;
       break;
     }
+    case ShardTask::Kind::kBgBegin:
+    case ShardTask::Kind::kBgInstall:
+      break;  // handled (and returned) above
+  }
+  if (!is_query && options_.background_compact) {
+    BgShard& bg = *bg_[s];
+    if (bg.buffering) {
+      // A rebuild of this shard is in flight: remember the mutation so
+      // the install turn can re-apply it to the fresh base.
+      BgShard::BufferedOp op;
+      op.kind = t.kind;
+      op.id = t.id;
+      if (t.row != nullptr) op.row.assign(t.row, t.row + t.row_len);
+      bg.ops.push_back(std::move(op));
+    }
+    const_cast<ShardedGirIndex*>(this)->MaybeRequestBackgroundCompact(s);
   }
   const uint64_t us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
@@ -412,6 +523,166 @@ void ShardedGirIndex::Execute(ShardTask* tasks, const size_t* lanes,
   }
 }
 
+// ---- Background compaction (leveled merges; DESIGN.md §17) ---------------
+
+void ShardedGirIndex::MaybeRequestBackgroundCompact(size_t s) {
+  DynamicGirIndex& index = *shards_[s];
+  // The trigger mirrors DynamicGirIndex::MaybeAutoCompact exactly, just
+  // evaluated by the router instead of inside the shard.
+  if (!index.dirty() || index.live_point_count() == 0) return;
+  if (index.ChurnFraction() <= options_.dynamic.compact_threshold) return;
+  {
+    std::lock_guard<std::mutex> blk(bg_mu_);
+    if (bg_[s]->pending) return;  // one rebuild per shard at a time
+  }
+  // Never stall the lane on the admission lock: if it is contended (an
+  // admission, a checkpoint), skip — the next mutation re-checks.
+  std::unique_lock<std::mutex> lk(seq_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;
+  if (paused_ || checkpointing_ || replaying_) return;
+  // Durability first: the marker must be on disk before the compaction
+  // is admitted, like any other mutation. Replay runs a synchronous
+  // shard compaction at exactly this sequence number, which lands on
+  // the same state the install path produces.
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.seq = seq_ + 1;
+    rec.op = WalOp::kCompactShard;
+    rec.shard = static_cast<uint32_t>(s);
+    if (!wal_->Append(static_cast<uint32_t>(s), rec).ok()) return;
+  }
+  ++seq_;
+  {
+    std::lock_guard<std::mutex> blk(bg_mu_);
+    bg_[s]->pending = true;
+    ++bg_inflight_;
+  }
+  auto* task = new ShardTask();
+  task->kind = ShardTask::Kind::kBgBegin;
+  task->detached = true;
+  const size_t lane = s;
+  Admit(task, &lane, 1);
+}
+
+void ShardedGirIndex::RunBgBegin(size_t s) {
+  DynamicGirIndex& index = *shards_[s];
+  BgShard& bg = *bg_[s];
+  // Lane FIFO puts this turn at exactly the marker's admitted prefix.
+  // The abort conditions mirror Compact()'s no-op conditions, so a
+  // replayed marker (a synchronous Compact) is the same no-op.
+  if (!index.dirty() || index.live_point_count() == 0) {
+    std::lock_guard<std::mutex> lk(bg_mu_);
+    bg.pending = false;
+    --bg_inflight_;
+    bg_cv_.notify_all();
+    return;
+  }
+  bg.buffering = true;
+  bg.target_generation = index.generation() + 1;
+  bg.ops.clear();
+  auto job = std::make_unique<BgJob>();
+  job->shard = s;
+  job->points = index.LivePoints();
+  job->weights = index.LiveWeights();
+  job->options = index.options();
+  job->target_generation = bg.target_generation;
+  std::lock_guard<std::mutex> lk(bg_mu_);
+  bg_queue_.push_back(std::move(job));
+  bg_cv_.notify_all();
+}
+
+void ShardedGirIndex::BuilderMain() {
+  for (;;) {
+    std::unique_ptr<BgJob> job;
+    {
+      std::unique_lock<std::mutex> lk(bg_mu_);
+      bg_cv_.wait(lk, [&] { return !bg_queue_.empty() || bg_stopping_; });
+      if (bg_queue_.empty()) return;  // stopping and drained
+      job = std::move(bg_queue_.front());
+      bg_queue_.pop_front();
+    }
+    // The expensive part, off every lane: a full rebuild over the
+    // marker-time live sets — the same rebuild Compact() runs inline.
+    auto built =
+        DynamicGirIndex::Build(job->points, job->weights, job->options);
+    auto* task = new ShardTask();
+    task->kind = ShardTask::Kind::kBgInstall;
+    task->detached = true;
+    if (built.ok()) {
+      task->install =
+          std::make_unique<DynamicGirIndex>(std::move(built).value());
+    }
+    const size_t lane = job->shard;
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    Admit(task, &lane, 1);
+  }
+}
+
+void ShardedGirIndex::RunBgInstall(size_t s, ShardTask& t) {
+  BgShard& bg = *bg_[s];
+  std::unique_ptr<DynamicGirIndex> built = std::move(t.install);
+  bool install = built != nullptr;
+  if (install) {
+    // The fresh base equals a synchronous Compact() at the marker except
+    // for the generation counter, which Build reset to zero; stamp it.
+    built->OverrideGeneration(bg.target_generation);
+    // Re-apply everything this lane absorbed while the build ran. Local
+    // ids stay valid: the new base indexes the marker-time live order —
+    // the same order the old shard had — and both evolve identically.
+    for (const BgShard::BufferedOp& op : bg.ops) {
+      Status st;
+      switch (op.kind) {
+        case ShardTask::Kind::kInsertPoint:
+          st = built->InsertPoint(ConstRow(op.row.data(), op.row.size()));
+          break;
+        case ShardTask::Kind::kDeletePoint:
+          st = built->DeletePoint(op.id);
+          break;
+        case ShardTask::Kind::kInsertWeight:
+          st = built->InsertWeight(ConstRow(op.row.data(), op.row.size()));
+          break;
+        case ShardTask::Kind::kDeleteWeight:
+          st = built->DeleteWeight(op.id);
+          break;
+        case ShardTask::Kind::kCompact:
+          // An explicit compact can legitimately no-op (clean, or no
+          // live points) — the old shard refused it the same way.
+          (void)built->Compact();
+          break;
+        default:
+          break;
+      }
+      if (!st.ok()) {
+        // A healthy buffered op can only fail if old and new state
+        // diverged — keep the old shard rather than install doubt.
+        install = false;
+        break;
+      }
+    }
+  }
+  if (install) {
+    shards_[s] = std::move(built);
+    ShardCounters& c = *counters_[s];
+    c.generation.store(shards_[s]->generation(), std::memory_order_relaxed);
+    c.live_weights.store(shards_[s]->live_weight_count(),
+                         std::memory_order_relaxed);
+    c.dirty.store(shards_[s]->dirty(), std::memory_order_relaxed);
+    c.bg_compactions.fetch_add(1, std::memory_order_relaxed);
+  }
+  bg.buffering = false;
+  bg.ops.clear();
+  bg.ops.shrink_to_fit();
+  std::lock_guard<std::mutex> lk(bg_mu_);
+  bg.pending = false;
+  --bg_inflight_;
+  bg_cv_.notify_all();
+}
+
+void ShardedGirIndex::WaitBackgroundIdle() const {
+  std::unique_lock<std::mutex> lk(bg_mu_);
+  bg_cv_.wait(lk, [&] { return bg_inflight_ == 0; });
+}
+
 // ---- Mutations -----------------------------------------------------------
 
 namespace {
@@ -458,7 +729,16 @@ Status ShardedGirIndex::InsertPoint(ConstRow p, uint64_t* seq_out,
   }
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lk(seq_mu_);
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_; });
+    if (wal_ != nullptr) {
+      WalRecord rec;
+      rec.seq = seq_ + 1;
+      rec.op = WalOp::kInsertPoint;
+      rec.row.assign(p.data(), p.data() + p.size());
+      Status wst = wal_->AppendAll(rec);
+      if (!wst.ok()) return wst;
+    }
     ++seq_;
     ++live_points_;
     seq = Admit(tasks.data(), lanes.data(), n);
@@ -493,9 +773,18 @@ Status ShardedGirIndex::DeletePoint(VectorId live_id, uint64_t* seq_out,
   }
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lk(seq_mu_);
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_; });
     if (live_id >= live_points_) {
       return Status::InvalidArgument("point live id out of range");
+    }
+    if (wal_ != nullptr) {
+      WalRecord rec;
+      rec.seq = seq_ + 1;
+      rec.op = WalOp::kDeletePoint;
+      rec.id = live_id;
+      Status wst = wal_->AppendAll(rec);
+      if (!wst.ok()) return wst;
     }
     ++seq_;
     --live_points_;
@@ -532,8 +821,19 @@ Status ShardedGirIndex::InsertWeight(ConstRow w, uint64_t* seq_out,
   size_t lane = 0;
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lk(seq_mu_);
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_; });
     const size_t s = insert_counter_ % shards_.size();
+    if (wal_ != nullptr) {
+      // Weight mutations land only in the owner lane's file: each lane's
+      // log alone carries everything its shard needs.
+      WalRecord rec;
+      rec.seq = seq_ + 1;
+      rec.op = WalOp::kInsertWeight;
+      rec.row.assign(w.data(), w.data() + w.size());
+      Status wst = wal_->Append(static_cast<uint32_t>(s), rec);
+      if (!wst.ok()) return wst;
+    }
     ++insert_counter_;
     ++seq_;
     lane = s;
@@ -560,12 +860,23 @@ Status ShardedGirIndex::DeleteWeight(VectorId live_id, uint64_t* seq_out) {
   size_t lane = 0;
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lk(seq_mu_);
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_; });
     if (live_id >= owner_.size()) {
       return Status::InvalidArgument("weight live id out of range");
     }
     const size_t s = owner_[live_id];
     lane = s;
+    if (wal_ != nullptr) {
+      // Logged with the *global* live id: replay re-routes through this
+      // method and recomputes the local id from its own maps.
+      WalRecord rec;
+      rec.seq = seq_ + 1;
+      rec.op = WalOp::kDeleteWeight;
+      rec.id = live_id;
+      Status wst = wal_->Append(static_cast<uint32_t>(s), rec);
+      if (!wst.ok()) return wst;
+    }
     // The shard-local id is this weight's position in its owner's
     // local→global map (strictly increasing, so a binary search).
     const std::vector<VectorId>& map = *to_global_[s];
@@ -610,7 +921,15 @@ Status ShardedGirIndex::Compact(uint64_t* seq_out) {
   }
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lk(seq_mu_);
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_; });
+    if (wal_ != nullptr) {
+      WalRecord rec;
+      rec.seq = seq_ + 1;
+      rec.op = WalOp::kCompact;
+      Status wst = wal_->AppendAll(rec);
+      if (!wst.ok()) return wst;
+    }
     ++seq_;
     seq = Admit(tasks.data(), lanes.data(), n);
   }
@@ -620,6 +939,150 @@ Status ShardedGirIndex::Compact(uint64_t* seq_out) {
     if (!st.ok()) return st;
   }
   return Status::OK();
+}
+
+Status ShardedGirIndex::CompactShard(uint32_t shard, uint64_t* seq_out) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  ShardTask task;
+  Status status;
+  OpSync sync;
+  sync.remaining = 1;
+  task.kind = ShardTask::Kind::kCompact;
+  task.status_out = &status;
+  task.sync = &sync;
+  size_t lane = shard;
+  uint64_t seq = 0;
+  {
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_; });
+    ++seq_;
+    seq = Admit(&task, &lane, 1);
+  }
+  Execute(&task, &lane, 1, sync);
+  if (seq_out != nullptr) *seq_out = seq;
+  // A clean shard compacts as a no-op (OK, no generation bump) and a
+  // shard with no live points refuses unchanged — exactly the cases
+  // where the live marker aborted its rebuild, so neither fails replay.
+  (void)status;
+  return Status::OK();
+}
+
+// ---- Durability: replay, attach, checkpoint ------------------------------
+
+Status ShardedGirIndex::ReplayWal(const std::vector<WalRecord>& records) {
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    if (wal_ != nullptr) {
+      return Status::InvalidArgument("ReplayWal must run before AttachWal");
+    }
+    replaying_ = true;
+  }
+  Status st = Status::OK();
+  const uint64_t base = sequence();
+  uint64_t expected = base + 1;
+  for (const WalRecord& r : records) {
+    if (r.seq <= base) continue;  // already folded into the snapshot
+    if (r.seq != expected) {
+      st = Status::Corruption("wal sequence gap: expected " +
+                              std::to_string(expected) + ", found " +
+                              std::to_string(r.seq));
+      break;
+    }
+    // Replayed ops route through the public mutation methods — the same
+    // admission bookkeeping, shard routing, and lane application as the
+    // original execution, minus the (unattached) WAL.
+    uint64_t seq_done = 0;
+    Status op_st;
+    switch (r.op) {
+      case WalOp::kInsertPoint:
+        op_st = InsertPoint(ConstRow(r.row.data(), r.row.size()), &seq_done);
+        break;
+      case WalOp::kDeletePoint:
+        op_st = DeletePoint(static_cast<VectorId>(r.id), &seq_done);
+        break;
+      case WalOp::kInsertWeight:
+        op_st = InsertWeight(ConstRow(r.row.data(), r.row.size()), &seq_done);
+        break;
+      case WalOp::kDeleteWeight:
+        op_st = DeleteWeight(static_cast<VectorId>(r.id), &seq_done);
+        break;
+      case WalOp::kCompact:
+        op_st = Compact(&seq_done);
+        break;
+      case WalOp::kCompactShard:
+        op_st = CompactShard(r.shard, &seq_done);
+        break;
+    }
+    if (seq_done != r.seq) {
+      // Rejected at admission: a healthy log replays cleanly on top of
+      // its snapshot, so the two disagree.
+      st = Status::Corruption(
+          "wal replay rejected op at seq " + std::to_string(r.seq) + ": " +
+          (op_st.ok() ? std::string("sequence mismatch") : op_st.message()));
+      break;
+    }
+    // Op-level failures past admission (an explicit Compact with no live
+    // points) consumed their sequence number on the live path too — the
+    // state advanced identically, so replay continues through them.
+    expected = r.seq + 1;
+  }
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    replaying_ = false;
+  }
+  return st;
+}
+
+Status ShardedGirIndex::AttachWal(std::unique_ptr<ShardedWal> wal) {
+  if (wal == nullptr) {
+    return Status::InvalidArgument("AttachWal requires a log");
+  }
+  if (wal->shard_count() != shards_.size()) {
+    return Status::InvalidArgument(
+        "wal shard count " + std::to_string(wal->shard_count()) +
+        " does not match index shard count " +
+        std::to_string(shards_.size()));
+  }
+  std::lock_guard<std::mutex> lk(seq_mu_);
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("a wal is already attached");
+  }
+  wal_ = std::move(wal);
+  return Status::OK();
+}
+
+Status ShardedGirIndex::Checkpoint(
+    const std::function<Status()>& save_snapshot) {
+  {
+    std::unique_lock<std::mutex> lk(seq_mu_);
+    pause_cv_.wait(lk, [&] { return !paused_ && !checkpointing_; });
+    checkpointing_ = true;  // no new background markers from here on
+  }
+  // Drain in-flight background compactions first: a snapshot bracketing
+  // a pending marker would drop the marker at rotation yet still see its
+  // install land afterwards, and a later crash would then recover to a
+  // different generation than the live process reached.
+  WaitBackgroundIdle();
+  uint64_t snapshot_seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    paused_ = true;  // mutations admitted before this drain via Quiesce
+    snapshot_seq = seq_;
+  }
+  Quiesce();
+  // Queries keep being admitted and answered throughout the save: they
+  // only read shard state, which nothing mutates while paused.
+  Status st = save_snapshot();
+  if (st.ok() && wal_ != nullptr) st = wal_->Rotate(snapshot_seq);
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    paused_ = false;
+    checkpointing_ = false;
+  }
+  pause_cv_.notify_all();
+  return st;
 }
 
 // ---- Queries -------------------------------------------------------------
@@ -911,6 +1374,7 @@ std::vector<ShardStatsSnapshot> ShardedGirIndex::ShardStats() const {
     snap.points_streamed =
         c.points_streamed.load(std::memory_order_relaxed);
     snap.points_skipped = c.points_skipped.load(std::memory_order_relaxed);
+    snap.bg_compactions = c.bg_compactions.load(std::memory_order_relaxed);
     snap.latency_p50_us = LatQuantile(c.latency_hist, 0.50);
     snap.latency_p99_us = LatQuantile(c.latency_hist, 0.99);
     {

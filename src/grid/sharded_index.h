@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "core/query_types.h"
 #include "core/status.h"
 #include "grid/dynamic_index.h"
+#include "io/wal.h"
 
 namespace gir {
 
@@ -34,6 +36,15 @@ struct ShardedIndexOptions {
   /// no cross-shard thread parallelism, no handoff latency. Useful on
   /// single-core hosts and for deterministic debugging.
   bool use_workers = true;
+  /// Leveled background merges (DESIGN.md §17). When a shard's churn
+  /// crosses dynamic.compact_threshold after a mutation, the router logs
+  /// a compaction marker, snapshots the shard's live sets, and rebuilds
+  /// them on a dedicated builder thread while the lane keeps serving;
+  /// the finished base is installed on the lane's turn with the interim
+  /// mutations re-applied. Never blocks a lane or the admission lock.
+  /// Build() then disables the shards' own synchronous auto_compact (the
+  /// router owns the policy). Requires use_workers.
+  bool background_compact = false;
 };
 
 /// Point-in-time view of one shard for STATS / monitoring.
@@ -50,6 +61,7 @@ struct ShardStatsSnapshot {
   uint64_t latency_p50_us = 0;   ///< per-task latency quantiles
   uint64_t latency_p99_us = 0;
   double qps_share = 0.0;        ///< this shard's fraction of all queries
+  uint64_t bg_compactions = 0;   ///< background rebuilds installed
 };
 
 /// ShardedGirIndex — scale-out router over N weight shards, each wrapping
@@ -168,6 +180,40 @@ class ShardedGirIndex {
       const Dataset& queries, size_t k, QueryStats* stats = nullptr,
       uint64_t* executed_seq = nullptr) const;
 
+  // ---- Durability: write-ahead log + checkpoint (DESIGN.md §17) --------
+
+  /// Replays recovered WAL records on top of the current state. Records
+  /// at or below sequence() (already contained in the loaded snapshot)
+  /// are skipped; the rest must form the contiguous admitted suffix — a
+  /// sequence gap, or an op the router rejects at admission, means the
+  /// log and the snapshot disagree and is Status::Corruption. Must run
+  /// before AttachWal: replayed ops are not re-logged. Background
+  /// compaction markers replay as synchronous shard compactions, which
+  /// is state-equivalent to the live install path, generation counters
+  /// included.
+  Status ReplayWal(const std::vector<WalRecord>& records);
+
+  /// Attaches the write-ahead log. Every subsequently admitted mutation
+  /// is appended — and per the log's fsync policy made durable — under
+  /// the admission lock *before* any shard applies it; a failed append
+  /// rejects the mutation with nothing applied and no sequence number
+  /// consumed. The log's shard count must match shard_count().
+  Status AttachWal(std::unique_ptr<ShardedWal> wal);
+  /// The attached log; null when running without durability.
+  const ShardedWal* wal() const { return wal_.get(); }
+
+  /// Checkpoint: drains background compactions, pauses mutation
+  /// admission (queries keep flowing), quiesces the lanes, runs
+  /// `save_snapshot` — the caller persists the GIRSHD01 snapshot, e.g.
+  /// via SaveShardedIndex — and on success rotates the WAL to the
+  /// snapshot's sequence. A crash between the save and the rotation is
+  /// safe: recovery skips records the snapshot already contains.
+  Status Checkpoint(const std::function<Status()>& save_snapshot);
+
+  /// Blocks until no background compaction is marked, building, or
+  /// awaiting install. Orderly shutdown and deterministic tests use it.
+  void WaitBackgroundIdle() const;
+
   // ---- Introspection ---------------------------------------------------
 
   size_t dim() const { return dim_; }
@@ -202,6 +248,8 @@ class ShardedGirIndex {
   struct OpSync;
   struct Lane;
   struct ShardCounters;
+  struct BgShard;
+  struct BgJob;
 
   ShardedGirIndex(ShardedIndexOptions options, size_t dim,
                   std::vector<std::unique_ptr<DynamicGirIndex>> shards,
@@ -223,6 +271,22 @@ class ShardedGirIndex {
   void Execute(ShardTask* tasks, const size_t* lanes, size_t count,
                OpSync& sync) const;
 
+  /// Replay of a background-compaction marker: a synchronous Compact()
+  /// on one shard, admitted at its own sequence number like any op.
+  Status CompactShard(uint32_t shard, uint64_t* seq_out);
+  /// Called on shard s's lane turn after a mutation applied: admits (and
+  /// WAL-logs) a background-compaction marker when churn crosses the
+  /// threshold. Non-blocking — try-locks the admission mutex and gives
+  /// up rather than stall the lane; the next mutation re-checks.
+  void MaybeRequestBackgroundCompact(size_t s);
+  /// The marker task's lane turn: snapshot the live sets, start
+  /// buffering interim mutations, hand the rebuild to the builder.
+  void RunBgBegin(size_t s);
+  /// The install task's lane turn: stamp the rebuilt index with the
+  /// marker generation, re-apply the buffered mutations, swap it in.
+  void RunBgInstall(size_t s, ShardTask& t);
+  void BuilderMain();
+
   ShardedIndexOptions options_;
   size_t dim_;
   std::vector<std::unique_ptr<DynamicGirIndex>> shards_;
@@ -242,6 +306,31 @@ class ShardedGirIndex {
   /// the shared_ptrs at admission; weight mutations publish fresh
   /// vectors, so an in-flight merge keeps the cut it was admitted at.
   std::vector<std::shared_ptr<const std::vector<VectorId>>> to_global_;
+
+  /// Attached under seq_mu_ once at startup; appends happen inside the
+  /// admission critical sections, so they are serialized by seq_mu_.
+  std::unique_ptr<ShardedWal> wal_;
+  /// Admission-side durability flags, all under seq_mu_. `paused_` gates
+  /// mutation admission during a checkpoint's snapshot+rotate window;
+  /// `checkpointing_` additionally suppresses new background markers
+  /// while the checkpoint drains the old ones; `replaying_` marks WAL
+  /// replay (markers come from the log, not from churn triggers).
+  bool paused_ = false;
+  bool checkpointing_ = false;
+  bool replaying_ = false;
+  mutable std::condition_variable pause_cv_;
+
+  /// Background-compaction machinery. bg_[s] holds the per-shard marker
+  /// state (pending flag under bg_mu_; the op buffer is touched only by
+  /// shard s's lane executor). The builder thread rebuilds snapshots off
+  /// the lanes and admits install tasks.
+  std::vector<std::unique_ptr<BgShard>> bg_;
+  mutable std::mutex bg_mu_;
+  mutable std::condition_variable bg_cv_;
+  std::deque<std::unique_ptr<BgJob>> bg_queue_;
+  size_t bg_inflight_ = 0;
+  bool bg_stopping_ = false;
+  std::thread builder_;
 
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::unique_ptr<ShardCounters>> counters_;

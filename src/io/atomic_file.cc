@@ -1,0 +1,93 @@
+#include "io/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace gir {
+
+namespace {
+
+/// fsync via a fresh O_RDONLY descriptor: the ofstream API never exposes
+/// its fd, and fsync on any descriptor of the file flushes the same inode.
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for " + path + ": " +
+                           std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for directory " + dir + ": " +
+                           std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(
+    const std::string& path,
+    const std::function<Status(std::ostream&)>& write_fn) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open for write: " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    Status written = write_fn(out);
+    if (written.ok()) {
+      out.flush();
+      if (!out) written = Status::IOError("short write: " + tmp);
+    }
+    if (!written.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return written;
+    }
+  }
+  Status synced = FsyncPath(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = Status::IOError("cannot rename " + tmp + " to " + path +
+                                     ": " + std::strerror(errno));
+    std::remove(tmp.c_str());
+    return s;
+  }
+  // The rename is only durable once the directory entry is; without this a
+  // crash can resurrect the old file, which is safe but surprising — with
+  // it, a returned OK means the new contents are on disk under `path`.
+  return FsyncParentDir(path);
+}
+
+}  // namespace gir

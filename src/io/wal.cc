@@ -1,0 +1,472 @@
+#include "io/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "io/atomic_file.h"
+
+namespace gir {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'G', 'I', 'R', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8;
+constexpr size_t kFrameHeaderBytes = 4 + 4;  // payload_len + crc32
+/// Mirrors the GIRNET01 frame cap: no legitimate record (one mutation
+/// row) comes near it, and the reader rejects larger claims before
+/// allocating.
+constexpr uint32_t kMaxWalRecordBytes = 16u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the zlib polynomial,
+/// table-driven, dependency-free.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static const bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+uint32_t Crc32(const char* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Decodes one CRC-verified payload. Any shape violation — unknown op,
+/// short fields, trailing bytes, a zero-dimension row — is Corruption:
+/// the CRC already passed, so the writer never produced these bytes.
+Result<WalRecord> DecodePayload(const char* p, size_t size) {
+  if (size < 8 + 1) return Status::Corruption("wal payload too short");
+  WalRecord record;
+  record.seq = GetU64(p);
+  const uint8_t op = static_cast<uint8_t>(p[8]);
+  const char* body = p + 9;
+  const size_t body_size = size - 9;
+  switch (op) {
+    case static_cast<uint8_t>(WalOp::kInsertPoint):
+    case static_cast<uint8_t>(WalOp::kInsertWeight): {
+      if (body_size < 4) {
+        return Status::Corruption("wal insert payload too short");
+      }
+      const uint32_t dim = GetU32(body);
+      if (dim == 0 || dim > (1u << 16) ||
+          body_size != 4 + size_t{dim} * sizeof(double)) {
+        return Status::Corruption("wal insert payload shape mismatch");
+      }
+      record.row.resize(dim);
+      std::memcpy(record.row.data(), body + 4, dim * sizeof(double));
+      break;
+    }
+    case static_cast<uint8_t>(WalOp::kDeletePoint):
+    case static_cast<uint8_t>(WalOp::kDeleteWeight): {
+      if (body_size != 8) {
+        return Status::Corruption("wal delete payload shape mismatch");
+      }
+      record.id = GetU64(body);
+      break;
+    }
+    case static_cast<uint8_t>(WalOp::kCompact): {
+      if (body_size != 0) {
+        return Status::Corruption("wal compact payload shape mismatch");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalOp::kCompactShard): {
+      if (body_size != 4) {
+        return Status::Corruption("wal shard-compact payload shape mismatch");
+      }
+      record.shard = GetU32(body);
+      break;
+    }
+    default:
+      return Status::Corruption("unknown wal op " + std::to_string(op));
+  }
+  record.op = static_cast<WalOp>(op);
+  return record;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open for read: " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return bytes;
+}
+
+/// Two records claiming the same admission sequence (a point op's
+/// broadcast copies across lanes) must be byte-identical.
+bool SameRecord(const WalRecord& a, const WalRecord& b) {
+  return a.seq == b.seq && a.op == b.op && a.id == b.id &&
+         a.shard == b.shard && a.row == b.row;
+}
+
+}  // namespace
+
+std::string WalFileName(uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%04u.log", shard);
+  return name;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  PutU64(&payload, record.seq);
+  payload.push_back(static_cast<char>(record.op));
+  switch (record.op) {
+    case WalOp::kInsertPoint:
+    case WalOp::kInsertWeight:
+      PutU32(&payload, static_cast<uint32_t>(record.row.size()));
+      payload.append(reinterpret_cast<const char*>(record.row.data()),
+                     record.row.size() * sizeof(double));
+      break;
+    case WalOp::kDeletePoint:
+    case WalOp::kDeleteWeight:
+      PutU64(&payload, record.id);
+      break;
+    case WalOp::kCompact:
+      break;
+    case WalOp::kCompactShard:
+      PutU32(&payload, record.shard);
+      break;
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+Result<WalFileState> ReadWalFile(const std::string& path) {
+  auto bytes = ReadWholeFile(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& buf = bytes.value();
+  // The header is written via temp + rename before the first append, so a
+  // real WAL file never has a partial one — a short or mismatched header
+  // is not a crash artifact, it is corruption.
+  if (buf.size() < kHeaderBytes ||
+      std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("bad wal header: " + path);
+  }
+  WalFileState state;
+  state.shard_index = GetU32(buf.data() + 8);
+  state.shard_count = GetU32(buf.data() + 12);
+  state.snapshot_sequence = GetU64(buf.data() + 16);
+  if (state.shard_count == 0 || state.shard_index >= state.shard_count) {
+    return Status::Corruption("wal shard header out of range: " + path);
+  }
+  size_t offset = kHeaderBytes;
+  uint64_t prev_seq = 0;
+  bool have_prev = false;
+  while (offset < buf.size()) {
+    const size_t remaining = buf.size() - offset;
+    // Torn-tail rule: a frame whose header or claimed payload extends to
+    // (or past) end-of-file is the crash-mid-append case — drop it and
+    // everything the writer never completed.
+    if (remaining < kFrameHeaderBytes) {
+      state.torn_tail = true;
+      break;
+    }
+    const uint32_t len = GetU32(buf.data() + offset);
+    const uint32_t crc = GetU32(buf.data() + offset + 4);
+    if (uint64_t{len} > remaining - kFrameHeaderBytes) {
+      state.torn_tail = true;
+      break;
+    }
+    if (len > kMaxWalRecordBytes) {
+      // The claimed payload fits in the file yet exceeds any frame the
+      // writer emits: bytes after it exist, so this is not a torn tail.
+      return Status::Corruption("wal record exceeds the frame cap: " + path);
+    }
+    const char* payload = buf.data() + offset + kFrameHeaderBytes;
+    if (Crc32(payload, len) != crc) {
+      if (offset + kFrameHeaderBytes + len == buf.size()) {
+        // The failing record is the last thing in the file: a crash in
+        // the middle of its write. Truncate and continue.
+        state.torn_tail = true;
+        break;
+      }
+      return Status::Corruption("wal record crc mismatch before the tail: " +
+                                path);
+    }
+    auto record = DecodePayload(payload, len);
+    if (!record.ok()) {
+      return Status::Corruption(record.status().message() + ": " + path);
+    }
+    if (have_prev && record.value().seq <= prev_seq) {
+      return Status::Corruption("wal sequence not increasing: " + path);
+    }
+    prev_seq = record.value().seq;
+    have_prev = true;
+    state.records.push_back(std::move(record).value());
+    offset += kFrameHeaderBytes + len;
+  }
+  state.valid_bytes = offset;
+  return state;
+}
+
+Result<WalDirState> ReadWalDir(const std::string& dir) {
+  WalDirState state;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return state;  // nothing to replay
+    return Status::IOError("cannot open wal directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    // Only complete per-shard logs; stray ".tmp" files from an
+    // interrupted create/rotate are ignored (their rename never landed).
+    unsigned shard = 0;
+    char tail = 0;
+    if (std::sscanf(name.c_str(), "wal-%4u.lo%c", &shard, &tail) == 2 &&
+        tail == 'g' && name == WalFileName(shard)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    auto file = ReadWalFile(dir + "/" + name);
+    if (!file.ok()) return file.status();
+    state.files.push_back(std::move(file).value());
+  }
+  if (state.files.empty()) return state;
+  const uint32_t shard_count = state.files.front().shard_count;
+  for (const WalFileState& file : state.files) {
+    if (file.shard_count != shard_count) {
+      return Status::Corruption("wal files disagree on shard count: " + dir);
+    }
+  }
+  // Merge the lanes by admission sequence. Broadcast records (point ops,
+  // kCompact) appear once per lane with identical bytes; collapse them.
+  std::vector<const WalRecord*> all;
+  for (const WalFileState& file : state.files) {
+    for (const WalRecord& record : file.records) all.push_back(&record);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const WalRecord* a, const WalRecord* b) {
+                     return a->seq < b->seq;
+                   });
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (!state.records.empty() &&
+        state.records.back().seq == all[i]->seq) {
+      if (!SameRecord(state.records.back(), *all[i])) {
+        return Status::Corruption(
+            "wal lanes disagree at sequence " +
+            std::to_string(all[i]->seq) + ": " + dir);
+      }
+      continue;
+    }
+    state.records.push_back(*all[i]);
+  }
+  if (!state.records.empty()) state.max_seq = state.records.back().seq;
+  return state;
+}
+
+ShardedWal::ShardedWal(std::string dir, FsyncPolicy policy)
+    : dir_(std::move(dir)), policy_(policy) {}
+
+ShardedWal::~ShardedWal() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+namespace {
+
+/// Creates a fresh WAL file via temp + rename: the header either lands
+/// whole or the file does not exist — ReadWalFile never has to tolerate
+/// a partial header.
+Status CreateWalFile(const std::string& path, uint32_t shard,
+                     uint32_t shard_count, uint64_t snapshot_sequence) {
+  return AtomicWriteFile(
+      path, [&](std::ostream& out) -> Status {
+        out.write(kWalMagic, sizeof(kWalMagic));
+        out.write(reinterpret_cast<const char*>(&shard), sizeof(shard));
+        out.write(reinterpret_cast<const char*>(&shard_count),
+                  sizeof(shard_count));
+        out.write(reinterpret_cast<const char*>(&snapshot_sequence),
+                  sizeof(snapshot_sequence));
+        return Status::OK();
+      });
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedWal>> ShardedWal::Open(
+    const std::string& dir, uint32_t shard_count, uint64_t snapshot_sequence,
+    FsyncPolicy policy) {
+  if (shard_count == 0) {
+    return Status::InvalidArgument("wal shard count must be positive");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create wal directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  std::unique_ptr<ShardedWal> wal(new ShardedWal(dir, policy));
+  wal->snapshot_sequence_.store(snapshot_sequence, std::memory_order_relaxed);
+  wal->fds_.assign(shard_count, -1);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    const std::string path = dir + "/" + WalFileName(s);
+    uint64_t resume_at = 0;
+    auto existing = ReadWalFile(path);
+    if (existing.ok()) {
+      if (existing.value().shard_count != shard_count ||
+          existing.value().shard_index != s) {
+        return Status::Corruption("wal file belongs to a different layout: " +
+                                  path);
+      }
+      resume_at = existing.value().valid_bytes;
+    } else if (existing.status().code() == StatusCode::kNotFound) {
+      Status created =
+          CreateWalFile(path, s, shard_count, snapshot_sequence);
+      if (!created.ok()) return created;
+      resume_at = kHeaderBytes;
+    } else {
+      // Hard corruption: the caller replays (and surfaces) it first; an
+      // Open that silently truncated a corrupt middle would lose
+      // acknowledged mutations.
+      return existing.status();
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IOError("cannot open wal file " + path + ": " +
+                             std::strerror(errno));
+    }
+    // Drop any torn tail so the next append starts at the valid prefix.
+    if (::ftruncate(fd, static_cast<off_t>(resume_at)) != 0 ||
+        ::lseek(fd, 0, SEEK_END) < 0) {
+      const Status s = Status::IOError("cannot resume wal file " + path +
+                                       ": " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    wal->fds_[s] = fd;
+  }
+  return wal;
+}
+
+Status ShardedWal::AppendToFd(size_t slot, const std::string& frame) {
+  const int fd = fds_[slot];
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal append failed for " + dir_ + "/" +
+                             WalFileName(static_cast<uint32_t>(slot)) + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (policy_ == FsyncPolicy::kAlways) {
+    if (::fdatasync(fd) != 0) {
+      return Status::IOError("wal fdatasync failed for " + dir_ + ": " +
+                             std::strerror(errno));
+    }
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedWal::Append(uint32_t shard, const WalRecord& record) {
+  if (shard >= fds_.size()) {
+    return Status::InvalidArgument("wal shard out of range");
+  }
+  return AppendToFd(shard, EncodeWalRecord(record));
+}
+
+Status ShardedWal::AppendAll(const WalRecord& record) {
+  const std::string frame = EncodeWalRecord(record);
+  for (size_t s = 0; s < fds_.size(); ++s) {
+    Status appended = AppendToFd(s, frame);
+    if (!appended.ok()) return appended;
+  }
+  return Status::OK();
+}
+
+Status ShardedWal::Rotate(uint64_t snapshot_sequence) {
+  for (size_t s = 0; s < fds_.size(); ++s) {
+    const std::string path = dir_ + "/" + WalFileName(s);
+    // The fresh header replaces the old log atomically; a crash between
+    // files leaves some lanes rotated and some stale, which is safe —
+    // stale records predate the snapshot and replay skips them.
+    Status created =
+        CreateWalFile(path, static_cast<uint32_t>(s),
+                      static_cast<uint32_t>(fds_.size()), snapshot_sequence);
+    if (!created.ok()) return created;
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IOError("cannot reopen wal file " + path + ": " +
+                             std::strerror(errno));
+    }
+    ::close(fds_[s]);
+    fds_[s] = fd;
+  }
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_sequence_.store(snapshot_sequence, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+WalStats ShardedWal::stats() const {
+  WalStats stats;
+  stats.records = records_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.syncs = syncs_.load(std::memory_order_relaxed);
+  stats.rotations = rotations_.load(std::memory_order_relaxed);
+  stats.snapshot_sequence =
+      snapshot_sequence_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace gir

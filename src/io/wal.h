@@ -1,0 +1,173 @@
+#ifndef GIR_IO_WAL_H_
+#define GIR_IO_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace gir {
+
+/// Write-ahead log for the dynamic index (DESIGN.md §17).
+///
+/// One GIRWAL01 file per shard lane (`wal-NNNN.log` under the WAL
+/// directory). Every admitted mutation is appended — and, under the
+/// default fsync policy, made durable — *before* it is applied, carrying
+/// the router's admission sequence number, so a crashed server replays
+/// the log on top of the last snapshot to the exact pre-crash state.
+///
+/// File layout (little-endian throughout, like every GIR envelope):
+///
+///   magic "GIRWAL01" (8)  u32 shard_index  u32 shard_count
+///   u64 snapshot_sequence                                 — 24-byte header
+///   repeated records:  u32 payload_len  u32 crc32(payload)  payload
+///   payload:           u64 seq  u8 op  op-specific fields
+///
+/// The header's snapshot_sequence records which admitted prefix the
+/// sibling snapshot file already contains; it is informational (the
+/// snapshot's own sequence is authoritative at recovery). Records are
+/// CRC'd GIRNET01-style length-prefixed frames; the reader applies the
+/// LevelDB torn-tail rule — a failing record that extends to end-of-file
+/// is a crash mid-append and is dropped (truncate-and-continue), a
+/// failing record with bytes after it is hard Corruption.
+
+/// Mutation kinds a WAL record can carry. Values are the on-disk bytes.
+enum class WalOp : uint8_t {
+  kInsertPoint = 1,
+  kDeletePoint = 2,
+  kInsertWeight = 3,
+  kDeleteWeight = 4,
+  /// Explicit full compaction (broadcast to every shard).
+  kCompact = 5,
+  /// Background-compaction begin marker for one shard: replay runs a
+  /// synchronous shard compaction at exactly this admission point, which
+  /// is state-equivalent to the live install path (DESIGN.md §17).
+  kCompactShard = 6,
+};
+
+/// One decoded WAL record. Which fields are meaningful depends on `op`:
+/// `row` for inserts, `id` for deletes, `shard` for kCompactShard.
+struct WalRecord {
+  uint64_t seq = 0;
+  WalOp op = WalOp::kCompact;
+  std::vector<double> row;
+  uint64_t id = 0;
+  uint32_t shard = 0;
+};
+
+/// When appends reach the disk. kAlways fdatasyncs every record before
+/// the mutation is acknowledged (full durability); kNever leaves flushing
+/// to the kernel (contents survive a process crash, not a power cut).
+enum class FsyncPolicy : uint8_t { kAlways = 0, kNever = 1 };
+
+/// The parse of one WAL file: its header, every intact record, and what
+/// the torn-tail rule decided about the end of the file.
+struct WalFileState {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
+  uint64_t snapshot_sequence = 0;
+  std::vector<WalRecord> records;
+  /// Byte length of the valid prefix; anything past it is a torn tail
+  /// from a crash mid-append and is discarded on re-open.
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Frames one record (length + CRC + payload), ready to append.
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Parses one GIRWAL01 file. Torn tails truncate-and-continue (reported
+/// via WalFileState); corruption before the tail — a CRC mismatch with
+/// bytes following, an undecodable payload, a non-increasing sequence —
+/// is a hard Status::Corruption. A missing file is Status::NotFound.
+Result<WalFileState> ReadWalFile(const std::string& path);
+
+/// The merged parse of a WAL directory: per-file states plus all records
+/// across shard lanes, merged by admission sequence with broadcast
+/// duplicates (point ops and kCompact land in every lane) collapsed —
+/// exactly the admitted mutation suffix to replay on top of a snapshot.
+struct WalDirState {
+  std::vector<WalFileState> files;
+  std::vector<WalRecord> records;
+  uint64_t max_seq = 0;
+};
+
+/// Reads every `wal-NNNN.log` under `dir`. An absent or empty directory
+/// yields an empty state (nothing to replay); files disagreeing on shard
+/// count, or duplicate sequence numbers that decode to different
+/// mutations, are Corruption.
+Result<WalDirState> ReadWalDir(const std::string& dir);
+
+/// The per-shard WAL file name within a WAL directory ("wal-0003.log").
+std::string WalFileName(uint32_t shard);
+
+/// Counters a ShardedWal exposes for STATS / the bench. Loaded with
+/// relaxed atomics; appends themselves are externally serialized by the
+/// router's admission lock.
+struct WalStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t syncs = 0;
+  uint64_t rotations = 0;
+  uint64_t snapshot_sequence = 0;
+};
+
+/// Append handle over the per-shard WAL files of one directory.
+///
+/// Open() creates missing files (header written via temp + rename, so a
+/// crash never leaves a partial header) and resumes existing ones at
+/// their valid prefix (torn tails are truncated away). Appends are
+/// written fully and fdatasync'd per the policy before returning OK — a
+/// failed append means the mutation must be rejected, nothing applied.
+///
+/// Thread-safety: Append/AppendAll/Rotate must be externally serialized
+/// (the router calls them under its admission mutex); stats() is safe
+/// from any thread.
+class ShardedWal {
+ public:
+  static Result<std::unique_ptr<ShardedWal>> Open(
+      const std::string& dir, uint32_t shard_count,
+      uint64_t snapshot_sequence, FsyncPolicy policy);
+
+  ~ShardedWal();
+  ShardedWal(const ShardedWal&) = delete;
+  ShardedWal& operator=(const ShardedWal&) = delete;
+
+  /// Appends to one shard lane's file (weight mutations, shard markers).
+  Status Append(uint32_t shard, const WalRecord& record);
+  /// Appends to every lane (point mutations, explicit compactions), so
+  /// each lane's file alone carries everything its shard needs.
+  Status AppendAll(const WalRecord& record);
+
+  /// Starts fresh logs stamped with `snapshot_sequence` (each file
+  /// replaced atomically). Called after a snapshot completes — the WAL
+  /// truncation half of a checkpoint. Records already applied before the
+  /// snapshot are dropped with it.
+  Status Rotate(uint64_t snapshot_sequence);
+
+  WalStats stats() const;
+  const std::string& dir() const { return dir_; }
+  FsyncPolicy policy() const { return policy_; }
+  size_t shard_count() const { return fds_.size(); }
+
+ private:
+  ShardedWal(std::string dir, FsyncPolicy policy);
+
+  Status AppendToFd(size_t slot, const std::string& frame);
+
+  std::string dir_;
+  FsyncPolicy policy_;
+  std::vector<int> fds_;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> rotations_{0};
+  std::atomic<uint64_t> snapshot_sequence_{0};
+};
+
+}  // namespace gir
+
+#endif  // GIR_IO_WAL_H_

@@ -49,8 +49,16 @@ Result<RemoteClient> RemoteClient::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("unparseable host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  // Retry EINTR: a signal landing mid-handshake is not a failed connect.
+  // (EINTR after the SYN went out means the connect continues in the
+  // background; retrying then yields success or EISCONN on this fd.)
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && (errno == EINTR || errno == EALREADY));
+  if (rc < 0 && errno == EISCONN) rc = 0;
+  if (rc < 0) {
     const Status s =
         Status::IOError(std::string("connect: ") + strerror(errno));
     ::close(fd);

@@ -415,9 +415,7 @@ bool DecodeResponseBody(const std::string& body, NetResponse* out) {
 
 // ---- Framed socket IO --------------------------------------------------
 
-namespace {
-
-Status WriteFull(int fd, const char* data, size_t size) {
+Status SendAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
     const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
@@ -430,9 +428,7 @@ Status WriteFull(int fd, const char* data, size_t size) {
   return Status::OK();
 }
 
-/// Reads exactly `size` bytes. `*clean_eof` is set when zero bytes were
-/// read before anything arrived (a peer closing between frames).
-Status ReadFull(int fd, char* data, size_t size, bool* clean_eof) {
+Status RecvAll(int fd, char* data, size_t size, bool* clean_eof) {
   if (clean_eof != nullptr) *clean_eof = false;
   size_t got = 0;
   while (got < size) {
@@ -453,14 +449,12 @@ Status ReadFull(int fd, char* data, size_t size, bool* clean_eof) {
   return Status::OK();
 }
 
-}  // namespace
-
-Status SendMagic(int fd) { return WriteFull(fd, kNetMagic, sizeof(kNetMagic)); }
+Status SendMagic(int fd) { return SendAll(fd, kNetMagic, sizeof(kNetMagic)); }
 
 Status ExpectMagic(int fd) {
   char magic[8];
   bool clean_eof = false;
-  Status s = ReadFull(fd, magic, sizeof(magic), &clean_eof);
+  Status s = RecvAll(fd, magic, sizeof(magic), &clean_eof);
   if (!s.ok()) return s;
   if (std::memcmp(magic, kNetMagic, sizeof(kNetMagic)) != 0) {
     return Status::Corruption("bad protocol magic");
@@ -474,21 +468,21 @@ Status SendFrame(int fd, const std::string& body) {
   frame.reserve(sizeof(len) + body.size());
   frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
   frame.append(body);
-  return WriteFull(fd, frame.data(), frame.size());
+  return SendAll(fd, frame.data(), frame.size());
 }
 
 Status ReadFrameBody(int fd, uint32_t max_bytes, std::string* body) {
   uint32_t len = 0;
   bool clean_eof = false;
   Status s =
-      ReadFull(fd, reinterpret_cast<char*>(&len), sizeof(len), &clean_eof);
+      RecvAll(fd, reinterpret_cast<char*>(&len), sizeof(len), &clean_eof);
   if (!s.ok()) return s;
   if (len > max_bytes) {
     return Status::Corruption("frame length exceeds the limit");
   }
   body->resize(len);
   if (len == 0) return Status::OK();
-  return ReadFull(fd, body->data(), len, nullptr);
+  return RecvAll(fd, body->data(), len, nullptr);
 }
 
 }  // namespace gir

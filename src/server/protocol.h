@@ -174,6 +174,18 @@ bool DecodeResponseBody(const std::string& body, NetResponse* out);
 
 // ---- Framed socket IO --------------------------------------------------
 
+/// Writes exactly `size` bytes, absorbing EINTR and partial sends (a
+/// signal or a full socket buffer mid-frame never tears a frame). Sent
+/// with MSG_NOSIGNAL, so a dead peer surfaces as IOError, not SIGPIPE.
+/// Every framed write below goes through this.
+Status SendAll(int fd, const char* data, size_t size);
+
+/// Reads exactly `size` bytes, absorbing EINTR and short reads.
+/// `*clean_eof` (nullable) is set when the peer closed before the first
+/// byte arrived — a clean close at a frame boundary (NotFound); EOF
+/// mid-buffer is Corruption. Every framed read below goes through this.
+Status RecvAll(int fd, char* data, size_t size, bool* clean_eof = nullptr);
+
 /// Writes the 8-byte protocol magic / validates it on the server side.
 Status SendMagic(int fd);
 Status ExpectMagic(int fd);

@@ -14,6 +14,7 @@
 
 #include "core/dataset.h"
 #include "core/types.h"
+#include "io/atomic_file.h"
 
 namespace gir {
 
@@ -745,11 +746,25 @@ std::string QueryServer::RenderShardStats() const {
     append(s, "mutations", snap.mutations);
     append(s, "points_streamed", snap.points_streamed);
     append(s, "points_skipped", snap.points_skipped);
+    append(s, "bg_compactions", snap.bg_compactions);
     append(s, "latency_p50_us_le", snap.latency_p50_us);
     append(s, "latency_p99_us_le", snap.latency_p99_us);
     std::snprintf(line, sizeof(line), "shard%zu.qps_share_pct %.1f\n", s,
                   snap.qps_share * 100.0);
     out.append(line);
+  }
+  if (const ShardedWal* wal = index_->wal(); wal != nullptr) {
+    const WalStats ws = wal->stats();
+    const auto wrow = [&](const char* key, uint64_t value) {
+      std::snprintf(line, sizeof(line), "wal.%s %llu\n", key,
+                    static_cast<unsigned long long>(value));
+      out.append(line);
+    };
+    wrow("records", ws.records);
+    wrow("bytes", ws.bytes);
+    wrow("syncs", ws.syncs);
+    wrow("rotations", ws.rotations);
+    wrow("snapshot_seq", ws.snapshot_sequence);
   }
   return out;
 }
@@ -770,24 +785,10 @@ void QueryServer::SendError(const std::shared_ptr<Connection>& conn,
 }
 
 Status WritePortFileAtomic(const std::string& path, uint16_t port) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("cannot write " + tmp + ": " + strerror(errno));
-  }
-  const bool wrote = std::fprintf(f, "%u\n", port) > 0 &&
-                     std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-  if (std::fclose(f) != 0 || !wrote) {
-    ::remove(tmp.c_str());
-    return Status::IOError("cannot write " + tmp + ": " + strerror(errno));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const Status s = Status::IOError("cannot rename " + tmp + " to " + path +
-                                     ": " + strerror(errno));
-    ::remove(tmp.c_str());
-    return s;
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, [port](std::ostream& out) -> Status {
+    out << static_cast<unsigned>(port) << "\n";
+    return Status::OK();
+  });
 }
 
 }  // namespace gir

@@ -6,12 +6,26 @@
 //             [--max-batch N] [--batch-wait-us N] [--queue-limit N]
 //             [--max-connections N] [--no-cache] [--cache-bytes N]
 //             [--tenants ID:WEIGHT[:RATE_QPS[:BURST[:DEADLINE_US]]],...]
+//             [--wal-dir DIR] [--fsync-policy always|never]
+//             [--checkpoint-ops N] [--no-background-compact]
 //   gir_serve --index dyn.bin [server flags as above]
 //
 // --shards partitions the preference set over N shard workers (DESIGN.md
 // §15); answers are bit-identical to --shards 1. --index accepts both a
 // GIRDYN01 file (served as one shard) and a GIRSHD01 sharded envelope
 // (the persisted shard count wins over --shards).
+//
+// --wal-dir turns on durability (DESIGN.md §17): every admitted mutation
+// is appended to a per-shard write-ahead log — fsync'd per
+// --fsync-policy (default always) — before it is applied, and on startup
+// the server recovers to the exact pre-crash state: it loads
+// DIR/snapshot.gir when present (falling back to the cold --index /
+// --points source, which must then be byte-identical across restarts)
+// and replays the WAL suffix on top. --checkpoint-ops N snapshots and
+// truncates the log after every N admitted mutations; a final checkpoint
+// always runs on clean shutdown. Background compaction (on by default
+// with --shards workers; --no-background-compact restores synchronous
+// folding) rebuilds churned shards off the serving lanes.
 //
 // Binds (port 0 = ephemeral; the bound port is printed and, with
 // --port-file, written to a file for scripted callers), serves until
@@ -22,11 +36,14 @@
 
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include <cstring>
 #include <fstream>
@@ -36,6 +53,7 @@
 #include "grid/index_io.h"
 #include "grid/sharded_index.h"
 #include "io/dataset_io.h"
+#include "io/wal.h"
 #include "server/server.h"
 
 namespace gir {
@@ -104,8 +122,39 @@ int Run(int argc, char** argv) {
     return FailStatus(Status::Internal("pthread_sigmask failed"));
   }
 
+  const auto wal_dir = args.Get("wal-dir");
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  if (const auto fp = args.Get("fsync-policy"); fp.has_value()) {
+    if (*fp == "always") {
+      fsync_policy = FsyncPolicy::kAlways;
+    } else if (*fp == "never") {
+      fsync_policy = FsyncPolicy::kNever;
+    } else {
+      return Fail("--fsync-policy must be always or never");
+    }
+  }
+  const bool background = !args.Get("no-background-compact").has_value();
+  const std::string snapshot_path =
+      wal_dir.has_value() ? *wal_dir + "/snapshot.gir" : std::string();
+
   Result<std::unique_ptr<ShardedGirIndex>> index = Status::Internal("unset");
-  if (const auto index_path = args.Get("index"); index_path.has_value()) {
+  bool recovered_from_snapshot = false;
+  if (wal_dir.has_value()) {
+    // Recovery base: the last checkpoint's snapshot when one exists. The
+    // cold source below is only the base on a first boot (or before the
+    // first checkpoint), where the WAL still holds the whole op suffix.
+    std::ifstream probe(snapshot_path, std::ios::binary);
+    if (probe.good()) {
+      index = LoadShardedIndex(snapshot_path, /*use_workers=*/true,
+                               background);
+      if (!index.ok()) return FailStatus(index.status());
+      recovered_from_snapshot = true;
+    }
+  }
+  if (recovered_from_snapshot) {
+    // Base loaded; WAL replay happens after this if/else ladder.
+  } else if (const auto index_path = args.Get("index");
+             index_path.has_value()) {
     // Sniff the envelope magic: a GIRSHD01 file carries its own shard
     // count; a GIRDYN01 file is wrapped as a one-shard router.
     char magic[8] = {};
@@ -116,12 +165,13 @@ int Run(int argc, char** argv) {
       }
     }
     if (std::memcmp(magic, "GIRSHD01", sizeof(magic)) == 0) {
-      index = LoadShardedIndex(*index_path);
+      index = LoadShardedIndex(*index_path, /*use_workers=*/true, background);
     } else {
       auto dynamic = LoadDynamicIndex(*index_path);
       if (!dynamic.ok()) return FailStatus(dynamic.status());
       ShardedIndexOptions sharded;
       sharded.shards = 1;
+      sharded.background_compact = background;
       sharded.dynamic = dynamic.value().options();
       const uint64_t live_weights = dynamic.value().live_weight_count();
       std::vector<std::unique_ptr<DynamicGirIndex>> parts;
@@ -144,6 +194,7 @@ int Run(int argc, char** argv) {
     if (!weights.ok()) return FailStatus(weights.status());
     ShardedIndexOptions options;
     options.shards = args.GetSize("shards").value_or(1);
+    options.background_compact = background;
     options.dynamic.gir.partitions = args.GetSize("partitions").value_or(32);
     const std::string mode = args.Get("scan-mode").value_or("blocked");
     if (mode == "wat") {
@@ -158,6 +209,30 @@ int Run(int argc, char** argv) {
     index = ShardedGirIndex::Build(points.value(), weights.value(), options);
   }
   if (!index.ok()) return FailStatus(index.status());
+
+  if (wal_dir.has_value()) {
+    // Replay the admitted suffix the logs carry beyond the base, then
+    // open the per-shard logs for appending (truncating any torn tail a
+    // crash mid-append left) and attach them — from here on, every
+    // admitted mutation hits the disk before any shard applies it.
+    auto dir_state = ReadWalDir(*wal_dir);
+    if (!dir_state.ok()) return FailStatus(dir_state.status());
+    const Status replayed = index.value()->ReplayWal(dir_state.value().records);
+    if (!replayed.ok()) return FailStatus(replayed);
+    auto wal = ShardedWal::Open(
+        *wal_dir, static_cast<uint32_t>(index.value()->shard_count()),
+        index.value()->sequence(), fsync_policy);
+    if (!wal.ok()) return FailStatus(wal.status());
+    const Status attached = index.value()->AttachWal(std::move(wal).value());
+    if (!attached.ok()) return FailStatus(attached);
+    std::printf(
+        "wal: recovered to seq %llu from %s (%s + %zu log records)\n",
+        static_cast<unsigned long long>(index.value()->sequence()),
+        wal_dir->c_str(),
+        recovered_from_snapshot ? "snapshot" : "cold source",
+        dir_state.value().records.size());
+    std::fflush(stdout);
+  }
 
   ServerOptions options;
   options.host = args.Get("host").value_or(options.host);
@@ -223,12 +298,53 @@ int Run(int argc, char** argv) {
     if (!written.ok()) return FailStatus(written);
   }
 
+  // --checkpoint-ops N: a maintenance thread snapshots and truncates the
+  // WAL once N mutations accumulated past the last checkpoint. Mutations
+  // pause only for the snapshot write itself; queries keep flowing.
+  const size_t checkpoint_ops = args.GetSize("checkpoint-ops").value_or(0);
+  std::atomic<bool> stop_checkpointer{false};
+  std::thread checkpointer;
+  ShardedGirIndex* const idx = index.value().get();
+  if (wal_dir.has_value() && checkpoint_ops > 0) {
+    checkpointer = std::thread([idx, &stop_checkpointer, checkpoint_ops,
+                                snapshot_path] {
+      uint64_t last = idx->sequence();
+      while (!stop_checkpointer.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const uint64_t seq = idx->sequence();
+        if (seq - last < checkpoint_ops) continue;
+        const Status st = idx->Checkpoint(
+            [&] { return SaveShardedIndex(snapshot_path, *idx); });
+        if (st.ok()) {
+          last = seq;
+        } else {
+          std::fprintf(stderr, "warning: checkpoint failed: %s\n",
+                       st.ToString().c_str());
+        }
+      }
+    });
+  }
+
   int sig = 0;
   sigwait(&mask, &sig);
   std::printf("received %s, draining\n",
               sig == SIGTERM ? "SIGTERM" : "SIGINT");
   std::fflush(stdout);
+  if (checkpointer.joinable()) {
+    stop_checkpointer.store(true, std::memory_order_release);
+    checkpointer.join();
+  }
   server.Shutdown();
+  if (wal_dir.has_value()) {
+    // Final checkpoint: the next boot loads the snapshot and replays an
+    // empty log. A SIGKILL skips this — that is what the WAL is for.
+    const Status st =
+        idx->Checkpoint([&] { return SaveShardedIndex(snapshot_path, *idx); });
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   std::printf("drained cleanly at index version %llu\n%s",
               static_cast<unsigned long long>(server.index_version()),
               server.metrics().Render().c_str());
