@@ -613,29 +613,31 @@ Status SaveShardedIndex(const std::string& path,
   });
 }
 
-Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
-    const std::string& path, bool use_workers, bool background_compact) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  CheckedReader reader(in);
+namespace {
+
+/// Parses the GIRSHD01 header + owner map (everything before the shard
+/// blobs), with the same validation battery LoadShardedIndex has always
+/// applied — shared by the full loader, the manifest loader and the
+/// single-lane extractor.
+Status ReadShardedHeader(CheckedReader& reader, const std::string& path,
+                         ShardedManifest* out) {
   if (!reader.ReadMagic(kShdMagic)) {
     return Status::Corruption("bad sharded index header: " + path);
   }
-  uint32_t num_shards = 0, dim = 0;
-  uint64_t sequence = 0, insert_counter = 0, live_points = 0;
   uint64_t num_weights = 0;
-  if (!reader.ReadU32(&num_shards) || !reader.ReadU32(&dim) ||
-      !reader.ReadU64(&sequence) || !reader.ReadU64(&insert_counter) ||
-      !reader.ReadU64(&live_points) || !reader.ReadU64(&num_weights)) {
+  if (!reader.ReadU32(&out->shard_count) || !reader.ReadU32(&out->dim) ||
+      !reader.ReadU64(&out->sequence) ||
+      !reader.ReadU64(&out->insert_counter) ||
+      !reader.ReadU64(&out->live_points) || !reader.ReadU64(&num_weights)) {
     return Status::Corruption("truncated sharded index header: " + path);
   }
-  if (num_shards == 0 || num_shards > ShardedGirIndex::kMaxShards) {
+  if (out->shard_count == 0 || out->shard_count > ShardedGirIndex::kMaxShards) {
     return Status::Corruption("shard count out of range: " + path);
   }
-  if (dim == 0 || dim > (1u << 16)) {
+  if (out->dim == 0 || out->dim > (1u << 16)) {
     return Status::Corruption("dimension out of range: " + path);
   }
-  if (insert_counter < num_weights) {
+  if (out->insert_counter < num_weights) {
     return Status::Corruption("weight insert counter below the live count: " +
                               path);
   }
@@ -644,15 +646,33 @@ Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
       !owner_budget.FitsFile()) {
     return Status::Corruption("owner map exceeds the file size: " + path);
   }
-  std::vector<uint32_t> owner;
-  if (!reader.ReadArray(static_cast<size_t>(num_weights), &owner)) {
+  if (!reader.ReadArray(static_cast<size_t>(num_weights), &out->owner)) {
     return Status::Corruption("truncated owner map: " + path);
   }
-  for (uint32_t s : owner) {
-    if (s >= num_shards) {
+  for (uint32_t s : out->owner) {
+    if (s >= out->shard_count) {
       return Status::Corruption("weight owner out of range: " + path);
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
+    const std::string& path, bool use_workers, bool background_compact) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  CheckedReader reader(in);
+  ShardedManifest manifest;
+  Status header = ReadShardedHeader(reader, path, &manifest);
+  if (!header.ok()) return header;
+  const uint32_t num_shards = manifest.shard_count;
+  const uint32_t dim = manifest.dim;
+  const uint64_t sequence = manifest.sequence;
+  const uint64_t insert_counter = manifest.insert_counter;
+  const uint64_t live_points = manifest.live_points;
+  std::vector<uint32_t> owner = std::move(manifest.owner);
   std::vector<std::unique_ptr<DynamicGirIndex>> shards;
   shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
@@ -705,6 +725,57 @@ Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
                               index.status().message() + "): " + path);
   }
   return index;
+}
+
+Result<ShardedManifest> LoadShardedManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  CheckedReader reader(in);
+  ShardedManifest manifest;
+  Status header = ReadShardedHeader(reader, path, &manifest);
+  if (!header.ok()) return header;
+  return manifest;
+}
+
+Result<DynamicGirIndex> LoadShardLane(const std::string& path,
+                                      uint32_t lane) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  CheckedReader reader(in);
+  ShardedManifest manifest;
+  Status header = ReadShardedHeader(reader, path, &manifest);
+  if (!header.ok()) return header;
+  if (lane >= manifest.shard_count) {
+    return Status::InvalidArgument(
+        "shard lane " + std::to_string(lane) + " out of range (file has " +
+        std::to_string(manifest.shard_count) + " shards): " + path);
+  }
+  for (uint32_t s = 0; s <= lane; ++s) {
+    uint64_t blob_bytes = 0;
+    if (!reader.ReadU64(&blob_bytes)) {
+      return Status::Corruption("truncated shard blob header: " + path);
+    }
+    PayloadBudget blob_budget(reader);
+    if (!blob_budget.Add(blob_bytes, 1) || !blob_budget.FitsFile()) {
+      return Status::Corruption("shard blob exceeds the file size: " + path);
+    }
+    std::vector<char> bytes;
+    if (!reader.ReadArray(static_cast<size_t>(blob_bytes), &bytes)) {
+      return Status::Corruption("truncated shard blob: " + path);
+    }
+    if (s < lane) continue;  // a preceding lane: skipped by its length
+    std::istringstream blob_in(std::string(bytes.data(), bytes.size()),
+                               std::ios::binary);
+    CheckedReader blob_reader(blob_in);
+    auto loaded = LoadDynamicIndexFromStream(blob_reader, /*embedded=*/false);
+    if (!loaded.ok()) {
+      return WithPath(Status::Corruption("shard " + std::to_string(s) + ": " +
+                                         loaded.status().message()),
+                      path);
+    }
+    return loaded;
+  }
+  return Status::Internal("unreachable");
 }
 
 }  // namespace gir

@@ -94,6 +94,32 @@ Result<std::unique_ptr<ShardedGirIndex>> LoadShardedIndex(
     const std::string& path, bool use_workers = true,
     bool background_compact = false);
 
+/// The GIRSHD01 header + owner map without the shard blobs — what the
+/// distributed router needs to boot: the cluster shape (shard count, dim,
+/// sequence, insert counter) and the weight→owner assignment, leaving the
+/// per-shard payloads to the shard servers that own them.
+struct ShardedManifest {
+  uint32_t shard_count = 0;
+  uint32_t dim = 0;
+  uint64_t sequence = 0;
+  /// Round-robin weight insert counter (>= owner.size(); the difference
+  /// is deleted weights).
+  uint64_t insert_counter = 0;
+  uint64_t live_points = 0;
+  /// Owning shard id per global live weight, in global live order.
+  std::vector<uint32_t> owner;
+};
+
+/// Reads the GIRSHD01 header + owner map of `path`, validated exactly as
+/// LoadShardedIndex validates them, without touching the shard blobs.
+Result<ShardedManifest> LoadShardedManifest(const std::string& path);
+
+/// Extracts shard `lane` of a GIRSHD01 envelope as a standalone
+/// DynamicGirIndex — the `gir_cli shard split` / `gir_serve --shard-lane`
+/// loading path: preceding blobs are skipped by their length prefixes and
+/// the selected blob gets the full standalone GIRDYN01 validation battery.
+Result<DynamicGirIndex> LoadShardLane(const std::string& path, uint32_t lane);
+
 }  // namespace gir
 
 #endif  // GIR_GRID_INDEX_IO_H_

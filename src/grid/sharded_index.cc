@@ -1226,6 +1226,47 @@ ReverseKRanksResult ShardedGirIndex::ReverseKRanks(
   return MergeRkr(parts, k);
 }
 
+ReverseKRanksResult ShardedGirIndex::ReverseKRanksCapped(
+    ConstRow q, size_t k, int64_t initial_cap, QueryStats* stats,
+    uint64_t* executed_seq) const {
+  const size_t n = shards_.size();
+  std::vector<ShardTask> tasks(n);
+  std::vector<size_t> lanes(n);
+  std::vector<ReverseKRanksResult> parts(n);
+  std::vector<QueryStats> part_stats(n);
+  std::vector<std::shared_ptr<const std::vector<VectorId>>> maps(n);
+  // Same shared fetch-min bound as ReverseKRanks, seeded with the
+  // caller's cap (a router shipping its cluster-wide k-th bound).
+  std::atomic<int64_t> cap{initial_cap};
+  OpSync sync;
+  sync.remaining = n;
+  for (size_t s = 0; s < n; ++s) {
+    lanes[s] = s;
+    tasks[s].kind = ShardTask::Kind::kQuery;
+    tasks[s].q = q.data();
+    tasks[s].k = k;
+    tasks[s].rkr = true;
+    tasks[s].cap = &cap;
+    tasks[s].rkr_out = &parts[s];
+    tasks[s].stats_out = &part_stats[s];
+    tasks[s].sync = &sync;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_mu_);
+    maps = to_global_;
+    seq = Admit(tasks.data(), lanes.data(), n);
+  }
+  Execute(tasks.data(), lanes.data(), n, sync);
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<VectorId>& map = *maps[s];
+    for (RankedWeight& e : parts[s]) e.weight_id = map[e.weight_id];
+    if (stats != nullptr) *stats += part_stats[s];
+  }
+  if (executed_seq != nullptr) *executed_seq = seq;
+  return MergeRkr(parts, k);
+}
+
 std::vector<ReverseTopKResult> ShardedGirIndex::ReverseTopKBatch(
     const Dataset& queries, size_t k, QueryStats* stats,
     uint64_t* executed_seq) const {

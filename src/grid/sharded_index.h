@@ -168,6 +168,14 @@ class ShardedGirIndex {
   ReverseKRanksResult ReverseKRanks(ConstRow q, size_t k,
                                     QueryStats* stats = nullptr,
                                     uint64_t* executed_seq = nullptr) const;
+  /// ReverseKRanks whose shared k-th bound starts at `initial_cap`
+  /// instead of unbounded — the distributed router's fan-out primitive
+  /// (the per-request cap of NetVerb::kReverseKRanksCapped). Sound and
+  /// bit-identical to ReverseKRanks whenever initial_cap >= the true
+  /// global k-th rank; a subset's k-th rank always satisfies that.
+  ReverseKRanksResult ReverseKRanksCapped(
+      ConstRow q, size_t k, int64_t initial_cap, QueryStats* stats = nullptr,
+      uint64_t* executed_seq = nullptr) const;
   /// Batch forms: one fan-out for the whole block, per-shard batch
   /// engines (which amortize scan sweeps across queries), merged per
   /// query. The batch RKR path does not use the shared k-th bound — the

@@ -2,9 +2,12 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <utility>
@@ -18,6 +21,7 @@ Status MapNetStatus(NetStatus status, const std::string& message) {
       std::string(NetStatusName(status)) + ": " + message;
   switch (status) {
     case NetStatus::kOk:
+    case NetStatus::kDegraded:  // payload-bearing; never reaches here
       return Status::OK();
     case NetStatus::kMalformed:
       return Status::Corruption(text);
@@ -28,16 +32,65 @@ Status MapNetStatus(NetStatus status, const std::string& message) {
       return Status::OutOfRange(text);
     case NetStatus::kShuttingDown:
       return Status::IOError(text);
+    case NetStatus::kReadOnly:
+      return Status::InvalidArgument(text);
     case NetStatus::kInternal:
       return Status::Internal(text);
   }
   return Status::Internal(text);
 }
 
+/// connect() bounded by a poll()-based deadline: the socket goes
+/// non-blocking for the handshake, so an unreachable peer fails after
+/// connect_ms instead of the kernel's SYN retry ladder, then returns to
+/// blocking mode (per-call deadlines are SO_RCVTIMEO/SO_SNDTIMEO's job).
+Status ConnectWithDeadline(int fd, const sockaddr_in& addr,
+                           uint32_t connect_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl: ") + strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno == EISCONN) rc = 0;
+  if (rc < 0) {
+    if (errno != EINPROGRESS && errno != EALREADY) {
+      return Status::IOError(std::string("connect: ") + strerror(errno));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int remaining_ms = static_cast<int>(connect_ms);
+    for (;;) {
+      const int ready = ::poll(&pfd, 1, remaining_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) {
+        return Status::IOError(std::string("poll: ") + strerror(errno));
+      }
+      if (ready == 0) return Status::IOError("connect timed out");
+      break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return Status::IOError(std::string("getsockopt: ") + strerror(errno));
+    }
+    if (err != 0) {
+      return Status::IOError(std::string("connect: ") + strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::IOError(std::string("fcntl: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<RemoteClient> RemoteClient::Connect(const std::string& host,
-                                           uint16_t port) {
+                                           uint16_t port,
+                                           const RemoteClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + strerror(errno));
@@ -49,20 +102,40 @@ Result<RemoteClient> RemoteClient::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("unparseable host address: " + host);
   }
-  // Retry EINTR: a signal landing mid-handshake is not a failed connect.
-  // (EINTR after the SYN went out means the connect continues in the
-  // background; retrying then yields success or EISCONN on this fd.)
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc < 0 && (errno == EINTR || errno == EALREADY));
-  if (rc < 0 && errno == EISCONN) rc = 0;
-  if (rc < 0) {
-    const Status s =
-        Status::IOError(std::string("connect: ") + strerror(errno));
-    ::close(fd);
-    return s;
+  if (options.connect_ms > 0) {
+    const Status s = ConnectWithDeadline(fd, addr, options.connect_ms);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  } else {
+    // Retry EINTR: a signal landing mid-handshake is not a failed connect.
+    // (EINTR after the SYN went out means the connect continues in the
+    // background; retrying then yields success or EISCONN on this fd.)
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && (errno == EINTR || errno == EALREADY));
+    if (rc < 0 && errno == EISCONN) rc = 0;
+    if (rc < 0) {
+      const Status s =
+          Status::IOError(std::string("connect: ") + strerror(errno));
+      ::close(fd);
+      return s;
+    }
+  }
+  if (options.io_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.io_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(options.io_ms % 1000) * 1000;
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+      const Status s =
+          Status::IOError(std::string("setsockopt: ") + strerror(errno));
+      ::close(fd);
+      return s;
+    }
   }
   Status s = SendMagic(fd);
   if (!s.ok()) {
@@ -77,9 +150,12 @@ RemoteClient::RemoteClient(RemoteClient&& other) noexcept
       next_request_id_(other.next_request_id_),
       deadline_us_(other.deadline_us_),
       tenant_id_(other.tenant_id_),
+      req_flags_(other.req_flags_),
       last_net_status_(other.last_net_status_),
       last_index_version_(other.last_index_version_),
-      last_cache_hit_(other.last_cache_hit_) {}
+      last_cache_hit_(other.last_cache_hit_),
+      last_shard_count_(other.last_shard_count_),
+      last_coverage_(other.last_coverage_) {}
 
 RemoteClient& RemoteClient::operator=(RemoteClient&& other) noexcept {
   if (this != &other) {
@@ -88,9 +164,12 @@ RemoteClient& RemoteClient::operator=(RemoteClient&& other) noexcept {
     next_request_id_ = other.next_request_id_;
     deadline_us_ = other.deadline_us_;
     tenant_id_ = other.tenant_id_;
+    req_flags_ = other.req_flags_;
     last_net_status_ = other.last_net_status_;
     last_index_version_ = other.last_index_version_;
     last_cache_hit_ = other.last_cache_hit_;
+    last_shard_count_ = other.last_shard_count_;
+    last_coverage_ = other.last_coverage_;
   }
   return *this;
 }
@@ -104,6 +183,7 @@ Result<NetResponse> RemoteClient::RoundTrip(NetRequest request) {
   request.request_id = next_request_id_++;
   request.deadline_us = deadline_us_;
   request.tenant_id = tenant_id_;
+  request.req_flags = req_flags_;
   Status s = SendFrame(fd_, EncodeRequestBody(request));
   if (!s.ok()) return s;
   std::string body;
@@ -119,8 +199,17 @@ Result<NetResponse> RemoteClient::RoundTrip(NetRequest request) {
   last_net_status_ = response.status;
   last_index_version_ = response.index_version;
   last_cache_hit_ = response.cache_hit();
-  if (response.status != NetStatus::kOk) {
-    return MapNetStatus(response.status, response.error);
+  if (response.status == NetStatus::kDegraded) {
+    // Payload-bearing like kOk: exact over the covered shards. Callers
+    // read last_degraded()/last_coverage() to tell partial from complete.
+    last_shard_count_ = response.shard_count;
+    last_coverage_ = response.coverage;
+  } else {
+    last_shard_count_ = 0;
+    last_coverage_ = 0;
+    if (response.status != NetStatus::kOk) {
+      return MapNetStatus(response.status, response.error);
+    }
   }
   if (response.verb != request.verb) {
     return Status::Corruption("response verb does not match the request");
@@ -175,6 +264,16 @@ Result<ReverseKRanksResult> RemoteClient::ReverseKRanks(ConstRow q,
   Result<NetResponse> response =
       RoundTrip(QueryRequest(NetVerb::kReverseKRanks, k, 1,
                              static_cast<uint32_t>(q.size()), q.data()));
+  if (!response.ok()) return response.status();
+  return std::move(response.value().kranks);
+}
+
+Result<ReverseKRanksResult> RemoteClient::ReverseKRanksCapped(
+    ConstRow q, uint32_t k, int64_t rank_cap) {
+  NetRequest request = QueryRequest(NetVerb::kReverseKRanksCapped, k, 1,
+                                    static_cast<uint32_t>(q.size()), q.data());
+  request.rank_cap = rank_cap;
+  Result<NetResponse> response = RoundTrip(std::move(request));
   if (!response.ok()) return response.status();
   return std::move(response.value().kranks);
 }

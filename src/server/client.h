@@ -13,20 +13,40 @@
 
 namespace gir {
 
+/// Deadline knobs of a RemoteClient connection. Zero = no deadline (the
+/// pre-timeout blocking behaviour); the distributed router and the CLI's
+/// --timeout-ms set both.
+struct RemoteClientOptions {
+  /// TCP connect deadline: a non-blocking connect() raced against a
+  /// poll() timer, so an unreachable or black-holed peer fails in bounded
+  /// time instead of the kernel's minutes-long SYN retry ladder.
+  uint32_t connect_ms = 0;
+  /// Per-syscall socket IO deadline (SO_RCVTIMEO/SO_SNDTIMEO): a peer
+  /// that accepts but never answers — or stops mid-frame — surfaces as
+  /// IOError("... timed out") instead of hanging the caller forever.
+  uint32_t io_ms = 0;
+};
+
 /// RemoteClient — a blocking GIRNET01 client over one TCP connection,
-/// shared by `gir_cli remote`, the server bench and the end-to-end tests.
-/// One request in flight at a time; methods are not thread-safe (open one
-/// client per thread — connections are cheap and the server batches
-/// across them).
+/// shared by `gir_cli remote`, the distributed router's shard
+/// connections, the server bench and the end-to-end tests. One request in
+/// flight at a time; methods are not thread-safe (open one client per
+/// thread — connections are cheap and the server batches across them).
 ///
 /// Server-side rejections surface as non-OK Status; last_net_status()
 /// additionally exposes the wire status of the most recent round trip so
 /// callers can distinguish kOverloaded from kDeadlineExceeded precisely,
 /// and last_index_version() the version stamp of the most recent
 /// response (the serial-replay hooks the concurrency tests use).
+///
+/// kDegraded responses (a router answering from a subset of its shards)
+/// are returned as successful results: the payload is exact over the
+/// covered shards, and last_net_status()/last_coverage() let the caller
+/// distinguish them from complete answers.
 class RemoteClient {
  public:
-  static Result<RemoteClient> Connect(const std::string& host, uint16_t port);
+  static Result<RemoteClient> Connect(const std::string& host, uint16_t port,
+                                      const RemoteClientOptions& options = {});
 
   RemoteClient(RemoteClient&& other) noexcept;
   RemoteClient& operator=(RemoteClient&& other) noexcept;
@@ -41,6 +61,14 @@ class RemoteClient {
   /// default tenant. Servers without tenant configuration ignore it.
   void set_tenant(uint16_t tenant_id) { tenant_id_ = tenant_id; }
 
+  /// Stamps kNetReqFlagRouterWrite on subsequent requests so --read-only
+  /// shard servers accept this client's mutations (the distributed
+  /// router's write path).
+  void set_router_write(bool on) {
+    req_flags_ = on ? (req_flags_ | kNetReqFlagRouterWrite)
+                    : (req_flags_ & ~kNetReqFlagRouterWrite);
+  }
+
   Status Ping();
   Result<NetInfo> Info();
   /// The plaintext metrics snapshot (STATS verb).
@@ -48,6 +76,11 @@ class RemoteClient {
 
   Result<ReverseTopKResult> ReverseTopK(ConstRow q, uint32_t k);
   Result<ReverseKRanksResult> ReverseKRanks(ConstRow q, uint32_t k);
+  /// Reverse k-ranks with an explicit initial global-k-th bound (the
+  /// router's fan-out primitive; see DynamicGirIndex::ReverseKRanksCapped
+  /// for the soundness argument).
+  Result<ReverseKRanksResult> ReverseKRanksCapped(ConstRow q, uint32_t k,
+                                                  int64_t rank_cap);
   Result<std::vector<ReverseTopKResult>> ReverseTopKBatch(
       const Dataset& queries, uint32_t k);
   Result<std::vector<ReverseKRanksResult>> ReverseKRanksBatch(
@@ -66,6 +99,14 @@ class RemoteClient {
   /// Whether the most recent response was served from the server's
   /// result cache (kNetFlagCacheHit on the response header).
   bool last_cache_hit() const { return last_cache_hit_; }
+  /// True when the most recent response carried status kDegraded.
+  bool last_degraded() const {
+    return last_net_status_ == NetStatus::kDegraded;
+  }
+  /// kDegraded only: the router's shard count and coverage bitmap (bit s
+  /// set = shard s contributed). Zero after a non-degraded response.
+  uint32_t last_shard_count() const { return last_shard_count_; }
+  uint64_t last_coverage() const { return last_coverage_; }
 
  private:
   explicit RemoteClient(int fd) : fd_(fd) {}
@@ -82,9 +123,12 @@ class RemoteClient {
   uint64_t next_request_id_ = 1;
   uint32_t deadline_us_ = 0;
   uint16_t tenant_id_ = 0;
+  uint8_t req_flags_ = 0;
   NetStatus last_net_status_ = NetStatus::kOk;
   uint64_t last_index_version_ = 0;
   bool last_cache_hit_ = false;
+  uint32_t last_shard_count_ = 0;
+  uint64_t last_coverage_ = 0;
 };
 
 }  // namespace gir

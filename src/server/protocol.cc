@@ -23,10 +23,11 @@ void Append(std::string* out, T v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void AppendHeader(std::string* out, NetVerb verb, uint16_t tenant_id,
-                  uint32_t deadline_us, uint64_t request_id) {
+void AppendHeader(std::string* out, NetVerb verb, uint8_t req_flags,
+                  uint16_t tenant_id, uint32_t deadline_us,
+                  uint64_t request_id) {
   Append<uint8_t>(out, static_cast<uint8_t>(verb));
-  Append<uint8_t>(out, 0);
+  Append<uint8_t>(out, req_flags);
   Append<uint16_t>(out, tenant_id);
   Append<uint32_t>(out, deadline_us);
   Append<uint64_t>(out, request_id);
@@ -64,7 +65,8 @@ void AppendKRanks(std::string* out, const ReverseKRanksResult& result) {
 bool IsQueryVerb(NetVerb verb) {
   return verb == NetVerb::kReverseTopK || verb == NetVerb::kReverseKRanks ||
          verb == NetVerb::kReverseTopKBatch ||
-         verb == NetVerb::kReverseKRanksBatch;
+         verb == NetVerb::kReverseKRanksBatch ||
+         verb == NetVerb::kReverseKRanksCapped;
 }
 
 bool IsBatchVerb(NetVerb verb) {
@@ -123,14 +125,18 @@ const char* NetStatusName(NetStatus status) {
       return "shutting-down";
     case NetStatus::kInternal:
       return "internal";
+    case NetStatus::kDegraded:
+      return "degraded";
+    case NetStatus::kReadOnly:
+      return "read-only";
   }
   return "unknown";
 }
 
 std::string EncodeRequestBody(const NetRequest& request) {
   std::string body;
-  AppendHeader(&body, request.verb, request.tenant_id, request.deadline_us,
-               request.request_id);
+  AppendHeader(&body, request.verb, request.req_flags, request.tenant_id,
+               request.deadline_us, request.request_id);
   switch (request.verb) {
     case NetVerb::kPing:
     case NetVerb::kInfo:
@@ -140,6 +146,12 @@ std::string EncodeRequestBody(const NetRequest& request) {
     case NetVerb::kReverseTopK:
     case NetVerb::kReverseKRanks:
       Append<uint32_t>(&body, request.k);
+      Append<uint32_t>(&body, request.dim);
+      AppendDoubles(&body, request.values);
+      break;
+    case NetVerb::kReverseKRanksCapped:
+      Append<uint32_t>(&body, request.k);
+      Append<int64_t>(&body, request.rank_cap);
       Append<uint32_t>(&body, request.dim);
       AppendDoubles(&body, request.values);
       break;
@@ -248,12 +260,93 @@ std::string EncodeStatsResponseBody(uint64_t request_id, uint64_t version,
   return body;
 }
 
+std::string EncodeKRanksCappedResponseBody(uint64_t request_id,
+                                           uint64_t version,
+                                           const ReverseKRanksResult& result) {
+  std::string body;
+  AppendResponseHeader(&body, NetVerb::kReverseKRanksCapped, NetStatus::kOk,
+                       request_id, version);
+  AppendKRanks(&body, result);
+  return body;
+}
+
+namespace {
+
+void AppendCoverage(std::string* out, uint32_t shard_count,
+                    uint64_t coverage) {
+  Append<uint32_t>(out, shard_count);
+  Append<uint64_t>(out, coverage);
+}
+
+}  // namespace
+
+std::string EncodeDegradedAckResponseBody(NetVerb verb, uint64_t request_id,
+                                          uint64_t version,
+                                          uint32_t shard_count,
+                                          uint64_t coverage) {
+  std::string body;
+  AppendResponseHeader(&body, verb, NetStatus::kDegraded, request_id,
+                       version);
+  AppendCoverage(&body, shard_count, coverage);
+  return body;
+}
+
+std::string EncodeDegradedTopKResponseBody(uint64_t request_id,
+                                           uint64_t version,
+                                           uint32_t shard_count,
+                                           uint64_t coverage,
+                                           const ReverseTopKResult& result) {
+  std::string body;
+  AppendResponseHeader(&body, NetVerb::kReverseTopK, NetStatus::kDegraded,
+                       request_id, version);
+  AppendCoverage(&body, shard_count, coverage);
+  AppendTopK(&body, result);
+  return body;
+}
+
+std::string EncodeDegradedTopKBatchResponseBody(
+    uint64_t request_id, uint64_t version, uint32_t shard_count,
+    uint64_t coverage, const std::vector<ReverseTopKResult>& results) {
+  std::string body;
+  AppendResponseHeader(&body, NetVerb::kReverseTopKBatch,
+                       NetStatus::kDegraded, request_id, version);
+  AppendCoverage(&body, shard_count, coverage);
+  Append<uint32_t>(&body, static_cast<uint32_t>(results.size()));
+  for (const ReverseTopKResult& result : results) AppendTopK(&body, result);
+  return body;
+}
+
+std::string EncodeDegradedKRanksResponseBody(
+    uint64_t request_id, uint64_t version, uint32_t shard_count,
+    uint64_t coverage, const ReverseKRanksResult& result, NetVerb verb) {
+  std::string body;
+  AppendResponseHeader(&body, verb, NetStatus::kDegraded, request_id,
+                       version);
+  AppendCoverage(&body, shard_count, coverage);
+  AppendKRanks(&body, result);
+  return body;
+}
+
+std::string EncodeDegradedKRanksBatchResponseBody(
+    uint64_t request_id, uint64_t version, uint32_t shard_count,
+    uint64_t coverage, const std::vector<ReverseKRanksResult>& results) {
+  std::string body;
+  AppendResponseHeader(&body, NetVerb::kReverseKRanksBatch,
+                       NetStatus::kDegraded, request_id, version);
+  AppendCoverage(&body, shard_count, coverage);
+  Append<uint32_t>(&body, static_cast<uint32_t>(results.size()));
+  for (const ReverseKRanksResult& result : results) {
+    AppendKRanks(&body, result);
+  }
+  return body;
+}
+
 NetStatus DecodeRequestBody(const std::string& body, NetRequest* out,
                             std::string* error) {
   std::istringstream in(body, std::ios::binary);
   CheckedReader reader(in);
-  uint8_t verb_raw = 0, zero8 = 0;
-  if (!reader.ReadU8(&verb_raw) || !reader.ReadU8(&zero8) ||
+  uint8_t verb_raw = 0;
+  if (!reader.ReadU8(&verb_raw) || !reader.ReadU8(&out->req_flags) ||
       !reader.ReadU16(&out->tenant_id) ||
       !reader.ReadU32(&out->deadline_us) ||
       !reader.ReadU64(&out->request_id)) {
@@ -261,7 +354,7 @@ NetStatus DecodeRequestBody(const std::string& body, NetRequest* out,
     return NetStatus::kMalformed;
   }
   if (verb_raw < static_cast<uint8_t>(NetVerb::kPing) ||
-      verb_raw > static_cast<uint8_t>(NetVerb::kCompact)) {
+      verb_raw > static_cast<uint8_t>(NetVerb::kReverseKRanksCapped)) {
     *error = "unknown verb";
     return NetStatus::kMalformed;
   }
@@ -269,6 +362,11 @@ NetStatus DecodeRequestBody(const std::string& body, NetRequest* out,
 
   if (IsQueryVerb(out->verb)) {
     if (!reader.ReadU32(&out->k)) {
+      *error = "truncated query parameters";
+      return NetStatus::kMalformed;
+    }
+    if (out->verb == NetVerb::kReverseKRanksCapped &&
+        !reader.ReadI64(&out->rank_cap)) {
       *error = "truncated query parameters";
       return NetStatus::kMalformed;
     }
@@ -339,14 +437,27 @@ bool DecodeResponseBody(const std::string& body, NetResponse* out) {
     return false;
   }
   if (verb_raw < static_cast<uint8_t>(NetVerb::kPing) ||
-      verb_raw > static_cast<uint8_t>(NetVerb::kCompact) ||
-      status_raw > static_cast<uint8_t>(NetStatus::kInternal)) {
+      verb_raw > static_cast<uint8_t>(NetVerb::kReverseKRanksCapped) ||
+      status_raw > static_cast<uint8_t>(NetStatus::kReadOnly)) {
     return false;
   }
   out->verb = static_cast<NetVerb>(verb_raw);
   out->status = static_cast<NetStatus>(status_raw);
 
-  if (out->status != NetStatus::kOk) {
+  if (out->status == NetStatus::kDegraded) {
+    // Degraded responses are payload-bearing: the coverage bitmap comes
+    // first, then the verb's normal success payload (restricted to the
+    // covered shards) is parsed by the switch below.
+    if (!reader.ReadU32(&out->shard_count) ||
+        !reader.ReadU64(&out->coverage)) {
+      return false;
+    }
+    if (out->shard_count == 0 || out->shard_count > 64 ||
+        (out->shard_count < 64 &&
+         (out->coverage >> out->shard_count) != 0)) {
+      return false;
+    }
+  } else if (out->status != NetStatus::kOk) {
     uint32_t len = 0;
     if (!reader.ReadU32(&len) || len > reader.Remaining()) return false;
     std::vector<char> msg;
@@ -378,6 +489,7 @@ bool DecodeResponseBody(const std::string& body, NetResponse* out) {
       break;
     }
     case NetVerb::kReverseKRanks:
+    case NetVerb::kReverseKRanksCapped:
       if (!ReadKRanks(reader, &out->kranks)) return false;
       break;
     case NetVerb::kReverseKRanksBatch: {
@@ -421,6 +533,10 @@ Status SendAll(int fd, const char* data, size_t size) {
     const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // SO_SNDTIMEO expiry (RemoteClientOptions::io_ms) surfaces here.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("send timed out");
+      }
       return Status::IOError(std::string("send: ") + strerror(errno));
     }
     written += static_cast<size_t>(n);
@@ -435,6 +551,10 @@ Status RecvAll(int fd, char* data, size_t size, bool* clean_eof) {
     const ssize_t n = ::recv(fd, data + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // SO_RCVTIMEO expiry (RemoteClientOptions::io_ms) surfaces here.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("recv timed out");
+      }
       return Status::IOError(std::string("recv: ") + strerror(errno));
     }
     if (n == 0) {

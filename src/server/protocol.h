@@ -66,6 +66,13 @@ enum class NetVerb : uint8_t {
   kDeletePoint = 10,
   kDeleteWeight = 11,
   kCompact = 12,
+  /// Reverse k-ranks with an explicit initial upper bound on the global
+  /// k-th rank (i64 cap in the payload). This is how the distributed
+  /// router ships the shared k-th bound of DESIGN.md §15 over the wire:
+  /// each shard folds the cap into its own scan exactly as an in-process
+  /// shard folds the shared atomic. Results are bit-identical to
+  /// kReverseKRanks whenever cap >= the true global k-th rank.
+  kReverseKRanksCapped = 13,
 };
 
 enum class NetStatus : uint8_t {
@@ -82,9 +89,26 @@ enum class NetStatus : uint8_t {
   /// The server is draining; the request was not admitted.
   kShuttingDown = 5,
   kInternal = 6,
+  /// The router answered from a strict subset of its shards (DESIGN.md
+  /// §18). The response is payload-bearing like kOk, prefixed with a
+  /// shard-coverage bitmap: the result is exact over the covered shards'
+  /// weights and silently missing the rest — never a wrong merge.
+  kDegraded = 7,
+  /// The server was started --read-only and the mutation did not carry
+  /// the router-write flag; nothing was applied.
+  kReadOnly = 8,
 };
 
 const char* NetStatusName(NetStatus status);
+
+/// Request header flags byte (the second header byte, written as zero
+/// and read without validation by every GIRNET01 decoder since v1, so
+/// repurposing it is wire-compatible in both directions).
+/// Bit 0: the mutation comes from the shard's owning router. A server in
+/// --read-only mode rejects mutations without it (kReadOnly) so
+/// out-of-band writers cannot desync the router's sequence bookkeeping.
+/// This is an operational tripwire, not an authentication mechanism.
+inline constexpr uint8_t kNetReqFlagRouterWrite = 1u << 0;
 
 /// A decoded request frame. For query verbs `values` holds
 /// num_queries * dim doubles row-major (num_queries == 1 for the single
@@ -95,11 +119,15 @@ struct NetRequest {
   uint32_t deadline_us = 0;
   /// QoS class of the issuing client; 0 is the default tenant.
   uint16_t tenant_id = 0;
+  /// Header flags (kNetReqFlagRouterWrite et al).
+  uint8_t req_flags = 0;
   uint32_t k = 0;
   uint32_t dim = 0;
   uint32_t num_queries = 0;
   std::vector<double> values;
   uint64_t target_id = 0;  // kDeletePoint / kDeleteWeight
+  /// kReverseKRanksCapped: initial upper bound on the global k-th rank.
+  int64_t rank_cap = 0;
 };
 
 /// Response header flags word (bit mask).
@@ -125,7 +153,11 @@ struct NetResponse {
   /// Header flags (kNetFlagCacheHit et al).
   uint16_t flags = 0;
   bool cache_hit() const { return (flags & kNetFlagCacheHit) != 0; }
-  std::string error;  // status != kOk
+  /// kDegraded only: total shard count and the coverage bitmap (bit s set
+  /// = shard s contributed to the answer / applied the mutation).
+  uint32_t shard_count = 0;
+  uint64_t coverage = 0;
+  std::string error;  // status != kOk and != kDegraded
   ReverseTopKResult topk;
   std::vector<ReverseTopKResult> topk_batch;
   ReverseKRanksResult kranks;
@@ -159,6 +191,33 @@ std::string EncodeInfoResponseBody(uint64_t request_id, uint64_t version,
                                    const NetInfo& info);
 std::string EncodeStatsResponseBody(uint64_t request_id, uint64_t version,
                                     const std::string& text);
+/// kReverseKRanksCapped success payload (the same wire shape as
+/// kReverseKRanks, echoed under its own verb).
+std::string EncodeKRanksCappedResponseBody(uint64_t request_id,
+                                           uint64_t version,
+                                           const ReverseKRanksResult& result);
+
+// kDegraded responses (DESIGN.md §18): header with status kDegraded, then
+// u32 shard_count + u64 coverage bitmap, then the verb's normal success
+// payload restricted to the covered shards.
+std::string EncodeDegradedAckResponseBody(NetVerb verb, uint64_t request_id,
+                                          uint64_t version,
+                                          uint32_t shard_count,
+                                          uint64_t coverage);
+std::string EncodeDegradedTopKResponseBody(uint64_t request_id,
+                                           uint64_t version,
+                                           uint32_t shard_count,
+                                           uint64_t coverage,
+                                           const ReverseTopKResult& result);
+std::string EncodeDegradedTopKBatchResponseBody(
+    uint64_t request_id, uint64_t version, uint32_t shard_count,
+    uint64_t coverage, const std::vector<ReverseTopKResult>& results);
+std::string EncodeDegradedKRanksResponseBody(
+    uint64_t request_id, uint64_t version, uint32_t shard_count,
+    uint64_t coverage, const ReverseKRanksResult& result, NetVerb verb);
+std::string EncodeDegradedKRanksBatchResponseBody(
+    uint64_t request_id, uint64_t version, uint32_t shard_count,
+    uint64_t coverage, const std::vector<ReverseKRanksResult>& results);
 
 // ---- Body decoding (CheckedReader underneath) --------------------------
 

@@ -273,6 +273,36 @@ void QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
     case NetVerb::kReverseKRanksBatch:
       AdmitQuery(conn, request);
       return;
+    case NetVerb::kReverseKRanksCapped: {
+      // The router's fan-out primitive. Served inline — the router holds
+      // one blocking request in flight per shard connection, so there is
+      // no co-batchable traffic to wait for, and bypassing the cache
+      // keeps the version pinning exact.
+      if (request.k == 0) {
+        SendError(conn, request.verb, NetStatus::kInvalidArgument,
+                  request.request_id, "k must be positive");
+        return;
+      }
+      if (request.dim != dim_ || request.num_queries != 1) {
+        SendError(conn, request.verb, NetStatus::kInvalidArgument,
+                  request.request_id,
+                  "query dimension does not match the index");
+        return;
+      }
+      if (!ValidQueryValues(request.values)) {
+        SendError(conn, request.verb, NetStatus::kInvalidArgument,
+                  request.request_id, "query contains NaN or infinity");
+        return;
+      }
+      uint64_t seq = 0;
+      const ReverseKRanksResult result = index_->ReverseKRanksCapped(
+          ConstRow(request.values.data(), request.values.size()), request.k,
+          request.rank_cap, nullptr, &seq);
+      metrics_.RecordBatch(1, 1);
+      SendBody(conn, EncodeKRanksCappedResponseBody(request.request_id, seq,
+                                                    result));
+      return;
+    }
     case NetVerb::kInsertPoint:
     case NetVerb::kInsertWeight:
     case NetVerb::kDeletePoint:
@@ -297,6 +327,12 @@ void QueryServer::HandleMutation(const std::shared_ptr<Connection>& conn,
       request.target_id > std::numeric_limits<VectorId>::max()) {
     SendError(conn, request.verb, NetStatus::kInvalidArgument,
               request.request_id, "id out of the VectorId range");
+    return;
+  }
+  if (options_.read_only &&
+      (request.req_flags & kNetReqFlagRouterWrite) == 0) {
+    SendError(conn, request.verb, NetStatus::kReadOnly, request.request_id,
+              "server is read-only; mutations must come through the router");
     return;
   }
   bool rejected_shutdown;

@@ -68,6 +68,11 @@ struct ServerOptions {
   /// Registered QoS classes; empty = one default class for all traffic
   /// (scheduling degenerates to the plain FIFO it was before).
   std::vector<TenantOptions> tenants;
+  /// Reject mutations that do not carry kNetReqFlagRouterWrite with
+  /// kReadOnly. Router-owned shards run this way so an out-of-band
+  /// writer cannot desync the router's sequence bookkeeping
+  /// (DESIGN.md §18); queries are unaffected.
+  bool read_only = false;
 };
 
 /// QueryServer — a multi-threaded TCP front end over one ShardedGirIndex

@@ -246,5 +246,42 @@ TEST_F(CliTest, MissingFilesFailGracefully) {
   EXPECT_EQ(RunCli("info --dataset " + Path("missing.bin")), 2);
 }
 
+TEST_F(CliTest, ShardSplitExplodesEnvelopeIntoServableLanes) {
+  ASSERT_EQ(RunCli("generate --kind points --dist UN --n 120 --d 3 --seed 5 "
+                   "--out " + Path("p.bin")), 0);
+  ASSERT_EQ(RunCli("generate --kind weights --dist UN --n 50 --d 3 --seed 6 "
+                   "--out " + Path("w.bin")), 0);
+  ASSERT_EQ(RunCli("shard init --points " + Path("p.bin") + " --weights " +
+                   Path("w.bin") + " --out " + Path("shd.bin") +
+                   " --shards 3"), 0);
+
+  std::string output;
+  ASSERT_EQ(RunCli("shard split --index " + Path("shd.bin") +
+                   " --out-prefix " + Path("t"), &output), 0);
+  EXPECT_NE(output.find("3 lane(s)"), std::string::npos) << output;
+
+  // Every lane is a standalone GIRDYN01 file: full point replica, a
+  // disjoint slice of the 50 weights (round robin: 17 + 17 + 16).
+  size_t total_weights = 0;
+  for (int lane = 0; lane < 3; ++lane) {
+    const std::string lane_path = Path("t.lane" + std::to_string(lane) +
+                                       ".gir");
+    ASSERT_TRUE(std::filesystem::exists(lane_path)) << lane_path;
+    std::string info;
+    ASSERT_EQ(RunCli("update info --index " + lane_path, &info), 0);
+    EXPECT_NE(info.find("120 live points"), std::string::npos) << info;
+    const size_t pos = info.find(" live weights");
+    ASSERT_NE(pos, std::string::npos) << info;
+    const size_t start = info.rfind('x', pos);
+    ASSERT_NE(start, std::string::npos) << info;
+    total_weights += std::strtoull(info.c_str() + start + 1, nullptr, 10);
+  }
+  EXPECT_EQ(total_weights, 50u);
+
+  // Splitting a file that is not a GIRSHD01 envelope is a runtime error.
+  EXPECT_EQ(RunCli("shard split --index " + Path("p.bin") +
+                   " --out-prefix " + Path("bad")), 2);
+}
+
 }  // namespace
 }  // namespace gir

@@ -1029,7 +1029,8 @@ TEST(QueryServerTest, TenantDeadlineClassAppliesWhenRequestCarriesNone) {
 /// bytes and closes.
 class ForgingServer {
  public:
-  explicit ForgingServer(std::string reply) : reply_(std::move(reply)) {
+  explicit ForgingServer(std::string reply, bool hold_open = false)
+      : reply_(std::move(reply)), hold_open_(hold_open) {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -1059,11 +1060,17 @@ class ForgingServer {
       if (!reply_.empty()) {
         (void)::send(fd, reply_.data(), reply_.size(), MSG_NOSIGNAL);
       }
+      // hold_open: stay silent without hanging up, so the only way the
+      // client unblocks is its own SO_RCVTIMEO deadline.
+      while (hold_open_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
       ::close(fd);  // hang up — mid-frame if the reply was partial
     });
   }
 
   ~ForgingServer() {
+    hold_open_.store(false);
     if (thread_.joinable()) thread_.join();
     if (listen_fd_ >= 0) ::close(listen_fd_);
   }
@@ -1072,10 +1079,35 @@ class ForgingServer {
 
  private:
   std::string reply_;
+  std::atomic<bool> hold_open_{false};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread thread_;
 };
+
+/// One complete response frame: length prefix + the 24-byte response
+/// header (verb, status, flags, pad, request id, index version) +
+/// `payload`.
+std::string ForgedFrame(uint8_t verb, uint8_t status,
+                        const std::string& payload) {
+  std::string body;
+  body.push_back(static_cast<char>(verb));
+  body.push_back(static_cast<char>(status));
+  const uint16_t flags = 0;
+  const uint32_t pad = 0;
+  const uint64_t request_id = 1;  // RemoteClient's first id
+  const uint64_t version = 0;
+  body.append(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  body.append(reinterpret_cast<const char*>(&pad), sizeof(pad));
+  body.append(reinterpret_cast<const char*>(&request_id),
+              sizeof(request_id));
+  body.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  body += payload;
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  std::string frame(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame += body;
+  return frame;
+}
 
 TEST(RemoteClientTest, ServerClosingMidFrameIsACleanError) {
   // Length prefix promises 64 bytes, only 10 arrive before the hangup:
@@ -1110,6 +1142,72 @@ TEST(RemoteClientTest, TruncatedResponseBodyIsACleanError) {
   const Status s = client.value().Ping();
   EXPECT_FALSE(s.ok());
   EXPECT_NE(s.ToString().find("undecodable"), std::string::npos);
+}
+
+TEST(RemoteClientTest, OversizedLengthPrefixIsACleanError) {
+  // The forged prefix promises a frame beyond kMaxFrameBytes: the client
+  // must refuse before allocating or reading a single payload byte.
+  const uint32_t len = kMaxFrameBytes + 1;
+  std::string reply(reinterpret_cast<const char*>(&len), sizeof(len));
+  reply += "x";
+  ForgingServer peer(reply);
+  auto client = RemoteClient::Connect("127.0.0.1", peer.port());
+  ASSERT_TRUE(client.ok());
+  const Status s = client.value().Ping();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("frame length exceeds the limit"),
+            std::string::npos);
+}
+
+TEST(RemoteClientTest, ForgedStatusByteIsACleanError) {
+  // A status byte past the last defined NetStatus fails decoding — it
+  // must not be cast through and misreported as some known status.
+  ForgingServer peer(
+      ForgedFrame(static_cast<uint8_t>(NetVerb::kPing), 0xEE, ""));
+  auto client = RemoteClient::Connect("127.0.0.1", peer.port());
+  ASSERT_TRUE(client.ok());
+  const Status s = client.value().Ping();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("undecodable"), std::string::npos);
+}
+
+TEST(RemoteClientTest, ForgedDegradedCoverageIsACleanError) {
+  // kDegraded with coverage bits set beyond the claimed shard count:
+  // the bitmap validation must reject the frame outright.
+  std::string payload;
+  const uint32_t shard_count = 2;
+  const uint64_t coverage = 0xFF;  // bits 2..7 exceed shard_count
+  payload.append(reinterpret_cast<const char*>(&shard_count),
+                 sizeof(shard_count));
+  payload.append(reinterpret_cast<const char*>(&coverage),
+                 sizeof(coverage));
+  ForgingServer peer(ForgedFrame(
+      static_cast<uint8_t>(NetVerb::kPing),
+      static_cast<uint8_t>(NetStatus::kDegraded), payload));
+  auto client = RemoteClient::Connect("127.0.0.1", peer.port());
+  ASSERT_TRUE(client.ok());
+  const Status s = client.value().Ping();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("undecodable"), std::string::npos);
+}
+
+TEST(RemoteClientTest, SilentServerHitsTheIoDeadlineNotAHang) {
+  // The peer accepts, reads the request and then says nothing, without
+  // closing. Untimed, this blocks forever; with io_ms the recv surfaces
+  // a typed timeout in bounded time.
+  ForgingServer peer("", /*hold_open=*/true);
+  RemoteClientOptions options;
+  options.connect_ms = 2000;
+  options.io_ms = 200;
+  auto client = RemoteClient::Connect("127.0.0.1", peer.port(), options);
+  ASSERT_TRUE(client.ok());
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = client.value().Ping();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+  EXPECT_NE(s.ToString().find("timed out"), std::string::npos);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
 // ---- gir_serve helpers -----------------------------------------------------

@@ -33,6 +33,7 @@
 //                          --shards N [--partitions 32]
 //                          [--scan-mode wat|blocked|tau]
 //   gir_cli shard info     --index shd.bin
+//   gir_cli shard split    --index shd.bin --out-prefix P
 //   gir_cli shard query    --index shd.bin --type rtk|rkr --k 10
 //                          --query v1,v2,... [--stats]
 //   gir_cli remote ping|info|compact --port P [--host H]
@@ -183,9 +184,10 @@ void PrintUsage() {
       "  shard init     --points FILE --weights FILE --out FILE --shards N\n"
       "                 [--partitions N] [--scan-mode wat|blocked|tau]\n"
       "  shard info     --index FILE\n"
+      "  shard split    --index FILE --out-prefix P\n"
       "  shard query    --index FILE --type rtk|rkr --k K --query v1,v2,...\n"
       "                 [--stats]\n"
-      "  remote ping|info|stats|compact --port P [--host H]\n"
+      "  remote ping|info|stats|compact --port P [--host H] [--timeout-ms N]\n"
       "  remote query   --port P --type rtk|rkr --k K --query v1,v2,...\n"
       "                 [--deadline-us N]\n"
       "  remote insert  --port P --kind point|weight --values v1,v2,...\n"
@@ -890,9 +892,43 @@ int RunShardQuery(const Args& args) {
   return 0;
 }
 
+/// `shard split`: explodes a GIRSHD01 envelope into one GIRDYN01 file
+/// per lane (PREFIX.laneN.gir), each servable standalone via `gir_serve
+/// --index`. (`gir_serve --shard-lane` serves a lane straight from the
+/// envelope without splitting.) The manifest — owner map, sequence,
+/// insert counter — stays with the envelope; gir_router reads it there.
+int RunShardSplit(const Args& args) {
+  const auto index_path = args.Get("index");
+  const auto prefix = args.Get("out-prefix");
+  if (!index_path || !prefix) {
+    return Fail("shard split requires --index --out-prefix");
+  }
+  auto manifest = LoadShardedManifest(*index_path);
+  if (!manifest.ok()) return FailStatus(manifest.status());
+  for (uint32_t lane = 0; lane < manifest.value().shard_count; ++lane) {
+    auto part = LoadShardLane(*index_path, lane);
+    if (!part.ok()) return FailStatus(part.status());
+    const std::string out =
+        *prefix + ".lane" + std::to_string(lane) + ".gir";
+    const Status saved = SaveDynamicIndex(out, part.value());
+    if (!saved.ok()) return FailStatus(saved);
+    std::printf("lane %u -> %s: %zu live points x %zu live weights\n", lane,
+                out.c_str(), part.value().live_point_count(),
+                part.value().live_weight_count());
+  }
+  std::printf(
+      "split %s: %u lane(s), sequence %llu, %llu live points x %llu "
+      "weights\n",
+      index_path->c_str(), manifest.value().shard_count,
+      static_cast<unsigned long long>(manifest.value().sequence),
+      static_cast<unsigned long long>(manifest.value().live_points),
+      static_cast<unsigned long long>(manifest.value().owner.size()));
+  return 0;
+}
+
 int RunShard(int argc, char** argv) {
   if (argc < 3) {
-    return FailUsage("shard requires an action (init|info|query)");
+    return FailUsage("shard requires an action (init|info|split|query)");
   }
   const std::string action = argv[2];
   // Shift by one so Args' fixed "--flags start at index 2" skips the
@@ -901,6 +937,7 @@ int RunShard(int argc, char** argv) {
   if (!args.ok()) return Fail(args.error().c_str());
   if (action == "init") return RunShardInit(args);
   if (action == "info") return RunShardInfo(args);
+  if (action == "split") return RunShardSplit(args);
   if (action == "query") return RunShardQuery(args);
   return FailUsage("unknown shard action: " + action);
 }
@@ -1063,7 +1100,16 @@ int RunRemote(int argc, char** argv) {
     return Fail("remote requires --port (1-65535)");
   }
   const std::string host = args.Get("host").value_or("127.0.0.1");
-  auto connected = RemoteClient::Connect(host, static_cast<uint16_t>(*port));
+  RemoteClientOptions client_options;
+  if (const auto timeout = args.GetSize("timeout-ms"); timeout) {
+    // One knob covers both phases: connect deadline and per-call socket
+    // send/recv timeouts, so a wedged server fails the CLI in bounded
+    // time instead of hanging it.
+    client_options.connect_ms = static_cast<uint32_t>(*timeout);
+    client_options.io_ms = static_cast<uint32_t>(*timeout);
+  }
+  auto connected = RemoteClient::Connect(host, static_cast<uint16_t>(*port),
+                                         client_options);
   if (!connected.ok()) return FailStatus(connected.status());
   RemoteClient client = std::move(connected).value();
   if (const auto deadline = args.GetSize("deadline-us"); deadline) {

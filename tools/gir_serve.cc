@@ -9,11 +9,18 @@
 //             [--wal-dir DIR] [--fsync-policy always|never]
 //             [--checkpoint-ops N] [--no-background-compact]
 //   gir_serve --index dyn.bin [server flags as above]
+//   gir_serve --index shd.bin --shard-lane L [--read-only] [flags as above]
 //
 // --shards partitions the preference set over N shard workers (DESIGN.md
 // §15); answers are bit-identical to --shards 1. --index accepts both a
 // GIRDYN01 file (served as one shard) and a GIRSHD01 sharded envelope
 // (the persisted shard count wins over --shards).
+//
+// --shard-lane L serves one lane of a GIRSHD01 envelope as a standalone
+// one-shard server — the worker role behind gir_router (DESIGN.md §18).
+// --read-only refuses direct mutations with kReadOnly; the router's
+// requests carry a flag that passes the gate, so a cluster's only write
+// path is the router's admission order.
 //
 // --wal-dir turns on durability (DESIGN.md §17): every admitted mutation
 // is appended to a per-shard write-ahead log — fsync'd per
@@ -164,7 +171,27 @@ int Run(int argc, char** argv) {
         return FailStatus(Status::IOError("cannot read " + *index_path));
       }
     }
-    if (std::memcmp(magic, "GIRSHD01", sizeof(magic)) == 0) {
+    if (const auto lane = args.GetSize("shard-lane"); lane.has_value()) {
+      // Worker role: serve exactly one lane of the sharded envelope as a
+      // standalone one-shard server. gir_router owns cross-shard merge.
+      if (std::memcmp(magic, "GIRSHD01", sizeof(magic)) != 0) {
+        return Fail("--shard-lane requires --index to be a GIRSHD01 file");
+      }
+      auto part = LoadShardLane(*index_path, static_cast<uint32_t>(*lane));
+      if (!part.ok()) return FailStatus(part.status());
+      ShardedIndexOptions sharded;
+      sharded.shards = 1;
+      sharded.background_compact = background;
+      sharded.dynamic = part.value().options();
+      const uint64_t live_weights = part.value().live_weight_count();
+      std::vector<std::unique_ptr<DynamicGirIndex>> parts;
+      parts.push_back(
+          std::make_unique<DynamicGirIndex>(std::move(part).value()));
+      index = ShardedGirIndex::FromParts(
+          std::move(sharded), std::move(parts),
+          std::vector<uint32_t>(static_cast<size_t>(live_weights), 0),
+          /*sequence=*/0, /*weight_insert_counter=*/live_weights);
+    } else if (std::memcmp(magic, "GIRSHD01", sizeof(magic)) == 0) {
       index = LoadShardedIndex(*index_path, /*use_workers=*/true, background);
     } else {
       auto dynamic = LoadDynamicIndex(*index_path);
@@ -246,6 +273,7 @@ int Run(int argc, char** argv) {
   options.max_connections = static_cast<uint32_t>(
       args.GetSize("max-connections").value_or(options.max_connections));
   options.enable_cache = !args.Get("no-cache").has_value();
+  options.read_only = args.Get("read-only").has_value();
   options.cache_bytes = args.GetSize("cache-bytes").value_or(
       options.cache_bytes);
   if (const auto tenants = args.Get("tenants"); tenants.has_value()) {
